@@ -1,0 +1,346 @@
+// Package rdnsprivacy_test holds the benchmark harness that regenerates
+// every table and figure of the paper (one benchmark per experiment, named
+// after it) plus the ablation benches called out in DESIGN.md.
+//
+// The expensive inputs — the simulated universe, the longitudinal scanning
+// campaigns and the packet-level supplemental measurement — are built once
+// and shared; each benchmark then measures the analysis that produces its
+// table or figure, and reports the experiment's headline number as a
+// custom metric so `go test -bench=. -benchmem` doubles as a results
+// summary.
+package rdnsprivacy_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/analysis"
+	"rdnsprivacy/internal/casestudy"
+	"rdnsprivacy/internal/core"
+	"rdnsprivacy/internal/dynamicity"
+	"rdnsprivacy/internal/netsim"
+	"rdnsprivacy/internal/privleak"
+	"rdnsprivacy/internal/reactive"
+	"rdnsprivacy/internal/scan"
+)
+
+var (
+	studyOnce sync.Once
+	benchRef  *core.Study
+)
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// benchStudy builds the shared bench-scale study and pre-computes the
+// pipelines the individual benchmarks consume.
+func benchStudy(b *testing.B) *core.Study {
+	b.Helper()
+	studyOnce.Do(func() {
+		s, err := core.NewStudy(core.Config{
+			Seed: 42,
+			Universe: netsim.UniverseConfig{
+				FillerSlash24s:        900,
+				LeakyNetworks:         16,
+				NonLeakyDynamic:       4,
+				PeoplePerDynamicBlock: 16,
+			},
+			LeakThresholds:    privleak.Config{MinUniqueNames: 8, MinRatio: 0.02},
+			DynamicityStart:   date(2020, time.September, 7),
+			DynamicityEnd:     date(2020, time.October, 19),
+			SupplementalStart: date(2021, time.November, 8),
+			SupplementalEnd:   date(2021, time.December, 2),
+		})
+		if err != nil {
+			panic(err)
+		}
+		benchRef = s
+	})
+	return benchRef
+}
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	s := benchStudy(b)
+	// Benchmark one month of full-universe daily snapshots — the unit
+	// of work behind Table 1's statistics.
+	start := date(2021, time.June, 1)
+	b.ResetTimer()
+	var responses uint64
+	for i := 0; i < b.N; i++ {
+		res := scan.Run(scan.Campaign{
+			Universe: s.Universe,
+			Start:    start,
+			End:      start.AddDate(0, 0, 29),
+			Cadence:  scan.Daily,
+		})
+		responses = res.Stats.TotalResponses
+	}
+	b.ReportMetric(float64(responses), "responses/30d")
+}
+
+func BenchmarkFigure1DynamicFraction(b *testing.B) {
+	s := benchStudy(b)
+	series := s.DynamicitySeries()
+	announced := s.AnnouncedPrefixes()
+	b.ResetTimer()
+	dynCount := 0
+	for i := 0; i < b.N; i++ {
+		res := dynamicity.Analyze(series, dynamicity.PaperConfig())
+		entries := dynamicity.MapToAnnounced(res, announced)
+		_ = dynamicity.DistributionBySize(entries)
+		dynCount = len(res.DynamicPrefixes)
+	}
+	b.ReportMetric(float64(dynCount), "dynamic/24s")
+}
+
+func BenchmarkTable2BackoffSchedule(b *testing.B) {
+	// Verify and measure the schedule arithmetic: the Table 2 walk must
+	// yield 12+6+3+2 bounded probes then hourly ones.
+	for i := 0; i < b.N; i++ {
+		bo := reactive.NewBackoff(reactive.PaperBackoff())
+		total := time.Duration(0)
+		for p := 0; p < 23; p++ {
+			d, ok := bo.Next()
+			if !ok {
+				b.Fatal("schedule ran out")
+			}
+			total += d
+		}
+		if total != 4*time.Hour {
+			b.Fatalf("first 23 probes span %v, want 4h", total)
+		}
+	}
+}
+
+// observeLeakWindow replays the section-5 input into a fresh analyzer.
+func observeLeakWindow(s *core.Study, cfg privleak.Config) *privleak.Result {
+	dyn := s.Dynamicity()
+	dynSet := make(map[string]bool, len(dyn.DynamicPrefixes))
+	for _, p := range dyn.DynamicPrefixes {
+		dynSet[p.String()] = true
+	}
+	a := privleak.NewAnalyzer(cfg)
+	at := s.Cfg.DynamicityEnd.Add(13 * time.Hour)
+	scan.SnapshotRecords(scan.Campaign{Universe: s.Universe}, at, func(r netsim.Record) {
+		a.Observe(privleak.RecordObservation{
+			IP: r.IP, HostName: r.HostName,
+			Dynamic: dynSet[r.IP.Slash24().String()],
+		})
+	})
+	return a.Finish()
+}
+
+func BenchmarkFigure2GivenNames(b *testing.B) {
+	s := benchStudy(b)
+	s.Dynamicity() // warm the cache outside the timer
+	b.ResetTimer()
+	matches := 0
+	for i := 0; i < b.N; i++ {
+		res := observeLeakWindow(s, s.Cfg.LeakThresholds)
+		matches = 0
+		for _, c := range res.AllNameMatches {
+			matches += c
+		}
+	}
+	b.ReportMetric(float64(matches), "name-matches")
+}
+
+func BenchmarkFigure3DeviceTerms(b *testing.B) {
+	s := benchStudy(b)
+	s.Dynamicity()
+	b.ResetTimer()
+	terms := 0
+	for i := 0; i < b.N; i++ {
+		res := observeLeakWindow(s, s.Cfg.LeakThresholds)
+		terms = 0
+		for _, c := range res.AllDeviceTerms {
+			terms += c
+		}
+	}
+	b.ReportMetric(float64(terms), "device-terms")
+}
+
+func BenchmarkFigure4NetworkTypes(b *testing.B) {
+	s := benchStudy(b)
+	s.Dynamicity()
+	b.ResetTimer()
+	identified := 0
+	for i := 0; i < b.N; i++ {
+		res := observeLeakWindow(s, s.Cfg.LeakThresholds)
+		identified = len(res.Identified)
+		_ = res.TypeBreakdown()
+	}
+	b.ReportMetric(float64(identified), "identified")
+}
+
+func BenchmarkTable3SupplementalStats(b *testing.B) {
+	s := benchStudy(b)
+	s.Supplemental() // the packet-level campaign runs once, outside the timer
+	b.ResetTimer()
+	var r core.Table3Result
+	for i := 0; i < b.N; i++ {
+		r = s.Table3()
+	}
+	b.ReportMetric(float64(r.RDNSResponses), "rdns-responses")
+}
+
+func BenchmarkTable4NetworkObservability(b *testing.B) {
+	s := benchStudy(b)
+	s.Supplemental()
+	b.ResetTimer()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(s.Table4().Rows)
+	}
+	b.ReportMetric(float64(rows), "networks")
+}
+
+func BenchmarkTable5GroupFunnel(b *testing.B) {
+	s := benchStudy(b)
+	res := s.Supplemental()
+	b.ResetTimer()
+	var f reactive.Funnel
+	for i := 0; i < b.N; i++ {
+		f = res.Funnel()
+	}
+	b.ReportMetric(float64(f.All), "groups")
+	b.ReportMetric(100*f.Fraction(3), "reliable-pct")
+}
+
+func BenchmarkFigure6DNSErrors(b *testing.B) {
+	s := benchStudy(b)
+	s.Supplemental()
+	b.ResetTimer()
+	days := 0
+	for i := 0; i < b.N; i++ {
+		days = len(s.Figure6().Days)
+	}
+	b.ReportMetric(float64(days), "days")
+}
+
+func BenchmarkFigure7aTimingHistogram(b *testing.B) {
+	s := benchStudy(b)
+	res := s.Supplemental()
+	b.ResetTimer()
+	var h *analysis.Histogram
+	for i := 0; i < b.N; i++ {
+		h = analysis.NewHistogram(0, 180, 36)
+		for _, d := range res.RemovalDeltas("") {
+			h.Observe(d)
+		}
+	}
+	b.ReportMetric(float64(h.Total()), "samples")
+}
+
+func BenchmarkFigure7bTimingCDF(b *testing.B) {
+	s := benchStudy(b)
+	s.Supplemental()
+	b.ResetTimer()
+	within60 := 0.0
+	for i := 0; i < b.N; i++ {
+		within60 = s.Figure7b().Within60Overall
+	}
+	b.ReportMetric(100*within60, "within-60m-pct")
+}
+
+func BenchmarkFigure8LifeOfBrian(b *testing.B) {
+	s := benchStudy(b)
+	res := s.Supplemental()
+	b.ResetTimer()
+	tracks := 0
+	for i := 0; i < b.N; i++ {
+		tracks = len(casestudy.TrackName(res, "Academic-A", "brian"))
+	}
+	b.ReportMetric(float64(tracks), "brian-devices")
+}
+
+func BenchmarkFigure9WorkFromHome(b *testing.B) {
+	s := benchStudy(b)
+	res := s.NetworkDaily("Academic-A") // campaign cached outside the timer
+	b.ResetTimer()
+	drop := 0.0
+	for i := 0; i < b.N; i++ {
+		totals := casestudy.EntrySeries(res.Series, nil)
+		rep := casestudy.WFH("Academic-A", totals, date(2020, time.March, 16))
+		drop = rep.PrePandemicMean - rep.LockdownMean
+	}
+	b.ReportMetric(drop, "lockdown-drop-pts")
+}
+
+func BenchmarkFigure10CampusCrossover(b *testing.B) {
+	s := benchStudy(b)
+	n, _ := s.Universe.NetworkByName("Academic-C")
+	edu, housing := netsim.EducationHousingSplit(n)
+	daily := s.NetworkDaily("Academic-C")
+	b.ResetTimer()
+	var crossed float64
+	for i := 0; i < b.N; i++ {
+		rep := casestudy.Crossover(
+			casestudy.EntrySeries(daily.Series, edu),
+			casestudy.EntrySeries(daily.Series, housing),
+			date(2020, time.February, 1), 7)
+		if !rep.Crossover.IsZero() {
+			crossed = 1
+		}
+	}
+	b.ReportMetric(crossed, "crossover-found")
+}
+
+func BenchmarkFigure11HeistTiming(b *testing.B) {
+	s := benchStudy(b)
+	res := s.Supplemental()
+	from := date(2021, time.November, 8)
+	b.ResetTimer()
+	quiet := 0
+	for i := 0; i < b.N; i++ {
+		quiet = casestudy.Heist(res, "Academic-A", from, from.AddDate(0, 0, 7)).QuietestHourOfDay
+	}
+	b.ReportMetric(float64(quiet), "quietest-hour")
+}
+
+func BenchmarkValidationCampusGroundTruth(b *testing.B) {
+	// The full Section 4.1 validation: build the ground-truth campus,
+	// scan it for the three-month window, run the heuristic, and check
+	// perfect recovery — per iteration.
+	for i := 0; i < b.N; i++ {
+		campus, truth, err := netsim.BuildValidationCampus(uint64(i)+1, time.UTC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := &netsim.Universe{Networks: []*netsim.Network{campus}}
+		res := scan.Run(scan.Campaign{
+			Universe: u,
+			Start:    date(2021, time.January, 1),
+			End:      date(2021, time.March, 31),
+			Cadence:  scan.Daily,
+		})
+		verdict := dynamicity.Analyze(res.Series, dynamicity.PaperConfig())
+		if len(verdict.DynamicPrefixes) != len(truth["dynamic"]) {
+			b.Fatalf("found %d dynamic prefixes, want %d",
+				len(verdict.DynamicPrefixes), len(truth["dynamic"]))
+		}
+	}
+}
+
+// renderAll exercises every Render path (kept out of the numbers above).
+func BenchmarkRenderAllExperiments(b *testing.B) {
+	s := benchStudy(b)
+	s.Supplemental()
+	s.Dynamicity()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range core.ExperimentIDs() {
+			if id == "table1" || id == "validation" {
+				continue // heavyweight; benched separately
+			}
+			r, err := s.RunExperiment(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.Render(io.Discard)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dataset"
+	"rdnsprivacy/internal/dnswire"
+)
+
+func TestSeriesFromRows(t *testing.T) {
+	day1 := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	day2 := day1.AddDate(0, 0, 1)
+	name := dnswire.MustName("h.example.edu")
+	rows := []dataset.Row{
+		{Date: day1, IP: dnswire.MustIPv4("10.0.0.1"), PTR: name},
+		{Date: day1, IP: dnswire.MustIPv4("10.0.0.2"), PTR: name},
+		// Duplicate observation on the same day must count once.
+		{Date: day1, IP: dnswire.MustIPv4("10.0.0.2"), PTR: name},
+		{Date: day2, IP: dnswire.MustIPv4("10.0.0.1"), PTR: name},
+		// A different /24.
+		{Date: day2, IP: dnswire.MustIPv4("10.0.1.9"), PTR: name},
+	}
+	series := seriesFromRows(rows)
+	if len(series.Dates) != 2 {
+		t.Fatalf("dates = %v", series.Dates)
+	}
+	p1 := dnswire.MustPrefix("10.0.0.0/24")
+	p2 := dnswire.MustPrefix("10.0.1.0/24")
+	if got := series.Counts[p1]; got[0] != 2 || got[1] != 1 {
+		t.Fatalf("p1 counts = %v", got)
+	}
+	if got := series.Counts[p2]; got[0] != 0 || got[1] != 1 {
+		t.Fatalf("p2 counts = %v", got)
+	}
+}
+
+func TestSeriesFromRowsEmpty(t *testing.T) {
+	series := seriesFromRows(nil)
+	if len(series.Dates) != 0 || len(series.Counts) != 0 {
+		t.Fatalf("series = %+v", series)
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestConfigForScale(t *testing.T) {
+	for _, scale := range []string{"tiny", "small", "full"} {
+		cfg, err := configForScale(scale, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", scale, err)
+		}
+		if cfg.Seed != 7 {
+			t.Fatalf("%s: seed = %d", scale, cfg.Seed)
+		}
+	}
+	tiny, _ := configForScale("tiny", 1)
+	small, _ := configForScale("small", 1)
+	if tiny.Universe.FillerSlash24s >= small.Universe.FillerSlash24s {
+		t.Fatal("tiny not smaller than small")
+	}
+	if _, err := configForScale("galactic", 1); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}

@@ -1,0 +1,119 @@
+// Command leakfind runs the Section 5 privacy-leak identification over a
+// CSV of reverse-DNS observations (date,ip,ptr): it excludes router-level
+// records, matches given names, aggregates per hostname suffix, applies the
+// unique-name and ratio thresholds, and prints the identified networks with
+// their type breakdown.
+//
+//	leakfind -input observations.csv [-dynamic dynprefixes.txt] \
+//	         [-min-names 18] [-min-ratio 0.03]
+//
+// The optional -dynamic file lists one /24 per line (the output of
+// cmd/dynfind); without it, every observation is treated as dynamic, which
+// matches running the tool on data already restricted to dynamic space.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rdnsprivacy/internal/dataset"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/names"
+	"rdnsprivacy/internal/privleak"
+)
+
+func main() {
+	input := flag.String("input", "", "CSV of date,ip,ptr observations")
+	dynFile := flag.String("dynamic", "", "file listing dynamic /24 prefixes (one per line)")
+	minNames := flag.Int("min-names", 18, "minimum unique given names per suffix")
+	minRatio := flag.Float64("min-ratio", 0.03, "minimum unique-names/records ratio")
+	flag.Parse()
+
+	if *input == "" {
+		fmt.Fprintln(os.Stderr, "need -input")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	rows, err := dataset.ReadRows(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var dynSet map[dnswire.Prefix]bool
+	if *dynFile != "" {
+		dynSet, err = readPrefixes(*dynFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	a := privleak.NewAnalyzer(privleak.Config{
+		MinUniqueNames: *minNames,
+		MinRatio:       *minRatio,
+		GivenNames:     names.Top50,
+	})
+	seen := map[string]bool{}
+	for _, r := range rows {
+		key := r.IP.String() + "|" + string(r.PTR)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		dynamic := dynSet == nil || dynSet[r.IP.Slash24()]
+		a.Observe(privleak.RecordObservation{IP: r.IP, HostName: r.PTR, Dynamic: dynamic})
+	}
+	res := a.Finish()
+
+	fmt.Printf("identified %d leaking networks (of %d suffixes with name matches)\n\n",
+		len(res.Identified), len(res.Suffixes))
+	fmt.Println("suffix,type,records,unique_names,ratio")
+	for _, s := range res.Identified {
+		fmt.Printf("%s,%s,%d,%d,%.3f\n", s.Suffix, s.Type, s.Records, s.UniqueNames, s.Ratio())
+	}
+	fmt.Println()
+	byType := res.TypeBreakdown()
+	fmt.Println("type breakdown:")
+	for t, c := range byType {
+		fmt.Printf("  %-12s %d\n", t, c)
+	}
+}
+
+func readPrefixes(path string) (map[dnswire.Prefix]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[dnswire.Prefix]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Accept the dynfind CSV shape too (prefix,max,days).
+		if i := strings.IndexByte(line, ','); i > 0 {
+			line = line[:i]
+		}
+		if line == "prefix" {
+			continue
+		}
+		p, err := dnswire.ParsePrefix(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", line, err)
+		}
+		out[p] = true
+	}
+	return out, sc.Err()
+}

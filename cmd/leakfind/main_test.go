@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rdnsprivacy/internal/dnswire"
+)
+
+func TestReadPrefixes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dyn.txt")
+	content := `# comment
+prefix,max_daily,change_days
+10.0.1.0/24,120,14
+10.0.2.0/24
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readPrefixes(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("prefixes = %v", got)
+	}
+	for _, want := range []string{"10.0.1.0/24", "10.0.2.0/24"} {
+		if !got[dnswire.MustPrefix(want)] {
+			t.Fatalf("missing %s in %v", want, got)
+		}
+	}
+}
+
+func TestReadPrefixesRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(path, []byte("not-a-prefix\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readPrefixes(path); err == nil {
+		t.Fatal("garbage prefix accepted")
+	}
+}

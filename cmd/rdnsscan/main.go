@@ -1,0 +1,165 @@
+// Command rdnsscan is a zdns-style reverse DNS scanner: it issues PTR
+// queries for every address of a prefix against a name server over UDP and
+// prints the results as CSV (the output format of the paper's custom
+// measurement tooling, Section 6.1).
+//
+// Point it at a server started with cmd/simnet, or at any DNS server that
+// answers in-addr.arpa queries:
+//
+//	rdnsscan -server 127.0.0.1:5353 -prefix 10.0.0.0/24
+//	rdnsscan -server 127.0.0.1:5353 -ip 10.0.0.17
+//
+// With -watch it polls the prefix and prints record-set deltas — the
+// "capturing DNS changes" tracker of the paper's Section 2.1:
+//
+//	rdnsscan -server 127.0.0.1:5353 -prefix 10.0.0.0/24 -watch -interval 10s
+//
+// And -axfr attempts a zone transfer, the one-query enumeration open on
+// misconfigured servers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rdnsprivacy/internal/dnsclient"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/scan"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:5353", "name server host:port")
+	prefix := flag.String("prefix", "", "CIDR prefix to scan (e.g. 10.0.0.0/24)")
+	single := flag.String("ip", "", "single address to look up")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-query timeout")
+	retries := flag.Int("retries", 1, "retransmissions after timeout")
+	rate := flag.Int("rate", 0, "max queries per second (0 = unlimited)")
+	onlyFound := flag.Bool("only-found", false, "print only NOERROR results")
+	axfr := flag.String("axfr", "", "attempt an AXFR of the given zone over TCP instead of scanning")
+	watch := flag.Bool("watch", false, "poll the prefix and print record-set changes")
+	interval := flag.Duration("interval", 30*time.Second, "polling interval for -watch")
+	flag.Parse()
+
+	client := &dnsclient.UDPClient{Server: *server, Timeout: *timeout, Retries: *retries}
+
+	if *axfr != "" {
+		zone, err := dnswire.ParseName(*axfr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		records, err := client.TransferZone(zone)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "transfer failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("name,type,data")
+		for _, rr := range records {
+			fmt.Printf("%s,%s,%s\n", rr.Name, rr.Type, rr.Data)
+		}
+		fmt.Fprintf(os.Stderr, "transferred %d records in one query\n", len(records))
+		return
+	}
+
+	var ips []dnswire.IPv4
+	switch {
+	case *single != "":
+		ip, err := dnswire.ParseIPv4(*single)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ips = []dnswire.IPv4{ip}
+	case *prefix != "":
+		p, err := dnswire.ParsePrefix(*prefix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		n := p.NumAddresses()
+		for i := 0; i < n; i++ {
+			ips = append(ips, p.Nth(i))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -prefix or -ip")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *watch {
+		if *prefix == "" {
+			fmt.Fprintln(os.Stderr, "-watch needs -prefix")
+			os.Exit(2)
+		}
+		watchLoop(client, ips, *interval, *rate)
+		return
+	}
+
+	fmt.Println("ip,outcome,ptr,rtt_ms")
+	var queryGap time.Duration
+	if *rate > 0 {
+		queryGap = time.Second / time.Duration(*rate)
+	}
+	found, errors := 0, 0
+	for _, ip := range ips {
+		resp, err := client.LookupPTR(ip)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", ip, err)
+			errors++
+			continue
+		}
+		if resp.Outcome == dnsclient.OutcomeSuccess {
+			found++
+		}
+		if !*onlyFound || resp.Outcome == dnsclient.OutcomeSuccess {
+			fmt.Printf("%s,%s,%s,%.1f\n", ip, resp.Outcome, resp.PTR,
+				float64(resp.RTT.Microseconds())/1000)
+		}
+		if queryGap > 0 {
+			time.Sleep(queryGap)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "scanned %d addresses: %d records, %d errors\n",
+		len(ips), found, errors)
+}
+
+// watchLoop polls the address set and prints deltas as they appear.
+func watchLoop(client *dnsclient.UDPClient, ips []dnswire.IPv4, interval time.Duration, rate int) {
+	var queryGap time.Duration
+	if rate > 0 {
+		queryGap = time.Second / time.Duration(rate)
+	}
+	snapshot := func() scan.RecordSet {
+		rs := scan.RecordSet{}
+		for _, ip := range ips {
+			resp, err := client.LookupPTR(ip)
+			if err == nil && resp.Outcome == dnsclient.OutcomeSuccess {
+				rs[ip] = resp.PTR
+			}
+			if queryGap > 0 {
+				time.Sleep(queryGap)
+			}
+		}
+		return rs
+	}
+	prev := snapshot()
+	fmt.Fprintf(os.Stderr, "baseline: %d records; watching every %s\n", len(prev), interval)
+	for {
+		time.Sleep(interval)
+		cur := snapshot()
+		for _, ch := range scan.DiffRecords(prev, cur) {
+			now := time.Now().Format("15:04:05")
+			switch ch.Kind {
+			case scan.RecordAdded:
+				fmt.Printf("%s  + %-16s %s\n", now, ch.IP, ch.New)
+			case scan.RecordRemoved:
+				fmt.Printf("%s  - %-16s %s\n", now, ch.IP, ch.Old)
+			case scan.RecordChanged:
+				fmt.Printf("%s  ~ %-16s %s -> %s\n", now, ch.IP, ch.Old, ch.New)
+			}
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,162 @@
+// Command simnet boots a small leaking network on the local machine: a
+// DHCP server whose clients join and leave on accelerated schedules, an
+// IPAM updater publishing their Host Names into reverse DNS, and an
+// authoritative name server answering on a real UDP socket.
+//
+// While it runs, any DNS client can watch the privacy leak live:
+//
+//	simnet -listen 127.0.0.1:5353 &
+//	rdnsscan -server 127.0.0.1:5353 -prefix 10.0.0.0/24 -only-found
+//	dig -p 5353 @127.0.0.1 -x 10.0.0.17
+//
+// Clients cycle every -period (default 40s) with -lease (default 1m)
+// leases, so records appear and linger exactly as in the paper, just on a
+// faster clock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"rdnsprivacy/internal/dhcp"
+	"rdnsprivacy/internal/dhcpwire"
+	"rdnsprivacy/internal/dnsserver"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/ipam"
+	"rdnsprivacy/internal/netsim"
+	"rdnsprivacy/internal/simclock"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5353", "UDP address for the DNS server")
+	prefixStr := flag.String("prefix", "10.0.0.0/24", "simulated client /24")
+	suffix := flag.String("suffix", "dyn.campus-a.edu", "hostname suffix for published records")
+	period := flag.Duration("period", 40*time.Second, "mean client session length")
+	lease := flag.Duration("lease", time.Minute, "DHCP lease time")
+	clients := flag.Int("clients", 12, "number of simulated client devices")
+	policy := flag.String("policy", "carry-over", "IPAM policy: carry-over, hashed, none")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	allowAXFR := flag.Bool("allow-axfr", false, "serve AXFR zone transfers (the classic misconfiguration)")
+	flag.Parse()
+
+	prefix, err := dnswire.ParsePrefix(*prefixStr)
+	if err != nil || prefix.Bits != 24 {
+		fmt.Fprintln(os.Stderr, "prefix must be a /24")
+		os.Exit(2)
+	}
+	suffixName, err := dnswire.ParseName(*suffix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var pol ipam.Policy
+	switch *policy {
+	case "carry-over":
+		pol = ipam.PolicyCarryOver
+	case "hashed":
+		pol = ipam.PolicyHashed
+	case "none":
+		pol = ipam.PolicyNone
+	default:
+		fmt.Fprintln(os.Stderr, "unknown policy", *policy)
+		os.Exit(2)
+	}
+
+	// Operator side: zone, updater, DHCP server — on the real clock.
+	origin, err := dnswire.ReverseZoneFor24(prefix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ns, _ := suffixName.Prepend("ns1")
+	mbox, _ := suffixName.Prepend("hostmaster")
+	zone := dnsserver.NewZone(dnsserver.ZoneConfig{
+		Origin: origin, PrimaryNS: ns, Mbox: mbox,
+	})
+	srv := dnsserver.NewServer()
+	srv.AddZone(zone)
+	updater := ipam.NewUpdater(ipam.Config{Policy: pol, Suffix: suffixName})
+	if err := updater.AttachZone(zone); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	clock := simclock.Real{}
+	dhcpSrv := dhcp.NewServer(clock, dhcp.ServerConfig{
+		ServerIP:  prefix.Nth(1),
+		Pools:     []dnswire.Prefix{prefix},
+		LeaseTime: *lease,
+		Sink:      updater,
+	})
+
+	// Client side: devices joining and leaving forever.
+	rng := rand.New(rand.NewSource(*seed))
+	owners := []string{"brian", "emma", "jacob", "olivia", "noah", "mia",
+		"liam", "sophia", "lucas", "ava", "ethan", "emily"}
+	kinds := []netsim.DeviceKind{
+		netsim.KindIPhone, netsim.KindIPad, netsim.KindMacBookAir,
+		netsim.KindMacBookPro, netsim.KindGalaxyPhone, netsim.KindGalaxyNote,
+		netsim.KindDellLaptop, netsim.KindWindowsDesktop,
+	}
+	for i := 0; i < *clients; i++ {
+		owner := owners[i%len(owners)]
+		kind := kinds[rng.Intn(len(kinds))]
+		host := netsim.HostNameFor(kind, owner, rng)
+		mac := dhcpwire.HardwareAddr{2, 0, 0, 0, 0, byte(i + 1)}
+		release := i%3 != 0 // a third of the devices leave silently
+		go runClient(clock, dhcpSrv, host, mac, release, *period, rng.Int63())
+	}
+
+	srv.SetTransferPolicy(*allowAXFR)
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if ln, err := net.Listen("tcp", *listen); err == nil {
+		go srv.ServeTCP(ln)
+		if *allowAXFR {
+			fmt.Printf("simnet: AXFR transfers OPEN on %s (try rdnsscan -axfr)\n", ln.Addr())
+		}
+	}
+	fmt.Printf("simnet: authoritative DNS for %s on %s\n", origin, conn.LocalAddr())
+	fmt.Printf("simnet: %d clients cycling in %s, policy %s, lease %s\n",
+		*clients, prefix, pol, *lease)
+	fmt.Printf("simnet: try  dig -p %d @127.0.0.1 -x %s\n",
+		conn.LocalAddr().(*net.UDPAddr).Port, prefix.Nth(10))
+	if err := srv.Serve(conn); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runClient cycles one device: join, stay a while, leave, pause, repeat.
+func runClient(clock simclock.Clock, srv *dhcp.Server, host string,
+	mac dhcpwire.HardwareAddr, release bool, period time.Duration, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	client := dhcp.NewClient(clock, srv, dhcp.ClientConfig{
+		CHAddr: mac, HostName: host, SendRelease: release,
+	})
+	for {
+		ip, err := client.Join()
+		if err == nil {
+			fmt.Printf("%s  join   %-16s %s\n",
+				time.Now().Format("15:04:05"), ip, host)
+		}
+		stay := period/2 + time.Duration(rng.Int63n(int64(period)))
+		time.Sleep(stay)
+		if err == nil {
+			mode := "release"
+			if !release {
+				mode = "silent (record lingers until lease expiry)"
+			}
+			client.Leave()
+			fmt.Printf("%s  leave  %-16s %s  [%s]\n",
+				time.Now().Format("15:04:05"), ip, host, mode)
+		}
+		time.Sleep(period/4 + time.Duration(rng.Int63n(int64(period/2))))
+	}
+}

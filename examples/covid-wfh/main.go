@@ -1,0 +1,60 @@
+// Covid-wfh reproduces the paper's work-from-home case study (§7.2,
+// Figures 9 and 10) on a custom pair of networks: an enterprise whose
+// employees are sent home, and a campus where education buildings empty
+// while student housing fills — observed purely through daily reverse-DNS
+// snapshot counts, the way OpenINTEL data reveals it.
+//
+//	go run ./examples/covid-wfh
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rdnsprivacy/internal/casestudy"
+	"rdnsprivacy/internal/core"
+	"rdnsprivacy/internal/netsim"
+	"rdnsprivacy/internal/privleak"
+	"rdnsprivacy/internal/textplot"
+)
+
+func main() {
+	study, err := core.NewStudy(core.Config{
+		Seed: 3,
+		Universe: netsim.UniverseConfig{
+			FillerSlash24s:        400,
+			LeakyNetworks:         12,
+			NonLeakyDynamic:       2,
+			PeoplePerDynamicBlock: 20,
+		},
+		LeakThresholds: privleak.Config{MinUniqueNames: 8, MinRatio: 0.02},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Scanning two years of daily reverse-DNS snapshots (2020-2021)...")
+	fmt.Println()
+
+	// Figure 9 for the study's selected networks.
+	study.Figure9().Render(os.Stdout)
+
+	// Figure 10: the campus-internal story, education vs housing.
+	study.Figure10().Render(os.Stdout)
+
+	// And the same drop measured directly for one enterprise, with raw
+	// counts, to show the analysis is just daily record counting.
+	res := study.NetworkDaily("Enterprise-C")
+	totals := casestudy.EntrySeries(res.Series, nil)
+	rep := casestudy.WFH("Enterprise-C", totals, time.Date(2021, 3, 15, 0, 0, 0, 0, time.UTC))
+	textplot.Table(os.Stdout, "Enterprise-C: daily PTR-count means around its WFH mandate",
+		[]string{"Window", "Mean (percent of max)"},
+		[][]string{
+			{"before 2021-03-15", fmt.Sprintf("%.1f%%", rep.PrePandemicMean)},
+			{"April-May 2021", fmt.Sprintf("%.1f%%", rep.LockdownMean)},
+		})
+	fmt.Println("No packets ever entered these networks: every number above came from")
+	fmt.Println("publicly queryable PTR records changing as employees stayed home.")
+}

@@ -1,0 +1,109 @@
+// Mitigation compares the IPAM policies the paper discusses in Section 8,
+// side by side: the same network, the same clients, observed by the same
+// outside scanner — under carry-over (the leak), hashed identifiers (the
+// paper's "using some sort of hash seems prudent"), static-form names, and
+// no publication at all. It also demonstrates RFC 4702's client-side "do
+// not update DNS" flag, which only helps when the operator honours it.
+//
+//	go run ./examples/mitigation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rdnsprivacy/internal/dhcp"
+	"rdnsprivacy/internal/dhcpwire"
+	"rdnsprivacy/internal/dnsserver"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/ipam"
+	"rdnsprivacy/internal/simclock"
+)
+
+var clients = []struct {
+	host  string
+	fqdnN bool // sets the RFC 4702 "no DNS update" bit
+}{
+	{"Brian's iPhone", false},
+	{"Emma's MacBook-Air", false},
+	{"Jacobs-Galaxy-Note9", false},
+	{"privacy-aware-laptop", true},
+}
+
+func main() {
+	for _, policy := range []ipam.Policy{
+		ipam.PolicyCarryOver, ipam.PolicyHashed, ipam.PolicyStaticForm, ipam.PolicyNone,
+	} {
+		show(policy, false)
+	}
+	fmt.Println("With HonorClientNoUpdate (RFC 4702 N bit respected), under carry-over:")
+	show(ipam.PolicyCarryOver, true)
+	fmt.Println("Note the hashed policy: names are hidden, but records still appear and")
+	fmt.Println("disappear with the clients — presence tracking (Sections 6-7) survives")
+	fmt.Println("every policy except static-form and none.")
+}
+
+// show runs the same four clients under one policy and prints the zone.
+func show(policy ipam.Policy, honorN bool) {
+	clock := simclock.NewSimulated(time.Date(2021, 11, 1, 9, 0, 0, 0, time.UTC))
+	prefix := dnswire.MustPrefix("192.0.2.0/24")
+	origin, err := dnswire.ReverseZoneFor24(prefix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	zone := dnsserver.NewZone(dnsserver.ZoneConfig{
+		Origin:    origin,
+		PrimaryNS: dnswire.MustName("ns1.corp.example.com"),
+		Mbox:      dnswire.MustName("hostmaster.corp.example.com"),
+	})
+	updater := ipam.NewUpdater(ipam.Config{
+		Policy:              policy,
+		Suffix:              dnswire.MustName("dyn.corp.example.com"),
+		HonorClientNoUpdate: honorN,
+		StaticPools:         []dnswire.Prefix{prefix},
+	})
+	if err := updater.AttachZone(zone); err != nil {
+		log.Fatal(err)
+	}
+	srv := dhcp.NewServer(clock, dhcp.ServerConfig{
+		ServerIP:  prefix.Nth(1),
+		Pools:     []dnswire.Prefix{prefix},
+		LeaseTime: time.Hour,
+		Sink:      updater,
+	})
+
+	var ips []dnswire.IPv4
+	for i, c := range clients {
+		cfg := dhcp.ClientConfig{
+			CHAddr:   dhcpwire.HardwareAddr{2, 0, 0, 0, 0, byte(i + 1)},
+			HostName: c.host,
+		}
+		if c.fqdnN {
+			cfg.ClientFQDN = &dhcpwire.ClientFQDN{
+				Flags: dhcpwire.FQDNNoUpdate,
+				Name:  c.host,
+			}
+		}
+		ip, err := dhcp.NewClient(clock, srv, cfg).Join()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ips = append(ips, ip)
+	}
+
+	title := fmt.Sprintf("Policy %v", policy)
+	if honorN {
+		title += " + honour N bit"
+	}
+	fmt.Printf("%s — what an outside PTR scan sees:\n", title)
+	for i, ip := range ips {
+		target, ok := zone.LookupPTR(dnswire.ReverseName(ip))
+		shown := string(target)
+		if !ok {
+			shown = "(no record)"
+		}
+		fmt.Printf("  %-16s %-22s -> %s\n", ip, clients[i].host, shown)
+	}
+	fmt.Printf("  (zone holds %d records total)\n\n", zone.Len())
+}

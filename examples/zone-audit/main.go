@@ -1,0 +1,131 @@
+// Zone-audit plays the auditor (or attacker) against an operator who made
+// two mistakes at once: carry-over of DHCP Host Names into reverse DNS,
+// and open AXFR zone transfers. One TCP query dumps the whole zone; the
+// Section 5 analysis then reads the device inventory out of it — no
+// address scanning required.
+//
+//	go run ./examples/zone-audit
+//
+// Everything runs on loopback sockets: a real DNS server, a real transfer,
+// a real analysis.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"rdnsprivacy/internal/dhcp"
+	"rdnsprivacy/internal/dhcpwire"
+	"rdnsprivacy/internal/dnsclient"
+	"rdnsprivacy/internal/dnsserver"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/ipam"
+	"rdnsprivacy/internal/names"
+	"rdnsprivacy/internal/privleak"
+	"rdnsprivacy/internal/simclock"
+)
+
+func main() {
+	// ── The operator's side ────────────────────────────────────────
+	prefix := dnswire.MustPrefix("10.77.0.0/24")
+	origin, err := dnswire.ReverseZoneFor24(prefix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	zone := dnsserver.NewZone(dnsserver.ZoneConfig{
+		Origin:    origin,
+		PrimaryNS: dnswire.MustName("ns1.corp-z.com"),
+		Mbox:      dnswire.MustName("hostmaster.corp-z.com"),
+	})
+	srv := dnsserver.NewServer()
+	srv.AddZone(zone)
+	srv.SetTransferPolicy(true) // mistake #2: transfers open
+	updater := ipam.NewUpdater(ipam.Config{
+		Policy: ipam.PolicyCarryOver, // mistake #1: carry-over
+		Suffix: dnswire.MustName("dyn.corp-z.com"),
+	})
+	if err := updater.AttachZone(zone); err != nil {
+		log.Fatal(err)
+	}
+	dhcpSrv := dhcp.NewServer(simclock.Real{}, dhcp.ServerConfig{
+		ServerIP:  prefix.Nth(1),
+		Pools:     []dnswire.Prefix{prefix},
+		LeaseTime: time.Hour,
+		Sink:      updater,
+	})
+	// A morning's worth of employees join.
+	for i, owner := range []string{"jacob", "emma", "olivia", "noah", "mia",
+		"liam", "sophia", "lucas", "ava", "ethan", "brian"} {
+		kind := "s-iPhone"
+		if i%3 == 1 {
+			kind = "s-MacBook-Pro"
+		}
+		if i%3 == 2 {
+			kind = "s-Galaxy-S10"
+		}
+		cl := dhcp.NewClient(simclock.Real{}, dhcpSrv, dhcp.ClientConfig{
+			CHAddr:   dhcpwire.HardwareAddr{2, 0, 0, 0, 0, byte(i + 1)},
+			HostName: owner + kind,
+		})
+		if _, err := cl.Join(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	udpConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer udpConn.Close()
+	go srv.Serve(udpConn)
+	addr := udpConn.LocalAddr().String()
+	tcpLn, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tcpLn.Close()
+	go srv.ServeTCP(tcpLn)
+	fmt.Printf("operator: authoritative DNS for %s on %s (AXFR open)\n\n", origin, addr)
+
+	// ── The auditor's side: one query, whole zone ──────────────────
+	client := &dnsclient.UDPClient{Server: addr, Timeout: 3 * time.Second}
+	records, err := client.TransferZone(origin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auditor: AXFR returned %d records in a single TCP query\n\n", len(records))
+
+	// Feed the transfer straight into the Section 5 analysis.
+	a := privleak.NewAnalyzer(privleak.Config{
+		MinUniqueNames: 5, MinRatio: 0.1,
+		GivenNames: append(append([]string{}, names.Top50...), names.Extra...),
+	})
+	for _, rr := range records {
+		ptr, ok := rr.Data.(dnswire.PTRData)
+		if !ok {
+			continue
+		}
+		ip, err := dnswire.ParseReverseName(rr.Name)
+		if err != nil {
+			continue
+		}
+		a.Observe(privleak.RecordObservation{IP: ip, HostName: ptr.Target, Dynamic: true})
+	}
+	res := a.Finish()
+
+	for _, rep := range res.Identified {
+		fmt.Printf("finding: suffix %s leaks %d distinct given names over %d records (ratio %.2f)\n",
+			rep.Suffix, rep.UniqueNames, rep.Records, rep.Ratio())
+		fmt.Printf("         device terms seen: ")
+		for term, c := range rep.DeviceTermCounts {
+			fmt.Printf("%s(%d) ", term, c)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nremediation, in order of impact:")
+	fmt.Println("  1. stop carrying DHCP Host Names into PTR records (policy: hashed or static-form)")
+	fmt.Println("  2. close zone transfers (SetTransferPolicy(false) / allow-transfer {...})")
+	fmt.Println("  3. shorten record lifetimes so lingering after departure shrinks")
+}

@@ -1,0 +1,3 @@
+module rdnsprivacy
+
+go 1.22

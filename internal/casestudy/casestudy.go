@@ -1,0 +1,236 @@
+// Package casestudy implements the three Section 7 analyses:
+//
+//   - Life of Brian(s) (§7.1, Figure 8): track every device whose published
+//     hostname carries a target given name across weeks of supplemental
+//     measurement, building a per-device weekly presence raster.
+//   - Working from home (§7.2, Figures 9 and 10): longitudinal
+//     percent-of-maximum rDNS entry counts per network, revealing COVID-19
+//     lockdown phases and the education/housing crossover.
+//   - When to stage a heist (§7.3, Figure 11): hourly activity profiles
+//     from the supplemental measurement, locating the quietest hour.
+package casestudy
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"rdnsprivacy/internal/analysis"
+	"rdnsprivacy/internal/dataset"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/reactive"
+)
+
+// Presence is one activity interval of one tracked device.
+type Presence struct {
+	// Device is the hostname's first label (brians-iphone).
+	Device string
+	// IP is the address used during the interval; the paper colour-codes
+	// these.
+	IP dnswire.IPv4
+	// From and To delimit the interval.
+	From, To time.Time
+}
+
+// DeviceTrack aggregates the presence history of one device hostname.
+type DeviceTrack struct {
+	Device    string
+	Intervals []Presence
+	// UniqueIPs is how many distinct addresses the device appeared on.
+	UniqueIPs int
+}
+
+// TrackName builds Figure 8: it scans supplemental groups for hostnames
+// whose first label starts with the possessive form of the given name
+// ("brian" matches brians-iphone, brians-mbp, ...), restricted to one
+// network, and returns one track per device hostname, sorted by name.
+func TrackName(res *reactive.Results, network, givenName string) []*DeviceTrack {
+	prefix := strings.ToLower(givenName) + "s-"
+	alt := strings.ToLower(givenName) + "-"
+	tracks := make(map[string]*DeviceTrack)
+	for _, g := range res.Groups {
+		if g.Network != network || g.FirstPTR == "" {
+			continue
+		}
+		labels := g.FirstPTR.Labels()
+		if len(labels) == 0 {
+			continue
+		}
+		device := labels[0]
+		if !strings.HasPrefix(device, prefix) && !strings.HasPrefix(device, alt) {
+			continue
+		}
+		tr, ok := tracks[device]
+		if !ok {
+			tr = &DeviceTrack{Device: device}
+			tracks[device] = tr
+		}
+		end := g.LastAlive
+		if end.Before(g.Start) {
+			end = g.Start
+		}
+		tr.Intervals = append(tr.Intervals, Presence{
+			Device: device, IP: g.IP, From: g.Start, To: end,
+		})
+	}
+	out := make([]*DeviceTrack, 0, len(tracks))
+	for _, tr := range tracks {
+		sort.Slice(tr.Intervals, func(i, j int) bool {
+			return tr.Intervals[i].From.Before(tr.Intervals[j].From)
+		})
+		ips := make(map[dnswire.IPv4]bool)
+		for _, iv := range tr.Intervals {
+			ips[iv.IP] = true
+		}
+		tr.UniqueIPs = len(ips)
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+// PresentOn reports whether the track has any presence within [from, to).
+func (t *DeviceTrack) PresentOn(from, to time.Time) bool {
+	for _, iv := range t.Intervals {
+		if iv.From.Before(to) && iv.To.After(from) {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstSeen returns the start of the earliest interval.
+func (t *DeviceTrack) FirstSeen() time.Time {
+	if len(t.Intervals) == 0 {
+		return time.Time{}
+	}
+	return t.Intervals[0].From
+}
+
+// EntrySeries converts a count series restricted to a set of /24s into a
+// daily total series — the building block of Figures 9 and 10.
+func EntrySeries(s *dataset.CountSeries, prefixes []dnswire.Prefix) analysis.Series {
+	include := func(p dnswire.Prefix) bool {
+		if prefixes == nil {
+			return true
+		}
+		for _, q := range prefixes {
+			if q.Contains(p.Addr) {
+				return true
+			}
+		}
+		return false
+	}
+	out := analysis.Series{
+		Dates:  s.Dates,
+		Values: make([]float64, len(s.Dates)),
+	}
+	for p, row := range s.Counts {
+		if !include(p) {
+			continue
+		}
+		for i, c := range row {
+			out.Values[i] += float64(c)
+		}
+	}
+	return out
+}
+
+// WFHReport is the Figure 9 product for one network.
+type WFHReport struct {
+	Network string
+	// PercentOfMax is the normalized daily entry series.
+	PercentOfMax analysis.Series
+	// PrePandemicMean and LockdownMean summarize the drop: mean percent
+	// before March 2020 and in April-May 2020 (or, for enterprises whose
+	// mandate lands in 2021, April-May 2021).
+	PrePandemicMean float64
+	LockdownMean    float64
+}
+
+// WFH computes a Figure 9 row from a network's daily totals.
+func WFH(network string, totals analysis.Series, lockdownStart time.Time) WFHReport {
+	pm := totals.PercentOfMax()
+	return WFHReport{
+		Network:         network,
+		PercentOfMax:    pm,
+		PrePandemicMean: pm.MeanBetween(pm.Dates[0], lockdownStart),
+		LockdownMean:    pm.MeanBetween(lockdownStart.AddDate(0, 0, 14), lockdownStart.AddDate(0, 0, 75)),
+	}
+}
+
+// CrossoverReport is the Figure 10 product: education vs housing series and
+// the detected crossover date.
+type CrossoverReport struct {
+	Education, Housing analysis.Series
+	// Crossover is the first date education entries drop to or below
+	// housing entries (in percent-of-max terms), the March-2020 signal.
+	Crossover time.Time
+}
+
+// Crossover computes the Figure 10 analysis. minRun is how many
+// consecutive samples education must stay at or below housing before the
+// crossover counts (this keeps one-holiday dips like Carnaval from
+// registering as the lockdown).
+func Crossover(edu, housing analysis.Series, searchFrom time.Time, minRun int) CrossoverReport {
+	e, h := edu.PercentOfMax(), housing.PercentOfMax()
+	return CrossoverReport{
+		Education: e,
+		Housing:   h,
+		Crossover: analysis.CrossoverAfter(e, h, searchFrom, minRun),
+	}
+}
+
+// HeistReport is the Figure 11 product.
+type HeistReport struct {
+	Network string
+	// Hours is the raw hourly activity over the window.
+	Hours []*reactive.HourCount
+	// QuietestHourOfDay is the local hour (0-23) with the least average
+	// rDNS-observed activity on weekdays — the paper's answer is around
+	// 6 AM.
+	QuietestHourOfDay int
+	// BusiestHourOfDay is the opposite end.
+	BusiestHourOfDay int
+}
+
+// Heist computes the Figure 11 analysis over one week of supplemental
+// hourly counts for a network.
+func Heist(res *reactive.Results, network string, from, to time.Time) HeistReport {
+	rep := HeistReport{Network: network}
+	sums := make([]float64, 24)
+	counts := make([]int, 24)
+	for _, hc := range res.Hours[network] {
+		if hc.Hour.Before(from) || !hc.Hour.Before(to) {
+			continue
+		}
+		rep.Hours = append(rep.Hours, hc)
+		wd := hc.Hour.Weekday()
+		if wd == time.Saturday || wd == time.Sunday {
+			continue
+		}
+		h := hc.Hour.Hour()
+		sums[h] += float64(hc.ICMP + hc.RDNS)
+		counts[h]++
+	}
+	sort.Slice(rep.Hours, func(i, j int) bool { return rep.Hours[i].Hour.Before(rep.Hours[j].Hour) })
+	quiet, busy := 0, 0
+	for h := 1; h < 24; h++ {
+		if avg(sums, counts, h) < avg(sums, counts, quiet) {
+			quiet = h
+		}
+		if avg(sums, counts, h) > avg(sums, counts, busy) {
+			busy = h
+		}
+	}
+	rep.QuietestHourOfDay = quiet
+	rep.BusiestHourOfDay = busy
+	return rep
+}
+
+func avg(sums []float64, counts []int, h int) float64 {
+	if counts[h] == 0 {
+		return 0
+	}
+	return sums[h] / float64(counts[h])
+}

@@ -1,0 +1,146 @@
+package casestudy
+
+import (
+	"sort"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/reactive"
+)
+
+// This file implements the two tracking extensions the paper sketches
+// beyond its three case studies:
+//
+//   - Geotemporal (building-level) tracking (Section 8): "given recent
+//     findings that hostnames can encode building locations, it appears
+//     feasible that for some networks, rDNS data can be used to
+//     geotemporally track users at the building level." With
+//     subnet-to-building knowledge, the IP address a device's PTR appears
+//     under IS its location.
+//   - Cross-network tracking (Section 1): "might even be able to track
+//     clients across multiple networks." The same device name surfacing in
+//     two networks' reverse zones links them — e.g. a phone on campus by
+//     day and on its home ISP line at night ties a campus user to a
+//     residential address.
+
+// Visit is one building stay of a tracked device.
+type Visit struct {
+	Building string
+	IP       dnswire.IPv4
+	From, To time.Time
+}
+
+// GeoTrack follows one device hostname across buildings within a network,
+// using a subnet-to-building oracle (ground truth in the simulation; in
+// the wild, inferred from router hostnames or a-posteriori knowledge, as
+// the paper's Academic-C analysis was). Returns visits in time order.
+func GeoTrack(res *reactive.Results, network, device string, buildingFor func(dnswire.IPv4) (string, bool)) []Visit {
+	var visits []Visit
+	for _, g := range res.Groups {
+		if g.Network != network || g.FirstPTR == "" {
+			continue
+		}
+		labels := g.FirstPTR.Labels()
+		if len(labels) == 0 || labels[0] != device {
+			continue
+		}
+		building, ok := buildingFor(g.IP)
+		if !ok {
+			building = "(unknown)"
+		}
+		end := g.LastAlive
+		if end.Before(g.Start) {
+			end = g.Start
+		}
+		visits = append(visits, Visit{
+			Building: building, IP: g.IP, From: g.Start, To: end,
+		})
+	}
+	sort.Slice(visits, func(i, j int) bool { return visits[i].From.Before(visits[j].From) })
+	return mergeVisits(visits)
+}
+
+// mergeVisits collapses consecutive visits to the same building.
+func mergeVisits(in []Visit) []Visit {
+	if len(in) <= 1 {
+		return in
+	}
+	out := in[:1]
+	for _, v := range in[1:] {
+		last := &out[len(out)-1]
+		if v.Building == last.Building && v.IP == last.IP && !v.From.After(last.To.Add(time.Hour)) {
+			if v.To.After(last.To) {
+				last.To = v.To
+			}
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// DayItinerary filters visits to one local day, producing the subject's
+// movement schedule for that day.
+func DayItinerary(visits []Visit, day time.Time) []Visit {
+	next := day.AddDate(0, 0, 1)
+	var out []Visit
+	for _, v := range visits {
+		if v.From.Before(next) && v.To.After(day) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NetworkAppearance summarizes one device's presence in one network.
+type NetworkAppearance struct {
+	Network   string
+	Device    string
+	Sessions  int
+	FirstSeen time.Time
+	LastSeen  time.Time
+}
+
+// CrossNetworkTrack finds device hostnames carrying a given name that
+// appear in MORE than one of the measured networks, linking the networks
+// through the device. The result maps device name to its per-network
+// appearances, sorted by network name.
+func CrossNetworkTrack(res *reactive.Results, givenName string) map[string][]NetworkAppearance {
+	networks := map[string]bool{}
+	for _, g := range res.Groups {
+		networks[g.Network] = true
+	}
+	perDevice := map[string]map[string]*NetworkAppearance{}
+	for net := range networks {
+		for _, tr := range TrackName(res, net, givenName) {
+			if len(tr.Intervals) == 0 {
+				continue
+			}
+			byNet, ok := perDevice[tr.Device]
+			if !ok {
+				byNet = map[string]*NetworkAppearance{}
+				perDevice[tr.Device] = byNet
+			}
+			byNet[net] = &NetworkAppearance{
+				Network:   net,
+				Device:    tr.Device,
+				Sessions:  len(tr.Intervals),
+				FirstSeen: tr.Intervals[0].From,
+				LastSeen:  tr.Intervals[len(tr.Intervals)-1].To,
+			}
+		}
+	}
+	out := map[string][]NetworkAppearance{}
+	for device, byNet := range perDevice {
+		if len(byNet) < 2 {
+			continue // visible in one network only: no linkage
+		}
+		var apps []NetworkAppearance
+		for _, a := range byNet {
+			apps = append(apps, *a)
+		}
+		sort.Slice(apps, func(i, j int) bool { return apps[i].Network < apps[j].Network })
+		out[device] = apps
+	}
+	return out
+}

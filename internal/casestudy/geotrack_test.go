@@ -1,0 +1,110 @@
+package casestudy
+
+import (
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/reactive"
+)
+
+// mkGroup builds a closed reactive group for track tests.
+func mkGroup(network, host string, ip dnswire.IPv4, from, to time.Time) *reactive.Group {
+	return &reactive.Group{
+		Network:   network,
+		IP:        ip,
+		Start:     from,
+		LastAlive: to,
+		FirstPTR:  dnswire.MustName(host),
+		PTRSeen:   true,
+	}
+}
+
+func TestGeoTrackBuildsItinerary(t *testing.T) {
+	day := time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+	libIP := dnswire.MustIPv4("10.0.1.5")
+	hallIP := dnswire.MustIPv4("10.0.2.9")
+	res := &reactive.Results{Groups: []*reactive.Group{
+		mkGroup("Academic-A", "brians-phone.edu.campus-a.edu.", libIP,
+			day.Add(9*time.Hour), day.Add(11*time.Hour)),
+		mkGroup("Academic-A", "brians-phone.edu.campus-a.edu.", hallIP,
+			day.Add(13*time.Hour), day.Add(15*time.Hour)),
+		// A different device must not pollute the track.
+		mkGroup("Academic-A", "emmas-phone.edu.campus-a.edu.", libIP,
+			day.Add(9*time.Hour), day.Add(10*time.Hour)),
+	}}
+	buildings := map[dnswire.IPv4]string{libIP: "library", hallIP: "hall"}
+	visits := GeoTrack(res, "Academic-A", "brians-phone",
+		func(ip dnswire.IPv4) (string, bool) {
+			b, ok := buildings[ip]
+			return b, ok
+		})
+	if len(visits) != 2 {
+		t.Fatalf("visits = %+v", visits)
+	}
+	if visits[0].Building != "library" || visits[1].Building != "hall" {
+		t.Fatalf("buildings = %s, %s", visits[0].Building, visits[1].Building)
+	}
+	itinerary := DayItinerary(visits, day)
+	if len(itinerary) != 2 {
+		t.Fatalf("itinerary = %+v", itinerary)
+	}
+	if len(DayItinerary(visits, day.AddDate(0, 0, 1))) != 0 {
+		t.Fatal("itinerary leaked into the next day")
+	}
+}
+
+func TestGeoTrackMergesAdjacentVisits(t *testing.T) {
+	day := time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+	ip := dnswire.MustIPv4("10.0.1.5")
+	res := &reactive.Results{Groups: []*reactive.Group{
+		mkGroup("A", "brians-phone.x.edu.", ip, day.Add(9*time.Hour), day.Add(10*time.Hour)),
+		mkGroup("A", "brians-phone.x.edu.", ip, day.Add(10*time.Hour+30*time.Minute), day.Add(12*time.Hour)),
+	}}
+	visits := GeoTrack(res, "A", "brians-phone",
+		func(dnswire.IPv4) (string, bool) { return "library", true })
+	if len(visits) != 1 {
+		t.Fatalf("adjacent same-building visits not merged: %+v", visits)
+	}
+	if visits[0].To.Sub(visits[0].From) != 3*time.Hour {
+		t.Fatalf("merged span = %v", visits[0].To.Sub(visits[0].From))
+	}
+}
+
+func TestGeoTrackUnknownBuilding(t *testing.T) {
+	day := time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+	res := &reactive.Results{Groups: []*reactive.Group{
+		mkGroup("A", "brians-phone.x.edu.", dnswire.MustIPv4("10.9.9.9"),
+			day.Add(9*time.Hour), day.Add(10*time.Hour)),
+	}}
+	visits := GeoTrack(res, "A", "brians-phone",
+		func(dnswire.IPv4) (string, bool) { return "", false })
+	if len(visits) != 1 || visits[0].Building != "(unknown)" {
+		t.Fatalf("visits = %+v", visits)
+	}
+}
+
+func TestCrossNetworkTrackLinksOnlyMultiNetworkDevices(t *testing.T) {
+	day := time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+	res := &reactive.Results{Groups: []*reactive.Group{
+		// brians-mbp on campus and at home: linked.
+		mkGroup("Academic-A", "brians-mbp.edu.campus-a.edu.", dnswire.MustIPv4("10.0.1.5"),
+			day.Add(12*time.Hour), day.Add(13*time.Hour)),
+		mkGroup("ISP-A", "brians-mbp.dyn.isp-a.net.", dnswire.MustIPv4("10.8.1.9"),
+			day.Add(19*time.Hour), day.Add(23*time.Hour)),
+		// brians-ipad on campus only: not linked.
+		mkGroup("Academic-A", "brians-ipad.edu.campus-a.edu.", dnswire.MustIPv4("10.0.1.6"),
+			day.Add(9*time.Hour), day.Add(10*time.Hour)),
+	}}
+	linked := CrossNetworkTrack(res, "brian")
+	if len(linked) != 1 {
+		t.Fatalf("linked = %v", linked)
+	}
+	apps, ok := linked["brians-mbp"]
+	if !ok || len(apps) != 2 {
+		t.Fatalf("apps = %+v", apps)
+	}
+	if apps[0].Network != "Academic-A" || apps[1].Network != "ISP-A" {
+		t.Fatalf("apps = %+v", apps)
+	}
+}

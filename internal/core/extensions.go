@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"rdnsprivacy/internal/casestudy"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/textplot"
+)
+
+// This file holds the extension experiments beyond the paper's published
+// tables and figures — the threats the paper sketches in Section 1 and
+// Section 8 and leaves as future work:
+//
+//   - ext-geotrack: building-level geotemporal tracking of one device.
+//   - ext-crossnet: linking a device (and so its owner) across networks.
+
+// GeoTrackResult is the building-level tracking extension.
+type GeoTrackResult struct {
+	Network string
+	Device  string
+	// Itinerary is the subject's movement schedule for one sample day.
+	Itinerary []casestudy.Visit
+	// Day is the sampled day.
+	Day time.Time
+	// Buildings is the number of distinct buildings visited over the
+	// whole window.
+	Buildings int
+}
+
+// ExtGeoTrack follows the roaming phone planted on Academic-A across
+// buildings, using the numbering plan's subnet-to-building ground truth as
+// the oracle (the paper used a-posteriori knowledge of its own campus the
+// same way).
+func (s *Study) ExtGeoTrack() GeoTrackResult {
+	res := s.Supplemental()
+	n, _ := s.Universe.NetworkByName("Academic-A")
+	visits := casestudy.GeoTrack(res, "Academic-A", "brians-galaxy-s10",
+		func(ip dnswire.IPv4) (string, bool) { return n.BuildingFor(ip) })
+
+	out := GeoTrackResult{Network: "Academic-A", Device: "brians-galaxy-s10"}
+	distinct := map[string]bool{}
+	for _, v := range visits {
+		distinct[v.Building] = true
+	}
+	out.Buildings = len(distinct)
+	// Sample the first full weekday of the window.
+	day := s.Cfg.SupplementalStart
+	for day.Weekday() == time.Saturday || day.Weekday() == time.Sunday {
+		day = day.AddDate(0, 0, 1)
+	}
+	out.Day = day
+	out.Itinerary = casestudy.DayItinerary(visits, day)
+	return out
+}
+
+// Render writes the itinerary.
+func (r GeoTrackResult) Render(w io.Writer) {
+	rows := make([][]string, 0, len(r.Itinerary))
+	for _, v := range r.Itinerary {
+		rows = append(rows, []string{
+			v.From.Format("15:04"), v.To.Format("15:04"), v.Building, v.IP.String(),
+		})
+	}
+	textplot.Table(w, fmt.Sprintf(
+		"Extension (Section 8): geotracking %s on %s, %s",
+		r.Device, r.Network, r.Day.Format("2006-01-02 Mon")),
+		[]string{"From", "To", "Building", "Address"}, rows)
+	fmt.Fprintf(w, "  distinct buildings over the window: %d\n", r.Buildings)
+	fmt.Fprintf(w, "  (every row derives from PTR records alone plus subnet-to-building\n"+
+		"   knowledge — the paper's \"track a Brian around campus as he goes\n"+
+		"   from lecture to lecture\")\n\n")
+}
+
+// CrossNetResult is the cross-network linkage extension.
+type CrossNetResult struct {
+	GivenName string
+	// Linked maps device hostnames to their per-network appearances.
+	Linked map[string][]casestudy.NetworkAppearance
+}
+
+// ExtCrossNet looks for Brian devices visible in more than one measured
+// network — the campus-by-day, home-ISP-by-night linkage of Section 1.
+func (s *Study) ExtCrossNet() CrossNetResult {
+	return CrossNetResult{
+		GivenName: "brian",
+		Linked:    casestudy.CrossNetworkTrack(s.Supplemental(), "brian"),
+	}
+}
+
+// Render writes the linkage table.
+func (r CrossNetResult) Render(w io.Writer) {
+	devices := make([]string, 0, len(r.Linked))
+	for d := range r.Linked {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+	var rows [][]string
+	for _, d := range devices {
+		for _, a := range r.Linked[d] {
+			rows = append(rows, []string{
+				d, a.Network, fmt.Sprint(a.Sessions),
+				a.FirstSeen.Format("01-02 15:04"), a.LastSeen.Format("01-02 15:04"),
+			})
+		}
+	}
+	textplot.Table(w, fmt.Sprintf(
+		"Extension (Section 1): '%s' devices linked across networks", r.GivenName),
+		[]string{"Device", "Network", "Sessions", "First seen", "Last seen"}, rows)
+	if len(devices) > 0 {
+		fmt.Fprintf(w, "  the same hostname in two reverse zones ties the networks together:\n"+
+			"   an academic network by day and a residential ISP line by night links\n"+
+			"   a campus user to a home address.\n\n")
+	} else {
+		fmt.Fprintf(w, "  (no cross-network devices in this window)\n\n")
+	}
+}

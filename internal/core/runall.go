@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Renderer is any experiment result that can write itself as text.
+type Renderer interface {
+	Render(w io.Writer)
+}
+
+// ExperimentIDs lists the experiment identifiers RunExperiment accepts, in
+// paper order.
+func ExperimentIDs() []string {
+	return []string{
+		"table1", "fig1", "validation", "fig2", "fig3", "fig4",
+		"table2", "table3", "table4", "table5", "fig6", "fig7a", "fig7b",
+		"fig8", "fig9", "fig10", "fig11", "ext-geotrack", "ext-crossnet",
+	}
+}
+
+// RunExperiment executes one experiment by ID and returns its renderer.
+func (s *Study) RunExperiment(id string) (Renderer, error) {
+	switch id {
+	case "table1":
+		return s.Table1(), nil
+	case "fig1":
+		return s.Figure1(), nil
+	case "validation":
+		v, err := s.Validation()
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	case "fig2":
+		return s.Figure2(), nil
+	case "fig3":
+		return s.Figure3(), nil
+	case "fig4":
+		return s.Figure4(), nil
+	case "table2":
+		return s.Table2(), nil
+	case "table3":
+		return s.Table3(), nil
+	case "table4":
+		return s.Table4(), nil
+	case "table5":
+		return s.Table5(), nil
+	case "fig6":
+		return s.Figure6(), nil
+	case "fig7a":
+		return s.Figure7a(), nil
+	case "fig7b":
+		return s.Figure7b(), nil
+	case "fig8":
+		return s.Figure8(), nil
+	case "fig9":
+		return s.Figure9(), nil
+	case "fig10":
+		return s.Figure10(), nil
+	case "fig11":
+		return s.Figure11(), nil
+	case "ext-geotrack":
+		return s.ExtGeoTrack(), nil
+	case "ext-crossnet":
+		return s.ExtCrossNet(), nil
+	}
+	return nil, fmt.Errorf("core: unknown experiment %q (known: %v)", id, ExperimentIDs())
+}
+
+// RunAll executes every experiment in paper order, writing each rendering
+// (and timing) to w.
+func (s *Study) RunAll(w io.Writer) error {
+	for _, id := range ExperimentIDs() {
+		started := time.Now()
+		r, err := s.RunExperiment(id)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		r.Render(w)
+		fmt.Fprintf(w, "  [%s computed in %v]\n\n", id, time.Since(started).Round(time.Millisecond))
+	}
+	return nil
+}

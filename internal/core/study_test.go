@@ -1,0 +1,290 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/casestudy"
+	"rdnsprivacy/internal/netsim"
+	"rdnsprivacy/internal/privleak"
+)
+
+// tinyConfig builds a study small enough for unit tests: few networks,
+// short windows. The supplemental window still spans Thanksgiving and
+// Cyber Monday 2021 so Figure 8 has its signal.
+func tinyConfig() Config {
+	return Config{
+		Seed: 11,
+		Universe: netsim.UniverseConfig{
+			FillerSlash24s:        600,
+			LeakyNetworks:         12,
+			NonLeakyDynamic:       3,
+			PeoplePerDynamicBlock: 16,
+		},
+		// Tiny-scale thresholds: populations are ~3.5x below the
+		// default scale, so the unique-name floor shrinks with them.
+		LeakThresholds: privleak.Config{MinUniqueNames: 8, MinRatio: 0.02},
+		// Longitudinal windows keep the paper's dates (they must span
+		// the COVID-19 signal); the dynamicity and supplemental
+		// windows shrink to keep the test fast.
+		DynamicityStart:   date(2020, time.September, 7),
+		DynamicityEnd:     date(2020, time.October, 19),
+		SupplementalStart: date(2021, time.November, 15),
+		SupplementalEnd:   date(2021, time.December, 2),
+	}
+}
+
+var sharedStudy *Study
+
+// study returns a shared tiny study so expensive pipelines are computed
+// once across tests.
+func study(t *testing.T) *Study {
+	t.Helper()
+	if sharedStudy == nil {
+		s, err := NewStudy(tinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedStudy = s
+	}
+	return sharedStudy
+}
+
+func TestDynamicityPipeline(t *testing.T) {
+	s := study(t)
+	dyn := s.Dynamicity()
+	if dyn.TotalPrefixes == 0 {
+		t.Fatal("no prefixes seen")
+	}
+	if len(dyn.DynamicPrefixes) == 0 {
+		t.Fatal("no dynamic prefixes found")
+	}
+	// Dynamic prefixes are a small fraction of the universe (the paper
+	// finds 2.2%; filler dominates the denominator).
+	frac := float64(len(dyn.DynamicPrefixes)) / float64(dyn.TotalPrefixes)
+	if frac > 0.25 {
+		t.Fatalf("dynamic fraction = %.2f; filler missing from denominator?", frac)
+	}
+}
+
+func TestPrivLeakIdentifiesNetworks(t *testing.T) {
+	s := study(t)
+	leak := s.PrivLeak()
+	if len(leak.Identified) == 0 {
+		t.Fatal("no identified networks")
+	}
+	found := map[string]bool{}
+	for _, rep := range leak.Identified {
+		found[rep.Suffix] = true
+	}
+	if !found["campus-a.edu"] {
+		t.Errorf("campus-a.edu not identified; got %v", found)
+	}
+}
+
+func TestSupplementalProducesGroups(t *testing.T) {
+	s := study(t)
+	res := s.Supplemental()
+	f := res.Funnel()
+	if f.All == 0 || f.Reverted == 0 || f.Reliable == 0 {
+		t.Fatalf("funnel = %+v", f)
+	}
+	if f.Successful > f.All || f.Reverted > f.Successful || f.Reliable > f.Reverted {
+		t.Fatalf("funnel not monotone: %+v", f)
+	}
+}
+
+func TestFigure7bNineOfTen(t *testing.T) {
+	s := study(t)
+	r := s.Figure7b()
+	if len(r.CDFs) == 0 {
+		t.Fatal("no CDFs")
+	}
+	// The paper's headline: ~9 of 10 records revert within an hour. At
+	// tiny scale allow a broad band around it.
+	if r.Within60Overall < 0.6 {
+		t.Fatalf("within-60m fraction = %.2f, want >= 0.6", r.Within60Overall)
+	}
+	// ICMP-blocked networks must have no curve.
+	for _, blocked := range []string{"Academic-B", "Enterprise-B", "Enterprise-C"} {
+		if _, ok := r.CDFs[blocked]; ok {
+			t.Errorf("CDF exists for ICMP-blocking network %s", blocked)
+		}
+	}
+}
+
+func TestFigure8BrianTracks(t *testing.T) {
+	s := study(t)
+	r := s.Figure8()
+	if len(r.Tracks) < 3 {
+		names := []string{}
+		for _, tr := range r.Tracks {
+			names = append(names, tr.Device)
+		}
+		t.Fatalf("tracks = %v, want the planted Brian devices", names)
+	}
+	if r.Note9FirstSeen.IsZero() {
+		t.Fatal("galaxy-note9 never seen")
+	}
+	cyberMonday := date(2021, time.November, 29)
+	if r.Note9FirstSeen.Before(cyberMonday) {
+		t.Fatalf("note9 first seen %v, before Cyber Monday", r.Note9FirstSeen)
+	}
+}
+
+func TestFigure11QuietHourIsEarlyMorning(t *testing.T) {
+	s := study(t)
+	// The tiny study's supplemental window starts Nov 15; profile its
+	// first full week rather than the default (Nov 1) week.
+	from := date(2021, time.November, 15)
+	rep := casestudy.Heist(s.Supplemental(), "Academic-A", from, from.AddDate(0, 0, 7))
+	if len(rep.Hours) == 0 {
+		t.Fatal("no hourly data for Academic-A")
+	}
+	// The quietest hour falls in the night / early morning (paper: ~6AM)
+	// and the busiest during the day.
+	if rep.QuietestHourOfDay > 8 {
+		t.Fatalf("quietest hour = %02d:00, want night/early morning", rep.QuietestHourOfDay)
+	}
+	if rep.BusiestHourOfDay < 8 || rep.BusiestHourOfDay > 23 {
+		t.Fatalf("busiest hour = %02d:00, want daytime/evening", rep.BusiestHourOfDay)
+	}
+}
+
+func TestTable4Observability(t *testing.T) {
+	s := study(t)
+	r := s.Table4()
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(r.Rows))
+	}
+	byName := map[string]Table4Row{}
+	for _, row := range r.Rows {
+		byName[row.Network] = row
+	}
+	if byName["Academic-A"].Observed == 0 {
+		t.Fatal("Academic-A observed nothing")
+	}
+	for _, blocked := range []string{"Enterprise-B", "Enterprise-C"} {
+		if byName[blocked].Observed != 0 {
+			t.Fatalf("%s observed %d addresses despite blocking ICMP",
+				blocked, byName[blocked].Observed)
+		}
+	}
+	// ISPs respond but sparsely compared to the campus.
+	if byName["ISP-B"].ObservedPct >= byName["Academic-A"].ObservedPct {
+		t.Fatalf("ISP-B (%.1f%%) not sparser than Academic-A (%.1f%%)",
+			byName["ISP-B"].ObservedPct, byName["Academic-A"].ObservedPct)
+	}
+}
+
+func TestFigure9LockdownDrop(t *testing.T) {
+	s := study(t)
+	r := s.Figure9()
+	if len(r.Reports) != 5 {
+		t.Fatalf("reports = %d", len(r.Reports))
+	}
+	for _, rep := range r.Reports {
+		if rep.Network != "Academic-A" && rep.Network != "Academic-B" && rep.Network != "Academic-C" {
+			continue
+		}
+		if !(rep.LockdownMean < rep.PrePandemicMean) {
+			t.Errorf("%s: lockdown mean %.1f not below pre-pandemic %.1f",
+				rep.Network, rep.LockdownMean, rep.PrePandemicMean)
+		}
+	}
+}
+
+func TestFigure10Crossover(t *testing.T) {
+	s := study(t)
+	r := s.Figure10()
+	if r.Daily.Crossover.IsZero() {
+		t.Fatal("no education/housing crossover detected")
+	}
+	// The crossover must land in March/April 2020 (the lockdown).
+	if r.Daily.Crossover.Before(date(2020, time.March, 1)) ||
+		r.Daily.Crossover.After(date(2020, time.April, 30)) {
+		t.Fatalf("crossover at %v, want March/April 2020", r.Daily.Crossover)
+	}
+}
+
+func TestValidationExperiment(t *testing.T) {
+	s := study(t)
+	v, err := s.Validation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.TruePositives != 40 || v.FalseNegatives != 0 || v.StaticFlagged != 0 {
+		t.Fatalf("validation = %+v", v)
+	}
+}
+
+func TestRunAllRenders(t *testing.T) {
+	s := study(t)
+	var buf bytes.Buffer
+	if err := s.RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Figure 1", "Figure 2", "Figure 3", "Figure 4",
+		"Table 2", "Table 3", "Table 4", "Table 5", "Figure 6",
+		"Figure 7a", "Figure 7b", "Figure 8", "Figure 9", "Figure 10",
+		"Figure 11", "validation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}
+
+func TestExtGeoTrackFollowsRoamingPhone(t *testing.T) {
+	s := study(t)
+	r := s.ExtGeoTrack()
+	if r.Buildings < 3 {
+		t.Fatalf("buildings = %d, want the roaming phone in >= 3 buildings", r.Buildings)
+	}
+	if len(r.Itinerary) < 3 {
+		t.Fatalf("itinerary = %+v", r.Itinerary)
+	}
+	// The script starts the day in the library and ends in the dorm.
+	if r.Itinerary[0].Building != "library" {
+		t.Fatalf("first stop = %s, want library", r.Itinerary[0].Building)
+	}
+	last := r.Itinerary[len(r.Itinerary)-1]
+	if last.Building != "dorm-west" {
+		t.Fatalf("last stop = %s, want dorm-west", last.Building)
+	}
+}
+
+func TestExtCrossNetLinksMBP(t *testing.T) {
+	s := study(t)
+	r := s.ExtCrossNet()
+	apps, ok := r.Linked["brians-mbp"]
+	if !ok {
+		t.Fatalf("brians-mbp not linked; linked set: %v", keysOf(r.Linked))
+	}
+	nets := map[string]bool{}
+	for _, a := range apps {
+		nets[a.Network] = true
+	}
+	if !nets["Academic-A"] || !nets["ISP-A"] {
+		t.Fatalf("linked networks = %v, want Academic-A and ISP-A", nets)
+	}
+}
+
+func keysOf(m map[string][]casestudy.NetworkAppearance) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	s := study(t)
+	if _, err := s.RunExperiment("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+)
+
+var day = time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRowsCSVRoundTrip(t *testing.T) {
+	rows := []Row{
+		{Date: day, IP: dnswire.MustIPv4("192.0.2.10"), PTR: dnswire.MustName("brians-iphone.dyn.example.edu")},
+		{Date: day.AddDate(0, 0, 1), IP: dnswire.MustIPv4("192.0.2.11"), PTR: dnswire.MustName("emma-laptop.dyn.example.edu")},
+	}
+	var buf bytes.Buffer
+	if err := WriteRows(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, rows)
+	}
+}
+
+func TestReadRowsRejectsGarbage(t *testing.T) {
+	if _, err := ReadRows(bytes.NewBufferString("date,ip,ptr\nnot-a-date,192.0.2.1,x.example.\n")); err == nil {
+		t.Fatal("bad date accepted")
+	}
+	if _, err := ReadRows(bytes.NewBufferString("2021-01-01,999.0.2.1,x.example.\n")); err == nil {
+		t.Fatal("bad IP accepted")
+	}
+}
+
+func TestReadRowsEmpty(t *testing.T) {
+	rows, err := ReadRows(bytes.NewBufferString(""))
+	if err != nil || rows != nil {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+}
+
+func TestCountSeries(t *testing.T) {
+	dates := DateRange(day, day.AddDate(0, 0, 2), 1)
+	s := NewCountSeries(dates)
+	p := dnswire.MustPrefix("192.0.2.0/24")
+	s.Set(p, 0, 5)
+	s.Add(p, 1, 3)
+	s.Add(p, 1, 2)
+	if got := s.Counts[p]; got[0] != 5 || got[1] != 5 || got[2] != 0 {
+		t.Fatalf("counts = %v", got)
+	}
+	q := dnswire.MustPrefix("198.51.100.0/24")
+	s.SetConstant(q, 7)
+	if s.TotalOn(2) != 7 {
+		t.Fatalf("TotalOn(2) = %d", s.TotalOn(2))
+	}
+	prefixes := s.Prefixes()
+	if len(prefixes) != 2 || prefixes[0] != p || prefixes[1] != q {
+		t.Fatalf("Prefixes = %v", prefixes)
+	}
+}
+
+func TestStatsCollector(t *testing.T) {
+	c := NewStatsCollector("test")
+	name := dnswire.MustName("h.example.edu")
+	c.Observe(day.AddDate(0, 0, 2), dnswire.MustIPv4("192.0.2.1"), name)
+	c.Observe(day, dnswire.MustIPv4("192.0.2.1"), name)
+	c.Observe(day, dnswire.MustIPv4("192.0.2.2"), dnswire.MustName("g.example.edu"))
+	st := c.Stats()
+	if st.TotalResponses != 3 {
+		t.Fatalf("responses = %d", st.TotalResponses)
+	}
+	if st.UniqueIPs != 2 || st.UniquePTRs != 2 {
+		t.Fatalf("unique = %d/%d", st.UniqueIPs, st.UniquePTRs)
+	}
+	if !st.Start.Equal(day) || !st.End.Equal(day.AddDate(0, 0, 2)) {
+		t.Fatalf("range = %v..%v", st.Start, st.End)
+	}
+	c.ObserveRepeat(10)
+	if c.Stats().TotalResponses != 13 {
+		t.Fatalf("after repeat = %d", c.Stats().TotalResponses)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := Stats{Name: "x", Start: day, End: day, TotalResponses: 1, UniqueIPs: 2, UniquePTRs: 3}
+	if st.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

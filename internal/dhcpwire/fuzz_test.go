@@ -1,0 +1,49 @@
+package dhcpwire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// The DHCP server parses packets from arbitrary clients: no input may
+// panic the codec.
+
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(buf []byte) bool {
+		_, _ = Parse(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNeverPanicsOnMutatedMessages(t *testing.T) {
+	base := &Message{
+		XID:      0xABCD,
+		CHAddr:   HardwareAddr{2, 0, 0, 0, 0, 1},
+		Type:     Request,
+		HostName: "Brians-iPhone",
+		ClientFQDN: &ClientFQDN{
+			Flags: FQDNServerUpdates, Name: "brians-iphone.example.edu",
+		},
+		LeaseTime: time.Hour,
+	}
+	wire, err := base.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		mutated := append([]byte(nil), wire...)
+		for f := 0; f < 1+rng.Intn(4); f++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 << rng.Intn(8))
+		}
+		if rng.Intn(4) == 0 {
+			mutated = mutated[:rng.Intn(len(mutated))+1]
+		}
+		_, _ = Parse(mutated) // must not panic
+	}
+}

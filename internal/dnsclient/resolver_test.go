@@ -1,0 +1,274 @@
+package dnsclient
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnsserver"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/fabric"
+	"rdnsprivacy/internal/simclock"
+)
+
+var (
+	epoch      = time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+	serverAddr = fabric.Addr{IP: dnswire.MustIPv4("192.0.2.53"), Port: 53}
+	clientAddr = fabric.Addr{IP: dnswire.MustIPv4("198.51.100.1"), Port: 40001}
+)
+
+type testEnv struct {
+	clock  *simclock.Simulated
+	fab    *fabric.Fabric
+	server *dnsserver.Server
+	zone   *dnsserver.Zone
+	res    *Resolver
+}
+
+func newEnv(t *testing.T, cfg Config, fcfg fabric.Config) *testEnv {
+	t.Helper()
+	clock := simclock.NewSimulated(epoch)
+	fab := fabric.New(clock, fcfg)
+	srv := dnsserver.NewServer()
+	zone := dnsserver.NewZone(dnsserver.ZoneConfig{
+		Origin:    dnswire.MustName("2.0.192.in-addr.arpa"),
+		PrimaryNS: dnswire.MustName("ns1.example.edu"),
+		Mbox:      dnswire.MustName("hostmaster.example.edu"),
+	})
+	srv.AddZone(zone)
+	if _, err := srv.AttachFabric(fab, serverAddr); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Bind = clientAddr
+	cfg.Server = serverAddr
+	res, err := New(fab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{clock: clock, fab: fab, server: srv, zone: zone, res: res}
+}
+
+func TestLookupPTRSuccess(t *testing.T) {
+	env := newEnv(t, Config{}, fabric.Config{Latency: 5 * time.Millisecond})
+	ip := dnswire.MustIPv4("192.0.2.10")
+	env.zone.SetPTR(dnswire.ReverseName(ip), dnswire.MustName("brians-iphone.dyn.example.edu"))
+
+	var got *Response
+	env.res.LookupPTR(ip, func(r Response) { got = &r })
+	env.clock.Advance(time.Second)
+	if got == nil {
+		t.Fatal("lookup never completed")
+	}
+	if got.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %v", got.Outcome)
+	}
+	if got.PTR != dnswire.MustName("brians-iphone.dyn.example.edu") {
+		t.Fatalf("PTR = %q", got.PTR)
+	}
+	if got.RTT != 10*time.Millisecond {
+		t.Fatalf("RTT = %v, want 10ms", got.RTT)
+	}
+	if got.Attempts != 1 {
+		t.Fatalf("attempts = %d", got.Attempts)
+	}
+}
+
+func TestLookupPTRNXDomain(t *testing.T) {
+	env := newEnv(t, Config{}, fabric.Config{})
+	var got *Response
+	env.res.LookupPTR(dnswire.MustIPv4("192.0.2.77"), func(r Response) { got = &r })
+	env.clock.Advance(time.Second)
+	if got == nil || got.Outcome != OutcomeNXDomain {
+		t.Fatalf("got %+v, want NXDOMAIN", got)
+	}
+	if got.Outcome.IsError() {
+		t.Fatal("NXDOMAIN must not classify as an error (it is the record-absent signal)")
+	}
+}
+
+func TestLookupTimeoutAfterRetries(t *testing.T) {
+	env := newEnv(t, Config{Timeout: time.Second, Retries: 2}, fabric.Config{LossRate: 1.0, Seed: 9})
+	var got *Response
+	env.res.LookupPTR(dnswire.MustIPv4("192.0.2.10"), func(r Response) { got = &r })
+	env.clock.Advance(2 * time.Second)
+	if got != nil {
+		t.Fatalf("completed after %v despite retries pending", got.RTT)
+	}
+	env.clock.Advance(2 * time.Second)
+	if got == nil {
+		t.Fatal("lookup never timed out")
+	}
+	if got.Outcome != OutcomeTimeout || got.Attempts != 3 {
+		t.Fatalf("got %+v, want timeout after 3 attempts", got)
+	}
+	if !got.Outcome.IsError() {
+		t.Fatal("timeout must classify as an error")
+	}
+}
+
+func TestRetryRecoversFromLoss(t *testing.T) {
+	// 50% loss: with 4 retries the query should almost surely complete.
+	env := newEnv(t, Config{Timeout: 500 * time.Millisecond, Retries: 4},
+		fabric.Config{LossRate: 0.5, Seed: 7})
+	ip := dnswire.MustIPv4("192.0.2.10")
+	env.zone.SetPTR(dnswire.ReverseName(ip), dnswire.MustName("h.example.edu"))
+	var got *Response
+	env.res.LookupPTR(ip, func(r Response) { got = &r })
+	env.clock.Advance(time.Minute)
+	if got == nil {
+		t.Fatal("lookup never completed")
+	}
+	if got.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %v", got.Outcome)
+	}
+}
+
+func TestLookupServFail(t *testing.T) {
+	env := newEnv(t, Config{}, fabric.Config{})
+	env.server.SetFailureMode(dnsserver.FailureMode{ServFailRate: 1.0})
+	var got *Response
+	env.res.LookupPTR(dnswire.MustIPv4("192.0.2.10"), func(r Response) { got = &r })
+	env.clock.Advance(time.Second)
+	if got == nil || got.Outcome != OutcomeServFail {
+		t.Fatalf("got %+v, want SERVFAIL", got)
+	}
+}
+
+func TestLookupRefusedOutOfZone(t *testing.T) {
+	env := newEnv(t, Config{}, fabric.Config{})
+	var got *Response
+	env.res.LookupPTR(dnswire.MustIPv4("203.0.113.5"), func(r Response) { got = &r })
+	env.clock.Advance(time.Second)
+	if got == nil || got.Outcome != OutcomeRefused {
+		t.Fatalf("got %+v, want REFUSED", got)
+	}
+}
+
+func TestScanPTRCompleteAndClassified(t *testing.T) {
+	env := newEnv(t, Config{}, fabric.Config{Latency: time.Millisecond})
+	prefix := dnswire.MustPrefix("192.0.2.0/24")
+	// Populate every tenth address.
+	for i := 0; i < 256; i += 10 {
+		ip := prefix.Nth(i)
+		env.zone.SetPTR(dnswire.ReverseName(ip), dnswire.MustName("h.example.edu"))
+	}
+	var results []ScanResult
+	doneCalled := false
+	env.res.ScanPrefixPTR(prefix, func(sr ScanResult) { results = append(results, sr) },
+		func() { doneCalled = true })
+	env.clock.Advance(time.Minute)
+	if !doneCalled {
+		t.Fatal("scan never completed")
+	}
+	if len(results) != 256 {
+		t.Fatalf("results = %d, want 256", len(results))
+	}
+	success, nx := 0, 0
+	for _, sr := range results {
+		switch sr.Response.Outcome {
+		case OutcomeSuccess:
+			success++
+		case OutcomeNXDomain:
+			nx++
+		default:
+			t.Fatalf("unexpected outcome %v for %v", sr.Response.Outcome, sr.IP)
+		}
+	}
+	if success != 26 || nx != 230 {
+		t.Fatalf("success=%d nx=%d, want 26/230", success, nx)
+	}
+}
+
+func TestScanEmptySetCallsDone(t *testing.T) {
+	env := newEnv(t, Config{}, fabric.Config{})
+	done := false
+	env.res.ScanPTR(nil, nil, func() { done = true })
+	if !done {
+		t.Fatal("done not called for empty scan")
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	env := newEnv(t, Config{QueriesPerSecond: 10, Timeout: 100 * time.Millisecond}, fabric.Config{})
+	ip := dnswire.MustIPv4("192.0.2.10")
+	env.zone.SetPTR(dnswire.ReverseName(ip), dnswire.MustName("h.example.edu"))
+	done := 0
+	for i := 0; i < 20; i++ {
+		env.res.LookupPTR(ip, func(Response) { done++ })
+	}
+	env.clock.Advance(time.Second)
+	if done >= 20 {
+		t.Fatalf("all %d lookups done after 1s at 10 qps", done)
+	}
+	env.clock.Advance(2 * time.Second)
+	if done != 20 {
+		t.Fatalf("done = %d, want 20", done)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	env := newEnv(t, Config{}, fabric.Config{})
+	ip := dnswire.MustIPv4("192.0.2.10")
+	env.zone.SetPTR(dnswire.ReverseName(ip), dnswire.MustName("h.example.edu"))
+	env.res.LookupPTR(ip, func(Response) {})
+	env.res.LookupPTR(dnswire.MustIPv4("192.0.2.11"), func(Response) {})
+	env.clock.Advance(time.Second)
+	st := env.res.Stats()
+	if st.Queries != 2 || st.Success != 1 || st.NXDomain != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	cases := map[Outcome]string{
+		OutcomeSuccess:   "NOERROR",
+		OutcomeNXDomain:  "NXDOMAIN",
+		OutcomeNoData:    "NODATA",
+		OutcomeServFail:  "SERVFAIL",
+		OutcomeRefused:   "REFUSED",
+		OutcomeTimeout:   "TIMEOUT",
+		OutcomeMalformed: "MALFORMED",
+		Outcome(42):      "OUTCOME42",
+	}
+	for o, want := range cases {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+func TestUDPClientAgainstRealServer(t *testing.T) {
+	srv := dnsserver.NewServer()
+	zone := dnsserver.NewZone(dnsserver.ZoneConfig{
+		Origin:    dnswire.MustName("2.0.192.in-addr.arpa"),
+		PrimaryNS: dnswire.MustName("ns1.example.edu"),
+		Mbox:      dnswire.MustName("hostmaster.example.edu"),
+	})
+	srv.AddZone(zone)
+	ip := dnswire.MustIPv4("192.0.2.10")
+	zone.SetPTR(dnswire.ReverseName(ip), dnswire.MustName("brians-ipad.dyn.example.edu"))
+
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer conn.Close()
+	go srv.Serve(conn)
+
+	client := &UDPClient{Server: conn.LocalAddr().String(), Timeout: 2 * time.Second, Retries: 1}
+	resp, err := client.LookupPTR(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != OutcomeSuccess || resp.PTR != dnswire.MustName("brians-ipad.dyn.example.edu") {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// An absent record yields NXDOMAIN.
+	resp, err = client.LookupPTR(dnswire.MustIPv4("192.0.2.11"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != OutcomeNXDomain {
+		t.Fatalf("outcome = %v, want NXDOMAIN", resp.Outcome)
+	}
+}

@@ -1,0 +1,52 @@
+package dnsclient
+
+import (
+	"sync"
+
+	"rdnsprivacy/internal/dnswire"
+)
+
+// ScanResult pairs a scanned address with its lookup response.
+type ScanResult struct {
+	IP       dnswire.IPv4
+	Response Response
+}
+
+// ScanPTR looks up the PTR record for every address, massdns-style. each is
+// invoked per completed lookup (in completion order) and done once at the
+// end. Rate limiting and retries follow the resolver configuration.
+func (r *Resolver) ScanPTR(ips []dnswire.IPv4, each func(ScanResult), done func()) {
+	if len(ips) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	var mu sync.Mutex
+	remaining := len(ips)
+	for _, ip := range ips {
+		ip := ip
+		r.LookupPTR(ip, func(resp Response) {
+			if each != nil {
+				each(ScanResult{IP: ip, Response: resp})
+			}
+			mu.Lock()
+			remaining--
+			last := remaining == 0
+			mu.Unlock()
+			if last && done != nil {
+				done()
+			}
+		})
+	}
+}
+
+// ScanPrefixPTR scans every address in a prefix.
+func (r *Resolver) ScanPrefixPTR(p dnswire.Prefix, each func(ScanResult), done func()) {
+	n := p.NumAddresses()
+	ips := make([]dnswire.IPv4, n)
+	for i := 0; i < n; i++ {
+		ips[i] = p.Nth(i)
+	}
+	r.ScanPTR(ips, each, done)
+}

@@ -1,0 +1,82 @@
+package dnsclient
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/simclock"
+)
+
+// UDPClient is a small synchronous DNS client over real UDP sockets, used by
+// the command-line tools to query servers started with cmd/simnet (or any
+// other DNS server).
+type UDPClient struct {
+	// Server is the "host:port" of the name server.
+	Server string
+	// Timeout is the per-attempt read deadline. Default 2s.
+	Timeout time.Duration
+	// Retries is how many additional attempts follow a timeout.
+	Retries int
+}
+
+// LookupPTR performs a synchronous PTR lookup for ip.
+func (c *UDPClient) LookupPTR(ip dnswire.IPv4) (Response, error) {
+	return c.Lookup(dnswire.Question{
+		Name:  dnswire.ReverseName(ip),
+		Type:  dnswire.TypePTR,
+		Class: dnswire.ClassIN,
+	})
+}
+
+// Lookup performs a synchronous lookup of q against c.Server.
+func (c *UDPClient) Lookup(q dnswire.Question) (Response, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.Dial("udp", c.Server)
+	if err != nil {
+		return Response{}, fmt.Errorf("dnsclient: dial: %w", err)
+	}
+	defer conn.Close()
+
+	id := uint16(rand.Intn(1 << 16))
+	wire, err := dnswire.NewQuery(id, q.Name, q.Type).Marshal()
+	if err != nil {
+		return Response{}, fmt.Errorf("dnsclient: marshal: %w", err)
+	}
+	started := time.Now()
+	attempts := 0
+	buf := make([]byte, 4096)
+	for attempts <= c.Retries {
+		attempts++
+		if _, err := conn.Write(wire); err != nil {
+			return Response{}, fmt.Errorf("dnsclient: write: %w", err)
+		}
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		n, err := conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return Response{}, fmt.Errorf("dnsclient: read: %w", err)
+		}
+		msg, err := dnswire.Unmarshal(buf[:n])
+		if err != nil || !msg.Header.Response || msg.Header.ID != id {
+			return Response{
+				Question: q, Outcome: OutcomeMalformed,
+				Attempts: attempts, RTT: time.Since(started), When: time.Now(),
+			}, nil
+		}
+		p := &pendingQuery{question: q, started: started, attempts: attempts}
+		fake := &Resolver{clock: simclock.Real{}}
+		return fake.classify(p, msg), nil
+	}
+	return Response{
+		Question: q, Outcome: OutcomeTimeout,
+		Attempts: attempts, RTT: time.Since(started), When: time.Now(),
+	}, nil
+}

@@ -1,0 +1,218 @@
+package dnsserver
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/fabric"
+)
+
+// FailureMode injects server-side failures, modelling the name-server
+// failures and timeouts the paper observes during its supplemental
+// measurement (Figure 6).
+type FailureMode struct {
+	// ServFailRate is the fraction of queries answered with SERVFAIL.
+	ServFailRate float64
+	// DropRate is the fraction of queries silently dropped (the client
+	// observes a timeout).
+	DropRate float64
+	// Seed seeds the failure PRNG.
+	Seed int64
+}
+
+// Server is an authoritative DNS server holding any number of zones. The
+// zero value is not usable; create one with NewServer.
+type Server struct {
+	mu            sync.RWMutex
+	zones         map[dnswire.Name]*Zone
+	failure       FailureMode
+	rng           *rand.Rand
+	stats         ServerStats
+	updatePolicy  UpdatePolicy
+	allowTransfer bool
+}
+
+// ServerStats counts query handling outcomes.
+type ServerStats struct {
+	Queries   uint64
+	NoError   uint64
+	NXDomain  uint64
+	ServFail  uint64
+	Refused   uint64
+	FormErr   uint64
+	Dropped   uint64
+	NotImp    uint64
+	Malformed uint64
+	Updates   uint64
+	Transfers uint64
+}
+
+// NewServer creates a server with no zones.
+func NewServer() *Server {
+	return &Server{
+		zones: make(map[dnswire.Name]*Zone),
+		rng:   rand.New(rand.NewSource(0)),
+	}
+}
+
+// SetFailureMode installs failure injection. Pass the zero value to disable.
+func (s *Server) SetFailureMode(fm FailureMode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failure = fm
+	s.rng = rand.New(rand.NewSource(fm.Seed))
+}
+
+// AddZone attaches a zone to the server.
+func (s *Server) AddZone(z *Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z.Origin()] = z
+}
+
+// Zone returns the zone with the given origin, if attached.
+func (s *Server) Zone(origin dnswire.Name) (*Zone, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	z, ok := s.zones[origin]
+	return z, ok
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// findZone returns the most-specific zone containing name.
+func (s *Server) findZone(name dnswire.Name) *Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best *Zone
+	bestLabels := -1
+	for origin, z := range s.zones {
+		if name.HasSuffix(origin) {
+			if n := len(origin.Labels()); n > bestLabels {
+				best, bestLabels = z, n
+			}
+		}
+	}
+	return best
+}
+
+// HandleQuery processes one wire-format query and returns the wire-format
+// response, or nil if the query must be silently dropped (malformed packets
+// and injected drops).
+func (s *Server) HandleQuery(query []byte) []byte {
+	s.mu.Lock()
+	s.stats.Queries++
+	fm := s.failure
+	var injectServFail, injectDrop bool
+	if fm.DropRate > 0 && s.rng.Float64() < fm.DropRate {
+		injectDrop = true
+	} else if fm.ServFailRate > 0 && s.rng.Float64() < fm.ServFailRate {
+		injectServFail = true
+	}
+	if injectDrop {
+		s.stats.Dropped++
+	}
+	s.mu.Unlock()
+	if injectDrop {
+		return nil
+	}
+
+	msg, err := dnswire.Unmarshal(query)
+	if err != nil || msg.Header.Response {
+		s.count(func(st *ServerStats) { st.Malformed++ })
+		return nil
+	}
+	var resp *dnswire.Message
+	switch {
+	case injectServFail:
+		resp = dnswire.NewResponse(msg, dnswire.RCodeServFail)
+		s.count(func(st *ServerStats) { st.ServFail++ })
+	case msg.Header.OpCode == dnswire.OpUpdate:
+		resp = s.applyUpdate(msg)
+	case msg.Header.OpCode != dnswire.OpQuery:
+		resp = dnswire.NewResponse(msg, dnswire.RCodeNotImp)
+		s.count(func(st *ServerStats) { st.NotImp++ })
+	case len(msg.Questions) != 1:
+		resp = dnswire.NewResponse(msg, dnswire.RCodeFormErr)
+		s.count(func(st *ServerStats) { st.FormErr++ })
+	default:
+		resp = s.resolve(msg)
+	}
+	wire, err := resp.Marshal()
+	if err != nil {
+		return nil
+	}
+	return wire
+}
+
+func (s *Server) count(f func(*ServerStats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+func (s *Server) resolve(msg *dnswire.Message) *dnswire.Message {
+	q := msg.Questions[0]
+	zone := s.findZone(q.Name)
+	if zone == nil {
+		s.count(func(st *ServerStats) { st.Refused++ })
+		return dnswire.NewResponse(msg, dnswire.RCodeRefused)
+	}
+	answers, authority, rcode := zone.answer(q)
+	resp := dnswire.NewResponse(msg, rcode)
+	resp.Header.Authoritative = true
+	resp.Answers = answers
+	resp.Authorities = authority
+	switch rcode {
+	case dnswire.RCodeNXDomain:
+		s.count(func(st *ServerStats) { st.NXDomain++ })
+	default:
+		s.count(func(st *ServerStats) { st.NoError++ })
+	}
+	return resp
+}
+
+// AttachFabric binds the server to addr on a simulation fabric and answers
+// queries arriving there. It returns the endpoint for closing.
+func (s *Server) AttachFabric(f *fabric.Fabric, addr fabric.Addr) (*fabric.Endpoint, error) {
+	var ep *fabric.Endpoint
+	ep, err := f.Bind(addr, func(dg fabric.Datagram) {
+		if resp := s.HandleQuery(dg.Payload); resp != nil {
+			ep.Send(dg.Src, resp)
+		}
+	})
+	return ep, err
+}
+
+// Serve answers queries on a real packet connection (e.g. a loopback UDP
+// socket) until reading fails. It is used by cmd/simnet to expose simulated
+// networks to real DNS clients such as dig.
+func (s *Server) Serve(conn net.PacketConn) error {
+	buf := make([]byte, 4096)
+	for {
+		n, src, err := conn.ReadFrom(buf)
+		if err != nil {
+			if isClosed(err) {
+				return nil
+			}
+			return err
+		}
+		if resp := s.HandleQueryUDP(buf[:n]); resp != nil {
+			if _, err := conn.WriteTo(resp, src); err != nil && !isClosed(err) {
+				return err
+			}
+		}
+	}
+}
+
+func isClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}

@@ -1,0 +1,74 @@
+package dnswire_test
+
+import (
+	"fmt"
+
+	"rdnsprivacy/internal/dnswire"
+)
+
+// The paper's Example 1: translating an IPv4 address into the name queried
+// for its PTR record.
+func ExampleReverseName() {
+	ip := dnswire.MustIPv4("93.184.216.34")
+	fmt.Println(dnswire.ReverseName(ip))
+	// Output: 34.216.184.93.in-addr.arpa.
+}
+
+func ExampleParseReverseName() {
+	ip, err := dnswire.ParseReverseName(dnswire.MustName("34.216.184.93.in-addr.arpa"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ip)
+	// Output: 93.184.216.34
+}
+
+// Building and decoding a PTR query, the packet a reverse-DNS scanner
+// sends.
+func ExampleNewQuery() {
+	q := dnswire.NewQuery(42, dnswire.ReverseName(dnswire.MustIPv4("192.0.2.10")), dnswire.TypePTR)
+	wire, err := q.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	decoded, err := dnswire.Unmarshal(wire)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(decoded.Questions[0])
+	// Output: 10.2.0.192.in-addr.arpa. IN PTR
+}
+
+// An RFC 2136 dynamic update: what an IPAM system sends the authoritative
+// server when a DHCP lease is granted.
+func ExampleNewUpdate() {
+	upd := dnswire.NewUpdate(7, dnswire.MustName("2.0.192.in-addr.arpa"))
+	upd.AddRR(dnswire.Record{
+		Name:  dnswire.ReverseName(dnswire.MustIPv4("192.0.2.10")),
+		Type:  dnswire.TypePTR,
+		Class: dnswire.ClassIN,
+		TTL:   300,
+		Data:  dnswire.PTRData{Target: dnswire.MustName("brians-iphone.dyn.campus-a.edu")},
+	})
+	zone, err := upd.UpdateZone()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(zone)
+	fmt.Println(upd.Authorities[0])
+	// Output:
+	// 2.0.192.in-addr.arpa.
+	// 10.2.0.192.in-addr.arpa. 300 IN PTR brians-iphone.dyn.campus-a.edu.
+}
+
+func ExamplePrefix_Slash24s() {
+	p := dnswire.MustPrefix("10.1.0.0/22")
+	for _, sub := range p.Slash24s() {
+		fmt.Println(sub)
+	}
+	// Output:
+	// 10.1.0.0/24
+	// 10.1.1.0/24
+	// 10.1.2.0/24
+	// 10.1.3.0/24
+}

@@ -1,0 +1,130 @@
+package dnswire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The scanner parses answers from arbitrary remote servers; the server
+// parses queries from arbitrary clients. Neither may panic on hostile
+// input, whatever the bytes.
+
+func TestUnmarshalNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(buf []byte) bool {
+		// Unmarshal may error; it must not panic.
+		_, _ = Unmarshal(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalNeverPanicsOnMutatedMessages(t *testing.T) {
+	// Start from valid messages and flip bytes: these inputs reach much
+	// deeper into the decoder than pure noise.
+	rng := rand.New(rand.NewSource(1))
+	base := &Message{
+		Header: Header{ID: 7, Response: true, Authoritative: true},
+		Questions: []Question{{
+			Name: MustName("10.2.0.192.in-addr.arpa"), Type: TypePTR, Class: ClassIN,
+		}},
+		Answers: []Record{{
+			Name: MustName("10.2.0.192.in-addr.arpa"), Type: TypePTR,
+			Class: ClassIN, TTL: 300,
+			Data: PTRData{Target: MustName("brians-iphone.dyn.campus-a.edu")},
+		}},
+		Authorities: []Record{{
+			Name: MustName("2.0.192.in-addr.arpa"), Type: TypeSOA,
+			Class: ClassIN, TTL: 300,
+			Data: SOAData{
+				MName: MustName("ns1.campus-a.edu"),
+				RName: MustName("hostmaster.campus-a.edu"),
+			},
+		}},
+	}
+	wire, err := base.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		mutated := append([]byte(nil), wire...)
+		flips := 1 + rng.Intn(4)
+		for f := 0; f < flips; f++ {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 << rng.Intn(8))
+		}
+		if rng.Intn(4) == 0 {
+			mutated = mutated[:rng.Intn(len(mutated))+1]
+		}
+		_, _ = Unmarshal(mutated) // must not panic
+	}
+}
+
+func TestRoundTripSurvivesReMarshal(t *testing.T) {
+	// Whatever Unmarshal accepts must marshal back and decode to the
+	// same structure (idempotence over the decoded form).
+	base := NewQuery(42, MustName("34.216.184.93.in-addr.arpa"), TypePTR)
+	resp := NewResponse(base, RCodeNoError)
+	resp.Answers = append(resp.Answers, Record{
+		Name: MustName("34.216.184.93.in-addr.arpa"), Type: TypePTR,
+		Class: ClassIN, TTL: 60,
+		Data: PTRData{Target: MustName("example-host.example.com")},
+	})
+	wire1, err := resp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded1, err := Unmarshal(wire1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire2, err := decoded1.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded2, err := Unmarshal(wire2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded1.Header != decoded2.Header {
+		t.Fatalf("headers differ: %+v vs %+v", decoded1.Header, decoded2.Header)
+	}
+	if len(decoded1.Answers) != len(decoded2.Answers) {
+		t.Fatalf("answers differ")
+	}
+	if decoded1.Answers[0].String() != decoded2.Answers[0].String() {
+		t.Fatalf("answer differs: %s vs %s", decoded1.Answers[0], decoded2.Answers[0])
+	}
+}
+
+func TestNameEncodingPropertyRoundTrip(t *testing.T) {
+	// Arbitrary label content (LDH subset) survives encode/decode.
+	f := func(raw []byte) bool {
+		// Build a plausible name out of the fuzz input.
+		const chars = "abcdefghijklmnopqrstuvwxyz0123456789-"
+		label := make([]byte, 0, 20)
+		for _, b := range raw {
+			label = append(label, chars[int(b)%len(chars)])
+			if len(label) >= 20 {
+				break
+			}
+		}
+		if len(label) == 0 {
+			return true
+		}
+		name, err := ParseName(string(label) + ".example.com")
+		if err != nil {
+			return true
+		}
+		buf, err := AppendName(nil, name)
+		if err != nil {
+			return false
+		}
+		got, _, err := decodeName(buf, 0)
+		return err == nil && got == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

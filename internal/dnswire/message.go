@@ -1,0 +1,587 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Type is a DNS RR or question type (RFC 1035 §3.2.2).
+type Type uint16
+
+// Supported RR types.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeAXFR  Type = 252
+	TypeANY   Type = 255
+)
+
+// String returns the conventional mnemonic.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypePTR:
+		return "PTR"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeAXFR:
+		return "AXFR"
+	case TypeANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is a DNS class. Only IN is used in practice.
+type Class uint16
+
+// Classes.
+const (
+	ClassIN  Class = 1
+	ClassANY Class = 255
+)
+
+// String returns the conventional mnemonic.
+func (c Class) String() string {
+	switch c {
+	case ClassIN:
+		return "IN"
+	case ClassANY:
+		return "ANY"
+	case ClassNONE:
+		return "NONE"
+	default:
+		return fmt.Sprintf("CLASS%d", uint16(c))
+	}
+}
+
+// RCode is a DNS response code (RFC 1035 §4.1.1).
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+// String returns the conventional mnemonic.
+func (r RCode) String() string {
+	switch r {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(r))
+	}
+}
+
+// OpCode is a DNS operation code.
+type OpCode uint8
+
+// Operation codes.
+const (
+	OpQuery  OpCode = 0
+	OpUpdate OpCode = 5 // RFC 2136 dynamic update
+)
+
+// Header is the fixed 12-octet DNS message header, unpacked.
+type Header struct {
+	// ID is the transaction identifier, echoed in responses.
+	ID uint16
+	// Response indicates a response (QR bit).
+	Response bool
+	// OpCode is the operation requested.
+	OpCode OpCode
+	// Authoritative indicates an authoritative answer (AA bit).
+	Authoritative bool
+	// Truncated indicates the message was cut to fit the transport (TC).
+	Truncated bool
+	// RecursionDesired is copied from query to response (RD).
+	RecursionDesired bool
+	// RecursionAvailable advertises recursion support (RA).
+	RecursionAvailable bool
+	// RCode is the response code.
+	RCode RCode
+}
+
+// Question is a single entry of the question section.
+type Question struct {
+	Name  Name
+	Type  Type
+	Class Class
+}
+
+// String formats the question in dig-like notation.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, q.Class, q.Type)
+}
+
+// Record is a resource record. Data holds the type-specific RDATA in decoded
+// form (one of the *Data types below).
+type Record struct {
+	Name  Name
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// String formats the record in zone-file-like notation.
+func (r Record) String() string {
+	return fmt.Sprintf("%s %d %s %s %s", r.Name, r.TTL, r.Class, r.Type, r.Data)
+}
+
+// RData is decoded resource-record data.
+type RData interface {
+	// append encodes the RDATA (without the length prefix) into buf,
+	// using cmap for name compression when permitted by RFC 3597.
+	append(buf []byte, cmap compressionMap) ([]byte, error)
+	fmt.Stringer
+}
+
+// PTRData is the RDATA of a PTR record: the hostname an address maps to.
+type PTRData struct{ Target Name }
+
+func (d PTRData) append(buf []byte, cmap compressionMap) ([]byte, error) {
+	return appendCompressedName(buf, d.Target, cmap)
+}
+
+// String returns the target name.
+func (d PTRData) String() string { return string(d.Target) }
+
+// AData is the RDATA of an A record.
+type AData struct{ Addr [4]byte }
+
+func (d AData) append(buf []byte, _ compressionMap) ([]byte, error) {
+	return append(buf, d.Addr[:]...), nil
+}
+
+// String returns the dotted-quad form.
+func (d AData) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", d.Addr[0], d.Addr[1], d.Addr[2], d.Addr[3])
+}
+
+// NSData is the RDATA of an NS record.
+type NSData struct{ Target Name }
+
+func (d NSData) append(buf []byte, cmap compressionMap) ([]byte, error) {
+	return appendCompressedName(buf, d.Target, cmap)
+}
+
+// String returns the name-server name.
+func (d NSData) String() string { return string(d.Target) }
+
+// CNAMEData is the RDATA of a CNAME record.
+type CNAMEData struct{ Target Name }
+
+func (d CNAMEData) append(buf []byte, cmap compressionMap) ([]byte, error) {
+	return appendCompressedName(buf, d.Target, cmap)
+}
+
+// String returns the canonical name.
+func (d CNAMEData) String() string { return string(d.Target) }
+
+// SOAData is the RDATA of an SOA record (RFC 1035 §3.3.13).
+type SOAData struct {
+	MName   Name
+	RName   Name
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+func (d SOAData) append(buf []byte, cmap compressionMap) ([]byte, error) {
+	var err error
+	buf, err = appendCompressedName(buf, d.MName, cmap)
+	if err != nil {
+		return nil, err
+	}
+	buf, err = appendCompressedName(buf, d.RName, cmap)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint32(buf, d.Serial)
+	buf = binary.BigEndian.AppendUint32(buf, d.Refresh)
+	buf = binary.BigEndian.AppendUint32(buf, d.Retry)
+	buf = binary.BigEndian.AppendUint32(buf, d.Expire)
+	buf = binary.BigEndian.AppendUint32(buf, d.Minimum)
+	return buf, nil
+}
+
+// String summarizes the SOA fields.
+func (d SOAData) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d", d.MName, d.RName,
+		d.Serial, d.Refresh, d.Retry, d.Expire, d.Minimum)
+}
+
+// TXTData is the RDATA of a TXT record: one or more character strings.
+type TXTData struct{ Strings []string }
+
+func (d TXTData) append(buf []byte, _ compressionMap) ([]byte, error) {
+	if len(d.Strings) == 0 {
+		return nil, errors.New("dnswire: TXT record with no strings")
+	}
+	for _, s := range d.Strings {
+		if len(s) > 255 {
+			return nil, errors.New("dnswire: TXT string exceeds 255 octets")
+		}
+		buf = append(buf, byte(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf, nil
+}
+
+// String joins the character strings.
+func (d TXTData) String() string {
+	out := ""
+	for i, s := range d.Strings {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%q", s)
+	}
+	return out
+}
+
+// RawData carries RDATA of types this codec does not decode.
+type RawData struct {
+	RType Type
+	Bytes []byte
+}
+
+func (d RawData) append(buf []byte, _ compressionMap) ([]byte, error) {
+	return append(buf, d.Bytes...), nil
+}
+
+// String hex-summarizes the raw data.
+func (d RawData) String() string { return fmt.Sprintf("\\# %d %x", len(d.Bytes), d.Bytes) }
+
+// Message is a complete DNS message.
+type Message struct {
+	Header      Header
+	Questions   []Question
+	Answers     []Record
+	Authorities []Record
+	Additionals []Record
+}
+
+// Errors returned by message decoding.
+var (
+	ErrShortMessage = errors.New("dnswire: message shorter than header")
+	ErrTrailingData = errors.New("dnswire: trailing bytes after message")
+	ErrCountBounds  = errors.New("dnswire: section count exceeds message size")
+)
+
+// flag bit positions within the 16-bit flags word.
+const (
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagTC = 1 << 9
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+)
+
+// Marshal encodes m into wire format with name compression.
+func (m *Message) Marshal() ([]byte, error) {
+	return m.AppendTo(make([]byte, 0, 512))
+}
+
+// AppendTo encodes m into wire format, appending to buf. The message must
+// begin at offset 0 of the final buffer for compression pointers to be valid,
+// so buf should normally be empty (it exists to allow buffer reuse).
+func (m *Message) AppendTo(buf []byte) ([]byte, error) {
+	if len(buf) != 0 {
+		buf = buf[:0]
+	}
+	var flags uint16
+	if m.Header.Response {
+		flags |= flagQR
+	}
+	flags |= uint16(m.Header.OpCode&0xF) << 11
+	if m.Header.Authoritative {
+		flags |= flagAA
+	}
+	if m.Header.Truncated {
+		flags |= flagTC
+	}
+	if m.Header.RecursionDesired {
+		flags |= flagRD
+	}
+	if m.Header.RecursionAvailable {
+		flags |= flagRA
+	}
+	flags |= uint16(m.Header.RCode & 0xF)
+
+	buf = binary.BigEndian.AppendUint16(buf, m.Header.ID)
+	buf = binary.BigEndian.AppendUint16(buf, flags)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Questions)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Answers)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Authorities)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Additionals)))
+
+	cmap := make(compressionMap)
+	var err error
+	for _, q := range m.Questions {
+		buf, err = appendCompressedName(buf, q.Name, cmap)
+		if err != nil {
+			return nil, fmt.Errorf("question %s: %w", q.Name, err)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+	}
+	for _, section := range [][]Record{m.Answers, m.Authorities, m.Additionals} {
+		for _, rr := range section {
+			buf, err = appendRecord(buf, rr, cmap)
+			if err != nil {
+				return nil, fmt.Errorf("record %s: %w", rr.Name, err)
+			}
+		}
+	}
+	return buf, nil
+}
+
+func appendRecord(buf []byte, rr Record, cmap compressionMap) ([]byte, error) {
+	var err error
+	buf, err = appendCompressedName(buf, rr.Name, cmap)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Type))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Class))
+	buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+	// Reserve the RDLENGTH slot, fill after encoding.
+	lenAt := len(buf)
+	buf = append(buf, 0, 0)
+	if rr.Data == nil {
+		return nil, errors.New("dnswire: record has nil data")
+	}
+	buf, err = rr.Data.append(buf, cmap)
+	if err != nil {
+		return nil, err
+	}
+	rdlen := len(buf) - lenAt - 2
+	if rdlen > 0xFFFF {
+		return nil, errors.New("dnswire: RDATA exceeds 65535 octets")
+	}
+	binary.BigEndian.PutUint16(buf[lenAt:], uint16(rdlen))
+	return buf, nil
+}
+
+// Unmarshal decodes a wire-format message.
+func Unmarshal(msg []byte) (*Message, error) {
+	if len(msg) < 12 {
+		return nil, ErrShortMessage
+	}
+	var m Message
+	m.Header.ID = binary.BigEndian.Uint16(msg[0:2])
+	flags := binary.BigEndian.Uint16(msg[2:4])
+	m.Header.Response = flags&flagQR != 0
+	m.Header.OpCode = OpCode(flags >> 11 & 0xF)
+	m.Header.Authoritative = flags&flagAA != 0
+	m.Header.Truncated = flags&flagTC != 0
+	m.Header.RecursionDesired = flags&flagRD != 0
+	m.Header.RecursionAvailable = flags&flagRA != 0
+	m.Header.RCode = RCode(flags & 0xF)
+
+	qd := int(binary.BigEndian.Uint16(msg[4:6]))
+	an := int(binary.BigEndian.Uint16(msg[6:8]))
+	ns := int(binary.BigEndian.Uint16(msg[8:10]))
+	ar := int(binary.BigEndian.Uint16(msg[10:12]))
+	// A question needs at least 5 octets, a record at least 11.
+	if 12+qd*5+(an+ns+ar)*11 > len(msg) {
+		return nil, ErrCountBounds
+	}
+
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, off, err = decodeName(msg, off)
+		if err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		if off+4 > len(msg) {
+			return nil, ErrTruncatedName
+		}
+		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	for _, sec := range []struct {
+		count int
+		dst   *[]Record
+	}{{an, &m.Answers}, {ns, &m.Authorities}, {ar, &m.Additionals}} {
+		for i := 0; i < sec.count; i++ {
+			var rr Record
+			rr, off, err = decodeRecord(msg, off)
+			if err != nil {
+				return nil, fmt.Errorf("record %d: %w", i, err)
+			}
+			*sec.dst = append(*sec.dst, rr)
+		}
+	}
+	if off != len(msg) {
+		return nil, ErrTrailingData
+	}
+	return &m, nil
+}
+
+func decodeRecord(msg []byte, off int) (Record, int, error) {
+	var rr Record
+	var err error
+	rr.Name, off, err = decodeName(msg, off)
+	if err != nil {
+		return rr, 0, err
+	}
+	if off+10 > len(msg) {
+		return rr, 0, ErrTruncatedName
+	}
+	rr.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+	rr.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+	rr.TTL = binary.BigEndian.Uint32(msg[off+4:])
+	rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+	off += 10
+	if off+rdlen > len(msg) {
+		return rr, 0, fmt.Errorf("dnswire: RDATA length %d overruns message", rdlen)
+	}
+	rdata := msg[off : off+rdlen]
+	rdEnd := off + rdlen
+	// UPDATE deletion operations (class ANY/NONE) carry empty RDATA even
+	// for types that otherwise require one (RFC 2136 §2.5.2).
+	if rdlen == 0 && rr.Class != ClassIN {
+		rr.Data = RawData{RType: rr.Type}
+		return rr, rdEnd, nil
+	}
+	switch rr.Type {
+	case TypePTR:
+		target, n, err := decodeName(msg, off)
+		if err != nil {
+			return rr, 0, err
+		}
+		if n != rdEnd {
+			return rr, 0, fmt.Errorf("dnswire: PTR RDATA length mismatch")
+		}
+		rr.Data = PTRData{Target: target}
+	case TypeNS:
+		target, n, err := decodeName(msg, off)
+		if err != nil {
+			return rr, 0, err
+		}
+		if n != rdEnd {
+			return rr, 0, fmt.Errorf("dnswire: NS RDATA length mismatch")
+		}
+		rr.Data = NSData{Target: target}
+	case TypeCNAME:
+		target, n, err := decodeName(msg, off)
+		if err != nil {
+			return rr, 0, err
+		}
+		if n != rdEnd {
+			return rr, 0, fmt.Errorf("dnswire: CNAME RDATA length mismatch")
+		}
+		rr.Data = CNAMEData{Target: target}
+	case TypeA:
+		if rdlen != 4 {
+			return rr, 0, fmt.Errorf("dnswire: A RDATA length %d, want 4", rdlen)
+		}
+		var d AData
+		copy(d.Addr[:], rdata)
+		rr.Data = d
+	case TypeSOA:
+		var d SOAData
+		pos := off
+		d.MName, pos, err = decodeName(msg, pos)
+		if err != nil {
+			return rr, 0, err
+		}
+		d.RName, pos, err = decodeName(msg, pos)
+		if err != nil {
+			return rr, 0, err
+		}
+		if pos+20 != rdEnd {
+			return rr, 0, fmt.Errorf("dnswire: SOA RDATA length mismatch")
+		}
+		d.Serial = binary.BigEndian.Uint32(msg[pos:])
+		d.Refresh = binary.BigEndian.Uint32(msg[pos+4:])
+		d.Retry = binary.BigEndian.Uint32(msg[pos+8:])
+		d.Expire = binary.BigEndian.Uint32(msg[pos+12:])
+		d.Minimum = binary.BigEndian.Uint32(msg[pos+16:])
+		rr.Data = d
+	case TypeTXT:
+		var d TXTData
+		pos := 0
+		for pos < len(rdata) {
+			l := int(rdata[pos])
+			if pos+1+l > len(rdata) {
+				return rr, 0, fmt.Errorf("dnswire: TXT string overruns RDATA")
+			}
+			d.Strings = append(d.Strings, string(rdata[pos+1:pos+1+l]))
+			pos += 1 + l
+		}
+		if len(d.Strings) == 0 {
+			return rr, 0, fmt.Errorf("dnswire: empty TXT RDATA")
+		}
+		rr.Data = d
+	default:
+		cp := make([]byte, rdlen)
+		copy(cp, rdata)
+		rr.Data = RawData{RType: rr.Type, Bytes: cp}
+	}
+	return rr, rdEnd, nil
+}
+
+// NewQuery builds a single-question query message.
+func NewQuery(id uint16, name Name, qtype Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: false},
+		Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}},
+	}
+}
+
+// NewResponse builds a response skeleton echoing the query's ID, question and
+// RD bit.
+func NewResponse(query *Message, rcode RCode) *Message {
+	resp := &Message{
+		Header: Header{
+			ID:               query.Header.ID,
+			Response:         true,
+			OpCode:           query.Header.OpCode,
+			RecursionDesired: query.Header.RecursionDesired,
+			RCode:            rcode,
+		},
+	}
+	resp.Questions = append(resp.Questions, query.Questions...)
+	return resp
+}

@@ -1,0 +1,274 @@
+// Package dnswire implements the DNS wire format of RFC 1034/1035: message
+// headers, domain names with compression pointers, questions, and the
+// resource records needed for reverse-DNS measurement (PTR, A, SOA, NS, TXT,
+// CNAME). It also provides the in-addr.arpa helpers used to translate
+// between IPv4 addresses and reverse-lookup names.
+//
+// The codec is written from scratch against the RFCs and is independent of
+// the net package's resolver. It is the single source of truth for every DNS
+// packet that crosses the simulated fabric or a real UDP socket in this
+// repository.
+package dnswire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Limits from RFC 1035 §2.3.4 and §3.1.
+const (
+	// MaxLabelLen is the maximum length of a single label.
+	MaxLabelLen = 63
+	// MaxNameLen is the maximum length of an encoded domain name,
+	// including the root length octet.
+	MaxNameLen = 255
+	// maxPointerHops bounds compression-pointer chains to defeat loops.
+	maxPointerHops = 32
+)
+
+// Errors returned by name encoding and decoding.
+var (
+	ErrNameTooLong    = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong   = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel     = errors.New("dnswire: empty label")
+	ErrPointerLoop    = errors.New("dnswire: compression pointer loop")
+	ErrTruncatedName  = errors.New("dnswire: truncated name")
+	ErrReservedLabel  = errors.New("dnswire: reserved label type")
+	ErrForwardPointer = errors.New("dnswire: compression pointer is not backward")
+)
+
+// Name is a fully-qualified domain name in presentation form, always stored
+// with a trailing dot (the root label). The zero value is invalid; use
+// MustName, ParseName, or functions that return Names.
+type Name string
+
+// Root is the DNS root name.
+const Root Name = "."
+
+// ParseName normalizes s into a Name. It lowercases (DNS names compare
+// case-insensitively), ensures a trailing dot, and validates label and name
+// lengths. Escapes are not supported: this codec targets hostnames, which
+// use the LDH subset plus underscore.
+func ParseName(s string) (Name, error) {
+	if s == "" || s == "." {
+		return Root, nil
+	}
+	s = strings.ToLower(s)
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	// Validate by encoding into a scratch buffer.
+	n := Name(s)
+	if _, err := AppendName(nil, n); err != nil {
+		return "", err
+	}
+	return n, nil
+}
+
+// MustName is ParseName that panics on error, for constants and tests.
+func MustName(s string) Name {
+	n, err := ParseName(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// String returns the presentation form.
+func (n Name) String() string { return string(n) }
+
+// IsRoot reports whether n is the root name.
+func (n Name) IsRoot() bool { return n == Root || n == "" }
+
+// Labels returns the labels of n, most-specific first, excluding the root.
+func (n Name) Labels() []string {
+	if n.IsRoot() {
+		return nil
+	}
+	s := strings.TrimSuffix(string(n), ".")
+	return strings.Split(s, ".")
+}
+
+// Parent returns the name with the leftmost label removed. The parent of a
+// single-label name is the root; the parent of the root is the root.
+func (n Name) Parent() Name {
+	labels := n.Labels()
+	if len(labels) <= 1 {
+		return Root
+	}
+	return Name(strings.Join(labels[1:], ".") + ".")
+}
+
+// HasSuffix reports whether n is equal to zone or falls within it.
+func (n Name) HasSuffix(zone Name) bool {
+	if zone.IsRoot() {
+		return true
+	}
+	ns, zs := string(n), string(zone)
+	if ns == zs {
+		return true
+	}
+	return strings.HasSuffix(ns, "."+zs)
+}
+
+// Prepend returns label.n. The label is lowercased.
+func (n Name) Prepend(label string) (Name, error) {
+	if label == "" {
+		return "", ErrEmptyLabel
+	}
+	if len(label) > MaxLabelLen {
+		return "", ErrLabelTooLong
+	}
+	child := Name(strings.ToLower(label) + "." + string(n))
+	if _, err := AppendName(nil, child); err != nil {
+		return "", err
+	}
+	return child, nil
+}
+
+// AppendName appends the uncompressed wire encoding of n to buf.
+func AppendName(buf []byte, n Name) ([]byte, error) {
+	if n.IsRoot() {
+		return append(buf, 0), nil
+	}
+	s := string(n)
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	total := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] != '.' {
+			continue
+		}
+		label := s[start:i]
+		if len(label) == 0 {
+			return nil, ErrEmptyLabel
+		}
+		if len(label) > MaxLabelLen {
+			return nil, ErrLabelTooLong
+		}
+		total += len(label) + 1
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+		start = i + 1
+	}
+	total++ // root octet
+	if total > MaxNameLen {
+		return nil, ErrNameTooLong
+	}
+	return append(buf, 0), nil
+}
+
+// compressionMap tracks names already emitted into a message so later
+// occurrences can be replaced by pointers (RFC 1035 §4.1.4).
+type compressionMap map[string]int
+
+// appendCompressedName appends n to buf using msgStart-relative compression
+// pointers recorded in cmap. Compression pointers can only address the first
+// 16384 octets of a message; names beyond that are emitted uncompressed.
+func appendCompressedName(buf []byte, n Name, cmap compressionMap) ([]byte, error) {
+	if n.IsRoot() {
+		return append(buf, 0), nil
+	}
+	// Walk suffixes from the full name down, looking for a hit.
+	labels := n.Labels()
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if off, ok := cmap[suffix]; ok && off < 0x4000 {
+			// Emit leading labels, then the pointer.
+			for j := 0; j < i; j++ {
+				label := labels[j]
+				if len(label) == 0 {
+					return nil, ErrEmptyLabel
+				}
+				if len(label) > MaxLabelLen {
+					return nil, ErrLabelTooLong
+				}
+				// Record the longer suffix for future reuse.
+				longer := strings.Join(labels[j:], ".") + "."
+				if _, exists := cmap[longer]; !exists && len(buf) < 0x4000 {
+					cmap[longer] = len(buf)
+				}
+				buf = append(buf, byte(len(label)))
+				buf = append(buf, label...)
+			}
+			return append(buf, byte(0xC0|off>>8), byte(off)), nil
+		}
+	}
+	// No suffix known: emit in full, recording each suffix offset.
+	for i, label := range labels {
+		if len(label) == 0 {
+			return nil, ErrEmptyLabel
+		}
+		if len(label) > MaxLabelLen {
+			return nil, ErrLabelTooLong
+		}
+		suffix := strings.Join(labels[i:], ".") + "."
+		if _, exists := cmap[suffix]; !exists && len(buf) < 0x4000 {
+			cmap[suffix] = len(buf)
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+// decodeName decodes a possibly-compressed name from msg starting at off.
+// It returns the name and the offset just past the name's encoding at its
+// original position (pointers do not advance the outer offset past their two
+// octets).
+func decodeName(msg []byte, off int) (Name, int, error) {
+	var sb strings.Builder
+	ptrBudget := maxPointerHops
+	pos := off
+	end := -1 // offset after the name at the original position
+	total := 0
+	for {
+		if pos >= len(msg) {
+			return "", 0, ErrTruncatedName
+		}
+		b := msg[pos]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = pos + 1
+			}
+			if sb.Len() == 0 {
+				return Root, end, nil
+			}
+			name := Name(strings.ToLower(sb.String()))
+			return name, end, nil
+		case b&0xC0 == 0xC0:
+			if pos+1 >= len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			target := int(b&0x3F)<<8 | int(msg[pos+1])
+			if end < 0 {
+				end = pos + 2
+			}
+			if target >= pos {
+				return "", 0, ErrForwardPointer
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return "", 0, ErrPointerLoop
+			}
+			pos = target
+		case b&0xC0 != 0:
+			return "", 0, ErrReservedLabel
+		default:
+			length := int(b)
+			if pos+1+length > len(msg) {
+				return "", 0, ErrTruncatedName
+			}
+			total += length + 1
+			if total > MaxNameLen {
+				return "", 0, ErrNameTooLong
+			}
+			sb.Write(msg[pos+1 : pos+1+length])
+			sb.WriteByte('.')
+			pos += 1 + length
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package dnswire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseIPv4(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    IPv4
+		wantErr bool
+	}{
+		{"93.184.216.34", IPv4{93, 184, 216, 34}, false},
+		{"0.0.0.0", IPv4{}, false},
+		{"255.255.255.255", IPv4{255, 255, 255, 255}, false},
+		{"256.1.1.1", IPv4{}, true},
+		{"1.2.3", IPv4{}, true},
+		{"1.2.3.4.5", IPv4{}, true},
+		{"01.2.3.4", IPv4{}, true},
+		{"a.b.c.d", IPv4{}, true},
+		{"", IPv4{}, true},
+	}
+	for _, tc := range tests {
+		got, err := ParseIPv4(tc.in)
+		if tc.wantErr != (err != nil) {
+			t.Errorf("ParseIPv4(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseIPv4(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestIPv4StringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IPv4FromUint32(v)
+		parsed, err := ParseIPv4(ip.String())
+		return err == nil && parsed == ip && parsed.Uint32() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseNamePaperExample(t *testing.T) {
+	// Example 1 in the paper: 93.184.216.34 ->
+	// 34.216.184.93.in-addr.arpa.
+	got := ReverseName(MustIPv4("93.184.216.34"))
+	if got != MustName("34.216.184.93.in-addr.arpa") {
+		t.Fatalf("ReverseName = %q", got)
+	}
+}
+
+func TestReverseNameRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IPv4FromUint32(v)
+		back, err := ParseReverseName(ReverseName(ip))
+		return err == nil && back == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseReverseNameRejects(t *testing.T) {
+	bad := []Name{
+		MustName("example.com"),
+		MustName("in-addr.arpa"),
+		MustName("1.2.3.in-addr.arpa"),
+		MustName("1.2.3.4.5.in-addr.arpa"),
+		MustName("300.2.3.4.in-addr.arpa"),
+		MustName("x.2.3.4.in-addr.arpa"),
+	}
+	for _, n := range bad {
+		if _, err := ParseReverseName(n); !errors.Is(err, ErrNotReverseName) {
+			t.Errorf("ParseReverseName(%q) err = %v, want ErrNotReverseName", n, err)
+		}
+	}
+}
+
+func TestPrefixParse(t *testing.T) {
+	p := MustPrefix("192.0.2.129/24")
+	if p.Addr != MustIPv4("192.0.2.0") || p.Bits != 24 {
+		t.Fatalf("prefix = %v", p)
+	}
+	if p.String() != "192.0.2.0/24" {
+		t.Fatalf("String() = %q", p.String())
+	}
+	for _, bad := range []string{"192.0.2.0", "192.0.2.0/33", "192.0.2.0/-1", "x/24"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustPrefix("10.20.0.0/16")
+	if !p.Contains(MustIPv4("10.20.255.1")) {
+		t.Fatal("should contain 10.20.255.1")
+	}
+	if p.Contains(MustIPv4("10.21.0.1")) {
+		t.Fatal("should not contain 10.21.0.1")
+	}
+	all := MustPrefix("0.0.0.0/0")
+	if !all.Contains(MustIPv4("255.255.255.255")) {
+		t.Fatal("/0 should contain everything")
+	}
+}
+
+func TestPrefixNthFirstLast(t *testing.T) {
+	p := MustPrefix("192.0.2.0/24")
+	if p.First() != MustIPv4("192.0.2.0") {
+		t.Fatalf("First = %v", p.First())
+	}
+	if p.Last() != MustIPv4("192.0.2.255") {
+		t.Fatalf("Last = %v", p.Last())
+	}
+	if p.Nth(17) != MustIPv4("192.0.2.17") {
+		t.Fatalf("Nth(17) = %v", p.Nth(17))
+	}
+	if p.NumAddresses() != 256 {
+		t.Fatalf("NumAddresses = %d", p.NumAddresses())
+	}
+}
+
+func TestPrefixSlash24s(t *testing.T) {
+	p := MustPrefix("10.1.0.0/22")
+	subs := p.Slash24s()
+	if len(subs) != 4 {
+		t.Fatalf("got %d /24s, want 4", len(subs))
+	}
+	want := []string{"10.1.0.0/24", "10.1.1.0/24", "10.1.2.0/24", "10.1.3.0/24"}
+	for i, s := range subs {
+		if s.String() != want[i] {
+			t.Fatalf("Slash24s[%d] = %v, want %v", i, s, want[i])
+		}
+	}
+	// A /28 maps to its covering /24.
+	small := MustPrefix("10.1.5.16/28").Slash24s()
+	if len(small) != 1 || small[0].String() != "10.1.5.0/24" {
+		t.Fatalf("Slash24s(/28) = %v", small)
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustPrefix("10.0.0.0/8")
+	b := MustPrefix("10.5.0.0/16")
+	c := MustPrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("nested prefixes should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("disjoint prefixes should not overlap")
+	}
+}
+
+func TestReverseZoneFor24(t *testing.T) {
+	z, err := ReverseZoneFor24(MustPrefix("192.0.2.0/24"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z != MustName("2.0.192.in-addr.arpa") {
+		t.Fatalf("zone = %q", z)
+	}
+	if _, err := ReverseZoneFor24(MustPrefix("192.0.0.0/16")); err == nil {
+		t.Fatal("accepted a /16")
+	}
+}
+
+func TestSlash24OfAddress(t *testing.T) {
+	ip := MustIPv4("172.16.5.200")
+	p := ip.Slash24()
+	if p.String() != "172.16.5.0/24" {
+		t.Fatalf("Slash24 = %v", p)
+	}
+	if !p.Contains(ip) {
+		t.Fatal("address not in its own /24")
+	}
+}
+
+func TestReverseNameWithinZone(t *testing.T) {
+	// Property: the reverse name of any address is inside the reverse
+	// zone of its /24.
+	f := func(v uint32) bool {
+		ip := IPv4FromUint32(v)
+		zone, err := ReverseZoneFor24(ip.Slash24())
+		if err != nil {
+			return false
+		}
+		return ReverseName(ip).HasSuffix(zone)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package dynamicity implements the Section 4 heuristic that identifies
+// /24 prefixes exposing dynamic client behaviour in reverse DNS, plus the
+// announced-prefix aggregation behind Figure 1.
+//
+// The three steps, verbatim from the paper:
+//
+//  1. Group results by /24 prefix and compute the unique number of
+//     addresses with a PTR per day over a three-month window; discard
+//     prefixes that never exceed 10 addresses a day, and record each
+//     remaining prefix's maximum daily count.
+//  2. For each retained /24, compute the day-over-day absolute difference
+//     in address counts, divided by the recorded maximum — the "change
+//     percentage".
+//  3. Label the /24 dynamic if the change percentage exceeds X% on at
+//     least Y days over the window. The paper sets X=10 and Y=7.
+package dynamicity
+
+import (
+	"sort"
+
+	"rdnsprivacy/internal/dataset"
+	"rdnsprivacy/internal/dnswire"
+)
+
+// Config holds the heuristic's thresholds.
+type Config struct {
+	// MinAddresses is the daily-count floor below which a /24 is
+	// discarded in step 1 (paper: 10).
+	MinAddresses int
+	// ChangePercent is X: the change percentage a day must exceed to
+	// count (paper: 10).
+	ChangePercent float64
+	// MinChangeDays is Y: how many qualifying days label a prefix
+	// dynamic (paper: 7).
+	MinChangeDays int
+}
+
+// PaperConfig returns the thresholds used in the paper (X=10, Y=7,
+// 10-address floor).
+func PaperConfig() Config {
+	return Config{MinAddresses: 10, ChangePercent: 10, MinChangeDays: 7}
+}
+
+// PrefixVerdict is the per-/24 outcome of the heuristic.
+type PrefixVerdict struct {
+	Prefix dnswire.Prefix
+	// Considered reports whether the prefix survived step 1.
+	Considered bool
+	// Dynamic reports the step 3 label.
+	Dynamic bool
+	// MaxDaily is the maximum daily address count (step 1).
+	MaxDaily int
+	// ChangeDays is how many days exceeded the change threshold.
+	ChangeDays int
+}
+
+// Result is the output of the heuristic over a count series.
+type Result struct {
+	Config Config
+	// TotalPrefixes is the number of /24s with any PTR in the window.
+	TotalPrefixes int
+	// ConsideredPrefixes survived the step 1 floor.
+	ConsideredPrefixes int
+	// DynamicPrefixes carries the step 3 labels.
+	DynamicPrefixes []dnswire.Prefix
+	// Verdicts holds the full per-prefix detail.
+	Verdicts map[dnswire.Prefix]PrefixVerdict
+}
+
+// IsDynamic reports whether the heuristic labelled p dynamic.
+func (r *Result) IsDynamic(p dnswire.Prefix) bool {
+	v, ok := r.Verdicts[p]
+	return ok && v.Dynamic
+}
+
+// Analyze runs the heuristic over a per-/24 daily count series.
+func Analyze(series *dataset.CountSeries, cfg Config) *Result {
+	res := &Result{
+		Config:   cfg,
+		Verdicts: make(map[dnswire.Prefix]PrefixVerdict, len(series.Counts)),
+	}
+	for p, row := range series.Counts {
+		seen := false
+		maxDaily := 0
+		for _, c := range row {
+			if c > 0 {
+				seen = true
+			}
+			if c > maxDaily {
+				maxDaily = c
+			}
+		}
+		if !seen {
+			continue
+		}
+		res.TotalPrefixes++
+		v := PrefixVerdict{Prefix: p, MaxDaily: maxDaily}
+		if maxDaily <= cfg.MinAddresses {
+			res.Verdicts[p] = v
+			continue
+		}
+		v.Considered = true
+		res.ConsideredPrefixes++
+		for i := 1; i < len(row); i++ {
+			diff := row[i] - row[i-1]
+			if diff < 0 {
+				diff = -diff
+			}
+			changePct := 100 * float64(diff) / float64(maxDaily)
+			if changePct > cfg.ChangePercent {
+				v.ChangeDays++
+			}
+		}
+		if v.ChangeDays >= cfg.MinChangeDays {
+			v.Dynamic = true
+			res.DynamicPrefixes = append(res.DynamicPrefixes, p)
+		}
+		res.Verdicts[p] = v
+	}
+	sort.Slice(res.DynamicPrefixes, func(i, j int) bool {
+		return res.DynamicPrefixes[i].Addr.Uint32() < res.DynamicPrefixes[j].Addr.Uint32()
+	})
+	return res
+}
+
+// AnnouncedPrefix associates an announced (routed) prefix with the dynamic
+// fraction of its /24 subprefixes — the Figure 1 data.
+type AnnouncedPrefix struct {
+	Prefix dnswire.Prefix
+	// TotalSlash24s is the number of /24s in the announced prefix.
+	TotalSlash24s int
+	// DynamicSlash24s is how many were labelled dynamic.
+	DynamicSlash24s int
+}
+
+// DynamicFraction returns the percentage of /24s that are dynamic.
+func (a AnnouncedPrefix) DynamicFraction() float64 {
+	if a.TotalSlash24s == 0 {
+		return 0
+	}
+	return 100 * float64(a.DynamicSlash24s) / float64(a.TotalSlash24s)
+}
+
+// MapToAnnounced maps each dynamic /24 to its most-specific covering
+// announced prefix and aggregates per announced prefix. announced plays the
+// role of the global routing table.
+func MapToAnnounced(res *Result, announced []dnswire.Prefix) []AnnouncedPrefix {
+	// Sort by specificity (longest first) for most-specific matching.
+	sorted := append([]dnswire.Prefix(nil), announced...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Bits > sorted[j].Bits })
+
+	agg := make(map[dnswire.Prefix]*AnnouncedPrefix)
+	for _, dp := range res.DynamicPrefixes {
+		for _, ap := range sorted {
+			if ap.Contains(dp.Addr) {
+				entry, ok := agg[ap]
+				if !ok {
+					entry = &AnnouncedPrefix{
+						Prefix:        ap,
+						TotalSlash24s: len(ap.Slash24s()),
+					}
+					agg[ap] = entry
+				}
+				entry.DynamicSlash24s++
+				break
+			}
+		}
+	}
+	out := make([]AnnouncedPrefix, 0, len(agg))
+	for _, e := range agg {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Bits != out[j].Prefix.Bits {
+			return out[i].Prefix.Bits < out[j].Prefix.Bits
+		}
+		return out[i].Prefix.Addr.Uint32() < out[j].Prefix.Addr.Uint32()
+	})
+	return out
+}
+
+// FractionDistribution groups announced prefixes by size and summarizes the
+// distribution of dynamic fractions per size — min, median, max — the ticks
+// of Figure 1.
+type FractionDistribution struct {
+	Bits                      int
+	Count                     int
+	MinPct, MedianPct, MaxPct float64
+}
+
+// DistributionBySize computes Figure 1's per-size distribution.
+func DistributionBySize(entries []AnnouncedPrefix) []FractionDistribution {
+	bySize := make(map[int][]float64)
+	for _, e := range entries {
+		bySize[e.Prefix.Bits] = append(bySize[e.Prefix.Bits], e.DynamicFraction())
+	}
+	var out []FractionDistribution
+	for bits, fracs := range bySize {
+		sort.Float64s(fracs)
+		out = append(out, FractionDistribution{
+			Bits:      bits,
+			Count:     len(fracs),
+			MinPct:    fracs[0],
+			MedianPct: fracs[len(fracs)/2],
+			MaxPct:    fracs[len(fracs)-1],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bits < out[j].Bits })
+	return out
+}

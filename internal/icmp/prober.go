@@ -1,0 +1,260 @@
+package icmp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/fabric"
+	"rdnsprivacy/internal/simclock"
+)
+
+// ProbeResult is the outcome of a single echo probe.
+type ProbeResult struct {
+	// Target is the probed address.
+	Target dnswire.IPv4
+	// Alive reports whether an echo reply arrived before the timeout.
+	Alive bool
+	// RTT is the round-trip time for replies; zero otherwise.
+	RTT time.Duration
+	// Sent is when the request was transmitted.
+	Sent time.Time
+}
+
+// ProberConfig tunes a Prober.
+type ProberConfig struct {
+	// Vantage is the source address probes are sent from.
+	Vantage dnswire.IPv4
+	// Timeout is how long to wait for a reply. Default 2s.
+	Timeout time.Duration
+	// RatePerSecond caps transmitted probes per second (token bucket).
+	// Zero means unlimited.
+	RatePerSecond int
+	// ID is the ICMP identifier stamped on every probe.
+	ID uint16
+	// Blocklist suppresses probes to opted-out address space; targets in
+	// it resolve immediately as not alive, without traffic.
+	Blocklist []dnswire.Prefix
+}
+
+// Prober sends ICMP echo probes over a fabric and matches replies to
+// requests, zmap-style. Create one with NewProber; it binds the vantage
+// address for ICMP delivery.
+type Prober struct {
+	fab   *fabric.Fabric
+	clock simclock.Clock
+	cfg   ProberConfig
+
+	mu        sync.Mutex
+	seq       uint16
+	inflight  map[uint16]*pendingProbe
+	nextSlot  time.Time
+	sent      uint64
+	received  uint64
+	blocked   uint64
+	malformed uint64
+}
+
+type pendingProbe struct {
+	target dnswire.IPv4
+	sent   time.Time
+	timer  simclock.Timer
+	done   func(ProbeResult)
+}
+
+// ProberStats counts prober activity.
+type ProberStats struct {
+	Sent      uint64
+	Received  uint64
+	Blocked   uint64
+	Malformed uint64
+}
+
+// NewProber creates a prober and binds its vantage address on the fabric.
+func NewProber(fab *fabric.Fabric, cfg ProberConfig) (*Prober, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	p := &Prober{
+		fab:      fab,
+		clock:    fab.Clock(),
+		cfg:      cfg,
+		inflight: make(map[uint16]*pendingProbe),
+	}
+	if err := fab.BindICMP(cfg.Vantage, p.handleICMP); err != nil {
+		return nil, fmt.Errorf("icmp: binding vantage: %w", err)
+	}
+	return p, nil
+}
+
+// Close unbinds the vantage address.
+func (p *Prober) Close() { p.fab.UnbindICMP(p.cfg.Vantage) }
+
+// Stats returns a snapshot of prober counters.
+func (p *Prober) Stats() ProberStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ProberStats{Sent: p.sent, Received: p.received, Blocked: p.blocked, Malformed: p.malformed}
+}
+
+// Probe sends one echo request to target and calls done exactly once, either
+// with the reply or with Alive=false after the timeout. Rate limiting delays
+// transmission as needed; blocklisted targets complete immediately.
+func (p *Prober) Probe(target dnswire.IPv4, done func(ProbeResult)) {
+	for _, pfx := range p.cfg.Blocklist {
+		if pfx.Contains(target) {
+			p.mu.Lock()
+			p.blocked++
+			p.mu.Unlock()
+			done(ProbeResult{Target: target, Alive: false, Sent: p.clock.Now()})
+			return
+		}
+	}
+	delay := p.reserveSlot()
+	if delay <= 0 {
+		p.transmit(target, done)
+		return
+	}
+	p.clock.AfterFunc(delay, func() { p.transmit(target, done) })
+}
+
+// Sweep probes every address in prefix and calls done once with all results
+// (order matches address order). It is the building block for the hourly
+// scans of Section 6.1.
+func (p *Prober) Sweep(prefix dnswire.Prefix, done func([]ProbeResult)) {
+	n := prefix.NumAddresses()
+	results := make([]ProbeResult, n)
+	remaining := n
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		i := i
+		p.Probe(prefix.Nth(i), func(r ProbeResult) {
+			mu.Lock()
+			results[i] = r
+			remaining--
+			last := remaining == 0
+			mu.Unlock()
+			if last {
+				done(results)
+			}
+		})
+	}
+}
+
+// reserveSlot implements the token bucket: it returns how long the caller
+// must wait before transmitting.
+func (p *Prober) reserveSlot() time.Duration {
+	if p.cfg.RatePerSecond <= 0 {
+		return 0
+	}
+	interval := time.Second / time.Duration(p.cfg.RatePerSecond)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.clock.Now()
+	if p.nextSlot.Before(now) {
+		p.nextSlot = now
+	}
+	wait := p.nextSlot.Sub(now)
+	p.nextSlot = p.nextSlot.Add(interval)
+	return wait
+}
+
+func (p *Prober) transmit(target dnswire.IPv4, done func(ProbeResult)) {
+	p.mu.Lock()
+	p.seq++
+	seq := p.seq
+	now := p.clock.Now()
+	pending := &pendingProbe{target: target, sent: now, done: done}
+	// The wire sequence space is 16 bits; with more than 65535 probes in
+	// flight the space wraps. Fail the displaced probe as lost rather
+	// than leaking its completion callback.
+	displaced := p.inflight[seq]
+	p.inflight[seq] = pending
+	p.sent++
+	p.mu.Unlock()
+	if displaced != nil {
+		if displaced.timer != nil {
+			displaced.timer.Stop()
+		}
+		displaced.done(ProbeResult{Target: displaced.target, Alive: false, Sent: displaced.sent})
+	}
+
+	req := Echo{ID: p.cfg.ID, Seq: seq}
+	p.fab.SendICMP(p.cfg.Vantage, target, req.Marshal())
+
+	pending.timer = p.clock.AfterFunc(p.cfg.Timeout, func() {
+		p.mu.Lock()
+		cur, ok := p.inflight[seq]
+		if ok && cur == pending {
+			delete(p.inflight, seq)
+		} else {
+			ok = false
+		}
+		p.mu.Unlock()
+		if ok {
+			done(ProbeResult{Target: target, Alive: false, Sent: pending.sent})
+		}
+	})
+}
+
+func (p *Prober) handleICMP(src, _ dnswire.IPv4, payload []byte) {
+	echo, err := Parse(payload)
+	if err != nil || !echo.Reply || echo.ID != p.cfg.ID {
+		p.mu.Lock()
+		p.malformed++
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Lock()
+	pending, ok := p.inflight[echo.Seq]
+	if ok && pending.target == src {
+		delete(p.inflight, echo.Seq)
+		p.received++
+	} else {
+		ok = false
+	}
+	p.mu.Unlock()
+	if !ok {
+		return
+	}
+	if pending.timer != nil {
+		pending.timer.Stop()
+	}
+	now := p.clock.Now()
+	pending.done(ProbeResult{Target: src, Alive: true, RTT: now.Sub(pending.sent), Sent: pending.sent})
+}
+
+// Responder answers echo requests for hosts that an AliveFunc reports as
+// online. Simulated networks register one per prefix on the fabric; this is
+// where "does the operator block ICMP on ingress" and "is the device
+// currently on the network" are decided.
+type Responder struct {
+	fab *fabric.Fabric
+	// Alive reports whether the host at ip currently answers pings.
+	Alive func(ip dnswire.IPv4) bool
+	// BlockIngress simulates an operator dropping all inbound ICMP, as
+	// two of the nine networks in the paper do (Section 6.2).
+	BlockIngress bool
+}
+
+// NewResponder registers a Responder for prefix on fab.
+func NewResponder(fab *fabric.Fabric, prefix dnswire.Prefix, alive func(dnswire.IPv4) bool, blockIngress bool) *Responder {
+	r := &Responder{fab: fab, Alive: alive, BlockIngress: blockIngress}
+	fab.RegisterICMPPrefix(prefix, r.handle)
+	return r
+}
+
+func (r *Responder) handle(src, dst dnswire.IPv4, payload []byte) {
+	if r.BlockIngress {
+		return
+	}
+	echo, err := Parse(payload)
+	if err != nil || echo.Reply {
+		return
+	}
+	if r.Alive == nil || !r.Alive(dst) {
+		return
+	}
+	r.fab.SendICMP(dst, src, ReplyTo(echo).Marshal())
+}

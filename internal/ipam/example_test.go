@@ -1,0 +1,68 @@
+package ipam_test
+
+import (
+	"fmt"
+	"time"
+
+	"rdnsprivacy/internal/dhcp"
+	"rdnsprivacy/internal/dhcpwire"
+	"rdnsprivacy/internal/dnsserver"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/ipam"
+	"rdnsprivacy/internal/simclock"
+)
+
+// The complete leak in miniature: a DHCP client announces its device name,
+// the IPAM carry-over policy publishes it in the global reverse DNS, and
+// anyone can read it back.
+func Example() {
+	clock := simclock.NewSimulated(time.Date(2021, 11, 1, 9, 0, 0, 0, time.UTC))
+	prefix := dnswire.MustPrefix("192.0.2.0/24")
+	origin, _ := dnswire.ReverseZoneFor24(prefix)
+	zone := dnsserver.NewZone(dnsserver.ZoneConfig{
+		Origin:    origin,
+		PrimaryNS: dnswire.MustName("ns1.campus-a.edu"),
+		Mbox:      dnswire.MustName("hostmaster.campus-a.edu"),
+	})
+	updater := ipam.NewUpdater(ipam.Config{
+		Policy: ipam.PolicyCarryOver,
+		Suffix: dnswire.MustName("dyn.campus-a.edu"),
+	})
+	if err := updater.AttachZone(zone); err != nil {
+		panic(err)
+	}
+	server := dhcp.NewServer(clock, dhcp.ServerConfig{
+		ServerIP:  prefix.Nth(1),
+		Pools:     []dnswire.Prefix{prefix},
+		LeaseTime: time.Hour,
+		Sink:      updater,
+	})
+
+	client := dhcp.NewClient(clock, server, dhcp.ClientConfig{
+		CHAddr:      dhcpwire.HardwareAddr{2, 0, 0, 0, 0, 1},
+		HostName:    "Brian's iPhone",
+		SendRelease: true,
+	})
+	ip, err := client.Join()
+	if err != nil {
+		panic(err)
+	}
+	target, _ := zone.LookupPTR(dnswire.ReverseName(ip))
+	fmt.Println("while present:", target)
+
+	client.Leave()
+	_, present := zone.LookupPTR(dnswire.ReverseName(ip))
+	fmt.Println("after release:", present)
+	// Output:
+	// while present: brians-iphone.dyn.campus-a.edu.
+	// after release: false
+}
+
+// SanitizeLabel shows how device names become DNS labels.
+func ExampleSanitizeLabel() {
+	fmt.Println(ipam.SanitizeLabel("Brian's iPhone"))
+	fmt.Println(ipam.SanitizeLabel("DESKTOP-4F2K9Q"))
+	// Output:
+	// brians-iphone
+	// desktop-4f2k9q
+}

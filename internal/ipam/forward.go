@@ -1,0 +1,91 @@
+package ipam
+
+import (
+	"sync"
+
+	"rdnsprivacy/internal/dhcp"
+	"rdnsprivacy/internal/dnsserver"
+	"rdnsprivacy/internal/dnswire"
+)
+
+// ForwardUpdater publishes forward (A) records for DHCP clients in a
+// forward zone: brians-iphone.dyn.example.edu -> 10.0.1.7. The paper
+// leaves forward-DNS carry-over as future work ("forward DNS data, which
+// can also be dynamically updated by DHCP servers"); this updater makes
+// the leak concrete — a forward zone enumerable by dictionary (the given
+// names and device terms of internal/names are exactly such a dictionary)
+// exposes the same identifiers without even needing address scanning.
+//
+// It implements dhcp.EventSink; chain it with an Updater via
+// dhcp.EventSinkFunc or MultiSink to publish both directions.
+type ForwardUpdater struct {
+	cfg  Config
+	zone *dnsserver.Zone
+
+	mu    sync.Mutex
+	names map[dnswire.IPv4]dnswire.Name // active name per address
+	stats Stats
+}
+
+// NewForwardUpdater creates a forward updater writing into zone, which
+// must be rooted at or above cfg.Suffix.
+func NewForwardUpdater(cfg Config, zone *dnsserver.Zone) *ForwardUpdater {
+	return &ForwardUpdater{
+		cfg:   cfg,
+		zone:  zone,
+		names: make(map[dnswire.IPv4]dnswire.Name),
+	}
+}
+
+// Stats returns a snapshot of updater counters.
+func (f *ForwardUpdater) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// LeaseEvent implements dhcp.EventSink.
+func (f *ForwardUpdater) LeaseEvent(ev dhcp.Event) {
+	switch f.cfg.Policy {
+	case PolicyNone, PolicyStaticForm:
+		return
+	}
+	switch ev.Kind {
+	case dhcp.LeaseGranted, dhcp.LeaseRenewed:
+		name, err := Target(f.cfg.Policy, f.cfg.Suffix, ev)
+		if err != nil {
+			return
+		}
+		if f.zone.SetA(name, ev.IP) != nil {
+			return
+		}
+		f.mu.Lock()
+		if ev.Kind == dhcp.LeaseGranted {
+			f.stats.Published++
+		} else {
+			f.stats.Refreshed++
+		}
+		f.names[ev.IP] = name
+		f.mu.Unlock()
+	case dhcp.LeaseReleased, dhcp.LeaseExpired:
+		f.mu.Lock()
+		name, ok := f.names[ev.IP]
+		delete(f.names, ev.IP)
+		f.mu.Unlock()
+		if ok && f.zone.RemoveA(name) {
+			f.mu.Lock()
+			f.stats.Removed++
+			f.mu.Unlock()
+		}
+	}
+}
+
+// MultiSink fans a lease event out to several sinks (e.g. a reverse
+// Updater plus a ForwardUpdater).
+func MultiSink(sinks ...dhcp.EventSink) dhcp.EventSink {
+	return dhcp.EventSinkFunc(func(ev dhcp.Event) {
+		for _, s := range sinks {
+			s.LeaseEvent(ev)
+		}
+	})
+}

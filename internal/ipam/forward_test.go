@@ -1,0 +1,100 @@
+package ipam
+
+import (
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dhcp"
+	"rdnsprivacy/internal/dhcpwire"
+	"rdnsprivacy/internal/dnsserver"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/simclock"
+)
+
+func forwardZone(t *testing.T) *dnsserver.Zone {
+	t.Helper()
+	return dnsserver.NewZone(dnsserver.ZoneConfig{
+		Origin:    dnswire.MustName("dyn.example.edu"),
+		PrimaryNS: dnswire.MustName("ns1.example.edu"),
+		Mbox:      dnswire.MustName("hostmaster.example.edu"),
+	})
+}
+
+func TestForwardUpdaterPublishesARecord(t *testing.T) {
+	z := forwardZone(t)
+	f := NewForwardUpdater(Config{
+		Policy: PolicyCarryOver, Suffix: dnswire.MustName("dyn.example.edu"),
+	}, z)
+	ev := grantedEvent("Brian's iPhone")
+	f.LeaseEvent(ev)
+	addr, ok := z.LookupA(dnswire.MustName("brians-iphone.dyn.example.edu"))
+	if !ok || addr != ev.IP {
+		t.Fatalf("A = %v, %v", addr, ok)
+	}
+	ev.Kind = dhcp.LeaseExpired
+	f.LeaseEvent(ev)
+	if _, ok := z.LookupA(dnswire.MustName("brians-iphone.dyn.example.edu")); ok {
+		t.Fatal("A record survived expiry")
+	}
+	st := f.Stats()
+	if st.Published != 1 || st.Removed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestForwardAndReverseTogether(t *testing.T) {
+	// Both directions from the same lease stream, via MultiSink: the
+	// forward zone becomes dictionary-enumerable and the reverse zone
+	// scannable — the paper's leak plus its future-work extension.
+	clock := simclock.NewSimulated(time.Date(2021, 11, 1, 9, 0, 0, 0, time.UTC))
+	rz := newZone(t)
+	fz := forwardZone(t)
+	rev := NewUpdater(Config{Policy: PolicyCarryOver, Suffix: dnswire.MustName("dyn.example.edu")})
+	rev.AttachZone(rz)
+	fwd := NewForwardUpdater(Config{
+		Policy: PolicyCarryOver, Suffix: dnswire.MustName("dyn.example.edu"),
+	}, fz)
+
+	srv := dhcp.NewServer(clock, dhcp.ServerConfig{
+		ServerIP:  dnswire.MustIPv4("192.0.2.1"),
+		Pools:     []dnswire.Prefix{dnswire.MustPrefix("192.0.2.0/24")},
+		LeaseTime: time.Hour,
+		Sink:      MultiSink(rev, fwd),
+	})
+	cl := dhcp.NewClient(clock, srv, dhcp.ClientConfig{
+		CHAddr: dhcpwire.HardwareAddr{2, 0, 0, 0, 0, 1}, HostName: "Emma's iPad",
+		SendRelease: true,
+	})
+	ip, err := cl.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := dnswire.MustName("emmas-ipad.dyn.example.edu")
+	if got, ok := rz.LookupPTR(dnswire.ReverseName(ip)); !ok || got != name {
+		t.Fatalf("reverse: %q, %v", got, ok)
+	}
+	if got, ok := fz.LookupA(name); !ok || got != ip {
+		t.Fatalf("forward: %v, %v", got, ok)
+	}
+	// A dictionary guess against the forward zone succeeds without any
+	// address scanning at all.
+	if _, ok := fz.LookupA(dnswire.MustName("emmas-ipad.dyn.example.edu")); !ok {
+		t.Fatal("dictionary enumeration failed")
+	}
+	cl.Leave()
+	if _, ok := fz.LookupA(name); ok {
+		t.Fatal("forward record survived release")
+	}
+	if _, ok := rz.LookupPTR(dnswire.ReverseName(ip)); ok {
+		t.Fatal("reverse record survived release")
+	}
+}
+
+func TestForwardUpdaterHonoursPolicyNone(t *testing.T) {
+	z := forwardZone(t)
+	f := NewForwardUpdater(Config{Policy: PolicyNone, Suffix: dnswire.MustName("dyn.example.edu")}, z)
+	f.LeaseEvent(grantedEvent("Brians-MBP"))
+	if z.Len() != 0 {
+		t.Fatal("PolicyNone published a forward record")
+	}
+}

@@ -1,0 +1,87 @@
+package ipam
+
+import (
+	"sync"
+
+	"rdnsprivacy/internal/dnswire"
+)
+
+// RFC2136Writer is a ZoneWriter that emits RFC 2136 DNS UPDATE messages
+// instead of mutating a zone in process — the deployment shape of real
+// IPAM products, where the DHCP/IPAM box and the authoritative name server
+// are separate systems. The transport is a caller-provided send function
+// (a fabric endpoint, a UDP socket, a test capture); updates are
+// fire-and-forget, like the unacknowledged update streams commercial
+// systems emit.
+type RFC2136Writer struct {
+	origin dnswire.Name
+	send   func(wire []byte)
+
+	mu     sync.Mutex
+	nextID uint16
+	sent   uint64
+	errors uint64
+}
+
+// NewRFC2136Writer creates a writer for the zone rooted at origin that
+// transmits marshalled UPDATE messages through send.
+func NewRFC2136Writer(origin dnswire.Name, send func(wire []byte)) *RFC2136Writer {
+	return &RFC2136Writer{origin: origin, send: send}
+}
+
+// Origin implements ZoneWriter.
+func (w *RFC2136Writer) Origin() dnswire.Name { return w.origin }
+
+// Sent returns how many UPDATE messages have been transmitted.
+func (w *RFC2136Writer) Sent() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sent
+}
+
+// SetPTR implements ZoneWriter: it sends an UPDATE that deletes the PTR
+// RRset at name and adds the new record, the add-or-replace idiom of
+// RFC 2136 clients.
+func (w *RFC2136Writer) SetPTR(name, target dnswire.Name) error {
+	upd := dnswire.NewUpdate(w.id(), w.origin)
+	upd.DeleteRRset(name, dnswire.TypePTR)
+	upd.AddRR(dnswire.Record{
+		Name:  name,
+		Type:  dnswire.TypePTR,
+		Class: dnswire.ClassIN,
+		TTL:   300,
+		Data:  dnswire.PTRData{Target: target},
+	})
+	return w.transmit(upd)
+}
+
+// RemovePTR implements ZoneWriter: it sends an UPDATE deleting the PTR
+// RRset at name. Being fire-and-forget it always reports the deletion as
+// issued.
+func (w *RFC2136Writer) RemovePTR(name dnswire.Name) bool {
+	upd := dnswire.NewUpdate(w.id(), w.origin)
+	upd.DeleteRRset(name, dnswire.TypePTR)
+	return w.transmit(upd) == nil
+}
+
+func (w *RFC2136Writer) id() uint16 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nextID++
+	return w.nextID
+}
+
+func (w *RFC2136Writer) transmit(upd *dnswire.Message) error {
+	wire, err := upd.Marshal()
+	if err != nil {
+		w.mu.Lock()
+		w.errors++
+		w.mu.Unlock()
+		return err
+	}
+	w.send(wire)
+	w.mu.Lock()
+	w.sent++
+	w.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,123 @@
+package ipam
+
+import (
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dhcp"
+	"rdnsprivacy/internal/dhcpwire"
+	"rdnsprivacy/internal/dnsserver"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/fabric"
+	"rdnsprivacy/internal/simclock"
+)
+
+func TestRFC2136WriterSetAndRemove(t *testing.T) {
+	// The writer transmits wire UPDATEs; apply them directly to a
+	// server and observe the zone.
+	srv := dnsserver.NewServer()
+	z := newZone(t)
+	srv.AddZone(z)
+	w := NewRFC2136Writer(z.Origin(), func(wire []byte) {
+		if resp := srv.HandleQuery(wire); resp == nil {
+			t.Fatal("server dropped the UPDATE")
+		}
+	})
+	ip := dnswire.MustIPv4("192.0.2.10")
+	name := dnswire.ReverseName(ip)
+	if err := w.SetPTR(name, dnswire.MustName("brians-iphone.dyn.example.edu")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := z.LookupPTR(name)
+	if !ok || got != dnswire.MustName("brians-iphone.dyn.example.edu") {
+		t.Fatalf("PTR = %q, %v", got, ok)
+	}
+	// Replace.
+	if err := w.SetPTR(name, dnswire.MustName("brians-mbp.dyn.example.edu")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := z.LookupPTR(name); got != dnswire.MustName("brians-mbp.dyn.example.edu") {
+		t.Fatalf("after replace: %q", got)
+	}
+	if !w.RemovePTR(name) {
+		t.Fatal("RemovePTR reported failure")
+	}
+	if _, ok := z.LookupPTR(name); ok {
+		t.Fatal("PTR survived removal")
+	}
+	if w.Sent() != 3 {
+		t.Fatalf("sent = %d, want 3", w.Sent())
+	}
+}
+
+func TestUpdaterOverRFC2136EndToEnd(t *testing.T) {
+	// The full split deployment over the fabric: DHCP server + updater
+	// on one host, authoritative DNS on another, linked only by wire
+	// UPDATE messages. A lease grant must materialize as a PTR on the
+	// remote server; expiry must remove it.
+	clock := simclock.NewSimulated(time.Date(2021, 11, 1, 9, 0, 0, 0, time.UTC))
+	fab := fabric.New(clock, fabric.Config{Latency: 5 * time.Millisecond})
+
+	srv := dnsserver.NewServer()
+	z := newZone(t)
+	srv.AddZone(z)
+	dnsAddr := fabric.Addr{IP: dnswire.MustIPv4("192.0.2.53"), Port: 53}
+	if _, err := srv.AttachFabric(fab, dnsAddr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The IPAM box's update socket.
+	ipamEP, err := fab.Bind(fabric.Addr{IP: dnswire.MustIPv4("192.0.2.7"), Port: 40053},
+		func(fabric.Datagram) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer := NewRFC2136Writer(z.Origin(), func(wire []byte) {
+		ipamEP.Send(dnsAddr, wire)
+	})
+	u := NewUpdater(Config{Policy: PolicyCarryOver, Suffix: dnswire.MustName("dyn.example.edu")})
+	if err := u.AttachZone(writer); err != nil {
+		t.Fatal(err)
+	}
+	dhcpSrv := dhcp.NewServer(clock, dhcp.ServerConfig{
+		ServerIP:  dnswire.MustIPv4("192.0.2.1"),
+		Pools:     []dnswire.Prefix{dnswire.MustPrefix("192.0.2.0/24")},
+		LeaseTime: time.Hour,
+		Sink:      u,
+	})
+	cl := dhcp.NewClient(clock, dhcpSrv, dhcp.ClientConfig{
+		CHAddr: dhcpwire.HardwareAddr{2, 0, 0, 0, 0, 9}, HostName: "Brians-iPad",
+	})
+	ip, err := cl.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Second) // let the UPDATE travel
+	got, ok := z.LookupPTR(dnswire.ReverseName(ip))
+	if !ok || got != dnswire.MustName("brians-ipad.dyn.example.edu") {
+		t.Fatalf("remote PTR = %q, %v", got, ok)
+	}
+
+	cl.Leave() // silent; record removed on lease expiry
+	clock.Advance(2 * time.Hour)
+	if _, ok := z.LookupPTR(dnswire.ReverseName(ip)); ok {
+		t.Fatal("remote PTR survived lease expiry")
+	}
+}
+
+func TestRFC2136AgainstRefusingServer(t *testing.T) {
+	// A server with updates disabled silently keeps its zone; the
+	// fire-and-forget writer does not block the DHCP side.
+	srv := dnsserver.NewServer()
+	z := newZone(t)
+	srv.AddZone(z)
+	srv.SetUpdatePolicy(dnsserver.UpdatesRefused)
+	w := NewRFC2136Writer(z.Origin(), func(wire []byte) { srv.HandleQuery(wire) })
+	name := dnswire.ReverseName(dnswire.MustIPv4("192.0.2.10"))
+	if err := w.SetPTR(name, dnswire.MustName("x.example.edu")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := z.LookupPTR(name); ok {
+		t.Fatal("refusing server applied an update")
+	}
+}

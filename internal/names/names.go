@@ -1,0 +1,188 @@
+// Package names holds the vocabulary tables the study is built on: the
+// top-50 US given names the paper matches against (Section 5.1, sourced
+// from the SSA newborn-name statistics for 2000-2020), the device terms
+// that co-appear with given names in hostnames (Figure 3), the generic
+// router-level terms used to exclude infrastructure records, and the city
+// names that collide with given names (the Jackson/Jacksonville problem).
+package names
+
+import (
+	"sort"
+	"strings"
+)
+
+// Top50 is the list of given names used for matching, in the order of the
+// paper's Figure 2 (US popularity 2000-2020 per the SSA newborn data).
+var Top50 = []string{
+	"jacob", "michael", "emma", "william", "ethan", "olivia", "matthew",
+	"emily", "daniel", "noah", "joshua", "isabella", "alexander", "joseph",
+	"james", "andrew", "sophia", "christopher", "anthony", "david",
+	"madison", "logan", "benjamin", "ryan", "abigail", "john", "elijah",
+	"mason", "samuel", "dylan", "nicholas", "jayden", "liam", "elizabeth",
+	"christian", "gabriel", "tyler", "jonathan", "nathan", "jordan",
+	"hannah", "aiden", "jackson", "alexis", "caleb", "lucas", "angel",
+	"brandon", "ava", "mia",
+}
+
+// Extra holds common given names outside the matching top-50 that the
+// population model also assigns to device owners. Brian is here: the paper
+// deliberately tracks a common name that its headline matching list does
+// not even need to contain — anyone can match any name.
+var Extra = []string{
+	"brian", "kevin", "laura", "sarah", "eric", "amanda", "jason",
+	"melissa", "justin", "megan", "aaron", "rachel", "adam", "nicole",
+	"kyle", "steven", "brittany", "sean", "kathryn", "patrick",
+}
+
+// DeviceTerms are the device-revealing terms of Figure 3, in figure order.
+// They expose makes and models: iphone, ipad, galaxy (Samsung), mbp/air/
+// macbook (Apple laptops), dell/lenovo (PC vendors), chrome(book), roku.
+var DeviceTerms = []string{
+	"ipad", "air", "laptop", "phone", "dell", "desktop", "iphone", "mbp",
+	"android", "macbook", "galaxy", "lenovo", "chrome", "roku",
+}
+
+// GenericTerms convey location or router-level information and are used to
+// exclude infrastructure PTR records from the client analysis (Section 5.1,
+// citing the router-hostname literature).
+var GenericTerms = []string{
+	"north", "south", "east", "west", "core", "border", "edge", "router",
+	"rtr", "switch", "gw", "gateway", "vlan", "eth", "ge", "xe", "te",
+	"pos", "ae", "lo", "uplink", "downlink", "peer", "transit", "mgmt",
+	"static", "pool", "nat", "fw", "firewall", "lb", "vpn", "dsl", "cable",
+	"fiber", "ftth", "pppoe",
+}
+
+// CityNames are US city names that routers encode as location hints and
+// that overlap or nearly overlap with given names — the source of the
+// false-match problem the paper solves with per-suffix unique-name counts.
+var CityNames = []string{
+	"jackson", "jacksonville", "madison", "logan", "jordan", "aurora",
+	"austin", "charlotte", "dayton", "houston", "lincoln", "orlando",
+	"phoenix", "salem", "savannah",
+}
+
+// Matcher matches given names in hostname labels. Create one with
+// NewMatcher; the zero value matches nothing.
+type Matcher struct {
+	names map[string]bool
+}
+
+// NewMatcher builds a matcher over the provided names (lowercase).
+func NewMatcher(names []string) *Matcher {
+	m := &Matcher{names: make(map[string]bool, len(names))}
+	for _, n := range names {
+		m.names[strings.ToLower(n)] = true
+	}
+	return m
+}
+
+// Words splits a hostname into its alphabetic words: maximal runs of
+// letters, lowercased. This is the term-extraction regex of Section 5.1
+// ("words consisting of alphabetical characters"), implemented without
+// regexp for speed — snapshot-scale matching runs over millions of records.
+func Words(hostname string) []string {
+	var words []string
+	s := strings.ToLower(hostname)
+	start := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			words = append(words, s[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		words = append(words, s[start:])
+	}
+	return words
+}
+
+// Match returns the distinct given names found in hostname, sorted. A word
+// matches a name if it equals the name or the name plus a possessive "s"
+// ("brians" matches brian), the form device names take after
+// apostrophe-stripping sanitization.
+func (m *Matcher) Match(hostname string) []string {
+	if m == nil || len(m.names) == 0 {
+		return nil
+	}
+	var found map[string]bool
+	for _, w := range Words(hostname) {
+		name := ""
+		switch {
+		case m.names[w]:
+			name = w
+		case len(w) > 1 && strings.HasSuffix(w, "s") && m.names[w[:len(w)-1]]:
+			name = w[:len(w)-1]
+		}
+		if name != "" {
+			if found == nil {
+				found = make(map[string]bool)
+			}
+			found[name] = true
+		}
+	}
+	if len(found) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(found))
+	for n := range found {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasGenericTerm reports whether any word of hostname is one of the generic
+// router-level terms, marking the record as infrastructure rather than a
+// client device.
+func HasGenericTerm(hostname string) bool {
+	for _, w := range Words(hostname) {
+		if genericSet[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// DeviceTermsIn returns the distinct device terms present in hostname,
+// sorted.
+func DeviceTermsIn(hostname string) []string {
+	var found map[string]bool
+	for _, w := range Words(hostname) {
+		if deviceSet[w] {
+			if found == nil {
+				found = make(map[string]bool)
+			}
+			found[w] = true
+		}
+	}
+	if len(found) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(found))
+	for t := range found {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var (
+	genericSet = makeSet(GenericTerms)
+	deviceSet  = makeSet(DeviceTerms)
+)
+
+func makeSet(items []string) map[string]bool {
+	s := make(map[string]bool, len(items))
+	for _, it := range items {
+		s[it] = true
+	}
+	return s
+}

@@ -1,0 +1,150 @@
+package names
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTop50Size(t *testing.T) {
+	if len(Top50) != 50 {
+		t.Fatalf("Top50 has %d names, want 50", len(Top50))
+	}
+	seen := map[string]bool{}
+	for _, n := range Top50 {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestBrianIsNotInTop50ButInExtra(t *testing.T) {
+	for _, n := range Top50 {
+		if n == "brian" {
+			t.Fatal("brian unexpectedly in Top50 (Figure 2 does not list it)")
+		}
+	}
+	found := false
+	for _, n := range Extra {
+		if n == "brian" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("brian missing from Extra; the case studies need Brians")
+	}
+}
+
+func TestWords(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"brians-iphone.dyn.campus-a.example.edu.", []string{"brians", "iphone", "dyn", "campus", "a", "example", "edu"}},
+		{"host-2-10", []string{"host"}},
+		{"192-0-2-10", nil},
+		{"", nil},
+		{"UPPER.Case", []string{"upper", "case"}},
+	}
+	for _, tc := range tests {
+		got := Words(tc.in)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Words(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMatcherPossessive(t *testing.T) {
+	m := NewMatcher(Top50)
+	got := m.Match("jacobs-iphone.dyn.example.edu.")
+	if !reflect.DeepEqual(got, []string{"jacob"}) {
+		t.Fatalf("Match = %v, want [jacob]", got)
+	}
+}
+
+func TestMatcherExact(t *testing.T) {
+	m := NewMatcher(Top50)
+	got := m.Match("emma-laptop.students.example.ac.uk.")
+	if !reflect.DeepEqual(got, []string{"emma"}) {
+		t.Fatalf("Match = %v, want [emma]", got)
+	}
+}
+
+func TestMatcherNoSubstringFalsePositives(t *testing.T) {
+	m := NewMatcher(Top50)
+	// "jacobson" must not match jacob: word-level matching only allows
+	// the exact name or possessive form.
+	if got := m.Match("jacobson-router.example.net."); got != nil {
+		t.Fatalf("Match(jacobson) = %v, want nil", got)
+	}
+	// "liams" matches liam (possessive); "williamsburg" must not match.
+	if got := m.Match("williamsburg.example.net."); got != nil {
+		t.Fatalf("Match(williamsburg) = %v, want nil", got)
+	}
+}
+
+func TestMatcherMultipleAndDeduped(t *testing.T) {
+	m := NewMatcher(Top50)
+	got := m.Match("emma-and-noah-and-emma.example.org.")
+	if !reflect.DeepEqual(got, []string{"emma", "noah"}) {
+		t.Fatalf("Match = %v, want [emma noah]", got)
+	}
+}
+
+func TestMatcherCityCollision(t *testing.T) {
+	// jackson the city matches jackson the name: this IS the ambiguity
+	// the paper handles with per-suffix unique-name thresholds, so the
+	// matcher itself must report the match.
+	m := NewMatcher(Top50)
+	got := m.Match("core1.jackson.ms.example.net.")
+	if !reflect.DeepEqual(got, []string{"jackson"}) {
+		t.Fatalf("Match = %v, want [jackson]", got)
+	}
+}
+
+func TestNilMatcher(t *testing.T) {
+	var m *Matcher
+	if got := m.Match("emma.example.org."); got != nil {
+		t.Fatalf("nil matcher matched %v", got)
+	}
+}
+
+func TestHasGenericTerm(t *testing.T) {
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"core1.north.example.net.", true},
+		{"gw-3.example.net.", true},
+		{"brians-iphone.dyn.example.edu.", false},
+		{"vlan120.sw4.example.com.", true},
+		{"emma-laptop.example.edu.", false},
+	}
+	for _, tc := range tests {
+		if got := HasGenericTerm(tc.in); got != tc.want {
+			t.Errorf("HasGenericTerm(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDeviceTermsIn(t *testing.T) {
+	got := DeviceTermsIn("brians-galaxy-note9.dyn.example.edu.")
+	if !reflect.DeepEqual(got, []string{"galaxy"}) {
+		t.Fatalf("DeviceTermsIn = %v, want [galaxy]", got)
+	}
+	got = DeviceTermsIn("emmas-macbook-air.example.edu.")
+	if !reflect.DeepEqual(got, []string{"air", "macbook"}) {
+		t.Fatalf("DeviceTermsIn = %v, want [air macbook]", got)
+	}
+	if got := DeviceTermsIn("core1.example.net."); got != nil {
+		t.Fatalf("DeviceTermsIn(router) = %v, want nil", got)
+	}
+}
+
+func TestFigure3TermsPresent(t *testing.T) {
+	want := []string{"ipad", "air", "laptop", "phone", "dell", "desktop",
+		"iphone", "mbp", "android", "macbook", "galaxy", "lenovo", "chrome", "roku"}
+	if !reflect.DeepEqual(DeviceTerms, want) {
+		t.Fatalf("DeviceTerms = %v, want the Figure 3 list", DeviceTerms)
+	}
+}

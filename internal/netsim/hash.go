@@ -1,0 +1,80 @@
+// Package netsim models the populations of networks the paper measures:
+// people and their devices, the networks they join (academic, ISP,
+// enterprise, government), the schedules that govern when devices are
+// present (workdays, campus life, holidays, COVID-19 lockdowns), and the
+// operator-side infrastructure (DHCP + IPAM + authoritative rDNS) that
+// turns presence into globally visible PTR records.
+//
+// This package substitutes for the real Internet population the paper
+// observed through OpenINTEL, Rapid7 and its own supplemental measurement.
+// Everything is deterministic under a seed: presence decisions derive from
+// hashes of (seed, device, date), never from a shared mutable RNG, so any
+// moment of any simulated day can be evaluated independently — the property
+// that lets two years of daily snapshots coexist with packet-level
+// event-driven measurement windows.
+package netsim
+
+import (
+	"time"
+)
+
+// FNV-1a constants.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hash64 hashes a sequence of values into a uint64 with FNV-1a. It is
+// allocation-free: presence evaluation calls it hundreds of millions of
+// times across a longitudinal campaign.
+func hash64(parts ...uint64) uint64 {
+	h := uint64(fnvOffset)
+	for _, p := range parts {
+		for shift := 56; shift >= 0; shift -= 8 {
+			h ^= p >> shift & 0xFF
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// hashString folds a string into a uint64 for use as a hash part.
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// dayNumber numbers days since the simulation epoch so that hash inputs
+// are stable integers. Times are interpreted in the study's local timezone
+// (see Universe.Location).
+func dayNumber(t time.Time) uint64 {
+	return uint64(t.Unix()/86400) + 1<<20
+}
+
+// chance draws a deterministic Bernoulli decision from hash parts.
+func chance(p float64, parts ...uint64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return unitFloat(hash64(parts...)) < p
+}
+
+// spread maps a hash to a duration in [0, span).
+func spread(span time.Duration, parts ...uint64) time.Duration {
+	if span <= 0 {
+		return 0
+	}
+	return time.Duration(unitFloat(hash64(parts...)) * float64(span))
+}

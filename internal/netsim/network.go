@@ -1,0 +1,568 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"rdnsprivacy/internal/dhcp"
+	"rdnsprivacy/internal/dnsserver"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/fabric"
+	"rdnsprivacy/internal/ipam"
+	"rdnsprivacy/internal/simclock"
+)
+
+// NetworkType classifies networks the way Section 5.2 does.
+type NetworkType int
+
+// Network types (Figure 4).
+const (
+	Academic NetworkType = iota
+	ISP
+	Enterprise
+	Government
+	Other
+)
+
+// String returns the label used in Figure 4.
+func (t NetworkType) String() string {
+	switch t {
+	case Academic:
+		return "academic"
+	case ISP:
+		return "isp"
+	case Enterprise:
+		return "enterprise"
+	case Government:
+		return "government"
+	case Other:
+		return "other"
+	default:
+		return "unknown"
+	}
+}
+
+// BlockKind classifies address blocks within a network's numbering plan.
+type BlockKind int
+
+// Block kinds.
+const (
+	// BlockDynamic serves DHCP clients; its rDNS policy decides whether
+	// it leaks.
+	BlockDynamic BlockKind = iota
+	// BlockStaticInfra holds router/switch infrastructure records.
+	BlockStaticInfra
+	// BlockStaticPool holds fixed-form subscriber records (ISP style).
+	BlockStaticPool
+	// BlockServers holds a handful of service hosts.
+	BlockServers
+	// BlockEmpty has no records at all.
+	BlockEmpty
+)
+
+// Block is one entry of a network's numbering plan.
+type Block struct {
+	// Kind selects the block behaviour.
+	Kind BlockKind
+	// Prefix is the address space of the block.
+	Prefix dnswire.Prefix
+	// Policy is the IPAM policy for BlockDynamic blocks.
+	Policy ipam.Policy
+	// SubLabel names the block inside the hostname suffix, e.g.
+	// "housing" or "dyn". Records publish under SubLabel.<suffix>.
+	SubLabel string
+	// Density is the fraction of addresses with records for static
+	// blocks (0 defaults to 0.35 for infra, 0.9 for pools).
+	Density float64
+	// Building optionally names the physical building the block serves.
+	// The paper's discussion (Section 8) notes that subnet-to-building
+	// knowledge turns presence tracking into geotemporal tracking; this
+	// field is the simulation's ground truth for that knowledge.
+	Building string
+}
+
+// Config describes a network.
+type Config struct {
+	// Name identifies the network in reports, e.g. "Academic-A".
+	Name string
+	// Type classifies it.
+	Type NetworkType
+	// Suffix is the base hostname suffix (TLD+1 and below), e.g.
+	// campus-a.example.edu.
+	Suffix dnswire.Name
+	// Announced is the covering announced prefix.
+	Announced dnswire.Prefix
+	// Blocks is the numbering plan. Block prefixes must fall inside
+	// Announced.
+	Blocks []Block
+	// LeaseTime is the DHCP lease duration (default 1h).
+	LeaseTime time.Duration
+	// BlockICMP drops inbound pings at the network edge.
+	BlockICMP bool
+	// Timeline provides COVID-phase occupancy; nil means always normal.
+	Timeline *Timeline
+	// Calendar provides holiday occupancy; nil means none.
+	Calendar *Calendar
+	// Location is the local timezone (default UTC).
+	Location *time.Location
+	// Seed drives all randomness for this network.
+	Seed uint64
+	// DNSFailure injects name-server failures in live mode, modelling
+	// the errors the paper observes during supplemental measurement
+	// (Figure 6).
+	DNSFailure dnsserver.FailureMode
+}
+
+// Network is a simulated network: a population of devices plus the operator
+// infrastructure that exposes (or hides) them in reverse DNS. Create one
+// with NewNetwork, add devices with Populate or AddDevice, then either
+// evaluate snapshots with RecordsAt / OnlineAt, or run it live on a fabric
+// with Start.
+type Network struct {
+	cfg Config
+
+	devices   []*Device
+	arch      map[uint64]Archetype
+	deviceIP  map[uint64]dnswire.IPv4
+	ipDevice  map[dnswire.IPv4]*Device
+	blockDev  map[int][]*Device // block index -> devices
+	devBlock  map[uint64]int
+	rng       *rand.Rand
+	staticRec map[dnswire.IPv4]dnswire.Name // cached static records
+
+	// Live state (event-driven mode).
+	mu       sync.Mutex
+	live     *liveState
+	onlineIP map[dnswire.IPv4]bool
+}
+
+type liveState struct {
+	clock    simclock.Clock
+	fab      *fabric.Fabric
+	dns      *dnsserver.Server
+	dnsEP    *fabric.Endpoint
+	zones    map[dnswire.Name]*dnsserver.Zone
+	servers  []*dhcp.Server
+	clients  map[uint64]*dhcp.Client
+	tickers  []*simclock.Ticker
+	timers   []simclock.Timer
+	joinFail uint64
+}
+
+// NewNetwork builds a network from a config.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.LeaseTime <= 0 {
+		cfg.LeaseTime = time.Hour
+	}
+	if cfg.Location == nil {
+		cfg.Location = time.UTC
+	}
+	for i, b := range cfg.Blocks {
+		if !cfg.Announced.Contains(b.Prefix.Addr) {
+			return nil, fmt.Errorf("netsim: block %d (%s) outside announced %s", i, b.Prefix, cfg.Announced)
+		}
+	}
+	n := &Network{
+		cfg:       cfg,
+		arch:      make(map[uint64]Archetype),
+		deviceIP:  make(map[uint64]dnswire.IPv4),
+		ipDevice:  make(map[dnswire.IPv4]*Device),
+		blockDev:  make(map[int][]*Device),
+		devBlock:  make(map[uint64]int),
+		rng:       rand.New(rand.NewSource(int64(cfg.Seed))),
+		staticRec: make(map[dnswire.IPv4]dnswire.Name),
+		onlineIP:  make(map[dnswire.IPv4]bool),
+	}
+	if err := n.buildStaticRecords(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Name returns the network's report name.
+func (n *Network) Name() string { return n.cfg.Name }
+
+// Devices returns the network's devices.
+func (n *Network) Devices() []*Device { return n.devices }
+
+// DeviceIP returns the planned address of a device.
+func (n *Network) DeviceIP(d *Device) (dnswire.IPv4, bool) {
+	ip, ok := n.deviceIP[d.ID]
+	return ip, ok
+}
+
+// BuildingFor returns the building name serving ip, if the numbering plan
+// records one.
+func (n *Network) BuildingFor(ip dnswire.IPv4) (string, bool) {
+	for _, b := range n.cfg.Blocks {
+		if b.Building != "" && b.Prefix.Contains(ip) {
+			return b.Building, true
+		}
+	}
+	return "", false
+}
+
+// DNSAddr returns the fabric address of the network's authoritative name
+// server: the .3 address of the first /24, port 53, by convention.
+func (n *Network) DNSAddr() fabric.Addr {
+	return fabric.Addr{IP: n.cfg.Announced.Nth(3), Port: 53}
+}
+
+// blockSuffix computes the hostname suffix for a block.
+func (n *Network) blockSuffix(b Block) dnswire.Name {
+	if b.SubLabel == "" {
+		return n.cfg.Suffix
+	}
+	s, err := n.cfg.Suffix.Prepend(b.SubLabel)
+	if err != nil {
+		return n.cfg.Suffix
+	}
+	return s
+}
+
+// AddDevice places a device in the numbering plan's blockIdx-th block with
+// the given archetype. The address is assigned deterministically.
+func (n *Network) AddDevice(d *Device, blockIdx int, arch Archetype) error {
+	if blockIdx < 0 || blockIdx >= len(n.cfg.Blocks) {
+		return fmt.Errorf("netsim: block index %d out of range", blockIdx)
+	}
+	b := n.cfg.Blocks[blockIdx]
+	if b.Kind != BlockDynamic {
+		return fmt.Errorf("netsim: block %d is not dynamic", blockIdx)
+	}
+	usable := n.usableIPs(blockIdx)
+	idx := len(n.blockDev[blockIdx])
+	if idx >= len(usable) {
+		return fmt.Errorf("netsim: block %d full (%d devices)", blockIdx, idx)
+	}
+	ip := usable[idx]
+	n.devices = append(n.devices, d)
+	n.arch[d.ID] = arch
+	n.deviceIP[d.ID] = ip
+	n.ipDevice[ip] = d
+	n.blockDev[blockIdx] = append(n.blockDev[blockIdx], d)
+	n.devBlock[d.ID] = blockIdx
+	return nil
+}
+
+// usableIPs enumerates the assignable addresses of a dynamic block in a
+// deterministic shuffled order: network/broadcast addresses and the two
+// lowest host addresses (reserved for the DHCP server and the name server)
+// are excluded.
+func (n *Network) usableIPs(blockIdx int) []dnswire.IPv4 {
+	b := n.cfg.Blocks[blockIdx]
+	count := b.Prefix.NumAddresses()
+	ips := make([]dnswire.IPv4, 0, count-4)
+	for i := 3; i < count-1; i++ {
+		ips = append(ips, b.Prefix.Nth(i))
+	}
+	// Deterministic shuffle so address usage does not cluster at the
+	// bottom of the prefix.
+	r := rand.New(rand.NewSource(int64(hash64(n.cfg.Seed, uint64(blockIdx), 0x51))))
+	r.Shuffle(len(ips), func(i, j int) { ips[i], ips[j] = ips[j], ips[i] })
+	return ips
+}
+
+// PopulateSpec controls random population of a dynamic block.
+type PopulateSpec struct {
+	// Block is the index of the dynamic block to fill.
+	Block int
+	// People is how many persons to create.
+	People int
+	// Archetype applies to every person in this spec.
+	Archetype Archetype
+	// NamedFraction is the fraction of devices that carry their owner's
+	// given name (the rest use serial-style names).
+	NamedFraction float64
+	// DevicesPerPerson bounds the 1..N devices each person owns.
+	DevicesPerPerson int
+	// ReleaseFraction is the fraction of devices that send DHCPRELEASE
+	// on leave.
+	ReleaseFraction float64
+	// NamePool supplies owner given names; defaults to the union of the
+	// matching top-50 and the extra common names.
+	NamePool []string
+}
+
+// Populate fills a block with randomly generated people and devices,
+// deterministically under the network seed.
+func (n *Network) Populate(spec PopulateSpec) error {
+	pool := spec.NamePool
+	if len(pool) == 0 {
+		pool = defaultNamePool()
+	}
+	per := spec.DevicesPerPerson
+	if per <= 0 {
+		per = 3
+	}
+	kinds := []DeviceKind{
+		KindIPhone, KindIPad, KindMacBookAir, KindMacBookPro,
+		KindAndroidPhone, KindGalaxyPhone, KindGalaxyNote, KindDellLaptop,
+		KindLenovoLaptop, KindWindowsDesktop, KindChromebook, KindGenericPhone,
+	}
+	for p := 0; p < spec.People; p++ {
+		owner := pool[n.rng.Intn(len(pool))]
+		numDev := 1 + n.rng.Intn(per)
+		for d := 0; d < numDev; d++ {
+			kind := kinds[n.rng.Intn(len(kinds))]
+			nameOwner := owner
+			if n.rng.Float64() >= spec.NamedFraction {
+				nameOwner = ""
+			}
+			id := hash64(n.cfg.Seed, hashString(n.cfg.Name), uint64(spec.Block), uint64(p), uint64(d))
+			dev := &Device{
+				ID:          id,
+				Owner:       owner,
+				Kind:        kind,
+				HostName:    HostNameFor(kind, nameOwner, n.rng),
+				MAC:         macForID(id),
+				SendRelease: n.rng.Float64() < spec.ReleaseFraction,
+				Schedule:    NewArchetypeScheduler(spec.Archetype, id, n.cfg.Seed),
+			}
+			if err := n.AddDevice(dev, spec.Block, spec.Archetype); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// occupancyFor combines timeline and calendar factors for an archetype on a
+// date.
+func (n *Network) occupancyFor(d time.Time, a Archetype) float64 {
+	f := n.cfg.Timeline.At(d).Factor(a)
+	return f * n.cfg.Calendar.FactorOn(d, a)
+}
+
+// OccupancyFor exposes the combined occupancy factor (used by experiments
+// to annotate plots).
+func (n *Network) OccupancyFor(d time.Time, a Archetype) float64 {
+	return n.occupancyFor(d, a)
+}
+
+// Record is one (address, hostname) pair visible in reverse DNS.
+type Record struct {
+	IP       dnswire.IPv4
+	HostName dnswire.Name
+}
+
+// RecordsAt evaluates the network's complete reverse-DNS content at t
+// without running the event simulation: static records plus, for each
+// dynamic block, the records of devices present at t — including records
+// that linger after a silent leave until the DHCP lease expires, the
+// behaviour the paper measures in Section 6.
+func (n *Network) RecordsAt(t time.Time, emit func(Record)) {
+	for ip, name := range n.staticRec {
+		emit(Record{IP: ip, HostName: name})
+	}
+	local := t.In(n.cfg.Location)
+	for bi, b := range n.cfg.Blocks {
+		if b.Kind != BlockDynamic || b.Policy == ipam.PolicyStaticForm || b.Policy == ipam.PolicyNone {
+			continue
+		}
+		suffix := n.blockSuffix(b)
+		for _, d := range n.blockDev[bi] {
+			if !n.recordVisible(d, local) {
+				continue
+			}
+			target, err := ipam.Target(b.Policy, suffix, leaseEventFor(d, n.deviceIP[d.ID]))
+			if err != nil {
+				continue
+			}
+			emit(Record{IP: n.deviceIP[d.ID], HostName: target})
+		}
+	}
+}
+
+// CountRecordsAt returns the number of records visible at t, grouped by
+// /24 prefix.
+func (n *Network) CountRecordsAt(t time.Time) map[dnswire.Prefix]int {
+	counts := make(map[dnswire.Prefix]int)
+	n.RecordsAt(t, func(r Record) { counts[r.IP.Slash24()]++ })
+	return counts
+}
+
+// recordVisible decides whether a device's PTR exists at local time t:
+// the device is online now, or it left silently within one lease time.
+func (n *Network) recordVisible(d *Device, t time.Time) bool {
+	occ := n.occupancyFor(midnight(t), n.arch[d.ID])
+	if d.PresentAt(t, occ) {
+		return true
+	}
+	if d.SendRelease {
+		return false
+	}
+	// Look for a session end within the lease window before t, on
+	// today's or yesterday's schedule.
+	lease := n.cfg.LeaseTime
+	for _, dayDelta := range []int{0, -1} {
+		day := midnight(t).AddDate(0, 0, dayDelta)
+		dayOcc := n.occupancyFor(day, n.arch[d.ID])
+		for _, s := range d.SessionsOn(day, dayOcc) {
+			end := day.Add(s.End)
+			if end.Before(t) && t.Sub(end) < lease {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OnlineAt reports whether the host at ip answers pings at t: in live mode
+// this tracks actual DHCP state; in snapshot mode it evaluates the schedule.
+// Static-block addresses with records count as always online.
+func (n *Network) OnlineAt(ip dnswire.IPv4, t time.Time) bool {
+	n.mu.Lock()
+	live := n.live != nil
+	online := n.onlineIP[ip]
+	n.mu.Unlock()
+	if live {
+		return online
+	}
+	if _, ok := n.staticRec[ip]; ok {
+		return true
+	}
+	d, ok := n.ipDevice[ip]
+	if !ok {
+		return false
+	}
+	local := t.In(n.cfg.Location)
+	return d.PresentAt(local, n.occupancyFor(midnight(local), n.arch[d.ID]))
+}
+
+// leaseEventFor fabricates the lease event a device's join produces, for
+// name computation in snapshot mode.
+func leaseEventFor(d *Device, ip dnswire.IPv4) dhcp.Event {
+	return dhcp.Event{
+		Kind:     dhcp.LeaseGranted,
+		IP:       ip,
+		HostName: d.HostName,
+		CHAddr:   d.MAC,
+	}
+}
+
+// buildStaticRecords materializes the records of static blocks once.
+func (n *Network) buildStaticRecords() error {
+	for bi, b := range n.cfg.Blocks {
+		switch b.Kind {
+		case BlockStaticInfra:
+			n.buildInfraRecords(bi, b)
+		case BlockStaticPool:
+			n.buildPoolRecords(bi, b)
+		case BlockServers:
+			n.buildServerRecords(bi, b)
+		case BlockDynamic:
+			if b.Policy == ipam.PolicyStaticForm {
+				if err := n.buildStaticFormRecords(b); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// buildInfraRecords creates router-style records with location and
+// interface terms — the records Section 5.1 excludes via generic terms,
+// including city names that collide with given names.
+func (n *Network) buildInfraRecords(bi int, b Block) {
+	density := b.Density
+	if density == 0 {
+		density = 0.35
+	}
+	suffix := n.blockSuffix(b)
+	cities := []string{"jackson", "madison", "logan", "jordan", "salem", "aurora", "dayton", "lincoln"}
+	roles := []string{"core", "edge", "border", "gw", "rtr"}
+	ifaces := []string{"ge-0-0", "ge-0-1", "xe-1-0", "eth0", "vlan10", "vlan120", "po1"}
+	count := b.Prefix.NumAddresses()
+	for i := 1; i < count-1; i++ {
+		ip := b.Prefix.Nth(i)
+		h := hash64(n.cfg.Seed, hashString(n.cfg.Name), uint64(bi), uint64(i), 0x1F)
+		if unitFloat(h) >= density {
+			continue
+		}
+		role := roles[h>>8%uint64(len(roles))]
+		city := cities[h>>16%uint64(len(cities))]
+		iface := ifaces[h>>24%uint64(len(ifaces))]
+		label := fmt.Sprintf("%s.%s%d.%s", iface, role, h>>32%4+1, city)
+		name, err := dnswire.ParseName(label + "." + string(suffix))
+		if err != nil {
+			continue
+		}
+		n.staticRec[ip] = name
+	}
+}
+
+// buildPoolRecords creates ISP-style fixed subscriber records
+// (static-198-51-100-7.<suffix>).
+func (n *Network) buildPoolRecords(bi int, b Block) {
+	density := b.Density
+	if density == 0 {
+		density = 0.9
+	}
+	suffix := n.blockSuffix(b)
+	count := b.Prefix.NumAddresses()
+	for i := 1; i < count-1; i++ {
+		ip := b.Prefix.Nth(i)
+		h := hash64(n.cfg.Seed, hashString(n.cfg.Name), uint64(bi), uint64(i), 0x2F)
+		if unitFloat(h) >= density {
+			continue
+		}
+		label := fmt.Sprintf("static-%d-%d-%d-%d", ip[0], ip[1], ip[2], ip[3])
+		name, err := suffix.Prepend(label)
+		if err != nil {
+			continue
+		}
+		n.staticRec[ip] = name
+	}
+}
+
+// buildServerRecords creates a handful of service-host records.
+func (n *Network) buildServerRecords(bi int, b Block) {
+	suffix := n.blockSuffix(b)
+	services := []string{"www", "mail", "ns1", "ns2", "vpn", "smtp", "imap", "ldap", "print", "files"}
+	for i, svc := range services {
+		if i+10 >= b.Prefix.NumAddresses()-1 {
+			break
+		}
+		ip := b.Prefix.Nth(i + 10)
+		name, err := suffix.Prepend(svc)
+		if err != nil {
+			continue
+		}
+		n.staticRec[ip] = name
+	}
+}
+
+// buildStaticFormRecords pre-populates fixed-form names for a whole dynamic
+// block (the DHCP-but-static-rDNS configuration).
+func (n *Network) buildStaticFormRecords(b Block) error {
+	suffix := n.blockSuffix(b)
+	count := b.Prefix.NumAddresses()
+	for i := 1; i < count-1; i++ {
+		ip := b.Prefix.Nth(i)
+		name, err := ipam.StaticTarget(suffix, ip)
+		if err != nil {
+			return err
+		}
+		n.staticRec[ip] = name
+	}
+	return nil
+}
+
+// StaticRecordCount returns the number of static records (constant over
+// time).
+func (n *Network) StaticRecordCount() int { return len(n.staticRec) }
+
+// sortedBlockDevices returns the devices of a block in a stable order.
+func (n *Network) sortedBlockDevices(bi int) []*Device {
+	devs := append([]*Device(nil), n.blockDev[bi]...)
+	sort.Slice(devs, func(i, j int) bool { return devs[i].ID < devs[j].ID })
+	return devs
+}

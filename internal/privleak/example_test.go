@@ -1,0 +1,43 @@
+package privleak_test
+
+import (
+	"fmt"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/privleak"
+)
+
+// The Section 5 pipeline over a handful of records: a leaking campus
+// qualifies; a city-named router farm does not, despite many records.
+func ExampleAnalyzer() {
+	a := privleak.NewAnalyzer(privleak.Config{MinUniqueNames: 3, MinRatio: 0.05})
+	campus := []string{
+		"jacobs-iphone.dyn.campus-a.edu.",
+		"emmas-macbook-air.dyn.campus-a.edu.",
+		"olivias-galaxy-s10.dyn.campus-a.edu.",
+		"noahs-ipad.dyn.campus-a.edu.",
+	}
+	for i, host := range campus {
+		a.Observe(privleak.RecordObservation{
+			IP:       dnswire.MustPrefix("10.0.1.0/24").Nth(i + 1),
+			HostName: dnswire.MustName(host),
+			Dynamic:  true,
+		})
+	}
+	// A transit network whose routers encode the city Jackson: one name,
+	// many records — the ambiguity the thresholds resolve.
+	for i := 0; i < 40; i++ {
+		a.Observe(privleak.RecordObservation{
+			IP:       dnswire.MustPrefix("10.9.1.0/24").Nth(i + 1),
+			HostName: dnswire.MustName(fmt.Sprintf("pop%d.jackson.bigtransit.net.", i)),
+			Dynamic:  true,
+		})
+	}
+	res := a.Finish()
+	for _, rep := range res.Identified {
+		fmt.Printf("%s: %d unique names in %d records (%s)\n",
+			rep.Suffix, rep.UniqueNames, rep.Records, rep.Type)
+	}
+	// Output:
+	// campus-a.edu: 4 unique names in 4 records (academic)
+}

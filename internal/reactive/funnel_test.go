@@ -1,0 +1,81 @@
+package reactive
+
+import (
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+)
+
+func TestFunnelAndDeltas(t *testing.T) {
+	day := time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(net string, reverted, reliable bool, deltaMin int) *Group {
+		g := &Group{
+			Network:   net,
+			IP:        dnswire.MustIPv4("10.0.0.1"),
+			Start:     day,
+			LastAlive: day.Add(time.Hour),
+			PTRSeen:   true,
+		}
+		if reverted {
+			g.Complete = true
+			g.Reverted = true
+			g.PTRRemovedAt = g.LastAlive.Add(time.Duration(deltaMin) * time.Minute)
+		}
+		g.ReliableTiming = reliable
+		return g
+	}
+	res := &Results{
+		Groups: []*Group{
+			mk("A", true, true, 5),
+			mk("A", true, true, 60),
+			mk("A", true, false, 120),
+			mk("B", true, true, 30),
+			mk("B", false, false, 0),
+		},
+		OpenGroups: 2,
+	}
+	f := res.Funnel()
+	if f.All != 7 {
+		t.Fatalf("All = %d, want 7 (5 closed + 2 open)", f.All)
+	}
+	if f.Successful != 4 || f.Reverted != 4 || f.Reliable != 3 {
+		t.Fatalf("funnel = %+v", f)
+	}
+	if f.Fraction(1) <= 0 || f.Fraction(2) != 1 || f.Fraction(3) != 0.75 {
+		t.Fatalf("fractions = %v %v %v", f.Fraction(1), f.Fraction(2), f.Fraction(3))
+	}
+	if f.Fraction(0) != 1 {
+		t.Fatalf("Fraction(0) = %v", f.Fraction(0))
+	}
+
+	all := res.RemovalDeltas("")
+	if len(all) != 3 {
+		t.Fatalf("deltas = %v", all)
+	}
+	onlyA := res.RemovalDeltas("A")
+	if len(onlyA) != 2 {
+		t.Fatalf("A deltas = %v", onlyA)
+	}
+	if onlyA[0] != 5 || onlyA[1] != 60 {
+		t.Fatalf("A deltas = %v", onlyA)
+	}
+}
+
+func TestFunnelEmpty(t *testing.T) {
+	res := &Results{}
+	f := res.Funnel()
+	if f.All != 0 || f.Fraction(1) != 0 || f.Fraction(2) != 0 || f.Fraction(3) != 0 {
+		t.Fatalf("empty funnel = %+v", f)
+	}
+	if got := res.RemovalDeltas(""); got != nil {
+		t.Fatalf("deltas = %v", got)
+	}
+}
+
+func TestRemovalDeltaOfUnrevertedGroup(t *testing.T) {
+	g := &Group{}
+	if g.RemovalDelta() != 0 {
+		t.Fatal("unreverted group has a delta")
+	}
+}

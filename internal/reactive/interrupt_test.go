@@ -1,0 +1,81 @@
+package reactive
+
+import (
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/netsim"
+)
+
+func TestReappearanceInterruptsGroup(t *testing.T) {
+	// A device that leaves silently and returns 20 minutes later — while
+	// the rDNS follow-up is still chasing the (lingering) record. The
+	// old group must close as interrupted and a fresh one must open.
+	// The return must be visible to a sweep while the follow-up is
+	// still running: the device comes back at 10:20 and stays past the
+	// 11:00 sweep; its lingering record (1h lease, silent leave) keeps
+	// the follow-up alive until then.
+	sessions := map[time.Weekday][]netsim.Session{
+		time.Monday: {
+			{Start: 9 * time.Hour, End: 10 * time.Hour},
+			{Start: 10*time.Hour + 20*time.Minute, End: 12*time.Hour + 30*time.Minute},
+		},
+	}
+	dev := scriptedDevice(1, "Brians-iPhone", false, sessions) // silent leaver
+	tb := newTestBed(t, []*netsim.Device{dev}, false, time.Hour)
+	defer tb.net.Stop()
+
+	tb.clock.AdvanceTo(epoch.Add(16 * time.Hour))
+	tb.engine.Stop()
+	res := tb.engine.Results()
+
+	interrupted, reverted := 0, 0
+	for _, g := range res.Groups {
+		if g.Interrupted {
+			interrupted++
+			if g.Complete || g.Reverted || g.ReliableTiming {
+				t.Fatalf("interrupted group marked usable: %+v", g)
+			}
+		}
+		if g.Reverted {
+			reverted++
+		}
+	}
+	if interrupted == 0 {
+		t.Fatal("no interrupted group despite reappearance during cooldown")
+	}
+	if reverted == 0 {
+		t.Fatal("the final departure never produced a reverted group")
+	}
+}
+
+func TestCooldownCapAbandonsGroup(t *testing.T) {
+	// A network that never removes the PTR (static-form would be the
+	// real case; here the device's record lingers within a huge lease):
+	// the follow-up must give up at the cap rather than poll forever.
+	dev := scriptedDevice(1, "Brians-iPad", false, mondaySession(9*time.Hour, 10*time.Hour))
+	tb := newTestBedWithLease(t, []*netsim.Device{dev}, 48*time.Hour)
+	defer tb.net.Stop()
+
+	tb.clock.AdvanceTo(epoch.Add(30 * time.Hour))
+	tb.engine.Stop()
+	res := tb.engine.Results()
+	sawAbandoned := false
+	for _, g := range res.Groups {
+		if g.PTRSeen && g.PTRRemovedAt.IsZero() && !g.Interrupted {
+			sawAbandoned = true
+			if g.Complete || g.Reverted {
+				t.Fatalf("abandoned group marked complete: %+v", g)
+			}
+		}
+	}
+	if !sawAbandoned {
+		t.Fatalf("no abandoned group; groups: %d", len(res.Groups))
+	}
+}
+
+// newTestBedWithLease is newTestBed with a custom lease and default ICMP.
+func newTestBedWithLease(t *testing.T, devices []*netsim.Device, lease time.Duration) *testBed {
+	t.Helper()
+	return newTestBed(t, devices, false, lease)
+}

@@ -1,0 +1,170 @@
+// Package scan implements the longitudinal snapshot engine that stands in
+// for the OpenINTEL and Rapid7 measurement platforms (Section 3): it sweeps
+// the simulated universe's reverse DNS on a daily (OpenINTEL-like) or
+// weekly (Rapid7-like) cadence and produces the per-/24 count series and
+// summary statistics the paper's analyses consume.
+//
+// Two scan paths exist:
+//
+//   - The wire path drives a real resolver (internal/dnsclient) against
+//     live networks over the fabric, one PTR query per address — exactly
+//     what the measurement platforms do. It is used for the supplemental
+//     windows and for validating the fast path.
+//   - The fast path evaluates network record state directly via
+//     netsim.Network.RecordsAt. It produces byte-identical hostnames (both
+//     paths share internal/ipam's name derivation) and is what makes
+//     two-year daily campaigns over tens of thousands of /24s tractable.
+//     TestWireAndFastPathsAgree pins the equivalence.
+package scan
+
+import (
+	"time"
+
+	"rdnsprivacy/internal/dataset"
+	"rdnsprivacy/internal/dnsclient"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/netsim"
+)
+
+// Cadence is a snapshot frequency.
+type Cadence int
+
+// Cadences of the two platforms.
+const (
+	// Daily matches OpenINTEL.
+	Daily Cadence = iota
+	// Weekly matches Rapid7 Sonar.
+	Weekly
+)
+
+// IntervalDays returns the day step of the cadence.
+func (c Cadence) IntervalDays() int {
+	if c == Weekly {
+		return 7
+	}
+	return 1
+}
+
+// String names the platform the cadence models.
+func (c Cadence) String() string {
+	if c == Weekly {
+		return "rapid7-weekly"
+	}
+	return "openintel-daily"
+}
+
+// Campaign describes a longitudinal scan.
+type Campaign struct {
+	// Universe is the address space under measurement.
+	Universe *netsim.Universe
+	// Start and End delimit the campaign (inclusive).
+	Start, End time.Time
+	// Cadence selects daily or weekly snapshots.
+	Cadence Cadence
+	// TimeOfDay is when each snapshot is taken (offset from local
+	// midnight). OpenINTEL measures once a day; 13:00 is used here.
+	TimeOfDay time.Duration
+	// Networks restricts the campaign to the named networks (nil scans
+	// the whole universe including filler).
+	Networks []string
+	// SkipFiller omits filler blocks even in whole-universe scans
+	// (useful when only dynamic behaviour matters).
+	SkipFiller bool
+}
+
+func (c *Campaign) timeOfDay() time.Duration {
+	if c.TimeOfDay == 0 {
+		return 13 * time.Hour
+	}
+	return c.TimeOfDay
+}
+
+// networks resolves the campaign's network set.
+func (c *Campaign) networks() []*netsim.Network {
+	if len(c.Networks) == 0 {
+		return c.Universe.Networks
+	}
+	var out []*netsim.Network
+	for _, name := range c.Networks {
+		if n, ok := c.Universe.NetworkByName(name); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Result is the product of a campaign.
+type Result struct {
+	// Series is the per-/24 daily count series.
+	Series *dataset.CountSeries
+	// Stats summarizes the campaign.
+	Stats dataset.Stats
+}
+
+// Run executes the campaign over the fast path and returns its result.
+func Run(c Campaign) *Result {
+	dates := dataset.DateRange(c.Start, c.End, c.Cadence.IntervalDays())
+	series := dataset.NewCountSeries(dates)
+	collector := dataset.NewStatsCollector(c.Cadence.String())
+	nets := c.networks()
+
+	// Filler blocks never change: record their counts once and replicate.
+	if len(c.Networks) == 0 && !c.SkipFiller {
+		for _, f := range c.Universe.Filler {
+			f.Records(func(r netsim.Record) {
+				collector.Observe(dates[0], r.IP, r.HostName)
+			})
+			series.SetConstant(f.Prefix, f.Count())
+			if len(dates) > 1 {
+				collector.ObserveRepeat(uint64((len(dates) - 1) * f.Count()))
+			}
+		}
+	}
+
+	for i, d := range dates {
+		at := d.Add(c.timeOfDay())
+		for _, n := range nets {
+			n.RecordsAt(at, func(r netsim.Record) {
+				collector.Observe(d, r.IP, r.HostName)
+				series.Add(r.IP.Slash24(), i, 1)
+			})
+		}
+	}
+	r := &Result{Series: series, Stats: collector.Stats()}
+	r.Stats.Start = c.Start
+	r.Stats.End = c.End
+	return r
+}
+
+// SnapshotRecords evaluates the full record set of the campaign's networks
+// (and filler unless skipped) at one instant — the input of the Section 5
+// privacy-leak analysis, which works on a single day's data.
+func SnapshotRecords(c Campaign, at time.Time, emit func(netsim.Record)) {
+	if len(c.Networks) == 0 && !c.SkipFiller {
+		for _, f := range c.Universe.Filler {
+			f.Records(emit)
+		}
+	}
+	for _, n := range c.networks() {
+		n.RecordsAt(at, emit)
+	}
+}
+
+// WireSnapshot takes a snapshot of a set of prefixes by issuing one PTR
+// query per address through a resolver — the platform-faithful path. The
+// caller drives the simulated clock; done is invoked once every query has
+// completed.
+func WireSnapshot(res *dnsclient.Resolver, prefixes []dnswire.Prefix, each func(dnswire.IPv4, dnsclient.Response), done func()) {
+	var ips []dnswire.IPv4
+	for _, p := range prefixes {
+		n := p.NumAddresses()
+		for i := 0; i < n; i++ {
+			ips = append(ips, p.Nth(i))
+		}
+	}
+	res.ScanPTR(ips, func(sr dnsclient.ScanResult) {
+		if each != nil {
+			each(sr.IP, sr.Response)
+		}
+	}, done)
+}

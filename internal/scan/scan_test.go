@@ -1,0 +1,265 @@
+package scan
+
+import (
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dataset"
+	"rdnsprivacy/internal/dnsclient"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/fabric"
+	"rdnsprivacy/internal/ipam"
+	"rdnsprivacy/internal/netsim"
+	"rdnsprivacy/internal/simclock"
+)
+
+func smallUniverse(t *testing.T) *netsim.Universe {
+	t.Helper()
+	u, err := netsim.BuildStudyUniverse(netsim.UniverseConfig{
+		Seed:                  42,
+		FillerSlash24s:        900,
+		LeakyNetworks:         15,
+		NonLeakyDynamic:       4,
+		PeoplePerDynamicBlock: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestCampaignProducesSeries(t *testing.T) {
+	u := smallUniverse(t)
+	start := time.Date(2021, 1, 4, 0, 0, 0, 0, time.UTC) // Monday
+	res := Run(Campaign{
+		Universe: u,
+		Start:    start,
+		End:      start.AddDate(0, 0, 13),
+		Cadence:  Daily,
+	})
+	if len(res.Series.Dates) != 14 {
+		t.Fatalf("dates = %d, want 14", len(res.Series.Dates))
+	}
+	if len(res.Series.Counts) == 0 {
+		t.Fatal("empty series")
+	}
+	if res.Stats.TotalResponses == 0 || res.Stats.UniquePTRs == 0 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+	// Every count is within a /24's capacity.
+	for p, row := range res.Series.Counts {
+		for i, c := range row {
+			if c < 0 || c > 256 {
+				t.Fatalf("count %d for %v day %d out of range", c, p, i)
+			}
+		}
+	}
+}
+
+func TestWeeklyCadence(t *testing.T) {
+	u := smallUniverse(t)
+	start := time.Date(2021, 1, 4, 0, 0, 0, 0, time.UTC)
+	res := Run(Campaign{
+		Universe: u,
+		Start:    start,
+		End:      start.AddDate(0, 0, 27),
+		Cadence:  Weekly,
+		Networks: []string{"Academic-A"},
+	})
+	if len(res.Series.Dates) != 4 {
+		t.Fatalf("dates = %d, want 4 weekly snapshots over 28 days", len(res.Series.Dates))
+	}
+}
+
+func TestNetworkRestrictedCampaignSkipsFiller(t *testing.T) {
+	u := smallUniverse(t)
+	start := time.Date(2021, 1, 4, 0, 0, 0, 0, time.UTC)
+	res := Run(Campaign{
+		Universe: u, Start: start, End: start, Cadence: Daily,
+		Networks: []string{"Academic-A"},
+	})
+	n, _ := u.NetworkByName("Academic-A")
+	for p := range res.Series.Counts {
+		if !n.Config().Announced.Contains(p.Addr) {
+			t.Fatalf("series contains out-of-network prefix %v", p)
+		}
+	}
+}
+
+func TestFillerConstantAcrossDays(t *testing.T) {
+	u := smallUniverse(t)
+	start := time.Date(2021, 1, 4, 0, 0, 0, 0, time.UTC)
+	res := Run(Campaign{
+		Universe: u, Start: start, End: start.AddDate(0, 0, 6), Cadence: Daily,
+	})
+	f := u.Filler[0]
+	row := res.Series.Counts[f.Prefix]
+	if row == nil {
+		t.Fatal("filler prefix missing from series")
+	}
+	for i, c := range row {
+		if c != f.Count() {
+			t.Fatalf("filler count day %d = %d, want %d", i, c, f.Count())
+		}
+	}
+}
+
+func TestDynamicPrefixVaries(t *testing.T) {
+	u := smallUniverse(t)
+	start := time.Date(2021, 1, 4, 0, 0, 0, 0, time.UTC) // Monday
+	res := Run(Campaign{
+		Universe: u, Start: start, End: start.AddDate(0, 0, 13),
+		Cadence: Daily, Networks: []string{"Enterprise-A"},
+	})
+	n, _ := u.NetworkByName("Enterprise-A")
+	varies := false
+	for _, b := range n.Config().Blocks {
+		if b.Kind != netsim.BlockDynamic {
+			continue
+		}
+		for _, p := range b.Prefix.Slash24s() {
+			row := res.Series.Counts[p]
+			if row == nil {
+				continue
+			}
+			for i := 1; i < len(row); i++ {
+				if row[i] != row[0] {
+					varies = true
+				}
+			}
+		}
+	}
+	if !varies {
+		t.Fatal("no dynamic prefix varied over two weeks")
+	}
+}
+
+func TestStatsCollectorViaCampaign(t *testing.T) {
+	u := smallUniverse(t)
+	start := time.Date(2021, 6, 7, 0, 0, 0, 0, time.UTC)
+	one := Run(Campaign{Universe: u, Start: start, End: start, Cadence: Daily})
+	two := Run(Campaign{Universe: u, Start: start, End: start.AddDate(0, 0, 1), Cadence: Daily})
+	if two.Stats.TotalResponses <= one.Stats.TotalResponses {
+		t.Fatalf("responses did not grow: %d then %d",
+			one.Stats.TotalResponses, two.Stats.TotalResponses)
+	}
+	// Unique PTRs grow far slower than responses (names repeat daily).
+	growth := float64(two.Stats.UniquePTRs) / float64(one.Stats.UniquePTRs)
+	if growth > 1.5 {
+		t.Fatalf("unique PTRs grew %.2fx in one day; uniqueness tracking broken", growth)
+	}
+}
+
+func TestWireAndFastPathsAgree(t *testing.T) {
+	// The fast path must produce exactly the records the wire path
+	// observes, for a live network, including static and dynamic blocks.
+	u, err := netsim.BuildStudyUniverse(netsim.UniverseConfig{
+		Seed:                  7,
+		FillerSlash24s:        1,
+		LeakyNetworks:         10,
+		NonLeakyDynamic:       1,
+		PeoplePerDynamicBlock: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := u.NetworkByName("Enterprise-A")
+
+	// Tuesday 10:30 local: employees online.
+	at := time.Date(2021, 11, 2, 10, 30, 0, 0, time.UTC)
+	clock := simclock.NewSimulated(at.Add(-2 * time.Hour))
+	fab := fabric.New(clock, fabric.Config{Latency: time.Millisecond})
+	if err := n.Start(fab); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	clock.AdvanceTo(at)
+
+	res, err := dnsclient.New(fab, dnsclient.Config{
+		Bind:   fabric.Addr{IP: dnswire.MustIPv4("198.51.100.1"), Port: 40000},
+		Server: n.DNSAddr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wire-scan only the dynamic /24s (plus one static /24) to keep the
+	// query count modest.
+	var prefixes []dnswire.Prefix
+	for _, b := range n.Config().Blocks {
+		prefixes = append(prefixes, b.Prefix.Slash24s()...)
+	}
+	wire := make(map[dnswire.IPv4]dnswire.Name)
+	doneAll := false
+	WireSnapshot(res, prefixes, func(ip dnswire.IPv4, r dnsclient.Response) {
+		if r.Outcome == dnsclient.OutcomeSuccess {
+			wire[ip] = r.PTR
+		} else if r.Outcome.IsError() {
+			t.Errorf("wire scan error for %v: %v", ip, r.Outcome)
+		}
+	}, func() { doneAll = true })
+	clock.Advance(5 * time.Minute)
+	if !doneAll {
+		t.Fatal("wire scan did not complete")
+	}
+
+	fast := make(map[dnswire.IPv4]dnswire.Name)
+	n.RecordsAt(clock.Now(), func(r netsim.Record) { fast[r.IP] = r.HostName })
+
+	// Live zones may contain lingering records for devices that left
+	// within the lease window; the fast path models the same. Compare
+	// the two maps, allowing the live side to lag by renewal timing:
+	// every fast record present in wire must match exactly, and the set
+	// difference must involve only dynamic-block addresses.
+	for ip, name := range fast {
+		if wname, ok := wire[ip]; ok && wname != name {
+			t.Fatalf("name mismatch at %v: fast %q wire %q", ip, name, wname)
+		}
+	}
+	missing, extra := 0, 0
+	for ip := range fast {
+		if _, ok := wire[ip]; !ok {
+			missing++
+			if !isDynamicIP(n, ip) {
+				t.Fatalf("static record %v missing from wire scan", ip)
+			}
+		}
+	}
+	for ip := range wire {
+		if _, ok := fast[ip]; !ok {
+			extra++
+			if !isDynamicIP(n, ip) {
+				t.Fatalf("static record %v extra in wire scan", ip)
+			}
+		}
+	}
+	total := len(fast)
+	if total == 0 {
+		t.Fatal("no records at all")
+	}
+	if missing+extra > total/10 {
+		t.Fatalf("wire/fast divergence too large: %d missing, %d extra of %d",
+			missing, extra, total)
+	}
+}
+
+func isDynamicIP(n *netsim.Network, ip dnswire.IPv4) bool {
+	for _, b := range n.Config().Blocks {
+		if b.Kind == netsim.BlockDynamic && b.Policy == ipam.PolicyCarryOver && b.Prefix.Contains(ip) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDateRange(t *testing.T) {
+	start := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	days := dataset.DateRange(start, start.AddDate(0, 0, 9), 1)
+	if len(days) != 10 {
+		t.Fatalf("daily range = %d, want 10", len(days))
+	}
+	weeks := dataset.DateRange(start, start.AddDate(0, 0, 21), 7)
+	if len(weeks) != 4 {
+		t.Fatalf("weekly range = %d, want 4", len(weeks))
+	}
+}

@@ -1,0 +1,269 @@
+// Package simclock provides virtual time for simulations.
+//
+// Every subsystem in this repository that needs to know the time or to
+// schedule future work does so through a Clock. Two implementations are
+// provided: Real, which delegates to the time package, and Simulated, which
+// advances only when told to. The Simulated clock lets the longitudinal
+// experiments of the paper (two years of daily reverse-DNS snapshots) run in
+// seconds while preserving exact timing semantics such as DHCP lease expiry
+// and measurement back-off schedules.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the passage of time.
+//
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// AfterFunc schedules f to run when d has elapsed on this clock and
+	// returns a Timer that can cancel the call.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a handle to a scheduled function call.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call was prevented
+	// from running. Stopping an already-fired or stopped timer returns
+	// false.
+	Stop() bool
+}
+
+// Real is a Clock backed by the time package. The zero value is ready to use.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) Stop() bool { return r.t.Stop() }
+
+// Simulated is a Clock whose time only moves when Advance or Run is called.
+// Scheduled functions run synchronously, in timestamp order, on the
+// goroutine that advances the clock. Create one with NewSimulated.
+type Simulated struct {
+	mu      sync.Mutex
+	now     time.Time
+	queue   eventQueue
+	nextSeq uint64
+	running bool
+}
+
+// NewSimulated returns a Simulated clock whose current time is start.
+func NewSimulated(start time.Time) *Simulated {
+	return &Simulated{now: start}
+}
+
+// Now implements Clock.
+func (s *Simulated) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// AfterFunc implements Clock. A non-positive duration schedules the call at
+// the current instant; it still will not run until the clock is advanced.
+func (s *Simulated) AfterFunc(d time.Duration, f func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := &event{
+		when: s.now.Add(d),
+		seq:  s.nextSeq,
+		fn:   f,
+		sim:  s,
+	}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// Advance moves the clock forward by d, running every scheduled function
+// whose deadline falls within the window, in order.
+func (s *Simulated) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	s.mu.Unlock()
+	s.AdvanceTo(target)
+}
+
+// AdvanceTo moves the clock forward to target, running every scheduled
+// function whose deadline is at or before target, in order. Functions
+// scheduled during the advance are run too if they fall inside the window.
+// Moving backwards is a no-op.
+func (s *Simulated) AdvanceTo(target time.Time) {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		panic("simclock: re-entrant Advance")
+	}
+	s.running = true
+	for {
+		if len(s.queue) == 0 || s.queue[0].when.After(target) {
+			break
+		}
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.stopped {
+			continue
+		}
+		if ev.when.After(s.now) {
+			s.now = ev.when
+		}
+		ev.fired = true
+		fn := ev.fn
+		s.mu.Unlock()
+		fn()
+		s.mu.Lock()
+	}
+	if target.After(s.now) {
+		s.now = target
+	}
+	s.running = false
+	s.mu.Unlock()
+}
+
+// RunUntilIdle runs scheduled functions until the queue is empty and reports
+// the time of the last event run. Use with care: self-rescheduling events
+// make this endless, so it is intended for bounded simulations.
+func (s *Simulated) RunUntilIdle() time.Time {
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			now := s.now
+			s.mu.Unlock()
+			return now
+		}
+		next := s.queue[0].when
+		s.mu.Unlock()
+		s.AdvanceTo(next)
+	}
+}
+
+// Pending reports the number of scheduled, unfired, unstopped events.
+func (s *Simulated) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// event is a scheduled function call on a Simulated clock. It implements
+// Timer.
+type event struct {
+	when    time.Time
+	seq     uint64
+	fn      func()
+	sim     *Simulated
+	index   int
+	stopped bool
+	fired   bool
+}
+
+// Stop implements Timer.
+func (e *event) Stop() bool {
+	e.sim.mu.Lock()
+	defer e.sim.mu.Unlock()
+	if e.stopped || e.fired {
+		return false
+	}
+	e.stopped = true
+	return true
+}
+
+// eventQueue is a min-heap of events ordered by (when, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].when.Equal(q[j].when) {
+		return q[i].when.Before(q[j].when)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Ticker repeatedly invokes a function at a fixed interval on a Clock until
+// stopped. It is a convenience built on AfterFunc, used by sweep-style
+// measurement loops.
+type Ticker struct {
+	mu      sync.Mutex
+	clock   Clock
+	d       time.Duration
+	fn      func(time.Time)
+	timer   Timer
+	stopped bool
+}
+
+// NewTicker schedules fn to run every d on clock, starting one interval from
+// now. fn receives the tick time.
+func NewTicker(clock Clock, d time.Duration, fn func(time.Time)) *Ticker {
+	t := &Ticker{clock: clock, d: d, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.clock.AfterFunc(t.d, func() {
+		t.mu.Lock()
+		stopped := t.stopped
+		t.mu.Unlock()
+		if stopped {
+			return
+		}
+		t.fn(t.clock.Now())
+		t.mu.Lock()
+		if !t.stopped {
+			t.arm()
+		}
+		t.mu.Unlock()
+	})
+}
+
+// Stop prevents future ticks. It does not interrupt a tick in progress.
+func (t *Ticker) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}

@@ -1,0 +1,310 @@
+// Package textplot renders the study's tables and figures as deterministic
+// ASCII, so every table and figure of the paper can be regenerated on a
+// terminal by cmd/experiments without any plotting dependency.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"rdnsprivacy/internal/analysis"
+)
+
+// BarItem is one row of a horizontal bar chart, with an optional second
+// series (the paper's figures 2 and 3 contrast "all" vs "filtered").
+type BarItem struct {
+	Label  string
+	Value  float64
+	Value2 float64
+}
+
+// BarsOptions tunes Bars.
+type BarsOptions struct {
+	// Log renders bar lengths on a log10 scale (the paper's Figures 2
+	// and 3 use logarithmic axes).
+	Log bool
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+	// SecondSeries labels the second series when present.
+	FirstSeries, SecondSeries string
+}
+
+// Bars renders a horizontal bar chart.
+func Bars(w io.Writer, title string, items []BarItem, opts BarsOptions) {
+	if opts.Width <= 0 {
+		opts.Width = 50
+	}
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if opts.SecondSeries != "" {
+		fmt.Fprintf(w, "  #: %s   o: %s\n", opts.FirstSeries, opts.SecondSeries)
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, it := range items {
+		if it.Value > maxVal {
+			maxVal = it.Value
+		}
+		if it.Value2 > maxVal {
+			maxVal = it.Value2
+		}
+		if len(it.Label) > maxLabel {
+			maxLabel = len(it.Label)
+		}
+	}
+	scale := func(v float64) int {
+		if v <= 0 || maxVal <= 0 {
+			return 0
+		}
+		if opts.Log {
+			if maxVal <= 1 {
+				return opts.Width
+			}
+			return int(math.Log10(v+1) / math.Log10(maxVal+1) * float64(opts.Width))
+		}
+		return int(v / maxVal * float64(opts.Width))
+	}
+	for _, it := range items {
+		fmt.Fprintf(w, "  %-*s |%-*s %12.0f\n", maxLabel, it.Label,
+			opts.Width, strings.Repeat("#", scale(it.Value)), it.Value)
+		if opts.SecondSeries != "" {
+			fmt.Fprintf(w, "  %-*s |%-*s %12.0f\n", maxLabel, "",
+				opts.Width, strings.Repeat("o", scale(it.Value2)), it.Value2)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// HistogramPlot renders a histogram with one row per bin.
+func HistogramPlot(w io.Writer, title string, h *analysis.Histogram, unit string, width int) {
+	if width <= 0 {
+		width = 50
+	}
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		lo := h.Min + float64(i)*h.BinWidth
+		fmt.Fprintf(w, "  %6.0f-%-6.0f%s |%-*s %8d\n", lo, lo+h.BinWidth, unit,
+			width, strings.Repeat("#", bar), c)
+	}
+	fmt.Fprintln(w)
+}
+
+// Curve is one labelled CDF.
+type Curve struct {
+	Label string
+	CDF   *analysis.CDF
+}
+
+// CDFPlot renders CDF curves as rows of percentages sampled along the x
+// axis — the terminal rendition of Figure 7b.
+func CDFPlot(w io.Writer, title string, curves []Curve, xMax float64, steps int, unit string) {
+	if steps <= 0 {
+		steps = 12
+	}
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	labelW := 8
+	for _, c := range curves {
+		if len(c.Label) > labelW {
+			labelW = len(c.Label)
+		}
+	}
+	fmt.Fprintf(w, "  %-*s", labelW, "")
+	for s := 1; s <= steps; s++ {
+		fmt.Fprintf(w, " %5.0f", xMax*float64(s)/float64(steps))
+	}
+	fmt.Fprintf(w, "  (%s)\n", unit)
+	for _, c := range curves {
+		fmt.Fprintf(w, "  %-*s", labelW, c.Label)
+		for s := 1; s <= steps; s++ {
+			x := xMax * float64(s) / float64(steps)
+			fmt.Fprintf(w, " %4.0f%%", 100*c.CDF.At(x))
+		}
+		fmt.Fprintf(w, "  (n=%d)\n", c.CDF.Len())
+	}
+	fmt.Fprintln(w)
+}
+
+// LabeledSeries is one labelled time series.
+type LabeledSeries struct {
+	Label  string
+	Series analysis.Series
+}
+
+// TimeSeries renders series as a down-sampled sparkline table: one row per
+// series, one column per sample.
+func TimeSeries(w io.Writer, title string, series []LabeledSeries, columns int) {
+	if columns <= 0 {
+		columns = 26
+	}
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if len(series) == 0 || len(series[0].Series.Dates) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	labelW := 8
+	for _, s := range series {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+	}
+	glyphs := []rune(" .:-=+*#%@")
+	n := len(series[0].Series.Dates)
+	step := n / columns
+	if step < 1 {
+		step = 1
+	}
+	// Header: year-month markers.
+	fmt.Fprintf(w, "  %-*s ", labelW, "")
+	for i := 0; i < n; i += step {
+		d := series[0].Series.Dates[i]
+		if d.Day() <= step || i == 0 {
+			fmt.Fprintf(w, "|")
+		} else {
+			fmt.Fprintf(w, " ")
+		}
+	}
+	fmt.Fprintln(w)
+	for _, s := range series {
+		maxV := 0.0
+		for _, v := range s.Series.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		fmt.Fprintf(w, "  %-*s ", labelW, s.Label)
+		for i := 0; i < len(s.Series.Values); i += step {
+			v := s.Series.Values[i]
+			g := 0
+			if maxV > 0 {
+				g = int(v / maxV * float64(len(glyphs)-1))
+			}
+			fmt.Fprintf(w, "%c", glyphs[g])
+		}
+		fmt.Fprintf(w, "  (max %.0f)\n", maxV)
+	}
+	// Footer: date range.
+	fmt.Fprintf(w, "  %-*s %s .. %s\n\n", labelW, "",
+		series[0].Series.Dates[0].Format("2006-01-02"),
+		series[0].Series.Dates[len(series[0].Series.Dates)-1].Format("2006-01-02"))
+}
+
+// RasterTrack is one device row of a weekly presence raster (Figure 8).
+type RasterTrack struct {
+	Label string
+	// PresentOn reports presence within a time window.
+	PresentOn func(from, to time.Time) bool
+}
+
+// Raster renders a Figure 8-style weekly raster: one block of rows per
+// week, one row per device, one cell per hour from `start` (a Monday) over
+// `weeks` weeks. highlight marks special dates (weekends, holidays).
+func Raster(w io.Writer, title string, tracks []RasterTrack, start time.Time, weeks int, highlight func(time.Time) rune) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	labelW := 8
+	for _, tr := range tracks {
+		if len(tr.Label) > labelW {
+			labelW = len(tr.Label)
+		}
+	}
+	fmt.Fprintf(w, "  %-*s  %s\n", labelW, "week",
+		"Mon....... Tue....... Wed....... Thu....... Fri....... Sat....... Sun.......")
+	for wk := 0; wk < weeks; wk++ {
+		weekStart := start.AddDate(0, 0, wk*7)
+		for _, tr := range tracks {
+			fmt.Fprintf(w, "  %-*s  ", labelW, tr.Label)
+			for d := 0; d < 7; d++ {
+				day := weekStart.AddDate(0, 0, d)
+				mark := ' '
+				if highlight != nil {
+					mark = highlight(day)
+				}
+				// 10 cells per day: 2.4h each, 08:00-24:00 focus
+				// would hide night joins; use the full day.
+				for c := 0; c < 10; c++ {
+					from := day.Add(time.Duration(c) * 144 * time.Minute)
+					to := from.Add(144 * time.Minute)
+					if tr.PresentOn(from, to) {
+						fmt.Fprint(w, "█")
+					} else if mark != ' ' {
+						fmt.Fprintf(w, "%c", mark)
+					} else {
+						fmt.Fprint(w, "·")
+					}
+				}
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, " wk%d\n", wk+1)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Table renders an aligned text table.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		fmt.Fprint(w, "  ")
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// Breakdown renders a one-line percentage breakdown (Figure 4's shape).
+func Breakdown(w io.Writer, title string, counts map[string]int) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	total := 0
+	keys := make([]string, 0, len(counts))
+	for k, v := range counts {
+		total += v
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return counts[keys[i]] > counts[keys[j]] })
+	if total == 0 {
+		fmt.Fprintln(w, "  (empty)")
+		return
+	}
+	for _, k := range keys {
+		pct := 100 * float64(counts[k]) / float64(total)
+		fmt.Fprintf(w, "  %-12s %5.1f%% %s (%d)\n", k, pct,
+			strings.Repeat("#", int(pct/2)), counts[k])
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,135 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/analysis"
+)
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, "Figure X", []BarItem{
+		{Label: "iphone", Value: 1000, Value2: 100},
+		{Label: "ipad", Value: 10, Value2: 1},
+	}, BarsOptions{Log: true, FirstSeries: "all", SecondSeries: "filtered"})
+	out := buf.String()
+	if !strings.Contains(out, "Figure X") || !strings.Contains(out, "iphone") {
+		t.Fatalf("output: %s", out)
+	}
+	// The log-scaled 1000 bar must be longer than the 10 bar.
+	lines := strings.Split(out, "\n")
+	lenOf := func(label string) int {
+		for _, l := range lines {
+			if strings.Contains(l, label) {
+				return strings.Count(l, "#")
+			}
+		}
+		return -1
+	}
+	if lenOf("iphone") <= lenOf("ipad") {
+		t.Fatal("bar lengths not ordered")
+	}
+}
+
+func TestHistogramPlot(t *testing.T) {
+	h := analysis.NewHistogram(0, 180, 36)
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+		h.Observe(60)
+	}
+	var buf bytes.Buffer
+	HistogramPlot(&buf, "Figure 7a", h, "m", 40)
+	if !strings.Contains(buf.String(), "Figure 7a") {
+		t.Fatal("missing title")
+	}
+	if strings.Count(buf.String(), "\n") < 36 {
+		t.Fatal("missing bins")
+	}
+}
+
+func TestCDFPlot(t *testing.T) {
+	var buf bytes.Buffer
+	CDFPlot(&buf, "Figure 7b", []Curve{
+		{Label: "Academic-A", CDF: analysis.NewCDF([]float64{5, 10, 30, 55})},
+	}, 120, 12, "min")
+	out := buf.String()
+	if !strings.Contains(out, "Academic-A") || !strings.Contains(out, "100%") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := analysis.Series{}
+	for i := 0; i < 100; i++ {
+		s.Dates = append(s.Dates, start.AddDate(0, 0, i))
+		s.Values = append(s.Values, float64(i%30))
+	}
+	var buf bytes.Buffer
+	TimeSeries(&buf, "Figure 9", []LabeledSeries{{Label: "Academic-A", Series: s}}, 26)
+	if !strings.Contains(buf.String(), "Academic-A") {
+		t.Fatal("missing series label")
+	}
+	var empty bytes.Buffer
+	TimeSeries(&empty, "none", nil, 26)
+	if !strings.Contains(empty.String(), "no data") {
+		t.Fatal("empty case not handled")
+	}
+}
+
+func TestRaster(t *testing.T) {
+	start := time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC) // Monday
+	tr := RasterTrack{
+		Label: "brians-mbp",
+		PresentOn: func(from, to time.Time) bool {
+			return from.Weekday() == time.Tuesday && from.Hour() >= 9 && from.Hour() < 17
+		},
+	}
+	var buf bytes.Buffer
+	Raster(&buf, "Figure 8", []RasterTrack{tr}, start, 2, func(d time.Time) rune {
+		if d.Weekday() == time.Saturday || d.Weekday() == time.Sunday {
+			return '░'
+		}
+		return ' '
+	})
+	out := buf.String()
+	if !strings.Contains(out, "brians-mbp") || !strings.Contains(out, "█") {
+		t.Fatalf("output: %s", out)
+	}
+	if !strings.Contains(out, "░") {
+		t.Fatal("weekend highlight missing")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, "Table 4", []string{"Network", "Size"}, [][]string{
+		{"Academic-A", "/16"},
+		{"ISP-C", "/16"},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "Academic-A") || !strings.Contains(out, "Network") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var buf bytes.Buffer
+	Breakdown(&buf, "Figure 4", map[string]int{"academic": 62, "isp": 15})
+	out := buf.String()
+	if !strings.Contains(out, "academic") {
+		t.Fatalf("output: %s", out)
+	}
+	// Academic should be listed first (larger share).
+	if strings.Index(out, "academic") > strings.Index(out, "isp") {
+		t.Fatal("breakdown not sorted by share")
+	}
+	var empty bytes.Buffer
+	Breakdown(&empty, "x", nil)
+	if !strings.Contains(empty.String(), "empty") {
+		t.Fatal("empty case not handled")
+	}
+}
