@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test bench verify race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# race checks the concurrency-heavy packages under the race detector.
+race:
+	$(GO) test -race ./internal/scanengine ./internal/dnsclient
+
+# verify is the pre-merge gate: vet everything, run the full test suite,
+# and race-test the scan engine and resolver.
+verify:
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/scanengine ./internal/dnsclient

@@ -11,6 +11,8 @@
 package rdnsprivacy_test
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"sync"
 	"testing"
@@ -19,11 +21,17 @@ import (
 	"rdnsprivacy/internal/analysis"
 	"rdnsprivacy/internal/casestudy"
 	"rdnsprivacy/internal/core"
+	"rdnsprivacy/internal/dnsclient"
+	"rdnsprivacy/internal/dnsserver"
+	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/dynamicity"
+	"rdnsprivacy/internal/fabric"
 	"rdnsprivacy/internal/netsim"
 	"rdnsprivacy/internal/privleak"
 	"rdnsprivacy/internal/reactive"
 	"rdnsprivacy/internal/scan"
+	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/simclock"
 )
 
 var (
@@ -323,6 +331,102 @@ func BenchmarkValidationCampusGroundTruth(b *testing.B) {
 				len(verdict.DynamicPrefixes), len(truth["dynamic"]))
 		}
 	}
+}
+
+// sweepServer builds an authoritative server answering PTR queries for the
+// given /24s, with every other address populated.
+func sweepServer(b *testing.B, slash24s []dnswire.Prefix) *dnsserver.Server {
+	b.Helper()
+	srv := dnsserver.NewServer()
+	for _, p := range slash24s {
+		origin, err := dnswire.ReverseZoneFor24(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		zone := dnsserver.NewZone(dnsserver.ZoneConfig{
+			Origin:    origin,
+			PrimaryNS: dnswire.MustName("ns1.bench.example"),
+			Mbox:      dnswire.MustName("hostmaster.bench.example"),
+		})
+		for i := 0; i < p.NumAddresses(); i += 2 {
+			ip := p.Nth(i)
+			zone.SetPTR(dnswire.ReverseName(ip),
+				dnswire.MustName(fmt.Sprintf("host-%d.dyn.bench.example", ip.Uint32())))
+		}
+		srv.AddZone(zone)
+	}
+	return srv
+}
+
+// BenchmarkScanEngineFullSweep compares a full PTR sweep through the sharded
+// snapshot engine against the legacy single-threaded callback scanner, over
+// an identical record set. Both sides do the same per-query wire work
+// (marshal, authoritative lookup, unmarshal, outcome classification); the
+// engine fans it out over a worker pool.
+func BenchmarkScanEngineFullSweep(b *testing.B) {
+	targets := []dnswire.Prefix{dnswire.MustPrefix("10.50.0.0/20")}
+	var slash24s []dnswire.Prefix
+	for _, t := range targets {
+		slash24s = append(slash24s, t.Slash24s()...)
+	}
+	addrs := 0
+	for _, t := range targets {
+		addrs += t.NumAddresses()
+	}
+
+	b.Run("legacy-scanptr", func(b *testing.B) {
+		clock := simclock.NewSimulated(date(2021, time.November, 8))
+		fab := fabric.New(clock, fabric.Config{})
+		srv := sweepServer(b, slash24s)
+		if _, err := srv.AttachFabric(fab, fabric.Addr{IP: dnswire.MustIPv4("192.0.2.53"), Port: 53}); err != nil {
+			b.Fatal(err)
+		}
+		res, err := dnsclient.NewResolver(fab,
+			dnsclient.WithBind(fabric.Addr{IP: dnswire.MustIPv4("198.51.100.1"), Port: 40001}),
+			dnsclient.WithServer(fabric.Addr{IP: dnswire.MustIPv4("192.0.2.53"), Port: 53}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		records := 0
+		for i := 0; i < b.N; i++ {
+			records = 0
+			finished := false
+			res.ScanPrefixPTR(context.Background(), targets[0], func(r dnsclient.ScanResult) {
+				if r.Response.Outcome == dnsclient.OutcomeSuccess {
+					records++
+				}
+			}, func() { finished = true })
+			for !finished {
+				clock.Advance(50 * time.Millisecond)
+			}
+		}
+		b.StopTimer()
+		if records != addrs/2 {
+			b.Fatalf("legacy sweep found %d records, want %d", records, addrs/2)
+		}
+		b.ReportMetric(float64(addrs*b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+
+	b.Run("engine-8-workers", func(b *testing.B) {
+		srv := sweepServer(b, slash24s)
+		sc := scanengine.New(&dnsclient.ServerSource{Server: srv},
+			scanengine.WithWorkers(8), scanengine.WithShardBits(24))
+		b.ResetTimer()
+		var snap *scanengine.Snapshot
+		for i := 0; i < b.N; i++ {
+			var err error
+			snap, err = sc.Scan(context.Background(), scanengine.Request{Targets: targets})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if len(snap.Records) != addrs/2 {
+			b.Fatalf("engine sweep found %d records, want %d", len(snap.Records), addrs/2)
+		}
+		b.ReportMetric(float64(addrs*b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
 }
 
 // renderAll exercises every Render path (kept out of the numbers above).

@@ -31,11 +31,12 @@ func main() {
 	minAddr := flag.Int("min", 10, "minimum daily addresses to consider a /24")
 	demo := flag.Bool("demo", false, "run the ground-truth validation demo instead")
 	seed := flag.Uint64("seed", 7, "demo seed")
+	workers := flag.Int("workers", 0, "snapshot engine workers for -demo (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := dynamicity.Config{MinAddresses: *minAddr, ChangePercent: *x, MinChangeDays: *y}
 	if *demo {
-		runDemo(cfg, *seed)
+		runDemo(cfg, *seed, *workers)
 		return
 	}
 	if *input == "" {
@@ -96,7 +97,7 @@ func report(res *dynamicity.Result) {
 	}
 }
 
-func runDemo(cfg dynamicity.Config, seed uint64) {
+func runDemo(cfg dynamicity.Config, seed uint64, workers int) {
 	campus, truth, err := netsim.BuildValidationCampus(seed, time.UTC)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -108,6 +109,7 @@ func runDemo(cfg dynamicity.Config, seed uint64) {
 		Start:    time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
 		End:      time.Date(2021, 3, 31, 0, 0, 0, 0, time.UTC),
 		Cadence:  scan.Daily,
+		Workers:  workers,
 	})
 	verdict := dynamicity.Analyze(res.Series, cfg)
 	flagged := map[dnswire.Prefix]bool{}

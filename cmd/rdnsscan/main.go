@@ -1,13 +1,16 @@
 // Command rdnsscan is a zdns-style reverse DNS scanner: it issues PTR
 // queries for every address of a prefix against a name server over UDP and
 // prints the results as CSV (the output format of the paper's custom
-// measurement tooling, Section 6.1).
+// measurement tooling, Section 6.1). Sweeps run through the sharded
+// snapshot engine (internal/scanengine): the prefix is split into per-/16
+// shards and fanned out over a bounded worker pool.
 //
 // Point it at a server started with cmd/simnet, or at any DNS server that
 // answers in-addr.arpa queries:
 //
 //	rdnsscan -server 127.0.0.1:5353 -prefix 10.0.0.0/24
 //	rdnsscan -server 127.0.0.1:5353 -ip 10.0.0.17
+//	rdnsscan -server 127.0.0.1:5353 -prefix 10.0.0.0/20 -workers 16
 //
 // With -watch it polls the prefix and prints record-set deltas — the
 // "capturing DNS changes" tracker of the paper's Section 2.1:
@@ -16,17 +19,22 @@
 //
 // And -axfr attempts a zone transfer, the one-query enumeration open on
 // misconfigured servers.
+//
+// Interrupting a sweep (Ctrl-C) cancels the engine's context: workers
+// drain, the partial tally is reported, and the process exits cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"rdnsprivacy/internal/dnsclient"
 	"rdnsprivacy/internal/dnswire"
-	"rdnsprivacy/internal/scan"
+	"rdnsprivacy/internal/scanengine"
 )
 
 func main() {
@@ -36,6 +44,8 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Second, "per-query timeout")
 	retries := flag.Int("retries", 1, "retransmissions after timeout")
 	rate := flag.Int("rate", 0, "max queries per second (0 = unlimited)")
+	workers := flag.Int("workers", 8, "resolver worker pool size")
+	negTTL := flag.Duration("neg-ttl", 0, "negative-cache TTL for repeated sweeps (0 = off)")
 	onlyFound := flag.Bool("only-found", false, "print only NOERROR results")
 	axfr := flag.String("axfr", "", "attempt an AXFR of the given zone over TCP instead of scanning")
 	watch := flag.Bool("watch", false, "poll the prefix and print record-set changes")
@@ -63,7 +73,7 @@ func main() {
 		return
 	}
 
-	var ips []dnswire.IPv4
+	var targets []dnswire.Prefix
 	switch {
 	case *single != "":
 		ip, err := dnswire.ParseIPv4(*single)
@@ -71,21 +81,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		ips = []dnswire.IPv4{ip}
+		targets = []dnswire.Prefix{{Addr: ip, Bits: 32}}
 	case *prefix != "":
 		p, err := dnswire.ParsePrefix(*prefix)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		n := p.NumAddresses()
-		for i := 0; i < n; i++ {
-			ips = append(ips, p.Nth(i))
-		}
+		targets = []dnswire.Prefix{p}
 	default:
 		fmt.Fprintln(os.Stderr, "need -prefix or -ip")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []scanengine.Option{scanengine.WithWorkers(*workers)}
+	if *rate > 0 {
+		opts = append(opts, scanengine.WithRate(*rate))
+	}
+	if *negTTL > 0 {
+		opts = append(opts, scanengine.WithNegativeTTL(*negTTL))
 	}
 
 	if *watch {
@@ -93,73 +111,78 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-watch needs -prefix")
 			os.Exit(2)
 		}
-		watchLoop(client, ips, *interval, *rate)
+		watchLoop(ctx, client, targets, *interval, opts)
 		return
 	}
 
+	sc := scanengine.New(dnsclient.UDPSource{Client: client}, append(opts, scanengine.WithResultEvents())...)
 	fmt.Println("ip,outcome,ptr,rtt_ms")
-	var queryGap time.Duration
-	if *rate > 0 {
-		queryGap = time.Second / time.Duration(*rate)
-	}
-	found, errors := 0, 0
-	for _, ip := range ips {
-		resp, err := client.LookupPTR(ip)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", ip, err)
-			errors++
-			continue
+	printDone := make(chan struct{})
+	go func() {
+		defer close(printDone)
+		for ev := range sc.Events(ctx) {
+			if ev.Kind != scanengine.EventResult {
+				if ev.Kind == scanengine.EventSweepDone {
+					return
+				}
+				continue
+			}
+			resp, ok := ev.Result.Meta.(dnsclient.Response)
+			if !ok {
+				if ev.Result.Err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", ev.Result.IP, ev.Result.Err)
+				}
+				continue
+			}
+			if !*onlyFound || resp.Outcome == dnsclient.OutcomeSuccess {
+				fmt.Printf("%s,%s,%s,%.1f\n", ev.Result.IP, resp.Outcome, resp.PTR,
+					float64(resp.RTT.Microseconds())/1000)
+			}
 		}
-		if resp.Outcome == dnsclient.OutcomeSuccess {
-			found++
-		}
-		if !*onlyFound || resp.Outcome == dnsclient.OutcomeSuccess {
-			fmt.Printf("%s,%s,%s,%.1f\n", ip, resp.Outcome, resp.PTR,
-				float64(resp.RTT.Microseconds())/1000)
-		}
-		if queryGap > 0 {
-			time.Sleep(queryGap)
-		}
+	}()
+	snap, err := sc.Scan(ctx, scanengine.Request{Targets: targets})
+	<-printDone
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep interrupted: %v\n", err)
 	}
 	fmt.Fprintf(os.Stderr, "scanned %d addresses: %d records, %d errors\n",
-		len(ips), found, errors)
+		snap.Stats.Probes, snap.Stats.Found, snap.Stats.Errors)
+	if err != nil {
+		os.Exit(1)
+	}
 }
 
-// watchLoop polls the address set and prints deltas as they appear.
-func watchLoop(client *dnsclient.UDPClient, ips []dnswire.IPv4, interval time.Duration, rate int) {
-	var queryGap time.Duration
-	if rate > 0 {
-		queryGap = time.Second / time.Duration(rate)
+// watchLoop re-sweeps the targets through the engine and prints the deltas
+// each snapshot carries against its predecessor.
+func watchLoop(ctx context.Context, client *dnsclient.UDPClient, targets []dnswire.Prefix, interval time.Duration, opts []scanengine.Option) {
+	sc := scanengine.New(dnsclient.UDPSource{Client: client}, opts...)
+	snap, err := sc.Scan(ctx, scanengine.Request{Targets: targets})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "baseline sweep interrupted: %v\n", err)
+		os.Exit(1)
 	}
-	snapshot := func() scan.RecordSet {
-		rs := scan.RecordSet{}
-		for _, ip := range ips {
-			resp, err := client.LookupPTR(ip)
-			if err == nil && resp.Outcome == dnsclient.OutcomeSuccess {
-				rs[ip] = resp.PTR
-			}
-			if queryGap > 0 {
-				time.Sleep(queryGap)
-			}
-		}
-		return rs
-	}
-	prev := snapshot()
-	fmt.Fprintf(os.Stderr, "baseline: %d records; watching every %s\n", len(prev), interval)
+	fmt.Fprintf(os.Stderr, "baseline: %d records; watching every %s\n", len(snap.Records), interval)
 	for {
-		time.Sleep(interval)
-		cur := snapshot()
-		for _, ch := range scan.DiffRecords(prev, cur) {
-			now := time.Now().Format("15:04:05")
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+		snap, err = sc.Scan(ctx, scanengine.Request{Targets: targets})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep interrupted: %v\n", err)
+			return
+		}
+		now := time.Now().Format("15:04:05")
+		for _, ch := range snap.Changes {
 			switch ch.Kind {
-			case scan.RecordAdded:
+			case scanengine.RecordAdded:
 				fmt.Printf("%s  + %-16s %s\n", now, ch.IP, ch.New)
-			case scan.RecordRemoved:
+			case scanengine.RecordRemoved:
 				fmt.Printf("%s  - %-16s %s\n", now, ch.IP, ch.Old)
-			case scan.RecordChanged:
+			case scanengine.RecordChanged:
 				fmt.Printf("%s  ~ %-16s %s -> %s\n", now, ch.IP, ch.Old, ch.New)
 			}
 		}
-		prev = cur
 	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -73,17 +74,18 @@ func main() {
 	defer network.Stop()
 
 	// The observer side: a plain DNS client, somewhere on the Internet.
-	resolver, err := dnsclient.New(fab, dnsclient.Config{
-		Bind:   fabric.Addr{IP: dnswire.MustIPv4("198.51.100.1"), Port: 40000},
-		Server: network.DNSAddr(),
-	})
+	resolver, err := dnsclient.NewResolver(fab,
+		dnsclient.WithBind(fabric.Addr{IP: dnswire.MustIPv4("198.51.100.1"), Port: 40000}),
+		dnsclient.WithServer(network.DNSAddr()),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	lookup := func() dnsclient.Response {
 		var got dnsclient.Response
-		resolver.LookupPTR(ip, func(r dnsclient.Response) { got = r })
+		resolver.LookupPTR(ctx, ip, func(r dnsclient.Response) { got = r })
 		clock.Advance(time.Second)
 		return got
 	}

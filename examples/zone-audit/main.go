@@ -2,15 +2,19 @@
 // two mistakes at once: carry-over of DHCP Host Names into reverse DNS,
 // and open AXFR zone transfers. One TCP query dumps the whole zone; the
 // Section 5 analysis then reads the device inventory out of it — no
-// address scanning required.
+// address scanning required. The operator then closes transfers, and the
+// auditor falls back to a sharded parallel PTR sweep through the snapshot
+// engine — same inventory, just more queries: closing AXFR alone does not
+// stop enumeration.
 //
 //	go run ./examples/zone-audit
 //
 // Everything runs on loopback sockets: a real DNS server, a real transfer,
-// a real analysis.
+// a real sweep, a real analysis.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -24,6 +28,7 @@ import (
 	"rdnsprivacy/internal/ipam"
 	"rdnsprivacy/internal/names"
 	"rdnsprivacy/internal/privleak"
+	"rdnsprivacy/internal/scanengine"
 	"rdnsprivacy/internal/simclock"
 )
 
@@ -98,34 +103,71 @@ func main() {
 	fmt.Printf("auditor: AXFR returned %d records in a single TCP query\n\n", len(records))
 
 	// Feed the transfer straight into the Section 5 analysis.
+	res := analyze(func(observe func(dnswire.IPv4, dnswire.Name)) {
+		for _, rr := range records {
+			ptr, ok := rr.Data.(dnswire.PTRData)
+			if !ok {
+				continue
+			}
+			ip, err := dnswire.ParseReverseName(rr.Name)
+			if err != nil {
+				continue
+			}
+			observe(ip, ptr.Target)
+		}
+	})
+	printFindings("via AXFR", res)
+
+	// ── The operator closes transfers; the auditor sweeps instead ──
+	srv.SetTransferPolicy(false)
+	if _, err := client.TransferZone(origin); err == nil {
+		log.Fatal("transfer still open after SetTransferPolicy(false)")
+	}
+	fmt.Println("\noperator: transfers closed; auditor falls back to scanning")
+
+	sc := scanengine.New(dnsclient.UDPSource{Client: client}, scanengine.WithWorkers(8))
+	snap, err := sc.Scan(context.Background(), scanengine.Request{
+		Targets: []dnswire.Prefix{prefix},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auditor: sharded PTR sweep covered %d addresses in %s: %d records\n\n",
+		snap.Stats.Probes, snap.Elapsed.Round(time.Millisecond), len(snap.Records))
+	res = analyze(func(observe func(dnswire.IPv4, dnswire.Name)) {
+		for ip, name := range snap.Records {
+			observe(ip, name)
+		}
+	})
+	printFindings("via PTR sweep", res)
+
+	fmt.Println("\nremediation, in order of impact:")
+	fmt.Println("  1. stop carrying DHCP Host Names into PTR records (policy: hashed or static-form)")
+	fmt.Println("  2. close zone transfers (SetTransferPolicy(false) / allow-transfer {...})")
+	fmt.Println("  3. shorten record lifetimes so lingering after departure shrinks")
+}
+
+// analyze runs the Section 5 analyzer over a set of (ip, hostname)
+// observations.
+func analyze(emit func(observe func(dnswire.IPv4, dnswire.Name))) *privleak.Result {
 	a := privleak.NewAnalyzer(privleak.Config{
 		MinUniqueNames: 5, MinRatio: 0.1,
 		GivenNames: append(append([]string{}, names.Top50...), names.Extra...),
 	})
-	for _, rr := range records {
-		ptr, ok := rr.Data.(dnswire.PTRData)
-		if !ok {
-			continue
-		}
-		ip, err := dnswire.ParseReverseName(rr.Name)
-		if err != nil {
-			continue
-		}
-		a.Observe(privleak.RecordObservation{IP: ip, HostName: ptr.Target, Dynamic: true})
-	}
-	res := a.Finish()
+	emit(func(ip dnswire.IPv4, name dnswire.Name) {
+		a.Observe(privleak.RecordObservation{IP: ip, HostName: name, Dynamic: true})
+	})
+	return a.Finish()
+}
 
+func printFindings(how string, res *privleak.Result) {
 	for _, rep := range res.Identified {
-		fmt.Printf("finding: suffix %s leaks %d distinct given names over %d records (ratio %.2f)\n",
-			rep.Suffix, rep.UniqueNames, rep.Records, rep.Ratio())
+		fmt.Printf("finding (%s): suffix %s leaks %d distinct given names over %d records (ratio %.2f)\n",
+			how, rep.Suffix, rep.UniqueNames, rep.Records, rep.Ratio())
 		fmt.Printf("         device terms seen: ")
 		for term, c := range rep.DeviceTermCounts {
 			fmt.Printf("%s(%d) ", term, c)
 		}
 		fmt.Println()
 	}
-	fmt.Println("\nremediation, in order of impact:")
-	fmt.Println("  1. stop carrying DHCP Host Names into PTR records (policy: hashed or static-form)")
-	fmt.Println("  2. close zone transfers (SetTransferPolicy(false) / allow-transfer {...})")
-	fmt.Println("  3. shorten record lifetimes so lingering after departure shrinks")
 }

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -196,32 +197,38 @@ func (s *Study) PrivLeak() *privleak.Result {
 	seen := make(map[uint64]struct{}, 1<<20)
 	// Union the LAST days of the dynamicity window: its first days can
 	// sit inside the winter break, when campuses are empty and academic
-	// networks would be under-counted.
+	// networks would be under-counted. Each day is one sharded engine
+	// sweep over the whole universe.
+	ctx := context.Background()
 	for d := 0; d < s.Cfg.LeakWindowDays; d++ {
 		at := s.Cfg.DynamicityEnd.AddDate(0, 0, d+1-s.Cfg.LeakWindowDays).Add(13 * time.Hour)
-		scan.SnapshotRecords(scan.Campaign{Universe: s.Universe}, at, func(r netsim.Record) {
-			key := recordKey(r)
+		snap, err := scan.Snapshot(ctx, scan.Campaign{Universe: s.Universe}, at)
+		if err != nil {
+			break
+		}
+		for ip, name := range snap.Records {
+			key := recordKey(ip, name)
 			if _, ok := seen[key]; ok {
-				return
+				continue
 			}
 			seen[key] = struct{}{}
 			a.Observe(privleak.RecordObservation{
-				IP: r.IP, HostName: r.HostName, Dynamic: dynSet[r.IP.Slash24()],
+				IP: ip, HostName: name, Dynamic: dynSet[ip.Slash24()],
 			})
-		})
+		}
 	}
 	s.leakResult = a.Finish()
 	return s.leakResult
 }
 
 // recordKey hashes an (ip, hostname) pair for dedup.
-func recordKey(r netsim.Record) uint64 {
+func recordKey(ip dnswire.IPv4, name dnswire.Name) uint64 {
 	const prime = 1099511628211
 	h := uint64(14695981039346656037)
-	h ^= uint64(r.IP.Uint32())
+	h ^= uint64(ip.Uint32())
 	h *= prime
-	for i := 0; i < len(r.HostName); i++ {
-		h ^= uint64(r.HostName[i])
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
 		h *= prime
 	}
 	return h

@@ -1,6 +1,7 @@
 package dnsclient
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -74,7 +75,7 @@ func TestScanPTRAfterDisplacement(t *testing.T) {
 	const n = 70000
 	done := 0
 	for i := 0; i < n; i++ {
-		env.res.LookupPTR(dnswire.MustIPv4("192.0.2.10"), func(Response) { done++ })
+		env.res.LookupPTR(context.Background(), dnswire.MustIPv4("192.0.2.10"), func(Response) { done++ })
 	}
 	// All queries are in flight (loss eats them); the oldest ~4.5k were
 	// displaced by ID wrap and already completed.

@@ -1,0 +1,71 @@
+package dnsclient
+
+import (
+	"time"
+
+	"rdnsprivacy/internal/fabric"
+)
+
+// Option tunes a Resolver at construction.
+type Option func(*Config)
+
+// WithBind sets the local fabric address queries are sent from.
+func WithBind(addr fabric.Addr) Option {
+	return func(c *Config) { c.Bind = addr }
+}
+
+// WithServer sets the name server queried.
+func WithServer(addr fabric.Addr) Option {
+	return func(c *Config) { c.Server = addr }
+}
+
+// WithTimeout sets the per-attempt wait. Default 2s.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Config) {
+		if d > 0 {
+			c.Timeout = d
+		}
+	}
+}
+
+// WithRetries sets how many additional attempts follow a timeout.
+// Default 2 under the deprecated Config shim; NewResolver defaults to 2 as
+// well.
+func WithRetries(n int) Option {
+	return func(c *Config) {
+		if n >= 0 {
+			c.Retries = n
+		}
+	}
+}
+
+// WithRate caps transmission rate in queries per second (token bucket);
+// zero means unlimited. The paper rate-limits "to reduce the impact of our
+// measurement on the DNS name servers" (Section 6.1).
+func WithRate(qps int) Option {
+	return func(c *Config) {
+		if qps >= 0 {
+			c.QueriesPerSecond = qps
+		}
+	}
+}
+
+// WithConcurrency bounds the in-flight window of the deprecated ScanPTR
+// wrappers. Default 512.
+func WithConcurrency(n int) Option {
+	return func(c *Config) {
+		if n > 0 {
+			c.Concurrency = n
+		}
+	}
+}
+
+// NewResolver creates a resolver on fab configured by opts. At minimum
+// WithBind and WithServer must be supplied.
+func NewResolver(fab *fabric.Fabric, opts ...Option) (*Resolver, error) {
+	cfg := Config{Timeout: 2 * time.Second, Retries: 2}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(fab, cfg)
+}

@@ -14,6 +14,7 @@
 package dnsclient
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -45,6 +46,9 @@ const (
 	// OutcomeMalformed means the response could not be parsed or did not
 	// match the question.
 	OutcomeMalformed
+	// OutcomeCanceled means the lookup's context was cancelled before a
+	// usable response arrived.
+	OutcomeCanceled
 )
 
 // String returns a mnemonic matching the paper's error taxonomy.
@@ -64,6 +68,8 @@ func (o Outcome) String() string {
 		return "TIMEOUT"
 	case OutcomeMalformed:
 		return "MALFORMED"
+	case OutcomeCanceled:
+		return "CANCELED"
 	default:
 		return fmt.Sprintf("OUTCOME%d", int(o))
 	}
@@ -74,7 +80,7 @@ func (o Outcome) String() string {
 // an error for reverse measurement — it is the record-absent signal.
 func (o Outcome) IsError() bool {
 	switch o {
-	case OutcomeServFail, OutcomeTimeout, OutcomeMalformed, OutcomeRefused:
+	case OutcomeServFail, OutcomeTimeout, OutcomeMalformed, OutcomeRefused, OutcomeCanceled:
 		return true
 	}
 	return false
@@ -99,6 +105,10 @@ type Response struct {
 }
 
 // Config tunes a Resolver.
+//
+// Deprecated: construct resolvers with NewResolver and functional options
+// (WithBind, WithServer, WithTimeout, WithRetries, WithRate,
+// WithConcurrency). Config survives as a shim for older call sites.
 type Config struct {
 	// Bind is the local fabric address for queries.
 	Bind fabric.Addr
@@ -113,6 +123,9 @@ type Config struct {
 	// unlimited. The paper rate-limits "to reduce the impact of our
 	// measurement on the DNS name servers" (Section 6.1).
 	QueriesPerSecond int
+	// Concurrency bounds the in-flight window of the deprecated ScanPTR
+	// wrappers. Zero means the default (512).
+	Concurrency int
 }
 
 // Resolver sends queries over a fabric and matches responses, handling
@@ -141,6 +154,7 @@ type Stats struct {
 	Refused    uint64
 	Timeout    uint64
 	Malformed  uint64
+	Canceled   uint64
 }
 
 type pendingQuery struct {
@@ -149,10 +163,13 @@ type pendingQuery struct {
 	started  time.Time
 	attempts int
 	timer    simclock.Timer
+	ctxStop  func() bool // releases the context cancellation watch
 	done     func(Response)
 }
 
 // New creates a resolver bound to cfg.Bind on fab.
+//
+// Deprecated: use NewResolver with functional options.
 func New(fab *fabric.Fabric, cfg Config) (*Resolver, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Second
@@ -185,8 +202,9 @@ func (r *Resolver) Stats() Stats {
 }
 
 // LookupPTR resolves the PTR record for ip, calling done exactly once.
-func (r *Resolver) LookupPTR(ip dnswire.IPv4, done func(Response)) {
-	r.Lookup(dnswire.Question{
+// Cancelling ctx completes the lookup promptly with OutcomeCanceled.
+func (r *Resolver) LookupPTR(ctx context.Context, ip dnswire.IPv4, done func(Response)) {
+	r.Lookup(ctx, dnswire.Question{
 		Name:  dnswire.ReverseName(ip),
 		Type:  dnswire.TypePTR,
 		Class: dnswire.ClassIN,
@@ -194,13 +212,17 @@ func (r *Resolver) LookupPTR(ip dnswire.IPv4, done func(Response)) {
 }
 
 // Lookup resolves an arbitrary question, calling done exactly once.
-func (r *Resolver) Lookup(q dnswire.Question, done func(Response)) {
+// Cancelling ctx completes the lookup promptly with OutcomeCanceled.
+func (r *Resolver) Lookup(ctx context.Context, q dnswire.Question, done func(Response)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	delay := r.reserveSlot()
 	if delay <= 0 {
-		r.start(q, done)
+		r.start(ctx, q, done)
 		return
 	}
-	r.clock.AfterFunc(delay, func() { r.start(q, done) })
+	r.clock.AfterFunc(delay, func() { r.start(ctx, q, done) })
 }
 
 func (r *Resolver) reserveSlot() time.Duration {
@@ -219,7 +241,14 @@ func (r *Resolver) reserveSlot() time.Duration {
 	return wait
 }
 
-func (r *Resolver) start(q dnswire.Question, done func(Response)) {
+func (r *Resolver) start(ctx context.Context, q dnswire.Question, done func(Response)) {
+	if ctx.Err() != nil {
+		r.mu.Lock()
+		r.stats.Canceled++
+		r.mu.Unlock()
+		done(Response{Question: q, Outcome: OutcomeCanceled, When: r.clock.Now()})
+		return
+	}
 	r.mu.Lock()
 	r.nextID++
 	id := r.nextID
@@ -246,12 +275,39 @@ func (r *Resolver) start(q dnswire.Question, done func(Response)) {
 		if displaced.timer != nil {
 			displaced.timer.Stop()
 		}
-		r.complete(displaced, Response{
+		r.finish(displaced, Response{
 			Question: displaced.question, Outcome: OutcomeTimeout,
 			Attempts: displaced.attempts, When: r.clock.Now(),
 		})
 	}
+	if ctx.Done() != nil {
+		pending.ctxStop = context.AfterFunc(ctx, func() { r.cancel(id, pending) })
+	}
 	r.transmit(id, pending)
+}
+
+// cancel completes a pending query with OutcomeCanceled when its context
+// is cancelled before a usable response arrives.
+func (r *Resolver) cancel(id uint16, p *pendingQuery) {
+	r.mu.Lock()
+	cur, ok := r.inflight[id]
+	if !ok || cur != p {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.inflight, id)
+	r.stats.Canceled++
+	r.mu.Unlock()
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	r.finish(p, Response{
+		Question: p.question,
+		Outcome:  OutcomeCanceled,
+		Attempts: p.attempts,
+		RTT:      r.clock.Now().Sub(p.started),
+		When:     r.clock.Now(),
+	})
 }
 
 func (r *Resolver) transmit(id uint16, p *pendingQuery) {
@@ -326,23 +382,30 @@ func (r *Resolver) handleResponse(dg fabric.Datagram) {
 
 func (r *Resolver) classify(p *pendingQuery, msg *dnswire.Message) Response {
 	now := r.clock.Now()
+	return classify(p.question, msg, p.attempts, now.Sub(p.started), now)
+}
+
+// classify maps a parsed response message onto the paper's outcome
+// taxonomy. It is shared by the fabric resolver, the synchronous UDP
+// client, and the in-process ServerSource.
+func classify(q dnswire.Question, msg *dnswire.Message, attempts int, rtt time.Duration, when time.Time) Response {
 	resp := Response{
-		Question: p.question,
+		Question: q,
 		RCode:    msg.Header.RCode,
-		Attempts: p.attempts,
-		RTT:      now.Sub(p.started),
-		When:     now,
+		Attempts: attempts,
+		RTT:      rtt,
+		When:     when,
 	}
 	// The response must echo our question.
-	if len(msg.Questions) != 1 || msg.Questions[0].Name != p.question.Name ||
-		msg.Questions[0].Type != p.question.Type {
+	if len(msg.Questions) != 1 || msg.Questions[0].Name != q.Name ||
+		msg.Questions[0].Type != q.Type {
 		resp.Outcome = OutcomeMalformed
 		return resp
 	}
 	switch msg.Header.RCode {
 	case dnswire.RCodeNoError:
 		for _, rr := range msg.Answers {
-			if rr.Type == p.question.Type && rr.Name == p.question.Name {
+			if rr.Type == q.Type && rr.Name == q.Name {
 				resp.Outcome = OutcomeSuccess
 				if ptr, ok := rr.Data.(dnswire.PTRData); ok {
 					resp.PTR = ptr.Target
@@ -363,9 +426,10 @@ func (r *Resolver) classify(p *pendingQuery, msg *dnswire.Message) Response {
 	return resp
 }
 
-func (r *Resolver) complete(p *pendingQuery, resp Response) { r.finish(p, resp) }
-
 func (r *Resolver) finish(p *pendingQuery, resp Response) {
+	if p.ctxStop != nil {
+		p.ctxStop()
+	}
 	done := p.done
 	p.done = nil
 	if done != nil {

@@ -1,6 +1,7 @@
 package dnsclient
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -54,7 +55,7 @@ func TestLookupPTRSuccess(t *testing.T) {
 	env.zone.SetPTR(dnswire.ReverseName(ip), dnswire.MustName("brians-iphone.dyn.example.edu"))
 
 	var got *Response
-	env.res.LookupPTR(ip, func(r Response) { got = &r })
+	env.res.LookupPTR(context.Background(), ip, func(r Response) { got = &r })
 	env.clock.Advance(time.Second)
 	if got == nil {
 		t.Fatal("lookup never completed")
@@ -76,7 +77,7 @@ func TestLookupPTRSuccess(t *testing.T) {
 func TestLookupPTRNXDomain(t *testing.T) {
 	env := newEnv(t, Config{}, fabric.Config{})
 	var got *Response
-	env.res.LookupPTR(dnswire.MustIPv4("192.0.2.77"), func(r Response) { got = &r })
+	env.res.LookupPTR(context.Background(), dnswire.MustIPv4("192.0.2.77"), func(r Response) { got = &r })
 	env.clock.Advance(time.Second)
 	if got == nil || got.Outcome != OutcomeNXDomain {
 		t.Fatalf("got %+v, want NXDOMAIN", got)
@@ -89,7 +90,7 @@ func TestLookupPTRNXDomain(t *testing.T) {
 func TestLookupTimeoutAfterRetries(t *testing.T) {
 	env := newEnv(t, Config{Timeout: time.Second, Retries: 2}, fabric.Config{LossRate: 1.0, Seed: 9})
 	var got *Response
-	env.res.LookupPTR(dnswire.MustIPv4("192.0.2.10"), func(r Response) { got = &r })
+	env.res.LookupPTR(context.Background(), dnswire.MustIPv4("192.0.2.10"), func(r Response) { got = &r })
 	env.clock.Advance(2 * time.Second)
 	if got != nil {
 		t.Fatalf("completed after %v despite retries pending", got.RTT)
@@ -113,7 +114,7 @@ func TestRetryRecoversFromLoss(t *testing.T) {
 	ip := dnswire.MustIPv4("192.0.2.10")
 	env.zone.SetPTR(dnswire.ReverseName(ip), dnswire.MustName("h.example.edu"))
 	var got *Response
-	env.res.LookupPTR(ip, func(r Response) { got = &r })
+	env.res.LookupPTR(context.Background(), ip, func(r Response) { got = &r })
 	env.clock.Advance(time.Minute)
 	if got == nil {
 		t.Fatal("lookup never completed")
@@ -127,7 +128,7 @@ func TestLookupServFail(t *testing.T) {
 	env := newEnv(t, Config{}, fabric.Config{})
 	env.server.SetFailureMode(dnsserver.FailureMode{ServFailRate: 1.0})
 	var got *Response
-	env.res.LookupPTR(dnswire.MustIPv4("192.0.2.10"), func(r Response) { got = &r })
+	env.res.LookupPTR(context.Background(), dnswire.MustIPv4("192.0.2.10"), func(r Response) { got = &r })
 	env.clock.Advance(time.Second)
 	if got == nil || got.Outcome != OutcomeServFail {
 		t.Fatalf("got %+v, want SERVFAIL", got)
@@ -137,7 +138,7 @@ func TestLookupServFail(t *testing.T) {
 func TestLookupRefusedOutOfZone(t *testing.T) {
 	env := newEnv(t, Config{}, fabric.Config{})
 	var got *Response
-	env.res.LookupPTR(dnswire.MustIPv4("203.0.113.5"), func(r Response) { got = &r })
+	env.res.LookupPTR(context.Background(), dnswire.MustIPv4("203.0.113.5"), func(r Response) { got = &r })
 	env.clock.Advance(time.Second)
 	if got == nil || got.Outcome != OutcomeRefused {
 		t.Fatalf("got %+v, want REFUSED", got)
@@ -154,7 +155,7 @@ func TestScanPTRCompleteAndClassified(t *testing.T) {
 	}
 	var results []ScanResult
 	doneCalled := false
-	env.res.ScanPrefixPTR(prefix, func(sr ScanResult) { results = append(results, sr) },
+	env.res.ScanPrefixPTR(context.Background(), prefix, func(sr ScanResult) { results = append(results, sr) },
 		func() { doneCalled = true })
 	env.clock.Advance(time.Minute)
 	if !doneCalled {
@@ -182,7 +183,7 @@ func TestScanPTRCompleteAndClassified(t *testing.T) {
 func TestScanEmptySetCallsDone(t *testing.T) {
 	env := newEnv(t, Config{}, fabric.Config{})
 	done := false
-	env.res.ScanPTR(nil, nil, func() { done = true })
+	env.res.ScanPTR(context.Background(), nil, nil, func() { done = true })
 	if !done {
 		t.Fatal("done not called for empty scan")
 	}
@@ -194,7 +195,7 @@ func TestRateLimiting(t *testing.T) {
 	env.zone.SetPTR(dnswire.ReverseName(ip), dnswire.MustName("h.example.edu"))
 	done := 0
 	for i := 0; i < 20; i++ {
-		env.res.LookupPTR(ip, func(Response) { done++ })
+		env.res.LookupPTR(context.Background(), ip, func(Response) { done++ })
 	}
 	env.clock.Advance(time.Second)
 	if done >= 20 {
@@ -210,8 +211,8 @@ func TestStatsAccounting(t *testing.T) {
 	env := newEnv(t, Config{}, fabric.Config{})
 	ip := dnswire.MustIPv4("192.0.2.10")
 	env.zone.SetPTR(dnswire.ReverseName(ip), dnswire.MustName("h.example.edu"))
-	env.res.LookupPTR(ip, func(Response) {})
-	env.res.LookupPTR(dnswire.MustIPv4("192.0.2.11"), func(Response) {})
+	env.res.LookupPTR(context.Background(), ip, func(Response) {})
+	env.res.LookupPTR(context.Background(), dnswire.MustIPv4("192.0.2.11"), func(Response) {})
 	env.clock.Advance(time.Second)
 	st := env.res.Stats()
 	if st.Queries != 2 || st.Success != 1 || st.NXDomain != 1 {

@@ -1,10 +1,15 @@
 package dnsclient
 
 import (
-	"sync"
+	"context"
 
 	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/scanengine"
 )
+
+// defaultScanWindow bounds in-flight probes of the deprecated callback
+// scanners when the resolver's Concurrency is unset.
+const defaultScanWindow = 512
 
 // ScanResult pairs a scanned address with its lookup response.
 type ScanResult struct {
@@ -14,39 +19,33 @@ type ScanResult struct {
 
 // ScanPTR looks up the PTR record for every address, massdns-style. each is
 // invoked per completed lookup (in completion order) and done once at the
-// end. Rate limiting and retries follow the resolver configuration.
-func (r *Resolver) ScanPTR(ips []dnswire.IPv4, each func(ScanResult), done func()) {
-	if len(ips) == 0 {
-		if done != nil {
-			done()
+// end. Rate limiting and retries follow the resolver configuration; the
+// in-flight window follows WithConcurrency.
+//
+// Deprecated: use scanengine.New with Resolver.AsyncSource (or a
+// synchronous Source) and the context-aware Scanner API. This wrapper
+// drives the engine's bounded-window sweep under the old callback shape.
+func (r *Resolver) ScanPTR(ctx context.Context, ips []dnswire.IPv4, each func(ScanResult), done func()) {
+	window := r.cfg.Concurrency
+	if window <= 0 {
+		window = defaultScanWindow
+	}
+	scanengine.SweepAsync(r.AsyncSource(ctx), ips, window, func(res scanengine.Result) {
+		if each != nil {
+			resp, _ := res.Meta.(Response)
+			each(ScanResult{IP: res.IP, Response: resp})
 		}
-		return
-	}
-	var mu sync.Mutex
-	remaining := len(ips)
-	for _, ip := range ips {
-		ip := ip
-		r.LookupPTR(ip, func(resp Response) {
-			if each != nil {
-				each(ScanResult{IP: ip, Response: resp})
-			}
-			mu.Lock()
-			remaining--
-			last := remaining == 0
-			mu.Unlock()
-			if last && done != nil {
-				done()
-			}
-		})
-	}
+	}, done)
 }
 
 // ScanPrefixPTR scans every address in a prefix.
-func (r *Resolver) ScanPrefixPTR(p dnswire.Prefix, each func(ScanResult), done func()) {
+//
+// Deprecated: use scanengine.New with the context-aware Scanner API.
+func (r *Resolver) ScanPrefixPTR(ctx context.Context, p dnswire.Prefix, each func(ScanResult), done func()) {
 	n := p.NumAddresses()
 	ips := make([]dnswire.IPv4, n)
 	for i := 0; i < n; i++ {
 		ips[i] = p.Nth(i)
 	}
-	r.ScanPTR(ips, each, done)
+	r.ScanPTR(ctx, ips, each, done)
 }

@@ -1,0 +1,116 @@
+package dnsclient
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/scanengine"
+)
+
+// resultFromResponse maps a lookup response onto the engine's probe
+// taxonomy: success is a found record, NXDOMAIN and NODATA are
+// authoritative absences, everything else is an error. The full Response
+// rides along in Meta.
+func resultFromResponse(ip dnswire.IPv4, resp Response) scanengine.Result {
+	res := scanengine.Result{IP: ip, Meta: resp}
+	switch resp.Outcome {
+	case OutcomeSuccess:
+		res.Found = true
+		res.Name = resp.PTR
+	case OutcomeNXDomain, OutcomeNoData:
+		// Absent: Found=false, Err=nil.
+	default:
+		res.Err = resp.Err()
+	}
+	return res
+}
+
+// asyncSource adapts a fabric Resolver to scanengine.AsyncSource, pinning
+// a context for the sweep.
+type asyncSource struct {
+	r   *Resolver
+	ctx context.Context
+}
+
+// StartPTR implements scanengine.AsyncSource.
+func (s asyncSource) StartPTR(ip dnswire.IPv4, done func(scanengine.Result)) {
+	s.r.LookupPTR(s.ctx, ip, func(resp Response) {
+		done(resultFromResponse(ip, resp))
+	})
+}
+
+// AsyncSource adapts the resolver to the engine's callback shape for use
+// with scanengine.SweepAsync. ctx cancels probes started under it.
+func (r *Resolver) AsyncSource(ctx context.Context) scanengine.AsyncSource {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return asyncSource{r: r, ctx: ctx}
+}
+
+// UDPSource adapts the synchronous UDP client to scanengine.Source, for
+// sharded parallel sweeps against real name servers. UDPClient carries no
+// per-call state, so one source serves all engine workers.
+type UDPSource struct {
+	Client *UDPClient
+}
+
+// LookupPTR implements scanengine.Source.
+func (s UDPSource) LookupPTR(ctx context.Context, ip dnswire.IPv4) scanengine.Result {
+	if err := ctx.Err(); err != nil {
+		return scanengine.Result{IP: ip, Err: &Error{Kind: KindCanceled, wrapped: err}}
+	}
+	resp, err := s.Client.LookupPTR(ip)
+	if err != nil {
+		return scanengine.Result{IP: ip, Err: err}
+	}
+	return resultFromResponse(ip, resp)
+}
+
+// QueryHandler is the message-level server interface ServerSource drives —
+// dnsserver.Server implements it.
+type QueryHandler interface {
+	HandleQuery(query []byte) []byte
+}
+
+// ServerSource probes an in-process authoritative server directly at the
+// DNS message level: each lookup marshals a query, hands the wire form to
+// the server, and classifies the wire response. It performs the same
+// per-query encode/decode work as a network client without socket or
+// fabric scheduling, which makes it the natural source for parallel
+// full-sweep snapshots of a simulated deployment. Safe for concurrent use.
+type ServerSource struct {
+	Server QueryHandler
+
+	nextID atomic.Uint32
+}
+
+// LookupPTR implements scanengine.Source.
+func (s *ServerSource) LookupPTR(ctx context.Context, ip dnswire.IPv4) scanengine.Result {
+	q := dnswire.Question{
+		Name:  dnswire.ReverseName(ip),
+		Type:  dnswire.TypePTR,
+		Class: dnswire.ClassIN,
+	}
+	if err := ctx.Err(); err != nil {
+		return scanengine.Result{IP: ip, Err: &Error{Kind: KindCanceled, Question: q, wrapped: err}}
+	}
+	id := uint16(s.nextID.Add(1))
+	wire, err := dnswire.NewQuery(id, q.Name, q.Type).Marshal()
+	if err != nil {
+		return scanengine.Result{IP: ip, Err: &Error{Kind: KindMalformed, Question: q, wrapped: err}}
+	}
+	started := time.Now()
+	reply := s.Server.HandleQuery(wire)
+	if reply == nil {
+		return scanengine.Result{IP: ip, Err: &Error{Kind: KindTimeout, Question: q, Attempts: 1}}
+	}
+	msg, err := dnswire.Unmarshal(reply)
+	if err != nil || !msg.Header.Response || msg.Header.ID != id {
+		return scanengine.Result{IP: ip, Err: &Error{Kind: KindMalformed, Question: q, Attempts: 1, wrapped: err}}
+	}
+	now := time.Now()
+	return resultFromResponse(ip, classify(q, msg, 1, now.Sub(started), now))
+}

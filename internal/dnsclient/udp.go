@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"rdnsprivacy/internal/dnswire"
-	"rdnsprivacy/internal/simclock"
 )
 
 // UDPClient is a small synchronous DNS client over real UDP sockets, used by
@@ -71,9 +70,8 @@ func (c *UDPClient) Lookup(q dnswire.Question) (Response, error) {
 				Attempts: attempts, RTT: time.Since(started), When: time.Now(),
 			}, nil
 		}
-		p := &pendingQuery{question: q, started: started, attempts: attempts}
-		fake := &Resolver{clock: simclock.Real{}}
-		return fake.classify(p, msg), nil
+		now := time.Now()
+		return classify(q, msg, attempts, now.Sub(started), now), nil
 	}
 	return Response{
 		Question: q, Outcome: OutcomeTimeout,

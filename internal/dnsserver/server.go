@@ -4,7 +4,9 @@ import (
 	"errors"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/fabric"
@@ -25,12 +27,17 @@ type FailureMode struct {
 
 // Server is an authoritative DNS server holding any number of zones. The
 // zero value is not usable; create one with NewServer.
+//
+// HandleQuery is safe for concurrent callers and — unless failure injection
+// is enabled — lock-free outside the zone lookups, so a sharded scanner can
+// drive one server from many workers without convoying on a global mutex.
 type Server struct {
 	mu            sync.RWMutex
 	zones         map[dnswire.Name]*Zone
 	failure       FailureMode
+	failing       atomic.Bool
 	rng           *rand.Rand
-	stats         ServerStats
+	stats         counters
 	updatePolicy  UpdatePolicy
 	allowTransfer bool
 }
@@ -50,6 +57,12 @@ type ServerStats struct {
 	Transfers uint64
 }
 
+// counters is the live, atomically-updated form of ServerStats.
+type counters struct {
+	queries, noError, nxDomain, servFail, refused, formErr,
+	dropped, notImp, malformed, updates, transfers atomic.Uint64
+}
+
 // NewServer creates a server with no zones.
 func NewServer() *Server {
 	return &Server{
@@ -64,6 +77,7 @@ func (s *Server) SetFailureMode(fm FailureMode) {
 	defer s.mu.Unlock()
 	s.failure = fm
 	s.rng = rand.New(rand.NewSource(fm.Seed))
+	s.failing.Store(fm.DropRate > 0 || fm.ServFailRate > 0)
 }
 
 // AddZone attaches a zone to the server.
@@ -83,66 +97,86 @@ func (s *Server) Zone(origin dnswire.Name) (*Zone, bool) {
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() ServerStats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.stats
+	return ServerStats{
+		Queries:   s.stats.queries.Load(),
+		NoError:   s.stats.noError.Load(),
+		NXDomain:  s.stats.nxDomain.Load(),
+		ServFail:  s.stats.servFail.Load(),
+		Refused:   s.stats.refused.Load(),
+		FormErr:   s.stats.formErr.Load(),
+		Dropped:   s.stats.dropped.Load(),
+		NotImp:    s.stats.notImp.Load(),
+		Malformed: s.stats.malformed.Load(),
+		Updates:   s.stats.updates.Load(),
+		Transfers: s.stats.transfers.Load(),
+	}
 }
 
-// findZone returns the most-specific zone containing name.
+// findZone returns the most-specific zone containing name. Zone origins are
+// map keys, so the walk probes each suffix of name directly — left to right,
+// longest (most specific) first — instead of iterating every zone.
 func (s *Server) findZone(name dnswire.Name) *Zone {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var best *Zone
-	bestLabels := -1
-	for origin, z := range s.zones {
-		if name.HasSuffix(origin) {
-			if n := len(origin.Labels()); n > bestLabels {
-				best, bestLabels = z, n
-			}
+	ns := string(name)
+	for start := 0; start < len(ns); {
+		if z, ok := s.zones[dnswire.Name(ns[start:])]; ok {
+			return z
 		}
+		dot := strings.IndexByte(ns[start:], '.')
+		if dot < 0 {
+			break
+		}
+		start += dot + 1
 	}
-	return best
+	if z, ok := s.zones[dnswire.Root]; ok {
+		return z
+	}
+	return nil
 }
 
 // HandleQuery processes one wire-format query and returns the wire-format
 // response, or nil if the query must be silently dropped (malformed packets
 // and injected drops).
 func (s *Server) HandleQuery(query []byte) []byte {
-	s.mu.Lock()
-	s.stats.Queries++
-	fm := s.failure
-	var injectServFail, injectDrop bool
-	if fm.DropRate > 0 && s.rng.Float64() < fm.DropRate {
-		injectDrop = true
-	} else if fm.ServFailRate > 0 && s.rng.Float64() < fm.ServFailRate {
-		injectServFail = true
-	}
-	if injectDrop {
-		s.stats.Dropped++
-	}
-	s.mu.Unlock()
-	if injectDrop {
-		return nil
+	s.stats.queries.Add(1)
+	var injectServFail bool
+	if s.failing.Load() {
+		// The failure PRNG is the only query-path state needing the
+		// exclusive lock, and only when injection is enabled.
+		s.mu.Lock()
+		fm := s.failure
+		var injectDrop bool
+		if fm.DropRate > 0 && s.rng.Float64() < fm.DropRate {
+			injectDrop = true
+		} else if fm.ServFailRate > 0 && s.rng.Float64() < fm.ServFailRate {
+			injectServFail = true
+		}
+		s.mu.Unlock()
+		if injectDrop {
+			s.stats.dropped.Add(1)
+			return nil
+		}
 	}
 
 	msg, err := dnswire.Unmarshal(query)
 	if err != nil || msg.Header.Response {
-		s.count(func(st *ServerStats) { st.Malformed++ })
+		s.stats.malformed.Add(1)
 		return nil
 	}
 	var resp *dnswire.Message
 	switch {
 	case injectServFail:
 		resp = dnswire.NewResponse(msg, dnswire.RCodeServFail)
-		s.count(func(st *ServerStats) { st.ServFail++ })
+		s.stats.servFail.Add(1)
 	case msg.Header.OpCode == dnswire.OpUpdate:
 		resp = s.applyUpdate(msg)
 	case msg.Header.OpCode != dnswire.OpQuery:
 		resp = dnswire.NewResponse(msg, dnswire.RCodeNotImp)
-		s.count(func(st *ServerStats) { st.NotImp++ })
+		s.stats.notImp.Add(1)
 	case len(msg.Questions) != 1:
 		resp = dnswire.NewResponse(msg, dnswire.RCodeFormErr)
-		s.count(func(st *ServerStats) { st.FormErr++ })
+		s.stats.formErr.Add(1)
 	default:
 		resp = s.resolve(msg)
 	}
@@ -153,17 +187,11 @@ func (s *Server) HandleQuery(query []byte) []byte {
 	return wire
 }
 
-func (s *Server) count(f func(*ServerStats)) {
-	s.mu.Lock()
-	f(&s.stats)
-	s.mu.Unlock()
-}
-
 func (s *Server) resolve(msg *dnswire.Message) *dnswire.Message {
 	q := msg.Questions[0]
 	zone := s.findZone(q.Name)
 	if zone == nil {
-		s.count(func(st *ServerStats) { st.Refused++ })
+		s.stats.refused.Add(1)
 		return dnswire.NewResponse(msg, dnswire.RCodeRefused)
 	}
 	answers, authority, rcode := zone.answer(q)
@@ -173,9 +201,9 @@ func (s *Server) resolve(msg *dnswire.Message) *dnswire.Message {
 	resp.Authorities = authority
 	switch rcode {
 	case dnswire.RCodeNXDomain:
-		s.count(func(st *ServerStats) { st.NXDomain++ })
+		s.stats.nxDomain.Add(1)
 	default:
-		s.count(func(st *ServerStats) { st.NoError++ })
+		s.stats.noError.Add(1)
 	}
 	return resp
 }

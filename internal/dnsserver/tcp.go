@@ -37,7 +37,8 @@ func (s *Server) SetTransferPolicy(allow bool) {
 func (s *Server) HandleQueryUDP(query []byte) []byte {
 	if msg, err := dnswire.Unmarshal(query); err == nil &&
 		len(msg.Questions) == 1 && msg.Questions[0].Type == dnswire.TypeAXFR {
-		s.count(func(st *ServerStats) { st.Queries++; st.Refused++ })
+		s.stats.queries.Add(1)
+		s.stats.refused.Add(1)
 		resp := dnswire.NewResponse(msg, dnswire.RCodeRefused)
 		wire, err := resp.Marshal()
 		if err != nil {
@@ -112,13 +113,13 @@ func (s *Server) handleTCP(query []byte) [][]byte {
 // handleAXFR streams a zone: SOA, every record, SOA (RFC 5936). Transfers
 // must be enabled and the zone attached; otherwise REFUSED.
 func (s *Server) handleAXFR(msg *dnswire.Message) [][]byte {
-	s.count(func(st *ServerStats) { st.Queries++ })
+	s.stats.queries.Add(1)
 	s.mu.RLock()
 	allow := s.allowTransfer
 	s.mu.RUnlock()
 	zone, ok := s.Zone(msg.Questions[0].Name)
 	if !allow || !ok {
-		s.count(func(st *ServerStats) { st.Refused++ })
+		s.stats.refused.Add(1)
 		resp := dnswire.NewResponse(msg, dnswire.RCodeRefused)
 		wire, err := resp.Marshal()
 		if err != nil {
@@ -161,7 +162,7 @@ func (s *Server) handleAXFR(msg *dnswire.Message) [][]byte {
 	if !flush() {
 		return nil
 	}
-	s.count(func(st *ServerStats) { st.Transfers++ })
+	s.stats.transfers.Add(1)
 	return out
 }
 

@@ -41,12 +41,12 @@ func (s *Server) applyUpdate(msg *dnswire.Message) *dnswire.Message {
 	refused := s.updatePolicy == UpdatesRefused
 	s.mu.RUnlock()
 	if refused {
-		s.count(func(st *ServerStats) { st.Refused++ })
+		s.stats.refused.Add(1)
 		return dnswire.NewResponse(msg, dnswire.RCodeRefused)
 	}
 	zoneName, err := msg.UpdateZone()
 	if err != nil {
-		s.count(func(st *ServerStats) { st.FormErr++ })
+		s.stats.formErr.Add(1)
 		return dnswire.NewResponse(msg, dnswire.RCodeFormErr)
 	}
 	zone, ok := s.Zone(zoneName)
@@ -54,38 +54,38 @@ func (s *Server) applyUpdate(msg *dnswire.Message) *dnswire.Message {
 		// RFC 2136 §3.1.2: NOTAUTH would be precise; REFUSED keeps the
 		// supported RCode set small and is what clients treat
 		// equivalently.
-		s.count(func(st *ServerStats) { st.Refused++ })
+		s.stats.refused.Add(1)
 		return dnswire.NewResponse(msg, dnswire.RCodeRefused)
 	}
 	if len(msg.Answers) != 0 {
 		// Prerequisites are not supported.
-		s.count(func(st *ServerStats) { st.NotImp++ })
+		s.stats.notImp.Add(1)
 		return dnswire.NewResponse(msg, dnswire.RCodeNotImp)
 	}
 	// Validate every operation before applying any (updates are atomic,
 	// RFC 2136 §3.4).
 	for _, rr := range msg.Authorities {
 		if !rr.Name.HasSuffix(zoneName) {
-			s.count(func(st *ServerStats) { st.FormErr++ })
+			s.stats.formErr.Add(1)
 			return dnswire.NewResponse(msg, dnswire.RCodeFormErr)
 		}
 		switch rr.Class {
 		case dnswire.ClassIN:
 			if rr.Type != dnswire.TypePTR {
-				s.count(func(st *ServerStats) { st.NotImp++ })
+				s.stats.notImp.Add(1)
 				return dnswire.NewResponse(msg, dnswire.RCodeNotImp)
 			}
 			if _, ok := rr.Data.(dnswire.PTRData); !ok {
-				s.count(func(st *ServerStats) { st.FormErr++ })
+				s.stats.formErr.Add(1)
 				return dnswire.NewResponse(msg, dnswire.RCodeFormErr)
 			}
 		case dnswire.ClassANY, dnswire.ClassNONE:
 			if rr.Type != dnswire.TypePTR && rr.Type != dnswire.TypeANY {
-				s.count(func(st *ServerStats) { st.NotImp++ })
+				s.stats.notImp.Add(1)
 				return dnswire.NewResponse(msg, dnswire.RCodeNotImp)
 			}
 		default:
-			s.count(func(st *ServerStats) { st.FormErr++ })
+			s.stats.formErr.Add(1)
 			return dnswire.NewResponse(msg, dnswire.RCodeFormErr)
 		}
 	}
@@ -94,14 +94,14 @@ func (s *Server) applyUpdate(msg *dnswire.Message) *dnswire.Message {
 		case dnswire.ClassIN:
 			ptr := rr.Data.(dnswire.PTRData)
 			if err := zone.SetPTR(rr.Name, ptr.Target); err != nil {
-				s.count(func(st *ServerStats) { st.ServFail++ })
+				s.stats.servFail.Add(1)
 				return dnswire.NewResponse(msg, dnswire.RCodeServFail)
 			}
 		case dnswire.ClassANY, dnswire.ClassNONE:
 			zone.RemovePTR(rr.Name)
 		}
 	}
-	s.count(func(st *ServerStats) { st.Updates++ })
+	s.stats.updates.Add(1)
 	resp := dnswire.NewResponse(msg, dnswire.RCodeNoError)
 	resp.Header.Authoritative = true
 	return resp

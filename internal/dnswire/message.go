@@ -164,14 +164,14 @@ func (r Record) String() string {
 type RData interface {
 	// append encodes the RDATA (without the length prefix) into buf,
 	// using cmap for name compression when permitted by RFC 3597.
-	append(buf []byte, cmap compressionMap) ([]byte, error)
+	append(buf []byte, cmap *compressionMap) ([]byte, error)
 	fmt.Stringer
 }
 
 // PTRData is the RDATA of a PTR record: the hostname an address maps to.
 type PTRData struct{ Target Name }
 
-func (d PTRData) append(buf []byte, cmap compressionMap) ([]byte, error) {
+func (d PTRData) append(buf []byte, cmap *compressionMap) ([]byte, error) {
 	return appendCompressedName(buf, d.Target, cmap)
 }
 
@@ -181,7 +181,7 @@ func (d PTRData) String() string { return string(d.Target) }
 // AData is the RDATA of an A record.
 type AData struct{ Addr [4]byte }
 
-func (d AData) append(buf []byte, _ compressionMap) ([]byte, error) {
+func (d AData) append(buf []byte, _ *compressionMap) ([]byte, error) {
 	return append(buf, d.Addr[:]...), nil
 }
 
@@ -193,7 +193,7 @@ func (d AData) String() string {
 // NSData is the RDATA of an NS record.
 type NSData struct{ Target Name }
 
-func (d NSData) append(buf []byte, cmap compressionMap) ([]byte, error) {
+func (d NSData) append(buf []byte, cmap *compressionMap) ([]byte, error) {
 	return appendCompressedName(buf, d.Target, cmap)
 }
 
@@ -203,7 +203,7 @@ func (d NSData) String() string { return string(d.Target) }
 // CNAMEData is the RDATA of a CNAME record.
 type CNAMEData struct{ Target Name }
 
-func (d CNAMEData) append(buf []byte, cmap compressionMap) ([]byte, error) {
+func (d CNAMEData) append(buf []byte, cmap *compressionMap) ([]byte, error) {
 	return appendCompressedName(buf, d.Target, cmap)
 }
 
@@ -221,7 +221,7 @@ type SOAData struct {
 	Minimum uint32
 }
 
-func (d SOAData) append(buf []byte, cmap compressionMap) ([]byte, error) {
+func (d SOAData) append(buf []byte, cmap *compressionMap) ([]byte, error) {
 	var err error
 	buf, err = appendCompressedName(buf, d.MName, cmap)
 	if err != nil {
@@ -248,7 +248,7 @@ func (d SOAData) String() string {
 // TXTData is the RDATA of a TXT record: one or more character strings.
 type TXTData struct{ Strings []string }
 
-func (d TXTData) append(buf []byte, _ compressionMap) ([]byte, error) {
+func (d TXTData) append(buf []byte, _ *compressionMap) ([]byte, error) {
 	if len(d.Strings) == 0 {
 		return nil, errors.New("dnswire: TXT record with no strings")
 	}
@@ -280,7 +280,7 @@ type RawData struct {
 	Bytes []byte
 }
 
-func (d RawData) append(buf []byte, _ compressionMap) ([]byte, error) {
+func (d RawData) append(buf []byte, _ *compressionMap) ([]byte, error) {
 	return append(buf, d.Bytes...), nil
 }
 
@@ -350,10 +350,10 @@ func (m *Message) AppendTo(buf []byte) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Authorities)))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Additionals)))
 
-	cmap := make(compressionMap)
+	var cmap compressionMap
 	var err error
 	for _, q := range m.Questions {
-		buf, err = appendCompressedName(buf, q.Name, cmap)
+		buf, err = appendCompressedName(buf, q.Name, &cmap)
 		if err != nil {
 			return nil, fmt.Errorf("question %s: %w", q.Name, err)
 		}
@@ -362,7 +362,7 @@ func (m *Message) AppendTo(buf []byte) ([]byte, error) {
 	}
 	for _, section := range [][]Record{m.Answers, m.Authorities, m.Additionals} {
 		for _, rr := range section {
-			buf, err = appendRecord(buf, rr, cmap)
+			buf, err = appendRecord(buf, rr, &cmap)
 			if err != nil {
 				return nil, fmt.Errorf("record %s: %w", rr.Name, err)
 			}
@@ -371,7 +371,7 @@ func (m *Message) AppendTo(buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
-func appendRecord(buf []byte, rr Record, cmap compressionMap) ([]byte, error) {
+func appendRecord(buf []byte, rr Record, cmap *compressionMap) ([]byte, error) {
 	var err error
 	buf, err = appendCompressedName(buf, rr.Name, cmap)
 	if err != nil {

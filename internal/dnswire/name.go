@@ -161,55 +161,71 @@ func AppendName(buf []byte, n Name) ([]byte, error) {
 }
 
 // compressionMap tracks names already emitted into a message so later
-// occurrences can be replaced by pointers (RFC 1035 §4.1.4).
-type compressionMap map[string]int
+// occurrences can be replaced by pointers (RFC 1035 §4.1.4). It is a small
+// inline table rather than a map: a typical message carries a handful of
+// suffixes, and a linear scan over an array that lives on the caller's stack
+// beats per-message map allocation and hashing on the PTR-sweep hot path.
+// When the table fills, later names are simply emitted uncompressed —
+// compression is an optimization the wire format never requires.
+type compressionMap struct {
+	n     int
+	names [24]string
+	offs  [24]uint16
+}
+
+// lookup returns the recorded offset of suffix.
+func (c *compressionMap) lookup(suffix string) (int, bool) {
+	for i := 0; i < c.n; i++ {
+		if c.names[i] == suffix {
+			return int(c.offs[i]), true
+		}
+	}
+	return 0, false
+}
+
+// record remembers that suffix was emitted at off, if there is room.
+// Offsets at or past 0x4000 are unusable as pointer targets and are not
+// recorded.
+func (c *compressionMap) record(suffix string, off int) {
+	if c.n < len(c.names) && off < 0x4000 {
+		c.names[c.n] = suffix
+		c.offs[c.n] = uint16(off)
+		c.n++
+	}
+}
 
 // appendCompressedName appends n to buf using msgStart-relative compression
 // pointers recorded in cmap. Compression pointers can only address the first
 // 16384 octets of a message; names beyond that are emitted uncompressed.
-func appendCompressedName(buf []byte, n Name, cmap compressionMap) ([]byte, error) {
+//
+// Names are stored in presentation form with a trailing dot, so every suffix
+// of a name is a plain substring: the left-to-right walk below checks, emits
+// and records suffixes without materializing label slices or joined strings
+// (this is the hottest function of a full PTR sweep).
+func appendCompressedName(buf []byte, n Name, cmap *compressionMap) ([]byte, error) {
 	if n.IsRoot() {
 		return append(buf, 0), nil
 	}
-	// Walk suffixes from the full name down, looking for a hit.
-	labels := n.Labels()
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".") + "."
-		if off, ok := cmap[suffix]; ok && off < 0x4000 {
-			// Emit leading labels, then the pointer.
-			for j := 0; j < i; j++ {
-				label := labels[j]
-				if len(label) == 0 {
-					return nil, ErrEmptyLabel
-				}
-				if len(label) > MaxLabelLen {
-					return nil, ErrLabelTooLong
-				}
-				// Record the longer suffix for future reuse.
-				longer := strings.Join(labels[j:], ".") + "."
-				if _, exists := cmap[longer]; !exists && len(buf) < 0x4000 {
-					cmap[longer] = len(buf)
-				}
-				buf = append(buf, byte(len(label)))
-				buf = append(buf, label...)
-			}
+	s := string(n)
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	for start := 0; start < len(s); {
+		suffix := s[start:]
+		if off, known := cmap.lookup(suffix); known {
 			return append(buf, byte(0xC0|off>>8), byte(off)), nil
 		}
-	}
-	// No suffix known: emit in full, recording each suffix offset.
-	for i, label := range labels {
-		if len(label) == 0 {
+		dot := strings.IndexByte(suffix, '.')
+		if dot == 0 {
 			return nil, ErrEmptyLabel
 		}
-		if len(label) > MaxLabelLen {
+		if dot > MaxLabelLen {
 			return nil, ErrLabelTooLong
 		}
-		suffix := strings.Join(labels[i:], ".") + "."
-		if _, exists := cmap[suffix]; !exists && len(buf) < 0x4000 {
-			cmap[suffix] = len(buf)
-		}
-		buf = append(buf, byte(len(label)))
-		buf = append(buf, label...)
+		cmap.record(suffix, len(buf))
+		buf = append(buf, byte(dot))
+		buf = append(buf, s[start:start+dot]...)
+		start += dot + 1
 	}
 	return append(buf, 0), nil
 }
@@ -219,7 +235,10 @@ func appendCompressedName(buf []byte, n Name, cmap compressionMap) ([]byte, erro
 // original position (pointers do not advance the outer offset past their two
 // octets).
 func decodeName(msg []byte, off int) (Name, int, error) {
-	var sb strings.Builder
+	// Decode into a fixed stack buffer: names are capped at MaxNameLen, so
+	// this avoids the builder's incremental growth on the sweep hot path.
+	var nb [MaxNameLen + 1]byte
+	out := nb[:0]
 	ptrBudget := maxPointerHops
 	pos := off
 	end := -1 // offset after the name at the original position
@@ -234,10 +253,10 @@ func decodeName(msg []byte, off int) (Name, int, error) {
 			if end < 0 {
 				end = pos + 1
 			}
-			if sb.Len() == 0 {
+			if len(out) == 0 {
 				return Root, end, nil
 			}
-			name := Name(strings.ToLower(sb.String()))
+			name := Name(strings.ToLower(string(out)))
 			return name, end, nil
 		case b&0xC0 == 0xC0:
 			if pos+1 >= len(msg) {
@@ -266,8 +285,8 @@ func decodeName(msg []byte, off int) (Name, int, error) {
 			if total > MaxNameLen {
 				return "", 0, ErrNameTooLong
 			}
-			sb.Write(msg[pos+1 : pos+1+length])
-			sb.WriteByte('.')
+			out = append(out, msg[pos+1:pos+1+length]...)
+			out = append(out, '.')
 			pos += 1 + length
 		}
 	}

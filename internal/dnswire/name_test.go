@@ -195,14 +195,14 @@ func TestDecodeNameReservedLabelType(t *testing.T) {
 }
 
 func TestCompressedNameReuse(t *testing.T) {
-	cmap := make(compressionMap)
-	buf, err := appendCompressedName(nil, MustName("host1.example.com"), cmap)
+	var cmap compressionMap
+	buf, err := appendCompressedName(nil, MustName("host1.example.com"), &cmap)
 	if err != nil {
 		t.Fatal(err)
 	}
 	firstLen := len(buf)
 	second := len(buf)
-	buf, err = appendCompressedName(buf, MustName("host2.example.com"), cmap)
+	buf, err = appendCompressedName(buf, MustName("host2.example.com"), &cmap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestCompressedNameReuse(t *testing.T) {
 	}
 	// Identical name compresses to a bare pointer (2 octets).
 	third := len(buf)
-	buf, err = appendCompressedName(buf, MustName("host1.example.com"), cmap)
+	buf, err = appendCompressedName(buf, MustName("host1.example.com"), &cmap)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -357,7 +358,7 @@ func TestLiveModeEndToEnd(t *testing.T) {
 
 	lookup := func() dnsclient.Response {
 		var got dnsclient.Response
-		res.LookupPTR(devIP, func(r dnsclient.Response) { got = r })
+		res.LookupPTR(context.Background(), devIP, func(r dnsclient.Response) { got = r })
 		clock.Advance(5 * time.Second)
 		return got
 	}
@@ -458,7 +459,7 @@ func TestLiveModeBlockedICMP(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got dnsclient.Response
-	res.LookupPTR(devIP, func(r dnsclient.Response) { got = r })
+	res.LookupPTR(context.Background(), devIP, func(r dnsclient.Response) { got = r })
 	clock.Advance(5 * time.Second)
 	if got.Outcome != dnsclient.OutcomeSuccess {
 		t.Fatalf("PTR outcome = %v; rDNS must remain visible when ICMP is blocked", got.Outcome)

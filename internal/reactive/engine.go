@@ -1,6 +1,7 @@
 package reactive
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -239,12 +240,12 @@ func NewEngine(fab *fabric.Fabric, cfg Config) (*Engine, error) {
 	e.prober = prober
 	for i := range cfg.Targets {
 		t := &cfg.Targets[i]
-		res, err := dnsclient.New(fab, dnsclient.Config{
-			Bind:    fabric.Addr{IP: cfg.VantageDNS, Port: uint16(40000 + i)},
-			Server:  t.DNS,
-			Timeout: cfg.DNSTimeout,
-			Retries: cfg.DNSRetries,
-		})
+		res, err := dnsclient.NewResolver(fab,
+			dnsclient.WithBind(fabric.Addr{IP: cfg.VantageDNS, Port: uint16(40000 + i)}),
+			dnsclient.WithServer(t.DNS),
+			dnsclient.WithTimeout(cfg.DNSTimeout),
+			dnsclient.WithRetries(cfg.DNSRetries),
+		)
 		if err != nil {
 			return nil, fmt.Errorf("reactive: resolver for %s: %w", t.Name, err)
 		}
@@ -449,7 +450,7 @@ func (e *Engine) scheduleReactiveProbe(hs *hostState, ip dnswire.IPv4) {
 // minutes if the record is not there yet (see the paper's footnote 5).
 func (e *Engine) lookupPTR(t *Target, ip dnswire.IPv4, g *Group) {
 	res := e.resolvers[t.Name]
-	res.LookupPTR(ip, func(r dnsclient.Response) {
+	res.LookupPTR(context.Background(), ip, func(r dnsclient.Response) {
 		e.recordDNS(t, ip, r)
 		e.mu.Lock()
 		hs := e.state[ip]
@@ -478,7 +479,7 @@ func (e *Engine) lookupPTR(t *Target, ip dnswire.IPv4, g *Group) {
 
 func (e *Engine) lookupPTRNoRetry(t *Target, ip dnswire.IPv4, g *Group) {
 	res := e.resolvers[t.Name]
-	res.LookupPTR(ip, func(r dnsclient.Response) {
+	res.LookupPTR(context.Background(), ip, func(r dnsclient.Response) {
 		e.recordDNS(t, ip, r)
 		e.mu.Lock()
 		if hs := e.state[ip]; hs != nil && hs.group == g && r.Outcome == dnsclient.OutcomeSuccess {
@@ -504,7 +505,7 @@ func (e *Engine) followUpPTR(hs *hostState, ip dnswire.IPv4, g *Group, started t
 			return
 		}
 		e.mu.Unlock()
-		res.LookupPTR(ip, func(r dnsclient.Response) {
+		res.LookupPTR(context.Background(), ip, func(r dnsclient.Response) {
 			e.recordDNS(hs.target, ip, r)
 			now := e.clock.Now()
 			e.mu.Lock()

@@ -1,82 +1,38 @@
 package scan
 
 import (
-	"sort"
-
-	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/scanengine"
 )
 
 // The paper's core observation is that "if changes to the (public) DNS are
 // made as client devices join or leave a network, one may be able to infer
-// network dynamics by capturing DNS changes" (Section 2.1). This file is
-// the capturing: a diff engine over successive snapshots that turns raw
-// record sets into join/leave/rename events — what a tracker actually
-// consumes.
+// network dynamics by capturing DNS changes" (Section 2.1). The capturing
+// lives in internal/scanengine, which diffs successive snapshots
+// incrementally while a sweep merges; this package re-exports the types so
+// existing consumers keep compiling.
 
 // RecordSet maps addresses to their PTR targets at one instant.
-type RecordSet map[dnswire.IPv4]dnswire.Name
+type RecordSet = scanengine.RecordSet
 
 // ChangeKind classifies a record-set delta.
-type ChangeKind int
+type ChangeKind = scanengine.ChangeKind
 
 // Change kinds.
 const (
 	// RecordAdded: a PTR appeared — a client (likely) joined.
-	RecordAdded ChangeKind = iota
+	RecordAdded = scanengine.RecordAdded
 	// RecordRemoved: a PTR vanished — a client left and its lease ended.
-	RecordRemoved
+	RecordRemoved = scanengine.RecordRemoved
 	// RecordChanged: the name at an address changed — the address was
 	// reallocated to a different client.
-	RecordChanged
+	RecordChanged = scanengine.RecordChanged
 )
 
-// String returns a mnemonic.
-func (k ChangeKind) String() string {
-	switch k {
-	case RecordAdded:
-		return "added"
-	case RecordRemoved:
-		return "removed"
-	case RecordChanged:
-		return "changed"
-	default:
-		return "unknown"
-	}
-}
-
 // Change is one observed delta between snapshots.
-type Change struct {
-	Kind ChangeKind
-	IP   dnswire.IPv4
-	// Old is the previous name (Removed/Changed).
-	Old dnswire.Name
-	// New is the current name (Added/Changed).
-	New dnswire.Name
-}
+type Change = scanengine.Change
 
 // DiffRecords compares two snapshots and returns the deltas, sorted by
 // address.
 func DiffRecords(prev, cur RecordSet) []Change {
-	var out []Change
-	for ip, oldName := range prev {
-		newName, ok := cur[ip]
-		switch {
-		case !ok:
-			out = append(out, Change{Kind: RecordRemoved, IP: ip, Old: oldName})
-		case newName != oldName:
-			out = append(out, Change{Kind: RecordChanged, IP: ip, Old: oldName, New: newName})
-		}
-	}
-	for ip, newName := range cur {
-		if _, ok := prev[ip]; !ok {
-			out = append(out, Change{Kind: RecordAdded, IP: ip, New: newName})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].IP != out[j].IP {
-			return out[i].IP.Uint32() < out[j].IP.Uint32()
-		}
-		return out[i].Kind < out[j].Kind
-	})
-	return out
+	return scanengine.DiffRecords(prev, cur)
 }

@@ -18,12 +18,14 @@
 package scan
 
 import (
+	"context"
 	"time"
 
 	"rdnsprivacy/internal/dataset"
 	"rdnsprivacy/internal/dnsclient"
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/netsim"
+	"rdnsprivacy/internal/scanengine"
 )
 
 // Cadence is a snapshot frequency.
@@ -70,6 +72,23 @@ type Campaign struct {
 	// SkipFiller omits filler blocks even in whole-universe scans
 	// (useful when only dynamic behaviour matters).
 	SkipFiller bool
+	// Workers bounds the snapshot engine's worker pool. Zero means the
+	// engine default (GOMAXPROCS).
+	Workers int
+}
+
+// Targets returns the campaign's sweep coverage, for scanengine.Request.
+func (c *Campaign) Targets() []dnswire.Prefix {
+	return NewSource(*c).Targets()
+}
+
+// engineOptions assembles the campaign's scanner options.
+func (c *Campaign) engineOptions() []scanengine.Option {
+	var opts []scanengine.Option
+	if c.Workers > 0 {
+		opts = append(opts, scanengine.WithWorkers(c.Workers))
+	}
+	return opts
 }
 
 func (c *Campaign) timeOfDay() time.Duration {
@@ -101,14 +120,15 @@ type Result struct {
 	Stats dataset.Stats
 }
 
-// Run executes the campaign over the fast path and returns its result.
+// Run executes the campaign through the sharded snapshot engine and
+// returns its result.
 func Run(c Campaign) *Result {
 	dates := dataset.DateRange(c.Start, c.End, c.Cadence.IntervalDays())
 	series := dataset.NewCountSeries(dates)
 	collector := dataset.NewStatsCollector(c.Cadence.String())
-	nets := c.networks()
 
-	// Filler blocks never change: record their counts once and replicate.
+	// Filler blocks never change: record their counts once and replicate
+	// instead of re-sweeping them every snapshot date.
 	if len(c.Networks) == 0 && !c.SkipFiller {
 		for _, f := range c.Universe.Filler {
 			f.Records(func(r netsim.Record) {
@@ -121,13 +141,22 @@ func Run(c Campaign) *Result {
 		}
 	}
 
+	// The dynamic networks are re-swept at every date through the engine.
+	netsOnly := c
+	netsOnly.SkipFiller = true
+	src := NewSource(netsOnly)
+	targets := src.Targets()
+	sc := scanengine.New(src, c.engineOptions()...)
+	ctx := context.Background()
 	for i, d := range dates {
 		at := d.Add(c.timeOfDay())
-		for _, n := range nets {
-			n.RecordsAt(at, func(r netsim.Record) {
-				collector.Observe(d, r.IP, r.HostName)
-				series.Add(r.IP.Slash24(), i, 1)
-			})
+		snap, err := sc.Scan(ctx, scanengine.Request{Targets: targets, At: at})
+		if err != nil {
+			break // background context: unreachable, but do not loop on a dead sweep
+		}
+		for ip, name := range snap.Records {
+			collector.Observe(d, ip, name)
+			series.Add(ip.Slash24(), i, 1)
 		}
 	}
 	r := &Result{Series: series, Stats: collector.Stats()}
@@ -136,9 +165,20 @@ func Run(c Campaign) *Result {
 	return r
 }
 
-// SnapshotRecords evaluates the full record set of the campaign's networks
-// (and filler unless skipped) at one instant — the input of the Section 5
+// Snapshot sweeps the campaign's coverage at one instant through the
+// engine and returns the snapshot — the input of the Section 5
 // privacy-leak analysis, which works on a single day's data.
+func Snapshot(ctx context.Context, c Campaign, at time.Time) (*scanengine.Snapshot, error) {
+	src := NewSource(c)
+	sc := scanengine.New(src, c.engineOptions()...)
+	return sc.Scan(ctx, scanengine.Request{Targets: src.Targets(), At: at})
+}
+
+// SnapshotRecords evaluates the full record set of the campaign's networks
+// (and filler unless skipped) at one instant.
+//
+// Deprecated: use Snapshot, which sweeps through the sharded engine and
+// supports cancellation.
 func SnapshotRecords(c Campaign, at time.Time, emit func(netsim.Record)) {
 	if len(c.Networks) == 0 && !c.SkipFiller {
 		for _, f := range c.Universe.Filler {
@@ -154,7 +194,10 @@ func SnapshotRecords(c Campaign, at time.Time, emit func(netsim.Record)) {
 // query per address through a resolver — the platform-faithful path. The
 // caller drives the simulated clock; done is invoked once every query has
 // completed.
-func WireSnapshot(res *dnsclient.Resolver, prefixes []dnswire.Prefix, each func(dnswire.IPv4, dnsclient.Response), done func()) {
+//
+// Deprecated: use scanengine.New with Resolver.AsyncSource, or a
+// synchronous source with the Scanner API.
+func WireSnapshot(ctx context.Context, res *dnsclient.Resolver, prefixes []dnswire.Prefix, each func(dnswire.IPv4, dnsclient.Response), done func()) {
 	var ips []dnswire.IPv4
 	for _, p := range prefixes {
 		n := p.NumAddresses()
@@ -162,7 +205,7 @@ func WireSnapshot(res *dnsclient.Resolver, prefixes []dnswire.Prefix, each func(
 			ips = append(ips, p.Nth(i))
 		}
 	}
-	res.ScanPTR(ips, func(sr dnsclient.ScanResult) {
+	res.ScanPTR(ctx, ips, func(sr dnsclient.ScanResult) {
 		if each != nil {
 			each(sr.IP, sr.Response)
 		}

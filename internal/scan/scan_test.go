@@ -1,6 +1,7 @@
 package scan
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -191,7 +192,7 @@ func TestWireAndFastPathsAgree(t *testing.T) {
 	}
 	wire := make(map[dnswire.IPv4]dnswire.Name)
 	doneAll := false
-	WireSnapshot(res, prefixes, func(ip dnswire.IPv4, r dnsclient.Response) {
+	WireSnapshot(context.Background(), res, prefixes, func(ip dnswire.IPv4, r dnsclient.Response) {
 		if r.Outcome == dnsclient.OutcomeSuccess {
 			wire[ip] = r.PTR
 		} else if r.Outcome.IsError() {

@@ -1,0 +1,100 @@
+package scanengine
+
+import (
+	"sync"
+
+	"rdnsprivacy/internal/dnswire"
+)
+
+// SweepAsync drives an AsyncSource over ips with at most window probes in
+// flight, invoking each per result and done exactly once when every probe
+// has completed. It spawns no goroutines: new probes are launched from
+// inside completion callbacks, so it composes with simulated clocks whose
+// event loop must never block (the fabric resolver completes probes
+// synchronously while the clock advances). Callbacks run on whatever
+// goroutine delivers the completion; each and done must not re-enter the
+// sweep. window <= 0 means an unbounded window (all probes launched
+// up front, matching the historical ScanPTR behavior).
+func SweepAsync(src AsyncSource, ips []dnswire.IPv4, window int, each func(Result), done func()) {
+	if len(ips) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	if window <= 0 || window > len(ips) {
+		window = len(ips)
+	}
+	s := &asyncSweep{src: src, ips: ips, window: window, each: each, done: done}
+	s.pump()
+}
+
+type asyncSweep struct {
+	src    AsyncSource
+	ips    []dnswire.IPv4
+	window int
+	each   func(Result)
+	done   func()
+
+	mu        sync.Mutex
+	next      int  // index of the next probe to launch
+	inflight  int  // probes started but not completed
+	finished  int  // probes completed
+	pumping   bool // a pump loop is active on some goroutine
+	doneFired bool // done has been invoked
+}
+
+// finish reports whether the caller should invoke done: true exactly once,
+// when every probe has completed. Callers hold s.mu.
+func (s *asyncSweep) finishLocked() bool {
+	if s.doneFired || s.finished != len(s.ips) {
+		return false
+	}
+	s.doneFired = true
+	return true
+}
+
+// pump launches probes until the window is full or the targets are
+// exhausted. Only one goroutine pumps at a time; completions that arrive
+// synchronously during StartPTR mark the slot free and the active loop
+// picks it up, bounding stack depth regardless of how many completions
+// are synchronous.
+func (s *asyncSweep) pump() {
+	s.mu.Lock()
+	if s.pumping {
+		s.mu.Unlock()
+		return
+	}
+	s.pumping = true
+	for s.next < len(s.ips) && s.inflight < s.window {
+		ip := s.ips[s.next]
+		s.next++
+		s.inflight++
+		s.mu.Unlock()
+		s.src.StartPTR(ip, s.complete)
+		s.mu.Lock()
+	}
+	s.pumping = false
+	fire := s.finishLocked()
+	s.mu.Unlock()
+	if fire && s.done != nil {
+		s.done()
+	}
+}
+
+func (s *asyncSweep) complete(res Result) {
+	if s.each != nil {
+		s.each(res)
+	}
+	s.mu.Lock()
+	s.inflight--
+	s.finished++
+	pending := s.next < len(s.ips)
+	fire := !pending && s.finishLocked()
+	s.mu.Unlock()
+	if pending {
+		s.pump()
+	} else if fire && s.done != nil {
+		s.done()
+	}
+}

@@ -1,0 +1,570 @@
+package scanengine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/simclock"
+)
+
+// Scanner is the sharded snapshot engine. Create one with New; it is safe
+// to reuse across sweeps (successive sweeps diff against each other) but
+// runs one sweep at a time — concurrent Scan calls serialize.
+type Scanner struct {
+	src     Source
+	shardSc ShardSource // non-nil when src enumerates shards in bulk
+
+	workers     int
+	shardBits   int
+	negTTL      time.Duration
+	clock       simclock.Clock
+	buffer      int
+	probeEvents bool
+	rate        *rateGate
+
+	cache *negCache
+
+	scanMu sync.Mutex // serializes sweeps
+	prev   RecordSet  // records of the last complete sweep
+
+	mu   sync.Mutex // guards subs
+	subs []*subscriber
+}
+
+// Option tunes a Scanner.
+type Option func(*Scanner)
+
+// WithWorkers bounds the resolver worker pool. Default: GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(s *Scanner) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithShardBits sets the shard granularity for per-address probing:
+// targets coarser than /bits are split into /bits shards. Default 16
+// (per-/16 shards). Clamped to [8, 24].
+func WithShardBits(bits int) Option {
+	return func(s *Scanner) {
+		if bits < 8 {
+			bits = 8
+		}
+		if bits > 24 {
+			bits = 24
+		}
+		s.shardBits = bits
+	}
+}
+
+// WithNegativeTTL enables the negative-response cache: authoritative
+// absences are remembered for ttl and not re-probed until it lapses.
+// Zero (the default) disables the cache.
+func WithNegativeTTL(ttl time.Duration) Option {
+	return func(s *Scanner) { s.negTTL = ttl }
+}
+
+// WithClock sets the clock used for snapshot timestamps and negative-cache
+// expiry. Default: the real clock.
+func WithClock(c simclock.Clock) Option {
+	return func(s *Scanner) {
+		if c != nil {
+			s.clock = c
+		}
+	}
+}
+
+// WithBuffer sets the capacity of the bounded channel between the lookup
+// and merge stages (and of event subscription channels). Lookups stall
+// when the merge stage falls this far behind — backpressure, not unbounded
+// queueing. Default 1024.
+func WithBuffer(n int) Option {
+	return func(s *Scanner) {
+		if n > 0 {
+			s.buffer = n
+		}
+	}
+}
+
+// WithResultEvents streams every probe result (including absences and
+// errors) to event subscribers, not just record deltas and shard
+// progress. Full-sweep consumers that print per-address output want this;
+// it is off by default because a /16 sweep emits 65k events.
+func WithResultEvents() Option {
+	return func(s *Scanner) { s.probeEvents = true }
+}
+
+// WithRate caps aggregate probe transmission across all workers, in
+// queries per second (token-slot, wall-clock). Zero means unlimited. The
+// paper rate-limits its supplemental scans "to reduce the impact of our
+// measurement on the DNS name servers" (Section 6.1).
+func WithRate(qps int) Option {
+	return func(s *Scanner) {
+		if qps > 0 {
+			s.rate = &rateGate{interval: time.Second / time.Duration(qps)}
+		}
+	}
+}
+
+// New creates a Scanner over src. If src also implements ShardSource the
+// engine enumerates shards in bulk instead of probing every address.
+func New(src Source, opts ...Option) *Scanner {
+	s := &Scanner{
+		src:       src,
+		workers:   runtime.GOMAXPROCS(0),
+		shardBits: 16,
+		clock:     simclock.Real{},
+		buffer:    1024,
+	}
+	if ss, ok := src.(ShardSource); ok {
+		s.shardSc = ss
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.negTTL > 0 {
+		s.cache = newNegCache(s.clock, s.negTTL)
+	}
+	return s
+}
+
+// Request describes one sweep.
+type Request struct {
+	// Targets is the address space to sweep.
+	Targets []dnswire.Prefix
+	// At is the instant the snapshot models (meaningful for bulk
+	// snapshot sources). Zero means the scanner clock's now.
+	At time.Time
+	// Baseline overrides the diff base for this sweep. Nil means the
+	// previous complete sweep's records.
+	Baseline RecordSet
+}
+
+// Stats tallies a sweep.
+type Stats struct {
+	// Probes is the number of addresses resolved (enumeration sources
+	// count emitted records).
+	Probes uint64
+	// Found is the number of present records.
+	Found uint64
+	// Absent is the number of authoritative absences.
+	Absent uint64
+	// Errors is the number of resolution errors.
+	Errors uint64
+	// CacheHits is the number of probes served from the negative cache.
+	CacheHits uint64
+}
+
+// ShardStatus is the progress of one shard.
+type ShardStatus struct {
+	Shard  dnswire.Prefix
+	Probes int
+	Found  int
+	Errors int
+	Done   bool
+}
+
+// Snapshot is the product of one sweep.
+type Snapshot struct {
+	// At is the instant the snapshot models.
+	At time.Time
+	// Elapsed is the sweep duration on the scanner's clock.
+	Elapsed time.Duration
+	// Records is the merged record set.
+	Records RecordSet
+	// Stats tallies the sweep.
+	Stats Stats
+	// Shards is per-shard progress, in plan order.
+	Shards []ShardStatus
+	// Changes are the deltas against the baseline (the previous complete
+	// sweep unless Request.Baseline overrode it), sorted by address. Nil
+	// when there was no baseline or the sweep was cancelled before
+	// completing (a partial sweep cannot distinguish "removed" from
+	// "not yet probed").
+	Changes []Change
+	// Partial reports the sweep was cancelled before covering every
+	// shard.
+	Partial bool
+}
+
+// EventKind classifies a stream event.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventSweepStart opens a sweep.
+	EventSweepStart EventKind = iota
+	// EventResult is one probe result (only with WithResultEvents).
+	EventResult
+	// EventChange is one incremental delta against the baseline.
+	EventChange
+	// EventShardDone reports a completed shard with progress.
+	EventShardDone
+	// EventSweepDone closes a sweep and carries the snapshot.
+	EventSweepDone
+)
+
+// Event is one entry in the Events stream.
+type Event struct {
+	Kind  EventKind
+	At    time.Time
+	Shard dnswire.Prefix // EventShardDone
+	// Result is set for EventResult.
+	Result Result
+	// Change is set for EventChange.
+	Change Change
+	// ShardsDone/ShardsTotal report sweep progress (EventShardDone,
+	// EventSweepDone).
+	ShardsDone, ShardsTotal int
+	// Snapshot is set for EventSweepDone.
+	Snapshot *Snapshot
+}
+
+type subscriber struct {
+	ch  chan Event
+	ctx context.Context
+}
+
+// Events subscribes to the scanner's event stream: sweep lifecycle, shard
+// progress, incremental record deltas, and (with WithResultEvents) every
+// probe result. The channel is buffered to the scanner's buffer size; a
+// subscriber that stops draining stalls sweeps (backpressure) until its
+// ctx is cancelled, at which point it is dropped and its channel closed
+// at the next emission.
+func (s *Scanner) Events(ctx context.Context) <-chan Event {
+	sub := &subscriber{ch: make(chan Event, s.buffer), ctx: ctx}
+	s.mu.Lock()
+	s.subs = append(s.subs, sub)
+	s.mu.Unlock()
+	return sub.ch
+}
+
+func (s *Scanner) emit(ev Event) {
+	s.mu.Lock()
+	subs := make([]*subscriber, len(s.subs))
+	copy(subs, s.subs)
+	s.mu.Unlock()
+	for _, sub := range subs {
+		select {
+		case sub.ch <- ev:
+		case <-sub.ctx.Done():
+			s.dropSub(sub)
+		}
+	}
+}
+
+func (s *Scanner) dropSub(sub *subscriber) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, x := range s.subs {
+		if x == sub {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			close(sub.ch)
+			return
+		}
+	}
+}
+
+// mergeMsg travels the bounded channel between the lookup and merge
+// stages.
+type mergeMsg struct {
+	shard   int
+	res     Result
+	done    bool // shard finished; tally below is authoritative
+	tally   ShardStatus
+	scanErr error // bulk enumeration failure
+}
+
+// Scan executes one sweep and returns its snapshot. On context
+// cancellation it returns the partial snapshot alongside ctx.Err(); all
+// workers are reaped before it returns — a cancelled sweep leaks no
+// goroutines.
+func (s *Scanner) Scan(ctx context.Context, req Request) (*Snapshot, error) {
+	s.scanMu.Lock()
+	defer s.scanMu.Unlock()
+
+	shards := planShards(req.Targets, s.shardBits, s.shardSc == nil)
+	at := req.At
+	if at.IsZero() {
+		at = s.clock.Now()
+	}
+	started := s.clock.Now()
+
+	snap := &Snapshot{
+		At:      at,
+		Records: make(RecordSet),
+		Shards:  make([]ShardStatus, len(shards)),
+	}
+	for i, sh := range shards {
+		snap.Shards[i].Shard = sh
+	}
+	baseline := req.Baseline
+	if baseline == nil {
+		baseline = s.prev
+	}
+
+	s.emit(Event{Kind: EventSweepStart, At: at, ShardsTotal: len(shards)})
+
+	// Lookup stage: a bounded pool of workers draining the shard queue.
+	shardCh := make(chan int, len(shards))
+	for i := range shards {
+		shardCh <- i
+	}
+	close(shardCh)
+	out := make(chan mergeMsg, s.buffer)
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range shardCh {
+				s.runShard(ctx, si, shards[si], at, out)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Merge stage: single consumer; always drains until the workers
+	// close the channel, so cancellation cannot leak goroutines.
+	var changes []Change
+	shardsDone := 0
+	for msg := range out {
+		if msg.done {
+			st := &snap.Shards[msg.shard]
+			st.Probes = msg.tally.Probes
+			st.Found = msg.tally.Found
+			st.Errors = msg.tally.Errors
+			st.Done = msg.scanErr == nil
+			snap.Stats.Probes += uint64(msg.tally.Probes)
+			snap.Stats.Found += uint64(msg.tally.Found)
+			snap.Stats.Errors += uint64(msg.tally.Errors)
+			snap.Stats.Absent += uint64(msg.tally.Probes - msg.tally.Found - msg.tally.Errors)
+			shardsDone++
+			s.emit(Event{
+				Kind: EventShardDone, At: s.clock.Now(), Shard: shards[msg.shard],
+				ShardsDone: shardsDone, ShardsTotal: len(shards),
+			})
+			continue
+		}
+		res := msg.res
+		if res.Cached {
+			snap.Stats.CacheHits++
+		}
+		if s.probeEvents {
+			s.emit(Event{Kind: EventResult, At: s.clock.Now(), Result: res})
+		}
+		if !res.Found {
+			continue
+		}
+		snap.Records[res.IP] = res.Name
+		if baseline != nil {
+			if old, ok := baseline[res.IP]; !ok {
+				ch := Change{Kind: RecordAdded, IP: res.IP, New: res.Name}
+				changes = append(changes, ch)
+				s.emit(Event{Kind: EventChange, At: s.clock.Now(), Change: ch})
+			} else if old != res.Name {
+				ch := Change{Kind: RecordChanged, IP: res.IP, Old: old, New: res.Name}
+				changes = append(changes, ch)
+				s.emit(Event{Kind: EventChange, At: s.clock.Now(), Change: ch})
+			}
+		}
+	}
+
+	snap.Partial = ctx.Err() != nil
+	if !snap.Partial && baseline != nil {
+		// Complete coverage: every baseline record under the targets
+		// that was not re-observed has been removed.
+		index := newShardIndex(shards)
+		for ip, old := range baseline {
+			if _, ok := snap.Records[ip]; ok || !index.contains(ip) {
+				continue
+			}
+			ch := Change{Kind: RecordRemoved, IP: ip, Old: old}
+			changes = append(changes, ch)
+			s.emit(Event{Kind: EventChange, At: s.clock.Now(), Change: ch})
+		}
+	}
+	if baseline != nil && !snap.Partial {
+		sortChanges(changes)
+		snap.Changes = changes
+	}
+	if !snap.Partial {
+		s.prev = snap.Records
+	}
+	snap.Elapsed = s.clock.Now().Sub(started)
+
+	s.emit(Event{
+		Kind: EventSweepDone, At: s.clock.Now(), Snapshot: snap,
+		ShardsDone: shardsDone, ShardsTotal: len(shards),
+	})
+	if err := ctx.Err(); err != nil {
+		return snap, fmt.Errorf("scanengine: sweep cancelled after %d/%d shards: %w",
+			shardsDone, len(shards), err)
+	}
+	return snap, nil
+}
+
+// Previous returns the record set of the last complete sweep (nil before
+// the first), the baseline for the next sweep's incremental diff.
+func (s *Scanner) Previous() RecordSet {
+	s.scanMu.Lock()
+	defer s.scanMu.Unlock()
+	return s.prev
+}
+
+// runShard resolves one shard and reports results plus a closing tally.
+func (s *Scanner) runShard(ctx context.Context, si int, shard dnswire.Prefix, at time.Time, out chan<- mergeMsg) {
+	var tally ShardStatus
+	send := func(msg mergeMsg) bool {
+		select {
+		case out <- msg:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	defer func() {
+		// The closing tally must not be lost even under cancellation:
+		// the merger drains until workers exit.
+		out <- mergeMsg{shard: si, done: true, tally: tally, scanErr: ctx.Err()}
+	}()
+
+	if s.shardSc != nil {
+		err := s.shardSc.ScanShard(ctx, shard, at, func(res Result) {
+			tally.Probes++
+			if res.Found {
+				tally.Found++
+			} else if res.Err != nil {
+				tally.Errors++
+			}
+			if res.Found || res.Err != nil || s.probeEvents {
+				send(mergeMsg{shard: si, res: res})
+			}
+		})
+		if err != nil && ctx.Err() == nil {
+			tally.Errors++
+		}
+		return
+	}
+
+	n := shard.NumAddresses()
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		ip := shard.Nth(i)
+		var res Result
+		if s.cache.hit(ip) {
+			res = Result{IP: ip, Cached: true}
+		} else {
+			if err := s.rate.wait(ctx); err != nil {
+				return
+			}
+			res = s.src.LookupPTR(ctx, ip)
+			res.IP = ip
+			if res.Absent() {
+				s.cache.put(ip)
+			}
+		}
+		tally.Probes++
+		switch {
+		case res.Found:
+			tally.Found++
+		case res.Err != nil:
+			tally.Errors++
+		}
+		if res.Found || res.Err != nil || res.Cached || s.probeEvents {
+			if !send(mergeMsg{shard: si, res: res}) {
+				return
+			}
+		}
+	}
+}
+
+// planShards partitions targets into work units. With split set (per-IP
+// probing) targets coarser than /bits are cut into per-/bits shards;
+// bulk-enumeration sources receive targets whole, since enumeration cost
+// is per target, not per address.
+func planShards(targets []dnswire.Prefix, bits int, split bool) []dnswire.Prefix {
+	var out []dnswire.Prefix
+	for _, t := range targets {
+		if !split || t.Bits >= bits {
+			out = append(out, t)
+			continue
+		}
+		n := 1 << (bits - t.Bits)
+		base := t.Addr.Uint32()
+		step := uint32(1) << (32 - bits)
+		for i := 0; i < n; i++ {
+			out = append(out, dnswire.Prefix{
+				Addr: dnswire.IPv4FromUint32(base + uint32(i)*step),
+				Bits: bits,
+			})
+		}
+	}
+	return out
+}
+
+// shardIndex answers "is this address inside the sweep's coverage" in
+// O(log n), for removal inference over large baselines.
+type shardIndex struct {
+	shards []dnswire.Prefix // sorted by base address
+}
+
+func newShardIndex(shards []dnswire.Prefix) *shardIndex {
+	sorted := make([]dnswire.Prefix, len(shards))
+	copy(sorted, shards)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Addr.Uint32() < sorted[j].Addr.Uint32()
+	})
+	return &shardIndex{shards: sorted}
+}
+
+func (x *shardIndex) contains(ip dnswire.IPv4) bool {
+	v := ip.Uint32()
+	i := sort.Search(len(x.shards), func(i int) bool {
+		return x.shards[i].Addr.Uint32() > v
+	})
+	return i > 0 && x.shards[i-1].Contains(ip)
+}
+
+// rateGate is a token-slot limiter shared by all workers (wall-clock).
+type rateGate struct {
+	mu       sync.Mutex
+	interval time.Duration
+	next     time.Time
+}
+
+func (g *rateGate) wait(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	now := time.Now()
+	if g.next.Before(now) {
+		g.next = now
+	}
+	wait := g.next.Sub(now)
+	g.next = g.next.Add(g.interval)
+	g.mu.Unlock()
+	if wait <= 0 {
+		return nil
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
