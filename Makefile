@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify race
+.PHONY: build test bench bench-check verify race fuzz
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,29 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# race checks the concurrency-heavy packages under the race detector.
+# bench-check guards the scan engine against performance regressions: it
+# runs the full-sweep benchmark, writes the results to BENCH_scan.json,
+# and fails when ns/op regressed >15% against the checked-in baseline.
+# After an intentional perf change: cp BENCH_scan.json BENCH_baseline.json
+bench-check:
+	$(GO) build -o /tmp/benchcheck ./cmd/benchcheck
+	$(GO) test -run '^$$' -bench 'BenchmarkScanEngineFullSweep' -count=1 . \
+		| /tmp/benchcheck -baseline BENCH_baseline.json -out BENCH_scan.json
+
+# race checks every internal package under the race detector; the
+# concurrency-heavy ones (scanengine, dnsclient, faultsim scenarios) are
+# the point, the rest are cheap.
 race:
-	$(GO) test -race ./internal/scanengine ./internal/dnsclient
+	$(GO) test -race ./internal/...
+
+# fuzz gives each fuzz target a short exploratory run beyond its checked-in
+# seed corpus (plain `go test` already replays the seeds).
+fuzz:
+	$(GO) test -fuzz=FuzzParseOptions -fuzztime=30s ./internal/dhcpwire
 
 # verify is the pre-merge gate: vet everything, run the full test suite,
-# and race-test the scan engine and resolver.
+# and race-test all internal packages.
 verify:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/scanengine ./internal/dnsclient
+	$(GO) test -race ./internal/...

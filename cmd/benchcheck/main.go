@@ -1,0 +1,188 @@
+// Command benchcheck guards the scan engine's benchmarks against
+// performance regressions. It reads `go test -bench` output on stdin,
+// extracts every benchmark result into a JSON report, and compares ns/op
+// against a checked-in baseline, failing (exit 1) when any shared
+// benchmark regressed by more than the allowed fraction.
+//
+// Usage (wired up as `make bench-check`):
+//
+//	go test -run '^$' -bench 'BenchmarkScanEngineFullSweep' . |
+//	    go run ./cmd/benchcheck -baseline BENCH_baseline.json -out BENCH_scan.json
+//
+// To re-baseline after an intentional performance change, copy the fresh
+// report over the baseline:
+//
+//	cp BENCH_scan.json BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, normalized.
+type Result struct {
+	Name string  `json:"name"` // full name including sub-benchmark and GOMAXPROCS suffix
+	Runs int     `json:"runs"` // iteration count go test settled on
+	NsOp float64 `json:"ns_per_op"`
+	// Extra carries any further "value unit" pairs from the line
+	// (B/op, allocs/op, custom metrics like queries/s), for the record;
+	// only ns/op is gated.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the JSON document written to -out and read from -baseline.
+type Report struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline report to compare against (no comparison when empty or missing)")
+	outPath := flag.String("out", "", "where to write the fresh report (stdout when empty)")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed fractional ns/op regression vs baseline")
+	flag.Parse()
+
+	report, err := parseBench(os.Stdin)
+	if err != nil {
+		fatalf("parsing bench output: %v", err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fatalf("no benchmark results on stdin — did the bench run fail?")
+	}
+
+	if err := writeReport(report, *outPath); err != nil {
+		fatalf("writing report: %v", err)
+	}
+
+	if *baselinePath == "" {
+		return
+	}
+	baseline, err := readReport(*baselinePath)
+	if os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "benchcheck: no baseline at %s; skipping comparison (copy the report there to create one)\n", *baselinePath)
+		return
+	}
+	if err != nil {
+		fatalf("reading baseline: %v", err)
+	}
+
+	failed := compare(os.Stdout, baseline, report, *maxRegress)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts benchmark result lines from `go test -bench` output.
+// A result line looks like:
+//
+//	BenchmarkX/sub-8   	     100	  123456 ns/op	  12 B/op	  3 allocs/op	  456.7 queries/s
+func parseBench(r io.Reader) (*Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		runs, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue // "Benchmark..." prose, not a result line
+		}
+		res := Result{Name: fields[0], Runs: runs, Extra: map[string]float64{}}
+		// The remainder alternates "value unit".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value %q in line %q", fields[i], line)
+			}
+			if fields[i+1] == "ns/op" {
+				res.NsOp = v
+			} else {
+				res.Extra[fields[i+1]] = v
+			}
+		}
+		if res.NsOp == 0 {
+			return nil, fmt.Errorf("no ns/op metric in line %q", line)
+		}
+		if len(res.Extra) == 0 {
+			res.Extra = nil
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+	return &rep, nil
+}
+
+// compare prints a per-benchmark verdict and reports whether any shared
+// benchmark regressed past the threshold. Benchmarks present on only one
+// side are noted but never fail the check (the suite grows over time).
+func compare(w io.Writer, baseline, fresh *Report, maxRegress float64) bool {
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	failed := false
+	for _, f := range fresh.Benchmarks {
+		b, ok := base[f.Name]
+		if !ok {
+			fmt.Fprintf(w, "  new   %-50s %12.0f ns/op (no baseline)\n", f.Name, f.NsOp)
+			continue
+		}
+		delta := (f.NsOp - b.NsOp) / b.NsOp
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(w, "  %-5s %-50s %12.0f ns/op vs %12.0f baseline (%+.1f%%)\n",
+			verdict, f.Name, f.NsOp, b.NsOp, 100*delta)
+	}
+	if failed {
+		fmt.Fprintf(w, "benchcheck: ns/op regression beyond %.0f%% — investigate, or re-baseline if intentional\n", 100*maxRegress)
+	}
+	return failed
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func writeReport(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -20,6 +20,14 @@
 // And -axfr attempts a zone transfer, the one-query enumeration open on
 // misconfigured servers.
 //
+// Against flaky or rate-limiting servers, -resilient layers scan-level
+// retries with jittered backoff, per-shard circuit breakers, and graceful
+// degradation over the sweep, and reports the sweep's health on stderr:
+//
+//	rdnsscan -server 8.8.8.8:53 -prefix 192.0.2.0/24 -resilient -hedge 50ms
+//
+// See docs/resilience.md for the knobs and their semantics.
+//
 // Interrupting a sweep (Ctrl-C) cancels the engine's context: workers
 // drain, the partial tally is reported, and the process exits cleanly.
 package main
@@ -47,6 +55,14 @@ func main() {
 	workers := flag.Int("workers", 8, "resolver worker pool size")
 	negTTL := flag.Duration("neg-ttl", 0, "negative-cache TTL for repeated sweeps (0 = off)")
 	onlyFound := flag.Bool("only-found", false, "print only NOERROR results")
+	resilient := flag.Bool("resilient", false, "enable the resilience layer: scan-level retries with jittered backoff, per-shard circuit breakers, graceful degradation (see docs/resilience.md)")
+	maxAttempts := flag.Int("max-attempts", 3, "total lookups per address with -resilient")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "base retry backoff with -resilient (full jitter, doubling per attempt)")
+	hedge := flag.Duration("hedge", 0, "hedged-lookup delay: race a second query after this long (0 = off, implies -resilient)")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive faults that open a shard's circuit breaker with -resilient (0 = breaker off)")
+	breakerOpen := flag.Duration("breaker-open", time.Second, "how long an open breaker waits before probing half-open")
+	throttleDelay := flag.Duration("throttle-delay", 0, "initial adaptive pacing delay on REFUSED answers (0 = off)")
+	seed := flag.Int64("seed", 1, "jitter seed; the same seed replays the same backoff schedule")
 	axfr := flag.String("axfr", "", "attempt an AXFR of the given zone over TCP instead of scanning")
 	watch := flag.Bool("watch", false, "poll the prefix and print record-set changes")
 	interval := flag.Duration("interval", 30*time.Second, "polling interval for -watch")
@@ -105,6 +121,21 @@ func main() {
 	if *negTTL > 0 {
 		opts = append(opts, scanengine.WithNegativeTTL(*negTTL))
 	}
+	if *resilient || *hedge > 0 {
+		opts = append(opts, scanengine.WithResilience(scanengine.ResilienceConfig{
+			Retry: scanengine.RetryPolicy{
+				MaxAttempts: *maxAttempts,
+				BaseDelay:   *backoff,
+			},
+			Breaker: scanengine.BreakerConfig{
+				Threshold: *breakerThreshold,
+				OpenFor:   *breakerOpen,
+			},
+			Hedge:    scanengine.HedgeConfig{Delay: *hedge},
+			Throttle: scanengine.ThrottleConfig{InitialDelay: *throttleDelay},
+			Seed:     *seed,
+		}))
+	}
 
 	if *watch {
 		if *prefix == "" {
@@ -147,8 +178,23 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "scanned %d addresses: %d records, %d errors\n",
 		snap.Stats.Probes, snap.Stats.Found, snap.Stats.Errors)
+	printHealth(snap)
 	if err != nil {
 		os.Exit(1)
+	}
+}
+
+// printHealth summarizes the resilience layer's HealthReport on stderr
+// (only present when the layer is enabled).
+func printHealth(snap *scanengine.Snapshot) {
+	if snap == nil || snap.Health == nil {
+		return
+	}
+	t := snap.Health.Totals
+	fmt.Fprintf(os.Stderr, "health: %d attempts, %d retries, %d throttled, %d hedges (%d won), %d breaker opens, %d skipped\n",
+		t.Attempts, t.Retries, t.Throttled, t.Hedges, t.HedgeWins, t.BreakerOpens, t.Skipped)
+	for _, p := range snap.Health.Degraded {
+		fmt.Fprintf(os.Stderr, "health: DEGRADED %s — breaker budget exhausted, range incompletely scanned\n", p)
 	}
 }
 

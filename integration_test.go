@@ -1,6 +1,7 @@
 package rdnsprivacy_test
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"rdnsprivacy/internal/dnsserver"
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/ipam"
+	"rdnsprivacy/internal/scanengine"
 	"rdnsprivacy/internal/simclock"
 )
 
@@ -178,5 +180,97 @@ func TestRFC2136OverRealSockets(t *testing.T) {
 	got, _ := zone.LookupPTR(name)
 	if got != dnswire.MustName("brians-mbp.dyn.campus-y.edu") {
 		t.Fatalf("PTR = %q", got)
+	}
+}
+
+// TestResilientSweepOverRealSockets runs the resilient scan pipeline over
+// genuine loopback UDP against a deliberately lossy authoritative server:
+// DHCP clients publish their names, the server drops a quarter of all
+// queries, and the sweep must still come back complete — scan-level
+// retries absorbing the timeouts — with a health report accounting for
+// the recovery work.
+func TestResilientSweepOverRealSockets(t *testing.T) {
+	prefix := dnswire.MustPrefix("10.43.0.0/24")
+	origin, err := dnswire.ReverseZoneFor24(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zone := dnsserver.NewZone(dnsserver.ZoneConfig{
+		Origin:    origin,
+		PrimaryNS: dnswire.MustName("ns1.campus-y.edu"),
+		Mbox:      dnswire.MustName("hostmaster.campus-y.edu"),
+	})
+	srv := dnsserver.NewServer()
+	srv.AddZone(zone)
+	updater := ipam.NewUpdater(ipam.Config{
+		Policy: ipam.PolicyCarryOver,
+		Suffix: dnswire.MustName("dyn.campus-y.edu"),
+	})
+	if err := updater.AttachZone(zone); err != nil {
+		t.Fatal(err)
+	}
+	dhcpSrv := dhcp.NewServer(simclock.Real{}, dhcp.ServerConfig{
+		ServerIP:  prefix.Nth(1),
+		Pools:     []dnswire.Prefix{prefix},
+		LeaseTime: time.Hour,
+		Sink:      updater,
+	})
+	for i, host := range []string{"Brian's iPhone", "Emma's iPad", "DESKTOP-XYZ123"} {
+		cl := dhcp.NewClient(simclock.Real{}, dhcpSrv, dhcp.ClientConfig{
+			CHAddr:   dhcpwire.HardwareAddr{2, 0, 0, 0, 1, byte(i + 1)},
+			HostName: host,
+		})
+		if _, err := cl.Join(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A quarter of all queries vanish; decisions are per (name, attempt),
+	// so retransmitted queries draw fresh luck.
+	srv.SetFailureMode(dnsserver.FailureMode{DropRate: 0.25, Seed: 11})
+
+	udpConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	defer udpConn.Close()
+	go srv.Serve(udpConn)
+
+	client := &dnsclient.UDPClient{
+		Server:  udpConn.LocalAddr().String(),
+		Timeout: 80 * time.Millisecond,
+	}
+	sc := scanengine.New(dnsclient.UDPSource{Client: client},
+		scanengine.WithWorkers(8), scanengine.WithShardBits(27),
+		scanengine.WithResilience(scanengine.ResilienceConfig{
+			Retry:   scanengine.RetryPolicy{MaxAttempts: 8},
+			Breaker: scanengine.BreakerConfig{Threshold: 6, OpenFor: 50 * time.Millisecond},
+			Seed:    11,
+		}))
+	snap, err := sc.Scan(context.Background(), scanengine.Request{
+		Targets: []dnswire.Prefix{prefix},
+	})
+	if err != nil {
+		t.Fatalf("resilient sweep failed: %v", err)
+	}
+	if snap.Partial || snap.Degraded {
+		t.Fatalf("sweep did not complete cleanly: partial=%v degraded=%v", snap.Partial, snap.Degraded)
+	}
+	if len(snap.Records) != 3 {
+		t.Fatalf("sweep found %d records, want 3: %v", len(snap.Records), snap.Records)
+	}
+	if snap.Stats.Errors != 0 {
+		t.Fatalf("%d addresses failed despite retry budget", snap.Stats.Errors)
+	}
+	h := snap.Health
+	if h == nil {
+		t.Fatal("resilient sweep returned no health report")
+	}
+	// 256 addresses at 25% loss: the retry budget must have been used.
+	if h.Totals.Retries == 0 {
+		t.Fatal("a quarter of queries were dropped but the sweep never retried")
+	}
+	if h.Totals.Attempts < 256 {
+		t.Fatalf("health reports %d attempts for 256 addresses", h.Totals.Attempts)
 	}
 }

@@ -266,7 +266,16 @@ func Parse(buf []byte) (*Message, error) {
 		return nil, ErrBadMagic
 	}
 
-	opts := buf[fixedHeaderLength+4:]
+	if err := m.parseOptions(buf[fixedHeaderLength+4:]); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// parseOptions walks the RFC 2131 TLV option region and fills in the
+// message fields this implementation tracks. Unknown options are skipped;
+// a truncated length byte or data overrunning the buffer is ErrBadOption.
+func (m *Message) parseOptions(opts []byte) error {
 	i := 0
 	sawType := false
 	for i < len(opts) {
@@ -279,19 +288,24 @@ func Parse(buf []byte) (*Message, error) {
 			break
 		}
 		if i >= len(opts) {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
 		length := int(opts[i])
 		i++
 		if i+length > len(opts) {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
 		data := opts[i : i+length]
 		i += length
 		switch code {
 		case OptMessageType:
 			if length != 1 {
-				return nil, fmt.Errorf("%w: message type length %d", ErrBadOption, length)
+				return fmt.Errorf("%w: message type length %d", ErrBadOption, length)
+			}
+			if data[0] == 0 {
+				// Type 0 is unassigned; accepting it would break the
+				// Marshal/Parse symmetry (Marshal refuses Type 0).
+				return fmt.Errorf("%w: message type 0", ErrBadOption)
 			}
 			m.Type = MessageType(data[0])
 			sawType = true
@@ -299,7 +313,7 @@ func Parse(buf []byte) (*Message, error) {
 			m.HostName = string(data)
 		case OptClientFQDN:
 			if length < 3 {
-				return nil, fmt.Errorf("%w: FQDN option length %d", ErrBadOption, length)
+				return fmt.Errorf("%w: FQDN option length %d", ErrBadOption, length)
 			}
 			m.ClientFQDN = &ClientFQDN{
 				Flags: FQDNFlags(data[0]),
@@ -307,17 +321,17 @@ func Parse(buf []byte) (*Message, error) {
 			}
 		case OptRequestedIP:
 			if length != 4 {
-				return nil, fmt.Errorf("%w: requested IP length %d", ErrBadOption, length)
+				return fmt.Errorf("%w: requested IP length %d", ErrBadOption, length)
 			}
 			copy(m.RequestedIP[:], data)
 		case OptLeaseTime:
 			if length != 4 {
-				return nil, fmt.Errorf("%w: lease time length %d", ErrBadOption, length)
+				return fmt.Errorf("%w: lease time length %d", ErrBadOption, length)
 			}
 			m.LeaseTime = time.Duration(binary.BigEndian.Uint32(data)) * time.Second
 		case OptServerID:
 			if length != 4 {
-				return nil, fmt.Errorf("%w: server ID length %d", ErrBadOption, length)
+				return fmt.Errorf("%w: server ID length %d", ErrBadOption, length)
 			}
 			copy(m.ServerID[:], data)
 		case OptClientID:
@@ -327,7 +341,7 @@ func Parse(buf []byte) (*Message, error) {
 		}
 	}
 	if !sawType {
-		return nil, ErrNoMessageType
+		return ErrNoMessageType
 	}
-	return &m, nil
+	return nil
 }

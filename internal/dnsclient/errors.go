@@ -93,9 +93,28 @@ func (e *Error) Is(target error) bool {
 	return ok && t.Kind == e.Kind
 }
 
-// Unwrap exposes the underlying cause; a KindCanceled error wraps
-// context.Canceled so errors.Is(err, context.Canceled) also holds.
+// Unwrap exposes the underlying cause; a KindCanceled error wraps the
+// context's error so errors.Is(err, context.Canceled) (or
+// context.DeadlineExceeded) also holds.
 func (e *Error) Unwrap() error { return e.wrapped }
+
+// RetryableFault reports whether the failure is transient and worth
+// retrying: timeouts and server-side failures. Authoritative denials,
+// refusals, malformed responses, and cancellations are not. The scan
+// engine's resilience layer keys its retry policy off this method
+// (scanengine cannot import dnsclient without a cycle, so the contract is
+// structural).
+func (e *Error) RetryableFault() bool {
+	return e.Kind == KindTimeout || e.Kind == KindServFail
+}
+
+// ThrottleFault reports whether the failure looks like rate limiting:
+// REFUSED is the in-band signal name servers use to shed scanner load.
+// The resilience layer's adaptive rate control slows down when it sees
+// these.
+func (e *Error) ThrottleFault() bool {
+	return e.Kind == KindRefused
+}
 
 // Err converts the response outcome to a typed error. Successful lookups
 // return nil. Note that for reverse-tree measurement NXDOMAIN and NODATA
@@ -118,7 +137,11 @@ func (r Response) Err() error {
 	case OutcomeTimeout:
 		kind = KindTimeout
 	case OutcomeCanceled:
-		return &Error{Kind: KindCanceled, Question: r.Question, Attempts: r.Attempts, wrapped: context.Canceled}
+		cause := r.Cause
+		if cause == nil {
+			cause = context.Canceled
+		}
+		return &Error{Kind: KindCanceled, Question: r.Question, Attempts: r.Attempts, wrapped: cause}
 	default:
 		kind = KindMalformed
 	}

@@ -60,6 +60,34 @@ func WithConcurrency(n int) Option {
 	}
 }
 
+// WithBackoff enables exponential backoff with full jitter between retry
+// attempts: the nth retry waits uniform[0, min(max, base<<n)). Zero max
+// defaults to 16x base. Without this option retries retransmit
+// immediately after each timeout, which against an overloaded server
+// synchronizes the retry storm with the failure.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Config) {
+		if base > 0 {
+			c.BackoffBase = base
+			c.BackoffMax = max
+		}
+	}
+}
+
+// WithServFailRetry makes SERVFAIL responses retryable like timeouts,
+// consuming the same retry budget. SERVFAIL is usually transient (the
+// paper's supplemental measurement observes name-server failures clearing
+// between sweeps), so sweeps aiming for completeness want this on.
+func WithServFailRetry() Option {
+	return func(c *Config) { c.RetryServFail = true }
+}
+
+// WithSeed fixes the backoff-jitter PRNG seed so delay schedules replay
+// deterministically under the simulated clock.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
 // NewResolver creates a resolver on fab configured by opts. At minimum
 // WithBind and WithServer must be supplied.
 func NewResolver(fab *fabric.Fabric, opts ...Option) (*Resolver, error) {

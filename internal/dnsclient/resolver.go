@@ -16,6 +16,7 @@ package dnsclient
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -102,6 +103,9 @@ type Response struct {
 	Attempts int
 	// When is the time the lookup completed.
 	When time.Time
+	// Cause is the underlying cause for OutcomeCanceled responses: the
+	// context's error (context.Canceled or context.DeadlineExceeded).
+	Cause error
 }
 
 // Config tunes a Resolver.
@@ -126,6 +130,20 @@ type Config struct {
 	// Concurrency bounds the in-flight window of the deprecated ScanPTR
 	// wrappers. Zero means the default (512).
 	Concurrency int
+	// BackoffBase, when positive, spaces retransmissions by exponential
+	// backoff with full jitter: attempt k waits a uniformly random delay
+	// in [0, min(BackoffMax, BackoffBase<<k)) after its timeout, instead
+	// of retransmitting immediately. Zero keeps immediate retransmission.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff window. Zero means 16x BackoffBase.
+	BackoffMax time.Duration
+	// RetryServFail extends the retry policy to SERVFAIL responses: a
+	// server-side failure is retried (with backoff) like a timeout, up to
+	// the same Retries budget. NXDOMAIN/NODATA/REFUSED are never retried —
+	// they are authoritative answers, not transient faults.
+	RetryServFail bool
+	// Seed seeds the backoff jitter PRNG, for reproducible schedules.
+	Seed int64
 }
 
 // Resolver sends queries over a fabric and matches responses, handling
@@ -140,6 +158,7 @@ type Resolver struct {
 	nextID   uint16
 	inflight map[uint16]*pendingQuery
 	nextSlot time.Time
+	rng      *rand.Rand // backoff jitter; guarded by mu
 	stats    Stats
 }
 
@@ -158,6 +177,7 @@ type Stats struct {
 }
 
 type pendingQuery struct {
+	ctx      context.Context
 	question dnswire.Question
 	wire     []byte
 	started  time.Time
@@ -177,11 +197,15 @@ func New(fab *fabric.Fabric, cfg Config) (*Resolver, error) {
 	if cfg.Retries < 0 {
 		cfg.Retries = 0
 	}
+	if cfg.BackoffBase > 0 && cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 16 * cfg.BackoffBase
+	}
 	r := &Resolver{
 		fab:      fab,
 		clock:    fab.Clock(),
 		cfg:      cfg,
 		inflight: make(map[uint16]*pendingQuery),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 	ep, err := fab.Bind(cfg.Bind, r.handleResponse)
 	if err != nil {
@@ -242,11 +266,11 @@ func (r *Resolver) reserveSlot() time.Duration {
 }
 
 func (r *Resolver) start(ctx context.Context, q dnswire.Question, done func(Response)) {
-	if ctx.Err() != nil {
+	if err := ctx.Err(); err != nil {
 		r.mu.Lock()
 		r.stats.Canceled++
 		r.mu.Unlock()
-		done(Response{Question: q, Outcome: OutcomeCanceled, When: r.clock.Now()})
+		done(Response{Question: q, Outcome: OutcomeCanceled, When: r.clock.Now(), Cause: err})
 		return
 	}
 	r.mu.Lock()
@@ -260,6 +284,7 @@ func (r *Resolver) start(ctx context.Context, q dnswire.Question, done func(Resp
 		return
 	}
 	pending := &pendingQuery{
+		ctx:      ctx,
 		question: q,
 		wire:     wire,
 		started:  r.clock.Now(),
@@ -270,18 +295,35 @@ func (r *Resolver) start(ctx context.Context, q dnswire.Question, done func(Resp
 	displaced := r.inflight[id]
 	r.inflight[id] = pending
 	r.stats.Queries++
+	var displacedTimer simclock.Timer
+	var displacedAttempts int
+	if displaced != nil {
+		displacedTimer = displaced.timer
+		displaced.timer = nil
+		displacedAttempts = displaced.attempts
+	}
 	r.mu.Unlock()
 	if displaced != nil {
-		if displaced.timer != nil {
-			displaced.timer.Stop()
+		if displacedTimer != nil {
+			displacedTimer.Stop()
 		}
 		r.finish(displaced, Response{
 			Question: displaced.question, Outcome: OutcomeTimeout,
-			Attempts: displaced.attempts, When: r.clock.Now(),
+			Attempts: displacedAttempts, When: r.clock.Now(),
 		})
 	}
 	if ctx.Done() != nil {
-		pending.ctxStop = context.AfterFunc(ctx, func() { r.cancel(id, pending) })
+		stop := context.AfterFunc(ctx, func() { r.cancel(id, pending) })
+		// Publish the stop func under mu: the watch may already have fired
+		// and finished the query, in which case it is released here instead.
+		r.mu.Lock()
+		if cur, ok := r.inflight[id]; ok && cur == pending {
+			pending.ctxStop = stop
+			r.mu.Unlock()
+		} else {
+			r.mu.Unlock()
+			stop()
+		}
 	}
 	r.transmit(id, pending)
 }
@@ -297,37 +339,124 @@ func (r *Resolver) cancel(id uint16, p *pendingQuery) {
 	}
 	delete(r.inflight, id)
 	r.stats.Canceled++
+	timer := p.timer
+	p.timer = nil
+	attempts := p.attempts
 	r.mu.Unlock()
-	if p.timer != nil {
-		p.timer.Stop()
+	if timer != nil {
+		timer.Stop()
 	}
 	r.finish(p, Response{
 		Question: p.question,
 		Outcome:  OutcomeCanceled,
-		Attempts: p.attempts,
+		Attempts: attempts,
 		RTT:      r.clock.Now().Sub(p.started),
 		When:     r.clock.Now(),
+		Cause:    p.ctx.Err(),
+	})
+}
+
+// cancelLocked completes p as cancelled from inside the retry path. The
+// caller holds r.mu with p still in the inflight table.
+func (r *Resolver) cancelLocked(id uint16, p *pendingQuery) {
+	delete(r.inflight, id)
+	r.stats.Canceled++
+	timer := p.timer
+	p.timer = nil
+	attempts := p.attempts
+	r.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
+	r.finish(p, Response{
+		Question: p.question,
+		Outcome:  OutcomeCanceled,
+		Attempts: attempts,
+		RTT:      r.clock.Now().Sub(p.started),
+		When:     r.clock.Now(),
+		Cause:    p.ctx.Err(),
+	})
+}
+
+// backoffDelay returns the full-jitter backoff before retransmission
+// number attempt (1-based over completed attempts): a uniform draw from
+// [0, min(BackoffMax, BackoffBase<<attempt)). Zero when backoff is off.
+func (r *Resolver) backoffDelay(attempt int) time.Duration {
+	if r.cfg.BackoffBase <= 0 {
+		return 0
+	}
+	window := r.cfg.BackoffBase << uint(attempt)
+	if window <= 0 || window > r.cfg.BackoffMax {
+		window = r.cfg.BackoffMax
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.rng.Int63n(int64(window)))
+}
+
+// retry schedules the next transmission of p after the backoff delay for
+// its current attempt count. With backoff disabled it retransmits
+// immediately.
+func (r *Resolver) retry(id uint16, p *pendingQuery) {
+	delay := r.backoffDelay(p.attempts)
+	if delay <= 0 {
+		r.transmit(id, p)
+		return
+	}
+	r.clock.AfterFunc(delay, func() {
+		r.mu.Lock()
+		cur, ok := r.inflight[id]
+		if !ok || cur != p {
+			// Completed (answer or cancellation) while backing off.
+			r.mu.Unlock()
+			return
+		}
+		r.mu.Unlock()
+		r.transmit(id, p)
 	})
 }
 
 func (r *Resolver) transmit(id uint16, p *pendingQuery) {
-	p.attempts++
-	if p.attempts > 1 {
-		r.mu.Lock()
-		r.stats.Retransmit++
+	r.mu.Lock()
+	if cur, ok := r.inflight[id]; !ok || cur != p {
 		r.mu.Unlock()
+		return
 	}
+	// Cancellation must never be treated as one more timeout to retry
+	// through: check before spending an attempt.
+	if p.ctx.Err() != nil {
+		r.cancelLocked(id, p) // unlocks
+		return
+	}
+	p.attempts++
+	epoch := p.attempts
+	if epoch > 1 {
+		r.stats.Retransmit++
+	}
+	r.mu.Unlock()
+	// Send outside the lock: a simulated fabric may deliver the response
+	// synchronously, re-entering handleResponse.
 	r.ep.Send(r.cfg.Server, p.wire)
-	p.timer = r.clock.AfterFunc(r.cfg.Timeout, func() {
+	timer := r.clock.AfterFunc(r.cfg.Timeout, func() {
 		r.mu.Lock()
 		cur, ok := r.inflight[id]
-		if !ok || cur != p {
+		// The epoch check retires stale timers: a timer that fired while a
+		// SERVFAIL-triggered retry was already retransmitting must not spend
+		// a second attempt.
+		if !ok || cur != p || p.attempts != epoch {
 			r.mu.Unlock()
+			return
+		}
+		// A cancelled context ends the lookup here and now, with the
+		// wrapped ctx error — it must not be counted as a retryable
+		// timeout even when retry budget remains.
+		if p.ctx.Err() != nil {
+			r.cancelLocked(id, p) // unlocks
 			return
 		}
 		if p.attempts <= r.cfg.Retries {
 			r.mu.Unlock()
-			r.transmit(id, p)
+			r.retry(id, p)
 			return
 		}
 		delete(r.inflight, id)
@@ -341,6 +470,15 @@ func (r *Resolver) transmit(id uint16, p *pendingQuery) {
 			When:     r.clock.Now(),
 		})
 	})
+	r.mu.Lock()
+	if cur, ok := r.inflight[id]; ok && cur == p && p.attempts == epoch {
+		p.timer = timer
+		r.mu.Unlock()
+		return
+	}
+	// Completed (or moved on) between Send and timer registration.
+	r.mu.Unlock()
+	timer.Stop()
 }
 
 func (r *Resolver) handleResponse(dg fabric.Datagram) {
@@ -350,18 +488,29 @@ func (r *Resolver) handleResponse(dg fabric.Datagram) {
 	}
 	r.mu.Lock()
 	p, ok := r.inflight[msg.Header.ID]
-	if ok {
-		delete(r.inflight, msg.Header.ID)
-	}
-	r.mu.Unlock()
 	if !ok {
+		r.mu.Unlock()
 		return
 	}
-	if p.timer != nil {
-		p.timer.Stop()
-	}
 	resp := r.classify(p, msg)
-	r.mu.Lock()
+	// Typed-error-aware retry: a SERVFAIL is a transient server fault and
+	// — when the policy says so — is retried like a timeout, with the same
+	// attempt budget and backoff. Authoritative answers (NXDOMAIN, NODATA,
+	// REFUSED) are never retried.
+	if resp.Outcome == OutcomeServFail && r.cfg.RetryServFail &&
+		p.attempts <= r.cfg.Retries && p.ctx.Err() == nil {
+		timer := p.timer
+		p.timer = nil
+		r.mu.Unlock()
+		if timer != nil {
+			timer.Stop()
+		}
+		r.retry(msg.Header.ID, p)
+		return
+	}
+	delete(r.inflight, msg.Header.ID)
+	timer := p.timer
+	p.timer = nil
 	switch resp.Outcome {
 	case OutcomeSuccess:
 		r.stats.Success++
@@ -377,6 +526,9 @@ func (r *Resolver) handleResponse(dg fabric.Datagram) {
 		r.stats.Malformed++
 	}
 	r.mu.Unlock()
+	if timer != nil {
+		timer.Stop()
+	}
 	r.finish(p, resp)
 }
 

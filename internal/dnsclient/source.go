@@ -59,10 +59,7 @@ type UDPSource struct {
 
 // LookupPTR implements scanengine.Source.
 func (s UDPSource) LookupPTR(ctx context.Context, ip dnswire.IPv4) scanengine.Result {
-	if err := ctx.Err(); err != nil {
-		return scanengine.Result{IP: ip, Err: &Error{Kind: KindCanceled, wrapped: err}}
-	}
-	resp, err := s.Client.LookupPTR(ip)
+	resp, err := s.Client.LookupPTRContext(ctx, ip)
 	if err != nil {
 		return scanengine.Result{IP: ip, Err: err}
 	}

@@ -1,6 +1,7 @@
 package dnsclient
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -30,17 +31,45 @@ func (c *UDPClient) LookupPTR(ip dnswire.IPv4) (Response, error) {
 	})
 }
 
+// LookupPTRContext is LookupPTR honoring ctx between attempts.
+func (c *UDPClient) LookupPTRContext(ctx context.Context, ip dnswire.IPv4) (Response, error) {
+	return c.LookupContext(ctx, dnswire.Question{
+		Name:  dnswire.ReverseName(ip),
+		Type:  dnswire.TypePTR,
+		Class: dnswire.ClassIN,
+	})
+}
+
 // Lookup performs a synchronous lookup of q against c.Server.
 func (c *UDPClient) Lookup(q dnswire.Question) (Response, error) {
+	return c.LookupContext(context.Background(), q)
+}
+
+// LookupContext performs a synchronous lookup of q against c.Server. A
+// cancelled ctx ends the retry loop immediately — cancellation is never
+// counted as one more retryable timeout — and the returned error wraps
+// ctx.Err().
+func (c *UDPClient) LookupContext(ctx context.Context, q dnswire.Question) (Response, error) {
 	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = 2 * time.Second
+	}
+	if err := ctx.Err(); err != nil {
+		return Response{Question: q, Outcome: OutcomeCanceled, When: time.Now(), Cause: err},
+			&Error{Kind: KindCanceled, Question: q, wrapped: err}
 	}
 	conn, err := net.Dial("udp", c.Server)
 	if err != nil {
 		return Response{}, fmt.Errorf("dnsclient: dial: %w", err)
 	}
 	defer conn.Close()
+	// A cancellation mid-read unblocks the socket by moving its deadline.
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			conn.SetReadDeadline(time.Unix(0, 0))
+		})
+		defer stop()
+	}
 
 	id := uint16(rand.Intn(1 << 16))
 	wire, err := dnswire.NewQuery(id, q.Name, q.Type).Marshal()
@@ -58,6 +87,13 @@ func (c *UDPClient) Lookup(q dnswire.Question) (Response, error) {
 		conn.SetReadDeadline(time.Now().Add(timeout))
 		n, err := conn.Read(buf)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return Response{
+						Question: q, Outcome: OutcomeCanceled, Attempts: attempts,
+						RTT: time.Since(started), When: time.Now(), Cause: cerr,
+					},
+					&Error{Kind: KindCanceled, Question: q, Attempts: attempts, wrapped: cerr}
+			}
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				continue
 			}

@@ -2,7 +2,6 @@ package dnsserver
 
 import (
 	"errors"
-	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -15,14 +14,84 @@ import (
 // FailureMode injects server-side failures, modelling the name-server
 // failures and timeouts the paper observes during its supplemental
 // measurement (Figure 6).
+//
+// Decisions are deterministic per query: whether an individual query is
+// dropped or SERVFAILed is a pure function of the seed, the question name,
+// and how many times that name has been asked — never of the interleaving
+// of unrelated queries. Concurrent sweeps therefore fail the same
+// addresses regardless of worker scheduling, and a retransmission of a
+// previously dropped query draws a fresh decision, so client retries can
+// succeed against partial failure rates.
 type FailureMode struct {
 	// ServFailRate is the fraction of queries answered with SERVFAIL.
 	ServFailRate float64
 	// DropRate is the fraction of queries silently dropped (the client
 	// observes a timeout).
 	DropRate float64
-	// Seed seeds the failure PRNG.
+	// Seed seeds the per-query failure hash.
 	Seed int64
+}
+
+// enabled reports whether any injection is configured.
+func (fm FailureMode) enabled() bool {
+	return fm.DropRate > 0 || fm.ServFailRate > 0
+}
+
+// failureState is the installed failure configuration plus the per-name
+// attempt counters that make decisions independent of call order across
+// names. A fresh state (and fresh counters) is installed on every
+// SetFailureMode, so reconfiguring a live server restarts the sequence.
+type failureState struct {
+	mode FailureMode
+
+	mu  sync.Mutex
+	seq map[dnswire.Name]uint64
+}
+
+// decide classifies one query deterministically. It returns whether to
+// drop it and whether to answer SERVFAIL.
+func (fs *failureState) decide(name dnswire.Name) (drop, servFail bool) {
+	fs.mu.Lock()
+	n := fs.seq[name]
+	fs.seq[name] = n + 1
+	fs.mu.Unlock()
+	h := failureHash(uint64(fs.mode.Seed), hashName(name), n)
+	if fs.mode.DropRate > 0 && unitFloat(h) < fs.mode.DropRate {
+		return true, false
+	}
+	h = failureHash(h, 0x5EC0)
+	if fs.mode.ServFailRate > 0 && unitFloat(h) < fs.mode.ServFailRate {
+		return false, true
+	}
+	return false, false
+}
+
+// failureHash mixes words with the splitmix64 finalizer.
+func failureHash(words ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range words {
+		h ^= w
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return h
+}
+
+// hashName is FNV-1a over the name bytes.
+func hashName(n dnswire.Name) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(n); i++ {
+		h ^= uint64(n[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// unitFloat maps a hash to [0,1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
 }
 
 // Server is an authoritative DNS server holding any number of zones. The
@@ -34,9 +103,7 @@ type FailureMode struct {
 type Server struct {
 	mu            sync.RWMutex
 	zones         map[dnswire.Name]*Zone
-	failure       FailureMode
-	failing       atomic.Bool
-	rng           *rand.Rand
+	failure       atomic.Pointer[failureState]
 	stats         counters
 	updatePolicy  UpdatePolicy
 	allowTransfer bool
@@ -65,19 +132,20 @@ type counters struct {
 
 // NewServer creates a server with no zones.
 func NewServer() *Server {
-	return &Server{
-		zones: make(map[dnswire.Name]*Zone),
-		rng:   rand.New(rand.NewSource(0)),
-	}
+	return &Server{zones: make(map[dnswire.Name]*Zone)}
 }
 
-// SetFailureMode installs failure injection. Pass the zero value to disable.
+// SetFailureMode installs failure injection. Pass the zero value to
+// disable. It is safe to call while the server is answering queries
+// (including after Serve has started): the new mode applies atomically to
+// queries that begin after the call, and per-name decision sequences
+// restart from zero.
 func (s *Server) SetFailureMode(fm FailureMode) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.failure = fm
-	s.rng = rand.New(rand.NewSource(fm.Seed))
-	s.failing.Store(fm.DropRate > 0 || fm.ServFailRate > 0)
+	if !fm.enabled() {
+		s.failure.Store(nil)
+		return
+	}
+	s.failure.Store(&failureState{mode: fm, seq: make(map[dnswire.Name]uint64)})
 }
 
 // AddZone attaches a zone to the server.
@@ -140,29 +208,19 @@ func (s *Server) findZone(name dnswire.Name) *Zone {
 // and injected drops).
 func (s *Server) HandleQuery(query []byte) []byte {
 	s.stats.queries.Add(1)
-	var injectServFail bool
-	if s.failing.Load() {
-		// The failure PRNG is the only query-path state needing the
-		// exclusive lock, and only when injection is enabled.
-		s.mu.Lock()
-		fm := s.failure
-		var injectDrop bool
-		if fm.DropRate > 0 && s.rng.Float64() < fm.DropRate {
-			injectDrop = true
-		} else if fm.ServFailRate > 0 && s.rng.Float64() < fm.ServFailRate {
-			injectServFail = true
-		}
-		s.mu.Unlock()
-		if injectDrop {
-			s.stats.dropped.Add(1)
-			return nil
-		}
-	}
-
 	msg, err := dnswire.Unmarshal(query)
 	if err != nil || msg.Header.Response {
 		s.stats.malformed.Add(1)
 		return nil
+	}
+	var injectServFail bool
+	if fs := s.failure.Load(); fs != nil && len(msg.Questions) > 0 {
+		drop, servFail := fs.decide(msg.Questions[0].Name)
+		if drop {
+			s.stats.dropped.Add(1)
+			return nil
+		}
+		injectServFail = servFail
 	}
 	var resp *dnswire.Message
 	switch {

@@ -1,0 +1,395 @@
+// Package faultsim is a seeded, deterministic fault-injection layer for
+// the simulated rDNS universe. It wraps any message-level DNS handler
+// (dnsserver.Server, or another injector) and perturbs the traffic
+// according to per-network fault profiles: packet loss, latency and
+// latency spikes, SERVFAIL/REFUSED bursts, truncation-style outage
+// windows (server flaps and restarts), and rate-limit throttling.
+//
+// Determinism is the point. Every probabilistic decision is a pure
+// function of (seed, question name, per-name attempt number), computed
+// with the same splitmix64/FNV-1a construction dnsserver.FailureMode
+// uses; outage windows are matched against per-profile query counters,
+// not wall-clock time. Replaying the same query sequence against the same
+// seed therefore reproduces the same faults bit-identically, regardless
+// of goroutine scheduling — the property the scenario harness asserts by
+// running every pipeline twice and comparing digests.
+//
+// Two caveats follow from the design:
+//
+//   - Count-based windows are deterministic only when each profile's
+//     counter sees a deterministic query sequence: align profile prefixes
+//     with the scan engine's shards (shards probe sequentially), or run a
+//     single worker.
+//   - Injected latency blocks the calling goroutine on the injector's
+//     clock; with a simclock.Simulated nobody advances mid-call, so
+//     latency profiles are for real-clock pipelines (scan-side tests use
+//     small real delays).
+//
+// Rate limits are wall-clock token buckets and intentionally
+// nondeterministic in fault counts (they model a server's view of probe
+// timing); scenarios exercising them compare record sets, not fault
+// tallies.
+package faultsim
+
+import (
+	"sync"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/simclock"
+)
+
+// Handler is the message-level server interface the injector wraps and
+// presents: one wire-format query in, one wire-format response out, nil
+// meaning the query was dropped. It matches dnsclient.QueryHandler and
+// dnsserver.Server structurally; the type is redeclared here so faultsim
+// depends on neither.
+type Handler interface {
+	HandleQuery(query []byte) []byte
+}
+
+// Window is a count-based outage window matched against a profile's
+// query counter (0-based): queries [After, After+For) are affected; with
+// Every > 0 the window repeats with that period, modelling a flapping
+// server rather than a single outage.
+type Window struct {
+	// After is how many queries pass before the window opens.
+	After int
+	// For is the window length in queries.
+	For int
+	// Every, when positive, repeats the window with this period
+	// (measured from After). Must be >= For to leave any gap.
+	Every int
+}
+
+// match reports whether query number n (0-based) falls in the window.
+func (w *Window) match(n uint64) bool {
+	if w == nil || w.For <= 0 {
+		return false
+	}
+	after := uint64(w.After)
+	if n < after {
+		return false
+	}
+	if w.Every > 0 {
+		return (n-after)%uint64(w.Every) < uint64(w.For)
+	}
+	return n < after+uint64(w.For)
+}
+
+// RateLimit is a wall-clock token bucket modelling a rate-limiting name
+// server.
+type RateLimit struct {
+	// QPS is the sustained refill rate. Zero disables the limit.
+	QPS int
+	// Burst is the bucket depth. Values below 1 mean 1.
+	Burst int
+	// Refuse answers throttled queries with REFUSED (the in-band
+	// slow-down signal); false drops them silently.
+	Refuse bool
+}
+
+// Profile is the fault behaviour of one address range. The zero value
+// injects nothing.
+type Profile struct {
+	// Prefix selects the queries this profile governs (by the IP encoded
+	// in the PTR question name). Overlapping profiles resolve to the most
+	// specific prefix.
+	Prefix dnswire.Prefix
+	// Loss is the fraction of queries silently dropped.
+	Loss float64
+	// ServFailRate is the fraction of queries answered SERVFAIL.
+	ServFailRate float64
+	// RefusedRate is the fraction of queries answered REFUSED.
+	RefusedRate float64
+	// Latency delays every answered query.
+	Latency time.Duration
+	// SpikeRate is the fraction of queries additionally delayed by
+	// SpikeLatency — the long tail hedged lookups exist to cut.
+	SpikeRate    float64
+	SpikeLatency time.Duration
+	// Drop is a count-based outage window of silent drops (server down,
+	// or flapping with Window.Every).
+	Drop *Window
+	// ServFail is a count-based window of SERVFAIL answers (server up
+	// but broken — a restart's warm-up, a backend failure).
+	ServFail *Window
+	// Limit throttles the profile's query rate.
+	Limit *RateLimit
+}
+
+// Stats counts one profile's injections.
+type Stats struct {
+	Queries   uint64
+	Dropped   uint64
+	ServFails uint64
+	Refused   uint64
+	Spiked    uint64
+	Throttled uint64
+}
+
+// profileState is a Profile plus its live counters.
+type profileState struct {
+	p Profile
+
+	mu    sync.Mutex
+	count uint64 // total queries seen (windows match against this)
+	seq   map[dnswire.Name]uint64
+	stats Stats
+	// token bucket
+	tokens    float64
+	lastPoll  time.Time
+	primedLim bool
+}
+
+// action is the injector's verdict on one query.
+type action int
+
+const (
+	actPass action = iota
+	actDrop
+	actServFail
+	actRefused
+)
+
+// Injector wraps a Handler with fault profiles. Create one with New; it
+// is safe for concurrent use.
+type Injector struct {
+	clock    simclock.Clock
+	seed     int64
+	profiles []*profileState
+}
+
+// New creates an injector over clock with the given seed and profiles.
+func New(clock simclock.Clock, seed int64, profiles ...Profile) *Injector {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	inj := &Injector{clock: clock, seed: seed}
+	for _, p := range profiles {
+		inj.profiles = append(inj.profiles, &profileState{
+			p:   p,
+			seq: make(map[dnswire.Name]uint64),
+		})
+	}
+	return inj
+}
+
+// Stats returns the injection counters for the profile with the given
+// prefix (zero Stats when no profile matches).
+func (inj *Injector) Stats(prefix dnswire.Prefix) Stats {
+	for _, ps := range inj.profiles {
+		if ps.p.Prefix == prefix {
+			ps.mu.Lock()
+			st := ps.stats
+			ps.mu.Unlock()
+			return st
+		}
+	}
+	return Stats{}
+}
+
+// TotalStats sums the counters across all profiles.
+func (inj *Injector) TotalStats() Stats {
+	var out Stats
+	for _, ps := range inj.profiles {
+		ps.mu.Lock()
+		st := ps.stats
+		ps.mu.Unlock()
+		out.Queries += st.Queries
+		out.Dropped += st.Dropped
+		out.ServFails += st.ServFails
+		out.Refused += st.Refused
+		out.Spiked += st.Spiked
+		out.Throttled += st.Throttled
+	}
+	return out
+}
+
+// Wrap returns a Handler that injects faults in front of inner.
+// Injectors compose: Wrap the result of another injector's Wrap to stack
+// independent fault layers.
+func (inj *Injector) Wrap(inner Handler) Handler {
+	return &wrapped{inj: inj, inner: inner}
+}
+
+type wrapped struct {
+	inj   *Injector
+	inner Handler
+}
+
+// HandleQuery implements Handler.
+func (w *wrapped) HandleQuery(query []byte) []byte {
+	msg, err := dnswire.Unmarshal(query)
+	if err != nil || msg.Header.Response || len(msg.Questions) != 1 {
+		// Not a query the injector understands: pass through untouched.
+		return w.inner.HandleQuery(query)
+	}
+	name := msg.Questions[0].Name
+	ps := w.inj.profileFor(name)
+	if ps == nil {
+		return w.inner.HandleQuery(query)
+	}
+	act, delay := ps.decide(w.inj, name)
+	w.inj.sleep(delay)
+	switch act {
+	case actDrop:
+		return nil
+	case actServFail:
+		return marshalRCode(msg, dnswire.RCodeServFail)
+	case actRefused:
+		return marshalRCode(msg, dnswire.RCodeRefused)
+	}
+	return w.inner.HandleQuery(query)
+}
+
+// profileFor returns the most specific profile whose prefix contains the
+// IP encoded in the (reverse) question name, or nil.
+func (inj *Injector) profileFor(name dnswire.Name) *profileState {
+	ip, err := dnswire.ParseReverseName(name)
+	if err != nil {
+		return nil
+	}
+	var best *profileState
+	for _, ps := range inj.profiles {
+		if !ps.p.Prefix.Contains(ip) {
+			continue
+		}
+		if best == nil || ps.p.Prefix.Bits > best.p.Prefix.Bits {
+			best = ps
+		}
+	}
+	return best
+}
+
+// decide classifies one query under the profile. Window checks run before
+// hash-based rates, and drops before answer rewrites, so a flap window
+// masks the steady-state loss rate rather than compounding with it.
+func (ps *profileState) decide(inj *Injector, name dnswire.Name) (action, time.Duration) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	n := ps.count
+	ps.count++
+	attempt := ps.seq[name]
+	ps.seq[name] = attempt + 1
+	ps.stats.Queries++
+
+	if ps.p.Drop.match(n) {
+		ps.stats.Dropped++
+		return actDrop, 0
+	}
+	if ps.p.ServFail.match(n) {
+		ps.stats.ServFails++
+		return actServFail, 0
+	}
+	if ps.throttledLocked(inj.clock.Now()) {
+		ps.stats.Throttled++
+		if ps.p.Limit.Refuse {
+			ps.stats.Refused++
+			return actRefused, 0
+		}
+		ps.stats.Dropped++
+		return actDrop, 0
+	}
+
+	h := faultHash(uint64(inj.seed), nameHash(name), attempt)
+	if ps.p.Loss > 0 && unitFloat(h) < ps.p.Loss {
+		ps.stats.Dropped++
+		return actDrop, 0
+	}
+	h = faultHash(h, 0x5EC0)
+	if ps.p.ServFailRate > 0 && unitFloat(h) < ps.p.ServFailRate {
+		ps.stats.ServFails++
+		return actServFail, ps.p.Latency
+	}
+	h = faultHash(h, 0xEF01)
+	if ps.p.RefusedRate > 0 && unitFloat(h) < ps.p.RefusedRate {
+		ps.stats.Refused++
+		return actRefused, ps.p.Latency
+	}
+	delay := ps.p.Latency
+	h = faultHash(h, 0x51CE)
+	if ps.p.SpikeRate > 0 && unitFloat(h) < ps.p.SpikeRate {
+		ps.stats.Spiked++
+		delay += ps.p.SpikeLatency
+	}
+	return actPass, delay
+}
+
+// throttledLocked consults the token bucket; caller holds ps.mu.
+func (ps *profileState) throttledLocked(now time.Time) bool {
+	l := ps.p.Limit
+	if l == nil || l.QPS <= 0 {
+		return false
+	}
+	burst := float64(l.Burst)
+	if burst < 1 {
+		burst = 1
+	}
+	if !ps.primedLim {
+		ps.primedLim = true
+		ps.lastPoll = now
+		ps.tokens = burst
+	}
+	ps.tokens += now.Sub(ps.lastPoll).Seconds() * float64(l.QPS)
+	ps.lastPoll = now
+	if ps.tokens > burst {
+		ps.tokens = burst
+	}
+	if ps.tokens < 1 {
+		return true
+	}
+	ps.tokens--
+	return false
+}
+
+// sleep blocks for d on the injector's clock.
+func (inj *Injector) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	done := make(chan struct{})
+	t := inj.clock.AfterFunc(d, func() { close(done) })
+	defer t.Stop()
+	<-done
+}
+
+// marshalRCode synthesizes a minimal response to query with the given
+// rcode.
+func marshalRCode(query *dnswire.Message, rcode dnswire.RCode) []byte {
+	wire, err := dnswire.NewResponse(query, rcode).Marshal()
+	if err != nil {
+		return nil
+	}
+	return wire
+}
+
+// faultHash mixes words with the splitmix64 finalizer — the same
+// construction as dnsserver's per-query failure hash, so both layers
+// share one reproducibility story.
+func faultHash(words ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range words {
+		h ^= w
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return h
+}
+
+// nameHash is FNV-1a over the name bytes.
+func nameHash(n dnswire.Name) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(n); i++ {
+		h ^= uint64(n[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// unitFloat maps a hash to [0,1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}

@@ -26,6 +26,7 @@ type Scanner struct {
 	buffer      int
 	probeEvents bool
 	rate        *rateGate
+	resil       *ResilienceConfig
 
 	cache *negCache
 
@@ -159,6 +160,15 @@ type Stats struct {
 	Errors uint64
 	// CacheHits is the number of probes served from the negative cache.
 	CacheHits uint64
+	// Retries is the number of scan-level retry lookups (resilience
+	// layer only).
+	Retries uint64
+	// Hedges is the number of hedged lookups launched (resilience layer
+	// only).
+	Hedges uint64
+	// Skipped is the number of addresses abandoned unprobed by graceful
+	// degradation.
+	Skipped uint64
 }
 
 // ShardStatus is the progress of one shard.
@@ -167,7 +177,10 @@ type ShardStatus struct {
 	Probes int
 	Found  int
 	Errors int
-	Done   bool
+	// Skipped counts addresses abandoned unprobed when the shard
+	// degraded (resilience layer only).
+	Skipped int
+	Done    bool
 }
 
 // Snapshot is the product of one sweep.
@@ -191,6 +204,13 @@ type Snapshot struct {
 	// Partial reports the sweep was cancelled before covering every
 	// shard.
 	Partial bool
+	// Health is the resilience layer's structured account of the sweep
+	// (nil unless WithResilience is configured).
+	Health *HealthReport
+	// Degraded reports at least one shard exhausted its circuit-breaker
+	// budget and was partially skipped; records under Health.Degraded
+	// prefixes are incomplete, and removal inference excludes them.
+	Degraded bool
 }
 
 // EventKind classifies a stream event.
@@ -278,7 +298,8 @@ type mergeMsg struct {
 	res     Result
 	done    bool // shard finished; tally below is authoritative
 	tally   ShardStatus
-	scanErr error // bulk enumeration failure
+	scanErr error        // bulk enumeration failure
+	health  *ShardHealth // resilience ledger, when the layer is on
 }
 
 // Scan executes one sweep and returns its snapshot. On context
@@ -336,6 +357,13 @@ func (s *Scanner) Scan(ctx context.Context, req Request) (*Snapshot, error) {
 	// Merge stage: single consumer; always drains until the workers
 	// close the channel, so cancellation cannot leak goroutines.
 	var changes []Change
+	var healths []ShardHealth
+	if s.resil != nil {
+		healths = make([]ShardHealth, len(shards))
+		for i, sh := range shards {
+			healths[i].Shard = sh
+		}
+	}
 	shardsDone := 0
 	for msg := range out {
 		if msg.done {
@@ -343,11 +371,23 @@ func (s *Scanner) Scan(ctx context.Context, req Request) (*Snapshot, error) {
 			st.Probes = msg.tally.Probes
 			st.Found = msg.tally.Found
 			st.Errors = msg.tally.Errors
+			st.Skipped = msg.tally.Skipped
 			st.Done = msg.scanErr == nil
 			snap.Stats.Probes += uint64(msg.tally.Probes)
 			snap.Stats.Found += uint64(msg.tally.Found)
 			snap.Stats.Errors += uint64(msg.tally.Errors)
 			snap.Stats.Absent += uint64(msg.tally.Probes - msg.tally.Found - msg.tally.Errors)
+			snap.Stats.Skipped += uint64(msg.tally.Skipped)
+			if msg.health != nil && healths != nil {
+				h := *msg.health
+				h.Probes = msg.tally.Probes
+				h.Found = msg.tally.Found
+				h.Errors = msg.tally.Errors
+				h.Skipped = msg.tally.Skipped
+				healths[msg.shard] = h
+				snap.Stats.Retries += uint64(h.Retries)
+				snap.Stats.Hedges += uint64(h.Hedges)
+			}
 			shardsDone++
 			s.emit(Event{
 				Kind: EventShardDone, At: s.clock.Now(), Shard: shards[msg.shard],
@@ -380,12 +420,42 @@ func (s *Scanner) Scan(ctx context.Context, req Request) (*Snapshot, error) {
 	}
 
 	snap.Partial = ctx.Err() != nil
+	var degradedIdx *shardIndex
+	if healths != nil {
+		report := &HealthReport{Shards: healths}
+		for _, h := range healths {
+			report.Totals.Attempts += h.Attempts
+			report.Totals.Retries += h.Retries
+			report.Totals.Throttled += h.Throttled
+			report.Totals.Hedges += h.Hedges
+			report.Totals.HedgeWins += h.HedgeWins
+			report.Totals.Skipped += h.Skipped
+			for _, ev := range h.Breaker {
+				if ev.State == BreakerOpen {
+					report.Totals.BreakerOpens++
+				}
+			}
+			if h.Degraded {
+				report.Degraded = append(report.Degraded, h.Shard)
+			}
+		}
+		snap.Health = report
+		snap.Degraded = len(report.Degraded) > 0
+		if snap.Degraded {
+			degradedIdx = newShardIndex(report.Degraded)
+		}
+	}
 	if !snap.Partial && baseline != nil {
 		// Complete coverage: every baseline record under the targets
-		// that was not re-observed has been removed.
+		// that was not re-observed has been removed. Degraded shards were
+		// not fully probed, so absence there proves nothing and is
+		// excluded.
 		index := newShardIndex(shards)
 		for ip, old := range baseline {
 			if _, ok := snap.Records[ip]; ok || !index.contains(ip) {
+				continue
+			}
+			if degradedIdx != nil && degradedIdx.contains(ip) {
 				continue
 			}
 			ch := Change{Kind: RecordRemoved, IP: ip, Old: old}
@@ -424,6 +494,7 @@ func (s *Scanner) Previous() RecordSet {
 // runShard resolves one shard and reports results plus a closing tally.
 func (s *Scanner) runShard(ctx context.Context, si int, shard dnswire.Prefix, at time.Time, out chan<- mergeMsg) {
 	var tally ShardStatus
+	resil := s.newShardResil(shard)
 	send := func(msg mergeMsg) bool {
 		select {
 		case out <- msg:
@@ -435,7 +506,11 @@ func (s *Scanner) runShard(ctx context.Context, si int, shard dnswire.Prefix, at
 	defer func() {
 		// The closing tally must not be lost even under cancellation:
 		// the merger drains until workers exit.
-		out <- mergeMsg{shard: si, done: true, tally: tally, scanErr: ctx.Err()}
+		msg := mergeMsg{shard: si, done: true, tally: tally, scanErr: ctx.Err()}
+		if resil != nil {
+			msg.health = &resil.health
+		}
+		out <- msg
 	}()
 
 	if s.shardSc != nil {
@@ -469,8 +544,12 @@ func (s *Scanner) runShard(ctx context.Context, si int, shard dnswire.Prefix, at
 			if err := s.rate.wait(ctx); err != nil {
 				return
 			}
-			res = s.src.LookupPTR(ctx, ip)
-			res.IP = ip
+			if resil != nil {
+				res = resil.lookup(ctx, s, ip, i)
+			} else {
+				res = s.src.LookupPTR(ctx, ip)
+				res.IP = ip
+			}
 			if res.Absent() {
 				s.cache.put(ip)
 			}
@@ -486,6 +565,13 @@ func (s *Scanner) runShard(ctx context.Context, si int, shard dnswire.Prefix, at
 			if !send(mergeMsg{shard: si, res: res}) {
 				return
 			}
+		}
+		if resil != nil && resil.degraded {
+			// Graceful degradation: the breaker budget for this shard is
+			// exhausted; abandon its remaining addresses and account for
+			// them instead of grinding through more open/probe cycles.
+			tally.Skipped = n - i - 1
+			return
 		}
 	}
 }

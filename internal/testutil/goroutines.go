@@ -1,0 +1,145 @@
+// Package testutil holds shared test helpers. It must only be imported
+// from _test.go files.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the helpers need, so the package does not
+// force a testing import chain onto callers' non-test builds.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+	Logf(format string, args ...any)
+}
+
+// VerifyNoLeaks snapshots the live goroutine set and registers a cleanup
+// that fails the test if goroutines started during the test are still
+// running when it ends. Completion callbacks, breaker probes, and hedged
+// lookups all spawn short-lived goroutines; a grace window lets them
+// drain before the check fires.
+//
+// Call it first in the test body:
+//
+//	func TestX(t *testing.T) {
+//		testutil.VerifyNoLeaks(t)
+//		...
+//	}
+func VerifyNoLeaks(tb TB) {
+	tb.Helper()
+	before := goroutineStacks()
+	tb.Cleanup(func() {
+		deadline := time.Now().Add(3 * time.Second)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		tb.Errorf("testutil: %d goroutine(s) leaked:\n%s",
+			len(leaked), strings.Join(leaked, "\n---\n"))
+	})
+}
+
+// goroutineStacks returns the set of live goroutine stack headers keyed by
+// goroutine id line.
+func goroutineStacks() map[string]bool {
+	set := make(map[string]bool)
+	for _, g := range splitStacks() {
+		set[stackKey(g)] = true
+	}
+	return set
+}
+
+// leakedSince returns stacks of interesting goroutines not present in the
+// baseline set.
+func leakedSince(before map[string]bool) []string {
+	var out []string
+	for _, g := range splitStacks() {
+		if before[stackKey(g)] {
+			continue
+		}
+		if boringStack(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// splitStacks dumps all goroutine stacks and splits them into one string
+// per goroutine.
+func splitStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	parts := strings.Split(string(buf), "\n\n")
+	out := parts[:0]
+	for _, p := range parts {
+		if strings.TrimSpace(p) != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// stackKey identifies a goroutine by its header line ("goroutine 12
+// [running]:") plus its top frame, stable enough across snapshots of a
+// parked goroutine.
+func stackKey(stack string) string {
+	lines := strings.SplitN(stack, "\n", 3)
+	if len(lines) < 2 {
+		return stack
+	}
+	// The goroutine id is in the header; keep it so two distinct parked
+	// goroutines with identical frames are distinct keys.
+	id := lines[0]
+	if i := strings.Index(id, " ["); i > 0 {
+		id = id[:i]
+	}
+	return fmt.Sprintf("%s@%s", id, lines[1])
+}
+
+// boringStack reports runtime-owned goroutines that come and go on their
+// own and must not count as leaks.
+func boringStack(stack string) bool {
+	for _, frag := range []string{
+		"testing.RunTests",
+		"testing.(*T).Run",
+		"testing.tRunner",
+		"runtime.goexit",
+		"created by runtime",
+		"runtime/trace",
+		"signal.signal_recv",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"testing.(*M).startAlarm",
+		"time.goFunc", // stray real-clock AfterFunc callbacks mid-flight
+	} {
+		if strings.Contains(stack, frag) {
+			return true
+		}
+	}
+	// The goroutine running the check itself.
+	return strings.Contains(stack, "testutil.leakedSince") ||
+		strings.Contains(stack, "testutil.goroutineStacks")
+}

@@ -1,0 +1,63 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// recordingTB captures Errorf calls instead of failing the real test.
+type recordingTB struct {
+	*testing.T
+	cleanups []func()
+	failed   bool
+}
+
+func (r *recordingTB) Cleanup(f func())      { r.cleanups = append(r.cleanups, f) }
+func (r *recordingTB) Errorf(string, ...any) { r.failed = true }
+
+func (r *recordingTB) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestVerifyNoLeaksPassesOnCleanExit(t *testing.T) {
+	rec := &recordingTB{T: t}
+	VerifyNoLeaks(rec)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	rec.runCleanups()
+	if rec.failed {
+		t.Fatal("clean test reported a leak")
+	}
+}
+
+func TestVerifyNoLeaksCatchesParkedGoroutine(t *testing.T) {
+	rec := &recordingTB{T: t}
+	VerifyNoLeaks(rec)
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		<-release
+	}()
+	<-parked
+	// Shrink the grace window's effect by releasing after the check
+	// starts failing: run cleanups in a goroutine and free the leak
+	// afterwards so the test itself does not leak.
+	doneCh := make(chan struct{})
+	go func() {
+		rec.runCleanups()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cleanup never returned")
+	}
+	if !rec.failed {
+		t.Fatal("parked goroutine not reported")
+	}
+	close(release)
+}
