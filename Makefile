@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-check verify race fuzz
+.PHONY: build test bench bench-check cover verify race fuzz
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,15 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'BenchmarkScanEngineFullSweep' -count=1 . \
 		| /tmp/benchcheck -baseline BENCH_baseline.json -out BENCH_scan.json
 
+# cover gates per-package test coverage: every internal package must stay
+# at or above its floor in COVERAGE_baseline.txt. covercheck also fails on
+# upstream test failures, so the pipe cannot hide a red suite. After
+# deliberately changing coverage: cp COVERAGE_current.txt COVERAGE_baseline.txt
+cover:
+	$(GO) build -o /tmp/covercheck ./cmd/covercheck
+	$(GO) test -cover ./internal/... \
+		| /tmp/covercheck -baseline COVERAGE_baseline.txt -out COVERAGE_current.txt
+
 # race checks every internal package under the race detector; the
 # concurrency-heavy ones (scanengine, dnsclient, faultsim scenarios) are
 # the point, the rest are cheap.
@@ -31,9 +40,10 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzParseOptions -fuzztime=30s ./internal/dhcpwire
 
-# verify is the pre-merge gate: vet everything, run the full test suite,
-# and race-test all internal packages.
+# verify is the pre-merge gate: vet everything, run the full test suite
+# with the coverage floors, and race-test all internal packages.
 verify:
 	$(GO) vet ./...
 	$(GO) test ./...
+	$(MAKE) cover
 	$(GO) test -race ./internal/...

@@ -32,6 +32,7 @@ import (
 	"rdnsprivacy/internal/scan"
 	"rdnsprivacy/internal/scanengine"
 	"rdnsprivacy/internal/simclock"
+	"rdnsprivacy/internal/telemetry"
 )
 
 var (
@@ -412,6 +413,31 @@ func BenchmarkScanEngineFullSweep(b *testing.B) {
 		srv := sweepServer(b, slash24s)
 		sc := scanengine.New(&dnsclient.ServerSource{Server: srv},
 			scanengine.WithWorkers(8), scanengine.WithShardBits(24))
+		b.ResetTimer()
+		var snap *scanengine.Snapshot
+		for i := 0; i < b.N; i++ {
+			var err error
+			snap, err = sc.Scan(context.Background(), scanengine.Request{Targets: targets})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if len(snap.Records) != addrs/2 {
+			b.Fatalf("engine sweep found %d records, want %d", len(snap.Records), addrs/2)
+		}
+		b.ReportMetric(float64(addrs*b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+
+	// The engine with telemetry attached, for eyeballing the live-sink
+	// cost next to the nil-sink number above (which bench-check gates —
+	// the nil path is the default and must stay within the baseline).
+	b.Run("engine-8-workers-telemetry", func(b *testing.B) {
+		srv := sweepServer(b, slash24s)
+		reg := telemetry.NewRegistry()
+		sc := scanengine.New(&dnsclient.ServerSource{Server: srv},
+			scanengine.WithWorkers(8), scanengine.WithShardBits(24),
+			scanengine.WithTelemetry(reg))
 		b.ResetTimer()
 		var snap *scanengine.Snapshot
 		for i := 0; i < b.N; i++ {

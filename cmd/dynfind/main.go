@@ -22,6 +22,7 @@ import (
 	"rdnsprivacy/internal/dynamicity"
 	"rdnsprivacy/internal/netsim"
 	"rdnsprivacy/internal/scan"
+	"rdnsprivacy/internal/telemetry"
 )
 
 func main() {
@@ -32,11 +33,25 @@ func main() {
 	demo := flag.Bool("demo", false, "run the ground-truth validation demo instead")
 	seed := flag.Uint64("seed", 7, "demo seed")
 	workers := flag.Int("workers", 0, "snapshot engine workers for -demo (0 = GOMAXPROCS)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the -demo campaign's telemetry over HTTP on this address (/metrics, /debug/vars, /debug/pprof/; see docs/telemetry.md)")
 	flag.Parse()
 
 	cfg := dynamicity.Config{MinAddresses: *minAddr, ChangePercent: *x, MinChangeDays: *y}
 	if *demo {
-		runDemo(cfg, *seed, *workers)
+		var sink telemetry.Sink
+		if *metricsAddr != "" {
+			reg := telemetry.NewRegistry()
+			exp := telemetry.NewExporter(reg)
+			addr, err := exp.Start(*metricsAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrics endpoint: %v\n", err)
+				os.Exit(1)
+			}
+			defer exp.Close()
+			fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", addr)
+			sink = reg
+		}
+		runDemo(cfg, *seed, *workers, sink)
 		return
 	}
 	if *input == "" {
@@ -97,7 +112,7 @@ func report(res *dynamicity.Result) {
 	}
 }
 
-func runDemo(cfg dynamicity.Config, seed uint64, workers int) {
+func runDemo(cfg dynamicity.Config, seed uint64, workers int, sink telemetry.Sink) {
 	campus, truth, err := netsim.BuildValidationCampus(seed, time.UTC)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -105,11 +120,12 @@ func runDemo(cfg dynamicity.Config, seed uint64, workers int) {
 	}
 	u := &netsim.Universe{Networks: []*netsim.Network{campus}}
 	res := scan.Run(scan.Campaign{
-		Universe: u,
-		Start:    time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
-		End:      time.Date(2021, 3, 31, 0, 0, 0, 0, time.UTC),
-		Cadence:  scan.Daily,
-		Workers:  workers,
+		Universe:  u,
+		Start:     time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:       time.Date(2021, 3, 31, 0, 0, 0, 0, time.UTC),
+		Cadence:   scan.Daily,
+		Workers:   workers,
+		Telemetry: sink,
 	})
 	verdict := dynamicity.Analyze(res.Series, cfg)
 	flagged := map[dnswire.Prefix]bool{}

@@ -9,6 +9,12 @@
 // -scale full builds the 1/100-scale universe documented in DESIGN.md
 // (60,000 filler /24s, 197 leaking networks) and takes several minutes,
 // dominated by the whole-universe daily campaign behind Table 1.
+//
+// With -trace it instead summarizes a sweep span log written by
+// `rdnsscan -trace-out` (probe outcome mix, breaker transitions, slowest
+// shards; see docs/telemetry.md for the schema):
+//
+//	experiments -trace sweep.jsonl
 package main
 
 import (
@@ -27,7 +33,16 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	exp := flag.String("exp", "all", "experiment to run: all, or one of "+
 		strings.Join(core.ExperimentIDs(), ", "))
+	trace := flag.String("trace", "", "summarize a span log written by `rdnsscan -trace-out` instead of running experiments")
 	flag.Parse()
+
+	if *trace != "" {
+		if err := runTraceSummary(*trace, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg, err := configForScale(*scale, *seed)
 	if err != nil {

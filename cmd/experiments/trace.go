@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/telemetry"
+)
+
+// runTraceSummary reads a span log written by `rdnsscan -trace-out` (or any
+// telemetry.Tracer JSONL dump) and prints a post-hoc sweep analysis: per-shard
+// probe outcome mix, breaker activity, and the slowest shards.
+func runTraceSummary(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := telemetry.ReadSpans(f)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "trace: no spans")
+		return nil
+	}
+
+	type shardRow struct {
+		rec      telemetry.SpanRecord
+		duration time.Duration
+	}
+	var (
+		rows        []shardRow
+		events      int
+		dropped     int
+		probeCounts = map[uint64]int{}
+		breakerEvs  = map[uint64]int{}
+		otherKinds  = map[string]int{}
+	)
+	for _, s := range spans {
+		rows = append(rows, shardRow{rec: s, duration: s.End.Sub(s.Start)})
+		events += len(s.Events)
+		dropped += s.Dropped
+		for _, ev := range s.Events {
+			switch ev.Kind {
+			case "probe":
+				probeCounts[ev.Code]++
+			case "breaker":
+				breakerEvs[ev.Code]++
+			default:
+				otherKinds[ev.Kind]++
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "trace: %d spans, %d events (%d dropped past the per-span cap)\n",
+		len(spans), events, dropped)
+	if n := probeCounts[scanengine.TraceProbeAbsent] + probeCounts[scanengine.TraceProbeFound] +
+		probeCounts[scanengine.TraceProbeError] + probeCounts[scanengine.TraceProbeCached]; n > 0 {
+		fmt.Fprintf(w, "probes: %d total — %d found, %d absent, %d errors, %d cached\n",
+			n,
+			probeCounts[scanengine.TraceProbeFound],
+			probeCounts[scanengine.TraceProbeAbsent],
+			probeCounts[scanengine.TraceProbeError],
+			probeCounts[scanengine.TraceProbeCached])
+	}
+	if len(breakerEvs) > 0 {
+		fmt.Fprint(w, "breaker transitions:")
+		for code := uint64(0); code <= uint64(scanengine.BreakerHalfOpen); code++ {
+			if c, ok := breakerEvs[code]; ok {
+				fmt.Fprintf(w, " %d→%s", c, scanengine.BreakerState(code))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	for kind, c := range otherKinds {
+		fmt.Fprintf(w, "events[%s]: %d\n", kind, c)
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].duration > rows[j].duration })
+	fmt.Fprintln(w, "slowest spans:")
+	for i, r := range rows {
+		if i == 5 {
+			break
+		}
+		fmt.Fprintf(w, "  %-8s %-18s %8.1fms  %d events\n",
+			r.rec.Name, r.rec.Attr, float64(r.duration.Microseconds())/1000, len(r.rec.Events))
+	}
+	return nil
+}

@@ -28,6 +28,23 @@
 //
 // See docs/resilience.md for the knobs and their semantics.
 //
+// With -metrics-addr the scanner serves its telemetry over HTTP while the
+// sweep runs: Prometheus text on /metrics, expvar-style JSON on
+// /debug/vars, the Go profiler under /debug/pprof/, the resilience
+// HealthReport on /health and the span log on /trace:
+//
+//	rdnsscan -server 127.0.0.1:5353 -prefix 10.0.0.0/16 -metrics-addr 127.0.0.1:9090
+//	curl -s http://127.0.0.1:9090/metrics
+//
+// And -trace-out writes the sweep's span log (one JSON object per shard
+// span, with per-probe events) for post-hoc analysis with
+// `experiments -trace`:
+//
+//	rdnsscan -server 127.0.0.1:5353 -prefix 10.0.0.0/20 -trace-out sweep.jsonl
+//	experiments -trace sweep.jsonl
+//
+// See docs/telemetry.md for metric names and the trace schema.
+//
 // Interrupting a sweep (Ctrl-C) cancels the engine's context: workers
 // drain, the partial tally is reported, and the process exits cleanly.
 package main
@@ -38,12 +55,18 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"time"
 
 	"rdnsprivacy/internal/dnsclient"
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/telemetry"
 )
+
+// lastHealth holds the most recent sweep's HealthReport for the /health
+// endpoint (nil until a resilient sweep completes).
+var lastHealth atomic.Pointer[scanengine.HealthReport]
 
 func main() {
 	server := flag.String("server", "127.0.0.1:5353", "name server host:port")
@@ -66,6 +89,8 @@ func main() {
 	axfr := flag.String("axfr", "", "attempt an AXFR of the given zone over TCP instead of scanning")
 	watch := flag.Bool("watch", false, "poll the prefix and print record-set changes")
 	interval := flag.Duration("interval", 30*time.Second, "polling interval for -watch")
+	metricsAddr := flag.String("metrics-addr", "", "serve telemetry over HTTP on this address: /metrics (Prometheus), /debug/vars (JSON), /debug/pprof/, /health, /trace (see docs/telemetry.md)")
+	traceOut := flag.String("trace-out", "", "write the sweep span log to this file as JSONL for `experiments -trace`")
 	flag.Parse()
 
 	client := &dnsclient.UDPClient{Server: *server, Timeout: *timeout, Retries: *retries}
@@ -137,12 +162,31 @@ func main() {
 		}))
 	}
 
+	var tracer *telemetry.Tracer
+	if *metricsAddr != "" || *traceOut != "" {
+		reg := telemetry.NewRegistry()
+		tracer = telemetry.NewTracer(*seed, 0)
+		opts = append(opts, scanengine.WithTelemetry(reg), scanengine.WithTracer(tracer))
+		if *metricsAddr != "" {
+			exp := telemetry.NewExporter(reg,
+				telemetry.WithExporterTracer(tracer),
+				telemetry.WithExporterHealth(func() any { return lastHealth.Load() }))
+			addr, err := exp.Start(*metricsAddr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrics endpoint: %v\n", err)
+				os.Exit(1)
+			}
+			defer exp.Close()
+			fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", addr)
+		}
+	}
 	if *watch {
 		if *prefix == "" {
 			fmt.Fprintln(os.Stderr, "-watch needs -prefix")
 			os.Exit(2)
 		}
 		watchLoop(ctx, client, targets, *interval, opts)
+		dumpTrace(tracer, *traceOut)
 		return
 	}
 
@@ -178,10 +222,33 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "scanned %d addresses: %d records, %d errors\n",
 		snap.Stats.Probes, snap.Stats.Found, snap.Stats.Errors)
+	if snap != nil && snap.Health != nil {
+		lastHealth.Store(snap.Health)
+	}
 	printHealth(snap)
+	dumpTrace(tracer, *traceOut)
 	if err != nil {
 		os.Exit(1)
 	}
+}
+
+// dumpTrace writes the tracer's span log as JSONL, the input format of
+// `experiments -trace`. No-ops when tracing is off or no path was given.
+func dumpTrace(tracer *telemetry.Tracer, path string) {
+	if tracer == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := tracer.WriteJSONL(f); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %d spans to %s\n", tracer.Len(), path)
 }
 
 // printHealth summarizes the resilience layer's HealthReport on stderr
@@ -218,6 +285,9 @@ func watchLoop(ctx context.Context, client *dnsclient.UDPClient, targets []dnswi
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep interrupted: %v\n", err)
 			return
+		}
+		if snap.Health != nil {
+			lastHealth.Store(snap.Health)
 		}
 		now := time.Now().Format("15:04:05")
 		for _, ch := range snap.Changes {

@@ -23,6 +23,7 @@ import (
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/fabric"
 	"rdnsprivacy/internal/simclock"
+	"rdnsprivacy/internal/telemetry"
 )
 
 // Outcome classifies a completed lookup.
@@ -144,6 +145,9 @@ type Config struct {
 	RetryServFail bool
 	// Seed seeds the backoff jitter PRNG, for reproducible schedules.
 	Seed int64
+	// Telemetry, when non-nil, receives the resolver's metrics (see
+	// telemetry.go for the names). Usually set via WithTelemetry.
+	Telemetry telemetry.Sink
 }
 
 // Resolver sends queries over a fabric and matches responses, handling
@@ -153,6 +157,7 @@ type Resolver struct {
 	clock simclock.Clock
 	cfg   Config
 	ep    *fabric.Endpoint
+	met   *clientMetrics // nil when telemetry is off
 
 	mu       sync.Mutex
 	nextID   uint16
@@ -206,6 +211,9 @@ func New(fab *fabric.Fabric, cfg Config) (*Resolver, error) {
 		cfg:      cfg,
 		inflight: make(map[uint16]*pendingQuery),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Telemetry != nil {
+		r.met = newClientMetrics(cfg.Telemetry)
 	}
 	ep, err := fab.Bind(cfg.Bind, r.handleResponse)
 	if err != nil {
@@ -270,7 +278,9 @@ func (r *Resolver) start(ctx context.Context, q dnswire.Question, done func(Resp
 		r.mu.Lock()
 		r.stats.Canceled++
 		r.mu.Unlock()
-		done(Response{Question: q, Outcome: OutcomeCanceled, When: r.clock.Now(), Cause: err})
+		resp := Response{Question: q, Outcome: OutcomeCanceled, When: r.clock.Now(), Cause: err}
+		r.met.countOutcome(resp)
+		done(resp)
 		return
 	}
 	r.mu.Lock()
@@ -280,7 +290,9 @@ func (r *Resolver) start(ctx context.Context, q dnswire.Question, done func(Resp
 	wire, err := msg.Marshal()
 	if err != nil {
 		r.mu.Unlock()
-		done(Response{Question: q, Outcome: OutcomeMalformed, When: r.clock.Now()})
+		resp := Response{Question: q, Outcome: OutcomeMalformed, When: r.clock.Now()}
+		r.met.countOutcome(resp)
+		done(resp)
 		return
 	}
 	pending := &pendingQuery{
@@ -295,6 +307,9 @@ func (r *Resolver) start(ctx context.Context, q dnswire.Question, done func(Resp
 	displaced := r.inflight[id]
 	r.inflight[id] = pending
 	r.stats.Queries++
+	if m := r.met; m != nil {
+		m.queries.Inc()
+	}
 	var displacedTimer simclock.Timer
 	var displacedAttempts int
 	if displaced != nil {
@@ -403,6 +418,9 @@ func (r *Resolver) retry(id uint16, p *pendingQuery) {
 		r.transmit(id, p)
 		return
 	}
+	if m := r.met; m != nil {
+		m.backoffSleeps.Inc()
+	}
 	r.clock.AfterFunc(delay, func() {
 		r.mu.Lock()
 		cur, ok := r.inflight[id]
@@ -432,6 +450,9 @@ func (r *Resolver) transmit(id uint16, p *pendingQuery) {
 	epoch := p.attempts
 	if epoch > 1 {
 		r.stats.Retransmit++
+		if m := r.met; m != nil {
+			m.retransmits.Inc()
+		}
 	}
 	r.mu.Unlock()
 	// Send outside the lock: a simulated fabric may deliver the response
@@ -579,6 +600,9 @@ func classify(q dnswire.Question, msg *dnswire.Message, attempts int, rtt time.D
 }
 
 func (r *Resolver) finish(p *pendingQuery, resp Response) {
+	// Every completion funnels through here, so this is the one place the
+	// per-outcome counters and the latency histogram tick.
+	r.met.countOutcome(resp)
 	if p.ctxStop != nil {
 		p.ctxStop()
 	}

@@ -104,6 +104,7 @@ type Server struct {
 	mu            sync.RWMutex
 	zones         map[dnswire.Name]*Zone
 	failure       atomic.Pointer[failureState]
+	met           atomic.Pointer[serverMetrics]
 	stats         counters
 	updatePolicy  UpdatePolicy
 	allowTransfer bool
@@ -182,12 +183,20 @@ func (s *Server) Stats() ServerStats {
 
 // findZone returns the most-specific zone containing name. Zone origins are
 // map keys, so the walk probes each suffix of name directly — left to right,
-// longest (most specific) first — instead of iterating every zone.
-func (s *Server) findZone(name dnswire.Name) *Zone {
+// longest (most specific) first — instead of iterating every zone. When met
+// is non-nil the number of suffix probes is recorded as the zone-walk depth.
+func (s *Server) findZone(name dnswire.Name, met *serverMetrics) *Zone {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	ns := string(name)
+	depth := 0
+	defer func() {
+		if met != nil {
+			met.zoneWalkDepth.Observe(float64(depth))
+		}
+	}()
 	for start := 0; start < len(ns); {
+		depth++
 		if z, ok := s.zones[dnswire.Name(ns[start:])]; ok {
 			return z
 		}
@@ -197,6 +206,7 @@ func (s *Server) findZone(name dnswire.Name) *Zone {
 		}
 		start += dot + 1
 	}
+	depth++
 	if z, ok := s.zones[dnswire.Root]; ok {
 		return z
 	}
@@ -208,9 +218,16 @@ func (s *Server) findZone(name dnswire.Name) *Zone {
 // and injected drops).
 func (s *Server) HandleQuery(query []byte) []byte {
 	s.stats.queries.Add(1)
+	met := s.met.Load()
+	if met != nil {
+		met.queries.Inc()
+	}
 	msg, err := dnswire.Unmarshal(query)
 	if err != nil || msg.Header.Response {
 		s.stats.malformed.Add(1)
+		if met != nil {
+			met.dropped.Inc()
+		}
 		return nil
 	}
 	var injectServFail bool
@@ -218,6 +235,9 @@ func (s *Server) HandleQuery(query []byte) []byte {
 		drop, servFail := fs.decide(msg.Questions[0].Name)
 		if drop {
 			s.stats.dropped.Add(1)
+			if met != nil {
+				met.dropped.Inc()
+			}
 			return nil
 		}
 		injectServFail = servFail
@@ -227,14 +247,23 @@ func (s *Server) HandleQuery(query []byte) []byte {
 	case injectServFail:
 		resp = dnswire.NewResponse(msg, dnswire.RCodeServFail)
 		s.stats.servFail.Add(1)
+		if met != nil {
+			met.servFail.Inc()
+		}
 	case msg.Header.OpCode == dnswire.OpUpdate:
 		resp = s.applyUpdate(msg)
 	case msg.Header.OpCode != dnswire.OpQuery:
 		resp = dnswire.NewResponse(msg, dnswire.RCodeNotImp)
 		s.stats.notImp.Add(1)
+		if met != nil {
+			met.notImp.Inc()
+		}
 	case len(msg.Questions) != 1:
 		resp = dnswire.NewResponse(msg, dnswire.RCodeFormErr)
 		s.stats.formErr.Add(1)
+		if met != nil {
+			met.formErr.Inc()
+		}
 	default:
 		resp = s.resolve(msg)
 	}
@@ -247,9 +276,13 @@ func (s *Server) HandleQuery(query []byte) []byte {
 
 func (s *Server) resolve(msg *dnswire.Message) *dnswire.Message {
 	q := msg.Questions[0]
-	zone := s.findZone(q.Name)
+	met := s.met.Load()
+	zone := s.findZone(q.Name, met)
 	if zone == nil {
 		s.stats.refused.Add(1)
+		if met != nil {
+			met.refused.Inc()
+		}
 		return dnswire.NewResponse(msg, dnswire.RCodeRefused)
 	}
 	answers, authority, rcode := zone.answer(q)
@@ -260,8 +293,14 @@ func (s *Server) resolve(msg *dnswire.Message) *dnswire.Message {
 	switch rcode {
 	case dnswire.RCodeNXDomain:
 		s.stats.nxDomain.Add(1)
+		if met != nil {
+			met.nxDomain.Inc()
+		}
 	default:
 		s.stats.noError.Add(1)
+		if met != nil {
+			met.noError.Inc()
+		}
 	}
 	return resp
 }

@@ -1,0 +1,110 @@
+package dynamicity
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/netsim"
+	"rdnsprivacy/internal/scan"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenCampusVerdicts pins the heuristic's full per-/24 verdict table
+// on the seeded validation campus (the paper's Section 4.1 ground-truth
+// network). The fabric, the campaign, and the heuristic are all
+// deterministic, so the complete output — every prefix's considered flag,
+// dynamic label, max daily count and change-day tally — is checked in as
+// testdata/campus_seed7.golden. Regenerate with `go test -run Golden
+// -update ./internal/dynamicity/`.
+func TestGoldenCampusVerdicts(t *testing.T) {
+	campus, truth, err := netsim.BuildValidationCampus(7, time.UTC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := scan.Run(scan.Campaign{
+		Universe: &netsim.Universe{Networks: []*netsim.Network{campus}},
+		Start:    time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:      time.Date(2021, 3, 31, 0, 0, 0, 0, time.UTC),
+		Cadence:  scan.Daily,
+	})
+	verdict := Analyze(res.Series, PaperConfig())
+
+	// Sanity against the generator's ground truth before trusting the
+	// rendered table: every known-dynamic prefix must be flagged.
+	for _, p := range truth["dynamic"] {
+		if !verdict.IsDynamic(p) {
+			t.Errorf("ground-truth dynamic prefix %s not flagged", p)
+		}
+	}
+
+	got := renderVerdicts(verdict)
+	compareGolden(t, "campus_seed7.golden", got)
+}
+
+// renderVerdicts formats a Result as a stable text table: summary line,
+// then one CSV row per /24 sorted by address.
+func renderVerdicts(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "config: min=%d X=%g Y=%d\n",
+		res.Config.MinAddresses, res.Config.ChangePercent, res.Config.MinChangeDays)
+	fmt.Fprintf(&b, "prefixes: total=%d considered=%d dynamic=%d\n",
+		res.TotalPrefixes, res.ConsideredPrefixes, len(res.DynamicPrefixes))
+	b.WriteString("prefix,considered,dynamic,max_daily,change_days\n")
+	rows := make([]PrefixVerdict, 0, len(res.Verdicts))
+	for _, v := range res.Verdicts {
+		rows = append(rows, v)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i].Prefix.Addr.Uint32() < rows[j].Prefix.Addr.Uint32()
+	})
+	for _, v := range rows {
+		fmt.Fprintf(&b, "%s,%t,%t,%d,%d\n",
+			v.Prefix, v.Considered, v.Dynamic, v.MaxDaily, v.ChangeDays)
+	}
+	return b.String()
+}
+
+// compareGolden diffs got against testdata/<name>, rewriting the file
+// under -update.
+func compareGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("golden mismatch at %s:%d\n got: %q\nwant: %q", path, i+1, g, w)
+		}
+	}
+	t.Fatalf("golden mismatch against %s (equal lines, differing whitespace?)", path)
+}

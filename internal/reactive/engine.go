@@ -11,6 +11,7 @@ import (
 	"rdnsprivacy/internal/fabric"
 	"rdnsprivacy/internal/icmp"
 	"rdnsprivacy/internal/simclock"
+	"rdnsprivacy/internal/telemetry"
 )
 
 // Target is one network under supplemental measurement.
@@ -52,6 +53,10 @@ type Config struct {
 	CooldownCap time.Duration
 	// Blocklist removes opted-out space from probing.
 	Blocklist []dnswire.Prefix
+	// Telemetry, when non-nil, receives the engine's metrics (sweep,
+	// probe, group-lifecycle and PTR-removal counters — see telemetry.go)
+	// and is handed to the per-target resolvers for the dnsclient metrics.
+	Telemetry telemetry.Sink
 }
 
 // Engine runs the supplemental measurement on a fabric. Create one with
@@ -65,6 +70,7 @@ type Engine struct {
 	prober    *icmp.Prober
 	resolvers map[string]*dnsclient.Resolver
 	tickers   []*simclock.Ticker
+	met       *reactiveMetrics // nil when telemetry is off
 
 	mu      sync.Mutex
 	started bool
@@ -228,6 +234,9 @@ func NewEngine(fab *fabric.Fabric, cfg Config) (*Engine, error) {
 		state:     make(map[dnswire.IPv4]*hostState),
 		results:   newResults(),
 	}
+	if cfg.Telemetry != nil {
+		e.met = newReactiveMetrics(cfg.Telemetry)
+	}
 	prober, err := icmp.NewProber(fab, icmp.ProberConfig{
 		Vantage:   cfg.VantageICMP,
 		Timeout:   cfg.ProbeTimeout,
@@ -240,12 +249,18 @@ func NewEngine(fab *fabric.Fabric, cfg Config) (*Engine, error) {
 	e.prober = prober
 	for i := range cfg.Targets {
 		t := &cfg.Targets[i]
-		res, err := dnsclient.NewResolver(fab,
+		opts := []dnsclient.Option{
 			dnsclient.WithBind(fabric.Addr{IP: cfg.VantageDNS, Port: uint16(40000 + i)}),
 			dnsclient.WithServer(t.DNS),
 			dnsclient.WithTimeout(cfg.DNSTimeout),
 			dnsclient.WithRetries(cfg.DNSRetries),
-		)
+		}
+		if cfg.Telemetry != nil {
+			// All per-target resolvers share one sink, so the dnsclient
+			// counters aggregate across targets.
+			opts = append(opts, dnsclient.WithTelemetry(cfg.Telemetry))
+		}
+		res, err := dnsclient.NewResolver(fab, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("reactive: resolver for %s: %w", t.Name, err)
 		}
@@ -304,10 +319,16 @@ func (e *Engine) Results() *Results {
 
 // sweepAll probes every targeted address once.
 func (e *Engine) sweepAll(now time.Time) {
+	if m := e.met; m != nil {
+		m.sweeps.Inc()
+	}
 	for i := range e.cfg.Targets {
 		t := &e.cfg.Targets[i]
 		for _, p := range t.Prefixes {
 			n := p.NumAddresses()
+			if m := e.met; m != nil {
+				m.icmpProbes.Add(uint64(n))
+			}
 			for a := 0; a < n; a++ {
 				ip := p.Nth(a)
 				e.prober.Probe(ip, func(r icmp.ProbeResult) {
@@ -379,6 +400,9 @@ func (e *Engine) onProbe(t *Target, r icmp.ProbeResult) {
 
 // openGroupLocked starts a new activity group. Caller holds e.mu.
 func (e *Engine) openGroupLocked(hs *hostState, ip dnswire.IPv4, now time.Time) {
+	if m := e.met; m != nil {
+		m.groupsOpened.Inc()
+	}
 	e.groupID++
 	hs.phase = phaseActive
 	hs.backoff = NewBackoff(e.cfg.Backoff)
@@ -397,6 +421,12 @@ func (e *Engine) closeGroupLocked(hs *hostState, interrupted bool) {
 	g := hs.group
 	if g == nil {
 		return
+	}
+	if m := e.met; m != nil {
+		m.groupsClosed.Inc()
+		if interrupted {
+			m.groupsInterr.Inc()
+		}
 	}
 	g.Interrupted = interrupted
 	g.Complete = g.PTRSeen && !g.PTRRemovedAt.IsZero() && !interrupted
@@ -436,6 +466,10 @@ func (e *Engine) scheduleReactiveProbe(hs *hostState, ip dnswire.IPv4) {
 		return
 	}
 	hs.timer = e.clock.AfterFunc(delay, func() {
+		if m := e.met; m != nil {
+			m.icmpProbes.Inc()
+			m.backoffProbes.Inc()
+		}
 		e.prober.Probe(ip, func(r icmp.ProbeResult) {
 			e.onProbe(hs.target, r)
 			if r.Alive {
@@ -522,6 +556,9 @@ func (e *Engine) followUpPTR(hs *hostState, ip dnswire.IPv4, g *Group, started t
 				}
 			case dnsclient.OutcomeNXDomain:
 				g.PTRRemovedAt = truncate5(now)
+				if m := e.met; m != nil {
+					m.ptrRemovals.Inc()
+				}
 				e.closeGroupLocked(hs, false)
 				e.mu.Unlock()
 				return
@@ -552,6 +589,9 @@ func (e *Engine) followUpPTR(hs *hostState, ip dnswire.IPv4, g *Group, started t
 
 // recordICMPLocked books a successful ICMP response. Caller holds e.mu.
 func (e *Engine) recordICMPLocked(t *Target, ip dnswire.IPv4, now time.Time) {
+	if m := e.met; m != nil {
+		m.icmpAlive.Inc()
+	}
 	r := e.results
 	r.ICMPResponses++
 	r.icmpIPs[ip] = struct{}{}
@@ -567,6 +607,9 @@ func (e *Engine) recordICMPLocked(t *Target, ip dnswire.IPv4, now time.Time) {
 
 // recordDNS books a DNS response for error accounting and Table 3.
 func (e *Engine) recordDNS(t *Target, ip dnswire.IPv4, resp dnsclient.Response) {
+	if m := e.met; m != nil {
+		m.rdnsLookups.Inc()
+	}
 	now := e.clock.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()

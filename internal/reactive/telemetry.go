@@ -1,0 +1,51 @@
+package reactive
+
+import (
+	"rdnsprivacy/internal/telemetry"
+)
+
+// Metric names the engine registers when Config.Telemetry is set.
+const (
+	// MetricSweeps counts full-target ICMP sweeps started.
+	MetricSweeps = "reactive_sweeps_total"
+	// MetricICMPProbes counts ICMP probes transmitted (sweep and
+	// reactive); MetricBackoffProbes counts just the reactive back-off
+	// re-probes of active hosts.
+	MetricICMPProbes    = "reactive_icmp_probes_total"
+	MetricBackoffProbes = "reactive_backoff_probes_total"
+	// MetricICMPAlive counts successful ICMP responses.
+	MetricICMPAlive = "reactive_icmp_alive_total"
+	// MetricGroupsOpened / MetricGroupsClosed / MetricGroupsInterrupted
+	// count activity-group lifecycle events (interrupted groups are also
+	// counted closed).
+	MetricGroupsOpened      = "reactive_groups_opened_total"
+	MetricGroupsClosed      = "reactive_groups_closed_total"
+	MetricGroupsInterrupted = "reactive_groups_interrupted_total"
+	// MetricPTRRemovals counts PTR removals observed during follow-up
+	// (the NXDOMAIN that closes a group with a removal timestamp).
+	MetricPTRRemovals = "reactive_ptr_removals_total"
+	// MetricRDNSLookups counts completed rDNS lookups across all phases.
+	MetricRDNSLookups = "reactive_rdns_lookups_total"
+)
+
+// reactiveMetrics holds the engine's pre-resolved instrument handles;
+// nil when telemetry is off.
+type reactiveMetrics struct {
+	sweeps, icmpProbes, backoffProbes, icmpAlive *telemetry.Counter
+	groupsOpened, groupsClosed, groupsInterr     *telemetry.Counter
+	ptrRemovals, rdnsLookups                     *telemetry.Counter
+}
+
+func newReactiveMetrics(sink telemetry.Sink) *reactiveMetrics {
+	return &reactiveMetrics{
+		sweeps:        sink.Counter(MetricSweeps),
+		icmpProbes:    sink.Counter(MetricICMPProbes),
+		backoffProbes: sink.Counter(MetricBackoffProbes),
+		icmpAlive:     sink.Counter(MetricICMPAlive),
+		groupsOpened:  sink.Counter(MetricGroupsOpened),
+		groupsClosed:  sink.Counter(MetricGroupsClosed),
+		groupsInterr:  sink.Counter(MetricGroupsInterrupted),
+		ptrRemovals:   sink.Counter(MetricPTRRemovals),
+		rdnsLookups:   sink.Counter(MetricRDNSLookups),
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/netsim"
 	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/telemetry"
 )
 
 // Cadence is a snapshot frequency.
@@ -75,6 +76,10 @@ type Campaign struct {
 	// Workers bounds the snapshot engine's worker pool. Zero means the
 	// engine default (GOMAXPROCS).
 	Workers int
+	// Telemetry, when set, receives the snapshot engine's metrics
+	// (the scan_* instruments; see docs/telemetry.md). Nil keeps the
+	// engine on its zero-overhead path.
+	Telemetry telemetry.Sink
 }
 
 // Targets returns the campaign's sweep coverage, for scanengine.Request.
@@ -87,6 +92,9 @@ func (c *Campaign) engineOptions() []scanengine.Option {
 	var opts []scanengine.Option
 	if c.Workers > 0 {
 		opts = append(opts, scanengine.WithWorkers(c.Workers))
+	}
+	if c.Telemetry != nil {
+		opts = append(opts, scanengine.WithTelemetry(c.Telemetry))
 	}
 	return opts
 }

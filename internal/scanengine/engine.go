@@ -10,6 +10,7 @@ import (
 
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/simclock"
+	"rdnsprivacy/internal/telemetry"
 )
 
 // Scanner is the sharded snapshot engine. Create one with New; it is safe
@@ -27,6 +28,8 @@ type Scanner struct {
 	probeEvents bool
 	rate        *rateGate
 	resil       *ResilienceConfig
+	met         *engineMetrics
+	tracer      *telemetry.Tracer
 
 	cache *negCache
 
@@ -330,6 +333,9 @@ func (s *Scanner) Scan(ctx context.Context, req Request) (*Snapshot, error) {
 		baseline = s.prev
 	}
 
+	if m := s.met; m != nil {
+		m.sweeps.Inc()
+	}
 	s.emit(Event{Kind: EventSweepStart, At: at, ShardsTotal: len(shards)})
 
 	// Lookup stage: a bounded pool of workers draining the shard queue.
@@ -358,6 +364,8 @@ func (s *Scanner) Scan(ctx context.Context, req Request) (*Snapshot, error) {
 	// close the channel, so cancellation cannot leak goroutines.
 	var changes []Change
 	var healths []ShardHealth
+	var totals ResilienceTotals
+	var degraded []dnswire.Prefix
 	if s.resil != nil {
 		healths = make([]ShardHealth, len(shards))
 		for i, sh := range shards {
@@ -379,14 +387,31 @@ func (s *Scanner) Scan(ctx context.Context, req Request) (*Snapshot, error) {
 			snap.Stats.Absent += uint64(msg.tally.Probes - msg.tally.Found - msg.tally.Errors)
 			snap.Stats.Skipped += uint64(msg.tally.Skipped)
 			if msg.health != nil && healths != nil {
+				// One accumulation here feeds Stats, HealthReport.Totals
+				// and the degraded list; the exported telemetry counters
+				// tick at the event sites themselves, so the report and
+				// /metrics agree by construction, not by parallel
+				// bookkeeping.
 				h := *msg.health
 				h.Probes = msg.tally.Probes
 				h.Found = msg.tally.Found
 				h.Errors = msg.tally.Errors
 				h.Skipped = msg.tally.Skipped
 				healths[msg.shard] = h
-				snap.Stats.Retries += uint64(h.Retries)
-				snap.Stats.Hedges += uint64(h.Hedges)
+				totals.Attempts += h.Attempts
+				totals.Retries += h.Retries
+				totals.Throttled += h.Throttled
+				totals.Hedges += h.Hedges
+				totals.HedgeWins += h.HedgeWins
+				totals.Skipped += h.Skipped
+				for _, ev := range h.Breaker {
+					if ev.State == BreakerOpen {
+						totals.BreakerOpens++
+					}
+				}
+				if h.Degraded {
+					degraded = append(degraded, h.Shard)
+				}
 			}
 			shardsDone++
 			s.emit(Event{
@@ -422,27 +447,17 @@ func (s *Scanner) Scan(ctx context.Context, req Request) (*Snapshot, error) {
 	snap.Partial = ctx.Err() != nil
 	var degradedIdx *shardIndex
 	if healths != nil {
-		report := &HealthReport{Shards: healths}
-		for _, h := range healths {
-			report.Totals.Attempts += h.Attempts
-			report.Totals.Retries += h.Retries
-			report.Totals.Throttled += h.Throttled
-			report.Totals.Hedges += h.Hedges
-			report.Totals.HedgeWins += h.HedgeWins
-			report.Totals.Skipped += h.Skipped
-			for _, ev := range h.Breaker {
-				if ev.State == BreakerOpen {
-					report.Totals.BreakerOpens++
-				}
-			}
-			if h.Degraded {
-				report.Degraded = append(report.Degraded, h.Shard)
-			}
-		}
-		snap.Health = report
-		snap.Degraded = len(report.Degraded) > 0
+		// Stats and the report share the totals accumulated in the merge
+		// loop — there is no second tally to drift from.
+		snap.Stats.Retries = uint64(totals.Retries)
+		snap.Stats.Hedges = uint64(totals.Hedges)
+		snap.Health = &HealthReport{Shards: healths, Degraded: degraded, Totals: totals}
+		snap.Degraded = len(degraded) > 0
 		if snap.Degraded {
-			degradedIdx = newShardIndex(report.Degraded)
+			if m := s.met; m != nil {
+				m.shardsDegraded.Add(uint64(len(degraded)))
+			}
+			degradedIdx = newShardIndex(degraded)
 		}
 	}
 	if !snap.Partial && baseline != nil {
@@ -451,16 +466,25 @@ func (s *Scanner) Scan(ctx context.Context, req Request) (*Snapshot, error) {
 		// not fully probed, so absence there proves nothing and is
 		// excluded.
 		index := newShardIndex(shards)
+		excluded := 0
 		for ip, old := range baseline {
 			if _, ok := snap.Records[ip]; ok || !index.contains(ip) {
 				continue
 			}
 			if degradedIdx != nil && degradedIdx.contains(ip) {
+				excluded++
 				continue
 			}
 			ch := Change{Kind: RecordRemoved, IP: ip, Old: old}
 			changes = append(changes, ch)
 			s.emit(Event{Kind: EventChange, At: s.clock.Now(), Change: ch})
+		}
+		if excluded > 0 {
+			// degradedIdx is only built when snap.Health exists.
+			snap.Health.RemovalsExcluded = excluded
+			if m := s.met; m != nil {
+				m.removalsExcluded.Add(uint64(excluded))
+			}
 		}
 	}
 	if baseline != nil && !snap.Partial {
@@ -471,6 +495,9 @@ func (s *Scanner) Scan(ctx context.Context, req Request) (*Snapshot, error) {
 		s.prev = snap.Records
 	}
 	snap.Elapsed = s.clock.Now().Sub(started)
+	if m := s.met; m != nil {
+		m.sweepSeconds.Observe(snap.Elapsed.Seconds())
+	}
 
 	s.emit(Event{
 		Kind: EventSweepDone, At: s.clock.Now(), Snapshot: snap,
@@ -495,7 +522,34 @@ func (s *Scanner) Previous() RecordSet {
 func (s *Scanner) runShard(ctx context.Context, si int, shard dnswire.Prefix, at time.Time, out chan<- mergeMsg) {
 	var tally ShardStatus
 	resil := s.newShardResil(shard)
+	met := s.met
+	var sp *telemetry.Span
+	if s.tracer != nil {
+		// The span ID derives from the tracer seed and the shard address,
+		// never from scheduling, so replayed sweeps trace identically.
+		sp = s.tracer.StartSpan("shard", shard.String(), uint64(shard.Addr.Uint32()), uint64(shard.Bits))
+		defer sp.End()
+	}
+	if resil != nil {
+		resil.met = met
+		resil.span = sp
+	}
+	if met != nil {
+		met.shardsInflight.Add(1)
+		defer met.shardsInflight.Add(-1)
+	}
 	send := func(msg mergeMsg) bool {
+		if met != nil {
+			// Backpressure visibility: note sends that would block on the
+			// merge stage before waiting on it. Off the instrumented path
+			// this extra select does not exist.
+			select {
+			case out <- msg:
+				return true
+			default:
+				met.mergeStalls.Inc()
+			}
+		}
 		select {
 		case out <- msg:
 			return true
@@ -516,17 +570,28 @@ func (s *Scanner) runShard(ctx context.Context, si int, shard dnswire.Prefix, at
 	if s.shardSc != nil {
 		err := s.shardSc.ScanShard(ctx, shard, at, func(res Result) {
 			tally.Probes++
+			code := TraceProbeAbsent
 			if res.Found {
 				tally.Found++
+				code = TraceProbeFound
 			} else if res.Err != nil {
 				tally.Errors++
+				code = TraceProbeError
 			}
+			if met != nil {
+				met.probes.Inc()
+				countOutcome(met, code)
+			}
+			sp.Event("probe", code)
 			if res.Found || res.Err != nil || s.probeEvents {
 				send(mergeMsg{shard: si, res: res})
 			}
 		})
 		if err != nil && ctx.Err() == nil {
 			tally.Errors++
+			if met != nil {
+				met.errs.Inc()
+			}
 		}
 		return
 	}
@@ -540,9 +605,19 @@ func (s *Scanner) runShard(ctx context.Context, si int, shard dnswire.Prefix, at
 		var res Result
 		if s.cache.hit(ip) {
 			res = Result{IP: ip, Cached: true}
+			if met != nil {
+				met.cacheHits.Inc()
+			}
 		} else {
+			if met != nil && s.cache != nil {
+				met.cacheMisses.Inc()
+			}
 			if err := s.rate.wait(ctx); err != nil {
 				return
+			}
+			var t0 time.Time
+			if met != nil {
+				t0 = s.clock.Now()
 			}
 			if resil != nil {
 				res = resil.lookup(ctx, s, ip, i)
@@ -550,17 +625,31 @@ func (s *Scanner) runShard(ctx context.Context, si int, shard dnswire.Prefix, at
 				res = s.src.LookupPTR(ctx, ip)
 				res.IP = ip
 			}
+			if met != nil {
+				met.queries.Inc()
+				met.probeSeconds.Observe(s.clock.Now().Sub(t0).Seconds())
+			}
 			if res.Absent() {
 				s.cache.put(ip)
 			}
 		}
 		tally.Probes++
+		code := TraceProbeAbsent
 		switch {
 		case res.Found:
 			tally.Found++
+			code = TraceProbeFound
 		case res.Err != nil:
 			tally.Errors++
+			code = TraceProbeError
+		case res.Cached:
+			code = TraceProbeCached
 		}
+		if met != nil {
+			met.probes.Inc()
+			countOutcome(met, code)
+		}
+		sp.Event("probe", code)
 		if res.Found || res.Err != nil || res.Cached || s.probeEvents {
 			if !send(mergeMsg{shard: si, res: res}) {
 				return
@@ -571,8 +660,25 @@ func (s *Scanner) runShard(ctx context.Context, si int, shard dnswire.Prefix, at
 			// exhausted; abandon its remaining addresses and account for
 			// them instead of grinding through more open/probe cycles.
 			tally.Skipped = n - i - 1
+			if met != nil {
+				met.skipped.Add(uint64(tally.Skipped))
+			}
 			return
 		}
+	}
+}
+
+// countOutcome buckets one probe outcome into the found/error/absent
+// counters; cached hits are authoritative absences, so they count absent,
+// keeping scan_absent_total equal to Stats.Absent.
+func countOutcome(met *engineMetrics, code uint64) {
+	switch code {
+	case TraceProbeFound:
+		met.found.Inc()
+	case TraceProbeError:
+		met.errs.Inc()
+	default:
+		met.absent.Inc()
 	}
 }
 

@@ -1,0 +1,145 @@
+package scanengine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"rdnsprivacy/internal/dnswire"
+)
+
+// TestEventsStreamProperties is a property test over the subscriber event
+// stream: for 100 seeded random sweeps (varying prefix count, prefix
+// length, record density, and worker count) the stream must satisfy the
+// ordering and uniqueness invariants the CLI and the reactive consumers
+// rely on:
+//
+//   - exactly one EventSweepStart, delivered before everything else;
+//   - exactly one EventSweepDone, delivered after everything else, and
+//     carrying the snapshot;
+//   - one EventShardDone per shard with ShardsDone strictly increasing
+//     up to ShardsTotal;
+//   - with WithResultEvents, exactly one EventResult per address of the
+//     sweep — no duplicates, no omissions, none out of range — matching
+//     Stats.Probes.
+func TestEventsStreamProperties(t *testing.T) {
+	for seed := uint64(1); seed <= 100; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := testSplitmix(seed)
+			// 1-3 prefixes of 26-24 bits, disjoint by construction
+			// (distinct /16 per prefix index).
+			nPrefixes := 1 + int(rng()%3)
+			var targets []dnswire.Prefix
+			records := map[dnswire.IPv4]dnswire.Name{}
+			want := map[dnswire.IPv4]bool{}
+			for pi := 0; pi < nPrefixes; pi++ {
+				bits := 24 + int(rng()%3)
+				base := dnswire.MustIPv4(fmt.Sprintf("10.%d.%d.0", seed%200, pi))
+				p := dnswire.Prefix{Addr: base, Bits: bits}
+				targets = append(targets, p)
+				n := p.NumAddresses()
+				for i := 0; i < n; i++ {
+					ip := p.Nth(i)
+					want[ip] = true
+					// ~1/4 of addresses carry a PTR.
+					if rng()%4 == 0 {
+						records[ip] = dnswire.MustName(fmt.Sprintf("h%d.example.org", ip.Uint32()))
+					}
+				}
+			}
+			workers := 1 + int(rng()%8)
+
+			sc := New(newCountingSource(records),
+				WithWorkers(workers), WithShardBits(25), WithResultEvents())
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			events := sc.Events(ctx)
+
+			type streamCheck struct {
+				starts, dones, shardDones int
+				lastShardsDone            int
+				shardsTotal               int
+				seen                      map[dnswire.IPv4]int
+				violation                 string
+			}
+			chk := &streamCheck{seen: map[dnswire.IPv4]int{}}
+			collected := make(chan struct{})
+			go func() {
+				defer close(collected)
+				for ev := range events {
+					switch ev.Kind {
+					case EventSweepStart:
+						chk.starts++
+						if chk.dones > 0 || chk.shardDones > 0 || len(chk.seen) > 0 {
+							chk.violation = "sweep-start not first"
+						}
+						chk.shardsTotal = ev.ShardsTotal
+					case EventResult:
+						if chk.starts == 0 || chk.dones > 0 {
+							chk.violation = "result outside sweep window"
+						}
+						chk.seen[ev.Result.IP]++
+					case EventShardDone:
+						chk.shardDones++
+						if ev.ShardsDone <= chk.lastShardsDone {
+							chk.violation = fmt.Sprintf(
+								"ShardsDone not increasing: %d after %d",
+								ev.ShardsDone, chk.lastShardsDone)
+						}
+						chk.lastShardsDone = ev.ShardsDone
+					case EventSweepDone:
+						chk.dones++
+						if ev.Snapshot == nil {
+							chk.violation = "sweep-done without snapshot"
+						}
+						return
+					}
+				}
+			}()
+
+			snap, err := sc.Scan(context.Background(), Request{Targets: targets})
+			if err != nil {
+				t.Fatal(err)
+			}
+			<-collected
+
+			if chk.violation != "" {
+				t.Fatal(chk.violation)
+			}
+			if chk.starts != 1 || chk.dones != 1 {
+				t.Fatalf("starts=%d dones=%d, want 1/1", chk.starts, chk.dones)
+			}
+			if chk.shardDones != chk.shardsTotal || chk.lastShardsDone != chk.shardsTotal {
+				t.Fatalf("shard dones=%d last=%d, want total=%d",
+					chk.shardDones, chk.lastShardsDone, chk.shardsTotal)
+			}
+			for ip, n := range chk.seen {
+				if n != 1 {
+					t.Fatalf("address %s emitted %d results, want 1", ip, n)
+				}
+				if !want[ip] {
+					t.Fatalf("result for %s outside the sweep targets", ip)
+				}
+			}
+			if len(chk.seen) != len(want) {
+				t.Fatalf("got %d unique results, want %d", len(chk.seen), len(want))
+			}
+			if uint64(len(chk.seen)) != snap.Stats.Probes {
+				t.Fatalf("results=%d, Stats.Probes=%d", len(chk.seen), snap.Stats.Probes)
+			}
+		})
+	}
+}
+
+// testSplitmix is a deterministic uint64 stream for property-test inputs.
+func testSplitmix(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+}

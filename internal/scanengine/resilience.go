@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/telemetry"
 )
 
 // This file is the scan pipeline's resilience layer: scan-level retries
@@ -215,6 +216,12 @@ type HealthReport struct {
 	Degraded []dnswire.Prefix
 	// Totals aggregates the shard counters.
 	Totals ResilienceTotals
+	// RemovalsExcluded counts baseline records whose removal inference was
+	// suppressed because they sat under a degraded prefix — how much the
+	// degradation cost the longitudinal analysis. Mirrors the
+	// scan_removals_excluded_total metric; not part of Fingerprint (the
+	// fingerprint predates it and covers per-shard ledgers only).
+	RemovalsExcluded int
 }
 
 // Fingerprint hashes the deterministic portion of the report (everything
@@ -261,6 +268,11 @@ type shardResil struct {
 	cfg    *ResilienceConfig
 	health ShardHealth
 	seed   uint64
+	// met and span are set by runShard when telemetry/tracing is on: the
+	// same event sites that write the health ledger tick the exported
+	// counters and the shard span, so the two views cannot drift.
+	met  *engineMetrics
+	span *telemetry.Span
 
 	breaker     BreakerState
 	consecutive int // consecutive final faults while closed
@@ -294,6 +306,9 @@ func (st *shardResil) lookup(ctx context.Context, s *Scanner, ip dnswire.IPv4, p
 	}
 	if st.throttle > 0 {
 		st.health.Throttled++
+		if m := st.met; m != nil {
+			m.throttled.Inc()
+		}
 		if err := s.sleepClock(ctx, st.throttle); err != nil {
 			return Result{IP: ip, Err: err}
 		}
@@ -343,6 +358,9 @@ func (st *shardResil) withRetries(ctx context.Context, s *Scanner, ip dnswire.IP
 	var res Result
 	for attempt := 1; ; attempt++ {
 		st.health.Attempts++
+		if m := st.met; m != nil {
+			m.attempts.Inc()
+		}
 		res = st.probeOnce(ctx, s, ip)
 		if res.Err == nil || attempt >= max || ctx.Err() != nil {
 			return res
@@ -356,6 +374,9 @@ func (st *shardResil) withRetries(ctx context.Context, s *Scanner, ip dnswire.IP
 			}
 			st.bumpThrottle()
 			st.health.Retries++
+			if m := st.met; m != nil {
+				m.retries.Inc()
+			}
 			if err := s.sleepClock(ctx, st.throttle); err != nil {
 				return res
 			}
@@ -365,6 +386,9 @@ func (st *shardResil) withRetries(ctx context.Context, s *Scanner, ip dnswire.IP
 			return res
 		}
 		st.health.Retries++
+		if m := st.met; m != nil {
+			m.retries.Inc()
+		}
 		if d := st.backoff(ip, attempt); d > 0 {
 			if err := s.sleepClock(ctx, d); err != nil {
 				return res
@@ -400,6 +424,9 @@ func (st *shardResil) probeOnce(ctx context.Context, s *Scanner, ip dnswire.IPv4
 	case <-hedgeAt:
 	}
 	st.health.Hedges++
+	if m := st.met; m != nil {
+		m.hedges.Inc()
+	}
 	hedge := make(chan Result, 1)
 	go func() {
 		r := s.src.LookupPTR(ctx, ip)
@@ -411,6 +438,9 @@ func (st *shardResil) probeOnce(ctx context.Context, s *Scanner, ip dnswire.IPv4
 		return r
 	case r := <-hedge:
 		st.health.HedgeWins++
+		if m := st.met; m != nil {
+			m.hedgeWins.Inc()
+		}
 		return r
 	case <-ctx.Done():
 		return Result{IP: ip, Err: ctx.Err()}
@@ -432,6 +462,17 @@ func (st *shardResil) open(probe int) {
 func (st *shardResil) transition(to BreakerState, probe int) {
 	st.breaker = to
 	st.health.Breaker = append(st.health.Breaker, BreakerEvent{State: to, AtProbe: probe})
+	st.span.Event("breaker", uint64(to))
+	if m := st.met; m != nil {
+		switch to {
+		case BreakerOpen:
+			m.breakerOpens.Inc()
+		case BreakerHalfOpen:
+			m.breakerHalf.Inc()
+		case BreakerClosed:
+			m.breakerCl.Inc()
+		}
+	}
 }
 
 func (st *shardResil) bumpThrottle() {

@@ -1,0 +1,208 @@
+package scanengine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/telemetry"
+)
+
+// retryableErr is a transient infrastructure fault (SERVFAIL-like).
+type retryableErr struct{}
+
+func (retryableErr) Error() string        { return "simulated servfail" }
+func (retryableErr) RetryableFault() bool { return true }
+
+// faultRangeSource answers from a record map but fails every probe inside
+// the failing prefix with a retryable fault.
+type faultRangeSource struct {
+	records map[dnswire.IPv4]dnswire.Name
+	failing dnswire.Prefix
+}
+
+func (s *faultRangeSource) LookupPTR(_ context.Context, ip dnswire.IPv4) Result {
+	if s.failing.Contains(ip) {
+		return Result{IP: ip, Err: retryableErr{}}
+	}
+	name, ok := s.records[ip]
+	return Result{IP: ip, Name: name, Found: ok}
+}
+
+func counterVal(reg *telemetry.Registry, name string) uint64 {
+	return reg.Counter(name).Value()
+}
+
+// TestTelemetryCountersMatchStats sweeps twice with the negative cache on
+// and checks the exported counters agree with Snapshot.Stats — the
+// acceptance criterion that /metrics sums consistently with the engine's
+// own accounting.
+func TestTelemetryCountersMatchStats(t *testing.T) {
+	records := map[dnswire.IPv4]dnswire.Name{
+		dnswire.MustIPv4("10.70.0.3"): dnswire.MustName("a.example.org"),
+		dnswire.MustIPv4("10.70.1.9"): dnswire.MustName("b.example.org"),
+	}
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(7, 64)
+	sc := New(newCountingSource(records),
+		WithWorkers(2),
+		WithNegativeTTL(time.Hour),
+		WithTelemetry(reg),
+		WithTracer(tr),
+	)
+	req := Request{Targets: []dnswire.Prefix{
+		dnswire.MustPrefix("10.70.0.0/24"),
+		dnswire.MustPrefix("10.70.1.0/24"),
+	}}
+	s1, err := sc.Scan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sc.Scan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probes := s1.Stats.Probes + s2.Stats.Probes
+	if got := counterVal(reg, MetricProbes); got != probes {
+		t.Errorf("%s = %d, want %d", MetricProbes, got, probes)
+	}
+	cacheHits := s1.Stats.CacheHits + s2.Stats.CacheHits
+	if got := counterVal(reg, MetricCacheHits); got != cacheHits {
+		t.Errorf("%s = %d, want %d", MetricCacheHits, got, cacheHits)
+	}
+	if got, want := counterVal(reg, MetricQueries), probes-cacheHits; got != want {
+		t.Errorf("%s = %d, want probes-cacheHits = %d", MetricQueries, got, want)
+	}
+	if got, want := counterVal(reg, MetricCacheMisses), probes-cacheHits; got != want {
+		t.Errorf("%s = %d, want %d", MetricCacheMisses, got, want)
+	}
+	if got, want := counterVal(reg, MetricFound), s1.Stats.Found+s2.Stats.Found; got != want {
+		t.Errorf("%s = %d, want %d", MetricFound, got, want)
+	}
+	if got, want := counterVal(reg, MetricAbsent), s1.Stats.Absent+s2.Stats.Absent; got != want {
+		t.Errorf("%s = %d, want %d", MetricAbsent, got, want)
+	}
+	if got := counterVal(reg, MetricErrors); got != 0 {
+		t.Errorf("%s = %d, want 0", MetricErrors, got)
+	}
+	if got := counterVal(reg, MetricSweeps); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricSweeps, got)
+	}
+	// The probe latency histogram times exactly the source lookups.
+	lat := reg.Histogram(MetricProbeSeconds, nil)
+	if got, want := lat.Count(), probes-cacheHits; got != want {
+		t.Errorf("%s count = %d, want %d", MetricProbeSeconds, got, want)
+	}
+	if got := reg.Gauge(MetricShardsInflight).Value(); got != 0 {
+		t.Errorf("%s = %d after sweep, want 0", MetricShardsInflight, got)
+	}
+
+	// One span per shard per sweep, one probe event per address.
+	if got := tr.Len(); got != 4 {
+		t.Errorf("tracer has %d spans, want 4 (2 shards x 2 sweeps)", got)
+	}
+}
+
+// TestTelemetryResilienceCountersMatchHealth drives one shard into
+// degradation and checks the exported resilience counters equal
+// HealthReport.Totals, and that the degraded-prefix removal exclusion
+// count matches the exported metric (the satellite-4 invariant).
+func TestTelemetryResilienceCountersMatchHealth(t *testing.T) {
+	failing := dnswire.MustPrefix("10.80.1.0/24")
+	src := &faultRangeSource{
+		records: map[dnswire.IPv4]dnswire.Name{
+			dnswire.MustIPv4("10.80.0.3"): dnswire.MustName("ok.example.org"),
+		},
+		failing: failing,
+	}
+	reg := telemetry.NewRegistry()
+	sc := New(src,
+		WithWorkers(2),
+		WithTelemetry(reg),
+		WithResilience(ResilienceConfig{
+			Retry:   RetryPolicy{MaxAttempts: 2},
+			Breaker: BreakerConfig{Threshold: 3, OpenFor: time.Millisecond, MaxOpens: 1},
+			Seed:    11,
+		}),
+	)
+	// The baseline holds a stale record in each /24; the healthy shard can
+	// prove its removal, the degraded shard cannot.
+	baseline := RecordSet{
+		dnswire.MustIPv4("10.80.0.5"): dnswire.MustName("gone.example.org"),
+		dnswire.MustIPv4("10.80.1.5"): dnswire.MustName("ghost.example.org"),
+	}
+	snap, err := sc.Scan(context.Background(), Request{
+		Targets: []dnswire.Prefix{
+			dnswire.MustPrefix("10.80.0.0/24"),
+			failing,
+		},
+		Baseline: baseline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Degraded || snap.Health == nil {
+		t.Fatalf("sweep did not degrade: %+v", snap.Health)
+	}
+	tot := snap.Health.Totals
+
+	checks := []struct {
+		metric string
+		want   uint64
+	}{
+		{MetricAttempts, uint64(tot.Attempts)},
+		{MetricRetries, uint64(tot.Retries)},
+		{MetricBreakerOpens, uint64(tot.BreakerOpens)},
+		{MetricSkipped, uint64(tot.Skipped)},
+		{MetricHedges, uint64(tot.Hedges)},
+		{MetricThrottled, uint64(tot.Throttled)},
+		{MetricShardsDegraded, uint64(len(snap.Health.Degraded))},
+	}
+	for _, c := range checks {
+		if got := counterVal(reg, c.metric); got != c.want {
+			t.Errorf("%s = %d, want %d (HealthReport)", c.metric, got, c.want)
+		}
+	}
+	if tot.Retries == 0 || tot.BreakerOpens == 0 || tot.Skipped == 0 {
+		t.Fatalf("scenario too tame to exercise the counters: %+v", tot)
+	}
+	// Stats and Totals are one accumulation.
+	if snap.Stats.Retries != uint64(tot.Retries) || snap.Stats.Skipped != uint64(tot.Skipped) {
+		t.Errorf("Stats(retries=%d skipped=%d) != Totals(%d, %d)",
+			snap.Stats.Retries, snap.Stats.Skipped, tot.Retries, tot.Skipped)
+	}
+
+	// Removal inference: proven in the healthy shard, excluded (and
+	// counted) in the degraded one.
+	var removed []dnswire.IPv4
+	for _, ch := range snap.Changes {
+		if ch.Kind == RecordRemoved {
+			removed = append(removed, ch.IP)
+		}
+	}
+	if len(removed) != 1 || removed[0] != dnswire.MustIPv4("10.80.0.5") {
+		t.Errorf("removals = %v, want exactly 10.80.0.5", removed)
+	}
+	if snap.Health.RemovalsExcluded != 1 {
+		t.Errorf("RemovalsExcluded = %d, want 1", snap.Health.RemovalsExcluded)
+	}
+	if got := counterVal(reg, MetricRemovalsExcluded); got != uint64(snap.Health.RemovalsExcluded) {
+		t.Errorf("%s = %d, want %d", MetricRemovalsExcluded, got, snap.Health.RemovalsExcluded)
+	}
+}
+
+// TestTelemetryDisabledIsInert checks a scanner without WithTelemetry
+// neither panics nor registers anything.
+func TestTelemetryDisabledIsInert(t *testing.T) {
+	sc := New(newCountingSource(nil), WithWorkers(2))
+	if _, err := sc.Scan(context.Background(), Request{
+		Targets: []dnswire.Prefix{dnswire.MustPrefix("10.90.0.0/28")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sc.met != nil || sc.tracer != nil {
+		t.Fatal("telemetry must stay nil when not configured")
+	}
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets defined by ascending
+// upper bounds. Observation and snapshotting are lock-free: each bucket is
+// an atomic counter and the total is derived from the buckets at read
+// time, so a snapshot taken mid-write is internally consistent (Count ==
+// sum of bucket counts) even though it may lag in-flight observations.
+//
+// Quantiles are estimated by linear interpolation inside the bucket that
+// holds the target rank, so the estimation error is bounded by the width
+// of that bucket (observations above the last bound estimate to the last
+// bound). All methods are safe on a nil receiver.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	counts  []atomic.Uint64
+	over    atomic.Uint64 // observations above the last bound
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// DefaultLatencyBuckets spans 50µs to ~30s in roughly doubling steps —
+// wide enough for both in-process sources (tens of microseconds) and
+// real-socket lookups with retries (seconds). Values are seconds.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+	}
+}
+
+// DepthBuckets is a small linear bucket set for discrete depth-like values
+// (zone-walk label depth, attempt counts).
+func DepthBuckets(max int) []float64 {
+	out := make([]float64, 0, max)
+	for i := 1; i <= max; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound admits v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.over.Add(1)
+	}
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations, derived from the buckets.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	n := uint64(0)
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n + h.over.Load()
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket
+// counts; see HistogramSnapshot.Quantile for the estimation rule.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}
+
+// Snapshot copies the histogram state. Count equals the sum of Counts plus
+// Overflow by construction.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Buckets: append([]float64(nil), h.bounds...),
+		Counts:  make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	s.Overflow = h.over.Load()
+	s.Count += s.Overflow
+	s.Sum = h.Sum()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	// Buckets are the ascending upper bounds; Counts[i] observations fell
+	// in (Buckets[i-1], Buckets[i]].
+	Buckets []float64
+	Counts  []uint64
+	// Overflow counts observations above the last bound.
+	Overflow uint64
+	// Count is the total number of observations (sum of Counts plus
+	// Overflow).
+	Count uint64
+	// Sum is the running sum of observed values.
+	Sum float64
+}
+
+// Quantile estimates the q-th quantile by walking the cumulative bucket
+// counts to the target rank and interpolating linearly inside the bucket
+// that holds it (the first bucket interpolates from zero). Ranks that land
+// in the overflow bucket return the last finite bound — the estimate is
+// clamped, not extrapolated.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = s.Buckets[i-1]
+			}
+			hi := s.Buckets[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return s.Buckets[len(s.Buckets)-1]
+}

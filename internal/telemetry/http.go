@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Exporter serves a registry (and optionally a tracer and a health
+// snapshot) over HTTP for scraping during a sweep:
+//
+//	/metrics      Prometheus text exposition format
+//	/debug/vars   expvar-style JSON of every instrument
+//	/debug/pprof/ the standard net/http/pprof handlers
+//	/health       JSON of the health snapshot func, when configured
+//	/trace        the span ring as JSONL, when a tracer is configured
+//
+// Start binds and serves on a background goroutine; Close shuts the
+// listener down and waits for that goroutine, so tests can assert no
+// leaks with testutil.VerifyNoLeaks.
+type Exporter struct {
+	reg    *Registry
+	tracer *Tracer
+	health func() any
+
+	mu   sync.Mutex
+	srv  *http.Server
+	addr string
+	done chan struct{}
+}
+
+// ExporterOption configures an Exporter.
+type ExporterOption func(*Exporter)
+
+// WithExporterTracer serves tr's span ring at /trace as JSONL.
+func WithExporterTracer(tr *Tracer) ExporterOption {
+	return func(e *Exporter) { e.tracer = tr }
+}
+
+// WithExporterHealth serves health() at /health as JSON. The func is
+// called per request; it should return a snapshot (e.g. the engine's
+// latest HealthReport), not a live pointer into mutable state.
+func WithExporterHealth(health func() any) ExporterOption {
+	return func(e *Exporter) { e.health = health }
+}
+
+// NewExporter builds an exporter over reg. Call Start to serve.
+func NewExporter(reg *Registry, opts ...ExporterOption) *Exporter {
+	e := &Exporter{reg: reg}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Handler returns the exporter's HTTP mux, for embedding in an existing
+// server.
+func (e *Exporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		e.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		e.reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+		if e.health == nil {
+			http.Error(w, "no health source configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(e.health()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if e.tracer == nil {
+			http.Error(w, "no tracer configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		e.tracer.WriteJSONL(w)
+	})
+	return mux
+}
+
+// Start binds addr (e.g. "127.0.0.1:9090"; a ":0" port picks a free one)
+// and serves in the background. It returns the bound address, so callers
+// that asked for port 0 can print the real scrape URL.
+func (e *Exporter) Start(addr string) (string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.srv != nil {
+		return "", fmt.Errorf("telemetry: exporter already started on %s", e.addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	e.addr = ln.Addr().String()
+	e.srv = &http.Server{Handler: e.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	e.done = make(chan struct{})
+	go func(srv *http.Server, done chan struct{}) {
+		defer close(done)
+		srv.Serve(ln)
+	}(e.srv, e.done)
+	return e.addr, nil
+}
+
+// Addr returns the bound address ("" before Start).
+func (e *Exporter) Addr() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.addr
+}
+
+// Close shuts the server down and waits for the serve goroutine to exit.
+// Safe to call without Start, and safe to call twice.
+func (e *Exporter) Close() error {
+	e.mu.Lock()
+	srv, done := e.srv, e.done
+	e.srv, e.done = nil, nil
+	e.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	<-done
+	return err
+}

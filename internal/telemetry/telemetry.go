@@ -1,0 +1,366 @@
+// Package telemetry is the scan pipeline's observability layer: a
+// dependency-free, allocation-conscious metrics registry (atomic counters,
+// gauges, fixed-bucket latency histograms with quantile estimation) plus a
+// lightweight sweep tracer whose span identifiers derive deterministically
+// from the scan seed, so traces taken from two runs of the same seeded
+// scenario are directly comparable.
+//
+// The paper's longitudinal analyses (dynamic-/24 detection, leak
+// lifetimes, removal timing) depend on knowing exactly what each sweep
+// did: how many queries, retries, hedges, breaker trips, and cache hits
+// produced a snapshot. Instrumented packages accept a telemetry.Sink and
+// hold pre-resolved instrument handles; a nil Sink yields nil handles,
+// and every instrument method is nil-receiver safe, so the uninstrumented
+// hot path costs a single pointer test per site.
+//
+// Typical wiring:
+//
+//	reg := telemetry.NewRegistry()
+//	tr := telemetry.NewTracer(seed, 4096)
+//	sc := scanengine.New(src, scanengine.WithTelemetry(reg), scanengine.WithTracer(tr))
+//	exp := telemetry.NewExporter(reg, telemetry.WithExporterTracer(tr))
+//	addr, _ := exp.Start("127.0.0.1:9090") // /metrics, /debug/vars, /debug/pprof/, /health, /trace
+//	defer exp.Close()
+//
+// See docs/telemetry.md for the metric names each package exports and for
+// the JSONL trace schema.
+package telemetry
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink hands out named instruments. *Registry implements it; instrumented
+// packages take a Sink so tests can substitute their own. A nil Sink (or a
+// nil *Registry) disables instrumentation at zero cost: the helper
+// constructors below return nil handles whose methods are no-ops.
+type Sink interface {
+	// Counter returns the named monotonic counter, creating it on first
+	// use.
+	Counter(name string) *Counter
+	// Gauge returns the named gauge, creating it on first use.
+	Gauge(name string) *Gauge
+	// Histogram returns the named histogram, creating it on first use
+	// with the given bucket upper bounds (ignored if it already exists).
+	Histogram(name string, buckets []float64) *Histogram
+}
+
+// Counter is a monotonically increasing uint64. All methods are safe for
+// concurrent use and safe on a nil receiver (no-ops), so instrumented code
+// never branches on whether telemetry is enabled.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value. Nil-receiver safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (zero on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a process-local metric namespace. The zero value is not
+// usable; create one with NewRegistry. A nil *Registry is a valid no-op
+// Sink: its getters return nil instruments.
+type Registry struct {
+	mu     sync.Mutex
+	order  []string // registration order, for stable human-facing output
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter implements Sink. Safe on a nil receiver (returns nil).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counts[name]; ok {
+		return c
+	}
+	r.mustBeFresh(name, "counter")
+	c := &Counter{}
+	r.counts[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Gauge implements Sink. Safe on a nil receiver (returns nil).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.mustBeFresh(name, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.order = append(r.order, name)
+	return g
+}
+
+// Histogram implements Sink. Safe on a nil receiver (returns nil). The
+// bucket bounds apply only on first registration.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.mustBeFresh(name, "histogram")
+	h := newHistogram(buckets)
+	r.hists[name] = h
+	r.order = append(r.order, name)
+	return h
+}
+
+// mustBeFresh panics when a name is re-registered as a different
+// instrument kind — a programming error worth failing loudly on. Caller
+// holds r.mu.
+func (r *Registry) mustBeFresh(name, kind string) {
+	if _, ok := r.counts[name]; ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as a counter, requested as %s", name, kind))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as a gauge, requested as %s", name, kind))
+	}
+	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as a histogram, requested as %s", name, kind))
+	}
+}
+
+// Snapshot is a point-in-time copy of every instrument. Each instrument is
+// read atomically; histogram counts are derived from the bucket counters
+// at read time, so Count always equals the sum of Buckets even while
+// writers race the snapshot.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot captures the registry. Safe on nil (returns empty maps).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counts {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// DeterministicDigest hashes the deterministic portion of the registry:
+// counter and gauge values plus histogram observation counts, in sorted
+// name order. Bucket contents, sums and quantiles are excluded — they
+// depend on wall-clock latencies even when the measured workload is
+// seed-deterministic. Names listed in exclude are skipped entirely
+// (e.g. scheduling-dependent counters like merge backpressure stalls).
+func (r *Registry) DeterministicDigest(exclude ...string) uint64 {
+	skip := make(map[string]bool, len(exclude))
+	for _, n := range exclude {
+		skip[n] = true
+	}
+	snap := r.Snapshot()
+	f := fnv.New64a()
+	line := func(kind, name string, v uint64) {
+		fmt.Fprintf(f, "%s %s %d\n", kind, name, v)
+	}
+	for _, name := range sortedKeys(snap.Counters) {
+		if !skip[name] {
+			line("c", name, snap.Counters[name])
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		if !skip[name] {
+			line("g", name, uint64(snap.Gauges[name]))
+		}
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		if !skip[name] {
+			line("h", name, snap.Histograms[name].Count)
+		}
+	}
+	return f.Sum64()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, instruments sorted by name. Metric names may carry an inline
+// label set ("scan_changes_total{kind=\"added\"}"); the base name (before
+// '{') groups the TYPE comment.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	var lastBase string
+	typeLine := func(name, kind string) {
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if base != lastBase {
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+			lastBase = base
+		}
+	}
+	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+	names = append(names, sortedKeys(snap.Counters)...)
+	names = append(names, sortedKeys(snap.Gauges)...)
+	names = append(names, sortedKeys(snap.Histograms)...)
+	sort.Strings(names)
+	for _, name := range names {
+		if v, ok := snap.Counters[name]; ok {
+			typeLine(name, "counter")
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if v, ok := snap.Gauges[name]; ok {
+			typeLine(name, "gauge")
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, v); err != nil {
+				return err
+			}
+			continue
+		}
+		h := snap.Histograms[name]
+		typeLine(name, "histogram")
+		cum := uint64(0)
+		for i, ub := range h.Buckets {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, ub, cum)
+		}
+		cum += h.Overflow
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum)
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the registry as a single expvar-style JSON object:
+// counters and gauges as numbers, histograms as objects carrying count,
+// sum and the estimated p50/p95/p99. Keys are sorted.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+	names = append(names, sortedKeys(snap.Counters)...)
+	names = append(names, sortedKeys(snap.Gauges)...)
+	names = append(names, sortedKeys(snap.Histograms)...)
+	sort.Strings(names)
+	if _, err := io.WriteString(w, "{"); err != nil {
+		return err
+	}
+	for i, name := range names {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		fmt.Fprintf(w, "\n  %q: ", name)
+		switch {
+		case hasKey(snap.Counters, name):
+			fmt.Fprintf(w, "%d", snap.Counters[name])
+		case hasKey(snap.Gauges, name):
+			fmt.Fprintf(w, "%d", snap.Gauges[name])
+		default:
+			h := snap.Histograms[name]
+			fmt.Fprintf(w, `{"count": %d, "sum": %g, "p50": %g, "p95": %g, "p99": %g}`,
+				h.Count, h.Sum, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+		}
+	}
+	_, err := io.WriteString(w, "\n}\n")
+	return err
+}
+
+func hasKey[V any](m map[string]V, k string) bool {
+	_, ok := m[k]
+	return ok
+}

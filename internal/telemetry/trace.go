@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records sweep spans into a bounded ring: one span per unit of
+// work (the engine opens one per shard), each carrying a sequence of
+// compact events (one per probe). Span identifiers derive from the
+// tracer's seed and the span's name and keys — never from time or
+// allocation order — so two runs of the same seeded scenario produce the
+// same span IDs and the same Digest, which is what makes traces
+// replay-comparable under faultsim.
+//
+// Completed spans land in the ring; once more than the capacity have
+// finished, the oldest are dropped (and counted). All methods are safe
+// for concurrent use and safe on a nil receiver, so instrumented code
+// calls unconditionally.
+type Tracer struct {
+	seed uint64
+	cap  int
+	now  func() time.Time
+
+	mu      sync.Mutex
+	spans   []*Span // completion order, oldest first
+	dropped uint64  // completed spans evicted from the ring
+}
+
+// TracerOption tunes a Tracer.
+type TracerOption func(*Tracer)
+
+// WithNow sets the clock used for span and event timestamps (default
+// time.Now). The engine passes its simclock so simulated sweeps stamp
+// simulated times. Timestamps never participate in span IDs or digests.
+func WithNow(now func() time.Time) TracerOption {
+	return func(t *Tracer) {
+		if now != nil {
+			t.now = now
+		}
+	}
+}
+
+// NewTracer creates a tracer whose span IDs derive from seed. capacity
+// bounds the completed-span ring (<= 0 means 4096).
+func NewTracer(seed int64, capacity int, opts ...TracerOption) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	t := &Tracer{seed: uint64(seed), cap: capacity, now: time.Now}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// maxEventsPerSpan bounds a span's event log; a /16 shard probed
+// per-address would otherwise pin 65k events in memory per span. The cap
+// cuts by sequence number, so it is deterministic.
+const maxEventsPerSpan = 8192
+
+// Span is one traced unit of work. Events must be appended from a single
+// goroutine (the engine's shard loop is sequential); End publishes the
+// span to the tracer's ring and must be called exactly once.
+type Span struct {
+	ID      uint64
+	Name    string
+	Attr    string // human-facing label, e.g. the shard prefix
+	StartAt time.Time
+	EndAt   time.Time
+	Events  []SpanEvent
+	// Dropped counts events discarded past the per-span cap.
+	Dropped int
+
+	tracer *Tracer
+}
+
+// SpanEvent is one compact event inside a span. Seq is the event's index
+// in append order; Kind and Code carry the instrumented package's
+// taxonomy (the engine emits kind "probe" with an outcome code per
+// address). At is informational and excluded from digests.
+type SpanEvent struct {
+	Seq  int       `json:"i"`
+	Kind string    `json:"kind"`
+	Code uint64    `json:"code"`
+	At   time.Time `json:"t"`
+}
+
+// StartSpan opens a span. The ID mixes the tracer seed, the name, and the
+// keys with splitmix64, so the same (seed, name, keys) always yields the
+// same ID. Safe on a nil tracer (returns nil; nil spans no-op).
+func (t *Tracer) StartSpan(name, attr string, keys ...uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	f := fnv.New64a()
+	io.WriteString(f, name)
+	words := append([]uint64{t.seed, f.Sum64()}, keys...)
+	return &Span{
+		ID:      mix64(words...),
+		Name:    name,
+		Attr:    attr,
+		StartAt: t.now(),
+		tracer:  t,
+	}
+}
+
+// Event appends one event. Safe on a nil span.
+func (s *Span) Event(kind string, code uint64) {
+	if s == nil {
+		return
+	}
+	if len(s.Events) >= maxEventsPerSpan {
+		s.Dropped++
+		return
+	}
+	s.Events = append(s.Events, SpanEvent{
+		Seq:  len(s.Events),
+		Kind: kind,
+		Code: code,
+		At:   s.tracer.now(),
+	})
+}
+
+// End closes the span and publishes it to the tracer ring. Safe on a nil
+// span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	s.EndAt = t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, s)
+	if over := len(t.spans) - t.cap; over > 0 {
+		t.spans = append(t.spans[:0], t.spans[over:]...)
+		t.dropped += uint64(over)
+	}
+}
+
+// Len returns the number of completed spans currently in the ring.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// DroppedSpans returns how many completed spans the ring has evicted.
+func (t *Tracer) DroppedSpans() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// snapshot copies the ring under the lock.
+func (t *Tracer) snapshot() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
+
+// Digest hashes the deterministic portion of every completed span — ID,
+// name, attr, dropped-event count and the (Seq, Kind, Code) of each event
+// — with spans sorted by ID so worker scheduling cannot perturb the
+// result. Timestamps are excluded. Two runs of the same seeded scenario
+// must produce equal digests; see the faultsim telemetry scenario test.
+func (t *Tracer) Digest() uint64 {
+	if t == nil {
+		return 0
+	}
+	spans := t.snapshot()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].ID != spans[j].ID {
+			return spans[i].ID < spans[j].ID
+		}
+		return spans[i].Name < spans[j].Name
+	})
+	f := fnv.New64a()
+	for _, s := range spans {
+		fmt.Fprintf(f, "%016x %s %s %d\n", s.ID, s.Name, s.Attr, s.Dropped)
+		for _, ev := range s.Events {
+			fmt.Fprintf(f, "  %d %s %d\n", ev.Seq, ev.Kind, ev.Code)
+		}
+	}
+	return f.Sum64()
+}
+
+// SpanRecord is the JSONL form of a completed span, one object per line.
+type SpanRecord struct {
+	ID      string      `json:"id"`
+	Name    string      `json:"name"`
+	Attr    string      `json:"attr,omitempty"`
+	Start   time.Time   `json:"start"`
+	End     time.Time   `json:"end"`
+	Dropped int         `json:"dropped,omitempty"`
+	Events  []SpanEvent `json:"events"`
+}
+
+// WriteJSONL dumps the completed spans in completion order, one JSON
+// object per line — the -trace-out format cmd/experiments consumes.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.snapshot() {
+		rec := SpanRecord{
+			ID:      fmt.Sprintf("%016x", s.ID),
+			Name:    s.Name,
+			Attr:    s.Attr,
+			Start:   s.StartAt,
+			End:     s.EndAt,
+			Dropped: s.Dropped,
+			Events:  s.Events,
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpans parses a JSONL span dump produced by WriteJSONL.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	dec := json.NewDecoder(r)
+	for {
+		var rec SpanRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("telemetry: span record %d: %w", len(out)+1, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// mix64 mixes words with the splitmix64 finalizer — the same construction
+// scanengine and faultsim use for their deterministic schedules.
+func mix64(words ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range words {
+		h ^= w
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return h
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a deterministic monotonic clock for tests.
+func fixedClock() func() time.Time {
+	var mu sync.Mutex
+	t0 := time.Unix(1700000000, 0).UTC()
+	n := 0
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return t0.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func TestSpanIDsDeterministic(t *testing.T) {
+	a := NewTracer(42, 16)
+	b := NewTracer(42, 16)
+	sa := a.StartSpan("shard", "10.0.0.0/16", 7)
+	sb := b.StartSpan("shard", "10.0.0.0/16", 7)
+	if sa.ID != sb.ID {
+		t.Fatalf("same (seed,name,keys) must give same ID: %x vs %x", sa.ID, sb.ID)
+	}
+	c := NewTracer(43, 16)
+	if sc := c.StartSpan("shard", "10.0.0.0/16", 7); sc.ID == sa.ID {
+		t.Fatal("different seeds must give different IDs")
+	}
+	if sd := a.StartSpan("shard", "10.0.0.0/16", 8); sd.ID == sa.ID {
+		t.Fatal("different keys must give different IDs")
+	}
+}
+
+func TestTracerDigestIgnoresTimeAndOrder(t *testing.T) {
+	run := func(clock func() time.Time, reverse bool) uint64 {
+		tr := NewTracer(99, 64, WithNow(clock))
+		spans := []*Span{
+			tr.StartSpan("shard", "a", 1),
+			tr.StartSpan("shard", "b", 2),
+			tr.StartSpan("shard", "c", 3),
+		}
+		for i, s := range spans {
+			s.Event("probe", uint64(i))
+			s.Event("probe", uint64(i+10))
+		}
+		if reverse {
+			for i := len(spans) - 1; i >= 0; i-- {
+				spans[i].End()
+			}
+		} else {
+			for _, s := range spans {
+				s.End()
+			}
+		}
+		return tr.Digest()
+	}
+	d1 := run(fixedClock(), false)
+	d2 := run(time.Now, true) // different clock AND completion order
+	if d1 != d2 {
+		t.Fatalf("digest must be invariant to time and completion order: %x vs %x", d1, d2)
+	}
+	// But sensitive to event content.
+	tr := NewTracer(99, 64)
+	s := tr.StartSpan("shard", "a", 1)
+	s.Event("probe", 999)
+	s.End()
+	if tr.Digest() == d1 {
+		t.Fatal("digest must depend on event content")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(1, 3)
+	for i := 0; i < 5; i++ {
+		tr.StartSpan("s", "", uint64(i)).End()
+	}
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("ring len = %d, want 3", got)
+	}
+	if got := tr.DroppedSpans(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+}
+
+func TestSpanEventCap(t *testing.T) {
+	tr := NewTracer(1, 4)
+	s := tr.StartSpan("big", "")
+	for i := 0; i < maxEventsPerSpan+50; i++ {
+		s.Event("e", uint64(i))
+	}
+	s.End()
+	if len(s.Events) != maxEventsPerSpan {
+		t.Fatalf("events = %d, want cap %d", len(s.Events), maxEventsPerSpan)
+	}
+	if s.Dropped != 50 {
+		t.Fatalf("dropped = %d, want 50", s.Dropped)
+	}
+}
+
+func TestWriteAndReadJSONL(t *testing.T) {
+	tr := NewTracer(7, 16, WithNow(fixedClock()))
+	s1 := tr.StartSpan("shard", "10.0.0.0/16", 1)
+	s1.Event("probe", 0)
+	s1.Event("probe", 3)
+	s1.End()
+	s2 := tr.StartSpan("shard", "10.1.0.0/16", 2)
+	s2.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Name != "shard" || recs[0].Attr != "10.0.0.0/16" {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if len(recs[0].Events) != 2 || recs[0].Events[1].Code != 3 {
+		t.Errorf("record 0 events = %+v", recs[0].Events)
+	}
+	if recs[1].Events != nil && len(recs[1].Events) != 0 {
+		t.Errorf("record 1 must have no events, got %+v", recs[1].Events)
+	}
+	if !recs[0].End.After(recs[0].Start) {
+		t.Errorf("record 0 end %v not after start %v", recs[0].End, recs[0].Start)
+	}
+}
+
+func TestReadSpansRejectsGarbage(t *testing.T) {
+	if _, err := ReadSpans(bytes.NewReader([]byte("not json\n"))); err == nil {
+		t.Fatal("want error on malformed JSONL")
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer(5, 128)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(k uint64) {
+			defer wg.Done()
+			for j := 0; j < 16; j++ {
+				s := tr.StartSpan("shard", "", k, uint64(j))
+				s.Event("probe", uint64(j))
+				s.End()
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 128 {
+		t.Fatalf("len = %d, want 128", got)
+	}
+	// Digest must be stable across re-computation.
+	if tr.Digest() != tr.Digest() {
+		t.Fatal("digest not stable")
+	}
+}
