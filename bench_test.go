@@ -453,6 +453,37 @@ func BenchmarkScanEngineFullSweep(b *testing.B) {
 		}
 		b.ReportMetric(float64(addrs*b.N)/b.Elapsed().Seconds(), "queries/s")
 	})
+
+	// The engine with full cross-layer correlation: per-probe client and
+	// server spans plus per-shard corr events, the docs/observability.md
+	// tracing path end to end. bench-check gates this within ±15% so the
+	// correlation machinery cannot silently become a hot-path tax.
+	b.Run("engine-8-workers-correlation", func(b *testing.B) {
+		srv := sweepServer(b, slash24s)
+		reg := telemetry.NewRegistry()
+		tracer := telemetry.NewTracer(1, 4096)
+		srv.SetTracer(tracer)
+		sc := scanengine.New(&dnsclient.ServerSource{Server: srv, Tracer: tracer, Seed: 1},
+			scanengine.WithWorkers(8), scanengine.WithShardBits(24),
+			scanengine.WithTelemetry(reg), scanengine.WithTracer(tracer))
+		b.ResetTimer()
+		var snap *scanengine.Snapshot
+		for i := 0; i < b.N; i++ {
+			var err error
+			snap, err = sc.Scan(context.Background(), scanengine.Request{Targets: targets})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if len(snap.Records) != addrs/2 {
+			b.Fatalf("engine sweep found %d records, want %d", len(snap.Records), addrs/2)
+		}
+		if tracer.Len() == 0 {
+			b.Fatal("correlation sweep emitted no spans")
+		}
+		b.ReportMetric(float64(addrs*b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
 }
 
 // renderAll exercises every Render path (kept out of the numbers above).

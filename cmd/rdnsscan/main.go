@@ -43,7 +43,15 @@
 //	rdnsscan -server 127.0.0.1:5353 -prefix 10.0.0.0/20 -trace-out sweep.jsonl
 //	experiments -trace sweep.jsonl
 //
-// See docs/telemetry.md for metric names and the trace schema.
+// -obs-out captures one observability frame per sweep (counter deltas,
+// coverage, churn, health; one frame per poll with -watch) and writes the
+// series as JSONL for `experiments -obs`:
+//
+//	rdnsscan -server 127.0.0.1:5353 -prefix 10.0.0.0/24 -watch -obs-out frames.jsonl
+//	experiments -obs frames.jsonl
+//
+// See docs/telemetry.md for metric names and the trace schema, and
+// docs/observability.md for the frame schema.
 //
 // Interrupting a sweep (Ctrl-C) cancels the engine's context: workers
 // drain, the partial tally is reported, and the process exits cleanly.
@@ -60,6 +68,7 @@ import (
 
 	"rdnsprivacy/internal/dnsclient"
 	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/obs"
 	"rdnsprivacy/internal/scanengine"
 	"rdnsprivacy/internal/telemetry"
 )
@@ -91,6 +100,7 @@ func main() {
 	interval := flag.Duration("interval", 30*time.Second, "polling interval for -watch")
 	metricsAddr := flag.String("metrics-addr", "", "serve telemetry over HTTP on this address: /metrics (Prometheus), /debug/vars (JSON), /debug/pprof/, /health, /trace (see docs/telemetry.md)")
 	traceOut := flag.String("trace-out", "", "write the sweep span log to this file as JSONL for `experiments -trace`")
+	obsOut := flag.String("obs-out", "", "write one observability frame per sweep to this file as JSONL for `experiments -obs` (see docs/observability.md)")
 	flag.Parse()
 
 	client := &dnsclient.UDPClient{Server: *server, Timeout: *timeout, Retries: *retries}
@@ -163,10 +173,14 @@ func main() {
 	}
 
 	var tracer *telemetry.Tracer
-	if *metricsAddr != "" || *traceOut != "" {
+	var recorder *obs.Recorder
+	if *metricsAddr != "" || *traceOut != "" || *obsOut != "" {
 		reg := telemetry.NewRegistry()
 		tracer = telemetry.NewTracer(*seed, 0)
 		opts = append(opts, scanengine.WithTelemetry(reg), scanengine.WithTracer(tracer))
+		if *obsOut != "" {
+			recorder = obs.NewRecorder(reg)
+		}
 		if *metricsAddr != "" {
 			exp := telemetry.NewExporter(reg,
 				telemetry.WithExporterTracer(tracer),
@@ -185,8 +199,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-watch needs -prefix")
 			os.Exit(2)
 		}
-		watchLoop(ctx, client, targets, *interval, opts)
+		watchLoop(ctx, client, targets, *interval, opts, recorder)
 		dumpTrace(tracer, *traceOut)
+		dumpFrames(recorder, *obsOut)
 		return
 	}
 
@@ -225,11 +240,35 @@ func main() {
 	if snap != nil && snap.Health != nil {
 		lastHealth.Store(snap.Health)
 	}
+	if snap != nil {
+		recorder.CaptureFrame(0, time.Now().UTC(), snap)
+	}
 	printHealth(snap)
 	dumpTrace(tracer, *traceOut)
+	dumpFrames(recorder, *obsOut)
 	if err != nil {
 		os.Exit(1)
 	}
+}
+
+// dumpFrames writes the captured sweep frames as JSONL, the input format
+// of `experiments -obs`. No-ops when frame capture is off or no path was
+// given.
+func dumpFrames(rec *obs.Recorder, path string) {
+	if rec == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := rec.Store().WriteJSONL(f); err != nil {
+		fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "obs: wrote %d frames to %s\n", rec.Store().Len(), path)
 }
 
 // dumpTrace writes the tracer's span log as JSONL, the input format of
@@ -266,16 +305,18 @@ func printHealth(snap *scanengine.Snapshot) {
 }
 
 // watchLoop re-sweeps the targets through the engine and prints the deltas
-// each snapshot carries against its predecessor.
-func watchLoop(ctx context.Context, client *dnsclient.UDPClient, targets []dnswire.Prefix, interval time.Duration, opts []scanengine.Option) {
+// each snapshot carries against its predecessor. With frame capture on,
+// every sweep becomes one observability frame.
+func watchLoop(ctx context.Context, client *dnsclient.UDPClient, targets []dnswire.Prefix, interval time.Duration, opts []scanengine.Option, recorder *obs.Recorder) {
 	sc := scanengine.New(dnsclient.UDPSource{Client: client}, opts...)
 	snap, err := sc.Scan(ctx, scanengine.Request{Targets: targets})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "baseline sweep interrupted: %v\n", err)
 		os.Exit(1)
 	}
+	recorder.CaptureFrame(0, time.Now().UTC(), snap)
 	fmt.Fprintf(os.Stderr, "baseline: %d records; watching every %s\n", len(snap.Records), interval)
-	for {
+	for sweep := 1; ; sweep++ {
 		select {
 		case <-ctx.Done():
 			return
@@ -289,6 +330,7 @@ func watchLoop(ctx context.Context, client *dnsclient.UDPClient, targets []dnswi
 		if snap.Health != nil {
 			lastHealth.Store(snap.Health)
 		}
+		recorder.CaptureFrame(sweep, time.Now().UTC(), snap)
 		now := time.Now().Format("15:04:05")
 		for _, ch := range snap.Changes {
 			switch ch.Kind {

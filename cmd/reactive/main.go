@@ -4,6 +4,13 @@
 // Figure 7 timing analysis.
 //
 //	reactive [-days 7] [-people 16] [-seed 42]
+//
+// With -metrics-addr the run serves its live telemetry over HTTP
+// (/metrics, /debug/vars, /debug/pprof/, /trace) while the measurement is
+// in progress, and the span log carries the correlated
+// client→fabric→server chains docs/observability.md describes:
+//
+//	reactive -days 7 -metrics-addr 127.0.0.1:9090
 package main
 
 import (
@@ -15,12 +22,14 @@ import (
 	"rdnsprivacy/internal/core"
 	"rdnsprivacy/internal/netsim"
 	"rdnsprivacy/internal/privleak"
+	"rdnsprivacy/internal/telemetry"
 )
 
 func main() {
 	days := flag.Int("days", 7, "measurement window in days")
 	people := flag.Int("people", 16, "people per dynamic /24 (population scale)")
 	seed := flag.Uint64("seed", 42, "simulation seed")
+	metricsAddr := flag.String("metrics-addr", "", "serve telemetry over HTTP on this address while the measurement runs (see docs/telemetry.md)")
 	flag.Parse()
 
 	start := time.Date(2021, 11, 1, 0, 0, 0, 0, time.UTC)
@@ -35,6 +44,20 @@ func main() {
 		LeakThresholds:    privleak.Config{MinUniqueNames: 8, MinRatio: 0.02},
 		SupplementalStart: start,
 		SupplementalEnd:   start.AddDate(0, 0, *days),
+	}
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		tracer := telemetry.NewTracer(int64(*seed), 0)
+		cfg.Telemetry = reg
+		cfg.Tracer = tracer
+		exporter := telemetry.NewExporter(reg, telemetry.WithExporterTracer(tracer))
+		addr, err := exporter.Start(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metrics endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer exporter.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", addr)
 	}
 	study, err := core.NewStudy(cfg)
 	if err != nil {

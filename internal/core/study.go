@@ -22,10 +22,12 @@ import (
 	"rdnsprivacy/internal/fabric"
 	"rdnsprivacy/internal/ipam"
 	"rdnsprivacy/internal/netsim"
+	"rdnsprivacy/internal/obs"
 	"rdnsprivacy/internal/privleak"
 	"rdnsprivacy/internal/reactive"
 	"rdnsprivacy/internal/scan"
 	"rdnsprivacy/internal/simclock"
+	"rdnsprivacy/internal/telemetry"
 )
 
 // Config scales and schedules the study. Zero values take the defaults of
@@ -59,6 +61,17 @@ type Config struct {
 	// run (Figure 6 error mix). The default injects 0.5% SERVFAIL and
 	// 0.3% drops.
 	DNSFailure dnsserver.FailureMode
+
+	// Telemetry, when set, receives engine metrics from every campaign
+	// the study runs. Nil keeps the engines on their zero-overhead path.
+	Telemetry telemetry.Sink
+	// Observer, when set, captures one obs.Frame per campaign snapshot
+	// across the study's longitudinal runs (see docs/observability.md).
+	Observer *obs.Recorder
+	// Tracer, when set, is threaded through the supplemental run's
+	// client, fabric, and server layers so probe attempts emit the
+	// correlated span chains experiments -trace stitches.
+	Tracer *telemetry.Tracer
 }
 
 func date(y int, m time.Month, d int) time.Time {
@@ -145,10 +158,12 @@ func (s *Study) DynamicitySeries() *dataset.CountSeries {
 	defer s.mu.Unlock()
 	if s.dynSeries == nil {
 		res := scan.Run(scan.Campaign{
-			Universe: s.Universe,
-			Start:    s.Cfg.DynamicityStart,
-			End:      s.Cfg.DynamicityEnd,
-			Cadence:  scan.Daily,
+			Universe:  s.Universe,
+			Start:     s.Cfg.DynamicityStart,
+			End:       s.Cfg.DynamicityEnd,
+			Cadence:   scan.Daily,
+			Telemetry: s.Cfg.Telemetry,
+			Observer:  s.Cfg.Observer,
 		})
 		s.dynSeries = res.Series
 	}
@@ -241,10 +256,12 @@ func (s *Study) DailyCampaign() *scan.Result {
 	defer s.mu.Unlock()
 	if s.dailyAll == nil {
 		s.dailyAll = scan.Run(scan.Campaign{
-			Universe: s.Universe,
-			Start:    s.Cfg.OpenINTELStart,
-			End:      s.Cfg.OpenINTELEnd,
-			Cadence:  scan.Daily,
+			Universe:  s.Universe,
+			Start:     s.Cfg.OpenINTELStart,
+			End:       s.Cfg.OpenINTELEnd,
+			Cadence:   scan.Daily,
+			Telemetry: s.Cfg.Telemetry,
+			Observer:  s.Cfg.Observer,
 		})
 	}
 	return s.dailyAll
@@ -256,10 +273,12 @@ func (s *Study) WeeklyCampaign() *scan.Result {
 	defer s.mu.Unlock()
 	if s.weeklyAll == nil {
 		s.weeklyAll = scan.Run(scan.Campaign{
-			Universe: s.Universe,
-			Start:    s.Cfg.Rapid7Start,
-			End:      s.Cfg.Rapid7End,
-			Cadence:  scan.Weekly,
+			Universe:  s.Universe,
+			Start:     s.Cfg.Rapid7Start,
+			End:       s.Cfg.Rapid7End,
+			Cadence:   scan.Weekly,
+			Telemetry: s.Cfg.Telemetry,
+			Observer:  s.Cfg.Observer,
 		})
 	}
 	return s.weeklyAll
@@ -347,6 +366,7 @@ func (s *Study) Supplemental() *reactive.Results {
 		Jitter:  10 * time.Millisecond,
 		Seed:    int64(s.Cfg.Seed) + 5,
 	})
+	fab.SetTracer(s.Cfg.Tracer)
 	var started []*netsim.Network
 	for _, name := range netsim.SupplementalNames() {
 		n, ok := s.Universe.NetworkByName(name)
@@ -357,6 +377,7 @@ func (s *Study) Supplemental() *reactive.Results {
 		// model is pure, so snapshot evaluation stays valid
 		// afterwards.
 		n.SetDNSFailure(s.Cfg.DNSFailure)
+		n.SetDNSTracer(s.Cfg.Tracer)
 		if err := n.Start(fab); err != nil {
 			continue
 		}
@@ -367,6 +388,8 @@ func (s *Study) Supplemental() *reactive.Results {
 		VantageICMP: dnswire.MustIPv4("198.51.100.10"),
 		VantageDNS:  dnswire.MustIPv4("198.51.100.11"),
 		DNSRetries:  1,
+		Tracer:      s.Cfg.Tracer,
+		TracerSeed:  int64(s.Cfg.Seed),
 	})
 	if err != nil {
 		for _, n := range started {

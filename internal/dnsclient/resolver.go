@@ -148,7 +148,18 @@ type Config struct {
 	// Telemetry, when non-nil, receives the resolver's metrics (see
 	// telemetry.go for the names). Usually set via WithTelemetry.
 	Telemetry telemetry.Sink
+	// Tracer, when non-nil, emits one "attempt" span per transmission,
+	// correlated across layers via telemetry.CorrID(Seed, name, attempt);
+	// the same ID rides the datagram so fabric hops and the server join
+	// the chain. Usually set via WithTracer.
+	Tracer *telemetry.Tracer
 }
+
+// Client-span event kinds and codes: each "attempt" span carries a "tx"
+// event whose code is the 1-based attempt number, then one terminal
+// "client" event whose code is the attempt's Outcome (OutcomeTimeout for
+// attempts that timed out into a retry, OutcomeServFail for retried
+// server failures, and the lookup's final Outcome otherwise).
 
 // Resolver sends queries over a fabric and matches responses, handling
 // retries and rate limiting. Create one with New.
@@ -188,8 +199,28 @@ type pendingQuery struct {
 	started  time.Time
 	attempts int
 	timer    simclock.Timer
-	ctxStop  func() bool // releases the context cancellation watch
+	span     *telemetry.Span // current attempt's span; nil when untraced
+	corr     uint64          // current attempt's correlation ID
+	ctxStop  func() bool     // releases the context cancellation watch
 	done     func(Response)
+}
+
+// takeSpanLocked detaches the current attempt's span for ending outside
+// the lock. Callers hold r.mu.
+func (p *pendingQuery) takeSpanLocked() *telemetry.Span {
+	sp := p.span
+	p.span = nil
+	return sp
+}
+
+// endAttempt closes one attempt span with its terminal outcome. Safe on a
+// nil span; must be called without r.mu held.
+func endAttempt(sp *telemetry.Span, o Outcome) {
+	if sp == nil {
+		return
+	}
+	sp.Event("client", uint64(o))
+	sp.End()
 }
 
 // New creates a resolver bound to cfg.Bind on fab.
@@ -312,16 +343,19 @@ func (r *Resolver) start(ctx context.Context, q dnswire.Question, done func(Resp
 	}
 	var displacedTimer simclock.Timer
 	var displacedAttempts int
+	var displacedSpan *telemetry.Span
 	if displaced != nil {
 		displacedTimer = displaced.timer
 		displaced.timer = nil
 		displacedAttempts = displaced.attempts
+		displacedSpan = displaced.takeSpanLocked()
 	}
 	r.mu.Unlock()
 	if displaced != nil {
 		if displacedTimer != nil {
 			displacedTimer.Stop()
 		}
+		endAttempt(displacedSpan, OutcomeTimeout)
 		r.finish(displaced, Response{
 			Question: displaced.question, Outcome: OutcomeTimeout,
 			Attempts: displacedAttempts, When: r.clock.Now(),
@@ -357,10 +391,12 @@ func (r *Resolver) cancel(id uint16, p *pendingQuery) {
 	timer := p.timer
 	p.timer = nil
 	attempts := p.attempts
+	span := p.takeSpanLocked()
 	r.mu.Unlock()
 	if timer != nil {
 		timer.Stop()
 	}
+	endAttempt(span, OutcomeCanceled)
 	r.finish(p, Response{
 		Question: p.question,
 		Outcome:  OutcomeCanceled,
@@ -379,10 +415,12 @@ func (r *Resolver) cancelLocked(id uint16, p *pendingQuery) {
 	timer := p.timer
 	p.timer = nil
 	attempts := p.attempts
+	span := p.takeSpanLocked()
 	r.mu.Unlock()
 	if timer != nil {
 		timer.Stop()
 	}
+	endAttempt(span, OutcomeCanceled)
 	r.finish(p, Response{
 		Question: p.question,
 		Outcome:  OutcomeCanceled,
@@ -454,10 +492,20 @@ func (r *Resolver) transmit(id uint16, p *pendingQuery) {
 			m.retransmits.Inc()
 		}
 	}
+	corr := uint64(0)
+	if r.cfg.Tracer != nil {
+		// Each transmission is its own causal chain: the correlation ID
+		// folds in the attempt number, matching how faultsim draws a fresh
+		// fault decision per retransmission.
+		corr = telemetry.CorrID(r.cfg.Seed, string(p.question.Name), epoch)
+		p.corr = corr
+		p.span = r.cfg.Tracer.StartSpanCorr("attempt", string(p.question.Name), corr)
+		p.span.Event("tx", uint64(epoch))
+	}
 	r.mu.Unlock()
 	// Send outside the lock: a simulated fabric may deliver the response
 	// synchronously, re-entering handleResponse.
-	r.ep.Send(r.cfg.Server, p.wire)
+	r.ep.SendCorr(r.cfg.Server, p.wire, corr)
 	timer := r.clock.AfterFunc(r.cfg.Timeout, func() {
 		r.mu.Lock()
 		cur, ok := r.inflight[id]
@@ -476,13 +524,17 @@ func (r *Resolver) transmit(id uint16, p *pendingQuery) {
 			return
 		}
 		if p.attempts <= r.cfg.Retries {
+			span := p.takeSpanLocked()
 			r.mu.Unlock()
+			endAttempt(span, OutcomeTimeout)
 			r.retry(id, p)
 			return
 		}
 		delete(r.inflight, id)
 		r.stats.Timeout++
+		span := p.takeSpanLocked()
 		r.mu.Unlock()
+		endAttempt(span, OutcomeTimeout)
 		r.finish(p, Response{
 			Question: p.question,
 			Outcome:  OutcomeTimeout,
@@ -522,16 +574,19 @@ func (r *Resolver) handleResponse(dg fabric.Datagram) {
 		p.attempts <= r.cfg.Retries && p.ctx.Err() == nil {
 		timer := p.timer
 		p.timer = nil
+		span := p.takeSpanLocked()
 		r.mu.Unlock()
 		if timer != nil {
 			timer.Stop()
 		}
+		endAttempt(span, OutcomeServFail)
 		r.retry(msg.Header.ID, p)
 		return
 	}
 	delete(r.inflight, msg.Header.ID)
 	timer := p.timer
 	p.timer = nil
+	span := p.takeSpanLocked()
 	switch resp.Outcome {
 	case OutcomeSuccess:
 		r.stats.Success++
@@ -550,6 +605,7 @@ func (r *Resolver) handleResponse(dg fabric.Datagram) {
 	if timer != nil {
 		timer.Stop()
 	}
+	endAttempt(span, resp.Outcome)
 	r.finish(p, resp)
 }
 

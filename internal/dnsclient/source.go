@@ -7,6 +7,7 @@ import (
 
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/telemetry"
 )
 
 // resultFromResponse maps a lookup response onto the engine's probe
@@ -72,6 +73,13 @@ type QueryHandler interface {
 	HandleQuery(query []byte) []byte
 }
 
+// CorrQueryHandler is the correlated variant: the handler receives the
+// probe's correlation ID alongside the wire query, so a traced server can
+// join its span to the client's. dnsserver.Server implements it.
+type CorrQueryHandler interface {
+	HandleQueryCorr(query []byte, corr uint64) []byte
+}
+
 // ServerSource probes an in-process authoritative server directly at the
 // DNS message level: each lookup marshals a query, hands the wire form to
 // the server, and classifies the wire response. It performs the same
@@ -80,6 +88,14 @@ type QueryHandler interface {
 // full-sweep snapshots of a simulated deployment. Safe for concurrent use.
 type ServerSource struct {
 	Server QueryHandler
+
+	// Tracer, when non-nil, correlates every probe: the source derives
+	// telemetry.CorrID(Seed, name, 1), emits an "attempt" span, and — when
+	// Server also implements CorrQueryHandler — hands the ID to the server
+	// so its span joins the chain. Nil keeps the uncorrelated hot path.
+	Tracer *telemetry.Tracer
+	// Seed keys the correlation IDs (pair with the scan seed).
+	Seed int64
 
 	nextID atomic.Uint32
 }
@@ -99,15 +115,37 @@ func (s *ServerSource) LookupPTR(ctx context.Context, ip dnswire.IPv4) scanengin
 	if err != nil {
 		return scanengine.Result{IP: ip, Err: &Error{Kind: KindMalformed, Question: q, wrapped: err}}
 	}
+	var corr uint64
+	var sp *telemetry.Span
+	if s.Tracer != nil {
+		corr = telemetry.CorrID(s.Seed, string(q.Name), 1)
+		sp = s.Tracer.StartSpanCorr("attempt", string(q.Name), corr)
+		sp.Event("tx", 1)
+	}
 	started := time.Now()
-	reply := s.Server.HandleQuery(wire)
+	var reply []byte
+	if ch, ok := s.Server.(CorrQueryHandler); ok && corr != 0 {
+		reply = ch.HandleQueryCorr(wire, corr)
+	} else {
+		reply = s.Server.HandleQuery(wire)
+	}
 	if reply == nil {
-		return scanengine.Result{IP: ip, Err: &Error{Kind: KindTimeout, Question: q, Attempts: 1}}
+		endAttempt(sp, OutcomeTimeout)
+		res := scanengine.Result{IP: ip, Err: &Error{Kind: KindTimeout, Question: q, Attempts: 1}}
+		res.Corr = corr
+		return res
 	}
 	msg, err := dnswire.Unmarshal(reply)
 	if err != nil || !msg.Header.Response || msg.Header.ID != id {
-		return scanengine.Result{IP: ip, Err: &Error{Kind: KindMalformed, Question: q, Attempts: 1, wrapped: err}}
+		endAttempt(sp, OutcomeMalformed)
+		res := scanengine.Result{IP: ip, Err: &Error{Kind: KindMalformed, Question: q, Attempts: 1, wrapped: err}}
+		res.Corr = corr
+		return res
 	}
 	now := time.Now()
-	return resultFromResponse(ip, classify(q, msg, 1, now.Sub(started), now))
+	resp := classify(q, msg, 1, now.Sub(started), now)
+	endAttempt(sp, resp.Outcome)
+	res := resultFromResponse(ip, resp)
+	res.Corr = corr
+	return res
 }

@@ -68,3 +68,12 @@ func (m *clientMetrics) countOutcome(resp Response) {
 func WithTelemetry(sink telemetry.Sink) Option {
 	return func(c *Config) { c.Telemetry = sink }
 }
+
+// WithTracer makes the resolver emit one "attempt" span per transmission,
+// carrying the cross-layer correlation ID telemetry.CorrID(seed, name,
+// attempt); the same ID rides each datagram, so a traced fabric and
+// server extend the chain (see docs/observability.md). Pair with WithSeed
+// for replayable IDs. Without it correlation costs nothing.
+func WithTracer(tr *telemetry.Tracer) Option {
+	return func(c *Config) { c.Tracer = tr }
+}

@@ -9,6 +9,7 @@ import (
 
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/fabric"
+	"rdnsprivacy/internal/telemetry"
 )
 
 // FailureMode injects server-side failures, modelling the name-server
@@ -105,10 +106,17 @@ type Server struct {
 	zones         map[dnswire.Name]*Zone
 	failure       atomic.Pointer[failureState]
 	met           atomic.Pointer[serverMetrics]
+	tracer        atomic.Pointer[telemetry.Tracer]
 	stats         counters
 	updatePolicy  UpdatePolicy
 	allowTransfer bool
 }
+
+// ServerDropped is the "server" span event code for queries that produced
+// no response (malformed packets, injected drops, marshal failures).
+// Answered queries emit their response RCode (0..15) as the event code, so
+// the two ranges cannot collide.
+const ServerDropped = 0x100
 
 // ServerStats counts query handling outcomes.
 type ServerStats struct {
@@ -217,6 +225,24 @@ func (s *Server) findZone(name dnswire.Name, met *serverMetrics) *Zone {
 // response, or nil if the query must be silently dropped (malformed packets
 // and injected drops).
 func (s *Server) HandleQuery(query []byte) []byte {
+	return s.HandleQueryCorr(query, 0)
+}
+
+// HandleQueryCorr is HandleQuery for a query that belongs to the causal
+// chain identified by corr (telemetry.CorrID). When a tracer is attached
+// (SetTracer) and corr is non-zero, handling emits one "server" span
+// carrying corr, whose single event is the response RCode — or
+// ServerDropped when the query died without an answer — so a trace dump
+// joins the server's verdict to the client attempt and fabric hops that
+// delivered it. corr zero behaves exactly like HandleQuery.
+func (s *Server) HandleQueryCorr(query []byte, corr uint64) []byte {
+	var sp *telemetry.Span
+	if corr != 0 {
+		if tr := s.tracer.Load(); tr != nil {
+			sp = tr.StartSpanCorr("server", "", corr)
+			defer sp.End()
+		}
+	}
 	s.stats.queries.Add(1)
 	met := s.met.Load()
 	if met != nil {
@@ -228,7 +254,11 @@ func (s *Server) HandleQuery(query []byte) []byte {
 		if met != nil {
 			met.dropped.Inc()
 		}
+		sp.Event("server", ServerDropped)
 		return nil
+	}
+	if sp != nil && len(msg.Questions) > 0 {
+		sp.Attr = string(msg.Questions[0].Name)
 	}
 	var injectServFail bool
 	if fs := s.failure.Load(); fs != nil && len(msg.Questions) > 0 {
@@ -238,6 +268,7 @@ func (s *Server) HandleQuery(query []byte) []byte {
 			if met != nil {
 				met.dropped.Inc()
 			}
+			sp.Event("server", ServerDropped)
 			return nil
 		}
 		injectServFail = servFail
@@ -269,8 +300,10 @@ func (s *Server) HandleQuery(query []byte) []byte {
 	}
 	wire, err := resp.Marshal()
 	if err != nil {
+		sp.Event("server", ServerDropped)
 		return nil
 	}
+	sp.Event("server", uint64(resp.Header.RCode))
 	return wire
 }
 
@@ -310,8 +343,10 @@ func (s *Server) resolve(msg *dnswire.Message) *dnswire.Message {
 func (s *Server) AttachFabric(f *fabric.Fabric, addr fabric.Addr) (*fabric.Endpoint, error) {
 	var ep *fabric.Endpoint
 	ep, err := f.Bind(addr, func(dg fabric.Datagram) {
-		if resp := s.HandleQuery(dg.Payload); resp != nil {
-			ep.Send(dg.Src, resp)
+		// The reply inherits the query's correlation ID, so the return
+		// leg's fabric hop joins the same causal chain.
+		if resp := s.HandleQueryCorr(dg.Payload, dg.Corr); resp != nil {
+			ep.SendCorr(dg.Src, resp, dg.Corr)
 		}
 	})
 	return ep, err

@@ -40,6 +40,13 @@ type serverMetrics struct {
 // detach. Like SetFailureMode it is safe to call while the server is
 // answering queries; the new sink applies to queries that begin after the
 // call.
+// SetTracer makes the server emit one "server" span per correlated query
+// handled via HandleQueryCorr (see that method for the event taxonomy).
+// Pass nil to detach. Safe to call while the server is answering queries.
+func (s *Server) SetTracer(tr *telemetry.Tracer) {
+	s.tracer.Store(tr)
+}
+
 func (s *Server) SetTelemetry(sink telemetry.Sink) {
 	if sink == nil {
 		s.met.Store(nil)

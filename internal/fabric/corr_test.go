@@ -1,0 +1,113 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/telemetry"
+)
+
+// collectSpans drains a tracer via JSONL into records, asserting no error.
+func tracerSpans(t *testing.T, tr *telemetry.Tracer) []*telemetry.Span {
+	t.Helper()
+	return tr.Snapshot()
+}
+
+func TestHopSpansDeliverAndCorrPropagation(t *testing.T) {
+	f, clock := newTestFabric(Config{Latency: 5 * time.Millisecond})
+	tr := telemetry.NewTracer(1, 64)
+	f.SetTracer(tr)
+
+	serverAddr := Addr{IP: dnswire.MustIPv4("192.0.2.1"), Port: 53}
+	clientAddr := Addr{IP: dnswire.MustIPv4("198.51.100.1"), Port: 40000}
+
+	corr := telemetry.CorrID(7, "1.2.0.192.in-addr.arpa.", 1)
+	var gotCorr uint64
+	var srv *Endpoint
+	srv, err := f.Bind(serverAddr, func(dg Datagram) {
+		gotCorr = dg.Corr
+		// Echo back on the same correlation, like the DNS server does.
+		srv.SendCorr(dg.Src, dg.Payload, dg.Corr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replyCorr uint64
+	client, err := f.Bind(clientAddr, func(dg Datagram) { replyCorr = dg.Corr })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SendCorr(serverAddr, []byte("q"), corr); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(20 * time.Millisecond)
+
+	if gotCorr != corr || replyCorr != corr {
+		t.Fatalf("corr did not propagate: server saw %016x, client saw %016x, want %016x",
+			gotCorr, replyCorr, corr)
+	}
+	spans := tracerSpans(t, tr)
+	if len(spans) != 2 {
+		t.Fatalf("got %d hop spans, want 2 (query leg + reply leg)", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Name != "hop" || sp.Corr != corr {
+			t.Fatalf("span %q corr=%016x, want hop/%016x", sp.Name, sp.Corr, corr)
+		}
+		if len(sp.Events) != 2 || sp.Events[0].Code != HopSend || sp.Events[1].Code != HopDeliver {
+			t.Fatalf("span events = %+v, want [send deliver]", sp.Events)
+		}
+	}
+	if spans[0].ID == spans[1].ID {
+		t.Fatal("query-leg and reply-leg hop spans must have distinct IDs")
+	}
+}
+
+func TestHopSpanDropAndVanish(t *testing.T) {
+	// LossRate 1: the packet dies at send time with a "drop" event.
+	f, clock := newTestFabric(Config{LossRate: 1, Seed: 3})
+	tr := telemetry.NewTracer(1, 64)
+	f.SetTracer(tr)
+	src, _ := f.Bind(Addr{IP: dnswire.MustIPv4("192.0.2.2"), Port: 1}, nil)
+	if err := src.SendCorr(Addr{IP: dnswire.MustIPv4("192.0.2.1"), Port: 53}, []byte("x"), 42); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Millisecond)
+	spans := tracerSpans(t, tr)
+	if len(spans) != 1 || len(spans[0].Events) != 2 || spans[0].Events[1].Code != HopDrop {
+		t.Fatalf("spans = %+v, want one span ending in drop", spans)
+	}
+
+	// Unbound destination: the packet vanishes at delivery time.
+	f2, clock2 := newTestFabric(Config{})
+	tr2 := telemetry.NewTracer(1, 64)
+	f2.SetTracer(tr2)
+	src2, _ := f2.Bind(Addr{IP: dnswire.MustIPv4("192.0.2.2"), Port: 1}, nil)
+	if err := src2.SendCorr(Addr{IP: dnswire.MustIPv4("203.0.113.9"), Port: 53}, []byte("x"), 42); err != nil {
+		t.Fatal(err)
+	}
+	clock2.Advance(time.Millisecond)
+	spans2 := tracerSpans(t, tr2)
+	if len(spans2) != 1 || len(spans2[0].Events) != 2 || spans2[0].Events[1].Code != HopVanish {
+		t.Fatalf("spans = %+v, want one span ending in vanish", spans2)
+	}
+}
+
+func TestUncorrelatedTrafficNotTraced(t *testing.T) {
+	f, clock := newTestFabric(Config{})
+	tr := telemetry.NewTracer(1, 64)
+	f.SetTracer(tr)
+	dst := Addr{IP: dnswire.MustIPv4("192.0.2.1"), Port: 53}
+	if _, err := f.Bind(dst, func(Datagram) {}); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := f.Bind(Addr{IP: dnswire.MustIPv4("192.0.2.2"), Port: 1}, nil)
+	if err := src.Send(dst, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Millisecond)
+	if n := tr.Len(); n != 0 {
+		t.Fatalf("uncorrelated send produced %d spans, want 0", n)
+	}
+}

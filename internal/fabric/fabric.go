@@ -25,6 +25,7 @@ import (
 
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/simclock"
+	"rdnsprivacy/internal/telemetry"
 )
 
 // Addr is a UDP-like endpoint address on the fabric.
@@ -41,6 +42,11 @@ type Datagram struct {
 	Src     Addr
 	Dst     Addr
 	Payload []byte
+	// Corr is the cross-layer correlation ID of the probe this packet
+	// belongs to (telemetry.CorrID), zero for uncorrelated traffic. It is
+	// fabric metadata, not wire bytes: the in-process network can carry it
+	// out of band the way a real capture pipeline keys on 5-tuple + time.
+	Corr uint64
 }
 
 // Handler receives datagrams delivered to an endpoint. Handlers run on the
@@ -75,7 +81,18 @@ type Fabric struct {
 	icmpExact map[dnswire.IPv4]ICMPHandler
 	icmpPfx   []prefixHandler // sorted longest-prefix-first
 	stats     Stats
+	tracer    *telemetry.Tracer
 }
+
+// Hop-span event codes (kind "hop"): what the fabric did with one
+// correlated datagram. A span covers one packet's flight; its events are
+// "send" at transmission plus the terminal outcome.
+const (
+	HopSend    = 1 // entered the fabric
+	HopDeliver = 2 // handed to the destination endpoint
+	HopDrop    = 3 // lost to the seeded loss model at send time
+	HopVanish  = 4 // destination unbound at delivery time
+)
 
 type prefixHandler struct {
 	prefix  dnswire.Prefix
@@ -105,6 +122,16 @@ func New(clock simclock.Clock, cfg Config) *Fabric {
 
 // Clock returns the clock the fabric schedules on.
 func (f *Fabric) Clock() simclock.Clock { return f.clock }
+
+// SetTracer makes the fabric emit one "hop" span per correlated datagram
+// (Datagram.Corr != 0): a "send" event when the packet enters the fabric
+// and a terminal "deliver"/"drop"/"vanish" event when its fate is known.
+// Uncorrelated traffic is never traced. nil detaches.
+func (f *Fabric) SetTracer(tr *telemetry.Tracer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tracer = tr
+}
 
 // Stats returns a snapshot of traffic counters.
 func (f *Fabric) Stats() Stats {
@@ -216,17 +243,42 @@ func (f *Fabric) delayLocked() time.Duration {
 	return d
 }
 
+// addrKey folds an address into one span-ID key word.
+func addrKey(a Addr) uint64 {
+	return uint64(a.IP[0])<<40 | uint64(a.IP[1])<<32 | uint64(a.IP[2])<<24 |
+		uint64(a.IP[3])<<16 | uint64(a.Port)
+}
+
 // send routes a datagram. Packets to unbound addresses vanish.
 func (f *Fabric) send(dg Datagram) {
 	f.mu.Lock()
 	f.stats.DatagramsSent++
-	if f.dropLocked() {
+	tr := f.tracer
+	dropped := f.dropLocked()
+	if dropped {
 		f.stats.DatagramsDropped++
-		f.mu.Unlock()
+	}
+	var delay time.Duration
+	if !dropped {
+		delay = f.delayLocked()
+	}
+	f.mu.Unlock()
+
+	// One hop span per correlated packet: ID keyed by (corr, src, dst) so
+	// the query leg and the reply leg of the same probe get distinct but
+	// deterministic spans sharing Corr. Nil span when untraced — all calls
+	// below no-op.
+	var sp *telemetry.Span
+	if tr != nil && dg.Corr != 0 {
+		sp = tr.StartSpanCorr("hop", dg.Src.String()+">"+dg.Dst.String(),
+			dg.Corr, addrKey(dg.Src), addrKey(dg.Dst))
+		sp.Event("hop", HopSend)
+	}
+	if dropped {
+		sp.Event("hop", HopDrop)
+		sp.End()
 		return
 	}
-	delay := f.delayLocked()
-	f.mu.Unlock()
 
 	payload := append([]byte(nil), dg.Payload...)
 	f.clock.AfterFunc(delay, func() {
@@ -237,9 +289,13 @@ func (f *Fabric) send(dg Datagram) {
 		}
 		f.mu.Unlock()
 		if !ok {
+			sp.Event("hop", HopVanish)
+			sp.End()
 			return
 		}
-		ep.deliver(Datagram{Src: dg.Src, Dst: dg.Dst, Payload: payload})
+		sp.Event("hop", HopDeliver)
+		sp.End()
+		ep.deliver(Datagram{Src: dg.Src, Dst: dg.Dst, Payload: payload, Corr: dg.Corr})
 	})
 }
 
@@ -258,13 +314,20 @@ func (ep *Endpoint) Addr() Addr { return ep.addr }
 
 // Send transmits payload to dst with ep's address as the source.
 func (ep *Endpoint) Send(dst Addr, payload []byte) error {
+	return ep.SendCorr(dst, payload, 0)
+}
+
+// SendCorr transmits payload carrying the correlation ID of the probe it
+// belongs to, so the fabric's hop spans and the receiver can join this
+// packet to its client attempt. corr zero sends uncorrelated.
+func (ep *Endpoint) SendCorr(dst Addr, payload []byte, corr uint64) error {
 	ep.mu.Lock()
 	closed := ep.closed
 	ep.mu.Unlock()
 	if closed {
 		return ErrClosed
 	}
-	ep.fabric.send(Datagram{Src: ep.addr, Dst: dst, Payload: payload})
+	ep.fabric.send(Datagram{Src: ep.addr, Dst: dst, Payload: payload, Corr: corr})
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"rdnsprivacy/internal/icmp"
 	"rdnsprivacy/internal/ipam"
 	"rdnsprivacy/internal/names"
+	"rdnsprivacy/internal/telemetry"
 )
 
 // defaultNamePool is the owner-name pool for random population: the
@@ -28,6 +29,18 @@ func (n *Network) SetDNSFailure(fm dnsserver.FailureMode) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.cfg.DNSFailure = fm
+}
+
+// SetDNSTracer attaches tr to the live-mode authoritative server so
+// correlated queries emit "server" spans (see dnsserver.SetTracer). Takes
+// effect immediately when the network is already live, otherwise at Start.
+func (n *Network) SetDNSTracer(tr *telemetry.Tracer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.DNSTracer = tr
+	if n.live != nil {
+		n.live.dns.SetTracer(tr)
+	}
 }
 
 // Start switches the network to live, event-driven mode on a fabric: it
@@ -130,6 +143,9 @@ func (n *Network) Start(fab *fabric.Fabric) error {
 
 	if n.cfg.DNSFailure != (dnsserver.FailureMode{}) {
 		live.dns.SetFailureMode(n.cfg.DNSFailure)
+	}
+	if n.cfg.DNSTracer != nil {
+		live.dns.SetTracer(n.cfg.DNSTracer)
 	}
 
 	// Authoritative DNS on the fabric.

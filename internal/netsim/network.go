@@ -13,6 +13,7 @@ import (
 	"rdnsprivacy/internal/fabric"
 	"rdnsprivacy/internal/ipam"
 	"rdnsprivacy/internal/simclock"
+	"rdnsprivacy/internal/telemetry"
 )
 
 // NetworkType classifies networks the way Section 5.2 does.
@@ -114,6 +115,10 @@ type Config struct {
 	// the errors the paper observes during supplemental measurement
 	// (Figure 6).
 	DNSFailure dnsserver.FailureMode
+	// DNSTracer, when set, makes the live-mode authoritative server emit
+	// one "server" span per correlated query, joining the network's side
+	// of each probe to the scanner's causal chain (telemetry.CorrID).
+	DNSTracer *telemetry.Tracer
 }
 
 // Network is a simulated network: a population of devices plus the operator

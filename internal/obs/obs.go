@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/telemetry"
+)
+
+// DefaultExcludedMetrics are the counters scheduling can perturb; frames
+// leave them out of digests and deltas so replays of the same seeded
+// campaign stay bit-identical. The list matches what the faultsim
+// determinism tests exclude.
+func DefaultExcludedMetrics() []string {
+	return []string{
+		scanengine.MetricMergeStalls,
+		scanengine.MetricHedges,
+		scanengine.MetricHedgeWins,
+	}
+}
+
+// Recorder captures one Frame per campaign day from a registry and a
+// sweep snapshot. Methods are safe for concurrent use and safe on a nil
+// receiver, so a campaign can carry an optional *Recorder and call it
+// unconditionally.
+type Recorder struct {
+	reg     *telemetry.Registry
+	store   *Store
+	exclude []string
+	skip    map[string]bool
+
+	// mu guards prev, so interleaved captures attribute deltas without
+	// tearing.
+	mu sync.Mutex
+	// prev is the last captured counter snapshot, for delta computation.
+	prev map[string]uint64
+}
+
+// RecorderOption tunes a Recorder.
+type RecorderOption func(*Recorder)
+
+// WithCapacity bounds the frame ring (default 4096).
+func WithCapacity(n int) RecorderOption {
+	return func(r *Recorder) { r.store = NewStore(n) }
+}
+
+// WithExcludedMetrics replaces the excluded-counter list (default
+// DefaultExcludedMetrics).
+func WithExcludedMetrics(names ...string) RecorderOption {
+	return func(r *Recorder) { r.exclude = names }
+}
+
+// NewRecorder creates a recorder over reg (which may be nil: frames then
+// carry snapshot fields only, no digests or deltas).
+func NewRecorder(reg *telemetry.Registry, opts ...RecorderOption) *Recorder {
+	r := &Recorder{
+		reg:     reg,
+		store:   NewStore(0),
+		exclude: DefaultExcludedMetrics(),
+		prev:    make(map[string]uint64),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	r.skip = make(map[string]bool, len(r.exclude))
+	for _, n := range r.exclude {
+		r.skip[n] = true
+	}
+	return r
+}
+
+// CaptureFrame records one campaign day: the snapshot summary plus the
+// registry digest and counter deltas since the previous capture. It
+// returns the captured frame. Safe on a nil recorder (returns the zero
+// Frame). The store serializes captures, so concurrent callers are safe,
+// but delta attribution assumes one capture per completed sweep.
+func (r *Recorder) CaptureFrame(index int, date time.Time, snap *scanengine.Snapshot) Frame {
+	if r == nil {
+		return Frame{}
+	}
+	f := frameFromSnapshot(index, date, snap)
+	if r.reg != nil {
+		f.MetricsDigest = Hex16(r.reg.DeterministicDigest(r.exclude...))
+		cur := r.reg.Snapshot().Counters
+		r.mu.Lock()
+		deltas := make(map[string]uint64)
+		for name, v := range cur {
+			if r.skip[name] {
+				continue
+			}
+			if d := v - r.prev[name]; d != 0 {
+				deltas[name] = d
+			}
+		}
+		r.prev = cur
+		r.mu.Unlock()
+		if len(deltas) > 0 {
+			f.Deltas = deltas
+		}
+	}
+	r.store.Add(f)
+	return f
+}
+
+// Frames returns the captured frames, oldest first. Safe on nil.
+func (r *Recorder) Frames() []Frame {
+	if r == nil {
+		return nil
+	}
+	return r.store.Frames()
+}
+
+// Store exposes the underlying ring (for JSONL dumps). Safe on nil.
+func (r *Recorder) Store() *Store {
+	if r == nil {
+		return nil
+	}
+	return r.store
+}

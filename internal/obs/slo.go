@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rules is a declarative per-frame SLO: every enabled rule is evaluated
+// against each frame, and the campaign-level error budget bounds how many
+// frames may violate before the campaign itself is out of SLO.
+//
+// The zero value disables everything (every frame passes). Rates are
+// fractions in [0,1].
+type Rules struct {
+	// MaxErrorRate bounds Frame.ErrorRate (probe errors per probe).
+	// Negative disables; zero means "no errors allowed".
+	MaxErrorRate float64 `json:"max_error_rate"`
+	// MinCoverage floors Frame.Coverage (probed fraction of the plan).
+	// Zero disables.
+	MinCoverage float64 `json:"min_coverage"`
+	// MaxBreakerOpens budgets circuit-breaker opens per frame. Negative
+	// disables; zero means "no opens allowed".
+	MaxBreakerOpens int `json:"max_breaker_opens"`
+	// MaxRetryRate bounds Frame.RetryRate (scan-level retries per probe).
+	// Negative disables; zero means "no retries allowed".
+	MaxRetryRate float64 `json:"max_retry_rate"`
+	// ErrorBudget is the fraction of campaign frames allowed to violate
+	// (SRE-style): with 30 frames and a 0.1 budget, 3 bad days are within
+	// budget, 4 burn it. Zero means no violations are budgeted.
+	ErrorBudget float64 `json:"error_budget"`
+}
+
+// DefaultRules is a production-shaped starting point: 1% probe errors,
+// 99% coverage, no breaker opens, 5% retries, with 5% of days budgeted.
+func DefaultRules() Rules {
+	return Rules{
+		MaxErrorRate:    0.01,
+		MinCoverage:     0.99,
+		MaxBreakerOpens: 0,
+		MaxRetryRate:    0.05,
+		ErrorBudget:     0.05,
+	}
+}
+
+// Violation is one rule breach on one frame.
+type Violation struct {
+	// Rule names the breached rule ("error_rate", "coverage",
+	// "breaker_opens", "retry_rate").
+	Rule string `json:"rule"`
+	// Value is the observed value, Limit the configured bound.
+	Value float64 `json:"value"`
+	Limit float64 `json:"limit"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s %.4g (limit %.4g)", v.Rule, v.Value, v.Limit)
+}
+
+// FrameVerdict is one frame's SLO evaluation.
+type FrameVerdict struct {
+	Index      int         `json:"index"`
+	OK         bool        `json:"ok"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Report is a campaign-level SLO evaluation: per-frame verdicts plus
+// error-budget accounting.
+type Report struct {
+	// Verdicts holds one entry per evaluated frame, in input order.
+	Verdicts []FrameVerdict `json:"verdicts"`
+	// ViolatingFrames counts frames with at least one violation.
+	ViolatingFrames int `json:"violating_frames"`
+	// BudgetSpent is ViolatingFrames over total frames (0 with no
+	// frames); BudgetOK reports it within Rules.ErrorBudget.
+	BudgetSpent float64 `json:"budget_spent"`
+	BudgetOK    bool    `json:"budget_ok"`
+}
+
+// Evaluate applies the rules to a frame series.
+func (r Rules) Evaluate(frames []Frame) Report {
+	rep := Report{Verdicts: make([]FrameVerdict, 0, len(frames))}
+	for _, f := range frames {
+		v := r.evaluateFrame(f)
+		if !v.OK {
+			rep.ViolatingFrames++
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+	}
+	if len(frames) > 0 {
+		rep.BudgetSpent = float64(rep.ViolatingFrames) / float64(len(frames))
+	}
+	rep.BudgetOK = rep.BudgetSpent <= r.ErrorBudget
+	return rep
+}
+
+func (r Rules) evaluateFrame(f Frame) FrameVerdict {
+	v := FrameVerdict{Index: f.Index, OK: true}
+	fail := func(rule string, value, limit float64) {
+		v.OK = false
+		v.Violations = append(v.Violations, Violation{Rule: rule, Value: value, Limit: limit})
+	}
+	if r.MaxErrorRate >= 0 && f.ErrorRate() > r.MaxErrorRate {
+		fail("error_rate", f.ErrorRate(), r.MaxErrorRate)
+	}
+	if r.MinCoverage > 0 && f.Coverage() < r.MinCoverage {
+		fail("coverage", f.Coverage(), r.MinCoverage)
+	}
+	if r.MaxBreakerOpens >= 0 && f.BreakerOpens > uint64(r.MaxBreakerOpens) {
+		fail("breaker_opens", float64(f.BreakerOpens), float64(r.MaxBreakerOpens))
+	}
+	if r.MaxRetryRate >= 0 && f.RetryRate() > r.MaxRetryRate {
+		fail("retry_rate", f.RetryRate(), r.MaxRetryRate)
+	}
+	return v
+}
+
+// Summary renders the report as a short human-readable table, one line
+// per violating frame plus the budget verdict — the experiments -obs
+// output shape.
+func (rep Report) Summary() string {
+	var b strings.Builder
+	for _, v := range rep.Verdicts {
+		if v.OK {
+			continue
+		}
+		parts := make([]string, len(v.Violations))
+		for i, viol := range v.Violations {
+			parts[i] = viol.String()
+		}
+		fmt.Fprintf(&b, "frame %d: %s\n", v.Index, strings.Join(parts, "; "))
+	}
+	verdict := "within"
+	if !rep.BudgetOK {
+		verdict = "EXCEEDS"
+	}
+	fmt.Fprintf(&b, "%d/%d frames violating; budget spent %.1f%% (%s budget)\n",
+		rep.ViolatingFrames, len(rep.Verdicts), rep.BudgetSpent*100, verdict)
+	return b.String()
+}

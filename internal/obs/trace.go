@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rdnsprivacy/internal/dnsclient"
+	"rdnsprivacy/internal/dnsserver"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/fabric"
+	"rdnsprivacy/internal/telemetry"
+)
+
+// Chain is one probe attempt's stitched causal path: the client span that
+// originated the correlation ID, the fabric hops the query (and any
+// reply) took, and the server span that answered. Layers that did not
+// trace (e.g. a sink-only run) simply leave their slot empty.
+type Chain struct {
+	// Corr is the shared correlation ID (telemetry.CorrID keying).
+	Corr uint64
+	// Name is the query name, taken from the client span's attr (or the
+	// server span's when no client traced).
+	Name string
+	// Client is the dnsclient "attempt" span, nil if the client layer
+	// did not trace this correlation.
+	Client *telemetry.SpanRecord
+	// Hops are the fabric "hop" spans in completion order — the query
+	// leg first, then the reply leg when one was sent.
+	Hops []telemetry.SpanRecord
+	// Server is the dnsserver "server" span, nil if the query never
+	// reached a traced server.
+	Server *telemetry.SpanRecord
+	// Other holds correlated spans from layers outside the taxonomy
+	// (future-proofing; empty today).
+	Other []telemetry.SpanRecord
+}
+
+// Complete reports whether the chain crosses all three layers: a client
+// attempt, at least one fabric hop, and a server verdict.
+func (c Chain) Complete() bool {
+	return c.Client != nil && len(c.Hops) > 0 && c.Server != nil
+}
+
+// Stitch groups correlated span records into causal chains, ordered by
+// correlation ID. Uncorrelated spans (corr 0 — shard spans, sweep spans)
+// are ignored.
+func Stitch(records []telemetry.SpanRecord) []Chain {
+	byCorr := make(map[uint64]*Chain)
+	var order []uint64
+	for i := range records {
+		rec := records[i]
+		corr := rec.CorrID()
+		if corr == 0 {
+			continue
+		}
+		c := byCorr[corr]
+		if c == nil {
+			c = &Chain{Corr: corr}
+			byCorr[corr] = c
+			order = append(order, corr)
+		}
+		switch rec.Name {
+		case "attempt":
+			if c.Client == nil {
+				c.Client = &records[i]
+			} else {
+				c.Other = append(c.Other, rec)
+			}
+		case "hop":
+			c.Hops = append(c.Hops, rec)
+		case "server":
+			if c.Server == nil {
+				c.Server = &records[i]
+			} else {
+				c.Other = append(c.Other, rec)
+			}
+		default:
+			c.Other = append(c.Other, rec)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	chains := make([]Chain, 0, len(order))
+	for _, corr := range order {
+		c := byCorr[corr]
+		if c.Client != nil {
+			c.Name = c.Client.Attr
+		} else if c.Server != nil {
+			c.Name = c.Server.Attr
+		}
+		chains = append(chains, *c)
+	}
+	return chains
+}
+
+// hopVerdict names a hop span's terminal event code.
+func hopVerdict(code uint64) string {
+	switch code {
+	case fabric.HopSend:
+		return "in-flight"
+	case fabric.HopDeliver:
+		return "deliver"
+	case fabric.HopDrop:
+		return "drop"
+	case fabric.HopVanish:
+		return "vanish"
+	}
+	return fmt.Sprintf("hop?%d", code)
+}
+
+// serverVerdict names a server span's terminal event code (an RCode, or
+// the dropped sentinel).
+func serverVerdict(code uint64) string {
+	if code == dnsserver.ServerDropped {
+		return "DROPPED"
+	}
+	return dnswire.RCode(code).String()
+}
+
+// Render formats the chain as one line:
+//
+//	corr 6e3a…: 10.2.0.192.in-addr.arpa. attempt#1 → hop a>b deliver → hop b>a deliver → server NOERROR → client SUCCESS
+func (c Chain) Render() string {
+	var parts []string
+	attempt := "?"
+	if c.Client != nil {
+		for _, ev := range c.Client.Events {
+			if ev.Kind == "tx" {
+				attempt = fmt.Sprintf("%d", ev.Code)
+			}
+		}
+	}
+	parts = append(parts, "attempt#"+attempt)
+	for _, hop := range c.Hops {
+		verdict := "?"
+		if n := len(hop.Events); n > 0 {
+			verdict = hopVerdict(hop.Events[n-1].Code)
+		}
+		parts = append(parts, "hop "+hop.Attr+" "+verdict)
+	}
+	if c.Server != nil {
+		verdict := "?"
+		if n := len(c.Server.Events); n > 0 {
+			verdict = serverVerdict(c.Server.Events[n-1].Code)
+		}
+		parts = append(parts, "server "+verdict)
+	}
+	if c.Client != nil {
+		for _, ev := range c.Client.Events {
+			if ev.Kind == "client" {
+				parts = append(parts, "client "+dnsclient.Outcome(ev.Code).String())
+			}
+		}
+	}
+	return fmt.Sprintf("corr %016x: %s %s", c.Corr, c.Name, strings.Join(parts, " → "))
+}

@@ -57,6 +57,12 @@ type Config struct {
 	// probe, group-lifecycle and PTR-removal counters — see telemetry.go)
 	// and is handed to the per-target resolvers for the dnsclient metrics.
 	Telemetry telemetry.Sink
+	// Tracer, when non-nil, is handed to the per-target resolvers so every
+	// follow-up PTR attempt emits a correlated "attempt" span
+	// (telemetry.CorrID keyed by TracerSeed).
+	Tracer *telemetry.Tracer
+	// TracerSeed keys the correlation IDs when Tracer is set.
+	TracerSeed int64
 }
 
 // Engine runs the supplemental measurement on a fabric. Create one with
@@ -259,6 +265,11 @@ func NewEngine(fab *fabric.Fabric, cfg Config) (*Engine, error) {
 			// All per-target resolvers share one sink, so the dnsclient
 			// counters aggregate across targets.
 			opts = append(opts, dnsclient.WithTelemetry(cfg.Telemetry))
+		}
+		if cfg.Tracer != nil {
+			opts = append(opts,
+				dnsclient.WithTracer(cfg.Tracer),
+				dnsclient.WithSeed(cfg.TracerSeed))
 		}
 		res, err := dnsclient.NewResolver(fab, opts...)
 		if err != nil {

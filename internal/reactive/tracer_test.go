@@ -1,0 +1,105 @@
+package reactive
+
+import (
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/fabric"
+	"rdnsprivacy/internal/ipam"
+	"rdnsprivacy/internal/netsim"
+	"rdnsprivacy/internal/simclock"
+	"rdnsprivacy/internal/telemetry"
+)
+
+// TestEngineTracerEmitsCorrelatedChains runs a short reactive measurement
+// with the tracer threaded through the engine's resolver, the fabric, and
+// the network's DNS server, then checks the rDNS follow-up queries left
+// complete client→fabric→server chains — the cross-layer path
+// experiments -trace stitches (see docs/observability.md).
+func TestEngineTracerEmitsCorrelatedChains(t *testing.T) {
+	const seed = int64(31)
+	dev := scriptedDevice(1, "Brian's iPhone", true, mondaySession(9*time.Hour, 10*time.Hour))
+	cfg := netsim.Config{
+		Name:      "Academic-T",
+		Type:      netsim.Academic,
+		Suffix:    dnswire.MustName("campus-t.edu"),
+		Announced: dnswire.MustPrefix("10.80.0.0/20"),
+		Blocks: []netsim.Block{
+			{Kind: netsim.BlockDynamic, Prefix: dnswire.MustPrefix("10.80.1.0/24"),
+				Policy: ipam.PolicyCarryOver, SubLabel: "dyn"},
+		},
+		LeaseTime: time.Hour,
+		Seed:      5,
+	}
+	n, err := netsim.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddDevice(dev, 0, netsim.Student); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+
+	tr := telemetry.NewTracer(seed, 0)
+	clock := simclock.NewSimulated(epoch)
+	fab := fabric.New(clock, fabric.Config{Latency: 5 * time.Millisecond})
+	fab.SetTracer(tr)
+	n.SetDNSTracer(tr)
+	if err := n.Start(fab); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(fab, Config{
+		Targets: []Target{{
+			Name:     "Academic-T",
+			Prefixes: []dnswire.Prefix{dnswire.MustPrefix("10.80.1.0/24")},
+			DNS:      n.DNSAddr(),
+		}},
+		VantageICMP: dnswire.MustIPv4("198.51.100.10"),
+		VantageDNS:  dnswire.MustIPv4("198.51.100.11"),
+		Tracer:      tr,
+		TracerSeed:  seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clock.AdvanceTo(epoch.Add(11 * time.Hour))
+	eng.Stop()
+
+	// At least one correlation must cross all three layers.
+	type chain struct{ attempt, hop, server int }
+	chains := make(map[uint64]*chain)
+	for _, sp := range tr.Snapshot() {
+		if sp.Corr == 0 {
+			continue
+		}
+		c := chains[sp.Corr]
+		if c == nil {
+			c = &chain{}
+			chains[sp.Corr] = c
+		}
+		switch sp.Name {
+		case "attempt":
+			c.attempt++
+		case "hop":
+			c.hop++
+		case "server":
+			c.server++
+		}
+	}
+	if len(chains) == 0 {
+		t.Fatal("no correlated spans from the reactive run")
+	}
+	complete := 0
+	for _, c := range chains {
+		if c.attempt >= 1 && c.hop >= 2 && c.server >= 1 {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Fatalf("no complete client→fabric→server chain among %d correlations", len(chains))
+	}
+}

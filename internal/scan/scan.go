@@ -25,6 +25,7 @@ import (
 	"rdnsprivacy/internal/dnsclient"
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/netsim"
+	"rdnsprivacy/internal/obs"
 	"rdnsprivacy/internal/scanengine"
 	"rdnsprivacy/internal/telemetry"
 )
@@ -80,6 +81,10 @@ type Campaign struct {
 	// (the scan_* instruments; see docs/telemetry.md). Nil keeps the
 	// engine on its zero-overhead path.
 	Telemetry telemetry.Sink
+	// Observer, when set, captures one obs.Frame per snapshot date —
+	// the longitudinal health series docs/observability.md describes.
+	// Nil skips capture entirely.
+	Observer *obs.Recorder
 }
 
 // Targets returns the campaign's sweep coverage, for scanengine.Request.
@@ -162,6 +167,7 @@ func Run(c Campaign) *Result {
 		if err != nil {
 			break // background context: unreachable, but do not loop on a dead sweep
 		}
+		c.Observer.CaptureFrame(i, d, snap)
 		for ip, name := range snap.Records {
 			collector.Observe(d, ip, name)
 			series.Add(ip.Slash24(), i, 1)

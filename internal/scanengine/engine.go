@@ -583,6 +583,9 @@ func (s *Scanner) runShard(ctx context.Context, si int, shard dnswire.Prefix, at
 				countOutcome(met, code)
 			}
 			sp.Event("probe", code)
+			if res.Corr != 0 {
+				sp.Event("corr", res.Corr)
+			}
 			if res.Found || res.Err != nil || s.probeEvents {
 				send(mergeMsg{shard: si, res: res})
 			}
@@ -650,6 +653,9 @@ func (s *Scanner) runShard(ctx context.Context, si int, shard dnswire.Prefix, at
 			countOutcome(met, code)
 		}
 		sp.Event("probe", code)
+		if res.Corr != 0 {
+			sp.Event("corr", res.Corr)
+		}
 		if res.Found || res.Err != nil || res.Cached || s.probeEvents {
 			if !send(mergeMsg{shard: si, res: res}) {
 				return

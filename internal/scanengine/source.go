@@ -27,6 +27,11 @@ type Result struct {
 	// dnsclient.Response) for consumers that need more than the
 	// engine's taxonomy.
 	Meta any
+	// Corr is the probe's cross-layer correlation ID (telemetry.CorrID),
+	// zero when the source does not correlate. The engine copies it onto
+	// the shard span as a "corr" event, linking the shard trace to the
+	// client/fabric/server spans of the same probe.
+	Corr uint64
 }
 
 // Absent reports an authoritative absence: no record and no error.

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"reflect"
 	"sync"
 	"time"
 )
@@ -80,10 +81,19 @@ func (e *Exporter) Handler() http.Handler {
 			http.Error(w, "no health source configured", http.StatusNotFound)
 			return
 		}
+		// "Not ready" must be distinguishable from "healthy but empty":
+		// before the first sweep completes there is no report, and a
+		// poller that treated a 200-with-nothing as healthy would blind
+		// itself to the warm-up window. 503 says retry later.
+		v := e.health()
+		if isNilReport(v) {
+			http.Error(w, "no health report yet", http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(e.health()); err != nil {
+		if err := enc.Encode(v); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -92,10 +102,31 @@ func (e *Exporter) Handler() http.Handler {
 			http.Error(w, "no tracer configured", http.StatusNotFound)
 			return
 		}
+		if e.tracer.Len() == 0 {
+			// An empty ring before the first span completes is "not ready",
+			// not "an empty trace": 204 carries no body by definition.
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		e.tracer.WriteJSONL(w)
 	})
 	return mux
+}
+
+// isNilReport reports whether a health snapshot is absent: a nil any, or a
+// typed nil pointer/interface/map/slice smuggled inside one (the usual
+// shape of atomic.Pointer[Report].Load() before the first store).
+func isNilReport(v any) bool {
+	if v == nil {
+		return true
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.Interface, reflect.Map, reflect.Slice, reflect.Chan, reflect.Func:
+		return rv.IsNil()
+	}
+	return false
 }
 
 // Start binds addr (e.g. "127.0.0.1:9090"; a ":0" port picks a free one)

@@ -93,6 +93,43 @@ func TestExporterWithoutOptional(t *testing.T) {
 	}
 }
 
+func TestExporterNotReady(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+
+	type report struct{ OK bool }
+	var last *report // typed nil until the first sweep completes
+	tr := telemetry.NewTracer(7, 8)
+	exp := telemetry.NewExporter(telemetry.NewRegistry(),
+		telemetry.WithExporterTracer(tr),
+		telemetry.WithExporterHealth(func() any { return last }),
+	)
+	addr, err := exp.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	base := "http://" + addr
+
+	// A typed-nil report inside a non-nil any is still "no report yet".
+	if code, _ := get(t, base+"/health"); code != http.StatusServiceUnavailable {
+		t.Errorf("/health before first report: code=%d, want 503", code)
+	}
+	if code, body := get(t, base+"/trace"); code != http.StatusNoContent || body != "" {
+		t.Errorf("/trace with empty ring: code=%d body=%q, want 204 with no body", code, body)
+	}
+
+	last = &report{OK: true}
+	sp := tr.StartSpan("shard", "10.0.0.0/16", 0)
+	sp.End()
+
+	if code, body := get(t, base+"/health"); code != 200 || !strings.Contains(body, `"OK": true`) {
+		t.Errorf("/health after report: code=%d body=%q", code, body)
+	}
+	if code, body := get(t, base+"/trace"); code != 200 || !strings.Contains(body, `"name":"shard"`) {
+		t.Errorf("/trace after span: code=%d body=%q", code, body)
+	}
+}
+
 func TestExporterDoubleStartAndClose(t *testing.T) {
 	defer testutil.VerifyNoLeaks(t)
 	exp := telemetry.NewExporter(telemetry.NewRegistry())

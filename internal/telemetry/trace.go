@@ -29,7 +29,8 @@ type Tracer struct {
 	now  func() time.Time
 
 	mu      sync.Mutex
-	spans   []*Span // completion order, oldest first
+	spans   []*Span // circular buffer; head indexes the oldest entry once full
+	head    int     // next write position after the buffer reaches capacity
 	dropped uint64  // completed spans evicted from the ring
 }
 
@@ -77,6 +78,10 @@ type Span struct {
 	Events  []SpanEvent
 	// Dropped counts events discarded past the per-span cap.
 	Dropped int
+	// Corr is the cross-layer correlation ID (see CorrID), zero when the
+	// span is not part of a causal chain. Spans from different layers
+	// carrying the same Corr describe the same probe.
+	Corr uint64
 
 	tracer *Tracer
 }
@@ -96,16 +101,29 @@ type SpanEvent struct {
 // keys with splitmix64, so the same (seed, name, keys) always yields the
 // same ID. Safe on a nil tracer (returns nil; nil spans no-op).
 func (t *Tracer) StartSpan(name, attr string, keys ...uint64) *Span {
+	return t.StartSpanCorr(name, attr, 0, keys...)
+}
+
+// StartSpanCorr opens a span that belongs to the causal chain identified
+// by corr (see CorrID). The correlation ID participates in the span ID
+// derivation, so spans for the same probe from different layers get
+// distinct-but-deterministic IDs while sharing Corr. Safe on a nil tracer.
+func (t *Tracer) StartSpanCorr(name, attr string, corr uint64, keys ...uint64) *Span {
 	if t == nil {
 		return nil
 	}
 	f := fnv.New64a()
 	io.WriteString(f, name)
-	words := append([]uint64{t.seed, f.Sum64()}, keys...)
+	words := []uint64{t.seed, f.Sum64()}
+	if corr != 0 {
+		words = append(words, corr)
+	}
+	words = append(words, keys...)
 	return &Span{
 		ID:      mix64(words...),
 		Name:    name,
 		Attr:    attr,
+		Corr:    corr,
 		StartAt: t.now(),
 		tracer:  t,
 	}
@@ -138,11 +156,16 @@ func (s *Span) End() {
 	s.EndAt = t.now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.spans = append(t.spans, s)
-	if over := len(t.spans) - t.cap; over > 0 {
-		t.spans = append(t.spans[:0], t.spans[over:]...)
-		t.dropped += uint64(over)
+	// O(1) eviction: once the buffer reaches capacity, overwrite in place
+	// instead of shifting — sustained overflow (per-probe correlation
+	// spans) would otherwise turn every End into a full-ring copy.
+	if len(t.spans) < t.cap {
+		t.spans = append(t.spans, s)
+		return
 	}
+	t.spans[t.head] = s
+	t.head = (t.head + 1) % t.cap
+	t.dropped++
 }
 
 // Len returns the number of completed spans currently in the ring.
@@ -165,11 +188,23 @@ func (t *Tracer) DroppedSpans() uint64 {
 	return t.dropped
 }
 
-// snapshot copies the ring under the lock.
+// Snapshot copies the completed-span ring in completion order, oldest
+// first. The spans themselves are not copied; callers must treat them as
+// read-only (they are immutable after End).
+func (t *Tracer) Snapshot() []*Span {
+	if t == nil {
+		return nil
+	}
+	return t.snapshot()
+}
+
+// snapshot copies the ring under the lock, linearized oldest-first.
 func (t *Tracer) snapshot() []*Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]*Span(nil), t.spans...)
+	out := make([]*Span, 0, len(t.spans))
+	out = append(out, t.spans[t.head:]...)
+	return append(out, t.spans[:t.head]...)
 }
 
 // Digest hashes the deterministic portion of every completed span — ID,
@@ -190,7 +225,7 @@ func (t *Tracer) Digest() uint64 {
 	})
 	f := fnv.New64a()
 	for _, s := range spans {
-		fmt.Fprintf(f, "%016x %s %s %d\n", s.ID, s.Name, s.Attr, s.Dropped)
+		fmt.Fprintf(f, "%016x %016x %s %s %d\n", s.ID, s.Corr, s.Name, s.Attr, s.Dropped)
 		for _, ev := range s.Events {
 			fmt.Fprintf(f, "  %d %s %d\n", ev.Seq, ev.Kind, ev.Code)
 		}
@@ -203,10 +238,21 @@ type SpanRecord struct {
 	ID      string      `json:"id"`
 	Name    string      `json:"name"`
 	Attr    string      `json:"attr,omitempty"`
+	Corr    string      `json:"corr,omitempty"` // cross-layer correlation ID, hex
 	Start   time.Time   `json:"start"`
 	End     time.Time   `json:"end"`
 	Dropped int         `json:"dropped,omitempty"`
 	Events  []SpanEvent `json:"events"`
+}
+
+// CorrID parses the record's correlation ID (zero when absent).
+func (r SpanRecord) CorrID() uint64 {
+	if r.Corr == "" {
+		return 0
+	}
+	var v uint64
+	fmt.Sscanf(r.Corr, "%x", &v)
+	return v
 }
 
 // WriteJSONL dumps the completed spans in completion order, one JSON
@@ -226,6 +272,9 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 			End:     s.EndAt,
 			Dropped: s.Dropped,
 			Events:  s.Events,
+		}
+		if s.Corr != 0 {
+			rec.Corr = fmt.Sprintf("%016x", s.Corr)
 		}
 		if err := enc.Encode(&rec); err != nil {
 			return err

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"io"
 	"sync"
 	"testing"
 	"time"
@@ -85,6 +86,56 @@ func TestTracerRingEviction(t *testing.T) {
 	}
 	if got := tr.DroppedSpans(); got != 2 {
 		t.Fatalf("dropped = %d, want 2", got)
+	}
+}
+
+// TestTracerRingWrapOrder pins the circular buffer's linearization:
+// after (multiple) wraps, Snapshot returns the retained spans oldest
+// first, exactly the last cap completions.
+func TestTracerRingWrapOrder(t *testing.T) {
+	tr := NewTracer(1, 4)
+	for i := 0; i < 11; i++ {
+		sp := tr.StartSpan("s", "", uint64(i))
+		sp.Event("i", uint64(i))
+		sp.End()
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(spans))
+	}
+	for j, sp := range spans {
+		if want := uint64(7 + j); sp.Events[0].Code != want {
+			t.Fatalf("snapshot[%d] = span %d, want %d (oldest-first)", j, sp.Events[0].Code, want)
+		}
+	}
+	if got := tr.DroppedSpans(); got != 7 {
+		t.Fatalf("dropped = %d, want 7", got)
+	}
+}
+
+// TestTracerNilAndDefaults pins the nil-receiver safety contract (a nil
+// tracer is a valid "tracing off" value everywhere) and the default ring
+// capacity.
+func TestTracerNilAndDefaults(t *testing.T) {
+	var tr *Tracer
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil tracer Snapshot = %v, want nil", got)
+	}
+	if got := tr.DroppedSpans(); got != 0 {
+		t.Fatalf("nil tracer DroppedSpans = %d, want 0", got)
+	}
+	if got := tr.Digest(); got != 0 {
+		t.Fatalf("nil tracer Digest = %d, want 0", got)
+	}
+	if err := tr.WriteJSONL(io.Discard); err != nil {
+		t.Fatalf("nil tracer WriteJSONL: %v", err)
+	}
+	d := NewTracer(9, 0, WithNow(nil))
+	if d.cap != 4096 {
+		t.Fatalf("default capacity = %d, want 4096", d.cap)
+	}
+	if d.now == nil {
+		t.Fatal("WithNow(nil) must keep the default clock")
 	}
 }
 
