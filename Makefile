@@ -11,13 +11,15 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-check guards the scan engine against performance regressions: it
-# runs the full-sweep benchmark, writes the results to BENCH_scan.json,
-# and fails when ns/op regressed >15% against the checked-in baseline.
+# bench-check guards the hot paths against performance regressions: it
+# runs the full-sweep benchmark plus the history-store and rdnsd query
+# benchmarks, writes the results to BENCH_scan.json, and fails when
+# ns/op regressed >15% against the checked-in baseline.
 # After an intentional perf change: cp BENCH_scan.json BENCH_baseline.json
 bench-check:
 	$(GO) build -o /tmp/benchcheck ./cmd/benchcheck
-	$(GO) test -run '^$$' -bench 'BenchmarkScanEngineFullSweep' -count=1 . \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkScanEngineFullSweep|BenchmarkHistStoreAt' -count=1 . \
+		&& $(GO) test -run '^$$' -bench 'BenchmarkRdnsdQuery' -count=1 ./cmd/rdnsd ; } \
 		| /tmp/benchcheck -baseline BENCH_baseline.json -out BENCH_scan.json
 
 # cover gates per-package test coverage: every internal package must stay
@@ -29,21 +31,24 @@ cover:
 	$(GO) test -cover ./internal/... \
 		| /tmp/covercheck -baseline COVERAGE_baseline.txt -out COVERAGE_current.txt
 
-# race checks every internal package under the race detector; the
-# concurrency-heavy ones (scanengine, dnsclient, faultsim scenarios) are
-# the point, the rest are cheap.
+# race checks every internal package plus the query daemon under the race
+# detector; the concurrency-heavy ones (scanengine, dnsclient, faultsim
+# scenarios, rdnsd's queries-during-append) are the point, the rest are
+# cheap.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./internal/... ./cmd/rdnsd
 
 # fuzz gives each fuzz target a short exploratory run beyond its checked-in
 # seed corpus (plain `go test` already replays the seeds).
 fuzz:
 	$(GO) test -fuzz=FuzzParseOptions -fuzztime=30s ./internal/dhcpwire
+	$(GO) test -fuzz=FuzzDecodeBlock -fuzztime=30s ./internal/histstore
 
 # verify is the pre-merge gate: vet everything, run the full test suite
-# with the coverage floors, and race-test all internal packages.
+# with the coverage floors, and race-test the internal packages and the
+# query daemon.
 verify:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(MAKE) cover
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./internal/... ./cmd/rdnsd

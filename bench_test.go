@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/dynamicity"
 	"rdnsprivacy/internal/fabric"
+	"rdnsprivacy/internal/histstore"
 	"rdnsprivacy/internal/netsim"
 	"rdnsprivacy/internal/privleak"
 	"rdnsprivacy/internal/reactive"
@@ -504,4 +506,98 @@ func BenchmarkRenderAllExperiments(b *testing.B) {
 			r.Render(io.Discard)
 		}
 	}
+}
+
+// buildHistStoreLog writes a 120-day, 8-/24 campaign history to path:
+// 48 stable hosts per block plus one rotating dynamic lease per block per
+// day, so every day past the first is a delta frame with real churn.
+func buildHistStoreLog(b *testing.B, path string) []time.Time {
+	b.Helper()
+	st, err := histstore.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := date(2021, time.January, 1)
+	var times []time.Time
+	for day := 0; day < 120; day++ {
+		recs := scanengine.RecordSet{}
+		for k := 0; k < 8; k++ {
+			for o := 1; o <= 48; o++ {
+				recs[dnswire.MustIPv4(fmt.Sprintf("10.60.%d.%d", k, o))] =
+					dnswire.MustName(fmt.Sprintf("host-%d-%d.dyn.bench.example", k, o))
+			}
+			recs[dnswire.MustIPv4(fmt.Sprintf("10.60.%d.%d", k, 200+day%8))] =
+				dnswire.MustName(fmt.Sprintf("lease-%d-%d.dyn.bench.example", k, day))
+		}
+		d := start.AddDate(0, 0, day)
+		if err := st.Append(d, recs); err != nil {
+			b.Fatal(err)
+		}
+		times = append(times, d)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return times
+}
+
+// BenchmarkHistStoreAt measures the history store's time-travel point
+// query over a 120-day log, cold (no reconstruction cache: every query
+// replays a delta chain from the nearest base) versus cached (the steady
+// state cmd/rdnsd runs in). bench-check gates both within ±15%.
+func BenchmarkHistStoreAt(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.hist")
+	times := buildHistStoreLog(b, path)
+
+	run := func(b *testing.B, st *histstore.Store) {
+		b.Helper()
+		found := 0
+		for i := 0; i < b.N; i++ {
+			ip := dnswire.MustIPv4(fmt.Sprintf("10.60.%d.7", i%8))
+			_, ok, err := st.At(ip, times[(i*13)%len(times)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok {
+				found++
+			}
+		}
+		if found != b.N {
+			b.Fatalf("found %d of %d stable hosts", found, b.N)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		st, err := histstore.Open(path, histstore.WithCache(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		b.ResetTimer()
+		run(b, st)
+		b.StopTimer()
+		s := st.Stats()
+		if s.Reconstructions < uint64(b.N) {
+			b.Fatalf("cold path reconstructed %d times over %d queries", s.Reconstructions, b.N)
+		}
+		b.ReportMetric(float64(s.Reconstructions)/float64(b.N), "reconstructions/op")
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		st, err := histstore.Open(path, histstore.WithCache(4096))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		// Warm every (block, version) state the query rotation touches.
+		run(b, st)
+		b.ResetTimer()
+		run(b, st)
+		b.StopTimer()
+		s := st.Stats()
+		if s.CacheHits == 0 {
+			b.Fatal("cached path never hit")
+		}
+		b.ReportMetric(float64(s.Reconstructions)/float64(b.N), "reconstructions/op")
+	})
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -65,41 +66,43 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
-	rows, err := dataset.ReadRows(f)
+	series, err := seriesFromCSV(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	series := seriesFromRows(rows)
 	report(dynamicity.Analyze(series, cfg))
 }
 
-// seriesFromRows builds the per-/24 daily unique-address counts.
-func seriesFromRows(rows []dataset.Row) *dataset.CountSeries {
-	daySet := map[time.Time]bool{}
-	for _, r := range rows {
-		daySet[r.Date] = true
+// seriesFromCSV streams the observations once, deduplicating per
+// (date, address), and builds the per-/24 daily unique-address counts.
+// Only the dedup sets are held, never the row slice.
+func seriesFromCSV(r io.Reader) (*dataset.CountSeries, error) {
+	perDay := map[time.Time]map[dnswire.IPv4]bool{}
+	err := dataset.ScanRows(r, func(row dataset.Row) error {
+		ips := perDay[row.Date]
+		if ips == nil {
+			ips = map[dnswire.IPv4]bool{}
+			perDay[row.Date] = ips
+		}
+		ips[row.IP] = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	days := make([]time.Time, 0, len(daySet))
-	for d := range daySet {
+	days := make([]time.Time, 0, len(perDay))
+	for d := range perDay {
 		days = append(days, d)
 	}
 	sort.Slice(days, func(i, j int) bool { return days[i].Before(days[j]) })
-	dayIdx := make(map[time.Time]int, len(days))
-	for i, d := range days {
-		dayIdx[d] = i
-	}
 	series := dataset.NewCountSeries(days)
-	seen := map[string]bool{}
-	for _, r := range rows {
-		key := r.Date.Format(dataset.DateFormat) + r.IP.String()
-		if seen[key] {
-			continue
+	for i, d := range days {
+		for ip := range perDay[d] {
+			series.Add(ip.Slash24(), i, 1)
 		}
-		seen[key] = true
-		series.Add(r.IP.Slash24(), dayIdx[r.Date], 1)
 	}
-	return series
+	return series, nil
 }
 
 func report(res *dynamicity.Result) {

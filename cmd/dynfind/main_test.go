@@ -1,28 +1,30 @@
 package main
 
 import (
+	"strings"
 	"testing"
 	"time"
 
-	"rdnsprivacy/internal/dataset"
 	"rdnsprivacy/internal/dnswire"
 )
 
-func TestSeriesFromRows(t *testing.T) {
-	day1 := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
-	day2 := day1.AddDate(0, 0, 1)
-	name := dnswire.MustName("h.example.edu")
-	rows := []dataset.Row{
-		{Date: day1, IP: dnswire.MustIPv4("10.0.0.1"), PTR: name},
-		{Date: day1, IP: dnswire.MustIPv4("10.0.0.2"), PTR: name},
+func TestSeriesFromCSV(t *testing.T) {
+	csv := strings.Join([]string{
+		"date,ip,ptr",
+		"2021-01-01,10.0.0.1,h.example.edu",
+		"2021-01-01,10.0.0.2,h.example.edu",
 		// Duplicate observation on the same day must count once.
-		{Date: day1, IP: dnswire.MustIPv4("10.0.0.2"), PTR: name},
-		{Date: day2, IP: dnswire.MustIPv4("10.0.0.1"), PTR: name},
+		"2021-01-01,10.0.0.2,h.example.edu",
+		"2021-01-02,10.0.0.1,h.example.edu",
 		// A different /24.
-		{Date: day2, IP: dnswire.MustIPv4("10.0.1.9"), PTR: name},
+		"2021-01-02,10.0.1.9,h.example.edu",
+	}, "\n") + "\n"
+	series, err := seriesFromCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
 	}
-	series := seriesFromRows(rows)
-	if len(series.Dates) != 2 {
+	day1 := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	if len(series.Dates) != 2 || !series.Dates[0].Equal(day1) {
 		t.Fatalf("dates = %v", series.Dates)
 	}
 	p1 := dnswire.MustPrefix("10.0.0.0/24")
@@ -35,9 +37,19 @@ func TestSeriesFromRows(t *testing.T) {
 	}
 }
 
-func TestSeriesFromRowsEmpty(t *testing.T) {
-	series := seriesFromRows(nil)
+func TestSeriesFromCSVEmpty(t *testing.T) {
+	series, err := seriesFromCSV(strings.NewReader("date,ip,ptr\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(series.Dates) != 0 || len(series.Counts) != 0 {
 		t.Fatalf("series = %+v", series)
+	}
+}
+
+func TestSeriesFromCSVBadRow(t *testing.T) {
+	_, err := seriesFromCSV(strings.NewReader("date,ip,ptr\n2021-01-01,not-an-ip,h.example.edu\n"))
+	if err == nil {
+		t.Fatal("bad address accepted")
 	}
 }

@@ -7,9 +7,18 @@
 //	leakfind -input observations.csv [-dynamic dynprefixes.txt] \
 //	         [-min-names 18] [-min-ratio 0.03]
 //
+// With -store it reads a longitudinal history store (the append-only log
+// cmd/rdnsd serves; see docs/storage.md) instead of a CSV, replaying every
+// stored observation through the same analyzer:
+//
+//	leakfind -store campaign.hist [-dynamic dynprefixes.txt]
+//
 // The optional -dynamic file lists one /24 per line (the output of
 // cmd/dynfind); without it, every observation is treated as dynamic, which
 // matches running the tool on data already restricted to dynamic space.
+//
+// The CSV path streams: rows are observed as they are parsed, so memory
+// stays constant in the input size (minus the per-record dedup set).
 package main
 
 import (
@@ -21,36 +30,28 @@ import (
 
 	"rdnsprivacy/internal/dataset"
 	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/histstore"
 	"rdnsprivacy/internal/names"
 	"rdnsprivacy/internal/privleak"
 )
 
 func main() {
 	input := flag.String("input", "", "CSV of date,ip,ptr observations")
+	storePath := flag.String("store", "", "longitudinal history store to read instead of -input (see docs/storage.md)")
 	dynFile := flag.String("dynamic", "", "file listing dynamic /24 prefixes (one per line)")
 	minNames := flag.Int("min-names", 18, "minimum unique given names per suffix")
 	minRatio := flag.Float64("min-ratio", 0.03, "minimum unique-names/records ratio")
 	flag.Parse()
 
-	if *input == "" {
-		fmt.Fprintln(os.Stderr, "need -input")
+	if (*input == "") == (*storePath == "") {
+		fmt.Fprintln(os.Stderr, "need exactly one of -input or -store")
 		flag.Usage()
 		os.Exit(2)
-	}
-	f, err := os.Open(*input)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	rows, err := dataset.ReadRows(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 
 	var dynSet map[dnswire.Prefix]bool
 	if *dynFile != "" {
+		var err error
 		dynSet, err = readPrefixes(*dynFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -64,14 +65,26 @@ func main() {
 		GivenNames:     names.Top50,
 	})
 	seen := map[string]bool{}
-	for _, r := range rows {
+	observe := func(r dataset.Row) error {
 		key := r.IP.String() + "|" + string(r.PTR)
 		if seen[key] {
-			continue
+			return nil
 		}
 		seen[key] = true
 		dynamic := dynSet == nil || dynSet[r.IP.Slash24()]
 		a.Observe(privleak.RecordObservation{IP: r.IP, HostName: r.PTR, Dynamic: dynamic})
+		return nil
+	}
+
+	var err error
+	if *storePath != "" {
+		err = observeStore(*storePath, observe)
+	} else {
+		err = observeCSV(*input, observe)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	res := a.Finish()
 
@@ -87,6 +100,42 @@ func main() {
 	for t, c := range byType {
 		fmt.Printf("  %-12s %d\n", t, c)
 	}
+}
+
+// observeCSV streams the date,ip,ptr CSV through fn without materializing
+// the row slice.
+func observeCSV(path string, fn func(dataset.Row) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return dataset.ScanRows(f, fn)
+}
+
+// observeStore replays every observation of a history store through fn,
+// in date-then-address order (the same stream a full-history Range
+// query serves).
+func observeStore(path string, fn func(dataset.Row) error) error {
+	st, err := histstore.Open(path)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	times := st.Times()
+	if len(times) == 0 {
+		return nil
+	}
+	rows, err := st.Range(dnswire.Prefix{}, times[0], times[len(times)-1])
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func readPrefixes(path string) (map[dnswire.Prefix]bool, error) {

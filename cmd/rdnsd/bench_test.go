@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/telemetry"
+)
+
+// BenchmarkRdnsdQuery measures one query end to end through the daemon's
+// handler — mux dispatch, instrumentation (counter, latency histogram,
+// correlated span), store query against a warm cache, JSON encode — over
+// a 60-day two-/24 history. bench-check gates it within ±15%.
+func BenchmarkRdnsdQuery(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.hist")
+	st, err := histstore.Open(path, histstore.WithCache(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	start := time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC)
+	for day := 0; day < 60; day++ {
+		recs := scanengine.RecordSet{
+			dnswire.MustIPv4("10.0.1.7"): dnswire.MustName("brians-iphone.lan.example.net"),
+			dnswire.MustIPv4("10.0.2.4"): dnswire.MustName("printer.example.net"),
+		}
+		recs[dnswire.MustIPv4("10.0.1.9")] =
+			dnswire.MustName(fmt.Sprintf("host-9-%d.dyn.example.net", day))
+		if err := st.Append(start.AddDate(0, 0, day), recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := newServer(st, telemetry.NewRegistry(), telemetry.NewTracer(1, 256), 1)
+	h := srv.handler()
+
+	b.Run("at", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			day := (i * 7) % 60
+			req := httptest.NewRequest("GET",
+				fmt.Sprintf("/at?ip=10.0.1.9&t=%s", start.AddDate(0, 0, day).Format("2006-01-02")), nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	})
+
+	b.Run("churn", func(b *testing.B) {
+		req := httptest.NewRequest("GET", "/churn?prefix=10.0.1.0/24", nil)
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Command rdnsd serves time-travel queries over a longitudinal PTR
+// history store (internal/histstore) as JSON over HTTP. It is the query
+// side of the paper's longitudinal analyses: once a campaign has appended
+// its daily snapshots into a store (cmd/rdnsscan -store, or
+// scan.Campaign with a Store attached), rdnsd answers "what name did
+// this address hold on that day", "every observation in this prefix over
+// that window", "how much churn", and "where has this given name ever
+// appeared" without re-reading raw snapshot dumps.
+//
+//	rdnsd -store campaign.hist -addr 127.0.0.1:8077
+//
+//	curl 'http://127.0.0.1:8077/at?ip=10.0.1.7&t=2020-03-15'
+//	curl 'http://127.0.0.1:8077/range?prefix=10.0.1.0/24&from=2020-03-01&to=2020-03-31'
+//	curl 'http://127.0.0.1:8077/churn?prefix=10.0.0.0/16'
+//	curl 'http://127.0.0.1:8077/name?token=brian'
+//	curl 'http://127.0.0.1:8077/days'
+//	curl 'http://127.0.0.1:8077/stats'
+//
+// Reconstructed block states are cached in a sharded, size-bounded LRU
+// (-cache) whose hit/miss counters surface in /stats and, with
+// -metrics-addr, in the Prometheus exposition alongside query latency
+// histograms and the store's hist_* instruments:
+//
+//	rdnsd -store campaign.hist -metrics-addr 127.0.0.1:9090
+//	curl -s http://127.0.0.1:9090/metrics | grep -E 'rdnsd_|hist_'
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight queries
+// drain, the exporter closes, and the store is closed cleanly. See
+// docs/storage.md for the endpoint contract and the on-disk format.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/telemetry"
+)
+
+func main() {
+	var (
+		storePath   = flag.String("store", "", "history store file to serve (required)")
+		addr        = flag.String("addr", "127.0.0.1:8077", "address to serve the query API on")
+		cacheSize   = flag.Int("cache", 4096, "reconstruction cache capacity in block states (0 disables)")
+		metricsAddr = flag.String("metrics-addr", "", "serve telemetry HTTP endpoints on this address")
+		seed        = flag.Int64("seed", 1, "seed for deterministic span correlation IDs")
+	)
+	flag.Parse()
+	if *storePath == "" {
+		fmt.Fprintln(os.Stderr, "rdnsd: -store is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(*seed, 4096)
+
+	st, err := histstore.Open(*storePath,
+		histstore.WithCache(*cacheSize),
+		histstore.WithTelemetry(reg))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdnsd: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := newServer(st, reg, tracer, *seed)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	var exporter *telemetry.Exporter
+	if *metricsAddr != "" {
+		exporter = telemetry.NewExporter(reg,
+			telemetry.WithExporterTracer(tracer),
+			telemetry.WithExporterHealth(func() any { return srv.handleStatsSnapshot() }))
+		bound, err := exporter.Start(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rdnsd: metrics exporter: %v\n", err)
+			st.Close()
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rdnsd: telemetry on http://%s/metrics\n", bound)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdnsd: %v\n", err)
+		st.Close()
+		os.Exit(1)
+	}
+	stats := st.Stats()
+	fmt.Fprintf(os.Stderr, "rdnsd: serving %d snapshots across %d blocks on http://%s\n",
+		stats.Snapshots, stats.Blocks, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "rdnsd: shutting down")
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "rdnsd: %v\n", err)
+		}
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "rdnsd: shutdown: %v\n", err)
+	}
+	if exporter != nil {
+		exporter.Close()
+	}
+	if err := st.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "rdnsd: closing store: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// handleStatsSnapshot adapts /stats for the exporter's /health endpoint.
+func (s *server) handleStatsSnapshot() any {
+	out, err := s.handleStats(nil)
+	if err != nil {
+		return map[string]string{"error": err.Error()}
+	}
+	return out
+}

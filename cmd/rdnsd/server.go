@@ -1,0 +1,338 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"rdnsprivacy/internal/dataset"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/telemetry"
+)
+
+// Metric names the daemon registers (alongside the store's hist_*
+// instruments; see docs/storage.md).
+const (
+	metricQueries      = "rdnsd_queries_total"
+	metricQueryErrors  = "rdnsd_query_errors_total"
+	metricQuerySeconds = "rdnsd_query_seconds"
+	metricRowsServed   = "rdnsd_rows_served_total"
+)
+
+// server is the query-serving layer over one history store. Handlers are
+// safe for concurrent use, including concurrently with Append on the
+// same store (the scanner side of a live campaign).
+type server struct {
+	st     *histstore.Store
+	tracer *telemetry.Tracer
+	seed   int64
+	nextQ  atomic.Int64
+
+	queries      *telemetry.Counter
+	queryErrors  *telemetry.Counter
+	querySeconds *telemetry.Histogram
+	rowsServed   *telemetry.Counter
+}
+
+func newServer(st *histstore.Store, sink telemetry.Sink, tracer *telemetry.Tracer, seed int64) *server {
+	s := &server{st: st, tracer: tracer, seed: seed}
+	if sink != nil {
+		s.queries = sink.Counter(metricQueries)
+		s.queryErrors = sink.Counter(metricQueryErrors)
+		s.querySeconds = sink.Histogram(metricQuerySeconds, telemetry.DefaultLatencyBuckets())
+		s.rowsServed = sink.Counter(metricRowsServed)
+	}
+	return s
+}
+
+// handler builds the daemon's route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/at", s.instrument("at", s.handleAt))
+	mux.HandleFunc("/range", s.instrument("range", s.handleRange))
+	mux.HandleFunc("/churn", s.instrument("churn", s.handleChurn))
+	mux.HandleFunc("/name", s.instrument("name", s.handleName))
+	mux.HandleFunc("/days", s.instrument("days", s.handleDays))
+	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
+	return mux
+}
+
+// httpError is a handler-produced failure with a status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument wraps an endpoint with the query counter, the latency
+// histogram, and a correlated span, and renders errors as JSON.
+func (s *server) instrument(name string, h func(*http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		q := int(s.nextQ.Add(1))
+		corr := telemetry.CorrID(s.seed, "rdnsd."+name, q)
+		span := s.tracer.StartSpanCorr("rdnsd.query", name, corr)
+		s.queries.Inc()
+		out, err := h(r)
+		s.querySeconds.Observe(time.Since(start).Seconds())
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			s.queryErrors.Inc()
+			span.Event("error", 1)
+			span.End()
+			status := http.StatusInternalServerError
+			if he, ok := err.(*httpError); ok {
+				status = he.status
+			}
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		span.End()
+		json.NewEncoder(w).Encode(out)
+	}
+}
+
+// parseInstant accepts RFC 3339 instants or bare campaign dates
+// (2006-01-02, taken as midnight UTC).
+func parseInstant(s string) (time.Time, error) {
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	if t, err := time.Parse(dataset.DateFormat, s); err == nil {
+		return t, nil
+	}
+	return time.Time{}, fmt.Errorf("not an RFC 3339 instant or %s date: %q", dataset.DateFormat, s)
+}
+
+// window parses the from/to query parameters, defaulting to all of
+// history.
+func (s *server) window(r *http.Request) (from, to time.Time, err error) {
+	times := s.st.Times()
+	if len(times) > 0 {
+		from, to = times[0], times[len(times)-1]
+	}
+	if v := r.URL.Query().Get("from"); v != "" {
+		if from, err = parseInstant(v); err != nil {
+			return from, to, badRequest("from: %v", err)
+		}
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		if to, err = parseInstant(v); err != nil {
+			return from, to, badRequest("to: %v", err)
+		}
+	}
+	return from, to, nil
+}
+
+func prefixParam(r *http.Request) (dnswire.Prefix, error) {
+	v := r.URL.Query().Get("prefix")
+	if v == "" {
+		return dnswire.Prefix{}, badRequest("missing prefix parameter")
+	}
+	p, err := dnswire.ParsePrefix(v)
+	if err != nil {
+		return dnswire.Prefix{}, badRequest("prefix: %v", err)
+	}
+	return p, nil
+}
+
+// atResponse is the /at reply: the PTR name ip held at the newest
+// snapshot at or before t.
+type atResponse struct {
+	IP       string `json:"ip"`
+	T        string `json:"t"`
+	Resolved string `json:"resolved"` // the snapshot that answered
+	Found    bool   `json:"found"`
+	Name     string `json:"name,omitempty"`
+}
+
+func (s *server) handleAt(r *http.Request) (any, error) {
+	ipStr := r.URL.Query().Get("ip")
+	if ipStr == "" {
+		return nil, badRequest("missing ip parameter")
+	}
+	ip, err := dnswire.ParseIPv4(ipStr)
+	if err != nil {
+		return nil, badRequest("ip: %v", err)
+	}
+	when := time.Now().UTC()
+	if v := r.URL.Query().Get("t"); v != "" {
+		if when, err = parseInstant(v); err != nil {
+			return nil, badRequest("t: %v", err)
+		}
+	}
+	name, found, err := s.st.At(ip, when)
+	if err == histstore.ErrBeforeHistory {
+		return nil, badRequest("%s precedes the store's history", when.Format(time.RFC3339))
+	}
+	if err != nil {
+		return nil, err
+	}
+	resolved, _ := s.st.Resolve(when)
+	resp := atResponse{
+		IP:       ip.String(),
+		T:        when.Format(time.RFC3339),
+		Resolved: resolved.Format(time.RFC3339),
+		Found:    found,
+	}
+	if found {
+		resp.Name = name.String()
+	}
+	return resp, nil
+}
+
+// rangeRow is one /range observation.
+type rangeRow struct {
+	Date string `json:"date"`
+	IP   string `json:"ip"`
+	PTR  string `json:"ptr"`
+}
+
+type rangeResponse struct {
+	Prefix    string     `json:"prefix"`
+	From      string     `json:"from"`
+	To        string     `json:"to"`
+	Count     int        `json:"count"`
+	Truncated bool       `json:"truncated,omitempty"`
+	Rows      []rangeRow `json:"rows"`
+}
+
+func (s *server) handleRange(r *http.Request) (any, error) {
+	p, err := prefixParam(r)
+	if err != nil {
+		return nil, err
+	}
+	from, to, err := s.window(r)
+	if err != nil {
+		return nil, err
+	}
+	limit := 10000
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			return nil, badRequest("limit: not a non-negative integer: %q", v)
+		}
+	}
+	rows, err := s.st.Range(p, from, to)
+	if err != nil {
+		return nil, err
+	}
+	resp := rangeResponse{
+		Prefix: p.String(),
+		From:   from.Format(time.RFC3339),
+		To:     to.Format(time.RFC3339),
+		Count:  len(rows),
+		Rows:   make([]rangeRow, 0, len(rows)),
+	}
+	for _, row := range rows {
+		if limit > 0 && len(resp.Rows) == limit {
+			resp.Truncated = true
+			break
+		}
+		resp.Rows = append(resp.Rows, rangeRow{
+			Date: row.Date.Format(time.RFC3339),
+			IP:   row.IP.String(),
+			PTR:  row.PTR.String(),
+		})
+	}
+	s.rowsServed.Add(uint64(len(resp.Rows)))
+	return resp, nil
+}
+
+type churnResponse struct {
+	Prefix string               `json:"prefix"`
+	From   string               `json:"from"`
+	To     string               `json:"to"`
+	Days   []histstore.ChurnDay `json:"days"`
+}
+
+func (s *server) handleChurn(r *http.Request) (any, error) {
+	p, err := prefixParam(r)
+	if err != nil {
+		return nil, err
+	}
+	from, to, err := s.window(r)
+	if err != nil {
+		return nil, err
+	}
+	days, err := s.st.Churn(p, from, to)
+	if err != nil {
+		return nil, err
+	}
+	if days == nil {
+		days = []histstore.ChurnDay{}
+	}
+	return churnResponse{
+		Prefix: p.String(),
+		From:   from.Format(time.RFC3339),
+		To:     to.Format(time.RFC3339),
+		Days:   days,
+	}, nil
+}
+
+// namePosting is one /name result interval.
+type namePosting struct {
+	Prefix string `json:"prefix"`
+	First  string `json:"first"`
+	Last   string `json:"last"`
+}
+
+type nameResponse struct {
+	Token    string        `json:"token"`
+	Postings []namePosting `json:"postings"`
+}
+
+func (s *server) handleName(r *http.Request) (any, error) {
+	token := r.URL.Query().Get("token")
+	if token == "" {
+		return nil, badRequest("missing token parameter")
+	}
+	postings := s.st.FindName(token)
+	resp := nameResponse{Token: token, Postings: make([]namePosting, 0, len(postings))}
+	for _, p := range postings {
+		resp.Postings = append(resp.Postings, namePosting{
+			Prefix: p.Prefix.String(),
+			First:  p.First.Format(time.RFC3339),
+			Last:   p.Last.Format(time.RFC3339),
+		})
+	}
+	return resp, nil
+}
+
+type daysResponse struct {
+	Count int      `json:"count"`
+	Days  []string `json:"days"`
+}
+
+func (s *server) handleDays(*http.Request) (any, error) {
+	times := s.st.Times()
+	resp := daysResponse{Count: len(times), Days: make([]string, 0, len(times))}
+	for _, t := range times {
+		resp.Days = append(resp.Days, t.Format(time.RFC3339))
+	}
+	return resp, nil
+}
+
+// statsResponse is /stats: the store's summary plus the cache hit rate.
+type statsResponse struct {
+	histstore.Stats
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+func (s *server) handleStats(*http.Request) (any, error) {
+	st := s.st.Stats()
+	resp := statsResponse{Stats: st}
+	if total := st.CacheHits + st.CacheMisses; total > 0 {
+		resp.CacheHitRate = float64(st.CacheHits) / float64(total)
+	}
+	return resp, nil
+}

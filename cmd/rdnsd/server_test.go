@@ -1,0 +1,300 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/telemetry"
+	"rdnsprivacy/internal/testutil"
+)
+
+// fixture builds a store with a small deterministic history: brians-iphone
+// lives at 10.0.1.7 throughout, 10.0.1.9 cycles through dynamic names,
+// and 10.0.2.0/24 joins on day 3.
+func fixture(t *testing.T, days int) (*histstore.Store, []time.Time) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "hist.log")
+	st, err := histstore.Open(path, histstore.WithCache(256), histstore.WithBaseInterval(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	var times []time.Time
+	start := time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC)
+	for day := 0; day < days; day++ {
+		recs := scanengine.RecordSet{
+			dnswire.MustIPv4("10.0.1.7"): dnswire.MustName("brians-iphone.lan.example.net"),
+			dnswire.MustIPv4("10.0.1.9"): dnswire.MustName(fmt.Sprintf("host-9-%d.dyn.example.net", day)),
+		}
+		if day >= 3 {
+			recs[dnswire.MustIPv4("10.0.2.4")] = dnswire.MustName("printer.example.net")
+		}
+		d := start.AddDate(0, 0, day)
+		if err := st.Append(d, recs); err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, d)
+	}
+	return st, times
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestEndpoints(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+	st, times := fixture(t, 6)
+	reg := telemetry.NewRegistry()
+	srv := newServer(st, reg, telemetry.NewTracer(1, 256), 1)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	t.Run("at", func(t *testing.T) {
+		var at atResponse
+		getJSON(t, ts.URL+"/at?ip=10.0.1.9&t=2020-03-04", &at)
+		if !at.Found || at.Name != "host-9-3.dyn.example.net." {
+			t.Fatalf("at day 3: %+v", at)
+		}
+		// An off-grid instant resolves to the preceding snapshot.
+		getJSON(t, ts.URL+"/at?ip=10.0.1.9&t="+times[2].Add(11*time.Hour).Format(time.RFC3339), &at)
+		if at.Name != "host-9-2.dyn.example.net." || at.Resolved != times[2].Format(time.RFC3339) {
+			t.Fatalf("off-grid at: %+v", at)
+		}
+		getJSON(t, ts.URL+"/at?ip=10.0.2.4&t=2020-03-01", &at)
+		if at.Found {
+			t.Fatalf("found a record before the block existed: %+v", at)
+		}
+	})
+
+	t.Run("range", func(t *testing.T) {
+		var rr rangeResponse
+		getJSON(t, ts.URL+"/range?prefix=10.0.1.0/24&from=2020-03-01&to=2020-03-02", &rr)
+		if rr.Count != 4 { // two addresses, two days
+			t.Fatalf("range count %d, want 4: %+v", rr.Count, rr)
+		}
+		var limited rangeResponse
+		getJSON(t, ts.URL+"/range?prefix=10.0.1.0/24&limit=1", &limited)
+		if len(limited.Rows) != 1 || !limited.Truncated || limited.Count != 12 {
+			t.Fatalf("limited range: %+v", limited)
+		}
+	})
+
+	t.Run("churn", func(t *testing.T) {
+		var cr churnResponse
+		getJSON(t, ts.URL+"/churn?prefix=10.0.0.0/16", &cr)
+		if len(cr.Days) != 5 { // days 1..5
+			t.Fatalf("churn days %d, want 5", len(cr.Days))
+		}
+		// Day 3: host-9 renamed, printer joined.
+		if cr.Days[2].Added != 1 || cr.Days[2].Changed != 1 || cr.Days[2].Removed != 0 {
+			t.Fatalf("churn day 3: %+v", cr.Days[2])
+		}
+	})
+
+	t.Run("name", func(t *testing.T) {
+		var nr nameResponse
+		getJSON(t, ts.URL+"/name?token=brian", &nr)
+		if len(nr.Postings) != 1 || nr.Postings[0].Prefix != "10.0.1.0/24" {
+			t.Fatalf("name postings: %+v", nr.Postings)
+		}
+		if nr.Postings[0].First != times[0].Format(time.RFC3339) ||
+			nr.Postings[0].Last != times[5].Format(time.RFC3339) {
+			t.Fatalf("posting interval: %+v", nr.Postings[0])
+		}
+	})
+
+	t.Run("days", func(t *testing.T) {
+		var dr daysResponse
+		getJSON(t, ts.URL+"/days", &dr)
+		if dr.Count != 6 || len(dr.Days) != 6 {
+			t.Fatalf("days: %+v", dr)
+		}
+	})
+
+	t.Run("errors", func(t *testing.T) {
+		for _, path := range []string{
+			"/at",                         // missing ip
+			"/at?ip=banana",               // bad ip
+			"/at?ip=1.2.3.4&t=yesterday",  // bad instant
+			"/at?ip=1.2.3.4&t=2019-01-01", // before history
+			"/range",                      // missing prefix
+			"/range?prefix=10.0.1.0/33",   // bad prefix
+			"/range?prefix=10.0.1.0/24&limit=-1",
+			"/churn",
+			"/name",
+		} {
+			resp := getJSON(t, ts.URL+path, nil)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+			}
+		}
+	})
+
+	t.Run("metrics", func(t *testing.T) {
+		queries := reg.Counter(metricQueries).Value()
+		errs := reg.Counter(metricQueryErrors).Value()
+		if queries == 0 || errs == 0 {
+			t.Fatalf("instrumentation dead: queries=%d errors=%d", queries, errs)
+		}
+		if reg.Histogram(metricQuerySeconds, nil).Count() != queries {
+			t.Fatalf("latency histogram count %d != queries %d",
+				reg.Histogram(metricQuerySeconds, nil).Count(), queries)
+		}
+	})
+}
+
+// TestStatsCacheConsistency: the served cache hit counters must account
+// for the repeated queries that hit the reconstruction cache, and the
+// hit rate over repeated identical queries must be positive (the
+// acceptance criterion for the cache).
+func TestStatsCacheConsistency(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+	st, _ := fixture(t, 8)
+	srv := newServer(st, telemetry.NewRegistry(), nil, 1)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	var before statsResponse
+	getJSON(t, ts.URL+"/stats", &before)
+	const repeats = 10
+	for i := 0; i < repeats; i++ {
+		var at atResponse
+		getJSON(t, ts.URL+"/at?ip=10.0.1.7&t=2020-03-05", &at)
+		if at.Name != "brians-iphone.lan.example.net." {
+			t.Fatalf("query %d: %+v", i, at)
+		}
+	}
+	var after statsResponse
+	getJSON(t, ts.URL+"/stats", &after)
+	if got := after.CacheHits - before.CacheHits; got < repeats-1 {
+		t.Fatalf("cache hits grew by %d over %d identical queries", got, repeats)
+	}
+	if after.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate %v after repeated queries", after.CacheHitRate)
+	}
+	if after.Reconstructions != before.Reconstructions+1 {
+		t.Fatalf("reconstructions %d -> %d, want exactly one cold rebuild",
+			before.Reconstructions, after.Reconstructions)
+	}
+}
+
+// TestConcurrentQueriesDuringAppend hammers every endpoint from several
+// goroutines while the store keeps appending snapshots — the live-campaign
+// serving scenario. Run under -race (make race covers this package); the
+// store's RWMutex and the sharded cache must keep every response
+// internally consistent, and no goroutine may leak.
+func TestConcurrentQueriesDuringAppend(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+	st, times := fixture(t, 10)
+	reg := telemetry.NewRegistry()
+	srv := newServer(st, reg, telemetry.NewTracer(7, 1024), 7)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	const appends = 30
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// The appender: one writer extending the history.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		day := times[len(times)-1]
+		for i := 0; i < appends; i++ {
+			day = day.AddDate(0, 0, 1)
+			recs := scanengine.RecordSet{
+				dnswire.MustIPv4("10.0.1.7"): dnswire.MustName("brians-iphone.lan.example.net"),
+				dnswire.MustIPv4("10.0.3.1"): dnswire.MustName(fmt.Sprintf("host-%d.dyn.example.net", i)),
+			}
+			if err := st.Append(day, recs); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// The readers: every endpoint, queried until the writer finishes.
+	urls := []string{
+		"/at?ip=10.0.1.7&t=2020-03-08",
+		"/at?ip=10.0.1.7", // "now": resolves to the newest snapshot
+		"/range?prefix=10.0.1.0/24&from=2020-03-01&to=2020-03-05",
+		"/churn?prefix=10.0.0.0/16&from=2020-03-02&to=2020-03-09",
+		"/name?token=brian",
+		"/days",
+		"/stats",
+	}
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				url := ts.URL + urls[(w+i)%len(urls)]
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Errorf("GET %s: %v", url, err)
+					return
+				}
+				var body json.RawMessage
+				if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+					t.Errorf("GET %s: %v", url, err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: status %d: %s", url, resp.StatusCode, body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The fixed-window answers must be exactly what a quiet store serves:
+	// the appends beyond the window cannot bleed in.
+	var cr churnResponse
+	getJSON(t, ts.URL+"/churn?prefix=10.0.0.0/16&from=2020-03-02&to=2020-03-09", &cr)
+	if len(cr.Days) != 8 {
+		t.Fatalf("post-append churn window: %d days, want 8", len(cr.Days))
+	}
+	if st.Len() != 10+appends {
+		t.Fatalf("store has %d snapshots, want %d", st.Len(), 10+appends)
+	}
+
+	// Served cache counters must be consistent with the query volume: no
+	// more lookups than store queries, hits+misses == lookups.
+	stats := st.Stats()
+	if stats.CacheHits+stats.CacheMisses == 0 {
+		t.Fatal("no cache traffic despite hundreds of queries")
+	}
+	queries := reg.Counter(metricQueries).Value()
+	if queries == 0 {
+		t.Fatal("query counter did not move")
+	}
+}

@@ -53,6 +53,15 @@
 // See docs/telemetry.md for metric names and the trace schema, and
 // docs/observability.md for the frame schema.
 //
+// -store appends each sweep's merged record set to a longitudinal
+// history store (one snapshot per sweep; one per poll with -watch),
+// which cmd/rdnsd then serves over HTTP and leakfind -store analyzes:
+//
+//	rdnsscan -server 127.0.0.1:5353 -prefix 10.0.0.0/24 -watch -store campaign.hist
+//	rdnsd -store campaign.hist
+//
+// See docs/storage.md for the on-disk format and the query API.
+//
 // Interrupting a sweep (Ctrl-C) cancels the engine's context: workers
 // drain, the partial tally is reported, and the process exits cleanly.
 package main
@@ -68,6 +77,7 @@ import (
 
 	"rdnsprivacy/internal/dnsclient"
 	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/histstore"
 	"rdnsprivacy/internal/obs"
 	"rdnsprivacy/internal/scanengine"
 	"rdnsprivacy/internal/telemetry"
@@ -101,6 +111,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve telemetry over HTTP on this address: /metrics (Prometheus), /debug/vars (JSON), /debug/pprof/, /health, /trace (see docs/telemetry.md)")
 	traceOut := flag.String("trace-out", "", "write the sweep span log to this file as JSONL for `experiments -trace`")
 	obsOut := flag.String("obs-out", "", "write one observability frame per sweep to this file as JSONL for `experiments -obs` (see docs/observability.md)")
+	storeOut := flag.String("store", "", "append each sweep's record set to this longitudinal history store, queryable with cmd/rdnsd (see docs/storage.md)")
 	flag.Parse()
 
 	client := &dnsclient.UDPClient{Server: *server, Timeout: *timeout, Retries: *retries}
@@ -174,12 +185,34 @@ func main() {
 
 	var tracer *telemetry.Tracer
 	var recorder *obs.Recorder
+	var store *histstore.Store
+	if *storeOut != "" {
+		var err error
+		store, err = histstore.Open(*storeOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "store: %v\n", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+	}
 	if *metricsAddr != "" || *traceOut != "" || *obsOut != "" {
 		reg := telemetry.NewRegistry()
 		tracer = telemetry.NewTracer(*seed, 0)
 		opts = append(opts, scanengine.WithTelemetry(reg), scanengine.WithTracer(tracer))
 		if *obsOut != "" {
 			recorder = obs.NewRecorder(reg)
+			if store != nil {
+				recorder.SetStoreStats(func() obs.StoreStats {
+					s := store.Stats()
+					return obs.StoreStats{
+						Snapshots:   s.Snapshots,
+						Blocks:      s.Blocks,
+						BaseFrames:  s.BaseFrames,
+						DeltaFrames: s.DeltaFrames,
+						Bytes:       s.Bytes,
+					}
+				})
+			}
 		}
 		if *metricsAddr != "" {
 			exp := telemetry.NewExporter(reg,
@@ -199,7 +232,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-watch needs -prefix")
 			os.Exit(2)
 		}
-		watchLoop(ctx, client, targets, *interval, opts, recorder)
+		watchLoop(ctx, client, targets, *interval, opts, recorder, store)
 		dumpTrace(tracer, *traceOut)
 		dumpFrames(recorder, *obsOut)
 		return
@@ -241,6 +274,7 @@ func main() {
 		lastHealth.Store(snap.Health)
 	}
 	if snap != nil {
+		appendStore(store, snap)
 		recorder.CaptureFrame(0, time.Now().UTC(), snap)
 	}
 	printHealth(snap)
@@ -248,6 +282,19 @@ func main() {
 	dumpFrames(recorder, *obsOut)
 	if err != nil {
 		os.Exit(1)
+	}
+}
+
+// appendStore persists one sweep's record set as a history-store
+// snapshot stamped with the wall clock. No-op without -store; a failed
+// append (e.g. two polls within the store's one-second granularity) is
+// reported but does not stop the scan.
+func appendStore(store *histstore.Store, snap *scanengine.Snapshot) {
+	if store == nil || snap == nil {
+		return
+	}
+	if err := store.Append(time.Now().UTC(), snap.Records); err != nil {
+		fmt.Fprintf(os.Stderr, "store: %v\n", err)
 	}
 }
 
@@ -307,13 +354,14 @@ func printHealth(snap *scanengine.Snapshot) {
 // watchLoop re-sweeps the targets through the engine and prints the deltas
 // each snapshot carries against its predecessor. With frame capture on,
 // every sweep becomes one observability frame.
-func watchLoop(ctx context.Context, client *dnsclient.UDPClient, targets []dnswire.Prefix, interval time.Duration, opts []scanengine.Option, recorder *obs.Recorder) {
+func watchLoop(ctx context.Context, client *dnsclient.UDPClient, targets []dnswire.Prefix, interval time.Duration, opts []scanengine.Option, recorder *obs.Recorder, store *histstore.Store) {
 	sc := scanengine.New(dnsclient.UDPSource{Client: client}, opts...)
 	snap, err := sc.Scan(ctx, scanengine.Request{Targets: targets})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "baseline sweep interrupted: %v\n", err)
 		os.Exit(1)
 	}
+	appendStore(store, snap)
 	recorder.CaptureFrame(0, time.Now().UTC(), snap)
 	fmt.Fprintf(os.Stderr, "baseline: %d records; watching every %s\n", len(snap.Records), interval)
 	for sweep := 1; ; sweep++ {
@@ -330,6 +378,7 @@ func watchLoop(ctx context.Context, client *dnsclient.UDPClient, targets []dnswi
 		if snap.Health != nil {
 			lastHealth.Store(snap.Health)
 		}
+		appendStore(store, snap)
 		recorder.CaptureFrame(sweep, time.Now().UTC(), snap)
 		now := time.Now().Format("15:04:05")
 		for _, ch := range snap.Changes {

@@ -1,0 +1,176 @@
+package casestudy
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"rdnsprivacy/internal/analysis"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/histstore"
+)
+
+// Store-backed variants of the Section 7 analyses: instead of re-reading
+// a campaign's CSV dump (or holding a whole reactive result set in
+// memory), these answer from a longitudinal history store — the same
+// store cmd/rdnsd serves. The name search rides the store's inverted
+// given-name index, so "find every Brian" touches only the /24s and day
+// ranges where the name actually appeared.
+
+// EntrySeriesFromStore builds the daily total entry series (the Figure
+// 9/10 building block) from a history store, restricted to addresses
+// within any of prefixes (nil means everything). One value per store
+// snapshot, aligned with the store's instants.
+func EntrySeriesFromStore(st *histstore.Store, prefixes []dnswire.Prefix) (analysis.Series, error) {
+	times := st.Times()
+	out := analysis.Series{
+		Dates:  times,
+		Values: make([]float64, len(times)),
+	}
+	if len(times) == 0 {
+		return out, nil
+	}
+	include := func(ip dnswire.IPv4) bool {
+		if prefixes == nil {
+			return true
+		}
+		for _, q := range prefixes {
+			if q.Contains(ip) {
+				return true
+			}
+		}
+		return false
+	}
+	index := make(map[time.Time]int, len(times))
+	for i, t := range times {
+		index[t] = i
+	}
+	rows, err := st.Range(dnswire.Prefix{}, times[0], times[len(times)-1])
+	if err != nil {
+		return out, err
+	}
+	for _, r := range rows {
+		if include(r.IP) {
+			out.Values[index[r.Date]]++
+		}
+	}
+	return out, nil
+}
+
+// TrackNameFromStore builds the Figure 8 device tracks from a history
+// store: every device hostname whose first label carries the possessive
+// form of givenName ("brian" matches brians-iphone, brian-mbp, ...),
+// restricted to addresses within p (the zero Prefix means everywhere).
+// The store's inverted name index narrows the scan to the /24s and day
+// ranges where the name was present; presence intervals are maximal runs
+// of consecutive snapshots with the device on one address.
+func TrackNameFromStore(st *histstore.Store, p dnswire.Prefix, givenName string) ([]*DeviceTrack, error) {
+	match := strings.ToLower(givenName) + "s-"
+	alt := strings.ToLower(givenName) + "-"
+	times := st.Times()
+	if len(times) == 0 {
+		return nil, nil
+	}
+	index := make(map[time.Time]int, len(times))
+	for i, t := range times {
+		index[t] = i
+	}
+
+	// The index narrows to (/24, interval) postings; dedupe overlapping
+	// postings per /24 before ranging.
+	type window struct{ from, to time.Time }
+	windows := make(map[dnswire.Prefix][]window)
+	for _, post := range st.FindName(strings.ToLower(givenName)) {
+		if !p.Overlaps(post.Prefix) && p != (dnswire.Prefix{}) {
+			continue
+		}
+		windows[post.Prefix] = append(windows[post.Prefix], window{post.First, post.Last})
+	}
+
+	// presence[device][ip] marks the snapshot indices the device held ip.
+	presence := make(map[string]map[dnswire.IPv4][]bool)
+	for block, ws := range windows {
+		for _, w := range ws {
+			rows, err := st.Range(block, w.from, w.to)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rows {
+				if p != (dnswire.Prefix{}) && !p.Contains(r.IP) {
+					continue
+				}
+				labels := r.PTR.Labels()
+				if len(labels) == 0 {
+					continue
+				}
+				device := labels[0]
+				if !strings.HasPrefix(device, match) && !strings.HasPrefix(device, alt) {
+					continue
+				}
+				byIP := presence[device]
+				if byIP == nil {
+					byIP = make(map[dnswire.IPv4][]bool)
+					presence[device] = byIP
+				}
+				days := byIP[r.IP]
+				if days == nil {
+					days = make([]bool, len(times))
+					byIP[r.IP] = days
+				}
+				days[index[r.Date]] = true
+			}
+		}
+	}
+
+	out := make([]*DeviceTrack, 0, len(presence))
+	for device, byIP := range presence {
+		tr := &DeviceTrack{Device: device, UniqueIPs: len(byIP)}
+		for ip, days := range byIP {
+			for i := 0; i < len(days); i++ {
+				if !days[i] {
+					continue
+				}
+				j := i
+				for j+1 < len(days) && days[j+1] {
+					j++
+				}
+				tr.Intervals = append(tr.Intervals, Presence{
+					Device: device, IP: ip, From: times[i], To: times[j],
+				})
+				i = j
+			}
+		}
+		sort.Slice(tr.Intervals, func(i, j int) bool {
+			if !tr.Intervals[i].From.Equal(tr.Intervals[j].From) {
+				return tr.Intervals[i].From.Before(tr.Intervals[j].From)
+			}
+			return tr.Intervals[i].IP.Uint32() < tr.Intervals[j].IP.Uint32()
+		})
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out, nil
+}
+
+// ChurnSeriesFromStore converts the store's per-snapshot churn within a
+// prefix into an analysis.Series of total change counts — the dynamicity
+// view (Section 4) straight from the log's deltas.
+func ChurnSeriesFromStore(st *histstore.Store, p dnswire.Prefix) (analysis.Series, error) {
+	times := st.Times()
+	if len(times) == 0 {
+		return analysis.Series{}, nil
+	}
+	days, err := st.Churn(p, times[0], times[len(times)-1])
+	if err != nil {
+		return analysis.Series{}, err
+	}
+	out := analysis.Series{
+		Dates:  make([]time.Time, len(days)),
+		Values: make([]float64, len(days)),
+	}
+	for i, d := range days {
+		out.Dates[i] = d.Date
+		out.Values[i] = float64(d.Added + d.Removed + d.Changed)
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package casestudy
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dataset"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/scanengine"
+)
+
+// storeFixture appends a 14-day synthetic campaign: brians-iphone on
+// 10.1.1.7 for days 0-4, migrating to 10.1.2.7 for days 8-13 (a DHCP
+// move with a gap), brian-mbp on 10.1.1.8 throughout, and background
+// hosts that come and go.
+func storeFixture(t *testing.T) (*histstore.Store, []time.Time) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "hist.log")
+	st, err := histstore.Open(path, histstore.WithCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	start := time.Date(2020, 2, 1, 13, 0, 0, 0, time.UTC)
+	var times []time.Time
+	for day := 0; day < 14; day++ {
+		recs := scanengine.RecordSet{
+			dnswire.MustIPv4("10.1.1.8"): dnswire.MustName("brian-mbp.staff.example.edu"),
+		}
+		if day < 5 {
+			recs[dnswire.MustIPv4("10.1.1.7")] = dnswire.MustName("brians-iphone.staff.example.edu")
+		}
+		if day >= 8 {
+			recs[dnswire.MustIPv4("10.1.2.7")] = dnswire.MustName("brians-iphone.staff.example.edu")
+		}
+		// Background churn outside the tracked name.
+		for i := 0; i < 3+day%2; i++ {
+			ip := dnswire.MustIPv4(fmt.Sprintf("10.1.3.%d", 10+i))
+			recs[ip] = dnswire.MustName(fmt.Sprintf("host-%d.dyn.example.edu", i))
+		}
+		d := start.AddDate(0, 0, day)
+		if err := st.Append(d, recs); err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, d)
+	}
+	return st, times
+}
+
+func TestTrackNameFromStore(t *testing.T) {
+	st, times := storeFixture(t)
+	tracks, err := TrackNameFromStore(st, dnswire.MustPrefix("10.1.0.0/16"), "Brian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != 2 {
+		t.Fatalf("%d tracks, want 2 (brian-mbp, brians-iphone)", len(tracks))
+	}
+	mbp, iphone := tracks[0], tracks[1]
+	if mbp.Device != "brian-mbp" || iphone.Device != "brians-iphone" {
+		t.Fatalf("devices: %q, %q", mbp.Device, iphone.Device)
+	}
+	if mbp.UniqueIPs != 1 || len(mbp.Intervals) != 1 {
+		t.Fatalf("brian-mbp: %+v", mbp)
+	}
+	if !mbp.Intervals[0].From.Equal(times[0]) || !mbp.Intervals[0].To.Equal(times[13]) {
+		t.Fatalf("brian-mbp interval: %+v", mbp.Intervals[0])
+	}
+	// The iPhone: two intervals, two addresses, with the day 5-7 gap.
+	if iphone.UniqueIPs != 2 || len(iphone.Intervals) != 2 {
+		t.Fatalf("brians-iphone: %+v", iphone)
+	}
+	first, second := iphone.Intervals[0], iphone.Intervals[1]
+	if first.IP != dnswire.MustIPv4("10.1.1.7") || !first.From.Equal(times[0]) || !first.To.Equal(times[4]) {
+		t.Fatalf("first interval: %+v", first)
+	}
+	if second.IP != dnswire.MustIPv4("10.1.2.7") || !second.From.Equal(times[8]) || !second.To.Equal(times[13]) {
+		t.Fatalf("second interval: %+v", second)
+	}
+	// PresentOn must agree with the raster the intervals imply.
+	if iphone.PresentOn(times[5], times[7]) {
+		t.Fatal("iPhone present during the gap")
+	}
+	if !iphone.PresentOn(times[8], times[9]) {
+		t.Fatal("iPhone absent after the move")
+	}
+
+	// Restricting to the first /24 drops the post-move interval.
+	narrow, err := TrackNameFromStore(st, dnswire.MustPrefix("10.1.1.0/24"), "brian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range narrow {
+		for _, iv := range tr.Intervals {
+			if !dnswire.MustPrefix("10.1.1.0/24").Contains(iv.IP) {
+				t.Fatalf("restricted track leaked %s", iv.IP)
+			}
+		}
+	}
+
+	// An unknown name yields nothing.
+	none, err := TrackNameFromStore(st, dnswire.Prefix{}, "zelda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("tracks for unknown name: %+v", none)
+	}
+}
+
+// TestEntrySeriesFromStoreMatchesCountSeries pins the store-backed series
+// to the CSV-era EntrySeries: both paths over the same history must
+// produce identical totals.
+func TestEntrySeriesFromStoreMatchesCountSeries(t *testing.T) {
+	st, times := storeFixture(t)
+
+	// Rebuild the equivalent CountSeries via Range (independently checked
+	// against brute force in the histstore tests).
+	series := dataset.NewCountSeries(times)
+	rows, err := st.Range(dnswire.Prefix{}, times[0], times[13])
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make(map[time.Time]int)
+	for i, d := range times {
+		idx[d] = i
+	}
+	for _, r := range rows {
+		series.Add(r.IP.Slash24(), idx[r.Date], 1)
+	}
+
+	for _, prefixes := range [][]dnswire.Prefix{
+		nil,
+		{dnswire.MustPrefix("10.1.1.0/24")},
+		{dnswire.MustPrefix("10.1.1.0/24"), dnswire.MustPrefix("10.1.3.0/24")},
+	} {
+		fromStore, err := EntrySeriesFromStore(st, prefixes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromCounts := EntrySeries(series, prefixes)
+		if len(fromStore.Values) != len(fromCounts.Values) {
+			t.Fatalf("prefixes %v: %d values vs %d", prefixes, len(fromStore.Values), len(fromCounts.Values))
+		}
+		for i := range fromStore.Values {
+			if fromStore.Values[i] != fromCounts.Values[i] {
+				t.Fatalf("prefixes %v day %d: store %v, counts %v",
+					prefixes, i, fromStore.Values[i], fromCounts.Values[i])
+			}
+		}
+	}
+}
+
+func TestChurnSeriesFromStore(t *testing.T) {
+	st, times := storeFixture(t)
+	series, err := ChurnSeriesFromStore(st, dnswire.MustPrefix("10.1.1.0/24"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Dates) != 13 { // days 1..13
+		t.Fatalf("%d churn days, want 13", len(series.Dates))
+	}
+	// Day 5: brians-iphone leaves 10.1.1.7 — one removal in this /24.
+	if !series.Dates[4].Equal(times[5]) || series.Values[4] != 1 {
+		t.Fatalf("day-5 churn: %s = %v", series.Dates[4], series.Values[4])
+	}
+	// Day 8's move lands in 10.1.2.0/24, invisible here.
+	if series.Values[7] != 0 {
+		t.Fatalf("day-8 churn in wrong /24: %v", series.Values[7])
+	}
+}
+
+// TestStoreBackedEmptyStore pins the empty-history contracts: every
+// store-backed analysis degrades to an empty result, not an error.
+func TestStoreBackedEmptyStore(t *testing.T) {
+	st, err := histstore.Open(filepath.Join(t.TempDir(), "empty.hist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	series, err := EntrySeriesFromStore(st, nil)
+	if err != nil || len(series.Dates) != 0 {
+		t.Fatalf("entry series: %+v, %v", series, err)
+	}
+	tracks, err := TrackNameFromStore(st, dnswire.Prefix{}, "brian")
+	if err != nil || tracks != nil {
+		t.Fatalf("tracks: %+v, %v", tracks, err)
+	}
+	churn, err := ChurnSeriesFromStore(st, dnswire.Prefix{})
+	if err != nil || len(churn.Dates) != 0 {
+		t.Fatalf("churn: %+v, %v", churn, err)
+	}
+}
+
+// TestStoreBackedClosedStore pins error propagation from a dead store.
+func TestStoreBackedClosedStore(t *testing.T) {
+	st, _ := storeFixture(t)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EntrySeriesFromStore(st, nil); err == nil {
+		t.Fatal("entry series from a closed store")
+	}
+	if _, err := ChurnSeriesFromStore(st, dnswire.Prefix{}); err == nil {
+		t.Fatal("churn from a closed store")
+	}
+	if _, err := TrackNameFromStore(st, dnswire.Prefix{}, "brian"); err == nil {
+		t.Fatal("tracks from a closed store")
+	}
+}

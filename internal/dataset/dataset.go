@@ -44,37 +44,54 @@ func WriteRows(w io.Writer, rows []Row) error {
 	return cw.Error()
 }
 
-// ReadRows decodes CSV written by WriteRows.
-func ReadRows(r io.Reader) ([]Row, error) {
+// ScanRows streams CSV written by WriteRows, calling fn for each row in
+// file order. Unlike ReadRows it never materializes the file: the reader
+// reuses one record buffer per line (csv.Reader.ReuseRecord) and enforces
+// exactly three fields per record, so campaign-scale dumps stream in
+// constant memory. fn returning an error stops the scan and returns that
+// error.
+func ScanRows(r io.Reader, fn func(Row) error) error {
 	cr := csv.NewReader(bufio.NewReader(r))
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	if len(records) == 0 {
-		return nil, nil
-	}
-	if records[0][0] == "date" {
-		records = records[1:]
-	}
-	rows := make([]Row, 0, len(records))
-	for i, rec := range records {
-		if len(rec) != 3 {
-			return nil, fmt.Errorf("dataset: row %d has %d fields", i, len(rec))
+	cr.FieldsPerRecord = 3
+	cr.ReuseRecord = true
+	for i := 0; ; i++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("dataset: row %d: %w", i, err)
+		}
+		if i == 0 && rec[0] == "date" {
+			continue // header
 		}
 		d, err := time.Parse(DateFormat, rec[0])
 		if err != nil {
-			return nil, fmt.Errorf("dataset: row %d: %w", i, err)
+			return fmt.Errorf("dataset: row %d: %w", i, err)
 		}
 		ip, err := dnswire.ParseIPv4(rec[1])
 		if err != nil {
-			return nil, fmt.Errorf("dataset: row %d: %w", i, err)
+			return fmt.Errorf("dataset: row %d: %w", i, err)
 		}
 		name, err := dnswire.ParseName(rec[2])
 		if err != nil {
-			return nil, fmt.Errorf("dataset: row %d: %w", i, err)
+			return fmt.Errorf("dataset: row %d: %w", i, err)
 		}
-		rows = append(rows, Row{Date: d, IP: ip, PTR: name})
+		if err := fn(Row{Date: d, IP: ip, PTR: name}); err != nil {
+			return err
+		}
+	}
+}
+
+// ReadRows decodes CSV written by WriteRows into memory. Prefer ScanRows
+// for consumers that only iterate.
+func ReadRows(r io.Reader) ([]Row, error) {
+	var rows []Row
+	if err := ScanRows(r, func(row Row) error {
+		rows = append(rows, row)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

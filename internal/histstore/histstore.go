@@ -1,0 +1,895 @@
+// Package histstore is the longitudinal PTR history store: an append-only,
+// base+delta encoded snapshot log with time-travel queries.
+//
+// The paper's headline results are longitudinal — tracking Brians across
+// daily OpenINTEL/Rapid7 snapshots, the COVID work-from-home shift, the
+// "when to stage a heist" case study all query years of reverse-DNS
+// history (Sections 5-7), and the danger lives in the archive, not the
+// single lookup. This package is that archive as a serving system rather
+// than a pile of CSV files: campaigns append each snapshot as it
+// completes, and consumers ask for any instant of the past without
+// re-reading (or ever having materialized) the whole history.
+//
+// The log stores a full per-/24 base block every K snapshots and compact
+// change deltas in between, varint+prefix-compressed with CRC framing
+// (see codec.go for the wire layout). Two in-memory indexes ride on top:
+// a per-/24 block index (prefix -> frame offsets per snapshot) and an
+// inverted hostname-token index (token -> (/24, interval) postings). Any
+// snapshot of any block reconstructs in O(deltas since the nearest base),
+// optionally through a sharded LRU reconstruction cache.
+//
+//	st, _ := histstore.Open(path, histstore.WithCache(4096))
+//	defer st.Close()
+//	st.Append(day1, snapshot1.Records)
+//	name, ok, _ := st.At(ip, day1)                  // time travel
+//	rows, _ := st.Range(prefix, day1, day30)        // every observation
+//	churn, _ := st.Churn(prefix, day1, day30)       // join/leave counts
+//	postings := st.FindName("brian")                // the inverted index
+//
+// Reopening a store replays the log through the same transition code the
+// writer used, so the rebuilt indexes — and therefore every query answer
+// — are bit-identical across a close/reopen cycle. One process owns a
+// store file at a time; concurrent readers and one appender within that
+// process are safe (cmd/rdnsd serves queries mid-append).
+package histstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdnsprivacy/internal/dataset"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/telemetry"
+)
+
+// Errors returned by the store.
+var (
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("histstore: store is closed")
+	// ErrOutOfOrder reports an append whose instant does not follow the
+	// store's newest snapshot.
+	ErrOutOfOrder = errors.New("histstore: append out of order")
+	// ErrBeforeHistory reports a point query earlier than the first
+	// snapshot.
+	ErrBeforeHistory = errors.New("histstore: instant precedes history")
+)
+
+// DefaultBaseInterval is the default base-block cadence K: a block's
+// delta chain is compacted into a fresh base once it spans K snapshots.
+const DefaultBaseInterval = 7
+
+// blockState is the record set of one /24 keyed by last octet.
+type blockState map[byte]dnswire.Name
+
+// blockRef locates one block frame in the log.
+type blockRef struct {
+	snap   int
+	kind   byte
+	off    int64
+	length int
+}
+
+// Store is the history store. Open creates or loads one; methods are safe
+// for concurrent use (many readers, one appender).
+type Store struct {
+	path      string
+	baseEvery int
+	syncEach  bool
+	cache     *blockCache
+	met       *storeMetrics
+
+	mu     sync.RWMutex
+	f      *os.File
+	size   int64
+	times  []time.Time
+	blocks map[dnswire.Prefix][]blockRef
+	cur    map[dnswire.Prefix]blockState
+	// lastBase and deltasSince drive the per-block compaction schedule.
+	lastBase    map[dnswire.Prefix]int
+	deltasSince map[dnswire.Prefix]int
+	names       *nameIndex
+
+	baseFrames  int
+	deltaFrames int
+
+	reconstructions atomic.Uint64
+}
+
+// Option tunes a Store at Open.
+type Option func(*Store)
+
+// WithBaseInterval sets the base-block cadence K (default
+// DefaultBaseInterval). When the file already exists its header wins:
+// the interval is a property of the log, not of the opener.
+func WithBaseInterval(k int) Option {
+	return func(s *Store) {
+		if k > 0 {
+			s.baseEvery = k
+		}
+	}
+}
+
+// WithCache enables the sharded LRU reconstruction cache, bounded to
+// roughly n block states. Zero (the default) disables it; every query
+// then reconstructs from the log.
+func WithCache(n int) Option {
+	return func(s *Store) { s.cache = newBlockCache(n) }
+}
+
+// WithTelemetry attaches a metrics sink (the hist_* instruments; see
+// docs/storage.md). Nil keeps the store on its zero-overhead path.
+func WithTelemetry(sink telemetry.Sink) Option {
+	return func(s *Store) { s.met = newStoreMetrics(sink) }
+}
+
+// WithSync fsyncs the log after every append. Off by default; Close
+// always syncs.
+func WithSync() Option {
+	return func(s *Store) { s.syncEach = true }
+}
+
+// Open creates or loads the history store at path. An existing log is
+// replayed to rebuild the indexes; a torn final append (crash mid-write)
+// is truncated away, while mid-file corruption is an error.
+func Open(path string, opts ...Option) (*Store, error) {
+	s := &Store{
+		path:        path,
+		baseEvery:   DefaultBaseInterval,
+		blocks:      make(map[dnswire.Prefix][]blockRef),
+		cur:         make(map[dnswire.Prefix]blockState),
+		lastBase:    make(map[dnswire.Prefix]int),
+		deltasSince: make(map[dnswire.Prefix]int),
+		names:       newNameIndex(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.met == nil {
+		s.met = newStoreMetrics(nil)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	s.f = f
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	if fi.Size() == 0 {
+		if err := s.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.publishGauges()
+	return s, nil
+}
+
+// writeHeader initializes an empty log file.
+func (s *Store) writeHeader() error {
+	hdr := append([]byte(nil), fileMagic[:]...)
+	hdr = appendUvarintByte(hdr, uint64(s.baseEvery))
+	n, err := s.f.WriteAt(hdr, 0)
+	if err != nil {
+		return fmt.Errorf("histstore: writing header: %w", err)
+	}
+	s.size = int64(n)
+	return nil
+}
+
+// appendUvarintByte is binary.AppendUvarint without the import clash in
+// this file's hot path helpers.
+func appendUvarintByte(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// replay rebuilds the in-memory state from an existing log.
+func (s *Store) replay() error {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("histstore: %w", err)
+	}
+	br := bufio.NewReaderSize(s.f, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("histstore: reading header: %w", err)
+	}
+	if magic != fileMagic {
+		return fmt.Errorf("histstore: %s is not a history log (bad magic)", s.path)
+	}
+	off := int64(len(magic))
+	k, n, err := readUvarint(br)
+	if err != nil || k == 0 {
+		return fmt.Errorf("histstore: bad base interval in header")
+	}
+	s.baseEvery = int(k)
+	off += int64(n)
+
+	sc := &frameScanner{r: br, off: off}
+	for {
+		fr, start, length, err := sc.next()
+		if err == io.EOF {
+			s.size = start
+			return nil
+		}
+		if errors.Is(err, errTruncated) {
+			// A torn tail append: drop the partial frame, keep the rest.
+			s.size = start
+			return s.f.Truncate(start)
+		}
+		if err != nil {
+			return fmt.Errorf("histstore: replaying %s at offset %d: %w", s.path, start, err)
+		}
+		if err := s.replayFrame(fr, blockRef{off: start, length: length}); err != nil {
+			return fmt.Errorf("histstore: replaying %s at offset %d: %w", s.path, start, err)
+		}
+	}
+}
+
+// replayFrame applies one decoded frame during replay.
+func (s *Store) replayFrame(fr frame, ref blockRef) error {
+	switch fr.kind {
+	case frameSnap:
+		snap, unixSec, err := decodeSnapBody(fr.body)
+		if err != nil {
+			return err
+		}
+		if snap != len(s.times) {
+			return corruptf("snapshot header %d, expected %d", snap, len(s.times))
+		}
+		t := time.Unix(unixSec, 0).UTC()
+		if len(s.times) > 0 && !t.After(s.times[len(s.times)-1]) {
+			return corruptf("snapshot %d not after its predecessor", snap)
+		}
+		s.times = append(s.times, t)
+		return nil
+	case frameBase:
+		snap, p, entries, err := decodeBaseBody(fr.body)
+		if err != nil {
+			return err
+		}
+		if err := s.checkFrameSnap(snap); err != nil {
+			return err
+		}
+		newState := make(blockState, len(entries))
+		for _, e := range entries {
+			newState[e.octet] = e.name
+		}
+		changes := diffBlock(s.cur[p], newState)
+		ref.snap, ref.kind = snap, frameBase
+		s.blocks[p] = append(s.blocks[p], ref)
+		s.applyChanges(snap, p, changes)
+		s.lastBase[p] = snap
+		s.deltasSince[p] = 0
+		s.baseFrames++
+		return nil
+	case frameDelta:
+		snap, p, entries, err := decodeDeltaBody(fr.body)
+		if err != nil {
+			return err
+		}
+		if err := s.checkFrameSnap(snap); err != nil {
+			return err
+		}
+		if _, known := s.blocks[p]; !known {
+			return corruptf("delta for unknown block %s", p)
+		}
+		ref.snap, ref.kind = snap, frameDelta
+		s.blocks[p] = append(s.blocks[p], ref)
+		s.applyChanges(snap, p, entries)
+		s.deltasSince[p]++
+		s.deltaFrames++
+		return nil
+	}
+	return corruptf("unknown frame kind 0x%02x", fr.kind)
+}
+
+func (s *Store) checkFrameSnap(snap int) error {
+	if snap != len(s.times)-1 {
+		return corruptf("block frame for snapshot %d under header %d", snap, len(s.times)-1)
+	}
+	return nil
+}
+
+// frameScanner walks frames off a buffered reader, tracking offsets.
+type frameScanner struct {
+	r   *bufio.Reader
+	off int64
+}
+
+// next reads one frame. It returns io.EOF cleanly at a frame boundary and
+// errTruncated when the file ends inside a frame.
+func (fs *frameScanner) next() (frame, int64, int, error) {
+	start := fs.off
+	kind, err := fs.r.ReadByte()
+	if err == io.EOF {
+		return frame{}, start, 0, io.EOF
+	}
+	if err != nil {
+		return frame{}, start, 0, err
+	}
+	if kind != frameSnap && kind != frameBase && kind != frameDelta {
+		return frame{}, start, 0, corruptf("unknown frame kind 0x%02x", kind)
+	}
+	n, sz, err := readUvarint(fs.r)
+	if err != nil {
+		return frame{}, start, 0, errTruncated
+	}
+	if n > 1<<24 {
+		return frame{}, start, 0, corruptf("frame body of %d bytes", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(fs.r, body); err != nil {
+		return frame{}, start, 0, errTruncated
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(fs.r, crcBuf[:]); err != nil {
+		return frame{}, start, 0, errTruncated
+	}
+	full := make([]byte, 0, 1+sz+len(body)+4)
+	full = append(full, kind)
+	full = appendUvarintByte(full, n)
+	full = append(full, body...)
+	full = append(full, crcBuf[:]...)
+	fr, _, err := decodeFrame(full)
+	if err != nil {
+		return frame{}, start, 0, err
+	}
+	fs.off = start + int64(len(full))
+	return fr, start, len(full), nil
+}
+
+// readUvarint reads a uvarint and how many bytes it took.
+func readUvarint(r io.ByteReader) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < 10; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, 0, err
+		}
+		if b < 0x80 {
+			return v | uint64(b)<<shift, i + 1, nil
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0, corruptError("uvarint overflow")
+}
+
+// diffBlock computes the octet-sorted changes turning old into new.
+func diffBlock(old, new blockState) []deltaEntry {
+	var out []deltaEntry
+	for octet := 0; octet < 256; octet++ {
+		o := byte(octet)
+		oldName, hadOld := old[o]
+		newName, hasNew := new[o]
+		switch {
+		case hadOld && hasNew && oldName != newName:
+			out = append(out, deltaEntry{kind: scanengine.RecordChanged, octet: o, old: oldName, new: newName})
+		case hadOld && !hasNew:
+			out = append(out, deltaEntry{kind: scanengine.RecordRemoved, octet: o, old: oldName})
+		case !hadOld && hasNew:
+			out = append(out, deltaEntry{kind: scanengine.RecordAdded, octet: o, new: newName})
+		}
+	}
+	return out
+}
+
+// applyChanges advances one block's current state and the name index
+// through a snapshot's changes. It is the single transition function both
+// Append and replay run, which is what makes reopen bit-identical.
+func (s *Store) applyChanges(snap int, p dnswire.Prefix, changes []deltaEntry) {
+	st := s.cur[p]
+	if st == nil {
+		st = make(blockState)
+		s.cur[p] = st
+	}
+	for _, ch := range changes {
+		switch ch.kind {
+		case scanengine.RecordAdded:
+			st[ch.octet] = ch.new
+			s.names.add(ch.new, p, snap)
+		case scanengine.RecordRemoved:
+			delete(st, ch.octet)
+			s.names.remove(ch.old, p, snap)
+		case scanengine.RecordChanged:
+			st[ch.octet] = ch.new
+			s.names.remove(ch.old, p, snap)
+			s.names.add(ch.new, p, snap)
+		}
+	}
+	if len(st) == 0 {
+		delete(s.cur, p)
+	}
+}
+
+// Append adds one snapshot to the log: the record set the campaign's
+// sweep produced at date. Dates must be strictly increasing. Blocks are
+// written as deltas against the previous snapshot, or as fresh bases on
+// first appearance and whenever a delta chain has spanned the base
+// interval (the log's compaction mechanism).
+func (s *Store) Append(date time.Time, recs scanengine.RecordSet) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return ErrClosed
+	}
+	date = date.UTC().Truncate(time.Second)
+	if len(s.times) > 0 && !date.After(s.times[len(s.times)-1]) {
+		return fmt.Errorf("%w: %s is not after %s", ErrOutOfOrder,
+			date.Format(time.RFC3339), s.times[len(s.times)-1].Format(time.RFC3339))
+	}
+	snap := len(s.times)
+
+	// Group the snapshot by /24.
+	newStates := make(map[dnswire.Prefix]blockState)
+	for ip, name := range recs {
+		p := ip.Slash24()
+		st := newStates[p]
+		if st == nil {
+			st = make(blockState)
+			newStates[p] = st
+		}
+		st[ip[3]] = name
+	}
+
+	// The union of currently-live and newly-seen blocks, sorted so the
+	// log layout (and thus the file bytes) is deterministic.
+	prefixes := make(map[dnswire.Prefix]bool, len(newStates)+len(s.cur))
+	for p := range newStates {
+		prefixes[p] = true
+	}
+	for p := range s.cur {
+		prefixes[p] = true
+	}
+	order := make([]dnswire.Prefix, 0, len(prefixes))
+	for p := range prefixes {
+		order = append(order, p)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Addr.Uint32() < order[j].Addr.Uint32() })
+
+	type pending struct {
+		p       dnswire.Prefix
+		kind    byte
+		changes []deltaEntry
+		off     int64 // relative to the buffer start
+		length  int
+	}
+	buf := appendFrame(nil, frameSnap, encodeSnapBody(snap, date.Unix()))
+	var plan []pending
+	for _, p := range order {
+		newState := newStates[p]
+		changes := diffBlock(s.cur[p], newState)
+		_, known := s.blocks[p]
+		var kind byte
+		switch {
+		case !known && len(newState) > 0:
+			kind = frameBase
+		case !known:
+			continue // never materialized and still empty
+		case snap-s.lastBase[p] >= s.baseEvery && s.deltasSince[p] > 0:
+			kind = frameBase // compact the delta chain
+		case len(changes) > 0:
+			kind = frameDelta
+		default:
+			continue // unchanged
+		}
+		start := int64(len(buf))
+		if kind == frameBase {
+			entries := make([]baseEntry, 0, len(newState))
+			for octet := 0; octet < 256; octet++ {
+				if name, ok := newState[byte(octet)]; ok {
+					entries = append(entries, baseEntry{octet: byte(octet), name: name})
+				}
+			}
+			buf = appendFrame(buf, frameBase, encodeBaseBody(snap, p, entries))
+		} else {
+			buf = appendFrame(buf, frameDelta, encodeDeltaBody(snap, p, changes))
+		}
+		plan = append(plan, pending{p: p, kind: kind, changes: changes, off: start, length: int(int64(len(buf)) - start)})
+	}
+
+	if _, err := s.f.WriteAt(buf, s.size); err != nil {
+		s.f.Truncate(s.size) // keep the log at the last good boundary
+		return fmt.Errorf("histstore: append: %w", err)
+	}
+	if s.syncEach {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("histstore: append: %w", err)
+		}
+	}
+
+	// Commit: indexes, state, stats. Mirrors replayFrame exactly.
+	base := s.size
+	s.size += int64(len(buf))
+	s.times = append(s.times, date)
+	for _, pd := range plan {
+		s.blocks[pd.p] = append(s.blocks[pd.p], blockRef{
+			snap: snap, kind: pd.kind, off: base + pd.off, length: pd.length,
+		})
+		s.applyChanges(snap, pd.p, pd.changes)
+		if pd.kind == frameBase {
+			s.lastBase[pd.p] = snap
+			s.deltasSince[pd.p] = 0
+			s.baseFrames++
+			s.met.baseFrames.Inc()
+		} else {
+			s.deltasSince[pd.p]++
+			s.deltaFrames++
+			s.met.deltaFrames.Inc()
+		}
+	}
+	m := s.met
+	m.appends.Inc()
+	m.appendBytes.Add(uint64(len(buf)))
+	s.publishGauges()
+	return nil
+}
+
+// publishGauges refreshes the gauge instruments; callers hold at least a
+// read view of the fields they publish.
+func (s *Store) publishGauges() {
+	m := s.met
+	m.snapshots.Set(int64(len(s.times)))
+	m.blocks.Set(int64(len(s.blocks)))
+	m.bytes.Set(s.size)
+	m.cacheEntries.Set(int64(s.cache.len()))
+}
+
+// Close syncs and closes the log. Further operations return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// Times returns the snapshot instants in append order.
+func (s *Store) Times() []time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]time.Time(nil), s.times...)
+}
+
+// Len returns the number of snapshots.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.times)
+}
+
+// BaseInterval returns the log's base-block cadence K.
+func (s *Store) BaseInterval() int { return s.baseEvery }
+
+// Resolve maps an instant to the newest snapshot at or before it — the
+// snapshot a point query answers from. ok is false before history.
+func (s *Store) Resolve(t time.Time) (time.Time, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, ok := s.snapAtOrBefore(t)
+	if !ok {
+		return time.Time{}, false
+	}
+	return s.times[i], true
+}
+
+// snapAtOrBefore finds the newest snapshot index at or before t. Callers
+// hold the lock.
+func (s *Store) snapAtOrBefore(t time.Time) (int, bool) {
+	n := sort.Search(len(s.times), func(i int) bool { return s.times[i].After(t) })
+	if n == 0 {
+		return 0, false
+	}
+	return n - 1, true
+}
+
+// At answers the time-travel point query: the PTR name held by ip at the
+// newest snapshot at or before t. ok is false when the address had no
+// record then; ErrBeforeHistory when t precedes the first snapshot.
+func (s *Store) At(ip dnswire.IPv4, t time.Time) (dnswire.Name, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.f == nil {
+		return "", false, ErrClosed
+	}
+	snap, ok := s.snapAtOrBefore(t)
+	if !ok {
+		return "", false, ErrBeforeHistory
+	}
+	st, err := s.stateAt(ip.Slash24(), snap)
+	if err != nil {
+		return "", false, err
+	}
+	name, ok := st[ip[3]]
+	return name, ok, nil
+}
+
+// Range returns every observation (snapshot, address, name) within prefix
+// and [from, to], ordered by date then address — the store-backed
+// replacement for re-reading a campaign CSV.
+func (s *Store) Range(p dnswire.Prefix, from, to time.Time) ([]dataset.Row, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.f == nil {
+		return nil, ErrClosed
+	}
+	lo, hi, ok := s.snapRange(from, to)
+	if !ok {
+		return nil, nil
+	}
+	blocks := s.overlappingBlocks(p)
+	var rows []dataset.Row
+	for i := lo; i <= hi; i++ {
+		for _, q := range blocks {
+			st, err := s.stateAt(q, i)
+			if err != nil {
+				return rows, err
+			}
+			for octet := 0; octet < 256; octet++ {
+				name, ok := st[byte(octet)]
+				if !ok {
+					continue
+				}
+				ip := dnswire.IPv4{q.Addr[0], q.Addr[1], q.Addr[2], byte(octet)}
+				if p.Bits > 24 && !p.Contains(ip) {
+					continue
+				}
+				rows = append(rows, dataset.Row{Date: s.times[i], IP: ip, PTR: name})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// ChurnDay is one snapshot's record-set delta counts within a prefix.
+type ChurnDay struct {
+	Date    time.Time `json:"date"`
+	Added   int       `json:"added"`
+	Removed int       `json:"removed"`
+	Changed int       `json:"changed"`
+}
+
+// Churn returns the per-snapshot join/leave/reallocation counts within
+// prefix over [from, to]: exactly the deltas a consumer diffing
+// successive raw snapshots would compute. The store's first snapshot has
+// no baseline and yields no entry.
+func (s *Store) Churn(p dnswire.Prefix, from, to time.Time) ([]ChurnDay, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.f == nil {
+		return nil, ErrClosed
+	}
+	lo, hi, ok := s.snapRange(from, to)
+	if !ok {
+		return nil, nil
+	}
+	if lo == 0 {
+		lo = 1
+	}
+	blocks := s.overlappingBlocks(p)
+	var out []ChurnDay
+	for i := lo; i <= hi; i++ {
+		day := ChurnDay{Date: s.times[i]}
+		for _, q := range blocks {
+			prev, err := s.stateAt(q, i-1)
+			if err != nil {
+				return out, err
+			}
+			cur, err := s.stateAt(q, i)
+			if err != nil {
+				return out, err
+			}
+			for _, ch := range diffBlock(prev, cur) {
+				if p.Bits > 24 {
+					ip := dnswire.IPv4{q.Addr[0], q.Addr[1], q.Addr[2], ch.octet}
+					if !p.Contains(ip) {
+						continue
+					}
+				}
+				switch ch.kind {
+				case scanengine.RecordAdded:
+					day.Added++
+				case scanengine.RecordRemoved:
+					day.Removed++
+				case scanengine.RecordChanged:
+					day.Changed++
+				}
+			}
+		}
+		out = append(out, day)
+	}
+	return out, nil
+}
+
+// FindName answers the inverted-index query: every (/24, interval) where
+// a hostname token was present, without scanning the log. Tokens are the
+// '-'-separated pieces of hostnames' first labels; possessive forms
+// match their stem, so FindName("brian") reaches "brians-iphone".
+func (s *Store) FindName(token string) []Posting {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.times) == 0 {
+		return nil
+	}
+	return s.names.find(token, len(s.times)-1, s.times)
+}
+
+// snapRange clips [from, to] to snapshot indices. Callers hold the lock.
+func (s *Store) snapRange(from, to time.Time) (lo, hi int, ok bool) {
+	if len(s.times) == 0 || to.Before(from) {
+		return 0, 0, false
+	}
+	lo = sort.Search(len(s.times), func(i int) bool { return !s.times[i].Before(from) })
+	hi = sort.Search(len(s.times), func(i int) bool { return s.times[i].After(to) }) - 1
+	if lo > hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// overlappingBlocks lists the indexed /24s overlapping p, sorted by
+// address. Callers hold the lock.
+func (s *Store) overlappingBlocks(p dnswire.Prefix) []dnswire.Prefix {
+	var out []dnswire.Prefix
+	for q := range s.blocks {
+		if p.Overlaps(q) {
+			out = append(out, q)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Uint32() < out[j].Addr.Uint32() })
+	return out
+}
+
+// stateAt reconstructs the record set of one /24 at a snapshot index:
+// nearest base at or before it, plus the deltas in between. Results are
+// cached under the block's version snapshot (its newest frame at or
+// before the queried one), so every query between two writes of a block
+// shares one entry. Callers hold at least the read lock; returned states
+// are shared and must not be mutated.
+func (s *Store) stateAt(p dnswire.Prefix, snap int) (blockState, error) {
+	refs := s.blocks[p]
+	i := sort.Search(len(refs), func(k int) bool { return refs[k].snap > snap }) - 1
+	if i < 0 {
+		return nil, nil // block not materialized yet
+	}
+	key := cacheKey{p: p, snap: refs[i].snap}
+	if st, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Inc()
+		return st, nil
+	}
+	if s.cache != nil {
+		s.met.cacheMisses.Inc()
+	}
+	b := i
+	for b >= 0 && refs[b].kind != frameBase {
+		b--
+	}
+	if b < 0 {
+		return nil, corruptf("block %s has no base frame", p)
+	}
+	s.reconstructions.Add(1)
+	s.met.reconstructions.Inc()
+	st := make(blockState)
+	for j := b; j <= i; j++ {
+		fr, err := s.readFrame(refs[j])
+		if err != nil {
+			return nil, err
+		}
+		switch fr.kind {
+		case frameBase:
+			fsnap, fp, entries, err := decodeBaseBody(fr.body)
+			if err != nil {
+				return nil, err
+			}
+			if fsnap != refs[j].snap || fp != p {
+				return nil, corruptf("frame at %d is for %s@%d, expected %s@%d",
+					refs[j].off, fp, fsnap, p, refs[j].snap)
+			}
+			st = make(blockState, len(entries))
+			for _, e := range entries {
+				st[e.octet] = e.name
+			}
+		case frameDelta:
+			fsnap, fp, entries, err := decodeDeltaBody(fr.body)
+			if err != nil {
+				return nil, err
+			}
+			if fsnap != refs[j].snap || fp != p {
+				return nil, corruptf("frame at %d is for %s@%d, expected %s@%d",
+					refs[j].off, fp, fsnap, p, refs[j].snap)
+			}
+			for _, e := range entries {
+				switch e.kind {
+				case scanengine.RecordAdded, scanengine.RecordChanged:
+					st[e.octet] = e.new
+				case scanengine.RecordRemoved:
+					delete(st, e.octet)
+				}
+			}
+		}
+	}
+	s.cache.put(key, st)
+	if s.cache != nil {
+		s.met.cacheEntries.Set(int64(s.cache.len()))
+	}
+	return st, nil
+}
+
+// readFrame reads and CRC-verifies one frame from the log.
+func (s *Store) readFrame(ref blockRef) (frame, error) {
+	buf := make([]byte, ref.length)
+	if _, err := s.f.ReadAt(buf, ref.off); err != nil {
+		return frame{}, fmt.Errorf("histstore: reading frame at %d: %w", ref.off, err)
+	}
+	fr, rest, err := decodeFrame(buf)
+	if err != nil {
+		return frame{}, err
+	}
+	if len(rest) != 0 {
+		return frame{}, corruptf("frame at %d shorter than indexed", ref.off)
+	}
+	return fr, nil
+}
+
+// Stats is a point-in-time summary of the store.
+type Stats struct {
+	// Snapshots is the number of appended snapshots.
+	Snapshots int `json:"snapshots"`
+	// Blocks is the number of indexed /24 blocks.
+	Blocks int `json:"blocks"`
+	// BaseFrames and DeltaFrames count the log's block frames; every base
+	// past a block's first is a delta-chain compaction.
+	BaseFrames  int `json:"base_frames"`
+	DeltaFrames int `json:"delta_frames"`
+	// Bytes is the log file size.
+	Bytes int64 `json:"bytes"`
+	// Reconstructions counts block states rebuilt from frames.
+	Reconstructions uint64 `json:"reconstructions"`
+	// CacheHits/CacheMisses/CacheEntries describe the reconstruction
+	// cache (zero when disabled).
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+// Stats returns the store's current summary.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hits, misses := s.cache.counters()
+	return Stats{
+		Snapshots:       len(s.times),
+		Blocks:          len(s.blocks),
+		BaseFrames:      s.baseFrames,
+		DeltaFrames:     s.deltaFrames,
+		Bytes:           s.size,
+		Reconstructions: s.reconstructions.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEntries:    s.cache.len(),
+	}
+}

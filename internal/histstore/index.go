@@ -1,0 +1,149 @@
+package histstore
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+)
+
+// The inverted given-name index: hostname tokens map to (/24, snapshot
+// interval) postings, so "find every Brians-iPhone ever seen" walks a map
+// instead of replaying the log. Tokens come from the hostname's first
+// label (the device-name label the Section 5 analysis matches against),
+// split on '-'; a token with a trailing possessive "s" is additionally
+// indexed under its stem, so FindName("brian") reaches "brians-iphone".
+//
+// Postings are maintained incrementally from the same add/remove/change
+// transitions that feed the log: a token's interval opens the first
+// snapshot a record carrying it appears in a /24 and closes the snapshot
+// before the last such record vanishes. Reopening a store replays the
+// log through the identical transition code, so the rebuilt index is
+// bit-identical to the one the writer held.
+
+// Posting is one FindName result: the token was present in Prefix on
+// every snapshot from First through Last inclusive.
+type Posting struct {
+	Prefix dnswire.Prefix
+	First  time.Time
+	Last   time.Time
+}
+
+// interval is a closed snapshot-index range.
+type interval struct {
+	first, last int
+}
+
+// tokenPostings tracks one (token, /24) pair.
+type tokenPostings struct {
+	closed []interval
+	open   int // first snapshot of the open interval, -1 when none
+	active int // records in the /24 currently carrying the token
+}
+
+// nameIndex is the full inverted index. Not safe for concurrent use; the
+// Store's lock covers it.
+type nameIndex struct {
+	tokens map[string]map[dnswire.Prefix]*tokenPostings
+}
+
+func newNameIndex() *nameIndex {
+	return &nameIndex{tokens: make(map[string]map[dnswire.Prefix]*tokenPostings)}
+}
+
+// tokensOf extracts the index tokens of a hostname: the first label's
+// '-'-separated tokens, plus the stem of any token with a possessive
+// trailing "s". Names are already lowercase (dnswire.ParseName
+// normalizes).
+func tokensOf(name dnswire.Name) []string {
+	labels := name.Labels()
+	if len(labels) == 0 {
+		return nil
+	}
+	parts := strings.Split(labels[0], "-")
+	out := make([]string, 0, len(parts)+1)
+	for _, t := range parts {
+		if t == "" {
+			continue
+		}
+		out = append(out, t)
+		if len(t) > 2 && strings.HasSuffix(t, "s") {
+			out = append(out, t[:len(t)-1])
+		}
+	}
+	return out
+}
+
+func (ix *nameIndex) get(token string, p dnswire.Prefix) *tokenPostings {
+	byPrefix, ok := ix.tokens[token]
+	if !ok {
+		byPrefix = make(map[dnswire.Prefix]*tokenPostings)
+		ix.tokens[token] = byPrefix
+	}
+	tp, ok := byPrefix[p]
+	if !ok {
+		tp = &tokenPostings{open: -1}
+		byPrefix[p] = tp
+	}
+	return tp
+}
+
+// add records that a hostname carrying the tokens appeared in p at snap.
+func (ix *nameIndex) add(name dnswire.Name, p dnswire.Prefix, snap int) {
+	for _, token := range tokensOf(name) {
+		tp := ix.get(token, p)
+		tp.active++
+		if tp.active == 1 && tp.open < 0 {
+			// Seamless re-appearance: a record removed at snap (present
+			// through snap-1) and re-added at snap keeps one interval.
+			if n := len(tp.closed); n > 0 && tp.closed[n-1].last == snap-1 {
+				tp.open = tp.closed[n-1].first
+				tp.closed = tp.closed[:n-1]
+			} else {
+				tp.open = snap
+			}
+		}
+	}
+}
+
+// remove records that a hostname carrying the tokens vanished from p at
+// snap (it was last present on snap-1).
+func (ix *nameIndex) remove(name dnswire.Name, p dnswire.Prefix, snap int) {
+	for _, token := range tokensOf(name) {
+		tp := ix.get(token, p)
+		tp.active--
+		if tp.active == 0 && tp.open >= 0 {
+			tp.closed = append(tp.closed, interval{first: tp.open, last: snap - 1})
+			tp.open = -1
+		}
+	}
+}
+
+// find returns the postings of a token, sorted by prefix address then
+// interval start. lastSnap closes any open interval at the store's
+// newest snapshot; times translates snapshot indices to instants.
+func (ix *nameIndex) find(token string, lastSnap int, times []time.Time) []Posting {
+	byPrefix, ok := ix.tokens[strings.ToLower(token)]
+	if !ok {
+		return nil
+	}
+	prefixes := make([]dnswire.Prefix, 0, len(byPrefix))
+	for p := range byPrefix {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		return prefixes[i].Addr.Uint32() < prefixes[j].Addr.Uint32()
+	})
+	var out []Posting
+	for _, p := range prefixes {
+		tp := byPrefix[p]
+		for _, iv := range tp.closed {
+			out = append(out, Posting{Prefix: p, First: times[iv.first], Last: times[iv.last]})
+		}
+		if tp.open >= 0 {
+			out = append(out, Posting{Prefix: p, First: times[tp.open], Last: times[lastSnap]})
+		}
+	}
+	return out
+}

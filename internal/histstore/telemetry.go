@@ -1,0 +1,70 @@
+package histstore
+
+import "rdnsprivacy/internal/telemetry"
+
+// Metric names the store registers when a telemetry sink is attached (see
+// docs/storage.md and docs/telemetry.md).
+const (
+	// MetricAppends counts appended snapshots.
+	MetricAppends = "hist_appends_total"
+	// MetricAppendBytes counts bytes written to the log.
+	MetricAppendBytes = "hist_append_bytes_total"
+	// MetricBaseFrames counts base block frames written — every one past
+	// a block's first is a delta-chain compaction.
+	MetricBaseFrames = "hist_base_frames_total"
+	// MetricDeltaFrames counts delta block frames written.
+	MetricDeltaFrames = "hist_delta_frames_total"
+	// MetricReconstructions counts block-state reconstructions that had
+	// to read and decode frames (cache misses do; hits do not).
+	MetricReconstructions = "hist_reconstructions_total"
+	// MetricCacheHits counts reconstruction-cache hits.
+	MetricCacheHits = "hist_cache_hits_total"
+	// MetricCacheMisses counts reconstruction-cache misses.
+	MetricCacheMisses = "hist_cache_misses_total"
+	// MetricSnapshots gauges the number of snapshots in the store.
+	MetricSnapshots = "hist_snapshots"
+	// MetricBlocks gauges the number of indexed /24 blocks.
+	MetricBlocks = "hist_blocks"
+	// MetricBytes gauges the log file size.
+	MetricBytes = "hist_bytes"
+	// MetricCacheEntries gauges the reconstruction cache's occupancy.
+	MetricCacheEntries = "hist_cache_entries"
+)
+
+// storeMetrics holds the pre-resolved instrument handles. With no sink
+// configured the handles stay nil and every call site no-ops through the
+// telemetry package's nil-receiver contract.
+type storeMetrics struct {
+	appends         *telemetry.Counter
+	appendBytes     *telemetry.Counter
+	baseFrames      *telemetry.Counter
+	deltaFrames     *telemetry.Counter
+	reconstructions *telemetry.Counter
+	cacheHits       *telemetry.Counter
+	cacheMisses     *telemetry.Counter
+	snapshots       *telemetry.Gauge
+	blocks          *telemetry.Gauge
+	bytes           *telemetry.Gauge
+	cacheEntries    *telemetry.Gauge
+}
+
+// newStoreMetrics resolves the instruments from sink (nil sink yields
+// nil handles, so instrumentation costs nothing).
+func newStoreMetrics(sink telemetry.Sink) *storeMetrics {
+	if sink == nil {
+		return &storeMetrics{}
+	}
+	return &storeMetrics{
+		appends:         sink.Counter(MetricAppends),
+		appendBytes:     sink.Counter(MetricAppendBytes),
+		baseFrames:      sink.Counter(MetricBaseFrames),
+		deltaFrames:     sink.Counter(MetricDeltaFrames),
+		reconstructions: sink.Counter(MetricReconstructions),
+		cacheHits:       sink.Counter(MetricCacheHits),
+		cacheMisses:     sink.Counter(MetricCacheMisses),
+		snapshots:       sink.Gauge(MetricSnapshots),
+		blocks:          sink.Gauge(MetricBlocks),
+		bytes:           sink.Gauge(MetricBytes),
+		cacheEntries:    sink.Gauge(MetricCacheEntries),
+	}
+}

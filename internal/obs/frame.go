@@ -73,6 +73,27 @@ type Frame struct {
 	// HealthFingerprint is HealthReport.Fingerprint in hex, empty when
 	// the sweep ran without the resilience layer.
 	HealthFingerprint string `json:"health_fingerprint,omitempty"`
+
+	// Store carries the history store's cumulative append/compaction
+	// state after this day's append, when the campaign writes one (see
+	// Recorder.SetStoreStats).
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreStats mirrors the history store's summary inside a frame. It is a
+// local copy of the fields (not histstore.Stats itself) so obs stays
+// import-free of the storage layer; scan converts between the two.
+type StoreStats struct {
+	// Snapshots is the number of snapshots in the store so far.
+	Snapshots int `json:"snapshots"`
+	// Blocks is the number of /24 blocks the store indexes.
+	Blocks int `json:"blocks"`
+	// BaseFrames and DeltaFrames count block frames written so far; every
+	// base past a block's first is a delta-chain compaction.
+	BaseFrames  int `json:"base_frames"`
+	DeltaFrames int `json:"delta_frames"`
+	// Bytes is the log file size.
+	Bytes int64 `json:"bytes"`
 }
 
 // ErrorRate is the day's probe error fraction (0 when nothing was probed).

@@ -30,11 +30,14 @@ type Recorder struct {
 	exclude []string
 	skip    map[string]bool
 
-	// mu guards prev, so interleaved captures attribute deltas without
-	// tearing.
+	// mu guards prev and storeStats, so interleaved captures attribute
+	// deltas without tearing.
 	mu sync.Mutex
 	// prev is the last captured counter snapshot, for delta computation.
 	prev map[string]uint64
+	// storeStats, when set, snapshots the campaign's history store for
+	// each frame (see SetStoreStats).
+	storeStats func() StoreStats
 }
 
 // RecorderOption tunes a Recorder.
@@ -70,6 +73,21 @@ func NewRecorder(reg *telemetry.Registry, opts ...RecorderOption) *Recorder {
 	return r
 }
 
+// SetStoreStats attaches a history-store snapshot source: every frame
+// captured afterwards carries Frame.Store with fn's result at capture
+// time. The campaign side (internal/scan) sets this after each append,
+// converting histstore.Stats to the local StoreStats — obs deliberately
+// does not import the storage layer. Safe on a nil recorder; fn nil
+// detaches.
+func (r *Recorder) SetStoreStats(fn func() StoreStats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.storeStats = fn
+	r.mu.Unlock()
+}
+
 // CaptureFrame records one campaign day: the snapshot summary plus the
 // registry digest and counter deltas since the previous capture. It
 // returns the captured frame. Safe on a nil recorder (returns the zero
@@ -80,6 +98,12 @@ func (r *Recorder) CaptureFrame(index int, date time.Time, snap *scanengine.Snap
 		return Frame{}
 	}
 	f := frameFromSnapshot(index, date, snap)
+	r.mu.Lock()
+	if r.storeStats != nil {
+		ss := r.storeStats()
+		f.Store = &ss
+	}
+	r.mu.Unlock()
 	if r.reg != nil {
 		f.MetricsDigest = Hex16(r.reg.DeterministicDigest(r.exclude...))
 		cur := r.reg.Snapshot().Counters

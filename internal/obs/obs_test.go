@@ -52,7 +52,7 @@ func TestStoreRing(t *testing.T) {
 func TestFrameJSONLRoundTrip(t *testing.T) {
 	in := []Frame{
 		{Index: 0, Date: day(0), MetricsDigest: "00deadbeef000000",
-			Deltas: map[string]uint64{"scan_probes_total": 512, "scan_errors_total": 3},
+			Deltas:  map[string]uint64{"scan_probes_total": 512, "scan_errors_total": 3},
 			Records: 100, Probes: 512, Found: 100, Absent: 409, Errors: 3,
 			Added: 5, Removed: 1, Changed: 2},
 		{Index: 1, Date: day(1), Partial: true, Degraded: true,
@@ -126,11 +126,11 @@ func TestNilRecorderSafe(t *testing.T) {
 func TestSLOEvaluate(t *testing.T) {
 	rules := DefaultRules()
 	frames := []Frame{
-		{Index: 0, Probes: 1000, Errors: 1},                             // healthy
-		{Index: 1, Probes: 1000, Errors: 50},                            // error-rate breach
-		{Index: 2, Probes: 900, Skipped: 100, BreakerOpens: 3},          // coverage + breaker
-		{Index: 3, Probes: 1000, Retries: 100},                          // retry breach
-		{Index: 4, Probes: 1000},                                        // healthy
+		{Index: 0, Probes: 1000, Errors: 1},                    // healthy
+		{Index: 1, Probes: 1000, Errors: 50},                   // error-rate breach
+		{Index: 2, Probes: 900, Skipped: 100, BreakerOpens: 3}, // coverage + breaker
+		{Index: 3, Probes: 1000, Retries: 100},                 // retry breach
+		{Index: 4, Probes: 1000},                               // healthy
 	}
 	rep := rules.Evaluate(frames)
 	if rep.ViolatingFrames != 3 {
@@ -330,5 +330,47 @@ func TestStitchIncompleteChain(t *testing.T) {
 	}
 	if !strings.Contains(chains[0].Render(), "hop a>b drop") {
 		t.Fatalf("render = %q", chains[0].Render())
+	}
+}
+
+func TestRecorderStoreStats(t *testing.T) {
+	r := NewRecorder(nil)
+	// No source attached: frames omit the store block.
+	if f := r.CaptureFrame(0, day(0), nil); f.Store != nil {
+		t.Fatalf("store stats without a source: %+v", f.Store)
+	}
+	calls := 0
+	r.SetStoreStats(func() StoreStats {
+		calls++
+		return StoreStats{Snapshots: calls, Blocks: 2, BaseFrames: 3, DeltaFrames: 4, Bytes: 512}
+	})
+	f1 := r.CaptureFrame(1, day(1), nil)
+	f2 := r.CaptureFrame(2, day(2), nil)
+	if f1.Store == nil || f2.Store == nil {
+		t.Fatal("frames missing store stats")
+	}
+	// Each capture re-snapshots the source; the copies are independent.
+	if f1.Store.Snapshots != 1 || f2.Store.Snapshots != 2 || f1.Store == f2.Store {
+		t.Fatalf("store snapshots: %+v then %+v", f1.Store, f2.Store)
+	}
+	if f1.Store.Bytes != 512 || f1.Store.Blocks != 2 {
+		t.Fatalf("store fields: %+v", f1.Store)
+	}
+	// Detaching stops the captures; a nil recorder accepts the call.
+	r.SetStoreStats(nil)
+	if f := r.CaptureFrame(3, day(3), nil); f.Store != nil {
+		t.Fatalf("store stats after detach: %+v", f.Store)
+	}
+	var nilRec *Recorder
+	nilRec.SetStoreStats(func() StoreStats { return StoreStats{} })
+}
+
+func TestWithExcludedMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	quiet := reg.Counter("scan_probes_total")
+	r := NewRecorder(reg, WithExcludedMetrics("scan_probes_total"))
+	quiet.Add(5)
+	if f := r.CaptureFrame(0, day(0), nil); f.Deltas != nil {
+		t.Fatalf("excluded counter leaked: %v", f.Deltas)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"rdnsprivacy/internal/dataset"
 	"rdnsprivacy/internal/dnsclient"
 	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/histstore"
 	"rdnsprivacy/internal/netsim"
 	"rdnsprivacy/internal/obs"
 	"rdnsprivacy/internal/scanengine"
@@ -85,6 +86,12 @@ type Campaign struct {
 	// the longitudinal health series docs/observability.md describes.
 	// Nil skips capture entirely.
 	Observer *obs.Recorder
+	// Store, when set, receives every snapshot's record set as an append
+	// to the longitudinal history store, making the campaign queryable by
+	// cmd/rdnsd and the store-backed analyses. With an Observer attached
+	// too, each frame carries the store's append/compaction state. Nil
+	// skips persistence.
+	Store *histstore.Store
 }
 
 // Targets returns the campaign's sweep coverage, for scanengine.Request.
@@ -131,6 +138,10 @@ type Result struct {
 	Series *dataset.CountSeries
 	// Stats summarizes the campaign.
 	Stats dataset.Stats
+	// StoreErr is the first history-store append failure, nil when every
+	// snapshot persisted (or no store was attached). The sweep itself
+	// continues past a store failure; persistence stops.
+	StoreErr error
 }
 
 // Run executes the campaign through the sharded snapshot engine and
@@ -160,6 +171,10 @@ func Run(c Campaign) *Result {
 	src := NewSource(netsOnly)
 	targets := src.Targets()
 	sc := scanengine.New(src, c.engineOptions()...)
+	if c.Store != nil {
+		c.Observer.SetStoreStats(func() obs.StoreStats { return storeStats(c.Store) })
+	}
+	var storeErr error
 	ctx := context.Background()
 	for i, d := range dates {
 		at := d.Add(c.timeOfDay())
@@ -167,16 +182,32 @@ func Run(c Campaign) *Result {
 		if err != nil {
 			break // background context: unreachable, but do not loop on a dead sweep
 		}
+		if c.Store != nil && storeErr == nil {
+			storeErr = c.Store.Append(at, snap.Records)
+		}
 		c.Observer.CaptureFrame(i, d, snap)
 		for ip, name := range snap.Records {
 			collector.Observe(d, ip, name)
 			series.Add(ip.Slash24(), i, 1)
 		}
 	}
-	r := &Result{Series: series, Stats: collector.Stats()}
+	r := &Result{Series: series, Stats: collector.Stats(), StoreErr: storeErr}
 	r.Stats.Start = c.Start
 	r.Stats.End = c.End
 	return r
+}
+
+// storeStats converts the store's summary to the obs-local mirror (obs
+// does not import the storage layer).
+func storeStats(st *histstore.Store) obs.StoreStats {
+	s := st.Stats()
+	return obs.StoreStats{
+		Snapshots:   s.Snapshots,
+		Blocks:      s.Blocks,
+		BaseFrames:  s.BaseFrames,
+		DeltaFrames: s.DeltaFrames,
+		Bytes:       s.Bytes,
+	}
 }
 
 // Snapshot sweeps the campaign's coverage at one instant through the

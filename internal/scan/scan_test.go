@@ -2,6 +2,7 @@ package scan
 
 import (
 	"context"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -9,8 +10,10 @@ import (
 	"rdnsprivacy/internal/dnsclient"
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/fabric"
+	"rdnsprivacy/internal/histstore"
 	"rdnsprivacy/internal/ipam"
 	"rdnsprivacy/internal/netsim"
+	"rdnsprivacy/internal/obs"
 	"rdnsprivacy/internal/simclock"
 )
 
@@ -262,5 +265,98 @@ func TestDateRange(t *testing.T) {
 	weeks := dataset.DateRange(start, start.AddDate(0, 0, 21), 7)
 	if len(weeks) != 4 {
 		t.Fatalf("weekly range = %d, want 4", len(weeks))
+	}
+}
+
+// TestCampaignPersistsToStore pins the Campaign.Store wiring: every
+// snapshot lands in the history store as one append, the store's Range
+// over a day reproduces that day's record count, and with an Observer
+// attached every frame carries the store's cumulative state.
+func TestCampaignPersistsToStore(t *testing.T) {
+	u := smallUniverse(t)
+	start := time.Date(2021, 1, 4, 0, 0, 0, 0, time.UTC)
+	st, err := histstore.Open(filepath.Join(t.TempDir(), "campaign.hist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rec := obs.NewRecorder(nil)
+	res := Run(Campaign{
+		Universe:   u,
+		Start:      start,
+		End:        start.AddDate(0, 0, 6),
+		Cadence:    Daily,
+		Networks:   []string{u.Networks[0].Name()},
+		SkipFiller: true,
+		Observer:   rec,
+		Store:      st,
+	})
+	if res.StoreErr != nil {
+		t.Fatalf("store error: %v", res.StoreErr)
+	}
+	if st.Len() != 7 {
+		t.Fatalf("store has %d snapshots, want 7", st.Len())
+	}
+	// The store's full-range row count per day equals the series total.
+	times := st.Times()
+	for i, d := range times {
+		rows, err := st.Range(dnswire.Prefix{}, d, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int
+		for _, row := range res.Series.Counts {
+			want += row[i]
+		}
+		if len(rows) != want {
+			t.Fatalf("day %d: store %d rows, series %d", i, len(rows), want)
+		}
+	}
+	// Every frame carries the store state; the last frame matches Stats.
+	frames := rec.Frames()
+	if len(frames) != 7 {
+		t.Fatalf("%d frames, want 7", len(frames))
+	}
+	for i, f := range frames {
+		if f.Store == nil {
+			t.Fatalf("frame %d missing store stats", i)
+		}
+		if f.Store.Snapshots != i+1 {
+			t.Fatalf("frame %d: %d snapshots, want %d", i, f.Store.Snapshots, i+1)
+		}
+	}
+	s := st.Stats()
+	last := frames[6].Store
+	if last.Blocks != s.Blocks || last.BaseFrames != s.BaseFrames ||
+		last.DeltaFrames != s.DeltaFrames || last.Bytes != s.Bytes {
+		t.Fatalf("last frame %+v vs stats %+v", last, s)
+	}
+}
+
+// TestCampaignStoreAppendFailure pins the degradation contract: a store
+// that rejects appends (closed underneath the campaign) surfaces the
+// first error in StoreErr while the sweep itself completes.
+func TestCampaignStoreAppendFailure(t *testing.T) {
+	u := smallUniverse(t)
+	start := time.Date(2021, 1, 4, 0, 0, 0, 0, time.UTC)
+	st, err := histstore.Open(filepath.Join(t.TempDir(), "campaign.hist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	res := Run(Campaign{
+		Universe:   u,
+		Start:      start,
+		End:        start.AddDate(0, 0, 2),
+		Cadence:    Daily,
+		Networks:   []string{u.Networks[0].Name()},
+		SkipFiller: true,
+		Store:      st,
+	})
+	if res.StoreErr == nil {
+		t.Fatal("closed store accepted appends")
+	}
+	if len(res.Series.Dates) != 3 || res.Stats.TotalResponses == 0 {
+		t.Fatalf("sweep did not complete: %+v", res.Stats)
 	}
 }

@@ -296,7 +296,12 @@ func Breakdown(w io.Writer, title string, counts map[string]int) {
 		total += v
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return counts[keys[i]] > counts[keys[j]] })
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
 	if total == 0 {
 		fmt.Fprintln(w, "  (empty)")
 		return

@@ -133,3 +133,16 @@ func TestBreakdown(t *testing.T) {
 		t.Fatal("empty case not handled")
 	}
 }
+
+func TestBreakdownTieOrder(t *testing.T) {
+	// Equal counts must render in a deterministic (alphabetical) order,
+	// not whatever order the map iterates in.
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		Breakdown(&buf, "t", map[string]int{"other": 7, "isp": 7, "academic": 36})
+		out := buf.String()
+		if strings.Index(out, "isp") > strings.Index(out, "other") {
+			t.Fatalf("tie not broken alphabetically:\n%s", out)
+		}
+	}
+}
