@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-check cover verify race fuzz
+.PHONY: build test bench bench-check cover verify race fuzz loadtest
 
 build:
 	$(GO) build ./...
@@ -14,13 +14,14 @@ bench:
 # bench-check guards the hot paths against performance regressions: it
 # runs the full-sweep benchmark plus the history-store and rdnsd query
 # benchmarks, writes the results to BENCH_scan.json, and fails when
-# ns/op regressed >15% against the checked-in baseline.
+# ns/op regressed >15% against the checked-in baseline. The concurrent
+# serving benchmark additionally gates its p99-ns/op tail latency.
 # After an intentional perf change: cp BENCH_scan.json BENCH_baseline.json
 bench-check:
 	$(GO) build -o /tmp/benchcheck ./cmd/benchcheck
 	{ $(GO) test -run '^$$' -bench 'BenchmarkScanEngineFullSweep|BenchmarkHistStoreAt' -count=1 . \
-		&& $(GO) test -run '^$$' -bench 'BenchmarkRdnsdQuery' -count=1 ./cmd/rdnsd ; } \
-		| /tmp/benchcheck -baseline BENCH_baseline.json -out BENCH_scan.json
+		&& $(GO) test -run '^$$' -bench 'BenchmarkRdnsdQuery|BenchmarkRdnsdConcurrentLoad' -count=1 ./internal/rdnsserve ; } \
+		| /tmp/benchcheck -baseline BENCH_baseline.json -out BENCH_scan.json -gate-extras p99-ns/op
 
 # cover gates per-package test coverage: every internal package must stay
 # at or above its floor in COVERAGE_baseline.txt. covercheck also fails on
@@ -28,15 +29,23 @@ bench-check:
 # deliberately changing coverage: cp COVERAGE_current.txt COVERAGE_baseline.txt
 cover:
 	$(GO) build -o /tmp/covercheck ./cmd/covercheck
-	$(GO) test -cover ./internal/... \
+	$(GO) test -cover ./internal/... ./cmd/rdnsd ./cmd/rdnsload ./cmd/benchcheck \
 		| /tmp/covercheck -baseline COVERAGE_baseline.txt -out COVERAGE_current.txt
 
 # race checks every internal package plus the query daemon under the race
 # detector; the concurrency-heavy ones (scanengine, dnsclient, faultsim
-# scenarios, rdnsd's queries-during-append) are the point, the rest are
-# cheap.
+# scenarios, rdnsserve's hot-reload and queries-during-append) are the
+# point, the rest are cheap.
 race:
 	$(GO) test -race ./internal/... ./cmd/rdnsd
+
+# loadtest is the serving-path smoke: rdnsload self-hosts a synthesized
+# history and drives 10k concurrent workers of mixed v1 queries through
+# it, failing unless the run stays within the latency/shed SLOs.
+loadtest:
+	$(GO) build -o /tmp/rdnsload ./cmd/rdnsload
+	/tmp/rdnsload -workers 10000 -requests 30000 -days 30 -blocks 4 \
+		-rate 100 -burst 20 -slo-p95 10 -slo-p99 20 -slo-max-shed-rate 0.01
 
 # fuzz gives each fuzz target a short exploratory run beyond its checked-in
 # seed corpus (plain `go test` already replays the seeds).
@@ -45,10 +54,11 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeBlock -fuzztime=30s ./internal/histstore
 
 # verify is the pre-merge gate: vet everything, run the full test suite
-# with the coverage floors, and race-test the internal packages and the
-# query daemon.
+# with the coverage floors, race-test the internal packages and the query
+# daemon, and smoke the serving path under 10k-worker load.
 verify:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(MAKE) cover
 	$(GO) test -race ./internal/... ./cmd/rdnsd
+	$(MAKE) loadtest

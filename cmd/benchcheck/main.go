@@ -33,8 +33,8 @@ type Result struct {
 	Runs int     `json:"runs"` // iteration count go test settled on
 	NsOp float64 `json:"ns_per_op"`
 	// Extra carries any further "value unit" pairs from the line
-	// (B/op, allocs/op, custom metrics like queries/s), for the record;
-	// only ns/op is gated.
+	// (B/op, allocs/op, custom metrics like queries/s or p99-ns/op).
+	// Besides ns/op, only units named in -gate-extras are gated.
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
@@ -47,6 +47,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "baseline report to compare against (no comparison when empty or missing)")
 	outPath := flag.String("out", "", "where to write the fresh report (stdout when empty)")
 	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed fractional ns/op regression vs baseline")
+	gateExtras := flag.String("gate-extras", "", "comma-separated extra-metric units (e.g. p99-ns/op) to gate at the same threshold")
 	flag.Parse()
 
 	report, err := parseBench(os.Stdin)
@@ -73,10 +74,21 @@ func main() {
 		fatalf("reading baseline: %v", err)
 	}
 
-	failed := compare(os.Stdout, baseline, report, *maxRegress)
+	failed := compare(os.Stdout, baseline, report, *maxRegress, splitUnits(*gateExtras))
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// splitUnits parses the -gate-extras value into unit names ("" → none).
+func splitUnits(s string) []string {
+	var units []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			units = append(units, u)
+		}
+	}
+	return units
 }
 
 // parseBench extracts benchmark result lines from `go test -bench` output.
@@ -130,7 +142,9 @@ func parseBench(r io.Reader) (*Report, error) {
 // compare prints a per-benchmark verdict and reports whether any shared
 // benchmark regressed past the threshold. Benchmarks present on only one
 // side are noted but never fail the check (the suite grows over time).
-func compare(w io.Writer, baseline, fresh *Report, maxRegress float64) bool {
+// Extra metrics whose unit appears in gateExtras are gated the same way,
+// but only when both sides report them.
+func compare(w io.Writer, baseline, fresh *Report, maxRegress float64, gateExtras []string) bool {
 	base := make(map[string]Result, len(baseline.Benchmarks))
 	for _, b := range baseline.Benchmarks {
 		base[b.Name] = b
@@ -150,9 +164,24 @@ func compare(w io.Writer, baseline, fresh *Report, maxRegress float64) bool {
 		}
 		fmt.Fprintf(w, "  %-5s %-50s %12.0f ns/op vs %12.0f baseline (%+.1f%%)\n",
 			verdict, f.Name, f.NsOp, b.NsOp, 100*delta)
+		for _, unit := range gateExtras {
+			fv, fok := f.Extra[unit]
+			bv, bok := b.Extra[unit]
+			if !fok || !bok || bv == 0 {
+				continue
+			}
+			delta := (fv - bv) / bv
+			verdict := "ok"
+			if delta > maxRegress {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Fprintf(w, "  %-5s %-50s %12.0f %s vs %12.0f baseline (%+.1f%%)\n",
+				verdict, f.Name, fv, unit, bv, 100*delta)
+		}
 	}
 	if failed {
-		fmt.Fprintf(w, "benchcheck: ns/op regression beyond %.0f%% — investigate, or re-baseline if intentional\n", 100*maxRegress)
+		fmt.Fprintf(w, "benchcheck: regression beyond %.0f%% — investigate, or re-baseline if intentional\n", 100*maxRegress)
 	}
 	return failed
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+BenchmarkRdnsdQuery/at-8         	  139413	      8658 ns/op
+BenchmarkRdnsdConcurrentLoad-8   	    5000	    240000 ns/op	    910000 p99-ns/op
+some prose line
+PASS
+`
+	rep, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	load := rep.Benchmarks[0]
+	if load.Name != "BenchmarkRdnsdConcurrentLoad-8" || load.NsOp != 240000 {
+		t.Fatalf("load result: %+v", load)
+	}
+	if load.Extra["p99-ns/op"] != 910000 {
+		t.Fatalf("p99 extra: %+v", load.Extra)
+	}
+}
+
+func TestCompareGatesExtras(t *testing.T) {
+	baseline := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsOp: 1000, Extra: map[string]float64{"p99-ns/op": 5000}},
+		{Name: "BenchmarkB", NsOp: 1000},
+	}}
+
+	// Within threshold on both metrics: pass.
+	fresh := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsOp: 1100, Extra: map[string]float64{"p99-ns/op": 5500}},
+		{Name: "BenchmarkB", NsOp: 1000},
+	}}
+	var sb strings.Builder
+	if compare(&sb, baseline, fresh, 0.15, []string{"p99-ns/op"}) {
+		t.Fatalf("within-threshold run failed:\n%s", sb.String())
+	}
+
+	// ns/op fine but the gated extra regressed past the threshold: fail.
+	fresh.Benchmarks[0].Extra["p99-ns/op"] = 9000
+	sb.Reset()
+	if !compare(&sb, baseline, fresh, 0.15, []string{"p99-ns/op"}) {
+		t.Fatalf("p99 regression slipped through:\n%s", sb.String())
+	}
+
+	// Same regression without -gate-extras: extras stay informational.
+	sb.Reset()
+	if compare(&sb, baseline, fresh, 0.15, nil) {
+		t.Fatalf("ungated extra failed the check:\n%s", sb.String())
+	}
+
+	// Extras present on only one side are never gated.
+	fresh.Benchmarks[0].Extra["p99-ns/op"] = 5500
+	fresh.Benchmarks[1].Extra = map[string]float64{"p99-ns/op": 1e12}
+	sb.Reset()
+	if compare(&sb, baseline, fresh, 0.15, []string{"p99-ns/op"}) {
+		t.Fatalf("one-sided extra failed the check:\n%s", sb.String())
+	}
+
+	if units := splitUnits(" p99-ns/op , queries/s ,"); len(units) != 2 || units[0] != "p99-ns/op" {
+		t.Fatalf("splitUnits: %v", units)
+	}
+	if splitUnits("") != nil {
+		t.Fatal("splitUnits(\"\") should be nil")
+	}
+}

@@ -1,7 +1,7 @@
 // Command rdnsd serves time-travel queries over a longitudinal PTR
-// history store (internal/histstore) as JSON over HTTP. It is the query
-// side of the paper's longitudinal analyses: once a campaign has appended
-// its daily snapshots into a store (cmd/rdnsscan -store, or
+// history store (internal/histstore) as a versioned JSON HTTP API. It is
+// the query side of the paper's longitudinal analyses: once a campaign
+// has appended its daily snapshots into a store (cmd/rdnsscan -store, or
 // scan.Campaign with a Store attached), rdnsd answers "what name did
 // this address hold on that day", "every observation in this prefix over
 // that window", "how much churn", and "where has this given name ever
@@ -9,24 +9,33 @@
 //
 //	rdnsd -store campaign.hist -addr 127.0.0.1:8077
 //
-//	curl 'http://127.0.0.1:8077/at?ip=10.0.1.7&t=2020-03-15'
-//	curl 'http://127.0.0.1:8077/range?prefix=10.0.1.0/24&from=2020-03-01&to=2020-03-31'
-//	curl 'http://127.0.0.1:8077/churn?prefix=10.0.0.0/16'
-//	curl 'http://127.0.0.1:8077/name?token=brian'
-//	curl 'http://127.0.0.1:8077/days'
-//	curl 'http://127.0.0.1:8077/stats'
+//	curl 'http://127.0.0.1:8077/v1/at?ip=10.0.1.7&t=2020-03-15'
+//	curl 'http://127.0.0.1:8077/v1/range?prefix=10.0.1.0/24&from=2020-03-01&to=2020-03-31&limit=1000'
+//	curl 'http://127.0.0.1:8077/v1/churn?prefix=10.0.0.0/16'
+//	curl 'http://127.0.0.1:8077/v1/name?token=brian'
+//	curl 'http://127.0.0.1:8077/v1/days'
+//	curl 'http://127.0.0.1:8077/v1/stats'
 //
-// Reconstructed block states are cached in a sharded, size-bounded LRU
-// (-cache) whose hit/miss counters surface in /stats and, with
-// -metrics-addr, in the Prometheus exposition alongside query latency
-// histograms and the store's hist_* instruments:
+// The unversioned paths (/at, /range, ...) remain as deprecated aliases
+// with their original response shapes; see docs/api.md for the v1
+// contract, the error envelope, and the deprecation window.
 //
-//	rdnsd -store campaign.hist -metrics-addr 127.0.0.1:9090
-//	curl -s http://127.0.0.1:9090/metrics | grep -E 'rdnsd_|hist_'
+// Production controls:
+//
+//   - Admission: -rate/-burst give every client (keyed by X-API-Key,
+//     else source address) a token bucket; -max-inflight bounds
+//     concurrency, shedding the excess with 503 + Retry-After;
+//     -acl-allow/-acl-deny restrict service by source prefix.
+//   - Hot reload: SIGHUP (or POST /v1/admin/reload with -reload) reopens
+//     the store and swaps it in without dropping in-flight queries —
+//     reload after the campaign's daily append lands to serve the new
+//     snapshot.
+//   - Telemetry: -metrics-addr serves Prometheus exposition with
+//     rdnsd_* query/admission metrics alongside the store's hist_*
+//     instruments.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight queries
-// drain, the exporter closes, and the store is closed cleanly. See
-// docs/storage.md for the endpoint contract and the on-disk format.
+// drain, the exporter closes, and the store is closed cleanly.
 package main
 
 import (
@@ -38,51 +47,134 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/rdnsserve"
 	"rdnsprivacy/internal/telemetry"
 )
 
+// options collects the flag values; kept as a struct so buildConfig is
+// testable without flag juggling.
+type options struct {
+	storePath   string
+	cacheSize   int
+	seed        int64
+	rate        float64
+	burst       float64
+	maxInFlight int
+	aclAllow    string
+	aclDeny     string
+	reload      bool
+}
+
+// parsePrefixList parses a comma-separated IPv4 CIDR list ("" → nil).
+func parsePrefixList(s string) ([]dnswire.Prefix, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []dnswire.Prefix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := dnswire.ParsePrefix(part)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", part, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// buildConfig translates flags into the serving config. The returned
+// Reopen (nil unless -reload) reopens the store with the same cache and
+// telemetry wiring the initial open used.
+func buildConfig(o options, reg *telemetry.Registry, tracer *telemetry.Tracer) (rdnsserve.Config, error) {
+	allow, err := parsePrefixList(o.aclAllow)
+	if err != nil {
+		return rdnsserve.Config{}, fmt.Errorf("-acl-allow: %w", err)
+	}
+	deny, err := parsePrefixList(o.aclDeny)
+	if err != nil {
+		return rdnsserve.Config{}, fmt.Errorf("-acl-deny: %w", err)
+	}
+	cfg := rdnsserve.Config{
+		Sink:   reg,
+		Tracer: tracer,
+		Seed:   o.seed,
+		Admission: rdnsserve.AdmissionConfig{
+			RatePerSec:  o.rate,
+			Burst:       o.burst,
+			MaxInFlight: o.maxInFlight,
+			Allow:       allow,
+			Deny:        deny,
+		},
+	}
+	if o.reload {
+		path, cache := o.storePath, o.cacheSize
+		cfg.Reopen = func() (*histstore.Store, error) {
+			return histstore.Open(path, histstore.WithCache(cache), histstore.WithTelemetry(reg))
+		}
+	}
+	return cfg, nil
+}
+
 func main() {
 	var (
-		storePath   = flag.String("store", "", "history store file to serve (required)")
+		o           options
 		addr        = flag.String("addr", "127.0.0.1:8077", "address to serve the query API on")
-		cacheSize   = flag.Int("cache", 4096, "reconstruction cache capacity in block states (0 disables)")
 		metricsAddr = flag.String("metrics-addr", "", "serve telemetry HTTP endpoints on this address")
-		seed        = flag.Int64("seed", 1, "seed for deterministic span correlation IDs")
 	)
+	flag.StringVar(&o.storePath, "store", "", "history store file to serve (required)")
+	flag.IntVar(&o.cacheSize, "cache", 4096, "reconstruction cache capacity in block states (0 disables)")
+	flag.Int64Var(&o.seed, "seed", 1, "seed for deterministic span correlation IDs")
+	flag.Float64Var(&o.rate, "rate", 0, "per-client sustained requests/second (0 disables rate limiting)")
+	flag.Float64Var(&o.burst, "burst", 0, "per-client burst capacity (default max(rate, 1))")
+	flag.IntVar(&o.maxInFlight, "max-inflight", 0, "bound on concurrent in-flight queries; excess sheds with 503 (0 = unbounded)")
+	flag.StringVar(&o.aclAllow, "acl-allow", "", "comma-separated source prefixes to allow (empty = all)")
+	flag.StringVar(&o.aclDeny, "acl-deny", "", "comma-separated source prefixes to deny (wins over allow)")
+	flag.BoolVar(&o.reload, "reload", true, "enable hot reload via SIGHUP and POST /v1/admin/reload")
 	flag.Parse()
-	if *storePath == "" {
+	if o.storePath == "" {
 		fmt.Fprintln(os.Stderr, "rdnsd: -store is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	reg := telemetry.NewRegistry()
-	tracer := telemetry.NewTracer(*seed, 4096)
+	tracer := telemetry.NewTracer(o.seed, 4096)
 
-	st, err := histstore.Open(*storePath,
-		histstore.WithCache(*cacheSize),
+	st, err := histstore.Open(o.storePath,
+		histstore.WithCache(o.cacheSize),
 		histstore.WithTelemetry(reg))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rdnsd: %v\n", err)
 		os.Exit(1)
 	}
 
-	srv := newServer(st, reg, tracer, *seed)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	cfg, err := buildConfig(o, reg, tracer)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdnsd: %v\n", err)
+		st.Close()
+		os.Exit(2)
+	}
+	srv := rdnsserve.New(st, cfg) // srv owns st from here on
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	var exporter *telemetry.Exporter
 	if *metricsAddr != "" {
 		exporter = telemetry.NewExporter(reg,
 			telemetry.WithExporterTracer(tracer),
-			telemetry.WithExporterHealth(func() any { return srv.handleStatsSnapshot() }))
+			telemetry.WithExporterHealth(func() any { return srv.StatsSnapshot() }))
 		bound, err := exporter.Start(*metricsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rdnsd: metrics exporter: %v\n", err)
-			st.Close()
+			srv.Close()
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "rdnsd: telemetry on http://%s/metrics\n", bound)
@@ -91,12 +183,30 @@ func main() {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rdnsd: %v\n", err)
-		st.Close()
+		srv.Close()
 		os.Exit(1)
 	}
 	stats := st.Stats()
 	fmt.Fprintf(os.Stderr, "rdnsd: serving %d snapshots across %d blocks on http://%s\n",
 		stats.Snapshots, stats.Blocks, ln.Addr())
+
+	// SIGHUP → hot reload: swap onto the reopened store without dropping
+	// in-flight queries. Fire it after the campaign's daily append lands.
+	if o.reload {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				resp, err := srv.Reload()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "rdnsd: reload: %v\n", err)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "rdnsd: reloaded generation %d (%d snapshots)\n",
+					resp.Generation, resp.Snapshots)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -120,17 +230,8 @@ func main() {
 	if exporter != nil {
 		exporter.Close()
 	}
-	if err := st.Close(); err != nil {
+	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "rdnsd: closing store: %v\n", err)
 		os.Exit(1)
 	}
-}
-
-// handleStatsSnapshot adapts /stats for the exporter's /health endpoint.
-func (s *server) handleStatsSnapshot() any {
-	out, err := s.handleStats(nil)
-	if err != nil {
-		return map[string]string{"error": err.Error()}
-	}
-	return out
 }

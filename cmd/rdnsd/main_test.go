@@ -1,0 +1,96 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/telemetry"
+)
+
+func TestParsePrefixList(t *testing.T) {
+	got, err := parsePrefixList("10.0.0.0/8, 192.168.1.0/24,")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("parse: %v err=%v", got, err)
+	}
+	if got[0] != dnswire.MustPrefix("10.0.0.0/8") || got[1] != dnswire.MustPrefix("192.168.1.0/24") {
+		t.Fatalf("prefixes: %v", got)
+	}
+	if got, err := parsePrefixList(""); err != nil || got != nil {
+		t.Fatalf("empty list: %v err=%v", got, err)
+	}
+	if _, err := parsePrefixList("10.0.0.0/33"); err == nil {
+		t.Fatal("bad prefix accepted")
+	}
+	if _, err := parsePrefixList("banana"); err == nil {
+		t.Fatal("non-CIDR accepted")
+	}
+}
+
+func TestBuildConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.log")
+	st, err := histstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC), scanengine.RecordSet{
+		dnswire.MustIPv4("10.0.1.7"): dnswire.MustName("brians-iphone.lan.example.net"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	o := options{
+		storePath:   path,
+		cacheSize:   64,
+		seed:        7,
+		rate:        50,
+		burst:       100,
+		maxInFlight: 32,
+		aclAllow:    "10.0.0.0/8",
+		aclDeny:     "10.9.0.0/16",
+		reload:      true,
+	}
+	reg := telemetry.NewRegistry()
+	cfg, err := buildConfig(o, reg, telemetry.NewTracer(7, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cfg.Admission
+	if a.RatePerSec != 50 || a.Burst != 100 || a.MaxInFlight != 32 ||
+		len(a.Allow) != 1 || len(a.Deny) != 1 {
+		t.Fatalf("admission config: %+v", a)
+	}
+	if cfg.Seed != 7 || cfg.Sink == nil {
+		t.Fatalf("config: %+v", cfg)
+	}
+	if cfg.Reopen == nil {
+		t.Fatal("reload enabled but Reopen is nil")
+	}
+	reopened, err := cfg.Reopen()
+	if err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	if reopened.Len() != 1 {
+		t.Fatalf("reopened store has %d snapshots, want 1", reopened.Len())
+	}
+	reopened.Close()
+
+	// -reload=false disables the admin surface.
+	o.reload = false
+	cfg, err = buildConfig(o, reg, nil)
+	if err != nil || cfg.Reopen != nil {
+		t.Fatalf("no-reload config: Reopen set? %v err=%v", cfg.Reopen != nil, err)
+	}
+
+	// ACL parse errors surface with the flag name.
+	o.aclAllow = "nonsense"
+	if _, err := buildConfig(o, reg, nil); err == nil {
+		t.Fatal("bad -acl-allow accepted")
+	}
+}

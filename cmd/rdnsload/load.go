@@ -1,0 +1,397 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/obs"
+	"rdnsprivacy/internal/rdnsclient"
+	"rdnsprivacy/internal/rdnsserve"
+	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/telemetry"
+)
+
+// loadConfig collects the run parameters (see main for the flags).
+type loadConfig struct {
+	url         string
+	storePath   string
+	days        int
+	blocks      int
+	seed        int64
+	workers     int
+	requests    int
+	mixSpec     string
+	rate        float64
+	burst       float64
+	maxInFlight int
+	rules       obs.LoadRules
+}
+
+// endpoints the mix can name, in reporting order.
+var endpointOrder = []string{"at", "range", "churn", "name", "days", "stats"}
+
+// parseMix parses "at=50,range=20,..." into per-endpoint weights.
+func parseMix(spec string) (map[string]int, error) {
+	weights := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want endpoint=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a non-negative integer", part)
+		}
+		known := false
+		for _, e := range endpointOrder {
+			if name == e {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("mix entry %q: unknown endpoint (have %s)", part, strings.Join(endpointOrder, ", "))
+		}
+		weights[name] += w
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q: all weights zero", spec)
+	}
+	return weights, nil
+}
+
+// mixPicker turns weights into a cumulative table for O(log n) seeded
+// draws.
+type mixPicker struct {
+	names []string
+	cum   []int
+	total int
+}
+
+func newMixPicker(weights map[string]int) *mixPicker {
+	p := &mixPicker{}
+	for _, name := range endpointOrder {
+		if w := weights[name]; w > 0 {
+			p.total += w
+			p.names = append(p.names, name)
+			p.cum = append(p.cum, p.total)
+		}
+	}
+	return p
+}
+
+func (p *mixPicker) pick(r uint64) string {
+	n := int(r % uint64(p.total))
+	i := sort.SearchInts(p.cum, n+1)
+	return p.names[i]
+}
+
+// splitmix is the workload RNG: deterministic, cheap, no shared state.
+func splitmix(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// synthStore writes a deterministic campaign history: per /24 block,
+// eight stable devices (brians-iphone among them, the paper's privacy
+// protagonist) plus one address whose name churns daily.
+func synthStore(path string, days, blocks int, seed int64) (*histstore.Store, []dnswire.Prefix, []time.Time, error) {
+	st, err := histstore.Open(path, histstore.WithCache(4096))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stable := []string{
+		"brians-iphone", "brians-ipad", "alices-laptop", "printer",
+		"nas", "camera", "thermostat", "tv",
+	}
+	var prefixes []dnswire.Prefix
+	for b := 0; b < blocks; b++ {
+		prefixes = append(prefixes, dnswire.Prefix{Addr: dnswire.IPv4{10, 0, byte(b + 1), 0}, Bits: 24})
+	}
+	var times []time.Time
+	start := time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC)
+	state := uint64(seed)
+	for day := 0; day < days; day++ {
+		recs := scanengine.RecordSet{}
+		for b, p := range prefixes {
+			for d, name := range stable {
+				ip := dnswire.IPv4{p.Addr[0], p.Addr[1], p.Addr[2], byte(10 + d)}
+				recs[ip] = dnswire.MustName(fmt.Sprintf("%s.b%d.lan.example.net", name, b))
+			}
+			churnIP := dnswire.IPv4{p.Addr[0], p.Addr[1], p.Addr[2], 200}
+			recs[churnIP] = dnswire.MustName(fmt.Sprintf("dhcp-%d-%d.dyn.example.net", day, splitmix(&state)%1000))
+		}
+		d := start.AddDate(0, 0, day)
+		if err := st.Append(d, recs); err != nil {
+			st.Close()
+			return nil, nil, nil, err
+		}
+		times = append(times, d)
+	}
+	return st, prefixes, times, nil
+}
+
+// inprocTransport drives an http.Handler without sockets: tens of
+// thousands of concurrent clients on one box would exhaust file
+// descriptors and ephemeral ports long before they stressed the serving
+// path.
+type inprocTransport struct{ h http.Handler }
+
+func (t inprocTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	r2 := req.Clone(req.Context())
+	r2.RemoteAddr = "127.0.0.1:0"
+	if r2.Body == nil {
+		r2.Body = http.NoBody
+	}
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, r2)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// endpointStats accumulates one endpoint's outcome counters.
+type endpointStats struct {
+	requests    atomic.Uint64
+	errors      atomic.Uint64
+	rateLimited atomic.Uint64
+	shed        atomic.Uint64
+}
+
+// runLoad executes the configured run and evaluates the SLOs.
+func runLoad(cfg *loadConfig) (*loadResult, error) {
+	weights, err := parseMix(cfg.mixSpec)
+	if err != nil {
+		return nil, err
+	}
+	picker := newMixPicker(weights)
+
+	base := cfg.url
+	hc := &http.Client{Timeout: 60 * time.Second}
+	var prefixes []dnswire.Prefix
+	var days []time.Time
+
+	if cfg.url == "" {
+		// Self-host: serve a (synthesized or existing) store in-process.
+		var st *histstore.Store
+		if cfg.storePath != "" {
+			if st, err = histstore.Open(cfg.storePath, histstore.WithCache(4096)); err != nil {
+				return nil, err
+			}
+		} else {
+			dir, err := os.MkdirTemp("", "rdnsload")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			if st, prefixes, days, err = synthStore(filepath.Join(dir, "load.hist"), cfg.days, cfg.blocks, cfg.seed); err != nil {
+				return nil, err
+			}
+		}
+		srv := rdnsserve.New(st, rdnsserve.Config{
+			Sink: telemetry.NewRegistry(),
+			Seed: cfg.seed,
+			Admission: rdnsserve.AdmissionConfig{
+				RatePerSec:  cfg.rate,
+				Burst:       cfg.burst,
+				MaxInFlight: cfg.maxInFlight,
+			},
+		})
+		defer srv.Close()
+		base = "http://rdnsd.inproc"
+		hc = &http.Client{Transport: inprocTransport{h: srv.Handler()}}
+	}
+
+	// Learn the served shape when it wasn't synthesized locally.
+	if len(days) == 0 {
+		probe := rdnsclient.New(base, rdnsclient.WithHTTPClient(hc))
+		dr, err := probe.Days(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("probing /v1/days: %w", err)
+		}
+		days = dr.Days
+	}
+	if len(days) == 0 {
+		return nil, fmt.Errorf("daemon serves an empty history")
+	}
+	if len(prefixes) == 0 {
+		for b := 0; b < max(cfg.blocks, 1); b++ {
+			prefixes = append(prefixes, dnswire.Prefix{Addr: dnswire.IPv4{10, 0, byte(b + 1), 0}, Bits: 24})
+		}
+	}
+
+	stats := make(map[string]*endpointStats, len(endpointOrder))
+	reg := telemetry.NewRegistry()
+	hists := make(map[string]*telemetry.Histogram, len(endpointOrder))
+	for _, e := range endpointOrder {
+		stats[e] = &endpointStats{}
+		hists[e] = reg.Histogram(`load_latency_seconds{endpoint="`+e+`"}`, telemetry.DefaultLatencyBuckets())
+	}
+	total := reg.Histogram("load_latency_seconds", telemetry.DefaultLatencyBuckets())
+
+	var inFlight, peak atomic.Int64
+	enter := func() {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+	}
+
+	// The start barrier: every worker registers its first request as
+	// in-flight, then blocks until all have — so the run provably reaches
+	// `workers` concurrent pending queries before the first completes.
+	var ready sync.WaitGroup
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	perWorker := cfg.requests / cfg.workers
+	extra := cfg.requests % cfg.workers
+
+	ready.Add(cfg.workers)
+	for w := 0; w < cfg.workers; w++ {
+		n := perWorker
+		if w < extra {
+			n++
+		}
+		if n == 0 {
+			ready.Done()
+			continue
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			c := rdnsclient.New(base,
+				rdnsclient.WithHTTPClient(hc),
+				rdnsclient.WithAPIKey(fmt.Sprintf("load-%d", w)),
+				rdnsclient.WithRetries(0, 0)) // pushback is counted, not hidden
+			state := uint64(cfg.seed) + uint64(w)*0x9e3779b97f4a7c15
+			ctx := context.Background()
+			for i := 0; i < n; i++ {
+				ep := picker.pick(splitmix(&state))
+				enter()
+				if i == 0 {
+					ready.Done()
+					<-start
+				}
+				t0 := time.Now()
+				err := issue(ctx, c, ep, &state, prefixes, days)
+				el := time.Since(t0).Seconds()
+				inFlight.Add(-1)
+				hists[ep].Observe(el)
+				total.Observe(el)
+				s := stats[ep]
+				s.requests.Add(1)
+				switch {
+				case err == nil:
+				case rdnsclient.IsRateLimited(err):
+					s.rateLimited.Add(1)
+				case rdnsclient.IsOverloaded(err):
+					s.shed.Add(1)
+				default:
+					s.errors.Add(1)
+				}
+			}
+		}(w, n)
+	}
+	ready.Wait()
+	close(start)
+	wg.Wait()
+
+	res := &loadResult{
+		Workers:      cfg.workers,
+		Requests:     cfg.requests,
+		PeakInFlight: peak.Load(),
+	}
+	for _, e := range endpointOrder {
+		s := stats[e]
+		if s.requests.Load() == 0 {
+			continue
+		}
+		res.Samples = append(res.Samples, obs.LoadSample{
+			Label:       e,
+			Requests:    s.requests.Load(),
+			Errors:      s.errors.Load(),
+			RateLimited: s.rateLimited.Load(),
+			Shed:        s.shed.Load(),
+			P50:         hists[e].Quantile(0.50),
+			P95:         hists[e].Quantile(0.95),
+			P99:         hists[e].Quantile(0.99),
+		})
+	}
+	var sum obs.LoadSample
+	sum.Label = "total"
+	for _, s := range res.Samples {
+		sum.Requests += s.Requests
+		sum.Errors += s.Errors
+		sum.RateLimited += s.RateLimited
+		sum.Shed += s.Shed
+	}
+	sum.P50, sum.P95, sum.P99 = total.Quantile(0.50), total.Quantile(0.95), total.Quantile(0.99)
+	res.Samples = append(res.Samples, sum)
+	res.Report = cfg.rules.EvaluateLoad(res.Samples)
+	return res, nil
+}
+
+// issue sends one request of the given kind with seeded parameters drawn
+// from the served history's shape.
+func issue(ctx context.Context, c *rdnsclient.Client, ep string, state *uint64, prefixes []dnswire.Prefix, days []time.Time) error {
+	p := prefixes[int(splitmix(state)%uint64(len(prefixes)))]
+	day := days[int(splitmix(state)%uint64(len(days)))]
+	switch ep {
+	case "at":
+		ip := dnswire.IPv4{p.Addr[0], p.Addr[1], p.Addr[2], byte(10 + splitmix(state)%9)}
+		_, err := c.At(ctx, ip.String(), day)
+		return err
+	case "range":
+		from := days[int(splitmix(state)%uint64(len(days)))]
+		to := day
+		if to.Before(from) {
+			from, to = to, from
+		}
+		_, err := c.RangePage(ctx, rdnsclient.RangeQuery{
+			Prefix: p.String(), From: from, To: to, Limit: 1000,
+		}, "")
+		return err
+	case "churn":
+		_, err := c.Churn(ctx, p.String(), days[0], day)
+		return err
+	case "name":
+		tokens := []string{"brian", "alice", "printer", "camera"}
+		_, err := c.NamePage(ctx, rdnsclient.NameQuery{
+			Token: tokens[int(splitmix(state)%uint64(len(tokens)))], Limit: 100,
+		}, "")
+		return err
+	case "days":
+		_, err := c.Days(ctx)
+		return err
+	case "stats":
+		_, err := c.Stats(ctx)
+		return err
+	}
+	return fmt.Errorf("unknown endpoint %q", ep)
+}

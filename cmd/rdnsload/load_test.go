@@ -1,0 +1,98 @@
+package main
+
+import (
+	"testing"
+
+	"rdnsprivacy/internal/obs"
+	"rdnsprivacy/internal/testutil"
+)
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("at=50,range=20, churn=10,name=10,days=5,stats=5")
+	if err != nil || w["at"] != 50 || w["stats"] != 5 {
+		t.Fatalf("mix: %v err=%v", w, err)
+	}
+	for _, bad := range []string{"", "at", "at=x", "at=-1", "bogus=5", "at=0,range=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("mix %q accepted", bad)
+		}
+	}
+
+	// The picker honors zero weights and covers all named endpoints.
+	p := newMixPicker(map[string]int{"at": 1, "days": 3})
+	seen := map[string]int{}
+	state := uint64(42)
+	for i := 0; i < 4000; i++ {
+		seen[p.pick(splitmix(&state))]++
+	}
+	if len(seen) != 2 || seen["days"] < 2*seen["at"] {
+		t.Fatalf("pick distribution: %v", seen)
+	}
+}
+
+// TestRunLoadSmoke: a small self-hosted run completes with zero errors,
+// the barrier pushes peak in-flight to the worker count, and per-endpoint
+// samples add up to the request total.
+func TestRunLoadSmoke(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+	cfg := &loadConfig{
+		days: 8, blocks: 2, seed: 3,
+		workers: 64, requests: 512,
+		mixSpec: "at=50,range=20,churn=10,name=10,days=5,stats=5",
+		rules:   obs.LoadRules{MaxShedRate: 0, MaxP95Seconds: 30, MaxP99Seconds: 30},
+	}
+	res, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakInFlight < int64(cfg.workers) {
+		t.Fatalf("peak in-flight %d, want >= %d workers (barrier broken)", res.PeakInFlight, cfg.workers)
+	}
+	var reqs, errs uint64
+	for _, s := range res.Samples {
+		if s.Label == "total" {
+			continue
+		}
+		reqs += s.Requests
+		errs += s.Errors + s.RateLimited + s.Shed
+	}
+	if reqs != uint64(cfg.requests) || errs != 0 {
+		t.Fatalf("accounting: %d requests (want %d), %d failures", reqs, cfg.requests, errs)
+	}
+	if !res.Report.OK {
+		t.Fatalf("SLO verdict: %s %+v", res.Report.Summary(), res.Report.Verdicts)
+	}
+	if res.Samples[len(res.Samples)-1].Label != "total" || res.Samples[len(res.Samples)-1].Requests != reqs {
+		t.Fatalf("total sample: %+v", res.Samples[len(res.Samples)-1])
+	}
+}
+
+// TestRunLoadRateLimited: with a tight self-hosted rate limit the run
+// counts 429 pushback rather than erroring, and the shed-rate SLO flags
+// it.
+func TestRunLoadRateLimited(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+	cfg := &loadConfig{
+		days: 4, blocks: 1, seed: 5,
+		workers: 4, requests: 200,
+		mixSpec: "days=1",
+		rate:    1, burst: 1,
+		rules: obs.LoadRules{MaxShedRate: 0.01, MaxP95Seconds: -1, MaxP99Seconds: -1},
+	}
+	res, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sample obs.LoadSample
+	for _, s := range res.Samples {
+		if s.Label == "total" {
+			sample = s
+		}
+	}
+	if sample.RateLimited == 0 || sample.Errors != 0 {
+		t.Fatalf("expected 429 pushback, got %+v", sample)
+	}
+	if res.Report.OK {
+		t.Fatalf("shed rate %.2f slipped past MaxShedRate 0.01", sample.ShedRate())
+	}
+}

@@ -1,0 +1,111 @@
+// Command rdnsload drives an rdnsd with tens of thousands of concurrent
+// mixed v1 queries and judges the result against latency/error SLOs
+// (internal/obs.LoadRules). It is the load side of the production-serving
+// acceptance story: the paper's query patterns — point lookups, prefix
+// scans, churn summaries, name searches — at the concurrency a public
+// deployment would see.
+//
+// By default it self-hosts: it synthesizes a seeded campaign history,
+// serves it through internal/rdnsserve in-process, and drives the handler
+// through an in-memory transport — no sockets, so 10k+ concurrent
+// clients don't exhaust file descriptors or ephemeral ports before they
+// stress the serving path. Point -url at a live daemon to generate load
+// over real HTTP instead.
+//
+//	rdnsload -workers 10000 -requests 30000 -mix 'at=50,range=20,churn=10,name=10,days=5,stats=5'
+//	rdnsload -url http://127.0.0.1:8077 -workers 200 -requests 10000
+//
+// Every worker is its own client (distinct X-API-Key, so per-client rate
+// limits apply per worker) with retries disabled: pushback (429/503) is
+// counted, not hidden. The run reports per-endpoint and total p50/p95/p99
+// plus error/shed rates, evaluates them against the SLO flags, prints a
+// verdict, and exits 1 when out of SLO.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rdnsprivacy/internal/obs"
+)
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.url, "url", "", "drive a live daemon at this base URL instead of self-hosting")
+	flag.StringVar(&cfg.storePath, "store", "", "self-host this existing store (default: synthesize one)")
+	flag.IntVar(&cfg.days, "days", 30, "synthesized history length in daily snapshots")
+	flag.IntVar(&cfg.blocks, "blocks", 4, "synthesized /24 block count")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload and synthesis seed")
+	flag.IntVar(&cfg.workers, "workers", 10000, "concurrent client workers")
+	flag.IntVar(&cfg.requests, "requests", 30000, "total requests across all workers")
+	flag.StringVar(&cfg.mixSpec, "mix", "at=50,range=20,churn=10,name=10,days=5,stats=5",
+		"endpoint mix as comma-separated endpoint=weight pairs")
+	flag.Float64Var(&cfg.rate, "rate", 0, "self-hosted per-client rate limit (requests/second, 0 = off)")
+	flag.Float64Var(&cfg.burst, "burst", 0, "self-hosted per-client burst capacity")
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", 0, "self-hosted in-flight bound (0 = unbounded)")
+	flag.Float64Var(&cfg.rules.MaxErrorRate, "slo-max-error-rate", 0, "SLO: max hard-error rate (0 = none allowed)")
+	flag.Float64Var(&cfg.rules.MaxShedRate, "slo-max-shed-rate", 0.01, "SLO: max 429+503 pushback rate")
+	flag.Float64Var(&cfg.rules.MaxP95Seconds, "slo-p95", 1.0, "SLO: max p95 latency in seconds (negative disables)")
+	flag.Float64Var(&cfg.rules.MaxP99Seconds, "slo-p99", 2.5, "SLO: max p99 latency in seconds (negative disables)")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
+	flag.Parse()
+
+	if cfg.workers < 1 || cfg.requests < cfg.workers {
+		fmt.Fprintln(os.Stderr, "rdnsload: need -workers >= 1 and -requests >= -workers")
+		os.Exit(2)
+	}
+	start := time.Now()
+	res, err := runLoad(&cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rdnsload: %v\n", err)
+		os.Exit(1)
+	}
+	res.Elapsed = time.Since(start).Seconds()
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(res)
+	} else {
+		printReport(os.Stdout, res)
+	}
+	if !res.Report.OK {
+		fmt.Fprintf(os.Stderr, "rdnsload: OUT OF SLO (%d/%d samples violating)\n",
+			res.Report.ViolatingSamples, len(res.Report.Verdicts))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rdnsload: within SLO (%d samples)\n", len(res.Report.Verdicts))
+}
+
+func printReport(w *os.File, res *loadResult) {
+	fmt.Fprintf(w, "workers=%d requests=%d peak_in_flight=%d elapsed=%.2fs (%.0f req/s)\n",
+		res.Workers, res.Requests, res.PeakInFlight, res.Elapsed, float64(res.Requests)/res.Elapsed)
+	fmt.Fprintf(w, "%-8s %9s %7s %7s %7s %10s %10s %10s\n",
+		"endpoint", "requests", "errors", "429", "503", "p50", "p95", "p99")
+	for _, s := range res.Samples {
+		fmt.Fprintf(w, "%-8s %9d %7d %7d %7d %9.1fms %9.1fms %9.1fms\n",
+			s.Label, s.Requests, s.Errors, s.RateLimited, s.Shed,
+			s.P50*1e3, s.P95*1e3, s.P99*1e3)
+	}
+	for _, v := range res.Report.Verdicts {
+		if !v.OK {
+			for _, viol := range v.Violations {
+				fmt.Fprintf(w, "VIOLATION %s: %s = %g (limit %g)\n", v.Label, viol.Rule, viol.Value, viol.Limit)
+			}
+		}
+	}
+	fmt.Fprintln(w, res.Report.Summary())
+}
+
+// loadResult is the run's full output.
+type loadResult struct {
+	Workers      int              `json:"workers"`
+	Requests     int              `json:"requests"`
+	PeakInFlight int64            `json:"peak_in_flight"`
+	Elapsed      float64          `json:"elapsed_seconds"`
+	Samples      []obs.LoadSample `json:"samples"`
+	Report       obs.LoadReport   `json:"report"`
+}

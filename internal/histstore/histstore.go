@@ -35,6 +35,7 @@ package histstore
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -632,6 +633,13 @@ func (s *Store) At(ip dnswire.IPv4, t time.Time) (dnswire.Name, bool, error) {
 // and [from, to], ordered by date then address — the store-backed
 // replacement for re-reading a campaign CSV.
 func (s *Store) Range(p dnswire.Prefix, from, to time.Time) ([]dataset.Row, error) {
+	return s.RangeContext(context.Background(), p, from, to)
+}
+
+// RangeContext is Range with cancellation: a query serving a disconnected
+// client stops reconstructing blocks as soon as ctx is done and returns
+// ctx.Err().
+func (s *Store) RangeContext(ctx context.Context, p dnswire.Prefix, from, to time.Time) ([]dataset.Row, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.f == nil {
@@ -645,6 +653,9 @@ func (s *Store) Range(p dnswire.Prefix, from, to time.Time) ([]dataset.Row, erro
 	var rows []dataset.Row
 	for i := lo; i <= hi; i++ {
 		for _, q := range blocks {
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
 			st, err := s.stateAt(q, i)
 			if err != nil {
 				return rows, err
@@ -665,6 +676,84 @@ func (s *Store) Range(p dnswire.Prefix, from, to time.Time) ([]dataset.Row, erro
 	return rows, nil
 }
 
+// RangeCursor is the resume position of a paginated Range scan: the next
+// candidate (snapshot index, /24 address, last octet) to visit. Cursors
+// are stable across appends — snapshot indices are append-only, and a /24
+// first materialized after a page's window yields no rows inside it — so
+// concatenating pages always reproduces the unpaginated answer. The zero
+// cursor starts from the beginning.
+type RangeCursor struct {
+	Snap  int
+	Block uint32
+	Octet int
+}
+
+// RangePage is the paginated RangeContext: it emits up to limit rows
+// starting at cur's position (in the same date-then-address order Range
+// uses) and returns the cursor to resume from. more is false once the
+// scan is complete; a page that fills limit exactly reports more=true
+// and the next page may legitimately be empty. limit must be positive.
+func (s *Store) RangePage(ctx context.Context, p dnswire.Prefix, from, to time.Time, cur RangeCursor, limit int) (rows []dataset.Row, next RangeCursor, more bool, err error) {
+	if limit <= 0 {
+		return nil, cur, false, fmt.Errorf("histstore: non-positive page limit %d", limit)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.f == nil {
+		return nil, cur, false, ErrClosed
+	}
+	lo, hi, ok := s.snapRange(from, to)
+	if !ok {
+		return nil, cur, false, nil
+	}
+	if cur.Snap > lo {
+		lo = cur.Snap
+	}
+	if lo > hi {
+		return nil, cur, false, nil
+	}
+	blocks := s.overlappingBlocks(p)
+	for i := lo; i <= hi; i++ {
+		for _, q := range blocks {
+			addr := q.Addr.Uint32()
+			startOctet := 0
+			if i == cur.Snap {
+				if addr < cur.Block {
+					continue // consumed by an earlier page
+				}
+				if addr == cur.Block {
+					startOctet = cur.Octet
+					if startOctet > 255 {
+						continue // block fully consumed at this snapshot
+					}
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return rows, next, false, err
+			}
+			st, err := s.stateAt(q, i)
+			if err != nil {
+				return rows, next, false, err
+			}
+			for octet := startOctet; octet < 256; octet++ {
+				name, ok := st[byte(octet)]
+				if !ok {
+					continue
+				}
+				ip := dnswire.IPv4{q.Addr[0], q.Addr[1], q.Addr[2], byte(octet)}
+				if p.Bits > 24 && !p.Contains(ip) {
+					continue
+				}
+				if len(rows) == limit {
+					return rows, RangeCursor{Snap: i, Block: addr, Octet: octet}, true, nil
+				}
+				rows = append(rows, dataset.Row{Date: s.times[i], IP: ip, PTR: name})
+			}
+		}
+	}
+	return rows, RangeCursor{}, false, nil
+}
+
 // ChurnDay is one snapshot's record-set delta counts within a prefix.
 type ChurnDay struct {
 	Date    time.Time `json:"date"`
@@ -678,6 +767,11 @@ type ChurnDay struct {
 // successive raw snapshots would compute. The store's first snapshot has
 // no baseline and yields no entry.
 func (s *Store) Churn(p dnswire.Prefix, from, to time.Time) ([]ChurnDay, error) {
+	return s.ChurnContext(context.Background(), p, from, to)
+}
+
+// ChurnContext is Churn with cancellation, mirroring RangeContext.
+func (s *Store) ChurnContext(ctx context.Context, p dnswire.Prefix, from, to time.Time) ([]ChurnDay, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.f == nil {
@@ -695,6 +789,9 @@ func (s *Store) Churn(p dnswire.Prefix, from, to time.Time) ([]ChurnDay, error) 
 	for i := lo; i <= hi; i++ {
 		day := ChurnDay{Date: s.times[i]}
 		for _, q := range blocks {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			prev, err := s.stateAt(q, i-1)
 			if err != nil {
 				return out, err

@@ -1,6 +1,7 @@
 package histstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"rdnsprivacy/internal/dataset"
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/scanengine"
 )
@@ -550,5 +552,154 @@ func TestStoreResolveAndTimes(t *testing.T) {
 	got, ok := st.Resolve(c.times[2].Add(7 * time.Hour))
 	if !ok || !got.Equal(c.times[2]) {
 		t.Fatalf("Resolve mid-gap = (%s, %v), want %s", got, ok, c.times[2])
+	}
+}
+
+// TestRangePageConcatenation: for seeded campaigns and a spread of page
+// sizes, concatenating RangePage pages must reproduce the unpaginated
+// Range answer exactly — the pagination contract cmd/rdnsd's /v1/range
+// serves. Page sizes that divide the row count evenly exercise the
+// "full page then empty final page" shape.
+func TestRangePageConcatenation(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 51} {
+		c := genCampaign(seed, 25)
+		path := filepath.Join(t.TempDir(), "hist.log")
+		st, err := Open(path, WithCache(128))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.append(t, st)
+		prefixes := []dnswire.Prefix{
+			dnswire.MustPrefix("0.0.0.0/0"),
+			c.blockOf(0),
+			{Addr: c.blockOf(1).Addr, Bits: 27},
+		}
+		windows := [][2]time.Time{
+			{c.times[0], c.times[len(c.times)-1]},
+			{c.times[4], c.times[11]},
+		}
+		ctx := context.Background()
+		for _, p := range prefixes {
+			for _, w := range windows {
+				want, err := st.Range(p, w[0], w[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, limit := range []int{1, 3, 7, 100000} {
+					var got []dataset.Row
+					var cur RangeCursor
+					pages := 0
+					for {
+						rows, next, more, err := st.RangePage(ctx, p, w[0], w[1], cur, limit)
+						if err != nil {
+							t.Fatalf("seed %d RangePage(%s, limit %d): %v", seed, p, limit, err)
+						}
+						got = append(got, rows...)
+						pages++
+						if !more {
+							break
+						}
+						cur = next
+						if pages > len(want)+2 {
+							t.Fatalf("seed %d: pagination did not terminate (%d pages for %d rows)", seed, pages, len(want))
+						}
+					}
+					if len(got) != len(want) {
+						t.Fatalf("seed %d %s limit %d: %d paginated rows, %d unpaginated", seed, p, limit, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("seed %d %s limit %d row %d: %+v != %+v", seed, p, limit, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+		st.Close()
+	}
+}
+
+// TestRangePageStableAcrossAppends: a cursor taken mid-pagination keeps
+// producing the fixed window's rows even while the store appends more
+// days — the live-campaign serving scenario.
+func TestRangePageStableAcrossAppends(t *testing.T) {
+	c := genCampaign(7, 30)
+	path := filepath.Join(t.TempDir(), "hist.log")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// Load only the first 20 days; the window covers days 0-14.
+	for i := 0; i < 20; i++ {
+		if err := st.Append(c.times[i], c.snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := dnswire.MustPrefix("0.0.0.0/0")
+	from, to := c.times[0], c.times[14]
+	want, err := st.Range(p, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var got []dataset.Row
+	var cur RangeCursor
+	appended := 20
+	for {
+		rows, next, more, err := st.RangePage(ctx, p, from, to, cur, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rows...)
+		if !more {
+			break
+		}
+		cur = next
+		// Interleave appends between pages.
+		if appended < len(c.snaps) {
+			if err := st.Append(c.times[appended], c.snaps[appended]); err != nil {
+				t.Fatal(err)
+			}
+			appended++
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d rows across appends, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d diverged: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQueryCancellation: RangeContext, ChurnContext, and RangePage stop
+// at a canceled context instead of completing the scan.
+func TestQueryCancellation(t *testing.T) {
+	c := genCampaign(13, 20)
+	path := filepath.Join(t.TempDir(), "hist.log")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	c.append(t, st)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := dnswire.MustPrefix("0.0.0.0/0")
+	if _, err := st.RangeContext(ctx, p, c.times[0], c.times[19]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RangeContext on canceled ctx: %v", err)
+	}
+	if _, err := st.ChurnContext(ctx, p, c.times[0], c.times[19]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ChurnContext on canceled ctx: %v", err)
+	}
+	if _, _, _, err := st.RangePage(ctx, p, c.times[0], c.times[19], RangeCursor{}, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RangePage on canceled ctx: %v", err)
+	}
+	// A bad page limit is rejected loudly.
+	if _, _, _, err := st.RangePage(context.Background(), p, c.times[0], c.times[19], RangeCursor{}, 0); err == nil {
+		t.Fatal("RangePage accepted limit 0")
 	}
 }

@@ -1,0 +1,387 @@
+package rdnsclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// APIError is a non-2xx v1 response, carrying the envelope's code and
+// message, the HTTP status, and any Retry-After hint.
+type APIError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("rdnsd: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// IsRateLimited reports whether err is a 429 APIError.
+func IsRateLimited(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == http.StatusTooManyRequests
+}
+
+// IsOverloaded reports whether err is a load-shedding 503 APIError.
+func IsOverloaded(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == http.StatusServiceUnavailable
+}
+
+// Client talks to one rdnsd's v1 API. Methods are safe for concurrent
+// use; the zero value is not usable — construct with New.
+type Client struct {
+	base    string
+	hc      *http.Client
+	apiKey  string
+	retries int           // extra attempts after a 429/503
+	maxWait time.Duration // cap on one Retry-After sleep
+	sleep   func(ctx context.Context, d time.Duration) error
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// custom transports). cmd/rdnsload uses this to drive an in-process
+// handler without sockets.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// WithAPIKey sends key as the X-API-Key header on every request — the
+// identity the daemon's per-client rate limiter buckets on.
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = key }
+}
+
+// WithRetries sets how many times a 429 or shedding 503 is retried
+// (default 3), honoring the server's Retry-After capped at maxWait
+// (default 5s; 0 keeps it). WithRetries(0, 0) surfaces every 429
+// immediately — what a load generator measuring pushback wants.
+func WithRetries(n int, maxWait time.Duration) Option {
+	return func(c *Client) {
+		c.retries = n
+		if maxWait > 0 {
+			c.maxWait = maxWait
+		}
+	}
+}
+
+// New creates a client for the daemon at base (e.g.
+// "http://127.0.0.1:8077").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		retries: 3,
+		maxWait: 5 * time.Second,
+		sleep:   sleepCtx,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// do issues one request with 429/503 retries and decodes a 200 into out.
+func (c *Client) do(ctx context.Context, method, path string, q url.Values, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, u, nil)
+		if err != nil {
+			return fmt.Errorf("rdnsclient: %w", err)
+		}
+		if c.apiKey != "" {
+			req.Header.Set("X-API-Key", c.apiKey)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return fmt.Errorf("rdnsclient: %s %s: %w", method, path, err)
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("rdnsclient: reading %s: %w", path, err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			if out == nil {
+				return nil
+			}
+			if err := json.Unmarshal(body, out); err != nil {
+				return fmt.Errorf("rdnsclient: decoding %s: %w", path, err)
+			}
+			return nil
+		}
+		apiErr := decodeError(resp, body)
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= c.retries {
+			return apiErr
+		}
+		wait := apiErr.RetryAfter
+		if wait <= 0 {
+			wait = 50 * time.Millisecond << attempt // no hint: modest backoff
+		}
+		if wait > c.maxWait {
+			wait = c.maxWait
+		}
+		if err := c.sleep(ctx, wait); err != nil {
+			return err
+		}
+	}
+}
+
+// decodeError turns a non-200 response into an *APIError, tolerating
+// non-envelope bodies (proxies, panics).
+func decodeError(resp *http.Response, body []byte) *APIError {
+	ae := &APIError{Status: resp.StatusCode, Code: CodeInternal}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		ae.Code = env.Error.Code
+		ae.Message = env.Error.Message
+	} else {
+		ae.Message = strings.TrimSpace(string(body))
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
+}
+
+// At asks /v1/at: the name ip held at instant t (zero t means "now").
+func (c *Client) At(ctx context.Context, ip string, t time.Time) (AtResponse, error) {
+	q := url.Values{"ip": {ip}}
+	if !t.IsZero() {
+		q.Set("t", t.UTC().Format(time.RFC3339))
+	}
+	var out AtResponse
+	err := c.do(ctx, http.MethodGet, "/v1/at", q, &out)
+	return out, err
+}
+
+// RangeQuery parameterizes /v1/range. Zero From/To default to the
+// store's full history; Limit 0 uses the server default page size.
+type RangeQuery struct {
+	Prefix string
+	From   time.Time
+	To     time.Time
+	Limit  int
+}
+
+func (q RangeQuery) values(cursor string) url.Values {
+	v := url.Values{"prefix": {q.Prefix}}
+	if !q.From.IsZero() {
+		v.Set("from", q.From.UTC().Format(time.RFC3339))
+	}
+	if !q.To.IsZero() {
+		v.Set("to", q.To.UTC().Format(time.RFC3339))
+	}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if cursor != "" {
+		v.Set("cursor", cursor)
+	}
+	return v
+}
+
+// RangePage fetches one page of /v1/range, resuming at cursor ("" for the
+// first page).
+func (c *Client) RangePage(ctx context.Context, q RangeQuery, cursor string) (RangeResponse, error) {
+	var out RangeResponse
+	err := c.do(ctx, http.MethodGet, "/v1/range", q.values(cursor), &out)
+	return out, err
+}
+
+// Range returns a pagination iterator over /v1/range:
+//
+//	it := c.Range(q)
+//	for it.Next(ctx) { use(it.Page()) }
+//	if err := it.Err(); err != nil { ... }
+func (c *Client) Range(q RangeQuery) *RangeIter {
+	return &RangeIter{c: c, q: q}
+}
+
+// RangeIter walks /v1/range pages. Next fetches the next page and reports
+// whether one arrived; it returns false at the end of the scan or on the
+// first error (check Err).
+type RangeIter struct {
+	c       *Client
+	q       RangeQuery
+	cursor  string
+	page    RangeResponse
+	err     error
+	started bool
+	done    bool
+}
+
+func (it *RangeIter) Next(ctx context.Context) bool {
+	if it.done || it.err != nil {
+		return false
+	}
+	page, err := it.c.RangePage(ctx, it.q, it.cursor)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.started = true
+	it.page = page
+	it.cursor = page.NextCursor
+	if page.NextCursor == "" {
+		it.done = true
+	}
+	return true
+}
+
+// Page returns the page the last successful Next fetched.
+func (it *RangeIter) Page() RangeResponse { return it.page }
+
+// Err returns the first error the iteration hit, if any.
+func (it *RangeIter) Err() error { return it.err }
+
+// RangeAll drains every page of a range scan into one slice — the
+// convenience path for bounded answers; prefer the iterator for
+// million-row prefixes.
+func (c *Client) RangeAll(ctx context.Context, q RangeQuery) ([]RangeRow, error) {
+	it := c.Range(q)
+	var rows []RangeRow
+	for it.Next(ctx) {
+		rows = append(rows, it.Page().Rows...)
+	}
+	return rows, it.Err()
+}
+
+// Churn asks /v1/churn for prefix over [from, to] (zero instants default
+// to full history).
+func (c *Client) Churn(ctx context.Context, prefix string, from, to time.Time) (ChurnResponse, error) {
+	q := url.Values{"prefix": {prefix}}
+	if !from.IsZero() {
+		q.Set("from", from.UTC().Format(time.RFC3339))
+	}
+	if !to.IsZero() {
+		q.Set("to", to.UTC().Format(time.RFC3339))
+	}
+	var out ChurnResponse
+	err := c.do(ctx, http.MethodGet, "/v1/churn", q, &out)
+	return out, err
+}
+
+// NameQuery parameterizes /v1/name.
+type NameQuery struct {
+	Token string
+	Limit int
+}
+
+// NamePage fetches one page of /v1/name postings.
+func (c *Client) NamePage(ctx context.Context, q NameQuery, cursor string) (NameResponse, error) {
+	v := url.Values{"token": {q.Token}}
+	if q.Limit > 0 {
+		v.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if cursor != "" {
+		v.Set("cursor", cursor)
+	}
+	var out NameResponse
+	err := c.do(ctx, http.MethodGet, "/v1/name", v, &out)
+	return out, err
+}
+
+// Name returns a pagination iterator over /v1/name postings.
+func (c *Client) Name(q NameQuery) *NameIter {
+	return &NameIter{c: c, q: q}
+}
+
+// NameIter walks /v1/name pages; same contract as RangeIter.
+type NameIter struct {
+	c      *Client
+	q      NameQuery
+	cursor string
+	page   NameResponse
+	err    error
+	done   bool
+}
+
+func (it *NameIter) Next(ctx context.Context) bool {
+	if it.done || it.err != nil {
+		return false
+	}
+	page, err := it.c.NamePage(ctx, it.q, it.cursor)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.page = page
+	it.cursor = page.NextCursor
+	if page.NextCursor == "" {
+		it.done = true
+	}
+	return true
+}
+
+func (it *NameIter) Page() NameResponse { return it.page }
+func (it *NameIter) Err() error         { return it.err }
+
+// NameAll drains every posting page for token.
+func (c *Client) NameAll(ctx context.Context, token string) ([]NamePosting, error) {
+	it := c.Name(NameQuery{Token: token})
+	var out []NamePosting
+	for it.Next(ctx) {
+		out = append(out, it.Page().Postings...)
+	}
+	return out, it.Err()
+}
+
+// Days asks /v1/days.
+func (c *Client) Days(ctx context.Context) (DaysResponse, error) {
+	var out DaysResponse
+	err := c.do(ctx, http.MethodGet, "/v1/days", nil, &out)
+	return out, err
+}
+
+// Stats asks /v1/stats.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Reload POSTs /v1/admin/reload: swap the daemon onto a freshly opened
+// store handle without dropping in-flight queries.
+func (c *Client) Reload(ctx context.Context) (ReloadResponse, error) {
+	var out ReloadResponse
+	err := c.do(ctx, http.MethodPost, "/v1/admin/reload", nil, &out)
+	return out, err
+}

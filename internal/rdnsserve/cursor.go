@@ -1,0 +1,79 @@
+package rdnsserve
+
+import (
+	"encoding/base64"
+	"fmt"
+	"hash/fnv"
+
+	"rdnsprivacy/internal/histstore"
+)
+
+// Pagination cursors are opaque base64 tokens that bind the resume point
+// to a hash of the query parameters that produced it. The binding turns
+// "cursor from a different query" — which would otherwise silently return
+// wrong-window rows — into a clean invalid_cursor 400.
+
+// cursorBind hashes the raw query parameters a cursor belongs to.
+func cursorBind(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// encodeRangeCursor packs a histstore resume point plus the resolved
+// upper snapshot instant (Unix seconds). Carrying the resolved "to"
+// pins a defaulted window: without it, days appended between pages would
+// widen the scan mid-pagination.
+func encodeRangeCursor(bind uint64, cur histstore.RangeCursor, toUnix int64) string {
+	raw := fmt.Sprintf("r1:%016x:%d:%d:%d:%d", bind, cur.Snap, cur.Block, cur.Octet, toUnix)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+func decodeRangeCursor(s string, bind uint64) (cur histstore.RangeCursor, toUnix int64, err *apiError) {
+	raw, derr := base64.RawURLEncoding.DecodeString(s)
+	if derr != nil {
+		return cur, 0, errInvalidCursor()
+	}
+	var gotBind uint64
+	n, serr := fmt.Sscanf(string(raw), "r1:%016x:%d:%d:%d:%d", &gotBind, &cur.Snap, &cur.Block, &cur.Octet, &toUnix)
+	if serr != nil || n != 5 {
+		return cur, 0, errInvalidCursor()
+	}
+	if gotBind != bind {
+		return cur, 0, errCursorMismatch()
+	}
+	if cur.Snap < 0 || cur.Octet < 0 || cur.Octet > 255 {
+		return cur, 0, errInvalidCursor()
+	}
+	return cur, toUnix, nil
+}
+
+// encodeOffsetCursor packs a plain offset (used by /v1/name, whose
+// postings list is a stable slice per index generation).
+func encodeOffsetCursor(bind uint64, off int) string {
+	raw := fmt.Sprintf("n1:%016x:%d", bind, off)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+func decodeOffsetCursor(s string, bind uint64) (int, *apiError) {
+	raw, derr := base64.RawURLEncoding.DecodeString(s)
+	if derr != nil {
+		return 0, errInvalidCursor()
+	}
+	var gotBind uint64
+	var off int
+	n, serr := fmt.Sscanf(string(raw), "n1:%016x:%d", &gotBind, &off)
+	if serr != nil || n != 2 {
+		return 0, errInvalidCursor()
+	}
+	if gotBind != bind {
+		return 0, errCursorMismatch()
+	}
+	if off < 0 {
+		return 0, errInvalidCursor()
+	}
+	return off, nil
+}

@@ -1,0 +1,51 @@
+package rdnsserve
+
+import (
+	"sync/atomic"
+
+	"rdnsprivacy/internal/histstore"
+)
+
+// storeHandle is one refcounted generation of the served store. The
+// hot-reload trick (rbldnsd's signature move, done with refcounts instead
+// of fork): every request acquires the current handle before touching the
+// store and releases it after writing its response; a reload swaps the
+// current-handle pointer and drops the owner reference, so new requests
+// land on the fresh store while in-flight queries finish — and close —
+// the old one. Nothing blocks, nothing drops.
+type storeHandle struct {
+	st  *histstore.Store
+	gen int64
+	// refs counts the owner (1 at birth) plus every in-flight request.
+	// 0 means drained: the store is closed and acquire must fail.
+	refs atomic.Int64
+}
+
+func newStoreHandle(st *histstore.Store, gen int64) *storeHandle {
+	h := &storeHandle{st: st, gen: gen}
+	h.refs.Store(1)
+	return h
+}
+
+// acquire takes a reference. It fails only on a drained handle — the
+// caller then re-reads the current pointer, which by that point names the
+// successor generation.
+func (h *storeHandle) acquire() bool {
+	for {
+		r := h.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if h.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// release drops a reference; the last one out closes the store.
+func (h *storeHandle) release() error {
+	if h.refs.Add(-1) == 0 {
+		return h.st.Close()
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package rdnsserve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/rdnsclient"
+	"rdnsprivacy/internal/telemetry"
+)
+
+// The unversioned endpoints predate /v1 and keep their exact original
+// shapes — string error bodies, formatted-string timestamps, total-count
+// /range semantics with a truncated flag — so deployed scrapers keep
+// working through the deprecation window (see docs/api.md). Every legacy
+// response carries Deprecation, Sunset, and a Link to its successor.
+
+// legacySunset is when the unversioned endpoints stop answering.
+const legacySunset = "Sun, 28 Feb 2027 00:00:00 GMT"
+
+// legacyRoutes registers the deprecated aliases on mux.
+func (s *Server) legacyRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("/at", s.legacyRoute("at", s.legacyAt))
+	mux.HandleFunc("/range", s.legacyRoute("range", s.legacyRange))
+	mux.HandleFunc("/churn", s.legacyRoute("churn", s.legacyChurn))
+	mux.HandleFunc("/name", s.legacyRoute("name", s.legacyName))
+	mux.HandleFunc("/days", s.legacyRoute("days", s.legacyDays))
+	mux.HandleFunc("/stats", s.legacyRoute("stats", s.legacyStats))
+}
+
+// legacyRoute is the legacy twin of route: same admission and store
+// pinning, old error rendering, no strict parameter validation (the old
+// endpoints ignored strays and some deployed callers send them), plus the
+// deprecation headers and counter.
+func (s *Server) legacyRoute(name string, h handlerFunc) http.HandlerFunc {
+	lat := s.sink.Histogram(metricQuerySeconds+`{endpoint="legacy_`+name+`"}`, telemetry.DefaultLatencyBuckets())
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		qn := int(s.nextQ.Add(1))
+		span := s.tracer.StartSpanCorr("rdnsd.query", "legacy."+name, telemetry.CorrID(s.seed, "rdnsd."+name, qn))
+		s.queries.Inc()
+		s.legacyQueries.Inc()
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", legacySunset)
+		w.Header().Set("Link", "</v1/"+name+`>; rel="successor-version"`)
+		out, aerr := s.legacyServeOne(w, r, h)
+		el := time.Since(start).Seconds()
+		s.querySeconds.Observe(el)
+		lat.Observe(el)
+		w.Header().Set("Content-Type", "application/json")
+		if aerr != nil {
+			if aerr.status == statusClientClosedRequest {
+				s.queryCanceled.Inc()
+			} else {
+				s.queryErrors.Inc()
+			}
+			span.Event("error", uint64(aerr.status))
+			span.End()
+			w.WriteHeader(aerr.status)
+			json.NewEncoder(w).Encode(map[string]string{"error": aerr.msg})
+			return
+		}
+		span.End()
+		json.NewEncoder(w).Encode(out)
+	}
+}
+
+func (s *Server) legacyServeOne(w http.ResponseWriter, r *http.Request, h handlerFunc) (any, *apiError) {
+	release, aerr := s.adm.admit(w, r, false)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
+	hd := s.acquireHandle()
+	if hd == nil {
+		return nil, errOverloaded()
+	}
+	defer hd.release()
+	return h(r.Context(), hd.st, r.URL.Query())
+}
+
+// Original response shapes, frozen.
+type legacyAtResponse struct {
+	IP       string `json:"ip"`
+	T        string `json:"t"`
+	Resolved string `json:"resolved"`
+	Found    bool   `json:"found"`
+	Name     string `json:"name,omitempty"`
+}
+
+type legacyRangeRow struct {
+	Date string `json:"date"`
+	IP   string `json:"ip"`
+	PTR  string `json:"ptr"`
+}
+
+type legacyRangeResponse struct {
+	Prefix    string           `json:"prefix"`
+	From      string           `json:"from"`
+	To        string           `json:"to"`
+	Count     int              `json:"count"`
+	Truncated bool             `json:"truncated,omitempty"`
+	Rows      []legacyRangeRow `json:"rows"`
+}
+
+type legacyChurnResponse struct {
+	Prefix string               `json:"prefix"`
+	From   string               `json:"from"`
+	To     string               `json:"to"`
+	Days   []histstore.ChurnDay `json:"days"`
+}
+
+type legacyNamePosting struct {
+	Prefix string `json:"prefix"`
+	First  string `json:"first"`
+	Last   string `json:"last"`
+}
+
+type legacyNameResponse struct {
+	Token    string              `json:"token"`
+	Postings []legacyNamePosting `json:"postings"`
+}
+
+type legacyDaysResponse struct {
+	Count int      `json:"count"`
+	Days  []string `json:"days"`
+}
+
+type legacyStatsResponse struct {
+	histstore.Stats
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+func (s *Server) legacyAt(ctx context.Context, st *histstore.Store, q url.Values) (any, *apiError) {
+	out, aerr := s.handleAt(ctx, st, q)
+	if aerr != nil {
+		return nil, aerr
+	}
+	v1 := out.(rdnsclient.AtResponse)
+	return legacyAtResponse{
+		IP:       v1.IP,
+		T:        v1.T.Format(time.RFC3339),
+		Resolved: v1.Resolved.Format(time.RFC3339),
+		Found:    v1.Found,
+		Name:     v1.Name,
+	}, nil
+}
+
+func (s *Server) legacyRange(ctx context.Context, st *histstore.Store, q url.Values) (any, *apiError) {
+	p, aerr := prefixParam(q)
+	if aerr != nil {
+		return nil, aerr
+	}
+	from, to, aerr := window(st, q)
+	if aerr != nil {
+		return nil, aerr
+	}
+	// Legacy limit semantics: default 10000, 0 means unbounded, and the
+	// reply reports the total match count with a truncated flag.
+	limit := 10000
+	if v := q.Get("limit"); v != "" {
+		var err error
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			return nil, errBadParam("limit: not a non-negative integer: %q", v)
+		}
+	}
+	rows, err := st.RangeContext(ctx, p, from, to)
+	if err != nil {
+		return nil, storeErr(ctx, err)
+	}
+	resp := legacyRangeResponse{
+		Prefix: p.String(),
+		From:   from.Format(time.RFC3339),
+		To:     to.Format(time.RFC3339),
+		Count:  len(rows),
+		Rows:   make([]legacyRangeRow, 0, len(rows)),
+	}
+	for _, row := range rows {
+		if limit > 0 && len(resp.Rows) == limit {
+			resp.Truncated = true
+			break
+		}
+		resp.Rows = append(resp.Rows, legacyRangeRow{
+			Date: row.Date.Format(time.RFC3339),
+			IP:   row.IP.String(),
+			PTR:  row.PTR.String(),
+		})
+	}
+	s.rowsServed.Add(uint64(len(resp.Rows)))
+	return resp, nil
+}
+
+func (s *Server) legacyChurn(ctx context.Context, st *histstore.Store, q url.Values) (any, *apiError) {
+	p, aerr := prefixParam(q)
+	if aerr != nil {
+		return nil, aerr
+	}
+	from, to, aerr := window(st, q)
+	if aerr != nil {
+		return nil, aerr
+	}
+	days, err := st.ChurnContext(ctx, p, from, to)
+	if err != nil {
+		return nil, storeErr(ctx, err)
+	}
+	if days == nil {
+		days = []histstore.ChurnDay{}
+	}
+	return legacyChurnResponse{
+		Prefix: p.String(),
+		From:   from.Format(time.RFC3339),
+		To:     to.Format(time.RFC3339),
+		Days:   days,
+	}, nil
+}
+
+func (s *Server) legacyName(ctx context.Context, st *histstore.Store, q url.Values) (any, *apiError) {
+	if ctx.Err() != nil {
+		return nil, errCanceled()
+	}
+	token := q.Get("token")
+	if token == "" {
+		return nil, errBadParam("missing token parameter")
+	}
+	postings := st.FindName(token)
+	resp := legacyNameResponse{Token: token, Postings: make([]legacyNamePosting, 0, len(postings))}
+	for _, p := range postings {
+		resp.Postings = append(resp.Postings, legacyNamePosting{
+			Prefix: p.Prefix.String(),
+			First:  p.First.Format(time.RFC3339),
+			Last:   p.Last.Format(time.RFC3339),
+		})
+	}
+	return resp, nil
+}
+
+func (s *Server) legacyDays(ctx context.Context, st *histstore.Store, _ url.Values) (any, *apiError) {
+	if ctx.Err() != nil {
+		return nil, errCanceled()
+	}
+	times := st.Times()
+	resp := legacyDaysResponse{Count: len(times), Days: make([]string, 0, len(times))}
+	for _, t := range times {
+		resp.Days = append(resp.Days, t.Format(time.RFC3339))
+	}
+	return resp, nil
+}
+
+func (s *Server) legacyStats(ctx context.Context, st *histstore.Store, _ url.Values) (any, *apiError) {
+	if ctx.Err() != nil {
+		return nil, errCanceled()
+	}
+	stats := st.Stats()
+	resp := legacyStatsResponse{Stats: stats}
+	if total := stats.CacheHits + stats.CacheMisses; total > 0 {
+		resp.CacheHitRate = float64(stats.CacheHits) / float64(total)
+	}
+	return resp, nil
+}

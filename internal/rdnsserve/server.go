@@ -1,0 +1,590 @@
+// Package rdnsserve is rdnsd's serving layer: the versioned /v1 query API
+// over a histstore, with admission control (per-client token buckets,
+// ACLs, in-flight load shedding), hot reload onto a freshly opened store
+// without dropping in-flight queries, and the legacy unversioned
+// endpoints kept as deprecated aliases. cmd/rdnsd wires it to flags and
+// signals; cmd/rdnsload drives it in-process; the wire contract lives in
+// internal/rdnsclient. See docs/api.md.
+package rdnsserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdnsprivacy/internal/dataset"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/rdnsclient"
+	"rdnsprivacy/internal/telemetry"
+)
+
+// Metric names the serving layer registers (alongside the store's hist_*
+// and the admission rdnsd_admission_* instruments; see docs/api.md).
+const (
+	metricQueries       = "rdnsd_queries_total"
+	metricQueryErrors   = "rdnsd_query_errors_total"
+	metricQueryCanceled = "rdnsd_query_canceled_total"
+	metricQuerySeconds  = "rdnsd_query_seconds"
+	metricRowsServed    = "rdnsd_rows_served_total"
+	metricLegacyQueries = "rdnsd_legacy_queries_total"
+	metricReloads       = "rdnsd_reloads_total"
+	metricGeneration    = "rdnsd_store_generation"
+)
+
+// v1 paging bounds.
+const (
+	defaultPageLimit = 1000
+	maxPageLimit     = 10000
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Sink receives the serving metrics; nil disables instrumentation.
+	Sink telemetry.Sink
+	// Tracer records correlated query spans; nil disables tracing.
+	Tracer *telemetry.Tracer
+	// Seed feeds span correlation IDs.
+	Seed int64
+	// Admission tunes the front door; the zero value admits everything.
+	Admission AdmissionConfig
+	// Reopen opens a fresh store for hot reload. nil disables Reload and
+	// makes POST /v1/admin/reload answer 403.
+	Reopen func() (*histstore.Store, error)
+}
+
+// Server serves one history store over HTTP. It owns the store: Close
+// drains and closes the current handle. All methods and handlers are safe
+// for concurrent use, including concurrently with Reload and with Append
+// on the live store.
+type Server struct {
+	sink   telemetry.Sink
+	tracer *telemetry.Tracer
+	seed   int64
+	adm    *admission
+	reopen func() (*histstore.Store, error)
+
+	nextQ    atomic.Int64
+	cur      atomic.Pointer[storeHandle]
+	gen      atomic.Int64
+	reloadMu sync.Mutex
+	closed   atomic.Bool
+
+	queries       *telemetry.Counter
+	queryErrors   *telemetry.Counter
+	queryCanceled *telemetry.Counter
+	rowsServed    *telemetry.Counter
+	legacyQueries *telemetry.Counter
+	reloads       *telemetry.Counter
+	querySeconds  *telemetry.Histogram
+	genGauge      *telemetry.Gauge
+}
+
+// New creates a Server over st, taking ownership of it: the store is
+// closed when the last query against it finishes after a Reload swap, or
+// at Server.Close.
+func New(st *histstore.Store, cfg Config) *Server {
+	sink := cfg.Sink
+	if sink == nil {
+		sink = (*telemetry.Registry)(nil) // nil registry: valid no-op Sink
+	}
+	s := &Server{
+		sink:   sink,
+		tracer: cfg.Tracer,
+		seed:   cfg.Seed,
+		adm:    newAdmission(cfg.Admission, sink),
+		reopen: cfg.Reopen,
+
+		queries:       sink.Counter(metricQueries),
+		queryErrors:   sink.Counter(metricQueryErrors),
+		queryCanceled: sink.Counter(metricQueryCanceled),
+		rowsServed:    sink.Counter(metricRowsServed),
+		legacyQueries: sink.Counter(metricLegacyQueries),
+		reloads:       sink.Counter(metricReloads),
+		querySeconds:  sink.Histogram(metricQuerySeconds, telemetry.DefaultLatencyBuckets()),
+		genGauge:      sink.Gauge(metricGeneration),
+	}
+	s.cur.Store(newStoreHandle(st, 0))
+	return s
+}
+
+// Generation reports how many reloads have completed.
+func (s *Server) Generation() int64 { return s.gen.Load() }
+
+// Reload opens a fresh store via the configured Reopen and swaps it in.
+// In-flight queries finish on the old handle, which closes when the last
+// of them releases it; no query is dropped or errored by the swap.
+// Reloads are serialized. Callers should reload at snapshot boundaries:
+// Open truncates a torn tail, so reopening a log mid-append would fork
+// history from the writer's view.
+func (s *Server) Reload() (rdnsclient.ReloadResponse, error) {
+	if s.reopen == nil {
+		return rdnsclient.ReloadResponse{}, errors.New("rdnsserve: reload not configured")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if s.closed.Load() {
+		return rdnsclient.ReloadResponse{}, errors.New("rdnsserve: server closed")
+	}
+	st, err := s.reopen()
+	if err != nil {
+		return rdnsclient.ReloadResponse{}, err
+	}
+	gen := s.gen.Add(1)
+	old := s.cur.Swap(newStoreHandle(st, gen))
+	old.release()
+	s.reloads.Inc()
+	s.genGauge.Set(gen)
+	return rdnsclient.ReloadResponse{Reloaded: true, Generation: gen, Snapshots: st.Len()}, nil
+}
+
+// Close stops serving and closes the current store once in-flight
+// queries drain. Subsequent requests answer 503.
+func (s *Server) Close() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if h := s.cur.Swap(nil); h != nil {
+		return h.release()
+	}
+	return nil
+}
+
+// acquireHandle pins the current store generation for one request. It
+// returns nil only when the server is closed: a concurrent Reload can
+// drain a handle between the Load and the acquire, in which case the loop
+// re-reads the pointer and lands on the successor.
+func (s *Server) acquireHandle() *storeHandle {
+	for {
+		h := s.cur.Load()
+		if h == nil {
+			return nil
+		}
+		if h.acquire() {
+			return h
+		}
+	}
+}
+
+// StatsSnapshot assembles the v1 stats body (also the exporter's health
+// payload).
+func (s *Server) StatsSnapshot() rdnsclient.StatsResponse {
+	resp := rdnsclient.StatsResponse{
+		Generation: s.gen.Load(),
+		Admission: rdnsclient.AdmissionStats{
+			Admitted:     s.adm.admitted.Value(),
+			RateLimited:  s.adm.rateLimited.Value(),
+			Denied:       s.adm.denied.Value(),
+			Shed:         s.adm.shed.Value(),
+			InFlight:     s.adm.inFlight.Load(),
+			PeakInFlight: s.adm.peak.Load(),
+			Clients:      s.adm.clients(),
+		},
+	}
+	if h := s.acquireHandle(); h != nil {
+		st := h.st.Stats()
+		resp.Store = rdnsclient.StoreStats{
+			Snapshots:       st.Snapshots,
+			Blocks:          st.Blocks,
+			BaseFrames:      st.BaseFrames,
+			DeltaFrames:     st.DeltaFrames,
+			Bytes:           st.Bytes,
+			Reconstructions: st.Reconstructions,
+			CacheHits:       st.CacheHits,
+			CacheMisses:     st.CacheMisses,
+			CacheEntries:    st.CacheEntries,
+		}
+		if total := st.CacheHits + st.CacheMisses; total > 0 {
+			resp.CacheHitRate = float64(st.CacheHits) / float64(total)
+		}
+		h.release()
+	}
+	return resp
+}
+
+// handlerFunc is one v1 endpoint's logic: pure store work, no HTTP.
+type handlerFunc func(ctx context.Context, st *histstore.Store, q url.Values) (any, *apiError)
+
+// Handler builds the daemon's route table: /v1 endpoints, the admin
+// surface, and the deprecated legacy aliases.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/at", s.route("at", []string{"ip", "t"}, s.handleAt))
+	mux.HandleFunc("/v1/range", s.route("range", []string{"prefix", "from", "to", "limit", "cursor"}, s.handleRange))
+	mux.HandleFunc("/v1/churn", s.route("churn", []string{"prefix", "from", "to"}, s.handleChurn))
+	mux.HandleFunc("/v1/name", s.route("name", []string{"token", "limit", "cursor"}, s.handleName))
+	mux.HandleFunc("/v1/days", s.route("days", nil, s.handleDays))
+	mux.HandleFunc("/v1/stats", s.route("stats", nil, s.handleStats))
+	mux.HandleFunc("/v1/admin/reload", s.adminReload())
+	s.legacyRoutes(mux)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeV1Error(w, errNotFound(r.URL.Path))
+	})
+	return mux
+}
+
+func writeV1Error(w http.ResponseWriter, aerr *apiError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(aerr.status)
+	json.NewEncoder(w).Encode(rdnsclient.ErrorEnvelope{
+		Error: rdnsclient.ErrorDetail{Code: aerr.code, Message: aerr.msg},
+	})
+}
+
+// route wraps a v1 endpoint with the full pipeline: method check,
+// admission, strict parameter validation, store-handle pinning,
+// instrumentation (aggregate + per-endpoint latency, correlated span),
+// and envelope rendering.
+func (s *Server) route(name string, allowed []string, h handlerFunc) http.HandlerFunc {
+	lat := s.sink.Histogram(metricQuerySeconds+`{endpoint="`+name+`"}`, telemetry.DefaultLatencyBuckets())
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		qn := int(s.nextQ.Add(1))
+		span := s.tracer.StartSpanCorr("rdnsd.query", name, telemetry.CorrID(s.seed, "rdnsd."+name, qn))
+		s.queries.Inc()
+		out, aerr := s.serveOne(w, r, http.MethodGet, allowed, h)
+		el := time.Since(start).Seconds()
+		s.querySeconds.Observe(el)
+		lat.Observe(el)
+		if aerr != nil {
+			if aerr.status == statusClientClosedRequest {
+				s.queryCanceled.Inc()
+			} else {
+				s.queryErrors.Inc()
+			}
+			span.Event("error", uint64(aerr.status))
+			span.End()
+			writeV1Error(w, aerr)
+			return
+		}
+		span.End()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	}
+}
+
+// serveOne runs admission, validation, and the handler against a pinned
+// store handle.
+func (s *Server) serveOne(w http.ResponseWriter, r *http.Request, method string, allowed []string, h handlerFunc) (any, *apiError) {
+	if r.Method != method {
+		return nil, errMethodNotAllowed(r.Method)
+	}
+	release, aerr := s.adm.admit(w, r, strings.HasPrefix(r.URL.Path, "/v1/admin/"))
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
+	q := r.URL.Query()
+	if aerr := checkParams(q, allowed); aerr != nil {
+		return nil, aerr
+	}
+	hd := s.acquireHandle()
+	if hd == nil {
+		return nil, errOverloaded()
+	}
+	defer hd.release()
+	return h(r.Context(), hd.st, q)
+}
+
+// checkParams rejects unknown query parameters — typos like "prefx="
+// fail loudly instead of silently querying all of history.
+func checkParams(q url.Values, allowed []string) *apiError {
+	for k := range q {
+		found := false
+		for _, a := range allowed {
+			if k == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			sort.Strings(allowed)
+			return errBadParam("unknown parameter %q (allowed: %s)", k, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}
+
+// adminReload is POST /v1/admin/reload. Exempt from the token bucket (an
+// operator must be able to reload a daemon that is busy shedding) but
+// still behind the ACL; 403 when no Reopen is configured.
+func (s *Server) adminReload() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.queries.Inc()
+		if r.Method != http.MethodPost {
+			s.queryErrors.Inc()
+			writeV1Error(w, errMethodNotAllowed(r.Method))
+			return
+		}
+		release, aerr := s.adm.admit(w, r, true)
+		if aerr != nil {
+			s.queryErrors.Inc()
+			writeV1Error(w, aerr)
+			return
+		}
+		defer release()
+		if s.reopen == nil {
+			s.queryErrors.Inc()
+			writeV1Error(w, errForbidden("reload is not enabled on this daemon"))
+			return
+		}
+		resp, err := s.Reload()
+		if err != nil {
+			s.queryErrors.Inc()
+			writeV1Error(w, errInternal(err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	}
+}
+
+// storeErr maps a store failure onto the envelope vocabulary. A canceled
+// request context wins over whatever partial error the store surfaced.
+func storeErr(ctx context.Context, err error) *apiError {
+	switch {
+	case ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return errCanceled()
+	case errors.Is(err, histstore.ErrClosed):
+		// Unreachable while the refcount holds the handle open; kept as a
+		// defensive mapping.
+		return errOverloaded()
+	default:
+		return errInternal(err)
+	}
+}
+
+// parseInstant accepts RFC 3339 instants or bare campaign dates
+// (2006-01-02, taken as midnight UTC).
+func parseInstant(s string) (time.Time, error) {
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	return time.Parse(dataset.DateFormat, s)
+}
+
+// window parses from/to, defaulting to all of history.
+func window(st *histstore.Store, q url.Values) (from, to time.Time, aerr *apiError) {
+	times := st.Times()
+	if len(times) > 0 {
+		from, to = times[0], times[len(times)-1]
+	}
+	var err error
+	if v := q.Get("from"); v != "" {
+		if from, err = parseInstant(v); err != nil {
+			return from, to, errBadParam("from: not an RFC 3339 instant or %s date: %q", dataset.DateFormat, v)
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		if to, err = parseInstant(v); err != nil {
+			return from, to, errBadParam("to: not an RFC 3339 instant or %s date: %q", dataset.DateFormat, v)
+		}
+	}
+	return from, to, nil
+}
+
+func prefixParam(q url.Values) (dnswire.Prefix, *apiError) {
+	v := q.Get("prefix")
+	if v == "" {
+		return dnswire.Prefix{}, errBadParam("missing prefix parameter")
+	}
+	p, err := dnswire.ParsePrefix(v)
+	if err != nil {
+		return dnswire.Prefix{}, errBadParam("prefix: %v", err)
+	}
+	return p, nil
+}
+
+// pageLimit parses limit with the v1 bounds: 1..maxPageLimit, default
+// defaultPageLimit. Unlike the legacy endpoints, 0 is rejected — "no
+// limit" is exactly the resource exhaustion pagination exists to prevent.
+func pageLimit(q url.Values) (int, *apiError) {
+	v := q.Get("limit")
+	if v == "" {
+		return defaultPageLimit, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 || n > maxPageLimit {
+		return 0, errBadParam("limit: must be an integer in [1, %d]: %q", maxPageLimit, v)
+	}
+	return n, nil
+}
+
+func (s *Server) handleAt(ctx context.Context, st *histstore.Store, q url.Values) (any, *apiError) {
+	if ctx.Err() != nil {
+		return nil, errCanceled()
+	}
+	ipStr := q.Get("ip")
+	if ipStr == "" {
+		return nil, errBadParam("missing ip parameter")
+	}
+	ip, err := dnswire.ParseIPv4(ipStr)
+	if err != nil {
+		return nil, errBadParam("ip: %v", err)
+	}
+	when := time.Now().UTC()
+	if v := q.Get("t"); v != "" {
+		if when, err = parseInstant(v); err != nil {
+			return nil, errBadParam("t: not an RFC 3339 instant or %s date: %q", dataset.DateFormat, v)
+		}
+	}
+	name, found, err := st.At(ip, when)
+	if errors.Is(err, histstore.ErrBeforeHistory) {
+		return nil, errBeforeHistory(when.UTC().Format(time.RFC3339) + " precedes the store's history")
+	}
+	if err != nil {
+		return nil, storeErr(ctx, err)
+	}
+	resolved, _ := st.Resolve(when)
+	resp := rdnsclient.AtResponse{IP: ip.String(), T: when.UTC(), Resolved: resolved, Found: found}
+	if found {
+		resp.Name = name.String()
+	}
+	return resp, nil
+}
+
+func (s *Server) handleRange(ctx context.Context, st *histstore.Store, q url.Values) (any, *apiError) {
+	p, aerr := prefixParam(q)
+	if aerr != nil {
+		return nil, aerr
+	}
+	from, to, aerr := window(st, q)
+	if aerr != nil {
+		return nil, aerr
+	}
+	limit, aerr := pageLimit(q)
+	if aerr != nil {
+		return nil, aerr
+	}
+	bind := cursorBind("range", q.Get("prefix"), q.Get("from"), q.Get("to"))
+	// Pin the window's upper bound at the resolved snapshot instant so
+	// snapshots appended between pages cannot widen a defaulted window
+	// mid-pagination; the cursor carries the pin forward.
+	resolvedTo, ok := st.Resolve(to)
+	if c := q.Get("cursor"); c != "" {
+		cur, toUnix, aerr := decodeRangeCursor(c, bind)
+		if aerr != nil {
+			return nil, aerr
+		}
+		resolvedTo, ok = time.Unix(toUnix, 0).UTC(), true
+		return s.rangePage(ctx, st, p, from, resolvedTo, cur, limit, bind)
+	}
+	if !ok {
+		// The whole window precedes history: an empty, cursorless page.
+		return rdnsclient.RangeResponse{
+			Prefix: p.String(), From: from.UTC(), To: to.UTC(), Rows: []rdnsclient.RangeRow{},
+		}, nil
+	}
+	return s.rangePage(ctx, st, p, from, resolvedTo, histstore.RangeCursor{}, limit, bind)
+}
+
+func (s *Server) rangePage(ctx context.Context, st *histstore.Store, p dnswire.Prefix, from, to time.Time, cur histstore.RangeCursor, limit int, bind uint64) (any, *apiError) {
+	rows, next, more, err := st.RangePage(ctx, p, from, to, cur, limit)
+	if err != nil {
+		return nil, storeErr(ctx, err)
+	}
+	resp := rdnsclient.RangeResponse{
+		Prefix: p.String(),
+		From:   from.UTC(),
+		To:     to.UTC(),
+		Count:  len(rows),
+		Rows:   make([]rdnsclient.RangeRow, 0, len(rows)),
+	}
+	for _, row := range rows {
+		resp.Rows = append(resp.Rows, rdnsclient.RangeRow{Date: row.Date, IP: row.IP.String(), PTR: row.PTR.String()})
+	}
+	if more {
+		resp.NextCursor = encodeRangeCursor(bind, next, to.Unix())
+	}
+	s.rowsServed.Add(uint64(len(resp.Rows)))
+	return resp, nil
+}
+
+func (s *Server) handleChurn(ctx context.Context, st *histstore.Store, q url.Values) (any, *apiError) {
+	p, aerr := prefixParam(q)
+	if aerr != nil {
+		return nil, aerr
+	}
+	from, to, aerr := window(st, q)
+	if aerr != nil {
+		return nil, aerr
+	}
+	days, err := st.ChurnContext(ctx, p, from, to)
+	if err != nil {
+		return nil, storeErr(ctx, err)
+	}
+	resp := rdnsclient.ChurnResponse{
+		Prefix: p.String(), From: from.UTC(), To: to.UTC(), Days: make([]rdnsclient.ChurnDay, 0, len(days)),
+	}
+	for _, d := range days {
+		resp.Days = append(resp.Days, rdnsclient.ChurnDay{Date: d.Date, Added: d.Added, Removed: d.Removed, Changed: d.Changed})
+	}
+	return resp, nil
+}
+
+func (s *Server) handleName(ctx context.Context, st *histstore.Store, q url.Values) (any, *apiError) {
+	if ctx.Err() != nil {
+		return nil, errCanceled()
+	}
+	token := q.Get("token")
+	if token == "" {
+		return nil, errBadParam("missing token parameter")
+	}
+	limit, aerr := pageLimit(q)
+	if aerr != nil {
+		return nil, aerr
+	}
+	bind := cursorBind("name", token)
+	off := 0
+	if c := q.Get("cursor"); c != "" {
+		if off, aerr = decodeOffsetCursor(c, bind); aerr != nil {
+			return nil, aerr
+		}
+	}
+	postings := st.FindName(token)
+	if off > len(postings) {
+		off = len(postings)
+	}
+	end := off + limit
+	if end > len(postings) {
+		end = len(postings)
+	}
+	resp := rdnsclient.NameResponse{Token: token, Postings: make([]rdnsclient.NamePosting, 0, end-off)}
+	for _, p := range postings[off:end] {
+		resp.Postings = append(resp.Postings, rdnsclient.NamePosting{Prefix: p.Prefix.String(), First: p.First, Last: p.Last})
+	}
+	resp.Count = len(resp.Postings)
+	if end < len(postings) {
+		resp.NextCursor = encodeOffsetCursor(bind, end)
+	}
+	return resp, nil
+}
+
+func (s *Server) handleDays(ctx context.Context, st *histstore.Store, _ url.Values) (any, *apiError) {
+	if ctx.Err() != nil {
+		return nil, errCanceled()
+	}
+	times := st.Times()
+	resp := rdnsclient.DaysResponse{Count: len(times), Days: times}
+	if resp.Days == nil {
+		resp.Days = []time.Time{}
+	}
+	return resp, nil
+}
+
+func (s *Server) handleStats(ctx context.Context, st *histstore.Store, _ url.Values) (any, *apiError) {
+	if ctx.Err() != nil {
+		return nil, errCanceled()
+	}
+	return s.StatsSnapshot(), nil
+}
