@@ -20,6 +20,7 @@ bench:
 bench-check:
 	$(GO) build -o /tmp/benchcheck ./cmd/benchcheck
 	{ $(GO) test -run '^$$' -bench 'BenchmarkScanEngineFullSweep|BenchmarkHistStoreAt' -count=1 . \
+		&& $(GO) test -run '^$$' -bench 'BenchmarkHistStoreCompact' -count=4 . \
 		&& $(GO) test -run '^$$' -bench 'BenchmarkRdnsdQuery|BenchmarkRdnsdConcurrentLoad' -count=1 ./internal/rdnsserve ; } \
 		| /tmp/benchcheck -baseline BENCH_baseline.json -out BENCH_scan.json -gate-extras p99-ns/op
 
@@ -52,6 +53,8 @@ loadtest:
 fuzz:
 	$(GO) test -fuzz=FuzzParseOptions -fuzztime=30s ./internal/dhcpwire
 	$(GO) test -fuzz=FuzzDecodeBlock -fuzztime=30s ./internal/histstore
+	$(GO) test -fuzz=FuzzSegmentManifest -fuzztime=30s ./internal/histstore
+	$(GO) test -fuzz=FuzzSegmentFooter -fuzztime=30s ./internal/histstore
 
 # verify is the pre-merge gate: vet everything, run the full test suite
 # with the coverage floors, race-test the internal packages and the query

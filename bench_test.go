@@ -13,6 +13,7 @@ package rdnsprivacy_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"io"
 	"path/filepath"
 	"sync"
@@ -600,4 +601,133 @@ func BenchmarkHistStoreAt(b *testing.B) {
 		}
 		b.ReportMetric(float64(s.Reconstructions)/float64(b.N), "reconstructions/op")
 	})
+}
+
+// copyStoreDir clones a history store directory for benchmarks that
+// consume their input (compaction rewrites the store in place).
+func copyStoreDir(b *testing.B, src, dst string) {
+	b.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistStoreCompact measures sealing a 120-day tail into a
+// segment: the full stream-rewrite-commit cycle, on a pristine copy of
+// the store each iteration. The tail is 4x the point-query benchmark's
+// (32 blocks instead of 8) so the CPU-bound segment build dominates the
+// handful of commit fsyncs, whose latency varies run to run; bench-check
+// gates the result within ±15%.
+func BenchmarkHistStoreCompact(b *testing.B) {
+	template := filepath.Join(b.TempDir(), "bench.hist")
+	st, err := histstore.Open(template)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := date(2021, time.January, 1)
+	for day := 0; day < 120; day++ {
+		recs := scanengine.RecordSet{}
+		for k := 0; k < 32; k++ {
+			for o := 1; o <= 48; o++ {
+				recs[dnswire.MustIPv4(fmt.Sprintf("10.61.%d.%d", k, o))] =
+					dnswire.MustName(fmt.Sprintf("host-%d-%d.dyn.bench.example", k, o))
+			}
+			recs[dnswire.MustIPv4(fmt.Sprintf("10.61.%d.%d", k, 200+day%8))] =
+				dnswire.MustName(fmt.Sprintf("lease-%d-%d.dyn.bench.example", k, day))
+		}
+		if err := st.Append(start.AddDate(0, 0, day), recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	var sealed, reclaimed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := filepath.Join(b.TempDir(), fmt.Sprintf("run-%d", i))
+		copyStoreDir(b, template, dir)
+		st, err := histstore.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := st.CompactWriter(context.Background(), histstore.DefaultWriter, histstore.CompactOptions{})
+		b.StopTimer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Sealed != 120 {
+			b.Fatalf("sealed %d snapshots, want 120", res.Sealed)
+		}
+		sealed += int64(res.Sealed)
+		reclaimed += res.TailBytes - res.SegmentBytes
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sealed)/float64(b.N), "snapshots/op")
+	b.ReportMetric(float64(reclaimed)/float64(b.N), "reclaimed-B/op")
+}
+
+// BenchmarkHistStoreAtCompacted is BenchmarkHistStoreAt's cold variant
+// over a fully compacted store: every reconstruction walks a fresh
+// in-segment base chain through the tier, the steady state of a
+// long-running rdnsd after background compaction. bench-check gates it
+// within ±15%.
+func BenchmarkHistStoreAtCompacted(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.hist")
+	times := buildHistStoreLog(b, path)
+	st, err := histstore.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res, err := st.CompactWriter(context.Background(), histstore.DefaultWriter, histstore.CompactOptions{}); err != nil || res.Sealed != 120 {
+		b.Fatalf("compact: %+v, %v", res, err)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	st, err = histstore.Open(path, histstore.WithCache(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ResetTimer()
+	found := 0
+	for i := 0; i < b.N; i++ {
+		ip := dnswire.MustIPv4(fmt.Sprintf("10.60.%d.7", i%8))
+		_, ok, err := st.At(ip, times[(i*13)%len(times)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ok {
+			found++
+		}
+	}
+	b.StopTimer()
+	if found != b.N {
+		b.Fatalf("found %d of %d stable hosts", found, b.N)
+	}
+	s := st.Stats()
+	if s.Segments != 1 {
+		b.Fatalf("segments = %d, want 1", s.Segments)
+	}
+	b.ReportMetric(float64(s.Reconstructions)/float64(b.N), "reconstructions/op")
 }

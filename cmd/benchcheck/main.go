@@ -133,10 +133,33 @@ func parseBench(r io.Reader) (*Report, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	rep.Benchmarks = mergeRepeats(rep.Benchmarks)
 	sort.Slice(rep.Benchmarks, func(i, j int) bool {
 		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
 	})
 	return &rep, nil
+}
+
+// mergeRepeats collapses repeated results for the same benchmark name
+// (a `go test -count=N` run) to the fastest one — the standard way to
+// strip scheduler and writeback noise from an I/O-heavy benchmark
+// before gating it. Extra metrics come from the same winning run so the
+// report stays internally consistent.
+func mergeRepeats(results []Result) []Result {
+	best := make(map[string]int, len(results))
+	out := results[:0]
+	for _, r := range results {
+		i, seen := best[r.Name]
+		if !seen {
+			best[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.NsOp < out[i].NsOp {
+			out[i] = r
+		}
+	}
+	return out
 }
 
 // compare prints a per-benchmark verdict and reports whether any shared

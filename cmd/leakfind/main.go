@@ -117,7 +117,7 @@ func observeCSV(path string, fn func(dataset.Row) error) error {
 // in date-then-address order (the same stream a full-history Range
 // query serves).
 func observeStore(path string, fn func(dataset.Row) error) error {
-	st, err := histstore.Open(path)
+	st, err := histstore.Open(path, histstore.WithReadOnly())
 	if err != nil {
 		return err
 	}

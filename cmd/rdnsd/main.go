@@ -60,15 +60,18 @@ import (
 // options collects the flag values; kept as a struct so buildConfig is
 // testable without flag juggling.
 type options struct {
-	storePath   string
-	cacheSize   int
-	seed        int64
-	rate        float64
-	burst       float64
-	maxInFlight int
-	aclAllow    string
-	aclDeny     string
-	reload      bool
+	storePath    string
+	cacheSize    int
+	hotSegments  int
+	seed         int64
+	rate         float64
+	burst        float64
+	maxInFlight  int
+	aclAllow     string
+	aclDeny      string
+	reload       bool
+	compactEvery time.Duration
+	compactMin   int
 }
 
 // parsePrefixList parses a comma-separated IPv4 CIDR list ("" → nil).
@@ -114,11 +117,16 @@ func buildConfig(o options, reg *telemetry.Registry, tracer *telemetry.Tracer) (
 			Allow:       allow,
 			Deny:        deny,
 		},
+		Compact: histstore.CompactOptions{MinSeal: o.compactMin},
 	}
 	if o.reload {
-		path, cache := o.storePath, o.cacheSize
+		path, cache, hot := o.storePath, o.cacheSize, o.hotSegments
 		cfg.Reopen = func() (*histstore.Store, error) {
-			return histstore.Open(path, histstore.WithCache(cache), histstore.WithTelemetry(reg))
+			return histstore.Open(path,
+				histstore.WithCache(cache),
+				histstore.WithTelemetry(reg),
+				histstore.WithHotSegments(hot),
+				histstore.WithReadOnly())
 		}
 	}
 	return cfg, nil
@@ -130,8 +138,11 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:8077", "address to serve the query API on")
 		metricsAddr = flag.String("metrics-addr", "", "serve telemetry HTTP endpoints on this address")
 	)
-	flag.StringVar(&o.storePath, "store", "", "history store file to serve (required)")
+	flag.StringVar(&o.storePath, "store", "", "history store to serve (required)")
 	flag.IntVar(&o.cacheSize, "cache", 4096, "reconstruction cache capacity in block states (0 disables)")
+	flag.IntVar(&o.hotSegments, "hot-segments", histstore.DefaultHotSegments, "sealed segments kept hot (index + fd resident); older ones load lazily and evict LRU (<=0 = unbounded)")
+	flag.DurationVar(&o.compactEvery, "compact-interval", 0, "background compaction period sealing idle writer tails into segments (0 disables; also POST /v1/admin/compact)")
+	flag.IntVar(&o.compactMin, "compact-min-seal", 0, "minimum tail snapshots before a background compaction seals a writer (0 = the store's base interval)")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for deterministic span correlation IDs")
 	flag.Float64Var(&o.rate, "rate", 0, "per-client sustained requests/second (0 disables rate limiting)")
 	flag.Float64Var(&o.burst, "burst", 0, "per-client burst capacity (default max(rate, 1))")
@@ -149,9 +160,14 @@ func main() {
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(o.seed, 4096)
 
+	// The daemon is a pure reader: it never registers a writer, so
+	// campaign appenders keep exclusive ownership of their tails and a
+	// daemon crash can never tear one.
 	st, err := histstore.Open(o.storePath,
 		histstore.WithCache(o.cacheSize),
-		histstore.WithTelemetry(reg))
+		histstore.WithTelemetry(reg),
+		histstore.WithHotSegments(o.hotSegments),
+		histstore.WithReadOnly())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rdnsd: %v\n", err)
 		os.Exit(1)
@@ -210,6 +226,38 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Background compaction: periodically seal idle writer tails into
+	// segments while serving continues on the same handle. Writers whose
+	// campaign process is alive are skipped (they hold the tail lock).
+	if o.compactEvery > 0 {
+		go func() {
+			tick := time.NewTicker(o.compactEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				results, err := srv.Compact(ctx)
+				if err != nil {
+					if !errors.Is(err, histstore.ErrCompactBusy) && ctx.Err() == nil {
+						fmt.Fprintf(os.Stderr, "rdnsd: compact: %v\n", err)
+					}
+					continue
+				}
+				for _, res := range results {
+					if res.Skipped != "" {
+						continue
+					}
+					fmt.Fprintf(os.Stderr, "rdnsd: compacted writer %s: %d snapshots, %d B -> %d B\n",
+						res.Writer, res.Sealed, res.TailBytes, res.SegmentBytes)
+				}
+			}
+		}()
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
 

@@ -198,7 +198,7 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 		// Self-host: serve a (synthesized or existing) store in-process.
 		var st *histstore.Store
 		if cfg.storePath != "" {
-			if st, err = histstore.Open(cfg.storePath, histstore.WithCache(4096)); err != nil {
+			if st, err = histstore.Open(cfg.storePath, histstore.WithCache(4096), histstore.WithReadOnly()); err != nil {
 				return nil, err
 			}
 		} else {

@@ -24,8 +24,9 @@ type blockCache struct {
 const cacheShards = 16
 
 type cacheKey struct {
+	w    int // writer index: states are writer-local before merging
 	p    dnswire.Prefix
-	snap int
+	snap int // writer-local version snapshot (the block's newest frame)
 }
 
 type cacheEntry struct {

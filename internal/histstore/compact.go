@@ -1,0 +1,609 @@
+package histstore
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/testutil"
+)
+
+// Compaction seals a writer's accumulated tail snapshots into an
+// immutable segment and restarts the tail, reclaiming the redundant
+// delta-chain rebases the append path wrote and re-basing old delta runs
+// on a sparser cadence. The protocol is crash-atomic:
+//
+//	phase A (shared lock)   stream the tail's sealed range into a segment
+//	                        image: every block live at the cut gets an
+//	                        opening base, deltas are re-based every
+//	                        BaseInterval snapshots, no-op rebases vanish
+//	stage                   write segment to *.tmp, fsync, rename
+//	phase C (write lock)    write the replacement tail (header + the
+//	                        bytes past the cut), rename it, then swap the
+//	                        manifest under STORE.lock — the one commit
+//	                        point — and splice the new segment and tail
+//	                        into the live store
+//	cleanup                 delete the old tail (best effort; a leftover
+//	                        is swept at the next open)
+//
+// A crash anywhere before the manifest rename leaves the store exactly
+// as it was (staged files are swept as orphans); a crash after it leaves
+// the compacted layout. Queries run throughout — phase A holds only the
+// read lock — and answers are bit-identical before, during, and after
+// (see TestCompactionQueryEquivalence and TestCompactionCrashPoints).
+//
+// The testutil.Fault points, in protocol order:
+//
+//	histstore.compact.segment.write
+//	histstore.compact.segment.rename
+//	histstore.compact.sealed
+//	histstore.compact.tail.write
+//	histstore.compact.tail.rename
+//	histstore.compact.manifest.write
+//	histstore.compact.manifest.rename
+//	histstore.compact.cleanup
+
+// ErrCompactBusy reports a Compact call while another is in flight on
+// this Store.
+var ErrCompactBusy = errors.New("histstore: compaction already running")
+
+// errStoreChanged reports that another process mutated the writer
+// between this store's open and its compaction commit.
+var errStoreChanged = errors.New("histstore: store changed concurrently; reopen and retry")
+
+// CompactOptions tunes a compaction run. Zero values take defaults.
+type CompactOptions struct {
+	// MinSeal is the minimum tail snapshots worth sealing (default: the
+	// store's base interval K) — tinier tails stay put.
+	MinSeal int
+	// BaseInterval is the in-segment base cadence (default 4K): sparser
+	// than the tail's because sealed history is read-optimized through
+	// the segment footer index, not crash-truncated.
+	BaseInterval int
+}
+
+// CompactResult reports one writer's compaction outcome.
+type CompactResult struct {
+	// Writer is the writer id the result describes.
+	Writer string `json:"writer"`
+	// Sealed is how many snapshots moved into the new segment; Segment
+	// its file name.
+	Sealed  int    `json:"sealed"`
+	Segment string `json:"segment,omitempty"`
+	// TailBytes is the sealed tail span; SegmentBytes what replaced it.
+	// Their difference is the reclaimed space (negative when opening
+	// bases outweigh the dropped rebases).
+	TailBytes    int64 `json:"tail_bytes"`
+	SegmentBytes int64 `json:"segment_bytes"`
+	// Skipped carries the reason nothing was sealed ("" on success).
+	Skipped string `json:"skipped,omitempty"`
+}
+
+// Compact runs CompactWriter over every writer in the store, skipping —
+// with the reason recorded — writers whose tails are too small or whose
+// owning process holds the tail lock.
+func (s *Store) Compact(ctx context.Context, opts CompactOptions) ([]CompactResult, error) {
+	s.mu.RLock()
+	ids := make([]string, len(s.writers))
+	for i, w := range s.writers {
+		ids[i] = w.id
+	}
+	s.mu.RUnlock()
+	var out []CompactResult
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		res, err := s.CompactWriter(ctx, id, opts)
+		if errors.Is(err, ErrWriterActive) {
+			res = CompactResult{Writer: id, Skipped: "writer active in another process"}
+			err = nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// CompactWriter compacts one writer's tail. The writer's tail lock must
+// be free or owned by this store — an active foreign appender yields
+// ErrWriterActive. Queries keep running throughout; Append (for an owned
+// writer) interleaves between the seal and the commit.
+func (s *Store) CompactWriter(ctx context.Context, id string, opts CompactOptions) (CompactResult, error) {
+	res := CompactResult{Writer: id}
+	if !s.compactRunning.CompareAndSwap(false, true) {
+		return res, ErrCompactBusy
+	}
+	defer s.compactRunning.Store(false)
+
+	minSeal := opts.MinSeal
+	if minSeal <= 0 {
+		minSeal = s.baseEvery
+	}
+	segK := opts.BaseInterval
+	if segK <= 0 {
+		segK = 4 * s.baseEvery
+	}
+
+	// Locate the writer and, if we do not own it for the session, hold
+	// its tail lock for the duration of the run.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return res, ErrClosed
+	}
+	var w *writerState
+	for _, cand := range s.writers {
+		if cand.id == id {
+			w = cand
+			break
+		}
+	}
+	if w == nil {
+		s.mu.RUnlock()
+		return res, fmt.Errorf("histstore: unknown writer %q", id)
+	}
+	owned := w.owned
+	s.mu.RUnlock()
+	var transientLock *os.File
+	if !owned {
+		var err error
+		transientLock, err = acquireFileLock(filepath.Join(s.dir, "tail-"+id+".lock"))
+		if err != nil {
+			return res, err
+		}
+		defer releaseFileLock(transientLock)
+	}
+
+	// Phase A: build the segment image from the sealed tail span, under
+	// the read lock so queries and the obs scrapers keep flowing.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return res, ErrClosed
+	}
+	first := w.tailFirst
+	sealCount := len(w.times) - first
+	if sealCount < minSeal {
+		s.mu.RUnlock()
+		res.Skipped = fmt.Sprintf("tail holds %d snapshots, need %d", sealCount, minSeal)
+		return res, nil
+	}
+	cut := first + sealCount - 1
+	cutOff := w.tailSize
+	segName := segFileName(id, w.fileSeq)
+	newTailName := tailFileName(id, w.fileSeq+1)
+	oldTailName := w.tailFile
+	oldTailHeaderLen := w.tailHeaderLen
+	build, err := s.buildSegment(w, first, cut, cutOff, segK)
+	s.mu.RUnlock()
+	if err != nil {
+		return res, err
+	}
+	res.Sealed = sealCount
+	res.Segment = segName
+	res.TailBytes = cutOff - oldTailHeaderLen
+	res.SegmentBytes = int64(len(build.data))
+
+	// Stage the segment: tmp + fsync + rename. Nothing references it yet.
+	if err := testutil.Fault("histstore.compact.segment.write"); err != nil {
+		return res, err
+	}
+	segPath := s.filePath(segName)
+	if err := writeFileSync(segPath+".tmp", build.data); err != nil {
+		return res, err
+	}
+	if err := testutil.Fault("histstore.compact.segment.rename"); err != nil {
+		return res, err
+	}
+	if err := os.Rename(segPath+".tmp", segPath); err != nil {
+		return res, fmt.Errorf("histstore: staging segment: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return res, err
+	}
+
+	// The sealed pause point: tests park here to prove queries answer
+	// bit-identically mid-compaction, and crash tests kill here to prove
+	// a staged-but-unreferenced segment is swept harmlessly.
+	if err := testutil.Fault("histstore.compact.sealed"); err != nil {
+		return res, err
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+
+	// Phase C: replacement tail, manifest commit, in-memory splice.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return res, ErrClosed
+	}
+	fi, err := w.tailF.Stat()
+	if err != nil {
+		return res, fmt.Errorf("histstore: %w", err)
+	}
+	diskSize := fi.Size()
+	if diskSize < cutOff {
+		return res, fmt.Errorf("%w (tail shrank)", errStoreChanged)
+	}
+	newHdr := encodeTailHeader(cut + 1)
+	newTailBuf := make([]byte, int64(len(newHdr))+diskSize-cutOff)
+	copy(newTailBuf, newHdr)
+	if diskSize > cutOff {
+		if _, err := w.tailF.ReadAt(newTailBuf[len(newHdr):], cutOff); err != nil {
+			return res, fmt.Errorf("histstore: copying tail remainder: %w", err)
+		}
+	}
+	if err := testutil.Fault("histstore.compact.tail.write"); err != nil {
+		return res, err
+	}
+	newTailPath := s.filePath(newTailName)
+	if err := writeFileSync(newTailPath+".tmp", newTailBuf); err != nil {
+		return res, err
+	}
+	if err := testutil.Fault("histstore.compact.tail.rename"); err != nil {
+		return res, err
+	}
+	if err := os.Rename(newTailPath+".tmp", newTailPath); err != nil {
+		return res, fmt.Errorf("histstore: staging tail: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return res, err
+	}
+
+	// Open the replacement handles before committing, so a commit is
+	// never followed by a failure to serve.
+	tailFlags := os.O_RDONLY
+	if w.owned {
+		tailFlags = os.O_RDWR
+	}
+	newF, err := os.OpenFile(newTailPath, tailFlags, 0)
+	if err != nil {
+		return res, fmt.Errorf("histstore: %w", err)
+	}
+	segF, err := os.Open(segPath)
+	if err != nil {
+		newF.Close()
+		return res, fmt.Errorf("histstore: %w", err)
+	}
+
+	// Manifest read-modify-write under STORE.lock: the commit point.
+	err = func() error {
+		storeLock, err := acquireFileLockBlocking(filepath.Join(s.dir, storeLockName))
+		if err != nil {
+			return err
+		}
+		defer releaseFileLock(storeLock)
+		m, err := readManifest(s.dir)
+		if err != nil {
+			return err
+		}
+		i := -1
+		if m != nil {
+			i = m.findWriter(id)
+		}
+		if i < 0 || m.writers[i].tailFile != oldTailName {
+			return errStoreChanged
+		}
+		mw := m.writers[i]
+		mw.segs = append(mw.segs, manifestSegment{file: segName, first: first, count: sealCount})
+		mw.tailFile = newTailName
+		mw.tailFirst = cut + 1
+		mw.fileSeq = w.fileSeq + 2
+		m.writers[i] = mw
+		return writeManifest(s.dir, m, testutil.Fault)
+	}()
+	if err != nil {
+		newF.Close()
+		segF.Close()
+		return res, err
+	}
+
+	// Committed on disk; splice the new layout into the live store.
+	newSeg := &segment{
+		path:      segPath,
+		writerID:  id,
+		firstSnap: first,
+		count:     sealCount,
+		size:      int64(len(build.data)),
+		f:         segF,
+		refs:      build.refs,
+	}
+	w.segs = append(w.segs, newSeg)
+	s.noteSegmentLoaded(newSeg)
+	oldKnownTail := w.tailSize
+	oldF := w.tailF
+	w.tailF = newF
+	w.tailFile = newTailName
+	w.fileSeq += 2
+	w.tailFirst = cut + 1
+	shift := int64(len(newHdr)) - cutOff
+	w.tailHeaderLen = int64(len(newHdr))
+	w.tailSize = int64(len(newTailBuf))
+	surviving := make(map[dnswire.Prefix][]blockRef)
+	for p, rs := range w.tailBlocks {
+		for _, r := range rs {
+			if r.snap > cut {
+				r.off += shift
+				surviving[p] = append(surviving[p], r)
+			}
+		}
+	}
+	w.tailBlocks = surviving
+	offs := make([]int64, 0, len(w.tailSnapOffsets)-sealCount)
+	for _, off := range w.tailSnapOffsets[sealCount:] {
+		offs = append(offs, off+shift)
+	}
+	w.tailSnapOffsets = offs
+	s.recomputeCadence(w, newSeg)
+	s.baseFrames += build.baseFrames - build.sealedBases
+	s.deltaFrames += build.deltaFrames - build.sealedDeltas
+	s.bytes += newSeg.size + w.tailSize - oldKnownTail
+	oldF.Close()
+
+	s.compactions.Add(1)
+	s.met.compactions.Inc()
+	s.compactSealed.Add(uint64(sealCount))
+	s.met.compactSealed.Add(uint64(sealCount))
+	if reclaimed := res.TailBytes - res.SegmentBytes; reclaimed > 0 {
+		s.compactReclaim.Add(reclaimed)
+		s.met.compactReclaim.Add(uint64(reclaimed))
+	} else {
+		s.compactReclaim.Add(reclaimed)
+	}
+	s.publishGauges()
+
+	// Cleanup is outside the commit: a leftover old tail is unreferenced
+	// and swept at the next open.
+	if err := testutil.Fault("histstore.compact.cleanup"); err != nil {
+		return res, err
+	}
+	os.Remove(s.filePath(oldTailName))
+	return res, nil
+}
+
+// recomputeCadence rebuilds lastBase/deltasSince for every block the
+// compaction re-laid, so the in-memory append schedule matches what a
+// reopen would replay — keeping the stayed-open and reopened stores
+// byte-identical for all future appends.
+func (s *Store) recomputeCadence(w *writerState, newSeg *segment) {
+	affected := make(map[dnswire.Prefix]bool, len(newSeg.refs))
+	for p := range newSeg.refs {
+		affected[p] = true
+	}
+	for p := range w.tailBlocks {
+		affected[p] = true
+	}
+	for p := range affected {
+		lastBase, deltas := -1, 0
+		walk := func(rs []blockRef) {
+			for _, r := range rs {
+				if r.kind == frameBase {
+					lastBase, deltas = r.snap, 0
+				} else {
+					deltas++
+				}
+			}
+		}
+		walk(newSeg.refs[p])
+		walk(w.tailBlocks[p])
+		if lastBase >= 0 {
+			w.lastBase[p] = lastBase
+		}
+		w.deltasSince[p] = deltas
+	}
+}
+
+// segBuild is the in-memory image of a segment under construction.
+type segBuild struct {
+	data []byte
+	refs map[dnswire.Prefix][]blockRef
+	// Frames emitted into the segment vs the original frames sealed out
+	// of the tail — the difference adjusts the store's frame counters.
+	baseFrames, deltaFrames   int
+	sealedBases, sealedDeltas int
+}
+
+// buildSegment streams the tail span [first, cut] into a segment image:
+// carried-over block states get opening bases, original frames re-encode
+// under the sparser segK cadence, and rebases that change nothing are
+// dropped. Callers hold at least the read lock.
+func (s *Store) buildSegment(w *writerState, first, cut int, cutOff int64, segK int) (*segBuild, error) {
+	// Carried-over states: every block live just before the cut span.
+	running := make(map[dnswire.Prefix]blockState)
+	for p := range w.known {
+		st, err := s.writerStateAt(w.idx, p, first-1)
+		if err != nil {
+			return nil, err
+		}
+		if len(st) == 0 {
+			continue
+		}
+		cp := make(blockState, len(st))
+		for o, name := range st {
+			cp[o] = name
+		}
+		running[p] = cp
+	}
+
+	count := cut - first + 1
+	b := &segBuild{
+		data: encodeSegmentHeader(w.id, first, count),
+		refs: make(map[dnswire.Prefix][]blockRef),
+	}
+	lastBaseSeg := make(map[dnswire.Prefix]int)
+	deltasSeg := make(map[dnswire.Prefix]int)
+
+	emitBase := func(snap int, p dnswire.Prefix, st blockState) {
+		entries := make([]baseEntry, 0, len(st))
+		for octet := 0; octet < 256; octet++ {
+			if name, ok := st[byte(octet)]; ok {
+				entries = append(entries, baseEntry{octet: byte(octet), name: name})
+			}
+		}
+		start := int64(len(b.data))
+		b.data = appendFrame(b.data, frameBase, encodeBaseBody(snap, p, entries))
+		b.refs[p] = append(b.refs[p], blockRef{snap: snap, kind: frameBase, off: start, length: int(int64(len(b.data)) - start)})
+		lastBaseSeg[p] = snap
+		deltasSeg[p] = 0
+		b.baseFrames++
+	}
+	emitDelta := func(snap int, p dnswire.Prefix, changes []deltaEntry) {
+		start := int64(len(b.data))
+		b.data = appendFrame(b.data, frameDelta, encodeDeltaBody(snap, p, changes))
+		b.refs[p] = append(b.refs[p], blockRef{snap: snap, kind: frameDelta, off: start, length: int(int64(len(b.data)) - start)})
+		deltasSeg[p]++
+		b.deltaFrames++
+	}
+
+	// One original frame's effect: the changes at this snapshot and the
+	// block's resulting state.
+	type frameEffect struct {
+		p       dnswire.Prefix
+		changes []deltaEntry
+	}
+	applyOriginal := func(fr frame) (frameEffect, error) {
+		switch fr.kind {
+		case frameBase:
+			_, p, entries, err := decodeBaseBody(fr.body)
+			if err != nil {
+				return frameEffect{}, err
+			}
+			newState := make(blockState, len(entries))
+			for _, e := range entries {
+				newState[e.octet] = e.name
+			}
+			changes := diffBlock(running[p], newState)
+			if len(newState) == 0 {
+				delete(running, p)
+			} else {
+				running[p] = newState
+			}
+			b.sealedBases++
+			return frameEffect{p: p, changes: changes}, nil
+		case frameDelta:
+			_, p, entries, err := decodeDeltaBody(fr.body)
+			if err != nil {
+				return frameEffect{}, err
+			}
+			st := running[p]
+			if st == nil {
+				st = make(blockState)
+				running[p] = st
+			}
+			for _, e := range entries {
+				if e.kind == scanengine.RecordRemoved {
+					delete(st, e.octet)
+				} else {
+					st[e.octet] = e.new
+				}
+			}
+			if len(st) == 0 {
+				delete(running, p)
+			}
+			b.sealedDeltas++
+			return frameEffect{p: p, changes: entries}, nil
+		}
+		return frameEffect{}, corruptf("unknown frame kind 0x%02x", fr.kind)
+	}
+
+	sc := &frameScanner{
+		r:   bufio.NewReaderSize(io.NewSectionReader(w.tailF, w.tailHeaderLen, cutOff-w.tailHeaderLen), 1<<16),
+		off: w.tailHeaderLen,
+	}
+	snap := first - 1
+	var firstGroup []frameEffect
+	flushFirst := func() {
+		if snap != first {
+			return
+		}
+		// The opening snapshot: every live block gets a fresh base, in
+		// address order, whether or not the tail touched it here.
+		touched := make(map[dnswire.Prefix]bool, len(firstGroup))
+		for _, fe := range firstGroup {
+			touched[fe.p] = true
+		}
+		order := make([]dnswire.Prefix, 0, len(running)+len(firstGroup))
+		for p := range running {
+			order = append(order, p)
+		}
+		for p := range touched {
+			if _, live := running[p]; !live {
+				order = append(order, p)
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i].Addr.Uint32() < order[j].Addr.Uint32() })
+		for _, p := range order {
+			emitBase(first, p, running[p])
+		}
+		firstGroup = nil
+	}
+	for {
+		fr, start, _, err := sc.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("histstore: sealing %s at offset %d: %w", w.tailFile, start, err)
+		}
+		if fr.kind == frameSnap {
+			flushFirst()
+			ls, unixSec, err := decodeSnapBody(fr.body)
+			if err != nil {
+				return nil, err
+			}
+			if ls != snap+1 {
+				return nil, corruptf("sealing %s: snapshot header %d, expected %d", w.tailFile, ls, snap+1)
+			}
+			snap = ls
+			b.data = appendFrame(b.data, frameSnap, encodeSnapBody(ls, unixSec))
+			continue
+		}
+		fe, err := applyOriginal(fr)
+		if err != nil {
+			return nil, err
+		}
+		if snap == first {
+			firstGroup = append(firstGroup, fe)
+			continue
+		}
+		p := fe.p
+		seen := len(b.refs[p]) > 0
+		switch {
+		case !seen:
+			// A block's first in-segment frame must be a base — the
+			// invariant segStateAt's absence-means-dead shortcut needs.
+			emitBase(snap, p, running[p])
+		case snap-lastBaseSeg[p] >= segK && deltasSeg[p] > 0:
+			emitBase(snap, p, running[p])
+		case len(fe.changes) > 0:
+			emitDelta(snap, p, fe.changes)
+		default:
+			// A rebase that changed nothing: reclaimed.
+		}
+	}
+	flushFirst()
+	if snap != cut {
+		return nil, corruptf("sealing %s: span ends at snapshot %d, expected %d", w.tailFile, snap, cut)
+	}
+
+	footerOff := int64(len(b.data))
+	footer := encodeSegmentFooter(b.refs, first)
+	b.data = append(b.data, footer...)
+	b.data = binary.LittleEndian.AppendUint64(b.data, uint64(footerOff))
+	b.data = binary.LittleEndian.AppendUint32(b.data, crc32.ChecksumIEEE(footer))
+	b.data = append(b.data, segTrailerMagic[:]...)
+	return b, nil
+}

@@ -1,0 +1,851 @@
+package histstore
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/testutil"
+)
+
+// mergeCampaigns builds the ground-truth merged view of several writers'
+// campaigns: the global timeline is every writer's instants sorted, and
+// the state at each instant is the per-IP first-setter-wins merge, in
+// writer-id order, of each writer's latest snapshot at or before it.
+// Callers pass the campaigns sorted by writer id and must use distinct
+// instants across writers (equal instants are legal in the store but
+// make the intermediate global snapshot ambiguous for Range).
+func mergeCampaigns(blocks []dnswire.Prefix, byID ...*campaign) *campaign {
+	type ev struct {
+		t time.Time
+		w int
+	}
+	var evs []ev
+	for wi, c := range byID {
+		for _, tm := range c.times {
+			evs = append(evs, ev{tm, wi})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if !evs[i].t.Equal(evs[j].t) {
+			return evs[i].t.Before(evs[j].t)
+		}
+		return evs[i].w < evs[j].w
+	})
+	m := &campaign{blocks: blocks}
+	for _, e := range evs {
+		snap := scanengine.RecordSet{}
+		for _, c := range byID {
+			i, ok := c.snapAtOrBefore(e.t)
+			if !ok {
+				continue
+			}
+			for ip, name := range c.snaps[i] {
+				if _, taken := snap[ip]; !taken {
+					snap[ip] = name
+				}
+			}
+		}
+		m.times = append(m.times, e.t)
+		m.snaps = append(m.snaps, snap)
+	}
+	return m
+}
+
+// assertCleanDir checks that every file in the store directory is either
+// store metadata or referenced by the manifest — no leaked temp files or
+// orphaned tails/segments survive a recovery.
+func assertCleanDir(t *testing.T, dir string) {
+	t.Helper()
+	m, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("store has no manifest")
+	}
+	referenced := map[string]bool{manifestName: true, storeLockName: true}
+	for _, w := range m.writers {
+		referenced[w.tailFile] = true
+		referenced["tail-"+w.id+".lock"] = true
+		for _, g := range w.segs {
+			referenced[g.file] = true
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if !referenced[e.Name()] {
+			t.Errorf("unreferenced file %s left in store", e.Name())
+		}
+	}
+}
+
+// TestCompactionQueryEquivalence is the tentpole property: a 50-day
+// campaign answers all four query APIs bit-identically to the raw
+// snapshots before compaction, after compaction, after appending past a
+// compacted prefix, after a second compaction, and after a close/reopen
+// of the compacted layout — and the reopened stats match the stayed-open
+// ones exactly.
+func TestCompactionQueryEquivalence(t *testing.T) {
+	ctx := context.Background()
+	c := genCampaign(31, 50)
+	path := filepath.Join(t.TempDir(), "hist")
+	st, err := Open(path, WithBaseInterval(5), WithCache(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := st.Append(c.times[i], c.snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := *c
+	pre.times, pre.snaps = c.times[:30], c.snaps[:30]
+	verifyStore(t, st, &pre, splitmix(1))
+
+	res, err := st.CompactWriter(ctx, DefaultWriter, CompactOptions{})
+	if err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if res.Skipped != "" || res.Sealed != 30 {
+		t.Fatalf("compact result: %+v", res)
+	}
+	verifyStore(t, st, &pre, splitmix(2))
+	stats := st.Stats()
+	if stats.Segments != 1 || stats.Compaction.Runs != 1 || stats.Compaction.SealedSnapshots != 30 {
+		t.Fatalf("post-compaction stats: %+v", stats)
+	}
+
+	// The tail restarts after the cut; appends continue seamlessly.
+	for i := 30; i < 50; i++ {
+		if err := st.Append(c.times[i], c.snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verifyStore(t, st, c, splitmix(3))
+
+	// A second compaction seals the regrown tail into a second segment.
+	if res, err = st.CompactWriter(ctx, DefaultWriter, CompactOptions{}); err != nil || res.Sealed != 20 {
+		t.Fatalf("second compact: %+v, %v", res, err)
+	}
+	verifyStore(t, st, c, splitmix(4))
+	stats = st.Stats()
+	if stats.Segments != 2 {
+		t.Fatalf("segments = %d, want 2", stats.Segments)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: replay through both segments plus the empty tail must
+	// reproduce the stayed-open store exactly, stats included.
+	st2, err := Open(path, WithCache(128))
+	if err != nil {
+		t.Fatalf("reopen compacted store: %v", err)
+	}
+	defer st2.Close()
+	verifyStore(t, st2, c, splitmix(5))
+	s2 := st2.Stats()
+	if s2.Snapshots != stats.Snapshots || s2.Blocks != stats.Blocks ||
+		s2.BaseFrames != stats.BaseFrames || s2.DeltaFrames != stats.DeltaFrames ||
+		s2.Bytes != stats.Bytes || s2.Segments != stats.Segments ||
+		s2.TailBytes != stats.TailBytes || s2.SealedBytes != stats.SealedBytes {
+		t.Fatalf("reopen stats drifted:\n got  %+v\n want %+v", s2, stats)
+	}
+	assertCleanDir(t, path)
+}
+
+// TestCompactionReclaimsRebases: a long delta-heavy history compacted
+// under a sparser in-segment cadence sheds the tail's periodic rebases —
+// the headline space win.
+func TestCompactionReclaims(t *testing.T) {
+	c := genCampaign(7, 60)
+	path := filepath.Join(t.TempDir(), "hist")
+	// K=2 forces a rebase every other snapshot: maximal redundancy.
+	st, err := Open(path, WithBaseInterval(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	c.append(t, st)
+	before := st.Stats()
+	res, err := st.CompactWriter(context.Background(), DefaultWriter, CompactOptions{BaseInterval: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentBytes >= res.TailBytes {
+		t.Fatalf("no reclaim: sealed %d tail bytes into %d segment bytes", res.TailBytes, res.SegmentBytes)
+	}
+	after := st.Stats()
+	if after.Bytes >= before.Bytes {
+		t.Fatalf("store grew across compaction: %d -> %d", before.Bytes, after.Bytes)
+	}
+	if after.Compaction.ReclaimedBytes <= 0 {
+		t.Fatalf("reclaimed = %d, want > 0", after.Compaction.ReclaimedBytes)
+	}
+	verifyStore(t, st, c, splitmix(6))
+}
+
+// TestCompactionMidQueryEquivalence parks the compactor at its sealed
+// pause point — segment staged, manifest not yet swapped — and proves
+// the store answers every query bit-identically while frozen there.
+func TestCompactionMidQueryEquivalence(t *testing.T) {
+	c := genCampaign(13, 30)
+	path := filepath.Join(t.TempDir(), "hist")
+	st, err := Open(path, WithBaseInterval(4), WithCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	c.append(t, st)
+
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	testutil.SetFaultHook(func(point string) error {
+		if point == "histstore.compact.sealed" {
+			close(parked)
+			<-resume
+		}
+		return nil
+	})
+	defer testutil.SetFaultHook(nil)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.CompactWriter(context.Background(), DefaultWriter, CompactOptions{})
+		done <- err
+	}()
+	<-parked
+	verifyStore(t, st, c, splitmix(7)) // mid-compaction
+	close(resume)
+	if err := <-done; err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	verifyStore(t, st, c, splitmix(8)) // post-compaction
+}
+
+// TestCompactionCrashPoints kills the compactor at every fault point in
+// the protocol and proves Open recovers to either the pre- or the
+// post-compaction manifest — never a torn middle state — with all four
+// query APIs still bit-identical to brute-force replay and no stray
+// files surviving the orphan sweep.
+func TestCompactionCrashPoints(t *testing.T) {
+	points := []struct {
+		point     string
+		committed bool // the manifest swap happened before the crash
+	}{
+		{"histstore.compact.segment.write", false},
+		{"histstore.compact.segment.rename", false},
+		{"histstore.compact.sealed", false},
+		{"histstore.compact.tail.write", false},
+		{"histstore.compact.tail.rename", false},
+		{"histstore.compact.manifest.write", false},
+		{"histstore.compact.manifest.rename", false},
+		{"histstore.compact.cleanup", true},
+	}
+	errCrash := errors.New("injected crash")
+	for _, tc := range points {
+		t.Run(strings.TrimPrefix(tc.point, "histstore.compact."), func(t *testing.T) {
+			c := genCampaign(17, 25)
+			path := filepath.Join(t.TempDir(), "hist")
+			st, err := Open(path, WithBaseInterval(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.append(t, st)
+
+			testutil.SetFaultHook(func(point string) error {
+				if point == tc.point {
+					return errCrash
+				}
+				return nil
+			})
+			_, err = st.CompactWriter(context.Background(), DefaultWriter, CompactOptions{})
+			testutil.SetFaultHook(nil)
+			if !errors.Is(err, errCrash) {
+				t.Fatalf("compact survived the %s crash: %v", tc.point, err)
+			}
+			// Simulate the process dying: no graceful close bookkeeping is
+			// assumed beyond dropping the handles.
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			st, err = Open(path, WithCache(32))
+			if err != nil {
+				t.Fatalf("reopen after crash at %s: %v", tc.point, err)
+			}
+			defer st.Close()
+			stats := st.Stats()
+			wantSegs := 0
+			if tc.committed {
+				wantSegs = 1
+			}
+			if stats.Segments != wantSegs {
+				t.Fatalf("recovered to %d segments after crash at %s, want %d", stats.Segments, tc.point, wantSegs)
+			}
+			if stats.Snapshots != 25 {
+				t.Fatalf("recovered %d snapshots, want 25", stats.Snapshots)
+			}
+			verifyStore(t, st, c, splitmix(9))
+			assertCleanDir(t, path)
+
+			// And the recovered store still appends and compacts.
+			if err := st.Append(c.times[24].AddDate(0, 0, 1), c.snaps[24]); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if _, err := st.CompactWriter(context.Background(), DefaultWriter, CompactOptions{}); err != nil {
+				t.Fatalf("compact after recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestMultiWriterMerge: two vantage-point writers interleave appends into
+// one store; the merged timeline, priority-merged states, provenance,
+// and all four query APIs match the brute-force merged oracle — before
+// and after compacting both writers, and across a reopen.
+func TestMultiWriterMerge(t *testing.T) {
+	// Seeds 21 and 221 generate identical block sets (same seed mod 100
+	// and mod 200), so the writers genuinely fight over addresses.
+	ca := genCampaign(21, 40)
+	cb := genCampaign(221, 40)
+	// Distinct instants: alpha scans at 06:00, beta at 06:30.
+	for i := range cb.times {
+		cb.times[i] = cb.times[i].Add(30 * time.Minute)
+	}
+	merged := mergeCampaigns(ca.blocks, ca, cb)
+
+	path := filepath.Join(t.TempDir(), "hist")
+	alpha, err := Open(path, WithWriter("alpha"), WithBaseInterval(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := Open(path, WithWriter("beta"), WithBaseInterval(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := alpha.Append(ca.times[i], ca.snaps[i]); err != nil {
+			t.Fatalf("alpha day %d: %v", i, err)
+		}
+		if err := beta.Append(cb.times[i], cb.snaps[i]); err != nil {
+			t.Fatalf("beta day %d: %v", i, err)
+		}
+	}
+
+	// Compacting a writer whose owner is alive fails loudly with the
+	// lock error; compacting one's own tail works in place.
+	if _, err := beta.CompactWriter(context.Background(), "alpha", CompactOptions{}); !errors.Is(err, ErrWriterActive) {
+		t.Fatalf("compacting a live foreign writer: %v, want ErrWriterActive", err)
+	}
+	if res, err := beta.CompactWriter(context.Background(), "beta", CompactOptions{}); err != nil || res.Sealed != 40 {
+		t.Fatalf("beta self-compact: %+v, %v", res, err)
+	}
+	if err := alpha.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := beta.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A read-only observer sees the merged truth.
+	ro, err := Open(path, WithReadOnly(), WithCache(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Len() != 80 {
+		t.Fatalf("merged Len = %d, want 80", ro.Len())
+	}
+	if ws := ro.Writers(); len(ws) != 2 || ws[0] != "alpha" || ws[1] != "beta" {
+		t.Fatalf("writers: %+v", ws)
+	}
+	for _, w := range ro.Stats().Writers {
+		if w.Owned {
+			t.Fatalf("read-only store owns writer %q", w.ID)
+		}
+	}
+	verifyStore(t, ro, merged, splitmix(10))
+
+	// Provenance: AtWriter names the writer whose record won the merge.
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		rng := splitmix(uint64(i) + 77)
+		b := merged.blocks[rng()%3]
+		ip := dnswire.IPv4{b.Addr[0], b.Addr[1], b.Addr[2], byte(rng() % 40)}
+		when := merged.times[rng()%uint64(len(merged.times))]
+		name, writer, ok, err := ro.AtWriter(ip, when)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		seen[writer] = true
+		wantName, wantOK, _ := merged.bruteAt(ip, when)
+		if !wantOK || name != wantName {
+			t.Fatalf("AtWriter(%s, %s) = (%q, %s), oracle (%q, %v)", ip, when, name, writer, wantName, wantOK)
+		}
+		// The claimed writer really holds that record at that instant.
+		wc := ca
+		if writer == "beta" {
+			wc = cb
+		}
+		if n, ok, _ := wc.bruteAt(ip, when); !ok || n != name {
+			t.Fatalf("AtWriter attributed %s to %s, which holds (%q, %v)", ip, writer, n, ok)
+		}
+	}
+	if !seen["alpha"] || !seen["beta"] {
+		t.Fatalf("provenance sampling never saw both writers: %v", seen)
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-own alpha, compact the remaining uncompacted tail, reopen, and
+	// the merged answers still hold.
+	alpha, err = Open(path, WithWriter("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := alpha.CompactWriter(context.Background(), "alpha", CompactOptions{}); err != nil || res.Sealed != 40 {
+		t.Fatalf("alpha compact: %+v, %v", res, err)
+	}
+	verifyStore(t, alpha, merged, splitmix(11))
+	if err := alpha.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ro, err = Open(path, WithReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	verifyStore(t, ro, merged, splitmix(12))
+	assertCleanDir(t, path)
+}
+
+// TestWriterLock: the advisory tail lock makes the old latent
+// single-writer assumption loud — a second Open of the same writer id
+// fails with ErrWriterActive instead of silently corrupting the tail,
+// while distinct writers and read-only opens coexist freely.
+func TestWriterLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append(time.Date(2020, 3, 1, 6, 0, 0, 0, time.UTC), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(path); !errors.Is(err, ErrWriterActive) {
+		t.Fatalf("second open of writer %q: %v, want ErrWriterActive", DefaultWriter, err)
+	}
+	other, err := Open(path, WithWriter("other"))
+	if err != nil {
+		t.Fatalf("distinct writer blocked: %v", err)
+	}
+	other.Close()
+	ro, err := Open(path, WithReadOnly())
+	if err != nil {
+		t.Fatalf("read-only open blocked: %v", err)
+	}
+	ro.Close()
+
+	// Releasing the writer frees the id for the next owner.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after release: %v", err)
+	}
+	st2.Close()
+}
+
+// TestReadOnlyOpen: a read-only handle requires an existing store,
+// refuses Append, and registers no writer.
+func TestReadOnlyOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist")
+	if _, err := Open(path, WithReadOnly()); !errors.Is(err, ErrNoStore) {
+		t.Fatalf("read-only open of nothing: %v, want ErrNoStore", err)
+	}
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC), nil); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	ro, err := Open(path, WithReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if err := ro.Append(time.Date(2020, 3, 2, 0, 0, 0, 0, time.UTC), nil); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only append: %v, want ErrReadOnly", err)
+	}
+	if id := ro.WriterID(); id != "" {
+		t.Fatalf("read-only WriterID = %q, want empty", id)
+	}
+}
+
+// TestSegmentTiering: with a one-segment hot budget, queries across
+// three sealed segments force cold loads and LRU evictions, the
+// occupancy gauge never exceeds the budget, and every answer stays
+// bit-identical through the churn.
+func TestSegmentTiering(t *testing.T) {
+	c := genCampaign(23, 45)
+	path := filepath.Join(t.TempDir(), "hist")
+	st, err := Open(path, WithBaseInterval(4), WithHotSegments(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 45; i++ {
+		if err := st.Append(c.times[i], c.snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%15 == 0 {
+			if res, err := st.CompactWriter(context.Background(), DefaultWriter, CompactOptions{}); err != nil || res.Sealed != 15 {
+				t.Fatalf("compact at day %d: %+v, %v", i, res, err)
+			}
+		}
+	}
+	stats := st.Stats()
+	if stats.Segments != 3 {
+		t.Fatalf("segments = %d, want 3", stats.Segments)
+	}
+	if stats.HotSegments > 1 {
+		t.Fatalf("hot segments = %d over a budget of 1", stats.HotSegments)
+	}
+	verifyStore(t, st, c, splitmix(13))
+	stats = st.Stats()
+	if stats.TierLoads == 0 || stats.TierEvictions == 0 {
+		t.Fatalf("tier never churned: %+v", stats)
+	}
+	if stats.HotSegments > 1 {
+		t.Fatalf("hot segments = %d over a budget of 1 after churn", stats.HotSegments)
+	}
+	// The LRU arithmetic holds: every eviction was preceded by an
+	// admission, and admissions are cold loads plus the segments born
+	// hot (at compaction or replay) without a load count.
+	if stats.TierEvictions > stats.TierLoads+uint64(stats.Segments) {
+		t.Fatalf("evictions %d exceed loads %d + segments %d", stats.TierEvictions, stats.TierLoads, stats.Segments)
+	}
+}
+
+// TestSegmentCorruption: any damage to a sealed segment — header, frame
+// bytes, footer, trailer, or truncation — fails the next Open loudly.
+// Segments are never quietly truncated the way an owned tail is.
+func TestSegmentCorruption(t *testing.T) {
+	build := func(t *testing.T) (string, string) {
+		c := genCampaign(29, 15)
+		path := filepath.Join(t.TempDir(), "hist")
+		st, err := Open(path, WithBaseInterval(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.append(t, st)
+		if _, err := st.CompactWriter(context.Background(), DefaultWriter, CompactOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, err := filepath.Glob(filepath.Join(path, "seg-*.seg"))
+		if err != nil || len(segs) != 1 {
+			t.Fatalf("segments: %v (err %v)", segs, err)
+		}
+		return path, segs[0]
+	}
+	damage := []struct {
+		name string
+		hurt func(t *testing.T, seg string, size int64)
+	}{
+		{"flip-header", func(t *testing.T, seg string, size int64) { flipByte(t, seg, 4) }},
+		{"flip-frame", func(t *testing.T, seg string, size int64) { flipByte(t, seg, size/2) }},
+		{"flip-trailer", func(t *testing.T, seg string, size int64) { flipByte(t, seg, size-4) }},
+		{"flip-footer-crc", func(t *testing.T, seg string, size int64) { flipByte(t, seg, size-10) }},
+		{"truncate-frames", func(t *testing.T, seg string, size int64) {
+			if err := os.Truncate(seg, size/2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncate-trailer", func(t *testing.T, seg string, size int64) {
+			if err := os.Truncate(seg, size-1); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty", func(t *testing.T, seg string, size int64) {
+			if err := os.Truncate(seg, 0); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, d := range damage {
+		t.Run(d.name, func(t *testing.T) {
+			path, seg := build(t)
+			fi, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.hurt(t, seg, fi.Size())
+			st, err := Open(path)
+			if err == nil {
+				st.Close()
+				t.Fatal("opened a store with a damaged segment")
+			}
+		})
+	}
+}
+
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactSkipsAndGuards: the skip conditions and re-entrancy guard.
+func TestCompactSkipsAndGuards(t *testing.T) {
+	ctx := context.Background()
+	c := genCampaign(37, 5)
+	path := filepath.Join(t.TempDir(), "hist")
+	st, err := Open(path, WithBaseInterval(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	c.append(t, st)
+
+	// Too small a tail: skipped with the reason, not an error.
+	res, err := st.CompactWriter(ctx, DefaultWriter, CompactOptions{})
+	if err != nil || res.Skipped == "" || res.Sealed != 0 {
+		t.Fatalf("small-tail compact: %+v, %v", res, err)
+	}
+	// Unknown writer: loud.
+	if _, err := st.CompactWriter(ctx, "ghost", CompactOptions{}); err == nil {
+		t.Fatal("compacted an unknown writer")
+	}
+	// Re-entrancy: a second run while one is parked reports busy.
+	parked := make(chan struct{})
+	resume := make(chan struct{})
+	testutil.SetFaultHook(func(point string) error {
+		if point == "histstore.compact.sealed" {
+			close(parked)
+			<-resume
+		}
+		return nil
+	})
+	defer testutil.SetFaultHook(nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.CompactWriter(ctx, DefaultWriter, CompactOptions{MinSeal: 1})
+		done <- err
+	}()
+	<-parked
+	if _, err := st.CompactWriter(ctx, DefaultWriter, CompactOptions{MinSeal: 1}); !errors.Is(err, ErrCompactBusy) {
+		t.Fatalf("concurrent compact: %v, want ErrCompactBusy", err)
+	}
+	close(resume)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Compact on a closed store: ErrClosed, and the Compact sweep
+	// surfaces it rather than skipping.
+	st2, err := Open(filepath.Join(t.TempDir(), "other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	if _, err := st2.CompactWriter(ctx, DefaultWriter, CompactOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("compact after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestLegacySingleFileRejected: the pre-segmentation format gets a
+// pointed migration error, not a confusing parse failure.
+func TestLegacySingleFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.log")
+	legacy := append([]byte{}, fileMagic[:]...)
+	legacy = append(legacy, "junk"...)
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path)
+	if err == nil || !strings.Contains(err.Error(), "single-file") {
+		t.Fatalf("legacy log open: %v, want a single-file-format migration error", err)
+	}
+}
+
+// TestCompactAllWriters: the sweep variant compacts every idle writer
+// and records per-writer skip reasons for the rest.
+func TestCompactAllWriters(t *testing.T) {
+	ca := genCampaign(41, 12)
+	cb := genCampaign(241, 12)
+	for i := range cb.times {
+		cb.times[i] = cb.times[i].Add(30 * time.Minute)
+	}
+	path := filepath.Join(t.TempDir(), "hist")
+	alpha, err := Open(path, WithWriter("alpha"), WithBaseInterval(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := Open(path, WithWriter("beta"), WithBaseInterval(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := alpha.Append(ca.times[i], ca.snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := beta.Append(cb.times[i], cb.snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alpha.Close()
+
+	// beta sweeps: its own tail seals; alpha, opened before beta and
+	// already released, is visible only as of beta's open (empty) and is
+	// skipped as too small.
+	results, err := beta.Compact(context.Background(), CompactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results: %+v", results)
+	}
+	byWriter := map[string]CompactResult{}
+	for _, r := range results {
+		byWriter[r.Writer] = r
+	}
+	if r := byWriter["beta"]; r.Sealed != 12 || r.Skipped != "" {
+		t.Fatalf("beta result: %+v", r)
+	}
+	if r := byWriter["alpha"]; r.Skipped == "" {
+		t.Fatalf("alpha result: %+v, want skipped", r)
+	}
+	beta.Close()
+
+	merged := mergeCampaigns(ca.blocks, ca, cb)
+	ro, err := Open(path, WithReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	verifyStore(t, ro, merged, splitmix(14))
+}
+
+// TestColdSegmentCorruptionAtLoad pins the lazy-load failure mode: a
+// segment whose trailer is damaged while it sits cold on disk must fail
+// the query that reloads it — loudly, naming the segment file — while
+// queries inside the resident segment keep answering.
+func TestColdSegmentCorruptionAtLoad(t *testing.T) {
+	dir := t.TempDir() + "/hist"
+	st, err := Open(dir, WithBaseInterval(3), WithHotSegments(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := genCampaign(7, 30)
+	for i := 0; i < 15; i++ {
+		if err := st.Append(c.times[i], c.snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.CompactWriter(context.Background(), DefaultWriter, CompactOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 15; i < 30; i++ {
+		if err := st.Append(c.times[i], c.snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.CompactWriter(context.Background(), DefaultWriter, CompactOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = Open(dir, WithHotSegments(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	ip := dnswire.IPv4{c.blocks[0].Addr[0], c.blocks[0].Addr[1], c.blocks[0].Addr[2], 7}
+	// The hot tier holds one segment; touching the second segment leaves
+	// the first one cold (Open verified both, then evicted the older).
+	if _, _, err := st.At(ip, c.times[29]); err != nil {
+		t.Fatalf("query in resident segment: %v", err)
+	}
+
+	// NOW damage the cold segment's trailer on disk, after Open's eager
+	// verification pass — this is the bit-rot-while-cold scenario.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil || len(segs) != 2 {
+		t.Fatalf("segments on disk: %v (%v)", segs, err)
+	}
+	sort.Strings(segs)
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, segs[0], fi.Size()-10)
+
+	// Queries inside the resident segment keep answering...
+	if _, _, err := st.At(ip, c.times[29]); err != nil {
+		t.Fatalf("query in resident segment after corruption: %v", err)
+	}
+	// ...but the query that must reload the damaged segment fails loudly.
+	if _, _, err := st.At(ip, c.times[2]); err == nil ||
+		!strings.Contains(err.Error(), filepath.Base(segs[0])) {
+		t.Fatalf("cold corrupted segment: err = %v, want loud failure naming the segment", err)
+	}
+}
+
+// TestCompactCanceledContext: the sweep checks its context between
+// writers and returns promptly once canceled, leaving the store intact.
+func TestCompactCanceledContext(t *testing.T) {
+	dir := t.TempDir() + "/hist"
+	st, err := Open(dir, WithBaseInterval(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	c := genCampaign(11, 8)
+	c.append(t, st)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := st.Compact(ctx, CompactOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep: %v", err)
+	}
+	// The store is unharmed: a live context seals as usual.
+	res, err := st.Compact(context.Background(), CompactOptions{})
+	if err != nil || len(res) != 1 || res[0].Sealed != 8 {
+		t.Fatalf("post-cancel sweep: %+v err=%v", res, err)
+	}
+}

@@ -33,6 +33,13 @@ func FuzzDecodeBlock(f *testing.F) {
 	f.Add(appendFrame(nil, frameSnap, encodeSnapBody(0, 1583038800)))
 	f.Add(appendFrame(nil, frameBase, base))
 	f.Add(appendFrame(nil, frameDelta, delta))
+	// Shapes compaction writes that the append path never does: an empty
+	// base (a block dying in-snapshot inside a sealed segment) and a
+	// single-entry rebase from the sparse in-segment cadence.
+	f.Add(appendFrame(nil, frameBase, encodeBaseBody(9, p, nil)))
+	f.Add(appendFrame(nil, frameBase, encodeBaseBody(28, p, []baseEntry{
+		{octet: 250, name: dnswire.MustName("printer.example.net")},
+	})))
 	// Truncations at interesting depths.
 	fr := appendFrame(nil, frameBase, base)
 	f.Add(fr[:1])
@@ -102,4 +109,147 @@ func checkOctetOrder(t *testing.T, n int, octet func(int) byte) {
 			t.Fatalf("octets out of order: entry %d is %d after %d", i, octet(i), octet(i-1))
 		}
 	}
+}
+
+// FuzzSegmentManifest fuzzes the store manifest codec: the manifest is
+// the store's single commit point, so a damaged one must be rejected
+// with an error — never a panic, never a half-trusted layout. Accepted
+// manifests must satisfy every structural invariant (sorted unique
+// writers, tiling segments, valid file names) and re-encode to the
+// exact bytes that were accepted.
+func FuzzSegmentManifest(f *testing.F) {
+	// A store as compaction leaves it: two writers, sealed segments, a
+	// restarted tail.
+	m := &storeManifest{
+		baseEvery: 7,
+		writers: []manifestWriter{
+			{id: "alpha", fileSeq: 4, tailFile: "tail-alpha-3.log", tailFirst: 30, segs: []manifestSegment{
+				{file: "seg-alpha-1.seg", first: 0, count: 15},
+				{file: "seg-alpha-2.seg", first: 15, count: 15},
+			}},
+			{id: "beta", fileSeq: 1, tailFile: "tail-beta-0.log", tailFirst: 0},
+		},
+	}
+	good := encodeManifest(m)
+	f.Add(good)
+	// A fresh single-writer store.
+	f.Add(encodeManifest(&storeManifest{baseEvery: 7, writers: []manifestWriter{
+		{id: "main", fileSeq: 1, tailFile: "tail-main-0.log"},
+	}}))
+	// Truncations and bit flips at interesting depths.
+	f.Add(good[:8])
+	f.Add(good[:len(good)/2])
+	f.Add(good[:len(good)-1])
+	for _, off := range []int{0, 9, len(good) / 2, len(good) - 2} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0xff
+		f.Add(bad)
+	}
+	// Unsorted writers and a non-tiling segment chain (CRC-valid).
+	f.Add(encodeManifest(&storeManifest{baseEvery: 7, writers: []manifestWriter{
+		{id: "zeta", fileSeq: 1, tailFile: "tail-zeta-0.log"},
+		{id: "alpha", fileSeq: 1, tailFile: "tail-alpha-0.log"},
+	}}))
+	f.Add(encodeManifest(&storeManifest{baseEvery: 7, writers: []manifestWriter{
+		{id: "a", fileSeq: 3, tailFile: "tail-a-2.log", tailFirst: 99, segs: []manifestSegment{
+			{file: "seg-a-1.seg", first: 5, count: 10},
+		}},
+	}}))
+	// A path-traversal file name (CRC-valid).
+	f.Add(encodeManifest(&storeManifest{baseEvery: 7, writers: []manifestWriter{
+		{id: "a", fileSeq: 1, tailFile: "../../etc/passwd"},
+	}}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifest(data)
+		if err != nil {
+			return // rejected: fine, as long as nothing panicked
+		}
+		if m.baseEvery <= 0 {
+			t.Fatalf("accepted manifest with base interval %d", m.baseEvery)
+		}
+		for i, w := range m.writers {
+			if !validWriterID(w.id) {
+				t.Fatalf("accepted invalid writer id %q", w.id)
+			}
+			if i > 0 && m.writers[i-1].id >= w.id {
+				t.Fatalf("accepted unsorted writers %q >= %q", m.writers[i-1].id, w.id)
+			}
+			if !validStoreFileName(w.tailFile) {
+				t.Fatalf("accepted tail file name %q", w.tailFile)
+			}
+			next := 0
+			for _, g := range w.segs {
+				if !validStoreFileName(g.file) {
+					t.Fatalf("accepted segment file name %q", g.file)
+				}
+				if g.first != next || g.count <= 0 {
+					t.Fatalf("accepted non-tiling segment chain: %+v", w.segs)
+				}
+				next = g.first + g.count
+			}
+			if w.tailFirst != next {
+				t.Fatalf("accepted tail first %d after segments end at %d", w.tailFirst, next)
+			}
+		}
+		// Round trip: an accepted manifest re-encodes byte-identically,
+		// so rewriting a manifest can never drift the layout.
+		if got := encodeManifest(m); string(got) != string(data) {
+			t.Fatalf("manifest round trip drifted:\n in  %x\n out %x", data, got)
+		}
+	})
+}
+
+// FuzzSegmentFooter fuzzes the sealed-segment footer index decoder with
+// arbitrary bytes against a fixed geometry: rejected or accepted, never
+// a panic, and accepted indexes must stay inside the frame region with
+// every block opening on a base frame.
+func FuzzSegmentFooter(f *testing.F) {
+	const (
+		firstSnap  = 10
+		count      = 15
+		frameStart = 40
+		footerOff  = 4000
+	)
+	refs := map[dnswire.Prefix][]blockRef{
+		dnswire.MustPrefix("192.0.2.0/24"): {
+			{snap: 10, kind: frameBase, off: 40, length: 120},
+			{snap: 12, kind: frameDelta, off: 200, length: 30},
+			{snap: 14, kind: frameBase, off: 500, length: 90},
+		},
+		dnswire.MustPrefix("198.51.100.0/24"): {
+			{snap: 11, kind: frameBase, off: 160, length: 40},
+		},
+	}
+	good := encodeSegmentFooter(refs, firstSnap)
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	for _, off := range []int{0, 4, len(good) - 1} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0xff
+		f.Add(bad)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := decodeSegmentFooter(data, firstSnap, count, frameStart, footerOff)
+		if err != nil {
+			return
+		}
+		for p, rs := range decoded {
+			if len(rs) == 0 || rs[0].kind != frameBase {
+				t.Fatalf("accepted block %s without an opening base", p)
+			}
+			for i, r := range rs {
+				if r.snap < firstSnap || r.snap >= firstSnap+count {
+					t.Fatalf("accepted out-of-range snap %d", r.snap)
+				}
+				if r.off < frameStart || r.off+int64(r.length) > footerOff {
+					t.Fatalf("accepted out-of-bounds ref %+v", r)
+				}
+				if i > 0 && (rs[i].snap <= rs[i-1].snap || rs[i].off <= rs[i-1].off) {
+					t.Fatalf("accepted non-monotonic refs %+v", rs)
+				}
+			}
+		}
+	})
 }

@@ -10,15 +10,32 @@
 // completes, and consumers ask for any instant of the past without
 // re-reading (or ever having materialized) the whole history.
 //
-// The log stores a full per-/24 base block every K snapshots and compact
-// change deltas in between, varint+prefix-compressed with CRC framing
-// (see codec.go for the wire layout). Two in-memory indexes ride on top:
-// a per-/24 block index (prefix -> frame offsets per snapshot) and an
-// inverted hostname-token index (token -> (/24, interval) postings). Any
-// snapshot of any block reconstructs in O(deltas since the nearest base),
-// optionally through a sharded LRU reconstruction cache.
+// A store is a directory of append-only files tied together by a small
+// manifest (manifest.go):
 //
-//	st, _ := histstore.Open(path, histstore.WithCache(4096))
+//   - Each writer — a campaign or vantage point, identified by a short id
+//     — appends snapshots to its own tail log. A session-held advisory
+//     lock makes a second appender on the same writer fail loudly with
+//     ErrWriterActive instead of interleaving frames.
+//   - Compaction (compact.go) seals a tail's accumulated snapshots into
+//     an immutable segment: old delta runs are rewritten against fresh
+//     bases on a sparser cadence, redundant rebases are dropped, and the
+//     swap is crash-atomic (staged files, then one manifest rename).
+//     Query answers are bit-identical before, during, and after.
+//   - A tiering policy keeps only recently-used segments' indexes hot;
+//     older segments reload lazily from their footers and are LRU-evicted
+//     (segment.go, the hist_tier_* metrics).
+//
+// Within a file the log stores a full per-/24 base block every K
+// snapshots and compact change deltas in between, varint+prefix-
+// compressed with CRC framing (see codec.go for the wire layout). Two
+// in-memory indexes ride on top: a per-/24 block index (prefix -> frame
+// refs per snapshot) and an inverted hostname-token index (token ->
+// (/24, interval) postings). Any snapshot of any block reconstructs in
+// O(deltas since the nearest base), optionally through a sharded LRU
+// reconstruction cache.
+//
+//	st, _ := histstore.Open(dir, histstore.WithCache(4096))
 //	defer st.Close()
 //	st.Append(day1, snapshot1.Records)
 //	name, ok, _ := st.At(ip, day1)                  // time travel
@@ -26,26 +43,31 @@
 //	churn, _ := st.Churn(prefix, day1, day30)       // join/leave counts
 //	postings := st.FindName("brian")                // the inverted index
 //
-// Reopening a store replays the log through the same transition code the
-// writer used, so the rebuilt indexes — and therefore every query answer
-// — are bit-identical across a close/reopen cycle. One process owns a
-// store file at a time; concurrent readers and one appender within that
-// process are safe (cmd/rdnsd serves queries mid-append).
+// When several writers share a store their histories merge at read time:
+// the global timeline is the (time, writer id)-ordered merge of every
+// writer's snapshots, and conflicting claims on an address resolve to
+// the writer with the smallest id. AtWriter exposes the provenance.
+//
+// Reopening a store replays the files through the same transition code
+// the writer used, so the rebuilt indexes — and therefore every query
+// answer — are bit-identical across a close/reopen cycle. Concurrent
+// readers and one appender within a process are safe (cmd/rdnsd serves
+// queries mid-append and mid-compaction).
 package histstore
 
 import (
-	"bufio"
-	"context"
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"rdnsprivacy/internal/dataset"
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/scanengine"
 	"rdnsprivacy/internal/telemetry"
@@ -61,16 +83,33 @@ var (
 	// ErrBeforeHistory reports a point query earlier than the first
 	// snapshot.
 	ErrBeforeHistory = errors.New("histstore: instant precedes history")
+	// ErrReadOnly reports an append through a store opened WithReadOnly.
+	ErrReadOnly = errors.New("histstore: store is read-only")
+	// ErrNoStore reports a read-only open of a directory holding no
+	// manifest.
+	ErrNoStore = errors.New("histstore: no store at path")
 )
 
 // DefaultBaseInterval is the default base-block cadence K: a block's
 // delta chain is compacted into a fresh base once it spans K snapshots.
 const DefaultBaseInterval = 7
 
+// DefaultWriter is the writer identity used when none is configured.
+const DefaultWriter = "main"
+
+// DefaultHotSegments is the default hot-tier capacity: how many sealed
+// segments keep their index and file descriptor resident.
+const DefaultHotSegments = 8
+
+// openRetries bounds the reopen attempts when a concurrent compaction
+// deletes a file between our manifest read and opening it.
+const openRetries = 3
+
 // blockState is the record set of one /24 keyed by last octet.
 type blockState map[byte]dnswire.Name
 
-// blockRef locates one block frame in the log.
+// blockRef locates one block frame in a tail or segment file. snap is
+// writer-local.
 type blockRef struct {
 	snap   int
 	kind   byte
@@ -78,38 +117,94 @@ type blockRef struct {
 	length int
 }
 
-// Store is the history store. Open creates or loads one; methods are safe
-// for concurrent use (many readers, one appender).
-type Store struct {
-	path      string
-	baseEvery int
-	syncEach  bool
-	cache     *blockCache
-	met       *storeMetrics
+// writerState is one writer's replayed view: its sealed segments, its
+// active tail, and its private current state. Writer-local snapshot
+// indexes run 0..len(times)-1 across segments then tail; globalIdx maps
+// each to its slot in the store's merged timeline.
+type writerState struct {
+	id      string
+	idx     int // index in Store.writers (ascending id = merge priority)
+	fileSeq int
+	owned   bool
+	lock    *os.File // session tail lock (owned writers only)
 
-	mu     sync.RWMutex
-	f      *os.File
-	size   int64
-	times  []time.Time
-	blocks map[dnswire.Prefix][]blockRef
-	cur    map[dnswire.Prefix]blockState
-	// lastBase and deltasSince drive the per-block compaction schedule.
+	segs []*segment
+
+	tailFile      string
+	tailF         *os.File
+	tailFirst     int // local snapshot index of the tail's first snapshot
+	tailHeaderLen int64
+	tailSize      int64
+	tailBlocks    map[dnswire.Prefix][]blockRef
+	// tailSnapOffsets[i] is the file offset of local snapshot
+	// (tailFirst+i)'s snapshot frame — compaction's cut points.
+	tailSnapOffsets []int64
+	tornAt          int64 // torn-tail boundary found at replay, -1 if none
+
+	known map[dnswire.Prefix]bool
+	times []time.Time
+	// globalIdx maps local snapshot index -> global snapshot index.
+	globalIdx []int
+	cur       map[dnswire.Prefix]blockState
+	// lastBase and deltasSince drive the per-block compaction schedule
+	// (writer-local snapshot indexes).
 	lastBase    map[dnswire.Prefix]int
 	deltasSince map[dnswire.Prefix]int
-	names       *nameIndex
+}
+
+// Store is the history store. Open creates or loads one; methods are safe
+// for concurrent use (many readers, one appender, a compactor).
+type Store struct {
+	dir       string
+	baseEvery int
+	syncEach  bool
+	readOnly  bool
+	writerID  string
+	hotCap    int
+	cache     *blockCache
+	met       *storeMetrics
+	tier      *tier
+
+	mu     sync.RWMutex
+	closed bool
+	// sessionLock carries the owned writer's tail lock between
+	// registration and writer-state construction (then moves to
+	// self.lock).
+	sessionLock *os.File
+	// writers is sorted by id ascending; solo is the single-writer fast
+	// path where writers[0].cur aliases cur and local indexes equal
+	// global ones.
+	writers []*writerState
+	self    *writerState // the owned writer; nil when read-only
+	solo    bool
+
+	// The merged global view.
+	times      []time.Time
+	snapWriter []int // global snapshot -> writer index
+	snapLocal  []int // global snapshot -> writer-local snapshot index
+	blockSet   map[dnswire.Prefix]bool
+	cur        map[dnswire.Prefix]blockState
+	names      *nameIndex
 
 	baseFrames  int
 	deltaFrames int
+	bytes       int64
 
+	compactRunning  atomic.Bool
+	compactions     atomic.Uint64
+	compactSealed   atomic.Uint64
+	compactReclaim  atomic.Int64
 	reconstructions atomic.Uint64
+	tierLoads       atomic.Uint64
+	tierEvictions   atomic.Uint64
 }
 
 // Option tunes a Store at Open.
 type Option func(*Store)
 
 // WithBaseInterval sets the base-block cadence K (default
-// DefaultBaseInterval). When the file already exists its header wins:
-// the interval is a property of the log, not of the opener.
+// DefaultBaseInterval). When the store already exists its manifest wins:
+// the interval is a property of the store, not of the opener.
 func WithBaseInterval(k int) Option {
 	return func(s *Store) {
 		if k > 0 {
@@ -131,24 +226,74 @@ func WithTelemetry(sink telemetry.Sink) Option {
 	return func(s *Store) { s.met = newStoreMetrics(sink) }
 }
 
-// WithSync fsyncs the log after every append. Off by default; Close
+// WithSync fsyncs the tail after every append. Off by default; Close
 // always syncs.
 func WithSync() Option {
 	return func(s *Store) { s.syncEach = true }
 }
 
-// Open creates or loads the history store at path. An existing log is
-// replayed to rebuild the indexes; a torn final append (crash mid-write)
-// is truncated away, while mid-file corruption is an error.
+// WithWriter sets the writer identity this Store appends as (default
+// DefaultWriter). Ids are 1..64 bytes of [a-z0-9_-]; each campaign or
+// vantage point appending to a shared store picks its own.
+func WithWriter(id string) Option {
+	return func(s *Store) { s.writerID = id }
+}
+
+// WithReadOnly opens the store for queries only: no writer is registered
+// or locked, no files are created or truncated, and Append returns
+// ErrReadOnly. This is how rdnsd serves a store a campaign is appending
+// to from another process.
+func WithReadOnly() Option {
+	return func(s *Store) { s.readOnly = true }
+}
+
+// WithHotSegments bounds the hot tier to n resident segment indexes
+// (default DefaultHotSegments); colder segments reload lazily and are
+// LRU-evicted. Zero or negative means unbounded.
+func WithHotSegments(n int) Option {
+	return func(s *Store) { s.hotCap = n }
+}
+
+// Open creates or loads the history store rooted at the directory path.
+// Existing files are replayed to rebuild the indexes; a torn final
+// append (crash mid-write) on an owned tail is truncated away, while
+// mid-file corruption — anywhere in a sealed segment, or before the
+// final append of a tail — is a loud error.
 func Open(path string, opts ...Option) (*Store, error) {
-	s := &Store{
-		path:        path,
-		baseEvery:   DefaultBaseInterval,
-		blocks:      make(map[dnswire.Prefix][]blockRef),
-		cur:         make(map[dnswire.Prefix]blockState),
-		lastBase:    make(map[dnswire.Prefix]int),
-		deltasSince: make(map[dnswire.Prefix]int),
-		names:       newNameIndex(),
+	var lastErr error
+	for attempt := 0; attempt < openRetries; attempt++ {
+		s, err := openStore(path, opts)
+		if err == nil {
+			return s, nil
+		}
+		lastErr = err
+		// A concurrent compaction can delete a tail between our manifest
+		// read and opening it; the fresh manifest resolves the race.
+		var r *retryableOpenError
+		if !errors.As(err, &r) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// retryableOpenError marks an open failure caused by racing a concurrent
+// store mutation; Open retries with a fresh manifest read.
+type retryableOpenError struct{ err error }
+
+func (e *retryableOpenError) Error() string { return e.err.Error() }
+func (e *retryableOpenError) Unwrap() error { return e.err }
+
+// openStore is one open attempt.
+func openStore(path string, opts []Option) (s *Store, err error) {
+	s = &Store{
+		dir:       path,
+		baseEvery: DefaultBaseInterval,
+		writerID:  DefaultWriter,
+		hotCap:    DefaultHotSegments,
+		blockSet:  make(map[dnswire.Prefix]bool),
+		cur:       make(map[dnswire.Prefix]blockState),
+		names:     newNameIndex(),
 	}
 	for _, o := range opts {
 		o(s)
@@ -156,39 +301,245 @@ func Open(path string, opts ...Option) (*Store, error) {
 	if s.met == nil {
 		s.met = newStoreMetrics(nil)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("histstore: %w", err)
+	s.tier = newTier(s.hotCap)
+	if !s.readOnly && !validWriterID(s.writerID) {
+		return nil, fmt.Errorf("histstore: invalid writer id %q", s.writerID)
 	}
-	s.f = f
-	fi, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("histstore: %w", err)
+	if err := checkStoreDir(path); err != nil {
+		return nil, err
 	}
-	if fi.Size() == 0 {
-		if err := s.writeHeader(); err != nil {
-			f.Close()
+	st := s // the named return is nil on error paths; close via the local
+	defer func() {
+		if err != nil {
+			st.closeFiles()
+		}
+	}()
+
+	var m *storeManifest
+	if s.readOnly {
+		if m, err = readManifest(path); err != nil {
 			return nil, err
 		}
-	} else if err := s.replay(); err != nil {
-		f.Close()
+		if m == nil {
+			return nil, fmt.Errorf("%w: %s has no manifest", ErrNoStore, path)
+		}
+	} else {
+		if err := os.MkdirAll(path, 0o755); err != nil {
+			return nil, fmt.Errorf("histstore: %w", err)
+		}
+		if m, err = s.registerWriter(); err != nil {
+			return nil, err
+		}
+	}
+	s.baseEvery = m.baseEvery
+
+	if err := s.loadWriters(m); err != nil {
+		return nil, err
+	}
+	if err := s.replayAll(); err != nil {
 		return nil, err
 	}
 	s.publishGauges()
 	return s, nil
 }
 
-// writeHeader initializes an empty log file.
-func (s *Store) writeHeader() error {
-	hdr := append([]byte(nil), fileMagic[:]...)
-	hdr = appendUvarintByte(hdr, uint64(s.baseEvery))
-	n, err := s.f.WriteAt(hdr, 0)
+// checkStoreDir rejects paths that exist but are not directories —
+// including the pre-segmentation single-file log format, which gets a
+// pointed message.
+func checkStoreDir(path string) error {
+	fi, err := os.Stat(path)
 	if err != nil {
-		return fmt.Errorf("histstore: writing header: %w", err)
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("histstore: %w", err)
 	}
-	s.size = int64(n)
+	if fi.IsDir() {
+		return nil
+	}
+	var magic [8]byte
+	if f, err := os.Open(path); err == nil {
+		io.ReadFull(f, magic[:])
+		f.Close()
+	}
+	if magic == fileMagic {
+		return fmt.Errorf("histstore: %s is a legacy single-file history log; the store format is now a directory (re-append the campaign to migrate)", path)
+	}
+	return fmt.Errorf("histstore: %s is not a store directory", path)
+}
+
+// registerWriter takes the session lock on this store's writer, ensures
+// the writer exists in the manifest (creating the store on first open),
+// and sweeps any files a crashed protocol left behind for this writer.
+// It returns the manifest to load from.
+func (s *Store) registerWriter() (*storeManifest, error) {
+	lockPath := filepath.Join(s.dir, "tail-"+s.writerID+".lock")
+	lock, err := acquireFileLock(lockPath)
+	if err != nil {
+		return nil, err
+	}
+	storeLock, err := acquireFileLockBlocking(filepath.Join(s.dir, storeLockName))
+	if err != nil {
+		releaseFileLock(lock)
+		return nil, err
+	}
+	defer releaseFileLock(storeLock)
+
+	m, err := readManifest(s.dir)
+	if err != nil {
+		releaseFileLock(lock)
+		return nil, err
+	}
+	if m == nil {
+		m = &storeManifest{baseEvery: s.baseEvery}
+	}
+	if m.findWriter(s.writerID) < 0 {
+		// Create the tail before the manifest references it, so a reader
+		// never sees a dangling entry; the manifest write is the commit.
+		w := manifestWriter{id: s.writerID, fileSeq: 1, tailFile: tailFileName(s.writerID, 0)}
+		if err := writeFileSync(filepath.Join(s.dir, w.tailFile), encodeTailHeader(0)); err != nil {
+			releaseFileLock(lock)
+			return nil, err
+		}
+		m.setWriter(w)
+		if err := writeManifest(s.dir, m, nil); err != nil {
+			releaseFileLock(lock)
+			return nil, err
+		}
+	}
+	s.sweepOrphans(m)
+	s.sessionLock = lock
+	return m, nil
+}
+
+// sweepOrphans removes files a crashed compaction or registration left
+// staged for this store's writer: unreferenced tails or segments and
+// manifest temp files. Callers hold STORE.lock. Errors are ignored —
+// a sweep that loses a race with another opener is harmless.
+func (s *Store) sweepOrphans(m *storeManifest) {
+	referenced := make(map[string]bool)
+	if i := m.findWriter(s.writerID); i >= 0 {
+		w := m.writers[i]
+		referenced[w.tailFile] = true
+		for _, g := range w.segs {
+			referenced[g.file] = true
+		}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	tailPrefix := "tail-" + s.writerID + "-"
+	segPrefix := "seg-" + s.writerID + "-"
+	for _, e := range entries {
+		name := e.Name()
+		if name == manifestName+".tmp" {
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if !strings.HasPrefix(name, tailPrefix) && !strings.HasPrefix(name, segPrefix) {
+			continue
+		}
+		if referenced[name] {
+			continue
+		}
+		os.Remove(filepath.Join(s.dir, name))
+	}
+}
+
+// tailFileName and segFileName derive a writer's file names from its
+// monotonic fileSeq counter.
+func tailFileName(id string, seq int) string { return fmt.Sprintf("tail-%s-%d.log", id, seq) }
+func segFileName(id string, seq int) string  { return fmt.Sprintf("seg-%s-%d.seg", id, seq) }
+
+// loadWriters opens every writer's files per the manifest and builds the
+// (not yet replayed) writer states.
+func (s *Store) loadWriters(m *storeManifest) error {
+	for wi := range m.writers {
+		mw := m.writers[wi]
+		w := &writerState{
+			id:          mw.id,
+			idx:         wi,
+			fileSeq:     mw.fileSeq,
+			tailFile:    mw.tailFile,
+			tailFirst:   mw.tailFirst,
+			tornAt:      -1,
+			tailBlocks:  make(map[dnswire.Prefix][]blockRef),
+			known:       make(map[dnswire.Prefix]bool),
+			cur:         make(map[dnswire.Prefix]blockState),
+			lastBase:    make(map[dnswire.Prefix]int),
+			deltasSince: make(map[dnswire.Prefix]int),
+		}
+		for _, g := range mw.segs {
+			w.segs = append(w.segs, &segment{
+				path:      s.filePath(g.file),
+				writerID:  mw.id,
+				firstSnap: g.first,
+				count:     g.count,
+			})
+		}
+		flags := os.O_RDONLY
+		if !s.readOnly && mw.id == s.writerID {
+			w.owned = true
+			w.lock = s.sessionLock
+			s.sessionLock = nil
+			s.self = w
+			flags = os.O_RDWR
+		}
+		f, err := os.OpenFile(s.filePath(mw.tailFile), flags, 0)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return &retryableOpenError{fmt.Errorf("histstore: %w", err)}
+			}
+			return fmt.Errorf("histstore: %w", err)
+		}
+		w.tailF = f
+		s.writers = append(s.writers, w)
+	}
+	s.solo = len(s.writers) == 1
+	if s.solo {
+		// Single writer: the merged view IS the writer's view. Aliasing
+		// the maps keeps the original single-writer hot path (one state
+		// transition per frame, shared cache entries).
+		s.writers[0].cur = s.cur
+	}
 	return nil
+}
+
+// closeFiles releases every file handle and lock (cleanup for failed
+// opens and for Close).
+func (s *Store) closeFiles() {
+	for _, w := range s.writers {
+		if w.tailF != nil {
+			w.tailF.Close()
+			w.tailF = nil
+		}
+		for _, g := range w.segs {
+			g.mu.Lock()
+			g.unload()
+			g.mu.Unlock()
+		}
+		releaseFileLock(w.lock)
+		w.lock = nil
+	}
+	releaseFileLock(s.sessionLock)
+	s.sessionLock = nil
+}
+
+// Close syncs and closes every file. Further operations return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var err error
+	if s.self != nil && s.self.tailF != nil {
+		err = s.self.tailF.Sync()
+	}
+	s.closeFiles()
+	s.closed = true
+	return err
 }
 
 // appendUvarintByte is binary.AppendUvarint without the import clash in
@@ -199,161 +550,6 @@ func appendUvarintByte(dst []byte, v uint64) []byte {
 		v >>= 7
 	}
 	return append(dst, byte(v))
-}
-
-// replay rebuilds the in-memory state from an existing log.
-func (s *Store) replay() error {
-	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("histstore: %w", err)
-	}
-	br := bufio.NewReaderSize(s.f, 1<<16)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return fmt.Errorf("histstore: reading header: %w", err)
-	}
-	if magic != fileMagic {
-		return fmt.Errorf("histstore: %s is not a history log (bad magic)", s.path)
-	}
-	off := int64(len(magic))
-	k, n, err := readUvarint(br)
-	if err != nil || k == 0 {
-		return fmt.Errorf("histstore: bad base interval in header")
-	}
-	s.baseEvery = int(k)
-	off += int64(n)
-
-	sc := &frameScanner{r: br, off: off}
-	for {
-		fr, start, length, err := sc.next()
-		if err == io.EOF {
-			s.size = start
-			return nil
-		}
-		if errors.Is(err, errTruncated) {
-			// A torn tail append: drop the partial frame, keep the rest.
-			s.size = start
-			return s.f.Truncate(start)
-		}
-		if err != nil {
-			return fmt.Errorf("histstore: replaying %s at offset %d: %w", s.path, start, err)
-		}
-		if err := s.replayFrame(fr, blockRef{off: start, length: length}); err != nil {
-			return fmt.Errorf("histstore: replaying %s at offset %d: %w", s.path, start, err)
-		}
-	}
-}
-
-// replayFrame applies one decoded frame during replay.
-func (s *Store) replayFrame(fr frame, ref blockRef) error {
-	switch fr.kind {
-	case frameSnap:
-		snap, unixSec, err := decodeSnapBody(fr.body)
-		if err != nil {
-			return err
-		}
-		if snap != len(s.times) {
-			return corruptf("snapshot header %d, expected %d", snap, len(s.times))
-		}
-		t := time.Unix(unixSec, 0).UTC()
-		if len(s.times) > 0 && !t.After(s.times[len(s.times)-1]) {
-			return corruptf("snapshot %d not after its predecessor", snap)
-		}
-		s.times = append(s.times, t)
-		return nil
-	case frameBase:
-		snap, p, entries, err := decodeBaseBody(fr.body)
-		if err != nil {
-			return err
-		}
-		if err := s.checkFrameSnap(snap); err != nil {
-			return err
-		}
-		newState := make(blockState, len(entries))
-		for _, e := range entries {
-			newState[e.octet] = e.name
-		}
-		changes := diffBlock(s.cur[p], newState)
-		ref.snap, ref.kind = snap, frameBase
-		s.blocks[p] = append(s.blocks[p], ref)
-		s.applyChanges(snap, p, changes)
-		s.lastBase[p] = snap
-		s.deltasSince[p] = 0
-		s.baseFrames++
-		return nil
-	case frameDelta:
-		snap, p, entries, err := decodeDeltaBody(fr.body)
-		if err != nil {
-			return err
-		}
-		if err := s.checkFrameSnap(snap); err != nil {
-			return err
-		}
-		if _, known := s.blocks[p]; !known {
-			return corruptf("delta for unknown block %s", p)
-		}
-		ref.snap, ref.kind = snap, frameDelta
-		s.blocks[p] = append(s.blocks[p], ref)
-		s.applyChanges(snap, p, entries)
-		s.deltasSince[p]++
-		s.deltaFrames++
-		return nil
-	}
-	return corruptf("unknown frame kind 0x%02x", fr.kind)
-}
-
-func (s *Store) checkFrameSnap(snap int) error {
-	if snap != len(s.times)-1 {
-		return corruptf("block frame for snapshot %d under header %d", snap, len(s.times)-1)
-	}
-	return nil
-}
-
-// frameScanner walks frames off a buffered reader, tracking offsets.
-type frameScanner struct {
-	r   *bufio.Reader
-	off int64
-}
-
-// next reads one frame. It returns io.EOF cleanly at a frame boundary and
-// errTruncated when the file ends inside a frame.
-func (fs *frameScanner) next() (frame, int64, int, error) {
-	start := fs.off
-	kind, err := fs.r.ReadByte()
-	if err == io.EOF {
-		return frame{}, start, 0, io.EOF
-	}
-	if err != nil {
-		return frame{}, start, 0, err
-	}
-	if kind != frameSnap && kind != frameBase && kind != frameDelta {
-		return frame{}, start, 0, corruptf("unknown frame kind 0x%02x", kind)
-	}
-	n, sz, err := readUvarint(fs.r)
-	if err != nil {
-		return frame{}, start, 0, errTruncated
-	}
-	if n > 1<<24 {
-		return frame{}, start, 0, corruptf("frame body of %d bytes", n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(fs.r, body); err != nil {
-		return frame{}, start, 0, errTruncated
-	}
-	var crcBuf [4]byte
-	if _, err := io.ReadFull(fs.r, crcBuf[:]); err != nil {
-		return frame{}, start, 0, errTruncated
-	}
-	full := make([]byte, 0, 1+sz+len(body)+4)
-	full = append(full, kind)
-	full = appendUvarintByte(full, n)
-	full = append(full, body...)
-	full = append(full, crcBuf[:]...)
-	fr, _, err := decodeFrame(full)
-	if err != nil {
-		return frame{}, start, 0, err
-	}
-	fs.off = start + int64(len(full))
-	return fr, start, len(full), nil
 }
 
 // readUvarint reads a uvarint and how many bytes it took.
@@ -393,9 +589,10 @@ func diffBlock(old, new blockState) []deltaEntry {
 	return out
 }
 
-// applyChanges advances one block's current state and the name index
-// through a snapshot's changes. It is the single transition function both
-// Append and replay run, which is what makes reopen bit-identical.
+// applyChanges advances the merged current state and the name index
+// through one global snapshot's changes to one block. It is the single
+// transition function Append, replay, and the merge layer all run, which
+// is what makes reopen bit-identical.
 func (s *Store) applyChanges(snap int, p dnswire.Prefix, changes []deltaEntry) {
 	st := s.cur[p]
 	if st == nil {
@@ -421,170 +618,92 @@ func (s *Store) applyChanges(snap int, p dnswire.Prefix, changes []deltaEntry) {
 	}
 }
 
-// Append adds one snapshot to the log: the record set the campaign's
-// sweep produced at date. Dates must be strictly increasing. Blocks are
-// written as deltas against the previous snapshot, or as fresh bases on
-// first appearance and whenever a delta chain has spanned the base
-// interval (the log's compaction mechanism).
-func (s *Store) Append(date time.Time, recs scanengine.RecordSet) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.f == nil {
-		return ErrClosed
+// applyWriterChanges advances one writer's private state (no name-index
+// side effects — those belong to the merged view).
+func applyWriterChanges(w *writerState, p dnswire.Prefix, changes []deltaEntry) {
+	st := w.cur[p]
+	if st == nil {
+		st = make(blockState)
+		w.cur[p] = st
 	}
-	date = date.UTC().Truncate(time.Second)
-	if len(s.times) > 0 && !date.After(s.times[len(s.times)-1]) {
-		return fmt.Errorf("%w: %s is not after %s", ErrOutOfOrder,
-			date.Format(time.RFC3339), s.times[len(s.times)-1].Format(time.RFC3339))
-	}
-	snap := len(s.times)
-
-	// Group the snapshot by /24.
-	newStates := make(map[dnswire.Prefix]blockState)
-	for ip, name := range recs {
-		p := ip.Slash24()
-		st := newStates[p]
-		if st == nil {
-			st = make(blockState)
-			newStates[p] = st
+	for _, ch := range changes {
+		switch ch.kind {
+		case scanengine.RecordAdded, scanengine.RecordChanged:
+			st[ch.octet] = ch.new
+		case scanengine.RecordRemoved:
+			delete(st, ch.octet)
 		}
-		st[ip[3]] = name
 	}
+	if len(st) == 0 {
+		delete(w.cur, p)
+	}
+}
 
-	// The union of currently-live and newly-seen blocks, sorted so the
-	// log layout (and thus the file bytes) is deterministic.
-	prefixes := make(map[dnswire.Prefix]bool, len(newStates)+len(s.cur))
-	for p := range newStates {
-		prefixes[p] = true
-	}
-	for p := range s.cur {
-		prefixes[p] = true
-	}
-	order := make([]dnswire.Prefix, 0, len(prefixes))
-	for p := range prefixes {
-		order = append(order, p)
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i].Addr.Uint32() < order[j].Addr.Uint32() })
-
-	type pending struct {
-		p       dnswire.Prefix
-		kind    byte
-		changes []deltaEntry
-		off     int64 // relative to the buffer start
-		length  int
-	}
-	buf := appendFrame(nil, frameSnap, encodeSnapBody(snap, date.Unix()))
-	var plan []pending
-	for _, p := range order {
-		newState := newStates[p]
-		changes := diffBlock(s.cur[p], newState)
-		_, known := s.blocks[p]
-		var kind byte
-		switch {
-		case !known && len(newState) > 0:
-			kind = frameBase
-		case !known:
-			continue // never materialized and still empty
-		case snap-s.lastBase[p] >= s.baseEvery && s.deltasSince[p] > 0:
-			kind = frameBase // compact the delta chain
-		case len(changes) > 0:
-			kind = frameDelta
-		default:
-			continue // unchanged
-		}
-		start := int64(len(buf))
-		if kind == frameBase {
-			entries := make([]baseEntry, 0, len(newState))
-			for octet := 0; octet < 256; octet++ {
-				if name, ok := newState[byte(octet)]; ok {
-					entries = append(entries, baseEntry{octet: byte(octet), name: name})
-				}
+// mergeLive computes the merged live state of one block across writers:
+// iterating in ascending id order, the first writer claiming an octet
+// wins. Callers hold the lock.
+func (s *Store) mergeLive(p dnswire.Prefix) blockState {
+	merged := make(blockState)
+	for _, w := range s.writers {
+		for o, name := range w.cur[p] {
+			if _, taken := merged[o]; !taken {
+				merged[o] = name
 			}
-			buf = appendFrame(buf, frameBase, encodeBaseBody(snap, p, entries))
-		} else {
-			buf = appendFrame(buf, frameDelta, encodeDeltaBody(snap, p, changes))
-		}
-		plan = append(plan, pending{p: p, kind: kind, changes: changes, off: start, length: int(int64(len(buf)) - start)})
-	}
-
-	if _, err := s.f.WriteAt(buf, s.size); err != nil {
-		s.f.Truncate(s.size) // keep the log at the last good boundary
-		return fmt.Errorf("histstore: append: %w", err)
-	}
-	if s.syncEach {
-		if err := s.f.Sync(); err != nil {
-			return fmt.Errorf("histstore: append: %w", err)
 		}
 	}
-
-	// Commit: indexes, state, stats. Mirrors replayFrame exactly.
-	base := s.size
-	s.size += int64(len(buf))
-	s.times = append(s.times, date)
-	for _, pd := range plan {
-		s.blocks[pd.p] = append(s.blocks[pd.p], blockRef{
-			snap: snap, kind: pd.kind, off: base + pd.off, length: pd.length,
-		})
-		s.applyChanges(snap, pd.p, pd.changes)
-		if pd.kind == frameBase {
-			s.lastBase[pd.p] = snap
-			s.deltasSince[pd.p] = 0
-			s.baseFrames++
-			s.met.baseFrames.Inc()
-		} else {
-			s.deltasSince[pd.p]++
-			s.deltaFrames++
-			s.met.deltaFrames.Inc()
-		}
-	}
-	m := s.met
-	m.appends.Inc()
-	m.appendBytes.Add(uint64(len(buf)))
-	s.publishGauges()
-	return nil
+	return merged
 }
 
-// publishGauges refreshes the gauge instruments; callers hold at least a
-// read view of the fields they publish.
-func (s *Store) publishGauges() {
-	m := s.met
-	m.snapshots.Set(int64(len(s.times)))
-	m.blocks.Set(int64(len(s.blocks)))
-	m.bytes.Set(s.size)
-	m.cacheEntries.Set(int64(s.cache.len()))
+// applyFrameChanges folds one writer's frame changes for block p at
+// global snapshot gi into both the writer's state and the merged view.
+func (s *Store) applyFrameChanges(w *writerState, gi int, p dnswire.Prefix, wChanges []deltaEntry) {
+	if s.solo {
+		// writers[0].cur aliases s.cur: one transition covers both.
+		s.applyChanges(gi, p, wChanges)
+		return
+	}
+	applyWriterChanges(w, p, wChanges)
+	merged := s.mergeLive(p)
+	mc := diffBlock(s.cur[p], merged)
+	s.applyChanges(gi, p, mc)
 }
 
-// Close syncs and closes the log. Further operations return ErrClosed.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.f == nil {
-		return nil
-	}
-	err := s.f.Sync()
-	if cerr := s.f.Close(); err == nil {
-		err = cerr
-	}
-	s.f = nil
-	return err
-}
-
-// Times returns the snapshot instants in append order.
+// Times returns the merged snapshot instants in timeline order.
 func (s *Store) Times() []time.Time {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return append([]time.Time(nil), s.times...)
 }
 
-// Len returns the number of snapshots.
+// Len returns the number of snapshots in the merged timeline.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.times)
 }
 
-// BaseInterval returns the log's base-block cadence K.
+// BaseInterval returns the store's base-block cadence K.
 func (s *Store) BaseInterval() int { return s.baseEvery }
+
+// WriterID returns the writer identity this store appends as ("" for a
+// read-only store).
+func (s *Store) WriterID() string {
+	if s.readOnly {
+		return ""
+	}
+	return s.writerID
+}
+
+// Writers lists the store's writer identities in merge-priority order.
+func (s *Store) Writers() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.writers))
+	for i, w := range s.writers {
+		out[i] = w.id
+	}
+	return out
+}
 
 // Resolve maps an instant to the newest snapshot at or before it — the
 // snapshot a point query answers from. ok is false before history.
@@ -608,385 +727,22 @@ func (s *Store) snapAtOrBefore(t time.Time) (int, bool) {
 	return n - 1, true
 }
 
-// At answers the time-travel point query: the PTR name held by ip at the
-// newest snapshot at or before t. ok is false when the address had no
-// record then; ErrBeforeHistory when t precedes the first snapshot.
-func (s *Store) At(ip dnswire.IPv4, t time.Time) (dnswire.Name, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.f == nil {
-		return "", false, ErrClosed
-	}
-	snap, ok := s.snapAtOrBefore(t)
-	if !ok {
-		return "", false, ErrBeforeHistory
-	}
-	st, err := s.stateAt(ip.Slash24(), snap)
-	if err != nil {
-		return "", false, err
-	}
-	name, ok := st[ip[3]]
-	return name, ok, nil
-}
-
-// Range returns every observation (snapshot, address, name) within prefix
-// and [from, to], ordered by date then address — the store-backed
-// replacement for re-reading a campaign CSV.
-func (s *Store) Range(p dnswire.Prefix, from, to time.Time) ([]dataset.Row, error) {
-	return s.RangeContext(context.Background(), p, from, to)
-}
-
-// RangeContext is Range with cancellation: a query serving a disconnected
-// client stops reconstructing blocks as soon as ctx is done and returns
-// ctx.Err().
-func (s *Store) RangeContext(ctx context.Context, p dnswire.Prefix, from, to time.Time) ([]dataset.Row, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.f == nil {
-		return nil, ErrClosed
-	}
-	lo, hi, ok := s.snapRange(from, to)
-	if !ok {
-		return nil, nil
-	}
-	blocks := s.overlappingBlocks(p)
-	var rows []dataset.Row
-	for i := lo; i <= hi; i++ {
-		for _, q := range blocks {
-			if err := ctx.Err(); err != nil {
-				return rows, err
-			}
-			st, err := s.stateAt(q, i)
-			if err != nil {
-				return rows, err
-			}
-			for octet := 0; octet < 256; octet++ {
-				name, ok := st[byte(octet)]
-				if !ok {
-					continue
-				}
-				ip := dnswire.IPv4{q.Addr[0], q.Addr[1], q.Addr[2], byte(octet)}
-				if p.Bits > 24 && !p.Contains(ip) {
-					continue
-				}
-				rows = append(rows, dataset.Row{Date: s.times[i], IP: ip, PTR: name})
-			}
+// publishGauges refreshes the gauge instruments; callers hold at least a
+// read view of the fields they publish.
+func (s *Store) publishGauges() {
+	m := s.met
+	m.snapshots.Set(int64(len(s.times)))
+	m.blocks.Set(int64(len(s.blockSet)))
+	m.bytes.Set(s.bytes)
+	m.cacheEntries.Set(int64(s.cache.len()))
+	segs, sealed := 0, int64(0)
+	for _, w := range s.writers {
+		segs += len(w.segs)
+		for _, g := range w.segs {
+			sealed += g.size
 		}
 	}
-	return rows, nil
-}
-
-// RangeCursor is the resume position of a paginated Range scan: the next
-// candidate (snapshot index, /24 address, last octet) to visit. Cursors
-// are stable across appends — snapshot indices are append-only, and a /24
-// first materialized after a page's window yields no rows inside it — so
-// concatenating pages always reproduces the unpaginated answer. The zero
-// cursor starts from the beginning.
-type RangeCursor struct {
-	Snap  int
-	Block uint32
-	Octet int
-}
-
-// RangePage is the paginated RangeContext: it emits up to limit rows
-// starting at cur's position (in the same date-then-address order Range
-// uses) and returns the cursor to resume from. more is false once the
-// scan is complete; a page that fills limit exactly reports more=true
-// and the next page may legitimately be empty. limit must be positive.
-func (s *Store) RangePage(ctx context.Context, p dnswire.Prefix, from, to time.Time, cur RangeCursor, limit int) (rows []dataset.Row, next RangeCursor, more bool, err error) {
-	if limit <= 0 {
-		return nil, cur, false, fmt.Errorf("histstore: non-positive page limit %d", limit)
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.f == nil {
-		return nil, cur, false, ErrClosed
-	}
-	lo, hi, ok := s.snapRange(from, to)
-	if !ok {
-		return nil, cur, false, nil
-	}
-	if cur.Snap > lo {
-		lo = cur.Snap
-	}
-	if lo > hi {
-		return nil, cur, false, nil
-	}
-	blocks := s.overlappingBlocks(p)
-	for i := lo; i <= hi; i++ {
-		for _, q := range blocks {
-			addr := q.Addr.Uint32()
-			startOctet := 0
-			if i == cur.Snap {
-				if addr < cur.Block {
-					continue // consumed by an earlier page
-				}
-				if addr == cur.Block {
-					startOctet = cur.Octet
-					if startOctet > 255 {
-						continue // block fully consumed at this snapshot
-					}
-				}
-			}
-			if err := ctx.Err(); err != nil {
-				return rows, next, false, err
-			}
-			st, err := s.stateAt(q, i)
-			if err != nil {
-				return rows, next, false, err
-			}
-			for octet := startOctet; octet < 256; octet++ {
-				name, ok := st[byte(octet)]
-				if !ok {
-					continue
-				}
-				ip := dnswire.IPv4{q.Addr[0], q.Addr[1], q.Addr[2], byte(octet)}
-				if p.Bits > 24 && !p.Contains(ip) {
-					continue
-				}
-				if len(rows) == limit {
-					return rows, RangeCursor{Snap: i, Block: addr, Octet: octet}, true, nil
-				}
-				rows = append(rows, dataset.Row{Date: s.times[i], IP: ip, PTR: name})
-			}
-		}
-	}
-	return rows, RangeCursor{}, false, nil
-}
-
-// ChurnDay is one snapshot's record-set delta counts within a prefix.
-type ChurnDay struct {
-	Date    time.Time `json:"date"`
-	Added   int       `json:"added"`
-	Removed int       `json:"removed"`
-	Changed int       `json:"changed"`
-}
-
-// Churn returns the per-snapshot join/leave/reallocation counts within
-// prefix over [from, to]: exactly the deltas a consumer diffing
-// successive raw snapshots would compute. The store's first snapshot has
-// no baseline and yields no entry.
-func (s *Store) Churn(p dnswire.Prefix, from, to time.Time) ([]ChurnDay, error) {
-	return s.ChurnContext(context.Background(), p, from, to)
-}
-
-// ChurnContext is Churn with cancellation, mirroring RangeContext.
-func (s *Store) ChurnContext(ctx context.Context, p dnswire.Prefix, from, to time.Time) ([]ChurnDay, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.f == nil {
-		return nil, ErrClosed
-	}
-	lo, hi, ok := s.snapRange(from, to)
-	if !ok {
-		return nil, nil
-	}
-	if lo == 0 {
-		lo = 1
-	}
-	blocks := s.overlappingBlocks(p)
-	var out []ChurnDay
-	for i := lo; i <= hi; i++ {
-		day := ChurnDay{Date: s.times[i]}
-		for _, q := range blocks {
-			if err := ctx.Err(); err != nil {
-				return out, err
-			}
-			prev, err := s.stateAt(q, i-1)
-			if err != nil {
-				return out, err
-			}
-			cur, err := s.stateAt(q, i)
-			if err != nil {
-				return out, err
-			}
-			for _, ch := range diffBlock(prev, cur) {
-				if p.Bits > 24 {
-					ip := dnswire.IPv4{q.Addr[0], q.Addr[1], q.Addr[2], ch.octet}
-					if !p.Contains(ip) {
-						continue
-					}
-				}
-				switch ch.kind {
-				case scanengine.RecordAdded:
-					day.Added++
-				case scanengine.RecordRemoved:
-					day.Removed++
-				case scanengine.RecordChanged:
-					day.Changed++
-				}
-			}
-		}
-		out = append(out, day)
-	}
-	return out, nil
-}
-
-// FindName answers the inverted-index query: every (/24, interval) where
-// a hostname token was present, without scanning the log. Tokens are the
-// '-'-separated pieces of hostnames' first labels; possessive forms
-// match their stem, so FindName("brian") reaches "brians-iphone".
-func (s *Store) FindName(token string) []Posting {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if len(s.times) == 0 {
-		return nil
-	}
-	return s.names.find(token, len(s.times)-1, s.times)
-}
-
-// snapRange clips [from, to] to snapshot indices. Callers hold the lock.
-func (s *Store) snapRange(from, to time.Time) (lo, hi int, ok bool) {
-	if len(s.times) == 0 || to.Before(from) {
-		return 0, 0, false
-	}
-	lo = sort.Search(len(s.times), func(i int) bool { return !s.times[i].Before(from) })
-	hi = sort.Search(len(s.times), func(i int) bool { return s.times[i].After(to) }) - 1
-	if lo > hi {
-		return 0, 0, false
-	}
-	return lo, hi, true
-}
-
-// overlappingBlocks lists the indexed /24s overlapping p, sorted by
-// address. Callers hold the lock.
-func (s *Store) overlappingBlocks(p dnswire.Prefix) []dnswire.Prefix {
-	var out []dnswire.Prefix
-	for q := range s.blocks {
-		if p.Overlaps(q) {
-			out = append(out, q)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Uint32() < out[j].Addr.Uint32() })
-	return out
-}
-
-// stateAt reconstructs the record set of one /24 at a snapshot index:
-// nearest base at or before it, plus the deltas in between. Results are
-// cached under the block's version snapshot (its newest frame at or
-// before the queried one), so every query between two writes of a block
-// shares one entry. Callers hold at least the read lock; returned states
-// are shared and must not be mutated.
-func (s *Store) stateAt(p dnswire.Prefix, snap int) (blockState, error) {
-	refs := s.blocks[p]
-	i := sort.Search(len(refs), func(k int) bool { return refs[k].snap > snap }) - 1
-	if i < 0 {
-		return nil, nil // block not materialized yet
-	}
-	key := cacheKey{p: p, snap: refs[i].snap}
-	if st, ok := s.cache.get(key); ok {
-		s.met.cacheHits.Inc()
-		return st, nil
-	}
-	if s.cache != nil {
-		s.met.cacheMisses.Inc()
-	}
-	b := i
-	for b >= 0 && refs[b].kind != frameBase {
-		b--
-	}
-	if b < 0 {
-		return nil, corruptf("block %s has no base frame", p)
-	}
-	s.reconstructions.Add(1)
-	s.met.reconstructions.Inc()
-	st := make(blockState)
-	for j := b; j <= i; j++ {
-		fr, err := s.readFrame(refs[j])
-		if err != nil {
-			return nil, err
-		}
-		switch fr.kind {
-		case frameBase:
-			fsnap, fp, entries, err := decodeBaseBody(fr.body)
-			if err != nil {
-				return nil, err
-			}
-			if fsnap != refs[j].snap || fp != p {
-				return nil, corruptf("frame at %d is for %s@%d, expected %s@%d",
-					refs[j].off, fp, fsnap, p, refs[j].snap)
-			}
-			st = make(blockState, len(entries))
-			for _, e := range entries {
-				st[e.octet] = e.name
-			}
-		case frameDelta:
-			fsnap, fp, entries, err := decodeDeltaBody(fr.body)
-			if err != nil {
-				return nil, err
-			}
-			if fsnap != refs[j].snap || fp != p {
-				return nil, corruptf("frame at %d is for %s@%d, expected %s@%d",
-					refs[j].off, fp, fsnap, p, refs[j].snap)
-			}
-			for _, e := range entries {
-				switch e.kind {
-				case scanengine.RecordAdded, scanengine.RecordChanged:
-					st[e.octet] = e.new
-				case scanengine.RecordRemoved:
-					delete(st, e.octet)
-				}
-			}
-		}
-	}
-	s.cache.put(key, st)
-	if s.cache != nil {
-		s.met.cacheEntries.Set(int64(s.cache.len()))
-	}
-	return st, nil
-}
-
-// readFrame reads and CRC-verifies one frame from the log.
-func (s *Store) readFrame(ref blockRef) (frame, error) {
-	buf := make([]byte, ref.length)
-	if _, err := s.f.ReadAt(buf, ref.off); err != nil {
-		return frame{}, fmt.Errorf("histstore: reading frame at %d: %w", ref.off, err)
-	}
-	fr, rest, err := decodeFrame(buf)
-	if err != nil {
-		return frame{}, err
-	}
-	if len(rest) != 0 {
-		return frame{}, corruptf("frame at %d shorter than indexed", ref.off)
-	}
-	return fr, nil
-}
-
-// Stats is a point-in-time summary of the store.
-type Stats struct {
-	// Snapshots is the number of appended snapshots.
-	Snapshots int `json:"snapshots"`
-	// Blocks is the number of indexed /24 blocks.
-	Blocks int `json:"blocks"`
-	// BaseFrames and DeltaFrames count the log's block frames; every base
-	// past a block's first is a delta-chain compaction.
-	BaseFrames  int `json:"base_frames"`
-	DeltaFrames int `json:"delta_frames"`
-	// Bytes is the log file size.
-	Bytes int64 `json:"bytes"`
-	// Reconstructions counts block states rebuilt from frames.
-	Reconstructions uint64 `json:"reconstructions"`
-	// CacheHits/CacheMisses/CacheEntries describe the reconstruction
-	// cache (zero when disabled).
-	CacheHits    uint64 `json:"cache_hits"`
-	CacheMisses  uint64 `json:"cache_misses"`
-	CacheEntries int    `json:"cache_entries"`
-}
-
-// Stats returns the store's current summary.
-func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	hits, misses := s.cache.counters()
-	return Stats{
-		Snapshots:       len(s.times),
-		Blocks:          len(s.blocks),
-		BaseFrames:      s.baseFrames,
-		DeltaFrames:     s.deltaFrames,
-		Bytes:           s.size,
-		Reconstructions: s.reconstructions.Load(),
-		CacheHits:       hits,
-		CacheMisses:     misses,
-		CacheEntries:    s.cache.len(),
-	}
+	m.segments.Set(int64(segs))
+	m.sealedBytes.Set(sealed)
+	m.tierHot.Set(int64(s.tier.len()))
 }

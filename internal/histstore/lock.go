@@ -1,0 +1,64 @@
+package histstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Advisory file locks guard the store's two mutable resources: each
+// writer's tail (held for the whole session by the owning Store, so a
+// second process appending to the same campaign fails loudly instead of
+// interleaving frames) and the manifest (held only across a
+// read-modify-write, serializing writer registration and compaction
+// commits between processes).
+
+// ErrWriterActive reports that another live process holds the advisory
+// lock on a writer's tail.
+var ErrWriterActive = errors.New("histstore: writer already active")
+
+// errLockHeld is the platform layer's "lock is taken" signal.
+var errLockHeld = errors.New("histstore: lock held")
+
+// acquireFileLock opens (creating if needed) the lock file at path and
+// takes an exclusive, non-blocking advisory lock on it. A held lock —
+// even by another goroutine of this process through a different Store —
+// yields ErrWriterActive.
+func acquireFileLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("histstore: lock %s: %w", path, err)
+	}
+	if err := flockExclusive(f); err != nil {
+		f.Close()
+		if errors.Is(err, errLockHeld) {
+			return nil, fmt.Errorf("%w (lock %s)", ErrWriterActive, path)
+		}
+		return nil, fmt.Errorf("histstore: lock %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// acquireFileLockBlocking is acquireFileLock but waits for a held lock
+// instead of failing. Used for STORE.lock, where contention is a brief
+// manifest read-modify-write, never a session.
+func acquireFileLockBlocking(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("histstore: lock %s: %w", path, err)
+	}
+	if err := flockExclusiveBlocking(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("histstore: lock %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// releaseFileLock drops the lock and closes the file. Safe on nil.
+func releaseFileLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	flockRelease(f)
+	f.Close()
+}

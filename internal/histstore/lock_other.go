@@ -1,0 +1,14 @@
+//go:build !unix
+
+package histstore
+
+import "os"
+
+// Non-unix platforms get no advisory locking: single-process use keeps
+// working, the cross-process exclusion guarantee does not apply.
+
+func flockExclusive(f *os.File) error { return nil }
+
+func flockExclusiveBlocking(f *os.File) error { return nil }
+
+func flockRelease(f *os.File) {}

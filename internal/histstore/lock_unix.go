@@ -1,0 +1,31 @@
+//go:build unix
+
+package histstore
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive flock on f. flock locks
+// belong to the open file description, so two Stores in one process
+// conflict exactly like two processes do.
+func flockExclusive(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return errLockHeld
+	}
+	return err
+}
+
+// flockExclusiveBlocking waits for an exclusive flock on f.
+func flockExclusiveBlocking(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+}
+
+// flockRelease drops the lock (closing the fd would too; being explicit
+// keeps the unlock visible at the call site).
+func flockRelease(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

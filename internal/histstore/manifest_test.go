@@ -1,0 +1,97 @@
+package histstore
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriterIDValidation pins the writer-id charset: file names are
+// derived from the id, so anything outside [a-z0-9_-] — and in
+// particular path separators — must be refused both by the validator
+// and at Open.
+func TestWriterIDValidation(t *testing.T) {
+	valid := []string{"main", "w0", "site-a", "a_b-c9", strings.Repeat("x", 64)}
+	for _, id := range valid {
+		if !validWriterID(id) {
+			t.Errorf("validWriterID(%q) = false", id)
+		}
+	}
+	invalid := []string{"", "UPPER", "has space", "dot.dot", "a/b", "a\\b",
+		"tail\x00", strings.Repeat("x", 65), "café"}
+	for _, id := range invalid {
+		if validWriterID(id) {
+			t.Errorf("validWriterID(%q) = true", id)
+		}
+	}
+
+	if _, err := Open(t.TempDir()+"/hist", WithWriter("../evil")); err == nil ||
+		!strings.Contains(err.Error(), "invalid writer id") {
+		t.Fatalf("Open accepted a traversal writer id: %v", err)
+	}
+}
+
+// TestStoreFileNameValidation pins the manifest's file-name gate: a
+// manifest names every store file, so a corrupted or hostile manifest
+// must not be able to point the store outside its own directory or at
+// its own control files.
+func TestStoreFileNameValidation(t *testing.T) {
+	valid := []string{"tail-main-0.log", "seg-main-3.seg", "anything.weird"}
+	for _, name := range valid {
+		if !validStoreFileName(name) {
+			t.Errorf("validStoreFileName(%q) = false", name)
+		}
+	}
+	invalid := []string{"", ".", "..", "../../etc/passwd", "a/b", "a\\b",
+		"nul\x00byte", manifestName, storeLockName, strings.Repeat("x", 300)}
+	for _, name := range invalid {
+		if validStoreFileName(name) {
+			t.Errorf("validStoreFileName(%q) = true", name)
+		}
+	}
+}
+
+// TestManifestSetWriter covers the insert-vs-replace paths keeping the
+// writer list sorted (merge priority is id order, so the order is a
+// correctness property, not cosmetics).
+func TestManifestSetWriter(t *testing.T) {
+	m := &storeManifest{baseEvery: 7}
+	m.setWriter(manifestWriter{id: "mid", fileSeq: 1, tailFile: tailFileName("mid", 0)})
+	m.setWriter(manifestWriter{id: "aaa", fileSeq: 1, tailFile: tailFileName("aaa", 0)})
+	m.setWriter(manifestWriter{id: "zzz", fileSeq: 1, tailFile: tailFileName("zzz", 0)})
+	if len(m.writers) != 3 || m.writers[0].id != "aaa" || m.writers[1].id != "mid" || m.writers[2].id != "zzz" {
+		t.Fatalf("writer order: %+v", m.writers)
+	}
+	m.setWriter(manifestWriter{id: "mid", fileSeq: 5, tailFile: tailFileName("mid", 4)})
+	if len(m.writers) != 3 || m.writers[1].fileSeq != 5 {
+		t.Fatalf("replace grew or missed: %+v", m.writers)
+	}
+	if i := m.findWriter("nope"); i != -1 {
+		t.Fatalf("findWriter(nope) = %d", i)
+	}
+}
+
+// TestManifestRoundTrip pins the codec on a representative compacted
+// two-writer manifest: decode(encode(m)) must reproduce m exactly.
+func TestManifestRoundTrip(t *testing.T) {
+	m := &storeManifest{baseEvery: 4}
+	m.setWriter(manifestWriter{
+		id: "alpha", fileSeq: 3, tailFile: tailFileName("alpha", 2), tailFirst: 40,
+		segs: []manifestSegment{
+			{file: segFileName("alpha", 0), first: 0, count: 25},
+			{file: segFileName("alpha", 1), first: 25, count: 15},
+		},
+	})
+	m.setWriter(manifestWriter{id: "beta", fileSeq: 1, tailFile: tailFileName("beta", 0)})
+	got, err := decodeManifest(encodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.baseEvery != 4 || len(got.writers) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	a := got.writers[0]
+	if a.id != "alpha" || a.fileSeq != 3 || a.tailFirst != 40 || len(a.segs) != 2 ||
+		a.segs[1].first != 25 || a.segs[1].count != 15 {
+		t.Fatalf("alpha round trip: %+v", a)
+	}
+}

@@ -1,0 +1,578 @@
+package histstore
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"rdnsprivacy/internal/dataset"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/scanengine"
+)
+
+// At answers the time-travel point query: the PTR name held by ip at the
+// newest snapshot at or before t, merged across writers. ok is false
+// when the address had no record then; ErrBeforeHistory when t precedes
+// the first snapshot.
+func (s *Store) At(ip dnswire.IPv4, t time.Time) (dnswire.Name, bool, error) {
+	name, _, ok, err := s.atLocked(ip, t)
+	return name, ok, err
+}
+
+// AtWriter is At with provenance: which writer's record answered. A
+// conflicted address reports the winning (smallest-id) writer.
+func (s *Store) AtWriter(ip dnswire.IPv4, t time.Time) (dnswire.Name, string, bool, error) {
+	return s.atLocked(ip, t)
+}
+
+func (s *Store) atLocked(ip dnswire.IPv4, t time.Time) (dnswire.Name, string, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return "", "", false, ErrClosed
+	}
+	snap, ok := s.snapAtOrBefore(t)
+	if !ok {
+		return "", "", false, ErrBeforeHistory
+	}
+	p := ip.Slash24()
+	// Merge priority: writers ascending by id, first holder of the octet
+	// wins — the same rule mergeLive applies to whole blocks.
+	for wi, w := range s.writers {
+		ls := localAtOrBefore(w, snap)
+		st, err := s.writerStateAt(wi, p, ls)
+		if err != nil {
+			return "", "", false, err
+		}
+		if name, ok := st[ip[3]]; ok {
+			return name, w.id, true, nil
+		}
+	}
+	return "", "", false, nil
+}
+
+// localAtOrBefore maps a global snapshot index to the writer's newest
+// local snapshot at or before it (-1 when the writer has none yet).
+// Callers hold the lock.
+func localAtOrBefore(w *writerState, g int) int {
+	return sort.Search(len(w.globalIdx), func(i int) bool { return w.globalIdx[i] > g }) - 1
+}
+
+// stateAtGlobal reconstructs the merged record set of one /24 at a
+// global snapshot index. In solo mode it is the writer's (shared,
+// cached) state; with several writers it is a fresh priority merge.
+// Callers hold at least the read lock; solo results are shared and must
+// not be mutated.
+func (s *Store) stateAtGlobal(p dnswire.Prefix, g int) (blockState, error) {
+	if s.solo {
+		return s.writerStateAt(0, p, g)
+	}
+	var merged blockState
+	for wi, w := range s.writers {
+		ls := localAtOrBefore(w, g)
+		st, err := s.writerStateAt(wi, p, ls)
+		if err != nil {
+			return nil, err
+		}
+		if len(st) == 0 {
+			continue
+		}
+		if merged == nil {
+			merged = make(blockState, len(st))
+		}
+		for o, name := range st {
+			if _, taken := merged[o]; !taken {
+				merged[o] = name
+			}
+		}
+	}
+	return merged, nil
+}
+
+// writerStateAt reconstructs one writer's view of a block at its local
+// snapshot ls: from the tail when ls is in the tail's range (chaining
+// into the last segment when the tail run opens with deltas), otherwise
+// from the owning segment.
+func (s *Store) writerStateAt(wi int, p dnswire.Prefix, ls int) (blockState, error) {
+	if ls < 0 {
+		return nil, nil
+	}
+	w := s.writers[wi]
+	if ls >= w.tailFirst {
+		refs := w.tailBlocks[p]
+		i := sort.Search(len(refs), func(k int) bool { return refs[k].snap > ls }) - 1
+		if i >= 0 {
+			return s.reconstruct(wi, p, refs, i, w.tailF, func() (blockState, error) {
+				return s.segStateAt(wi, p, w.tailFirst-1)
+			})
+		}
+		ls = w.tailFirst - 1
+	}
+	return s.segStateAt(wi, p, ls)
+}
+
+// segStateAt reconstructs a block from the sealed segment owning local
+// snapshot ls. Every block live at a segment's start opens with a base
+// inside it, so a block absent from the owning segment's index was dead
+// through ls.
+func (s *Store) segStateAt(wi int, p dnswire.Prefix, ls int) (blockState, error) {
+	if ls < 0 {
+		return nil, nil
+	}
+	w := s.writers[wi]
+	gi := sort.Search(len(w.segs), func(k int) bool { return w.segs[k].firstSnap > ls }) - 1
+	if gi < 0 {
+		return nil, nil
+	}
+	g := w.segs[gi]
+	refs, f, release, err := g.pin(s)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	rs := refs[p]
+	i := sort.Search(len(rs), func(k int) bool { return rs[k].snap > ls }) - 1
+	if i < 0 {
+		return nil, nil
+	}
+	return s.reconstruct(wi, p, rs, i, f, nil)
+}
+
+// reconstruct rebuilds a block state from refs[..i] read out of f:
+// nearest base at or before i, plus the deltas in between. When the run
+// has no base (a tail run continuing a segment), prior supplies the
+// carried-over state. Results are cached under (writer, block, version
+// snapshot) — the block's newest frame at or before the query — so every
+// query between two writes of a block shares one entry, and entries
+// survive compaction because a snapshot's reconstructed state is
+// bit-identical across it.
+func (s *Store) reconstruct(wi int, p dnswire.Prefix, refs []blockRef, i int, f *os.File, prior func() (blockState, error)) (blockState, error) {
+	key := cacheKey{w: wi, p: p, snap: refs[i].snap}
+	if st, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Inc()
+		return st, nil
+	}
+	if s.cache != nil {
+		s.met.cacheMisses.Inc()
+	}
+	b := i
+	for b >= 0 && refs[b].kind != frameBase {
+		b--
+	}
+	var st blockState
+	start := b
+	if b < 0 {
+		if prior == nil {
+			return nil, corruptf("block %s has no base frame", p)
+		}
+		carried, err := prior()
+		if err != nil {
+			return nil, err
+		}
+		st = make(blockState, len(carried))
+		for o, name := range carried {
+			st[o] = name
+		}
+		start = 0
+	} else {
+		st = make(blockState)
+	}
+	s.reconstructions.Add(1)
+	s.met.reconstructions.Inc()
+	for j := start; j <= i; j++ {
+		fr, err := readFrameAt(f, refs[j])
+		if err != nil {
+			return nil, err
+		}
+		switch fr.kind {
+		case frameBase:
+			fsnap, fp, entries, err := decodeBaseBody(fr.body)
+			if err != nil {
+				return nil, err
+			}
+			if fsnap != refs[j].snap || fp != p {
+				return nil, corruptf("frame at %d is for %s@%d, expected %s@%d",
+					refs[j].off, fp, fsnap, p, refs[j].snap)
+			}
+			st = make(blockState, len(entries))
+			for _, e := range entries {
+				st[e.octet] = e.name
+			}
+		case frameDelta:
+			fsnap, fp, entries, err := decodeDeltaBody(fr.body)
+			if err != nil {
+				return nil, err
+			}
+			if fsnap != refs[j].snap || fp != p {
+				return nil, corruptf("frame at %d is for %s@%d, expected %s@%d",
+					refs[j].off, fp, fsnap, p, refs[j].snap)
+			}
+			for _, e := range entries {
+				switch e.kind {
+				case scanengine.RecordAdded, scanengine.RecordChanged:
+					st[e.octet] = e.new
+				case scanengine.RecordRemoved:
+					delete(st, e.octet)
+				}
+			}
+		}
+	}
+	s.cache.put(key, st)
+	if s.cache != nil {
+		s.met.cacheEntries.Set(int64(s.cache.len()))
+	}
+	return st, nil
+}
+
+// readFrameAt reads and CRC-verifies one frame from f.
+func readFrameAt(f *os.File, ref blockRef) (frame, error) {
+	buf := make([]byte, ref.length)
+	if _, err := f.ReadAt(buf, ref.off); err != nil {
+		return frame{}, fmt.Errorf("histstore: reading frame at %d: %w", ref.off, err)
+	}
+	fr, rest, err := decodeFrame(buf)
+	if err != nil {
+		return frame{}, err
+	}
+	if len(rest) != 0 {
+		return frame{}, corruptf("frame at %d shorter than indexed", ref.off)
+	}
+	return fr, nil
+}
+
+// Range returns every observation (snapshot, address, name) within prefix
+// and [from, to], ordered by date then address — the store-backed
+// replacement for re-reading a campaign CSV.
+func (s *Store) Range(p dnswire.Prefix, from, to time.Time) ([]dataset.Row, error) {
+	return s.RangeContext(context.Background(), p, from, to)
+}
+
+// RangeContext is Range with cancellation: a query serving a disconnected
+// client stops reconstructing blocks as soon as ctx is done and returns
+// ctx.Err().
+func (s *Store) RangeContext(ctx context.Context, p dnswire.Prefix, from, to time.Time) ([]dataset.Row, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	lo, hi, ok := s.snapRange(from, to)
+	if !ok {
+		return nil, nil
+	}
+	blocks := s.overlappingBlocks(p)
+	var rows []dataset.Row
+	for i := lo; i <= hi; i++ {
+		for _, q := range blocks {
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
+			st, err := s.stateAtGlobal(q, i)
+			if err != nil {
+				return rows, err
+			}
+			for octet := 0; octet < 256; octet++ {
+				name, ok := st[byte(octet)]
+				if !ok {
+					continue
+				}
+				ip := dnswire.IPv4{q.Addr[0], q.Addr[1], q.Addr[2], byte(octet)}
+				if p.Bits > 24 && !p.Contains(ip) {
+					continue
+				}
+				rows = append(rows, dataset.Row{Date: s.times[i], IP: ip, PTR: name})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RangeCursor is the resume position of a paginated Range scan: the next
+// candidate (snapshot index, /24 address, last octet) to visit. Cursors
+// are stable across appends — snapshot indices are append-only, and a /24
+// first materialized after a page's window yields no rows inside it — so
+// concatenating pages always reproduces the unpaginated answer. The zero
+// cursor starts from the beginning.
+type RangeCursor struct {
+	Snap  int
+	Block uint32
+	Octet int
+}
+
+// RangePage is the paginated RangeContext: it emits up to limit rows
+// starting at cur's position (in the same date-then-address order Range
+// uses) and returns the cursor to resume from. more is false once the
+// scan is complete; a page that fills limit exactly reports more=true
+// and the next page may legitimately be empty. limit must be positive.
+func (s *Store) RangePage(ctx context.Context, p dnswire.Prefix, from, to time.Time, cur RangeCursor, limit int) (rows []dataset.Row, next RangeCursor, more bool, err error) {
+	if limit <= 0 {
+		return nil, cur, false, fmt.Errorf("histstore: non-positive page limit %d", limit)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, cur, false, ErrClosed
+	}
+	lo, hi, ok := s.snapRange(from, to)
+	if !ok {
+		return nil, cur, false, nil
+	}
+	if cur.Snap > lo {
+		lo = cur.Snap
+	}
+	if lo > hi {
+		return nil, cur, false, nil
+	}
+	blocks := s.overlappingBlocks(p)
+	for i := lo; i <= hi; i++ {
+		for _, q := range blocks {
+			addr := q.Addr.Uint32()
+			startOctet := 0
+			if i == cur.Snap {
+				if addr < cur.Block {
+					continue // consumed by an earlier page
+				}
+				if addr == cur.Block {
+					startOctet = cur.Octet
+					if startOctet > 255 {
+						continue // block fully consumed at this snapshot
+					}
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return rows, next, false, err
+			}
+			st, err := s.stateAtGlobal(q, i)
+			if err != nil {
+				return rows, next, false, err
+			}
+			for octet := startOctet; octet < 256; octet++ {
+				name, ok := st[byte(octet)]
+				if !ok {
+					continue
+				}
+				ip := dnswire.IPv4{q.Addr[0], q.Addr[1], q.Addr[2], byte(octet)}
+				if p.Bits > 24 && !p.Contains(ip) {
+					continue
+				}
+				if len(rows) == limit {
+					return rows, RangeCursor{Snap: i, Block: addr, Octet: octet}, true, nil
+				}
+				rows = append(rows, dataset.Row{Date: s.times[i], IP: ip, PTR: name})
+			}
+		}
+	}
+	return rows, RangeCursor{}, false, nil
+}
+
+// ChurnDay is one snapshot's record-set delta counts within a prefix.
+type ChurnDay struct {
+	Date    time.Time `json:"date"`
+	Added   int       `json:"added"`
+	Removed int       `json:"removed"`
+	Changed int       `json:"changed"`
+}
+
+// Churn returns the per-snapshot join/leave/reallocation counts within
+// prefix over [from, to]: exactly the deltas a consumer diffing
+// successive raw snapshots would compute. The store's first snapshot has
+// no baseline and yields no entry.
+func (s *Store) Churn(p dnswire.Prefix, from, to time.Time) ([]ChurnDay, error) {
+	return s.ChurnContext(context.Background(), p, from, to)
+}
+
+// ChurnContext is Churn with cancellation, mirroring RangeContext.
+func (s *Store) ChurnContext(ctx context.Context, p dnswire.Prefix, from, to time.Time) ([]ChurnDay, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	lo, hi, ok := s.snapRange(from, to)
+	if !ok {
+		return nil, nil
+	}
+	if lo == 0 {
+		lo = 1
+	}
+	blocks := s.overlappingBlocks(p)
+	var out []ChurnDay
+	for i := lo; i <= hi; i++ {
+		day := ChurnDay{Date: s.times[i]}
+		for _, q := range blocks {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			prev, err := s.stateAtGlobal(q, i-1)
+			if err != nil {
+				return out, err
+			}
+			cur, err := s.stateAtGlobal(q, i)
+			if err != nil {
+				return out, err
+			}
+			for _, ch := range diffBlock(prev, cur) {
+				if p.Bits > 24 {
+					ip := dnswire.IPv4{q.Addr[0], q.Addr[1], q.Addr[2], ch.octet}
+					if !p.Contains(ip) {
+						continue
+					}
+				}
+				switch ch.kind {
+				case scanengine.RecordAdded:
+					day.Added++
+				case scanengine.RecordRemoved:
+					day.Removed++
+				case scanengine.RecordChanged:
+					day.Changed++
+				}
+			}
+		}
+		out = append(out, day)
+	}
+	return out, nil
+}
+
+// FindName answers the inverted-index query: every (/24, interval) where
+// a hostname token was present, without scanning the log. Tokens are the
+// '-'-separated pieces of hostnames' first labels; possessive forms
+// match their stem, so FindName("brian") reaches "brians-iphone".
+func (s *Store) FindName(token string) []Posting {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.times) == 0 {
+		return nil
+	}
+	return s.names.find(token, len(s.times)-1, s.times)
+}
+
+// snapRange clips [from, to] to snapshot indices. Callers hold the lock.
+func (s *Store) snapRange(from, to time.Time) (lo, hi int, ok bool) {
+	if len(s.times) == 0 || to.Before(from) {
+		return 0, 0, false
+	}
+	lo = sort.Search(len(s.times), func(i int) bool { return !s.times[i].Before(from) })
+	hi = sort.Search(len(s.times), func(i int) bool { return s.times[i].After(to) }) - 1
+	if lo > hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// overlappingBlocks lists the indexed /24s overlapping p, sorted by
+// address. Callers hold the lock.
+func (s *Store) overlappingBlocks(p dnswire.Prefix) []dnswire.Prefix {
+	var out []dnswire.Prefix
+	for q := range s.blockSet {
+		if p.Overlaps(q) {
+			out = append(out, q)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Uint32() < out[j].Addr.Uint32() })
+	return out
+}
+
+// WriterStats summarizes one writer within Stats.
+type WriterStats struct {
+	// ID is the writer identity.
+	ID string `json:"id"`
+	// Snapshots is the writer's total snapshot count; TailSnapshots is
+	// how many still live in the active tail (the rest are sealed).
+	Snapshots     int `json:"snapshots"`
+	TailSnapshots int `json:"tail_snapshots"`
+	// Segments is the writer's sealed segment count.
+	Segments int `json:"segments"`
+	// Owned reports whether this Store appends as the writer.
+	Owned bool `json:"owned"`
+}
+
+// CompactionStats summarizes compaction activity within Stats.
+type CompactionStats struct {
+	// Runs counts completed compactions; SealedSnapshots the snapshots
+	// they moved into segments; ReclaimedBytes the tail bytes the
+	// segment rewrite saved (negative if segments grew the store).
+	Runs            uint64 `json:"runs"`
+	SealedSnapshots uint64 `json:"sealed_snapshots"`
+	ReclaimedBytes  int64  `json:"reclaimed_bytes"`
+	// Running reports a compaction in flight right now.
+	Running bool `json:"running"`
+}
+
+// Stats is a point-in-time summary of the store.
+type Stats struct {
+	// Snapshots is the number of snapshots in the merged timeline.
+	Snapshots int `json:"snapshots"`
+	// Blocks is the number of indexed /24 blocks.
+	Blocks int `json:"blocks"`
+	// BaseFrames and DeltaFrames count the block frames across every
+	// tail and segment.
+	BaseFrames  int `json:"base_frames"`
+	DeltaFrames int `json:"delta_frames"`
+	// Bytes is the total store size (tails plus segments); TailBytes and
+	// SealedBytes split it.
+	Bytes       int64 `json:"bytes"`
+	TailBytes   int64 `json:"tail_bytes"`
+	SealedBytes int64 `json:"sealed_bytes"`
+	// Reconstructions counts block states rebuilt from frames.
+	Reconstructions uint64 `json:"reconstructions"`
+	// CacheHits/CacheMisses/CacheEntries describe the reconstruction
+	// cache (zero when disabled).
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+	// Writers describes each writer in merge-priority order.
+	Writers []WriterStats `json:"writers,omitempty"`
+	// Segments counts sealed segments; HotSegments how many are resident
+	// in the tier; TierLoads/TierEvictions its lifetime churn.
+	Segments      int    `json:"segments"`
+	HotSegments   int    `json:"hot_segments"`
+	TierLoads     uint64 `json:"tier_loads"`
+	TierEvictions uint64 `json:"tier_evictions"`
+	// Compaction summarizes compaction activity.
+	Compaction CompactionStats `json:"compaction"`
+}
+
+// Stats returns the store's current summary.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hits, misses := s.cache.counters()
+	st := Stats{
+		Snapshots:       len(s.times),
+		Blocks:          len(s.blockSet),
+		BaseFrames:      s.baseFrames,
+		DeltaFrames:     s.deltaFrames,
+		Bytes:           s.bytes,
+		Reconstructions: s.reconstructions.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEntries:    s.cache.len(),
+		HotSegments:     s.tier.len(),
+		TierLoads:       s.tierLoads.Load(),
+		TierEvictions:   s.tierEvictions.Load(),
+		Compaction: CompactionStats{
+			Runs:            s.compactions.Load(),
+			SealedSnapshots: s.compactSealed.Load(),
+			ReclaimedBytes:  s.compactReclaim.Load(),
+			Running:         s.compactRunning.Load(),
+		},
+	}
+	for _, w := range s.writers {
+		ws := WriterStats{
+			ID:            w.id,
+			Snapshots:     len(w.times),
+			TailSnapshots: len(w.times) - w.tailFirst,
+			Segments:      len(w.segs),
+			Owned:         w.owned,
+		}
+		st.Writers = append(st.Writers, ws)
+		st.Segments += len(w.segs)
+		st.TailBytes += w.tailSize
+		for _, g := range w.segs {
+			st.SealedBytes += g.size
+		}
+	}
+	return st
+}

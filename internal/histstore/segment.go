@@ -1,0 +1,445 @@
+package histstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"rdnsprivacy/internal/dnswire"
+)
+
+// A segment is an immutable, sealed run of one writer's snapshots,
+// produced by compaction. Its frame region reuses the tail's frame
+// format, but the compactor re-lays the content: every block live at the
+// segment's first snapshot opens with a fresh base, mid-segment deltas
+// are re-based on a sparser cadence, and the redundant delta-chain bases
+// the tail accumulated are dropped — that is where compaction reclaims
+// space while keeping reconstruction O(deltas to the nearest base).
+//
+// Layout:
+//
+//	magic    8 bytes "RDNSSEG1"
+//	hdrlen   uvarint (header body length)
+//	header   hdrlen bytes: writer id string, first uvarint, count uvarint
+//	hdrcrc   4 bytes (IEEE CRC32 over the header body, little-endian)
+//	frames   snapshot + block frames exactly as in a tail (codec.go)
+//	footer   the per-block frame index (below)
+//	trailer  footeroff 8 bytes LE, footercrc 4 bytes LE, magic 8 bytes "RDNSSEGX"
+//
+// Footer:
+//
+//	nblocks  uvarint
+//	per block, sorted by /24 address ascending:
+//	  prefix  3 bytes (the /24's first three octets)
+//	  nrefs   uvarint
+//	  per ref, snapshot order:
+//	    snap  uvarint (first ref: gap from the segment's first snapshot; later: gap from previous, >= 1)
+//	    kind  1 byte ('B' or 'L')
+//	    off   uvarint (first ref: absolute file offset; later: gap from previous, >= 1)
+//	    len   uvarint
+//
+// The footer lets a cold segment's index reload without replaying its
+// frames; the trailer CRC makes any truncation or bit flip of the index
+// loud. Segments are written to a temp file, fsynced, and renamed, and
+// the manifest references them only after the rename — so a referenced
+// segment is always complete, and any damage to one is store corruption,
+// never a quietly truncatable tail.
+
+var (
+	segMagic        = [8]byte{'R', 'D', 'N', 'S', 'S', 'E', 'G', '1'}
+	segTrailerMagic = [8]byte{'R', 'D', 'N', 'S', 'S', 'E', 'G', 'X'}
+)
+
+// segTrailerLen is the fixed trailer size: offset + CRC + magic.
+const segTrailerLen = 8 + 4 + 8
+
+// maxSegFooterBytes bounds a loaded footer allocation.
+const maxSegFooterBytes = 1 << 30
+
+// segment is one sealed segment of a writer. firstSnap/count/size are
+// immutable after construction; f and refs are the tier-managed hot
+// state, guarded by mu (readers hold mu across their ReadAt calls, so
+// eviction never closes a file mid-read).
+type segment struct {
+	path      string
+	writerID  string
+	firstSnap int
+	count     int
+	size      int64
+
+	mu   sync.Mutex
+	f    *os.File
+	refs map[dnswire.Prefix][]blockRef
+	hot  bool // tracked in the tier's LRU list
+}
+
+func (g *segment) lastSnap() int { return g.firstSnap + g.count - 1 }
+
+// pin returns the segment's index and file, loading them if cold, and a
+// release func the caller must invoke when done reading. The segment
+// mutex is held until release, serializing reads per segment; the tier
+// is notified so occupancy and LRU order stay current.
+func (g *segment) pin(s *Store) (map[dnswire.Prefix][]blockRef, *os.File, func(), error) {
+	g.mu.Lock()
+	if g.refs == nil {
+		if err := g.load(); err != nil {
+			g.mu.Unlock()
+			return nil, nil, nil, err
+		}
+		s.tierLoads.Add(1)
+		s.met.tierLoads.Inc()
+		s.noteSegmentLoaded(g)
+	} else {
+		s.tier.touch(g)
+	}
+	return g.refs, g.f, g.mu.Unlock, nil
+}
+
+// load opens the segment file and rebuilds its index from the footer.
+// Callers hold g.mu.
+func (g *segment) load() error {
+	f, err := os.Open(g.path)
+	if err != nil {
+		return fmt.Errorf("histstore: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("histstore: %w", err)
+	}
+	refs, _, _, err := readSegmentIndex(f, fi.Size(), g.writerID, g.firstSnap, g.count)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("histstore: segment %s: %w", g.path, err)
+	}
+	g.f, g.refs, g.size = f, refs, fi.Size()
+	return nil
+}
+
+// unload drops the hot state. Callers hold g.mu.
+func (g *segment) unload() {
+	if g.f != nil {
+		g.f.Close()
+		g.f = nil
+	}
+	g.refs = nil
+}
+
+// readSegmentHeader parses the fixed header, returning the writer id,
+// first snapshot, count, and the offset where frames begin.
+func readSegmentHeader(f *os.File, size int64) (id string, first, count int, frameStart int64, err error) {
+	// Headers are tiny; 4KiB covers the magic, length, body, and CRC.
+	buf := make([]byte, 4096)
+	if size < int64(len(buf)) {
+		buf = buf[:size]
+	}
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return "", 0, 0, 0, corruptf("segment header unreadable: %v", err)
+	}
+	if len(buf) < len(segMagic)+1 || [8]byte(buf[:8]) != segMagic {
+		return "", 0, 0, 0, corruptError("not a histstore segment (bad magic)")
+	}
+	rest := buf[8:]
+	hdrLen, n := binary.Uvarint(rest)
+	if n <= 0 || hdrLen > 1024 || int(hdrLen)+4 > len(rest)-n {
+		return "", 0, 0, 0, corruptError("segment header truncated")
+	}
+	body := rest[n : n+int(hdrLen)]
+	crcAt := rest[n+int(hdrLen):]
+	if want := binary.LittleEndian.Uint32(crcAt[:4]); crc32.ChecksumIEEE(body) != want {
+		return "", 0, 0, 0, corruptError("segment header CRC mismatch")
+	}
+	r := &byteReader{b: body}
+	id, err = r.manifestString("writer id", maxWriterIDBytes)
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	first, err = r.manifestInt("first snapshot", maxManifestSnap)
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	count, err = r.manifestInt("snapshot count", maxManifestSnap)
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	if err := r.done(); err != nil {
+		return "", 0, 0, 0, err
+	}
+	return id, first, count, int64(8 + n + int(hdrLen) + 4), nil
+}
+
+// encodeSegmentHeader builds the header block for a new segment.
+func encodeSegmentHeader(id string, first, count int) []byte {
+	body := appendString(nil, id)
+	body = binary.AppendUvarint(body, uint64(first))
+	body = binary.AppendUvarint(body, uint64(count))
+	out := append([]byte(nil), segMagic[:]...)
+	out = binary.AppendUvarint(out, uint64(len(body)))
+	out = append(out, body...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+}
+
+// readSegmentIndex validates the trailer and decodes the footer into a
+// refs map, cross-checking the header identity against the manifest's
+// view of the segment. It returns the frame region bounds [frameStart,
+// footerOff) alongside the refs.
+func readSegmentIndex(f *os.File, size int64, wantID string, wantFirst, wantCount int) (map[dnswire.Prefix][]blockRef, int64, int64, error) {
+	id, first, count, frameStart, err := readSegmentHeader(f, size)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if id != wantID || first != wantFirst || count != wantCount {
+		return nil, 0, 0, corruptf("segment header says %s@%d+%d, manifest says %s@%d+%d",
+			id, first, count, wantID, wantFirst, wantCount)
+	}
+	if size < frameStart+segTrailerLen {
+		return nil, 0, 0, corruptError("segment shorter than its trailer")
+	}
+	var trailer [segTrailerLen]byte
+	if _, err := f.ReadAt(trailer[:], size-segTrailerLen); err != nil {
+		return nil, 0, 0, corruptf("segment trailer unreadable: %v", err)
+	}
+	if [8]byte(trailer[12:]) != segTrailerMagic {
+		return nil, 0, 0, corruptError("segment trailer magic missing (truncated?)")
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(trailer[:8]))
+	footerCRC := binary.LittleEndian.Uint32(trailer[8:12])
+	footerLen := size - segTrailerLen - footerOff
+	if footerOff < frameStart || footerLen < 0 || footerLen > maxSegFooterBytes {
+		return nil, 0, 0, corruptf("segment footer offset %d out of range", footerOff)
+	}
+	footer := make([]byte, footerLen)
+	if _, err := f.ReadAt(footer, footerOff); err != nil {
+		return nil, 0, 0, corruptf("segment footer unreadable: %v", err)
+	}
+	if got := crc32.ChecksumIEEE(footer); got != footerCRC {
+		return nil, 0, 0, corruptf("segment footer CRC mismatch: stored %08x, computed %08x", footerCRC, got)
+	}
+	refs, err := decodeSegmentFooter(footer, first, count, frameStart, footerOff)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return refs, frameStart, footerOff, nil
+}
+
+// encodeSegmentFooter serializes the per-block refs index. Blocks are
+// emitted in address order; refs must already be in snapshot order.
+func encodeSegmentFooter(refs map[dnswire.Prefix][]blockRef, firstSnap int) []byte {
+	blocks := make([]dnswire.Prefix, 0, len(refs))
+	for p := range refs {
+		blocks = append(blocks, p)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Addr.Uint32() < blocks[j].Addr.Uint32() })
+	out := binary.AppendUvarint(nil, uint64(len(blocks)))
+	for _, p := range blocks {
+		out = append(out, p.Addr[0], p.Addr[1], p.Addr[2])
+		rs := refs[p]
+		out = binary.AppendUvarint(out, uint64(len(rs)))
+		prevSnap, prevOff := firstSnap, int64(0)
+		for i, r := range rs {
+			out = binary.AppendUvarint(out, uint64(r.snap-prevSnap))
+			out = append(out, r.kind)
+			if i == 0 {
+				out = binary.AppendUvarint(out, uint64(r.off))
+			} else {
+				out = binary.AppendUvarint(out, uint64(r.off-prevOff))
+			}
+			out = binary.AppendUvarint(out, uint64(r.length))
+			prevSnap, prevOff = r.snap, r.off
+		}
+	}
+	return out
+}
+
+// decodeSegmentFooter parses the footer bytes into a refs map, strictly
+// validating monotonicity and bounds against the frame region.
+func decodeSegmentFooter(footer []byte, firstSnap, count int, frameStart, footerOff int64) (map[dnswire.Prefix][]blockRef, error) {
+	r := &byteReader{b: footer}
+	nBlocks, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nBlocks > 1<<24 {
+		return nil, corruptf("segment footer claims %d blocks", nBlocks)
+	}
+	refs := make(map[dnswire.Prefix][]blockRef, nBlocks)
+	var prevAddr uint32
+	for bi := uint64(0); bi < nBlocks; bi++ {
+		hi, err := r.bytes(3)
+		if err != nil {
+			return nil, err
+		}
+		p := dnswire.Prefix{Addr: dnswire.IPv4{hi[0], hi[1], hi[2], 0}, Bits: 24}
+		if addr := p.Addr.Uint32(); bi > 0 && addr <= prevAddr {
+			return nil, corruptf("segment footer blocks out of order at %s", p)
+		} else {
+			prevAddr = addr
+		}
+		nRefs, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nRefs == 0 || nRefs > uint64(count) {
+			return nil, corruptf("segment footer block %s claims %d refs over %d snapshots", p, nRefs, count)
+		}
+		rs := make([]blockRef, 0, nRefs)
+		snap, off := firstSnap, int64(0)
+		for ri := uint64(0); ri < nRefs; ri++ {
+			gap, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if ri > 0 && gap == 0 {
+				return nil, corruptf("segment footer block %s has a zero snapshot gap", p)
+			}
+			snap += int(gap)
+			if snap < firstSnap || snap > firstSnap+count-1 {
+				return nil, corruptf("segment footer block %s ref at snapshot %d outside [%d,%d]", p, snap, firstSnap, firstSnap+count-1)
+			}
+			kind, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			if kind != frameBase && kind != frameDelta {
+				return nil, corruptf("segment footer block %s has frame kind 0x%02x", p, kind)
+			}
+			offGap, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if ri == 0 {
+				off = int64(offGap)
+			} else {
+				if offGap == 0 {
+					return nil, corruptf("segment footer block %s has a zero offset gap", p)
+				}
+				off += int64(offGap)
+			}
+			length, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if off < frameStart || length == 0 || length > 1<<24 || off+int64(length) > footerOff {
+				return nil, corruptf("segment footer block %s ref [%d,+%d) outside frame region", p, off, length)
+			}
+			rs = append(rs, blockRef{snap: snap, kind: kind, off: off, length: int(length)})
+		}
+		if rs[0].kind != frameBase {
+			return nil, corruptf("segment block %s does not open with a base frame", p)
+		}
+		refs[p] = rs
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return refs, nil
+}
+
+// tier is the hot-segment LRU: at most cap segments keep their index and
+// file descriptor in memory; the rest reload lazily from their footers.
+// A capacity of zero means unbounded (every segment stays hot).
+type tier struct {
+	mu  sync.Mutex
+	cap int
+	// lru holds hot segments, most recently used last.
+	lru []*segment
+}
+
+func newTier(capacity int) *tier { return &tier{cap: capacity} }
+
+// touch moves g to the MRU position (re-linking it if an eviction
+// attempt found it busy and dropped it from the list). Callers hold
+// g.mu.
+func (t *tier) touch(g *segment) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if g.hot {
+		for i, h := range t.lru {
+			if h == g {
+				copy(t.lru[i:], t.lru[i+1:])
+				t.lru[len(t.lru)-1] = g
+				break
+			}
+		}
+		return
+	}
+	g.hot = true
+	t.lru = append(t.lru, g)
+}
+
+// admit registers a just-loaded segment and returns any LRU victims that
+// must be unloaded to respect the capacity. Callers hold g.mu; victims
+// are returned rather than unloaded here so the caller can TryLock them
+// (never blocking on, or deadlocking with, a concurrent reader).
+func (t *tier) admit(g *segment) []*segment {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !g.hot {
+		g.hot = true
+		t.lru = append(t.lru, g)
+	}
+	if t.cap <= 0 || len(t.lru) <= t.cap {
+		return nil
+	}
+	n := len(t.lru) - t.cap
+	victims := make([]*segment, 0, n)
+	for _, v := range t.lru[:n] {
+		if v != g {
+			v.hot = false
+			victims = append(victims, v)
+		}
+	}
+	kept := t.lru[n:]
+	if len(victims) < n { // g was in the victim window; keep it
+		kept = append([]*segment{g}, kept...)
+	}
+	t.lru = append([]*segment(nil), kept...)
+	return victims
+}
+
+// len reports the hot-segment count.
+func (t *tier) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.lru)
+}
+
+// drop removes g from the LRU without unloading (caller does that).
+func (t *tier) drop(g *segment) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !g.hot {
+		return
+	}
+	g.hot = false
+	for i, h := range t.lru {
+		if h == g {
+			t.lru = append(t.lru[:i], t.lru[i+1:]...)
+			return
+		}
+	}
+}
+
+// noteSegmentLoaded admits g to the tier and evicts any victims whose
+// locks are free; busy victims stay hot and re-enter the LRU on their
+// next touch.
+func (s *Store) noteSegmentLoaded(g *segment) {
+	for _, v := range s.tier.admit(g) {
+		if v.mu.TryLock() {
+			v.unload()
+			v.mu.Unlock()
+			s.tierEvictions.Add(1)
+			s.met.tierEvictions.Inc()
+		} else {
+			s.tier.touch(v) // in use by a reader: keep it hot
+		}
+	}
+	s.met.tierHot.Set(int64(s.tier.len()))
+}
+
+// segmentPath joins the store directory and a manifest file name.
+func (s *Store) filePath(name string) string { return filepath.Join(s.dir, name) }

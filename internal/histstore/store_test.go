@@ -395,12 +395,13 @@ func TestStoreTornTail(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	fi, _ := os.Stat(path)
+	tail := tailPath(t, path)
+	fi, _ := os.Stat(tail)
 	goodSize := fi.Size()
 
 	// A torn frame: a valid kind byte, a length promising more than is
 	// there, and a few body bytes.
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	f, err := os.OpenFile(tail, os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,9 +418,9 @@ func TestStoreTornTail(t *testing.T) {
 	if st.Len() != 20 {
 		t.Fatalf("Len = %d after torn-tail recovery, want 20", st.Len())
 	}
-	fi, _ = os.Stat(path)
+	fi, _ = os.Stat(tail)
 	if fi.Size() != goodSize {
-		t.Fatalf("file is %d bytes after recovery, want %d", fi.Size(), goodSize)
+		t.Fatalf("tail is %d bytes after recovery, want %d", fi.Size(), goodSize)
 	}
 	verifyStore(t, st, c, splitmix(99))
 
@@ -442,17 +443,28 @@ func TestStoreMidFileCorruption(t *testing.T) {
 	c.append(t, st)
 	st.Close()
 
-	data, err := os.ReadFile(path)
+	tail := tailPath(t, path)
+	data, err := os.ReadFile(tail)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[len(data)/2] ^= 0xff
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := os.WriteFile(tail, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(path); err == nil {
 		t.Fatal("opened a mid-file-corrupted log without error")
 	}
+}
+
+// tailPath finds a store's single tail file for tests that poke bytes.
+func tailPath(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "tail-*.log"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected one tail file in %s, got %v (err %v)", dir, matches, err)
+	}
+	return matches[0]
 }
 
 func TestStoreBadMagic(t *testing.T) {

@@ -29,6 +29,24 @@ const (
 	MetricBytes = "hist_bytes"
 	// MetricCacheEntries gauges the reconstruction cache's occupancy.
 	MetricCacheEntries = "hist_cache_entries"
+	// MetricTierLoads counts cold segment indexes loaded into the hot
+	// tier (a segment's first query after open, or after an eviction).
+	MetricTierLoads = "hist_tier_loads_total"
+	// MetricTierEvictions counts hot segments evicted by the tier's LRU.
+	MetricTierEvictions = "hist_tier_evictions_total"
+	// MetricTierHot gauges the number of segments currently hot.
+	MetricTierHot = "hist_tier_hot_segments"
+	// MetricSegments gauges the total sealed segments across writers.
+	MetricSegments = "hist_tier_segments"
+	// MetricSealedBytes gauges the bytes held in sealed segments.
+	MetricSealedBytes = "hist_sealed_bytes"
+	// MetricCompactions counts completed compaction runs.
+	MetricCompactions = "hist_compactions_total"
+	// MetricCompactSealed counts snapshots sealed into segments.
+	MetricCompactSealed = "hist_compact_sealed_snapshots_total"
+	// MetricCompactReclaimed counts bytes reclaimed by compaction (tail
+	// bytes rewritten minus the segment bytes that replaced them).
+	MetricCompactReclaimed = "hist_compact_reclaimed_bytes_total"
 )
 
 // storeMetrics holds the pre-resolved instrument handles. With no sink
@@ -42,10 +60,18 @@ type storeMetrics struct {
 	reconstructions *telemetry.Counter
 	cacheHits       *telemetry.Counter
 	cacheMisses     *telemetry.Counter
+	tierLoads       *telemetry.Counter
+	tierEvictions   *telemetry.Counter
+	compactions     *telemetry.Counter
+	compactSealed   *telemetry.Counter
+	compactReclaim  *telemetry.Counter
 	snapshots       *telemetry.Gauge
 	blocks          *telemetry.Gauge
 	bytes           *telemetry.Gauge
 	cacheEntries    *telemetry.Gauge
+	tierHot         *telemetry.Gauge
+	segments        *telemetry.Gauge
+	sealedBytes     *telemetry.Gauge
 }
 
 // newStoreMetrics resolves the instruments from sink (nil sink yields
@@ -62,9 +88,17 @@ func newStoreMetrics(sink telemetry.Sink) *storeMetrics {
 		reconstructions: sink.Counter(MetricReconstructions),
 		cacheHits:       sink.Counter(MetricCacheHits),
 		cacheMisses:     sink.Counter(MetricCacheMisses),
+		tierLoads:       sink.Counter(MetricTierLoads),
+		tierEvictions:   sink.Counter(MetricTierEvictions),
+		compactions:     sink.Counter(MetricCompactions),
+		compactSealed:   sink.Counter(MetricCompactSealed),
+		compactReclaim:  sink.Counter(MetricCompactReclaimed),
 		snapshots:       sink.Gauge(MetricSnapshots),
 		blocks:          sink.Gauge(MetricBlocks),
 		bytes:           sink.Gauge(MetricBytes),
 		cacheEntries:    sink.Gauge(MetricCacheEntries),
+		tierHot:         sink.Gauge(MetricTierHot),
+		segments:        sink.Gauge(MetricSegments),
+		sealedBytes:     sink.Gauge(MetricSealedBytes),
 	}
 }

@@ -92,8 +92,18 @@ type StoreStats struct {
 	// base past a block's first is a delta-chain compaction.
 	BaseFrames  int `json:"base_frames"`
 	DeltaFrames int `json:"delta_frames"`
-	// Bytes is the log file size.
+	// Bytes is the store's total on-disk size (tails plus segments).
 	Bytes int64 `json:"bytes"`
+
+	// Segment-tiering and compaction progress; zero for a store that has
+	// never compacted.
+	Segments        int    `json:"segments,omitempty"`
+	SealedBytes     int64  `json:"sealed_bytes,omitempty"`
+	HotSegments     int    `json:"hot_segments,omitempty"`
+	Writers         int    `json:"writers,omitempty"`
+	Compactions     uint64 `json:"compactions,omitempty"`
+	SealedSnapshots uint64 `json:"sealed_snapshots,omitempty"`
+	ReclaimedBytes  int64  `json:"reclaimed_bytes,omitempty"`
 }
 
 // ErrorRate is the day's probe error fraction (0 when nothing was probed).

@@ -51,6 +51,9 @@ const (
 	// CodeCanceled: the client disconnected mid-query and the work was
 	// abandoned (HTTP 499; never seen by a live client).
 	CodeCanceled = "canceled"
+	// CodeCompactBusy: a compaction sweep is already running; retry after
+	// it finishes (HTTP 409).
+	CodeCompactBusy = "compact_busy"
 	// CodeInternal: an unexpected server-side failure (HTTP 500).
 	CodeInternal = "internal"
 )
@@ -135,7 +138,9 @@ type DaysResponse struct {
 	Days  []time.Time `json:"days"`
 }
 
-// StoreStats mirrors histstore.Stats on the wire.
+// StoreStats mirrors histstore.Stats on the wire. The segment-tiering
+// and compaction fields are additive: daemons serving a pre-segmentation
+// store report them as zero values.
 type StoreStats struct {
 	Snapshots       int    `json:"snapshots"`
 	Blocks          int    `json:"blocks"`
@@ -146,6 +151,47 @@ type StoreStats struct {
 	CacheHits       uint64 `json:"cache_hits"`
 	CacheMisses     uint64 `json:"cache_misses"`
 	CacheEntries    int    `json:"cache_entries"`
+
+	TailBytes     int64           `json:"tail_bytes,omitempty"`
+	SealedBytes   int64           `json:"sealed_bytes,omitempty"`
+	Segments      int             `json:"segments,omitempty"`
+	HotSegments   int             `json:"hot_segments,omitempty"`
+	TierLoads     uint64          `json:"tier_loads,omitempty"`
+	TierEvictions uint64          `json:"tier_evictions,omitempty"`
+	Writers       []WriterStats   `json:"writers,omitempty"`
+	Compaction    CompactionStats `json:"compaction"`
+}
+
+// WriterStats is one campaign writer's share of a served store.
+type WriterStats struct {
+	ID            string `json:"id"`
+	Snapshots     int    `json:"snapshots"`
+	TailSnapshots int    `json:"tail_snapshots"`
+	Segments      int    `json:"segments"`
+}
+
+// CompactionStats summarizes the daemon store's compaction history and
+// whether a run is in flight right now.
+type CompactionStats struct {
+	Runs            uint64 `json:"runs"`
+	SealedSnapshots uint64 `json:"sealed_snapshots"`
+	ReclaimedBytes  int64  `json:"reclaimed_bytes"`
+	Running         bool   `json:"running"`
+}
+
+// CompactWriterResult is one writer's outcome in a CompactResponse.
+type CompactWriterResult struct {
+	Writer       string `json:"writer"`
+	Sealed       int    `json:"sealed"`
+	Segment      string `json:"segment,omitempty"`
+	TailBytes    int64  `json:"tail_bytes"`
+	SegmentBytes int64  `json:"segment_bytes"`
+	Skipped      string `json:"skipped,omitempty"`
+}
+
+// CompactResponse is POST /v1/admin/compact: per-writer seal outcomes.
+type CompactResponse struct {
+	Results []CompactWriterResult `json:"results"`
 }
 
 // AdmissionStats is the daemon's admission-control summary: cumulative

@@ -30,7 +30,7 @@ func TestHotReloadNoDroppedQueries(t *testing.T) {
 	path, writer, times := fixture(t, 10)
 	defer writer.Close()
 
-	serving, err := histstore.Open(path, histstore.WithCache(256))
+	serving, err := histstore.Open(path, histstore.WithCache(256), histstore.WithReadOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestHotReloadNoDroppedQueries(t *testing.T) {
 	srv := New(serving, Config{
 		Sink: reg,
 		Reopen: func() (*histstore.Store, error) {
-			return histstore.Open(path, histstore.WithCache(256))
+			return histstore.Open(path, histstore.WithCache(256), histstore.WithReadOnly())
 		},
 	})
 	defer srv.Close()
@@ -140,12 +140,12 @@ func TestReloadViaAdminEndpoint(t *testing.T) {
 	defer testutil.VerifyNoLeaks(t)
 	path, writer, times := fixture(t, 5)
 	defer writer.Close()
-	serving, err := histstore.Open(path)
+	serving, err := histstore.Open(path, histstore.WithReadOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
 	srv := New(serving, Config{
-		Reopen: func() (*histstore.Store, error) { return histstore.Open(path) },
+		Reopen: func() (*histstore.Store, error) { return histstore.Open(path, histstore.WithReadOnly()) },
 	})
 	defer srv.Close()
 	h := srv.Handler()

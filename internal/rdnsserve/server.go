@@ -59,6 +59,10 @@ type Config struct {
 	// Reopen opens a fresh store for hot reload. nil disables Reload and
 	// makes POST /v1/admin/reload answer 403.
 	Reopen func() (*histstore.Store, error)
+	// Compact tunes every compaction this server starts — the daemon's
+	// background loop and POST /v1/admin/compact alike — so one
+	// -compact-min-seal flag governs both triggers.
+	Compact histstore.CompactOptions
 }
 
 // Server serves one history store over HTTP. It owns the store: Close
@@ -66,11 +70,12 @@ type Config struct {
 // for concurrent use, including concurrently with Reload and with Append
 // on the live store.
 type Server struct {
-	sink   telemetry.Sink
-	tracer *telemetry.Tracer
-	seed   int64
-	adm    *admission
-	reopen func() (*histstore.Store, error)
+	sink    telemetry.Sink
+	tracer  *telemetry.Tracer
+	seed    int64
+	adm     *admission
+	reopen  func() (*histstore.Store, error)
+	compact histstore.CompactOptions
 
 	nextQ    atomic.Int64
 	cur      atomic.Pointer[storeHandle]
@@ -97,11 +102,12 @@ func New(st *histstore.Store, cfg Config) *Server {
 		sink = (*telemetry.Registry)(nil) // nil registry: valid no-op Sink
 	}
 	s := &Server{
-		sink:   sink,
-		tracer: cfg.Tracer,
-		seed:   cfg.Seed,
-		adm:    newAdmission(cfg.Admission, sink),
-		reopen: cfg.Reopen,
+		sink:    sink,
+		tracer:  cfg.Tracer,
+		seed:    cfg.Seed,
+		adm:     newAdmission(cfg.Admission, sink),
+		reopen:  cfg.Reopen,
+		compact: cfg.Compact,
 
 		queries:       sink.Counter(metricQueries),
 		queryErrors:   sink.Counter(metricQueryErrors),
@@ -203,6 +209,26 @@ func (s *Server) StatsSnapshot() rdnsclient.StatsResponse {
 			CacheHits:       st.CacheHits,
 			CacheMisses:     st.CacheMisses,
 			CacheEntries:    st.CacheEntries,
+			TailBytes:       st.TailBytes,
+			SealedBytes:     st.SealedBytes,
+			Segments:        st.Segments,
+			HotSegments:     st.HotSegments,
+			TierLoads:       st.TierLoads,
+			TierEvictions:   st.TierEvictions,
+			Compaction: rdnsclient.CompactionStats{
+				Runs:            st.Compaction.Runs,
+				SealedSnapshots: st.Compaction.SealedSnapshots,
+				ReclaimedBytes:  st.Compaction.ReclaimedBytes,
+				Running:         st.Compaction.Running,
+			},
+		}
+		for _, w := range st.Writers {
+			resp.Store.Writers = append(resp.Store.Writers, rdnsclient.WriterStats{
+				ID:            w.ID,
+				Snapshots:     w.Snapshots,
+				TailSnapshots: w.TailSnapshots,
+				Segments:      w.Segments,
+			})
 		}
 		if total := st.CacheHits + st.CacheMisses; total > 0 {
 			resp.CacheHitRate = float64(st.CacheHits) / float64(total)
@@ -226,6 +252,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/days", s.route("days", nil, s.handleDays))
 	mux.HandleFunc("/v1/stats", s.route("stats", nil, s.handleStats))
 	mux.HandleFunc("/v1/admin/reload", s.adminReload())
+	mux.HandleFunc("/v1/admin/compact", s.adminCompact())
 	s.legacyRoutes(mux)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, errNotFound(r.URL.Path))
@@ -347,6 +374,70 @@ func (s *Server) adminReload() http.HandlerFunc {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(resp)
 	}
+}
+
+// adminCompact is POST /v1/admin/compact: seal every idle writer's tail
+// into segments, in place, while queries keep flowing on this same
+// handle. Like reload it is exempt from the token bucket but behind the
+// ACL. A compaction already in flight answers 409.
+func (s *Server) adminCompact() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.queries.Inc()
+		if r.Method != http.MethodPost {
+			s.queryErrors.Inc()
+			writeV1Error(w, errMethodNotAllowed(r.Method))
+			return
+		}
+		release, aerr := s.adm.admit(w, r, true)
+		if aerr != nil {
+			s.queryErrors.Inc()
+			writeV1Error(w, aerr)
+			return
+		}
+		defer release()
+		results, err := s.Compact(r.Context())
+		if err != nil {
+			s.queryErrors.Inc()
+			if errors.Is(err, histstore.ErrCompactBusy) {
+				writeV1Error(w, &apiError{status: http.StatusConflict, code: rdnsclient.CodeCompactBusy, msg: err.Error()})
+				return
+			}
+			writeV1Error(w, errInternal(err))
+			return
+		}
+		resp := rdnsclient.CompactResponse{}
+		for _, res := range results {
+			resp.Results = append(resp.Results, rdnsclient.CompactWriterResult{
+				Writer:       res.Writer,
+				Sealed:       res.Sealed,
+				Segment:      res.Segment,
+				TailBytes:    res.TailBytes,
+				SegmentBytes: res.SegmentBytes,
+				Skipped:      res.Skipped,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	}
+}
+
+// Compact seals every idle writer's tail of the currently served store
+// into segments, in place — queries keep answering bit-identically on
+// this same handle throughout. Writers owned by a live campaign process
+// are skipped with a per-writer reason. Exposed for the daemon's
+// -compact-interval background loop; POST /v1/admin/compact routes here
+// too. Without an explicit override, Config.Compact applies.
+func (s *Server) Compact(ctx context.Context, opts ...histstore.CompactOptions) ([]histstore.CompactResult, error) {
+	o := s.compact
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	hd := s.acquireHandle()
+	if hd == nil {
+		return nil, errors.New("rdnsserve: server is closed")
+	}
+	defer hd.release()
+	return hd.st.Compact(ctx, o)
 }
 
 // storeErr maps a store failure onto the envelope vocabulary. A canceled

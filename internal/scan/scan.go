@@ -92,6 +92,11 @@ type Campaign struct {
 	// too, each frame carries the store's append/compaction state. Nil
 	// skips persistence.
 	Store *histstore.Store
+	// CompactEvery, when > 0 with a Store attached, seals the store's
+	// tail into a segment after every N appended snapshots, bounding the
+	// tail a crash can tear and keeping reconstruction chains short over
+	// long campaigns. Compaction failures surface in Result.StoreErr.
+	CompactEvery int
 }
 
 // Targets returns the campaign's sweep coverage, for scanengine.Request.
@@ -184,6 +189,9 @@ func Run(c Campaign) *Result {
 		}
 		if c.Store != nil && storeErr == nil {
 			storeErr = c.Store.Append(at, snap.Records)
+			if storeErr == nil && c.CompactEvery > 0 && (i+1)%c.CompactEvery == 0 {
+				_, storeErr = c.Store.CompactWriter(ctx, c.Store.WriterID(), histstore.CompactOptions{MinSeal: c.CompactEvery})
+			}
 		}
 		c.Observer.CaptureFrame(i, d, snap)
 		for ip, name := range snap.Records {
@@ -202,11 +210,18 @@ func Run(c Campaign) *Result {
 func storeStats(st *histstore.Store) obs.StoreStats {
 	s := st.Stats()
 	return obs.StoreStats{
-		Snapshots:   s.Snapshots,
-		Blocks:      s.Blocks,
-		BaseFrames:  s.BaseFrames,
-		DeltaFrames: s.DeltaFrames,
-		Bytes:       s.Bytes,
+		Snapshots:       s.Snapshots,
+		Blocks:          s.Blocks,
+		BaseFrames:      s.BaseFrames,
+		DeltaFrames:     s.DeltaFrames,
+		Bytes:           s.Bytes,
+		Segments:        s.Segments,
+		SealedBytes:     s.SealedBytes,
+		HotSegments:     s.HotSegments,
+		Writers:         len(s.Writers),
+		Compactions:     s.Compaction.Runs,
+		SealedSnapshots: s.Compaction.SealedSnapshots,
+		ReclaimedBytes:  s.Compaction.ReclaimedBytes,
 	}
 }
 

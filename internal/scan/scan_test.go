@@ -360,3 +360,47 @@ func TestCampaignStoreAppendFailure(t *testing.T) {
 		t.Fatalf("sweep did not complete: %+v", res.Stats)
 	}
 }
+
+// TestCampaignCompactEvery pins the in-campaign compaction wiring: with
+// CompactEvery set the campaign seals its own tail every N appends, the
+// history survives intact, and the health frames report the compaction
+// progress.
+func TestCampaignCompactEvery(t *testing.T) {
+	u := smallUniverse(t)
+	start := time.Date(2021, 1, 4, 0, 0, 0, 0, time.UTC)
+	st, err := histstore.Open(filepath.Join(t.TempDir(), "campaign.hist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rec := obs.NewRecorder(nil)
+	res := Run(Campaign{
+		Universe:     u,
+		Start:        start,
+		End:          start.AddDate(0, 0, 6),
+		Cadence:      Daily,
+		Networks:     []string{u.Networks[0].Name()},
+		SkipFiller:   true,
+		Observer:     rec,
+		Store:        st,
+		CompactEvery: 3,
+	})
+	if res.StoreErr != nil {
+		t.Fatalf("store error: %v", res.StoreErr)
+	}
+	s := st.Stats()
+	if st.Len() != 7 || s.Segments != 2 || s.Compaction.Runs != 2 || s.Compaction.SealedSnapshots != 6 {
+		t.Fatalf("after compacting campaign: len %d, stats %+v", st.Len(), s)
+	}
+	rows, err := st.Range(dnswire.Prefix{}, st.Times()[0], st.Times()[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("compacted campaign history is empty")
+	}
+	last := rec.Frames()[6].Store
+	if last.Compactions != 2 || last.SealedSnapshots != 6 || last.Segments != 2 {
+		t.Fatalf("last frame store stats: %+v", last)
+	}
+}

@@ -1,0 +1,42 @@
+package testutil
+
+import "sync/atomic"
+
+// Fault points are named crash-injection sites compiled into production
+// write paths (histstore's segment/tail/manifest writes and renames).
+// With no hook armed a call is one atomic load returning nil, so the
+// production cost is negligible; a test arms a hook with SetFaultHook to
+// simulate a crash at an exact point in a multi-step on-disk protocol
+// and then asserts the recovery invariants.
+//
+// Unlike the rest of this package, Fault is deliberately importable from
+// non-test code: the whole point is that the hook sits inside the real
+// write path, not a test double.
+
+// faultHook holds the armed hook; nil means every fault point passes.
+var faultHook atomic.Pointer[func(point string) error]
+
+// SetFaultHook arms fn as the process-wide fault hook (nil disarms it).
+// fn is called with the fault-point name and may return an error to make
+// that point fail as if the process had died there. Tests that arm a
+// hook must disarm it before finishing:
+//
+//	testutil.SetFaultHook(fn)
+//	defer testutil.SetFaultHook(nil)
+func SetFaultHook(fn func(point string) error) {
+	if fn == nil {
+		faultHook.Store(nil)
+		return
+	}
+	faultHook.Store(&fn)
+}
+
+// Fault invokes the armed fault hook for the named point, returning its
+// error. With no hook armed it returns nil.
+func Fault(point string) error {
+	fn := faultHook.Load()
+	if fn == nil {
+		return nil
+	}
+	return (*fn)(point)
+}

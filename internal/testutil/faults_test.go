@@ -1,0 +1,42 @@
+package testutil
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFaultHook covers the crash-injection registry: disarmed points
+// pass for free, an armed hook sees the point name and its error is
+// returned verbatim, and disarming restores the pass-through.
+func TestFaultHook(t *testing.T) {
+	if err := Fault("histstore.compact.sealed"); err != nil {
+		t.Fatalf("disarmed fault point failed: %v", err)
+	}
+
+	boom := errors.New("injected crash")
+	var seen []string
+	SetFaultHook(func(point string) error {
+		seen = append(seen, point)
+		if point == "histstore.compact.manifest.rename" {
+			return boom
+		}
+		return nil
+	})
+	defer SetFaultHook(nil)
+
+	if err := Fault("histstore.compact.segment.write"); err != nil {
+		t.Fatalf("hook failed a point it passes: %v", err)
+	}
+	if err := Fault("histstore.compact.manifest.rename"); !errors.Is(err, boom) {
+		t.Fatalf("armed point returned %v, want the injected error", err)
+	}
+	if len(seen) != 2 || seen[0] != "histstore.compact.segment.write" ||
+		seen[1] != "histstore.compact.manifest.rename" {
+		t.Fatalf("hook saw %q", seen)
+	}
+
+	SetFaultHook(nil)
+	if err := Fault("histstore.compact.manifest.rename"); err != nil {
+		t.Fatalf("disarmed fault point failed: %v", err)
+	}
+}
