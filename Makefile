@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-check cover verify race fuzz loadtest
+.PHONY: build test bench bench-check cover verify race fuzz loadtest replicatest
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,8 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # bench-check guards the hot paths against performance regressions: it
-# runs the full-sweep benchmark plus the history-store and rdnsd query
-# benchmarks, writes the results to BENCH_scan.json, and fails when
+# runs the full-sweep benchmark plus the history-store, rdnsd query and
+# replica benchmarks, writes the results to BENCH_scan.json, and fails when
 # ns/op regressed >15% against the checked-in baseline. The concurrent
 # serving benchmark additionally gates its p99-ns/op tail latency.
 # After an intentional perf change: cp BENCH_scan.json BENCH_baseline.json
@@ -21,7 +21,8 @@ bench-check:
 	$(GO) build -o /tmp/benchcheck ./cmd/benchcheck
 	{ $(GO) test -run '^$$' -bench 'BenchmarkScanEngineFullSweep|BenchmarkHistStoreAt' -count=1 . \
 		&& $(GO) test -run '^$$' -bench 'BenchmarkHistStoreCompact' -count=4 . \
-		&& $(GO) test -run '^$$' -bench 'BenchmarkRdnsdQuery|BenchmarkRdnsdConcurrentLoad' -count=1 ./internal/rdnsserve ; } \
+		&& $(GO) test -run '^$$' -bench 'BenchmarkRdnsdQuery|BenchmarkRdnsdConcurrentLoad' -count=1 ./internal/rdnsserve \
+		&& $(GO) test -run '^$$' -bench 'BenchmarkReplicaCatchup|BenchmarkReplicaQuery' -count=4 ./internal/replica ; } \
 		| /tmp/benchcheck -baseline BENCH_baseline.json -out BENCH_scan.json -gate-extras p99-ns/op
 
 # cover gates per-package test coverage: every internal package must stay
@@ -55,13 +56,26 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeBlock -fuzztime=30s ./internal/histstore
 	$(GO) test -fuzz=FuzzSegmentManifest -fuzztime=30s ./internal/histstore
 	$(GO) test -fuzz=FuzzSegmentFooter -fuzztime=30s ./internal/histstore
+	$(GO) test -fuzz=FuzzReplManifest -fuzztime=30s ./internal/replica
+	$(GO) test -fuzz=FuzzSegmentFetch -fuzztime=30s ./internal/replica
+
+# replicatest is the replication gate: the chaos battery (a primary with
+# a live appender and periodic compactions, replicas catching up while
+# pulls are killed mid-flight and syncers restart, query workers on every
+# daemon) under the race detector, plus a replay of the replica fuzz
+# seed corpora. Asserts zero query errors and bit-identical convergence.
+replicatest:
+	$(GO) test -race -count=1 -run 'TestReplicaSoakRace|TestReplicaChaosConvergence' ./internal/replica
+	$(GO) test -count=1 -run 'Fuzz' ./internal/replica
 
 # verify is the pre-merge gate: vet everything, run the full test suite
 # with the coverage floors, race-test the internal packages and the query
-# daemon, and smoke the serving path under 10k-worker load.
+# daemon, run the replication chaos battery, and smoke the serving path
+# under 10k-worker load.
 verify:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(MAKE) cover
 	$(GO) test -race ./internal/... ./cmd/rdnsd
+	$(MAKE) replicatest
 	$(MAKE) loadtest

@@ -53,7 +53,9 @@ import (
 
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/rdnsclient"
 	"rdnsprivacy/internal/rdnsserve"
+	"rdnsprivacy/internal/replica"
 	"rdnsprivacy/internal/telemetry"
 )
 
@@ -72,6 +74,8 @@ type options struct {
 	reload       bool
 	compactEvery time.Duration
 	compactMin   int
+	replicaOf    string
+	replPoll     time.Duration
 }
 
 // parsePrefixList parses a comma-separated IPv4 CIDR list ("" → nil).
@@ -92,6 +96,69 @@ func parsePrefixList(s string) ([]dnswire.Prefix, error) {
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// normalizeReplicaMode forces the invariants replica mode needs: a
+// replica daemon serves a mirror it keeps rewriting underneath itself,
+// so it must hot-reload to swap generations, and it must not compact
+// the mirrored files (the primary owns compaction).
+func (o *options) normalizeReplicaMode() {
+	if o.replicaOf == "" {
+		return
+	}
+	o.reload = true
+	o.compactEvery = 0
+}
+
+// replicaBootstrap blocks until one sync lands a committed generation in
+// the local mirror, so the daemon's read-only open has a store to serve.
+// Failed attempts log and retry on the poll interval until the context
+// dies.
+func replicaBootstrap(ctx context.Context, sync func(context.Context) (bool, error), poll time.Duration, logf func(string, ...any)) error {
+	for {
+		if _, err := sync(ctx); err == nil {
+			return nil
+		} else {
+			logf("rdnsd: replica sync: %v", err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// replicaCatchup is the replica's poll loop: pull the primary's feed,
+// and swap the serving handle onto the new generation whenever a sync
+// landed anything — the same zero-drop path as SIGHUP reload. Sync and
+// reload failures log and leave the previous generation serving.
+func replicaCatchup(ctx context.Context, sync func(context.Context) (bool, error), reload func() (rdnsclient.ReloadResponse, error), poll time.Duration, logf func(string, ...any)) {
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		changed, err := sync(ctx)
+		if err != nil {
+			if ctx.Err() == nil {
+				logf("rdnsd: replica sync: %v", err)
+			}
+			continue
+		}
+		if !changed {
+			continue
+		}
+		resp, err := reload()
+		if err != nil {
+			logf("rdnsd: replica reload: %v", err)
+			continue
+		}
+		logf("rdnsd: replica generation %d (%d snapshots)", resp.Generation, resp.Snapshots)
+	}
 }
 
 // buildConfig translates flags into the serving config. The returned
@@ -150,15 +217,41 @@ func main() {
 	flag.StringVar(&o.aclAllow, "acl-allow", "", "comma-separated source prefixes to allow (empty = all)")
 	flag.StringVar(&o.aclDeny, "acl-deny", "", "comma-separated source prefixes to deny (wins over allow)")
 	flag.BoolVar(&o.reload, "reload", true, "enable hot reload via SIGHUP and POST /v1/admin/reload")
+	flag.StringVar(&o.replicaOf, "replica-of", "", "run as a read replica of the primary rdnsd at this base URL; -store names the local mirror directory (see docs/replication.md)")
+	flag.DurationVar(&o.replPoll, "repl-poll", time.Second, "replica catch-up poll interval (with -replica-of)")
 	flag.Parse()
 	if o.storePath == "" {
 		fmt.Fprintln(os.Stderr, "rdnsd: -store is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	o.normalizeReplicaMode()
 
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(o.seed, 4096)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+
+	// Replica mode: mirror the primary's feed into the local directory
+	// until it holds a committed generation, so the read-only open below
+	// has a store to serve. Later catch-ups happen on the poll loop.
+	var syncer *replica.Syncer
+	if o.replicaOf != "" {
+		var err error
+		syncer, err = replica.New(replica.Config{Source: o.replicaOf, Dir: o.storePath})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rdnsd: %v\n", err)
+			os.Exit(2)
+		}
+		if err := replicaBootstrap(ctx, syncer.Sync, o.replPoll, logf); err != nil {
+			os.Exit(1)
+		}
+	}
 
 	// The daemon is a pure reader: it never registers a writer, so
 	// campaign appenders keep exclusive ownership of their tails and a
@@ -224,8 +317,10 @@ func main() {
 		}()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if syncer != nil {
+		srv.SetReplicaStatus(syncer.Status)
+		go replicaCatchup(ctx, syncer.Sync, srv.Reload, o.replPoll, logf)
+	}
 
 	// Background compaction: periodically seal idle writer tails into
 	// segments while serving continues on the same handle. Writers whose

@@ -25,6 +25,8 @@ import (
 
 // loadConfig collects the run parameters (see main for the flags).
 type loadConfig struct {
+	// url is empty (self-host) or a comma-separated primary+replica
+	// target list; workers fan across the targets round-robin.
 	url         string
 	storePath   string
 	days        int
@@ -189,12 +191,12 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 	}
 	picker := newMixPicker(weights)
 
-	base := cfg.url
+	targets := splitTargets(cfg.url)
 	hc := &http.Client{Timeout: 60 * time.Second}
 	var prefixes []dnswire.Prefix
 	var days []time.Time
 
-	if cfg.url == "" {
+	if len(targets) == 0 {
 		// Self-host: serve a (synthesized or existing) store in-process.
 		var st *histstore.Store
 		if cfg.storePath != "" {
@@ -221,13 +223,13 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 			},
 		})
 		defer srv.Close()
-		base = "http://rdnsd.inproc"
+		targets = []string{"http://rdnsd.inproc"}
 		hc = &http.Client{Transport: inprocTransport{h: srv.Handler()}}
 	}
 
 	// Learn the served shape when it wasn't synthesized locally.
 	if len(days) == 0 {
-		probe := rdnsclient.New(base, rdnsclient.WithHTTPClient(hc))
+		probe := rdnsclient.New(targets[0], rdnsclient.WithHTTPClient(hc))
 		dr, err := probe.Days(context.Background())
 		if err != nil {
 			return nil, fmt.Errorf("probing /v1/days: %w", err)
@@ -285,7 +287,9 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 		wg.Add(1)
 		go func(w, n int) {
 			defer wg.Done()
-			c := rdnsclient.New(base,
+			// Workers fan across the target set round-robin, so a
+			// primary+replica pair each sees half the load.
+			c := rdnsclient.New(targets[w%len(targets)],
 				rdnsclient.WithHTTPClient(hc),
 				rdnsclient.WithAPIKey(fmt.Sprintf("load-%d", w)),
 				rdnsclient.WithRetries(0, 0)) // pushback is counted, not hidden
@@ -353,8 +357,50 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 	}
 	sum.P50, sum.P95, sum.P99 = total.Quantile(0.50), total.Quantile(0.95), total.Quantile(0.99)
 	res.Samples = append(res.Samples, sum)
+
+	// After a live run, ask each replica target how far behind it ended
+	// up: /v1/stats reports the syncer's lag, and the MaxReplicaLagBytes
+	// rule judges it alongside the latency/error SLOs.
+	lag, err := lagSamples(targets, hc)
+	if err != nil {
+		return nil, err
+	}
+	res.Samples = append(res.Samples, lag...)
 	res.Report = cfg.rules.EvaluateLoad(res.Samples)
 	return res, nil
+}
+
+// splitTargets parses the -url flag's comma-separated target list.
+func splitTargets(spec string) []string {
+	var targets []string
+	for _, t := range strings.Split(spec, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, strings.TrimRight(t, "/"))
+		}
+	}
+	return targets
+}
+
+// lagSamples probes each target's /v1/stats after the run and turns
+// replica lag reports into judgeable samples. Targets without a replica
+// block (primaries, self-hosted servers) contribute nothing.
+func lagSamples(targets []string, hc *http.Client) ([]obs.LoadSample, error) {
+	var out []obs.LoadSample
+	for i, t := range targets {
+		c := rdnsclient.New(t, rdnsclient.WithHTTPClient(hc))
+		sr, err := c.Stats(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("probing %s/v1/stats for lag: %w", t, err)
+		}
+		if sr.Replica == nil {
+			continue
+		}
+		out = append(out, obs.LoadSample{
+			Label:       fmt.Sprintf("lag:%d", i),
+			BytesBehind: sr.Replica.BytesBehind,
+		})
+	}
+	return out, nil
 }
 
 // issue sends one request of the given kind with seeded parameters drawn

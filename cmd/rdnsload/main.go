@@ -14,6 +14,12 @@
 //
 //	rdnsload -workers 10000 -requests 30000 -mix 'at=50,range=20,churn=10,name=10,days=5,stats=5'
 //	rdnsload -url http://127.0.0.1:8077 -workers 200 -requests 10000
+//	rdnsload -url http://primary:8077,http://replica:8078 -slo-max-lag-bytes -1
+//
+// -url accepts a comma-separated primary+replica set: workers fan across
+// the targets round-robin, and after the run each replica target's
+// /v1/stats lag report becomes a lag:* sample judged by
+// -slo-max-lag-bytes (see docs/replication.md).
 //
 // Every worker is its own client (distinct X-API-Key, so per-client rate
 // limits apply per worker) with retries disabled: pushback (429/503) is
@@ -34,7 +40,7 @@ import (
 
 func main() {
 	var cfg loadConfig
-	flag.StringVar(&cfg.url, "url", "", "drive a live daemon at this base URL instead of self-hosting")
+	flag.StringVar(&cfg.url, "url", "", "drive live daemons at this comma-separated base URL list (a primary+replica set fans workers round-robin) instead of self-hosting")
 	flag.StringVar(&cfg.storePath, "store", "", "self-host this existing store (default: synthesize one)")
 	flag.IntVar(&cfg.days, "days", 30, "synthesized history length in daily snapshots")
 	flag.IntVar(&cfg.blocks, "blocks", 4, "synthesized /24 block count")
@@ -50,6 +56,7 @@ func main() {
 	flag.Float64Var(&cfg.rules.MaxShedRate, "slo-max-shed-rate", 0.01, "SLO: max 429+503 pushback rate")
 	flag.Float64Var(&cfg.rules.MaxP95Seconds, "slo-p95", 1.0, "SLO: max p95 latency in seconds (negative disables)")
 	flag.Float64Var(&cfg.rules.MaxP99Seconds, "slo-p99", 2.5, "SLO: max p99 latency in seconds (negative disables)")
+	flag.Int64Var(&cfg.rules.MaxReplicaLagBytes, "slo-max-lag-bytes", 0, "SLO: max replica lag in feed bytes after the run (negative = must be caught up, 0 disables)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	flag.Parse()
 

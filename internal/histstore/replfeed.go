@@ -1,0 +1,408 @@
+package histstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Replication feed: the primary-side export hooks internal/replica and
+// rdnsserve's /v1/repl/* endpoints are built on, plus the replica-side
+// verification and commit helpers. The feed is derived entirely from the
+// store's crash-atomic layout:
+//
+//   - FeedManifest snapshots the current file set — per writer, the
+//     sealed segments (content-addressed by their trailer CRCs) and the
+//     committed byte count of the active tail.
+//   - FeedReadSegment serves immutable segment bytes; segments are never
+//     rewritten or deleted once sealed, so a fetch can resume at any
+//     offset across primary restarts and compactions.
+//   - FeedReadTail serves the committed prefix of a writer's tail.
+//     Append commits bytes under the store's write lock and tail files
+//     are never reused (compaction starts a fresh file name), so the
+//     region [0, committed) is immutable and a replica can resume a
+//     delta pull from its local file size.
+//
+// A replica downloads segments once, appends tail deltas, verifies every
+// file (VerifySegmentFile / VerifyTailFile — bit flips and truncation
+// are loud errors, never silently wrong answers), and commits the new
+// generation with WriteFeedManifest, the same tmp+fsync+rename protocol
+// every other store mutation uses.
+
+// ErrFeedUnknownFile reports a feed read for a file the store's current
+// manifest does not reference.
+var ErrFeedUnknownFile = errors.New("histstore: feed file not in manifest")
+
+// ErrFeedTailChanged reports a tail delta request naming a tail file the
+// writer no longer appends to (a compaction started a fresh tail). The
+// replica must refetch the manifest and pull the new tail from scratch.
+var ErrFeedTailChanged = errors.New("histstore: writer tail changed")
+
+// ErrFeedBadRange reports a feed read offset outside the file's (or the
+// tail's committed) byte range — a malformed request, not corruption.
+var ErrFeedBadRange = errors.New("histstore: feed offset out of range")
+
+// FeedSegment describes one sealed, immutable segment in a feed
+// manifest. CRC is the segment's footer CRC from its fixed trailer — the
+// content address a replica checks its download against.
+type FeedSegment struct {
+	File  string `json:"file"`
+	First int    `json:"first"`
+	Count int    `json:"count"`
+	Size  int64  `json:"size"`
+	CRC   uint32 `json:"crc"`
+}
+
+// FeedWriter is one writer's share of a feed manifest. TailSize is the
+// committed byte count of the active tail (header included); bytes past
+// it are either absent or a torn append and are never served.
+type FeedWriter struct {
+	ID        string        `json:"id"`
+	FileSeq   int           `json:"file_seq"`
+	TailFile  string        `json:"tail_file"`
+	TailFirst int           `json:"tail_first"`
+	TailSize  int64         `json:"tail_size"`
+	Segments  []FeedSegment `json:"segments,omitempty"`
+}
+
+// FeedManifest is a point-in-time description of the store's replicable
+// file set, consistent under the store lock: the segment tables and tail
+// sizes all belong to one committed state.
+type FeedManifest struct {
+	BaseInterval int          `json:"base_interval"`
+	Snapshots    int          `json:"snapshots"`
+	LastSnap     time.Time    `json:"last_snap,omitzero"`
+	TotalBytes   int64        `json:"total_bytes"`
+	Writers      []FeedWriter `json:"writers"`
+}
+
+// segmentCRC returns the segment's footer CRC from its trailer, cached
+// after the first read (segments are immutable). Uses the segment's open
+// handle when the tier holds one, else opens the path briefly.
+func (g *segment) segmentCRC() (uint32, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.crcKnown {
+		return g.crc, nil
+	}
+	f := g.f
+	if f == nil {
+		var err error
+		if f, err = os.Open(g.path); err != nil {
+			return 0, fmt.Errorf("histstore: %w", err)
+		}
+		defer f.Close()
+	}
+	if g.size < segTrailerLen {
+		return 0, fmt.Errorf("histstore: segment %s: %w", g.path, corruptError("shorter than its trailer"))
+	}
+	var trailer [segTrailerLen]byte
+	if _, err := f.ReadAt(trailer[:], g.size-segTrailerLen); err != nil {
+		return 0, fmt.Errorf("histstore: segment %s trailer: %w", g.path, err)
+	}
+	if [8]byte(trailer[12:]) != segTrailerMagic {
+		return 0, fmt.Errorf("histstore: segment %s: %w", g.path, corruptError("bad trailer magic"))
+	}
+	g.crc = binary.LittleEndian.Uint32(trailer[8:12])
+	g.crcKnown = true
+	return g.crc, nil
+}
+
+// FeedManifest snapshots the store's replicable file set. The returned
+// manifest is self-consistent: it describes one committed store state,
+// taken under the store's read lock.
+func (s *Store) FeedManifest() (FeedManifest, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return FeedManifest{}, ErrClosed
+	}
+	fm := FeedManifest{BaseInterval: s.baseEvery, Snapshots: len(s.times)}
+	if n := len(s.times); n > 0 {
+		fm.LastSnap = s.times[n-1]
+	}
+	for _, w := range s.writers {
+		fw := FeedWriter{
+			ID:        w.id,
+			FileSeq:   w.fileSeq,
+			TailFile:  w.tailFile,
+			TailFirst: w.tailFirst,
+			TailSize:  w.tailSize,
+		}
+		for _, g := range w.segs {
+			crc, err := g.segmentCRC()
+			if err != nil {
+				return FeedManifest{}, err
+			}
+			fw.Segments = append(fw.Segments, FeedSegment{
+				File:  filepath.Base(g.path),
+				First: g.firstSnap,
+				Count: g.count,
+				Size:  g.size,
+				CRC:   crc,
+			})
+			fm.TotalBytes += g.size
+		}
+		fm.TotalBytes += w.tailSize
+		fm.Writers = append(fm.Writers, fw)
+	}
+	return fm, nil
+}
+
+// FeedReadSegment serves up to max bytes of the named sealed segment
+// starting at off, returning the chunk and the segment's total size.
+// Only files the current manifest references are served (no path
+// traversal: names are matched against the in-memory segment set, never
+// joined from request input). Segments are immutable, so any (off, max)
+// window is stable across calls.
+func (s *Store) FeedReadSegment(name string, off int64, max int) ([]byte, int64, error) {
+	s.mu.RLock()
+	var path string
+	var size int64
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, 0, ErrClosed
+	}
+	for _, w := range s.writers {
+		for _, g := range w.segs {
+			if filepath.Base(g.path) == name {
+				path, size = g.path, g.size
+			}
+		}
+	}
+	s.mu.RUnlock()
+	if path == "" {
+		return nil, 0, fmt.Errorf("%w: segment %q", ErrFeedUnknownFile, name)
+	}
+	if off < 0 || off > size {
+		return nil, 0, fmt.Errorf("%w: segment %q offset %d not in [0, %d]", ErrFeedBadRange, name, off, size)
+	}
+	if max <= 0 || int64(max) > size-off {
+		max = int(size - off)
+	}
+	// Read through a fresh handle: the tier may open/close the shared one
+	// concurrently, and the file is immutable anyway.
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("histstore: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, max)
+	if _, err := io.ReadFull(io.NewSectionReader(f, off, int64(max)), buf); err != nil {
+		return nil, 0, fmt.Errorf("histstore: reading feed segment %q: %w", name, err)
+	}
+	return buf, size, nil
+}
+
+// FeedTailInfo identifies a writer's active tail at read time.
+type FeedTailInfo struct {
+	File  string // tail file name
+	First int    // writer-local index of the tail's first snapshot
+	Size  int64  // committed bytes (header included)
+}
+
+// FeedReadTail serves up to max bytes of writer's committed tail region
+// starting at off, plus the tail's identity. When wantFile is non-empty
+// and no longer the writer's active tail (compaction swapped it), the
+// read fails with ErrFeedTailChanged and the current identity, telling
+// the replica to restart its tail pull from the new file. off may equal
+// the committed size (an empty caught-up read).
+func (s *Store) FeedReadTail(writer, wantFile string, off int64, max int) ([]byte, FeedTailInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, FeedTailInfo{}, ErrClosed
+	}
+	var w *writerState
+	for _, cand := range s.writers {
+		if cand.id == writer {
+			w = cand
+			break
+		}
+	}
+	if w == nil {
+		return nil, FeedTailInfo{}, fmt.Errorf("%w: writer %q", ErrFeedUnknownFile, writer)
+	}
+	info := FeedTailInfo{File: w.tailFile, First: w.tailFirst, Size: w.tailSize}
+	if wantFile != "" && wantFile != w.tailFile {
+		return nil, info, fmt.Errorf("%w: %q is now %q", ErrFeedTailChanged, wantFile, w.tailFile)
+	}
+	if off < 0 || off > w.tailSize {
+		return nil, info, fmt.Errorf("%w: tail %q offset %d not in [0, %d]", ErrFeedBadRange, w.tailFile, off, w.tailSize)
+	}
+	if max <= 0 || int64(max) > w.tailSize-off {
+		max = int(w.tailSize - off)
+	}
+	buf := make([]byte, max)
+	if max > 0 {
+		// Committed tail bytes are immutable and Append serializes against
+		// this read lock, so a ReadAt within [0, tailSize) is stable.
+		if _, err := w.tailF.ReadAt(buf, off); err != nil {
+			return nil, info, fmt.Errorf("histstore: reading feed tail %q: %w", w.tailFile, err)
+		}
+	}
+	return buf, info, nil
+}
+
+// VerifySegmentFile fully validates a downloaded segment file against
+// its manifest identity: header, trailer, footer CRC, footer index
+// decode, and a CRC scan of every frame in the data region — together
+// the checks cover every byte of the file. It returns the file size and
+// the trailer's footer CRC so callers can match the feed's content
+// address. Any truncation or bit flip is a loud error.
+func VerifySegmentFile(path, writerID string, first, count int) (int64, uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("histstore: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("histstore: %w", err)
+	}
+	size := fi.Size()
+	_, frameStart, footerOff, err := readSegmentIndex(f, size, writerID, first, count)
+	if err != nil {
+		return 0, 0, fmt.Errorf("histstore: segment %s: %w", path, err)
+	}
+	sc := &frameScanner{
+		r:   bufio.NewReaderSize(io.NewSectionReader(f, frameStart, footerOff-frameStart), 1<<16),
+		off: frameStart,
+	}
+	for {
+		_, off, _, err := sc.next()
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, errTruncated) {
+			return 0, 0, fmt.Errorf("histstore: segment %s: %w", path,
+				corruptf("frame region ends inside a frame at offset %d", off))
+		}
+		if err != nil {
+			return 0, 0, fmt.Errorf("histstore: segment %s at offset %d: %w", path, off, err)
+		}
+	}
+	var trailer [segTrailerLen]byte
+	if _, err := f.ReadAt(trailer[:], size-segTrailerLen); err != nil {
+		return 0, 0, fmt.Errorf("histstore: segment %s trailer: %w", path, err)
+	}
+	return size, binary.LittleEndian.Uint32(trailer[8:12]), nil
+}
+
+// VerifyTailFile validates the first size bytes of a downloaded tail
+// file: magic, header first-snapshot == first, and a full frame scan of
+// [header, size) with every frame CRC checked and snapshot headers
+// counting up contiguously from first. It returns the number of
+// snapshots in the verified region. A scan that ends inside a frame is
+// an error — a replica never commits a tail prefix it cannot prove
+// frame-aligned, so a truncated or bit-flipped delta pull fails loudly
+// instead of quietly serving fewer (or wrong) snapshots.
+func VerifyTailFile(path string, first int, size int64) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("histstore: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("histstore: %w", err)
+	}
+	if fi.Size() < size {
+		return 0, fmt.Errorf("histstore: tail %s: %w", path,
+			corruptf("file is %d bytes, verifying %d", fi.Size(), size))
+	}
+	gotFirst, hdrLen, _, err := readTailHeader(f)
+	if err != nil {
+		return 0, fmt.Errorf("histstore: tail %s: %w", path, err)
+	}
+	if gotFirst != first {
+		return 0, fmt.Errorf("histstore: tail %s: %w", path,
+			corruptf("header says first snapshot %d, manifest says %d", gotFirst, first))
+	}
+	if size < hdrLen {
+		return 0, fmt.Errorf("histstore: tail %s: %w", path,
+			corruptf("verified size %d is inside the %d-byte header", size, hdrLen))
+	}
+	sc := &frameScanner{
+		r:   bufio.NewReaderSize(io.NewSectionReader(f, hdrLen, size-hdrLen), 1<<16),
+		off: hdrLen,
+	}
+	snaps, expect := 0, first
+	sawSnap := false
+	for {
+		fr, off, _, err := sc.next()
+		if err == io.EOF {
+			return snaps, nil
+		}
+		if errors.Is(err, errTruncated) {
+			return 0, fmt.Errorf("histstore: tail %s: %w", path,
+				corruptf("truncated inside a frame at offset %d", off))
+		}
+		if err != nil {
+			return 0, fmt.Errorf("histstore: tail %s at offset %d: %w", path, off, err)
+		}
+		switch fr.kind {
+		case frameSnap:
+			snap, _, err := decodeSnapBody(fr.body)
+			if err != nil {
+				return 0, fmt.Errorf("histstore: tail %s at offset %d: %w", path, off, err)
+			}
+			if snap != expect {
+				return 0, fmt.Errorf("histstore: tail %s: %w", path,
+					corruptf("snapshot header %d at offset %d, expected %d", snap, off, expect))
+			}
+			expect++
+			snaps++
+			sawSnap = true
+		default:
+			if !sawSnap {
+				return 0, fmt.Errorf("histstore: tail %s: %w", path,
+					corruptf("block frame at offset %d before any snapshot header", off))
+			}
+		}
+	}
+}
+
+// WriteFeedManifest commits a replica's synced file set as the store
+// directory's manifest, using the same atomic tmp+fsync+rename protocol
+// every primary-side mutation uses. The manifest is validated by an
+// encode/decode round trip first — the same strict checks Open applies —
+// so an inconsistent feed (segments not tiling [0, tailFirst), bad
+// names) fails before anything is committed. It reports whether the
+// directory's manifest actually advanced: a byte-identical re-commit is
+// skipped, so a caught-up replica's sync is a no-op.
+func WriteFeedManifest(dir string, fm FeedManifest) (bool, error) {
+	if fm.BaseInterval <= 0 {
+		return false, fmt.Errorf("histstore: feed manifest base interval %d", fm.BaseInterval)
+	}
+	m := &storeManifest{baseEvery: fm.BaseInterval}
+	for _, fw := range fm.Writers {
+		mw := manifestWriter{
+			id:        fw.ID,
+			fileSeq:   fw.FileSeq,
+			tailFile:  fw.TailFile,
+			tailFirst: fw.TailFirst,
+		}
+		for _, g := range fw.Segments {
+			mw.segs = append(mw.segs, manifestSegment{file: g.File, first: g.First, count: g.Count})
+		}
+		m.setWriter(mw)
+	}
+	enc := encodeManifest(m)
+	if _, err := decodeManifest(enc); err != nil {
+		return false, fmt.Errorf("histstore: feed manifest invalid: %w", err)
+	}
+	if cur, err := readManifest(dir); err == nil && cur != nil && bytes.Equal(encodeManifest(cur), enc) {
+		return false, nil
+	}
+	if err := writeManifest(dir, m, nil); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -75,6 +75,10 @@ type segment struct {
 	f    *os.File
 	refs map[dnswire.Prefix][]blockRef
 	hot  bool // tracked in the tier's LRU list
+	// crc caches the trailer's footer CRC — the replication feed's
+	// content address — after the first read (replfeed.go).
+	crc      uint32
+	crcKnown bool
 }
 
 func (g *segment) lastSnap() int { return g.firstSnap + g.count - 1 }

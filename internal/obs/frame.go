@@ -78,6 +78,28 @@ type Frame struct {
 	// state after this day's append, when the campaign writes one (see
 	// Recorder.SetStoreStats).
 	Store *StoreStats `json:"store,omitempty"`
+
+	// Replica carries a read replica's lag against its primary at capture
+	// time, when the process serves a snapshot-shipped store (see
+	// Recorder.SetReplicaStatus). Primaries leave it nil.
+	Replica *ReplicaStatus `json:"replica,omitempty"`
+}
+
+// ReplicaStatus mirrors a replica daemon's lag report inside a frame —
+// a local copy (not rdnsclient.ReplicaStats) so obs stays import-free of
+// the serving layer; cmd/rdnsd converts between the two.
+type ReplicaStatus struct {
+	// Source is the primary's base URL.
+	Source string `json:"source"`
+	// BytesBehind is the feed bytes not yet synced locally; 0 means
+	// caught up as of the last sync.
+	BytesBehind int64 `json:"bytes_behind"`
+	// SnapshotsBehind is the snapshot-count gap against the primary's
+	// last advertised manifest.
+	SnapshotsBehind int `json:"snapshots_behind"`
+	// Syncs and SyncErrors count catch-up attempts.
+	Syncs      uint64 `json:"syncs"`
+	SyncErrors uint64 `json:"sync_errors,omitempty"`
 }
 
 // StoreStats mirrors the history store's summary inside a frame. It is a

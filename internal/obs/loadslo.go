@@ -32,6 +32,10 @@ type LoadSample struct {
 	P50 float64 `json:"p50"`
 	P95 float64 `json:"p95"`
 	P99 float64 `json:"p99"`
+	// BytesBehind is the replication lag a replica target reported after
+	// the run (see LoadRules.MaxReplicaLagBytes). Zero for primaries and
+	// for per-endpoint samples.
+	BytesBehind int64 `json:"bytes_behind,omitempty"`
 }
 
 // ErrorRate is hard failures per request (0 with no requests).
@@ -62,6 +66,11 @@ type LoadRules struct {
 	// MaxP95Seconds / MaxP99Seconds cap the latency quantiles.
 	MaxP95Seconds float64 `json:"max_p95_seconds"`
 	MaxP99Seconds float64 `json:"max_p99_seconds"`
+	// MaxReplicaLagBytes bounds LoadSample.BytesBehind — how stale a read
+	// replica may be and still count as serving. Positive bounds the lag,
+	// negative requires full catch-up (0 bytes behind), zero disables the
+	// rule (the default: primaries have no lag to judge).
+	MaxReplicaLagBytes int64 `json:"max_replica_lag_bytes,omitempty"`
 }
 
 // DefaultLoadRules is the shape cmd/rdnsload starts from: no hard
@@ -122,6 +131,15 @@ func (r LoadRules) evaluateSample(s LoadSample) LoadVerdict {
 	}
 	if r.MaxP99Seconds > 0 && s.P99 > r.MaxP99Seconds {
 		fail("p99", s.P99, r.MaxP99Seconds)
+	}
+	if r.MaxReplicaLagBytes != 0 {
+		limit := r.MaxReplicaLagBytes
+		if limit < 0 {
+			limit = 0 // negative: caught up or violating
+		}
+		if s.BytesBehind > limit {
+			fail("replica_lag_bytes", float64(s.BytesBehind), float64(limit))
+		}
 	}
 	return v
 }

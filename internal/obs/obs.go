@@ -38,6 +38,9 @@ type Recorder struct {
 	// storeStats, when set, snapshots the campaign's history store for
 	// each frame (see SetStoreStats).
 	storeStats func() StoreStats
+	// replicaStatus, when set, snapshots the process's replication lag
+	// for each frame (see SetReplicaStatus).
+	replicaStatus func() *ReplicaStatus
 }
 
 // RecorderOption tunes a Recorder.
@@ -88,6 +91,19 @@ func (r *Recorder) SetStoreStats(fn func() StoreStats) {
 	r.mu.Unlock()
 }
 
+// SetReplicaStatus attaches a replication-lag source: every frame
+// captured afterwards carries Frame.Replica with fn's result at capture
+// time (nil results leave the field unset, so primaries can attach a
+// source unconditionally). Safe on a nil recorder; fn nil detaches.
+func (r *Recorder) SetReplicaStatus(fn func() *ReplicaStatus) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.replicaStatus = fn
+	r.mu.Unlock()
+}
+
 // CaptureFrame records one campaign day: the snapshot summary plus the
 // registry digest and counter deltas since the previous capture. It
 // returns the captured frame. Safe on a nil recorder (returns the zero
@@ -102,6 +118,9 @@ func (r *Recorder) CaptureFrame(index int, date time.Time, snap *scanengine.Snap
 	if r.storeStats != nil {
 		ss := r.storeStats()
 		f.Store = &ss
+	}
+	if r.replicaStatus != nil {
+		f.Replica = r.replicaStatus()
 	}
 	r.mu.Unlock()
 	if r.reg != nil {

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"testing"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/scanengine"
+)
+
+func TestReplicaStatusCapture(t *testing.T) {
+	r := NewRecorder(nil)
+	// No source attached: frames omit the replica block.
+	if f := r.CaptureFrame(0, day(0), nil); f.Replica != nil {
+		t.Fatalf("replica status without a source: %+v", f.Replica)
+	}
+	// A source returning nil (a primary with nothing to report) leaves
+	// the field unset, so daemons can attach one unconditionally.
+	r.SetReplicaStatus(func() *ReplicaStatus { return nil })
+	if f := r.CaptureFrame(1, day(1), nil); f.Replica != nil {
+		t.Fatalf("nil status captured: %+v", f.Replica)
+	}
+	calls := 0
+	r.SetReplicaStatus(func() *ReplicaStatus {
+		calls++
+		return &ReplicaStatus{Source: "http://primary:8077", BytesBehind: int64(calls), Syncs: 3}
+	})
+	f1 := r.CaptureFrame(2, day(2), nil)
+	f2 := r.CaptureFrame(3, day(3), nil)
+	if f1.Replica == nil || f2.Replica == nil {
+		t.Fatal("frames missing replica status")
+	}
+	// Each capture re-queries the source; the reports are independent.
+	if f1.Replica.BytesBehind != 1 || f2.Replica.BytesBehind != 2 || f1.Replica == f2.Replica {
+		t.Fatalf("replica reports: %+v then %+v", f1.Replica, f2.Replica)
+	}
+	if f1.Replica.Source != "http://primary:8077" || f1.Replica.Syncs != 3 {
+		t.Fatalf("replica fields: %+v", f1.Replica)
+	}
+	// Detaching stops the captures; a nil recorder accepts the call.
+	r.SetReplicaStatus(nil)
+	if f := r.CaptureFrame(4, day(4), nil); f.Replica != nil {
+		t.Fatalf("replica status after detach: %+v", f.Replica)
+	}
+	var nilRec *Recorder
+	nilRec.SetReplicaStatus(func() *ReplicaStatus { return &ReplicaStatus{} })
+}
+
+func TestFrameFromSnapshotHealth(t *testing.T) {
+	degraded := dnswire.MustPrefix("10.9.0.0/24")
+	snap := &scanengine.Snapshot{
+		Records: scanengine.RecordSet{
+			dnswire.MustIPv4("10.0.0.1"): dnswire.MustName("a.example.org"),
+		},
+		Changes: []scanengine.Change{
+			{Kind: scanengine.RecordAdded, IP: dnswire.MustIPv4("10.0.0.1")},
+			{Kind: scanengine.RecordRemoved, IP: dnswire.MustIPv4("10.0.0.2")},
+			{Kind: scanengine.RecordChanged, IP: dnswire.MustIPv4("10.0.0.3")},
+		},
+		Degraded: true,
+		Health: &scanengine.HealthReport{
+			Degraded: []dnswire.Prefix{degraded},
+			Totals:   scanengine.ResilienceTotals{BreakerOpens: 5},
+		},
+	}
+	f := frameFromSnapshot(7, day(7), snap)
+	if f.Added != 1 || f.Removed != 1 || f.Changed != 1 {
+		t.Fatalf("change tallies: %+v", f)
+	}
+	if !f.Degraded || len(f.DegradedPrefixes) != 1 || f.DegradedPrefixes[0] != degraded.String() {
+		t.Fatalf("degraded prefixes: %+v", f)
+	}
+	if f.BreakerOpens != 5 || f.HealthFingerprint == "" {
+		t.Fatalf("health summary: %+v", f)
+	}
+}
+
+func TestLoadRulesReplicaLag(t *testing.T) {
+	// Positive limit bounds the byte lag.
+	bounded := LoadRules{MaxErrorRate: -1, MaxShedRate: -1, MaxReplicaLagBytes: 100}
+	rep := bounded.EvaluateLoad([]LoadSample{
+		{Label: "replica-ok", Requests: 10, BytesBehind: 100},
+		{Label: "replica-lagging", Requests: 10, BytesBehind: 101},
+	})
+	if rep.OK || rep.ViolatingSamples != 1 {
+		t.Fatalf("bounded lag report: %+v", rep)
+	}
+	if v := rep.Verdicts[1]; v.OK || v.Violations[0].Rule != "replica_lag_bytes" {
+		t.Fatalf("lagging verdict: %+v", v)
+	}
+	// Negative limit demands full catch-up: any lag violates.
+	strict := LoadRules{MaxErrorRate: -1, MaxShedRate: -1, MaxReplicaLagBytes: -1}
+	rep = strict.EvaluateLoad([]LoadSample{
+		{Label: "caught-up", Requests: 10, BytesBehind: 0},
+		{Label: "one-byte", Requests: 10, BytesBehind: 1},
+	})
+	if rep.Verdicts[0].OK != true || rep.Verdicts[1].OK != false {
+		t.Fatalf("strict lag report: %+v", rep)
+	}
+	// Zero disables the rule — primaries have no lag to judge.
+	off := LoadRules{MaxErrorRate: -1, MaxShedRate: -1}
+	if rep := off.EvaluateLoad([]LoadSample{{Label: "x", Requests: 10, BytesBehind: 1 << 30}}); !rep.OK {
+		t.Fatalf("disabled lag rule violated: %+v", rep.Verdicts)
+	}
+}

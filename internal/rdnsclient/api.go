@@ -54,6 +54,10 @@ const (
 	// CodeCompactBusy: a compaction sweep is already running; retry after
 	// it finishes (HTTP 409).
 	CodeCompactBusy = "compact_busy"
+	// CodeReplChanged: a replication tail fetch named a tail file the
+	// writer no longer appends to (compaction started a fresh tail); the
+	// replica must refetch the manifest (HTTP 409).
+	CodeReplChanged = "repl_changed"
 	// CodeInternal: an unexpected server-side failure (HTTP 500).
 	CodeInternal = "internal"
 )
@@ -207,12 +211,14 @@ type AdmissionStats struct {
 }
 
 // StatsResponse is /v1/stats. Generation counts store-handle swaps (0
-// until the first hot reload).
+// until the first hot reload; on a replica, every completed catch-up
+// sync bumps it). Replica is set only on daemons running -replica-of.
 type StatsResponse struct {
 	Generation   int64          `json:"generation"`
 	Store        StoreStats     `json:"store"`
 	CacheHitRate float64        `json:"cache_hit_rate"`
 	Admission    AdmissionStats `json:"admission"`
+	Replica      *ReplicaStats  `json:"replica,omitempty"`
 }
 
 // ReloadResponse is POST /v1/admin/reload: the freshly opened store's

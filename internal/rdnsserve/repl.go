@@ -1,0 +1,206 @@
+package rdnsserve
+
+// Replication feed endpoints: /v1/repl/manifest, /v1/repl/segment/{name},
+// /v1/repl/tail/{writer}. A replica daemon (cmd/rdnsd -replica-of) pulls
+// these to mirror the primary's histstore file set locally, then swaps
+// generations through the same refcounted store-handle path hot reload
+// uses. Like the admin surface, the feed is exempt from the per-client
+// token bucket (a replica must be able to catch up on a primary that is
+// busy shedding query traffic) but stays behind the ACL. See
+// docs/replication.md for the protocol and failure matrix.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/rdnsclient"
+)
+
+// Replication feed metric names.
+const (
+	metricReplFetches = "rdnsd_repl_fetches_total"
+	metricReplErrors  = "rdnsd_repl_errors_total"
+	metricReplBytes   = "rdnsd_repl_bytes_total"
+)
+
+// maxReplChunk caps one feed read; larger requests are clamped, and
+// replicas resume by offset.
+const maxReplChunk = 1 << 20
+
+// SetReplicaStatus attaches a replica daemon's lag report to /v1/stats:
+// fn's result (nil while no sync has resolved yet) is embedded as the
+// Replica field of every StatsSnapshot. Primaries leave it unset.
+func (s *Server) SetReplicaStatus(fn func() *rdnsclient.ReplicaStats) {
+	s.replStatus.Store(fn)
+}
+
+// replicaStatus returns the attached lag report, or nil.
+func (s *Server) replicaStatus() *rdnsclient.ReplicaStats {
+	if fn, ok := s.replStatus.Load().(func() *rdnsclient.ReplicaStats); ok && fn != nil {
+		return fn()
+	}
+	return nil
+}
+
+// replError maps a feed failure onto the envelope vocabulary.
+func replError(err error) *apiError {
+	switch {
+	case errors.Is(err, histstore.ErrFeedUnknownFile):
+		return errNotFound(err.Error())
+	case errors.Is(err, histstore.ErrFeedTailChanged):
+		return &apiError{status: http.StatusConflict, code: rdnsclient.CodeReplChanged, msg: err.Error()}
+	case errors.Is(err, histstore.ErrFeedBadRange):
+		return errBadParam("%v", err)
+	default:
+		return errInternal(err)
+	}
+}
+
+// replParams parses the off/n feed window parameters.
+func replParams(r *http.Request) (off int64, n int, aerr *apiError) {
+	q := r.URL.Query()
+	if v := q.Get("off"); v != "" {
+		var err error
+		if off, err = strconv.ParseInt(v, 10, 64); err != nil || off < 0 {
+			return 0, 0, errBadParam("off: must be a non-negative integer: %q", v)
+		}
+	}
+	n = maxReplChunk
+	if v := q.Get("n"); v != "" {
+		var err error
+		if n, err = strconv.Atoi(v); err != nil || n < 1 {
+			return 0, 0, errBadParam("n: must be a positive integer: %q", v)
+		}
+		if n > maxReplChunk {
+			n = maxReplChunk
+		}
+	}
+	return off, n, nil
+}
+
+// replRoute wraps one feed endpoint with the shared pipeline: GET check,
+// bucket-exempt admission, store-handle pinning, and error accounting.
+func (s *Server) replRoute(h func(w http.ResponseWriter, r *http.Request, hd *storeHandle) *apiError) http.HandlerFunc {
+	fetches := s.sink.Counter(metricReplFetches)
+	fetchErrors := s.sink.Counter(metricReplErrors)
+	return func(w http.ResponseWriter, r *http.Request) {
+		fetches.Inc()
+		fail := func(aerr *apiError) {
+			fetchErrors.Inc()
+			writeV1Error(w, aerr)
+		}
+		if r.Method != http.MethodGet {
+			fail(errMethodNotAllowed(r.Method))
+			return
+		}
+		release, aerr := s.adm.admit(w, r, true)
+		if aerr != nil {
+			fail(aerr)
+			return
+		}
+		defer release()
+		hd := s.acquireHandle()
+		if hd == nil {
+			fail(errOverloaded())
+			return
+		}
+		defer hd.release()
+		if aerr := h(w, r, hd); aerr != nil {
+			fail(aerr)
+		}
+	}
+}
+
+// replManifest is GET /v1/repl/manifest: the served store's replicable
+// file set plus this daemon's generation and snapshot horizon.
+func (s *Server) replManifest() http.HandlerFunc {
+	return s.replRoute(func(w http.ResponseWriter, r *http.Request, hd *storeHandle) *apiError {
+		fm, err := hd.st.FeedManifest()
+		if err != nil {
+			return replError(err)
+		}
+		resp := rdnsclient.ReplManifest{
+			Generation:   s.gen.Load(),
+			BaseInterval: fm.BaseInterval,
+			Snapshots:    fm.Snapshots,
+			LastSnap:     fm.LastSnap,
+			TotalBytes:   fm.TotalBytes,
+		}
+		for _, fw := range fm.Writers {
+			rw := rdnsclient.ReplWriter{
+				ID:        fw.ID,
+				FileSeq:   fw.FileSeq,
+				TailFile:  fw.TailFile,
+				TailFirst: fw.TailFirst,
+				TailSize:  fw.TailSize,
+			}
+			for _, g := range fw.Segments {
+				rw.Segments = append(rw.Segments, rdnsclient.ReplSegment{
+					File: g.File, First: g.First, Count: g.Count, Size: g.Size, CRC: g.CRC,
+				})
+			}
+			resp.Writers = append(resp.Writers, rw)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+		return nil
+	})
+}
+
+// replSegment is GET /v1/repl/segment/{name}?off=&n=: one chunk of a
+// sealed segment, X-Repl-Size carrying the total.
+func (s *Server) replSegment() http.HandlerFunc {
+	bytesOut := s.sink.Counter(metricReplBytes)
+	return s.replRoute(func(w http.ResponseWriter, r *http.Request, hd *storeHandle) *apiError {
+		name := strings.TrimPrefix(r.URL.Path, "/v1/repl/segment/")
+		if name == "" || strings.Contains(name, "/") {
+			return errBadParam("segment name missing or malformed")
+		}
+		off, n, aerr := replParams(r)
+		if aerr != nil {
+			return aerr
+		}
+		data, size, err := hd.st.FeedReadSegment(name, off, n)
+		if err != nil {
+			return replError(err)
+		}
+		bytesOut.Add(uint64(len(data)))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Repl-Size", strconv.FormatInt(size, 10))
+		w.Write(data)
+		return nil
+	})
+}
+
+// replTail is GET /v1/repl/tail/{writer}?off=&n=&file=: one chunk of the
+// writer's committed tail, X-Repl-Tail-* carrying the tail's identity.
+// file pins the expected tail; 409 repl_changed when compaction swapped
+// it (the identity headers then point at the successor).
+func (s *Server) replTail() http.HandlerFunc {
+	bytesOut := s.sink.Counter(metricReplBytes)
+	return s.replRoute(func(w http.ResponseWriter, r *http.Request, hd *storeHandle) *apiError {
+		writer := strings.TrimPrefix(r.URL.Path, "/v1/repl/tail/")
+		if writer == "" || strings.Contains(writer, "/") {
+			return errBadParam("writer id missing or malformed")
+		}
+		off, n, aerr := replParams(r)
+		if aerr != nil {
+			return aerr
+		}
+		data, info, err := hd.st.FeedReadTail(writer, r.URL.Query().Get("file"), off, n)
+		w.Header().Set("X-Repl-Tail-File", info.File)
+		w.Header().Set("X-Repl-Tail-First", strconv.Itoa(info.First))
+		w.Header().Set("X-Repl-Tail-Size", strconv.FormatInt(info.Size, 10))
+		if err != nil {
+			return replError(err)
+		}
+		bytesOut.Add(uint64(len(data)))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+		return nil
+	})
+}

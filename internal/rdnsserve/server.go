@@ -82,6 +82,9 @@ type Server struct {
 	gen      atomic.Int64
 	reloadMu sync.Mutex
 	closed   atomic.Bool
+	// replStatus holds a func() *rdnsclient.ReplicaStats lag source on
+	// replica daemons (SetReplicaStatus); nil/absent on primaries.
+	replStatus atomic.Value
 
 	queries       *telemetry.Counter
 	queryErrors   *telemetry.Counter
@@ -196,6 +199,7 @@ func (s *Server) StatsSnapshot() rdnsclient.StatsResponse {
 			PeakInFlight: s.adm.peak.Load(),
 			Clients:      s.adm.clients(),
 		},
+		Replica: s.replicaStatus(),
 	}
 	if h := s.acquireHandle(); h != nil {
 		st := h.st.Stats()
@@ -253,6 +257,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.route("stats", nil, s.handleStats))
 	mux.HandleFunc("/v1/admin/reload", s.adminReload())
 	mux.HandleFunc("/v1/admin/compact", s.adminCompact())
+	mux.HandleFunc("/v1/repl/manifest", s.replManifest())
+	mux.HandleFunc("/v1/repl/segment/", s.replSegment())
+	mux.HandleFunc("/v1/repl/tail/", s.replTail())
 	s.legacyRoutes(mux)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, errNotFound(r.URL.Path))

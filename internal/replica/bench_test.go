@@ -1,0 +1,109 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/rdnsserve"
+)
+
+// benchPrimary builds one seeded primary (a sealed segment plus a live
+// tail) shared across benchmark iterations.
+func benchPrimary(b *testing.B, days, blocks int) (*histstore.Store, *rdnsserve.Server) {
+	b.Helper()
+	dir := b.TempDir()
+	st, err := histstore.Open(filepath.Join(dir, "primary"),
+		histstore.WithCache(1024), histstore.WithBaseInterval(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	appendDays(b, st, 0, days*2/3, blocks)
+	if _, err := st.Compact(context.Background(), histstore.CompactOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	appendDays(b, st, days*2/3, days-days*2/3, blocks)
+	srv := rdnsserve.New(st, rdnsserve.Config{Seed: 1})
+	b.Cleanup(func() { srv.Close() })
+	return st, srv
+}
+
+// BenchmarkReplicaCatchup measures a cold replica pulling a full corpus
+// (segment plus tail) through the feed, verifying every byte, and
+// committing — the cost of bringing a new read replica online.
+func BenchmarkReplicaCatchup(b *testing.B) {
+	_, srv := benchPrimary(b, 30, 4)
+	client := feedClient(inprocTransport{srv.Handler()})
+	scratch := b.TempDir()
+
+	var bytesFetched int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := filepath.Join(scratch, fmt.Sprintf("replica-%d", i))
+		y, err := New(Config{Source: "http://primary.inproc", Dir: dir, Client: client, Chunk: 1 << 18})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := y.Sync(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		bytesFetched = y.Status().BytesFetched
+		b.StopTimer()
+		os.RemoveAll(dir)
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(bytesFetched), "feed-B/op")
+}
+
+// BenchmarkReplicaQuery is the replica-side twin of rdnsserve's
+// BenchmarkRdnsdQuery: the same endpoints served off a snapshot-shipped
+// read-only store instead of the writer's own, so a regression in the
+// replica read path (read-only open, synced segments, no cache warmup
+// from appends) shows up against its own baseline.
+func BenchmarkReplicaQuery(b *testing.B) {
+	_, srv := benchPrimary(b, 30, 4)
+	y, err := New(Config{Source: "http://primary.inproc", Dir: filepath.Join(b.TempDir(), "replica"),
+		Client: feedClient(inprocTransport{srv.Handler()}), Chunk: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := y.Sync(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	st, err := y.Open(histstore.WithCache(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	repSrv := rdnsserve.New(st, rdnsserve.Config{Seed: 2})
+	defer repSrv.Close()
+	repSrv.SetReplicaStatus(y.Status)
+	h := repSrv.Handler()
+
+	b.Run("at", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			day := (i * 7) % 30
+			req := httptest.NewRequest("GET",
+				fmt.Sprintf("/v1/at?ip=10.0.1.200&t=%s", campaignStart.AddDate(0, 0, day).Format("2006-01-02")), nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	})
+
+	b.Run("churn", func(b *testing.B) {
+		req := httptest.NewRequest("GET", "/v1/churn?prefix=10.0.1.0/24", nil)
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	})
+}

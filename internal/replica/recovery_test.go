@@ -1,0 +1,275 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/rdnsclient"
+	"rdnsprivacy/internal/rdnsserve"
+	"rdnsprivacy/internal/testutil"
+)
+
+// recoveryFixture: a synced replica directory plus a fresh-Syncer
+// factory modeling a process restart (no in-memory verified-file state).
+func recoveryFixture(t *testing.T) (primary *histstore.Store, dir string, fresh func() *Syncer) {
+	t.Helper()
+	testutil.VerifyNoLeaks(t)
+	root := t.TempDir()
+	primary = seedPrimary(t, filepath.Join(root, "primary"), 9, 2)
+	if _, err := primary.Compact(context.Background(), histstore.CompactOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	appendDays(t, primary, 9, 3, 2)
+	srv := rdnsserve.New(primary, rdnsserve.Config{Seed: 1})
+	t.Cleanup(func() { srv.Close() })
+	dir = filepath.Join(root, "replica")
+	fresh = func() *Syncer {
+		y, err := New(Config{Source: "http://primary.inproc", Dir: dir,
+			Client: feedClient(inprocTransport{srv.Handler()}), Chunk: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return y
+	}
+	mustSync(t, fresh())
+	return primary, dir, fresh
+}
+
+// corruptLocal flips one byte in a replica-local file.
+func corruptLocal(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x10
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func localFeedFiles(t *testing.T, y *Syncer) (segment, tail string) {
+	t.Helper()
+	m, err := y.c.ReplManifest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Writers[0]
+	return filepath.Join(y.dir, w.Segments[0].File), filepath.Join(y.dir, w.TailFile)
+}
+
+// TestRecoveryDamagedSegment: a restarted replica whose local segment
+// rotted on disk (right size, wrong bytes) detects the damage against
+// the content address and refetches — converging instead of serving
+// garbage or failing forever.
+func TestRecoveryDamagedSegment(t *testing.T) {
+	primary, _, fresh := recoveryFixture(t)
+	y := fresh()
+	seg, _ := localFeedFiles(t, y)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptLocal(t, seg, fi.Size()/2)
+
+	mustSync(t, y)
+	rep := openReplica(t, y)
+	defer rep.Close()
+	compareStores(t, primary, rep, 2)
+	if st := y.Status(); st.SegmentsFetched == 0 {
+		t.Fatalf("damaged segment was not refetched: %+v", st)
+	}
+}
+
+// TestRecoveryTruncatedSegment: a local segment shorter than the
+// manifest (torn by a crashed disk) is likewise refetched whole.
+func TestRecoveryTruncatedSegment(t *testing.T) {
+	primary, _, fresh := recoveryFixture(t)
+	y := fresh()
+	seg, _ := localFeedFiles(t, y)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	mustSync(t, y)
+	rep := openReplica(t, y)
+	defer rep.Close()
+	compareStores(t, primary, rep, 2)
+}
+
+// TestRecoveryCorruptTailAtRest: a restarted replica that is caught up
+// byte-wise re-proves its local tail before trusting it; rot is dropped
+// and repulled on the next sync.
+func TestRecoveryCorruptTailAtRest(t *testing.T) {
+	primary, _, fresh := recoveryFixture(t)
+	y := fresh()
+	_, tail := localFeedFiles(t, y)
+	fi, err := os.Stat(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptLocal(t, tail, fi.Size()-3)
+
+	if _, err := y.Sync(context.Background()); err == nil {
+		t.Fatal("corrupt local tail synced silently")
+	}
+	if _, err := os.Stat(tail); !os.IsNotExist(err) {
+		t.Fatal("corrupt tail not dropped for repull")
+	}
+	mustSync(t, y)
+	rep := openReplica(t, y)
+	defer rep.Close()
+	compareStores(t, primary, rep, 2)
+}
+
+// TestRecoveryOversizedPart: a stale .part stage larger than the
+// manifest's segment (a superseded fetch) is discarded, not resumed
+// past the end.
+func TestRecoveryOversizedPart(t *testing.T) {
+	primary, dir, fresh := recoveryFixture(t)
+	y := fresh()
+	seg, _ := localFeedFiles(t, y)
+	if err := os.Remove(seg); err != nil {
+		t.Fatal(err)
+	}
+	junk := make([]byte, 1<<20)
+	part := seg + ".part"
+	if err := os.WriteFile(part, junk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustSync(t, y)
+	rep := openReplica(t, y)
+	defer rep.Close()
+	compareStores(t, primary, rep, 2)
+	if _, err := os.Stat(part); !os.IsNotExist(err) {
+		t.Fatalf("stale .part survived in %s", dir)
+	}
+}
+
+// TestRecoveryLocalTailAhead: a local tail longer than the manifest's
+// committed size means the replica is tracking a store the primary has
+// since rebuilt — an errChanged-class condition that must surface
+// loudly rather than commit a manifest pointing inside the local file.
+func TestRecoveryLocalTailAhead(t *testing.T) {
+	_, _, fresh := recoveryFixture(t)
+	y := fresh()
+	_, tail := localFeedFiles(t, y)
+	f, err := os.OpenFile(tail, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := y.Sync(context.Background()); err == nil {
+		t.Fatal("over-long local tail synced silently")
+	} else if st := y.Status(); st.SyncErrors == 0 {
+		t.Fatalf("sync error not accounted: %+v", st)
+	}
+}
+
+// TestSyncFeedMisbehavior: a feed that errors mid-pull, over-serves a
+// window, or advertises a wrong content address is a loud sync error —
+// the previous committed generation stays intact and serving.
+func TestSyncFeedMisbehavior(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	root := t.TempDir()
+	primary := seedPrimary(t, filepath.Join(root, "primary"), 9, 2)
+	if _, err := primary.Compact(context.Background(), histstore.CompactOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	appendDays(t, primary, 9, 2, 2)
+	srv := rdnsserve.New(primary, rdnsserve.Config{Seed: 1})
+	defer srv.Close()
+	real := inprocTransport{srv.Handler()}
+
+	isSegment := func(req *http.Request) bool {
+		return len(req.URL.Path) > len("/v1/repl/segment/") && req.URL.Path[:len("/v1/repl/segment/")] == "/v1/repl/segment/"
+	}
+	cases := []struct {
+		name string
+		rt   roundTripFunc
+	}{
+		{"segment fetch errors", func(req *http.Request) (*http.Response, error) {
+			if isSegment(req) {
+				return nil, errors.New("connection reset by peer")
+			}
+			return real.RoundTrip(req)
+		}},
+		{"segment over-served", func(req *http.Request) (*http.Response, error) {
+			resp, err := real.RoundTrip(req)
+			if err == nil && resp.StatusCode == 200 && isSegment(req) {
+				body := readAll(t, resp)
+				resp.Body = newBody(append(body, make([]byte, 64)...))
+			}
+			return resp, err
+		}},
+		{"manifest lies about crc", func(req *http.Request) (*http.Response, error) {
+			resp, err := real.RoundTrip(req)
+			if err == nil && req.URL.Path == "/v1/repl/manifest" {
+				var fm rdnsclient.ReplManifest
+				if jerr := json.Unmarshal(readAll(t, resp), &fm); jerr != nil {
+					t.Fatal(jerr)
+				}
+				fm.Writers[0].Segments[0].CRC ^= 0xffffffff
+				mangled, _ := json.Marshal(fm)
+				resp.Body = newBody(mangled)
+			}
+			return resp, err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			y, err := New(Config{Source: "http://primary.inproc", Dir: filepath.Join(t.TempDir(), "rep"),
+				Client: feedClient(tc.rt), Chunk: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := y.Sync(context.Background()); err == nil {
+				t.Fatal("misbehaving feed synced silently")
+			}
+			if y.Synced() {
+				t.Fatal("failed sync marked the replica synced")
+			}
+			if _, err := y.Open(); err == nil {
+				t.Fatal("nothing was committed, yet the directory opens")
+			}
+		})
+	}
+}
+
+// TestCleanupSupersededTail: after the primary compacts its tail away,
+// the replica's next sync removes the superseded local tail file.
+func TestCleanupSupersededTail(t *testing.T) {
+	primary, _, fresh := recoveryFixture(t)
+	y := fresh()
+	_, oldTail := localFeedFiles(t, y)
+
+	if _, err := primary.Compact(context.Background(), histstore.CompactOptions{MinSeal: 1}); err != nil {
+		t.Fatal(err)
+	}
+	appendDays(t, primary, 12, 1, 2)
+	mustSync(t, y)
+	if _, err := os.Stat(oldTail); !os.IsNotExist(err) {
+		t.Fatalf("superseded tail %s survived cleanup", oldTail)
+	}
+	rep := openReplica(t, y)
+	defer rep.Close()
+	compareStores(t, primary, rep, 2)
+}
