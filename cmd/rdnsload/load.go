@@ -361,11 +361,7 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 	// After a live run, ask each replica target how far behind it ended
 	// up: /v1/stats reports the syncer's lag, and the MaxReplicaLagBytes
 	// rule judges it alongside the latency/error SLOs.
-	lag, err := lagSamples(targets, hc)
-	if err != nil {
-		return nil, err
-	}
-	res.Samples = append(res.Samples, lag...)
+	res.Samples = append(res.Samples, lagSamples(targets, hc)...)
 	res.Report = cfg.rules.EvaluateLoad(res.Samples)
 	return res, nil
 }
@@ -383,14 +379,23 @@ func splitTargets(spec string) []string {
 
 // lagSamples probes each target's /v1/stats after the run and turns
 // replica lag reports into judgeable samples. Targets without a replica
-// block (primaries, self-hosted servers) contribute nothing.
-func lagSamples(targets []string, hc *http.Client) ([]obs.LoadSample, error) {
+// block (primaries, self-hosted servers) contribute nothing. A failed
+// probe must not discard the completed run's data: it is logged and
+// becomes a failing sample (one request, one error) so the error-rate
+// rule flags it in the report.
+func lagSamples(targets []string, hc *http.Client) []obs.LoadSample {
 	var out []obs.LoadSample
 	for i, t := range targets {
 		c := rdnsclient.New(t, rdnsclient.WithHTTPClient(hc))
 		sr, err := c.Stats(context.Background())
 		if err != nil {
-			return nil, fmt.Errorf("probing %s/v1/stats for lag: %w", t, err)
+			fmt.Fprintf(os.Stderr, "rdnsload: probing %s/v1/stats for lag: %v\n", t, err)
+			out = append(out, obs.LoadSample{
+				Label:    fmt.Sprintf("lag:%d", i),
+				Requests: 1,
+				Errors:   1,
+			})
+			continue
 		}
 		if sr.Replica == nil {
 			continue
@@ -400,7 +405,7 @@ func lagSamples(targets []string, hc *http.Client) ([]obs.LoadSample, error) {
 			BytesBehind: sr.Replica.BytesBehind,
 		})
 	}
-	return out, nil
+	return out
 }
 
 // issue sends one request of the given kind with seeded parameters drawn

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"rdnsprivacy/internal/obs"
@@ -64,6 +66,40 @@ func TestRunLoadSmoke(t *testing.T) {
 	}
 	if res.Samples[len(res.Samples)-1].Label != "total" || res.Samples[len(res.Samples)-1].Requests != reqs {
 		t.Fatalf("total sample: %+v", res.Samples[len(res.Samples)-1])
+	}
+}
+
+// TestLagSamplesProbeFailure: a target whose post-run /v1/stats probe
+// fails must not discard the run — it becomes a failing sample while the
+// healthy targets' lag reports still come through.
+func TestLagSamplesProbeFailure(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"replica":{"source":"http://primary","bytes_behind":7,"syncs":3}}`))
+	}))
+	defer replica.Close()
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{}`))
+	}))
+	defer primary.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // probe hits a refused connection
+
+	samples := lagSamples([]string{primary.URL, dead.URL, replica.URL}, &http.Client{})
+	if len(samples) != 2 {
+		t.Fatalf("samples: %+v", samples)
+	}
+	if samples[0].Label != "lag:1" || samples[0].Errors != 1 || samples[0].Requests != 1 {
+		t.Fatalf("failed probe sample: %+v", samples[0])
+	}
+	if samples[1].Label != "lag:2" || samples[1].BytesBehind != 7 {
+		t.Fatalf("replica lag sample: %+v", samples[1])
+	}
+	// The error-rate rule flags the failed probe in the report.
+	if rep := (obs.LoadRules{MaxShedRate: -1}).EvaluateLoad(samples); rep.OK {
+		t.Fatalf("failed probe slipped past the error-rate rule: %+v", rep.Verdicts)
 	}
 }
 

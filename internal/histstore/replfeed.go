@@ -369,6 +369,18 @@ func VerifyTailFile(path string, first int, size int64) (int, error) {
 	}
 }
 
+// ValidStoreFileName reports whether name is safe as a basename inside a
+// store directory: non-empty, bounded, free of path separators and NULs,
+// and not "."/".." or a reserved store name. Replication clients must
+// check every feed-supplied file name against it before joining it into
+// a local path — WriteFeedManifest re-validates at commit time, but by
+// then a hostile name would already have been touched on disk.
+func ValidStoreFileName(name string) bool { return validStoreFileName(name) }
+
+// ValidWriterID reports whether id is a legal writer identity: 1..64
+// bytes of [a-z0-9_-].
+func ValidWriterID(id string) bool { return validWriterID(id) }
+
 // WriteFeedManifest commits a replica's synced file set as the store
 // directory's manifest, using the same atomic tmp+fsync+rename protocol
 // every primary-side mutation uses. The manifest is validated by an

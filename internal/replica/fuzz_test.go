@@ -57,6 +57,8 @@ func FuzzReplManifest(f *testing.F) {
 	f.Add(flipped)
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"base_interval":4,"writers":[{"id":"x","tail_file":"tail-x-0.log"}]}`))
+	f.Add([]byte(`{"base_interval":4,"writers":[{"id":"x","tail_file":"../../evil","tail_size":64}]}`))
+	f.Add([]byte(`{"base_interval":4,"writers":[{"id":"../x","tail_file":"tail-x-0.log","tail_size":64,"segments":[{"file":"..\\evil","size":64}]}]}`))
 	f.Add([]byte(`not json`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

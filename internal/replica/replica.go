@@ -168,6 +168,9 @@ func (y *Syncer) syncOnce(ctx context.Context) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("replica: manifest: %w", err)
 	}
+	if err := validateManifest(m); err != nil {
+		return false, err
+	}
 	if err := os.MkdirAll(y.dir, 0o755); err != nil {
 		return false, fmt.Errorf("replica: %w", err)
 	}
@@ -193,6 +196,29 @@ func (y *Syncer) syncOnce(ctx context.Context) (bool, error) {
 	}
 	y.cleanup(m)
 	return changed || committed, nil
+}
+
+// validateManifest rejects feed-supplied names that could escape the
+// store directory, before any of them is joined into a local path. The
+// commit-time manifest validation re-checks the same rules, but only
+// after the syncer has statted, removed, and renamed files at the joined
+// paths — a lying feed (compromised primary, MITM on the plain-HTTP
+// transport) must be a loud error before the first filesystem touch.
+func validateManifest(m rdnsclient.ReplManifest) error {
+	for _, w := range m.Writers {
+		if !histstore.ValidWriterID(w.ID) {
+			return fmt.Errorf("replica: manifest carries invalid writer id %q", w.ID)
+		}
+		if !histstore.ValidStoreFileName(w.TailFile) {
+			return fmt.Errorf("replica: manifest carries unsafe tail file name %q for writer %s", w.TailFile, w.ID)
+		}
+		for _, g := range w.Segments {
+			if !histstore.ValidStoreFileName(g.File) {
+				return fmt.Errorf("replica: manifest carries unsafe segment file name %q for writer %s", g.File, w.ID)
+			}
+		}
+	}
+	return nil
 }
 
 // syncSegment ensures one sealed segment is present, verified, and
@@ -439,7 +465,14 @@ func (y *Syncer) noteRemote(m rdnsclient.ReplManifest) {
 	localBytes := int64(0)
 	for _, w := range m.Writers {
 		for _, g := range w.Segments {
-			if fi, err := os.Stat(filepath.Join(y.dir, g.File)); err == nil {
+			p := filepath.Join(y.dir, g.File)
+			if fi, err := os.Stat(p); err == nil {
+				localBytes += min64(fi.Size(), g.Size)
+			} else if fi, err := os.Stat(p + ".part"); err == nil {
+				// A staged partial download resumes from its size, so those
+				// bytes are local too — without this, a restart mid-segment
+				// reports the whole segment behind and the resumed fetch
+				// double-decrements through noteFetched.
 				localBytes += min64(fi.Size(), g.Size)
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -555,6 +556,85 @@ func newBody(b []byte) *bodyCloser { return &bodyCloser{Reader: bytes.NewReader(
 type bodyCloser struct{ *bytes.Reader }
 
 func (*bodyCloser) Close() error { return nil }
+
+// TestReplicaHostileManifestNames proves a lying feed cannot steer the
+// syncer outside its store directory: a manifest carrying path-traversal
+// file names or a malformed writer ID fails validation before the syncer
+// touches the filesystem — nothing is statted, removed, written, or
+// renamed at the joined paths, and pre-existing files the traversal
+// points at survive untouched.
+func TestReplicaHostileManifestNames(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	primary := seedPrimary(t, filepath.Join(dir, "primary"), 9, 1)
+	if _, err := primary.Compact(context.Background(), histstore.CompactOptions{}); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	srv := rdnsserve.New(primary, rdnsserve.Config{Seed: 1})
+	defer srv.Close()
+	inner := inprocTransport{srv.Handler()}
+
+	clean, err := feedClient(inner).ReplManifest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Writers) == 0 || len(clean.Writers[0].Segments) == 0 {
+		t.Fatalf("seed manifest has no segments: %+v", clean)
+	}
+	// Pre-create the traversal target: a hostile delete-then-overwrite
+	// must be observable, not just a hostile create.
+	victim := filepath.Join(dir, "victim")
+	if err := os.WriteFile(victim, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(m *rdnsclient.ReplManifest)
+	}{
+		{"segment traversal", func(m *rdnsclient.ReplManifest) { m.Writers[0].Segments[0].File = "../victim" }},
+		{"segment backslash", func(m *rdnsclient.ReplManifest) { m.Writers[0].Segments[0].File = `..\victim` }},
+		{"segment dotdot", func(m *rdnsclient.ReplManifest) { m.Writers[0].Segments[0].File = ".." }},
+		{"tail traversal", func(m *rdnsclient.ReplManifest) { m.Writers[0].TailFile = "../victim" }},
+		{"tail reserved name", func(m *rdnsclient.ReplManifest) { m.Writers[0].TailFile = "MANIFEST" }},
+		{"writer id traversal", func(m *rdnsclient.ReplManifest) { m.Writers[0].ID = "../w" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hostile := clean
+			hostile.Writers = append([]rdnsclient.ReplWriter(nil), clean.Writers...)
+			hostile.Writers[0].Segments = append([]rdnsclient.ReplSegment(nil), clean.Writers[0].Segments...)
+			tc.mutate(&hostile)
+			data, err := json.Marshal(hostile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+				if req.URL.Path == "/v1/repl/manifest" {
+					return jsonResponse(req, data), nil
+				}
+				return inner.RoundTrip(req)
+			})
+			repDir := filepath.Join(t.TempDir(), "replica")
+			y, err := New(Config{Source: "http://primary.inproc", Dir: repDir, Client: feedClient(rt)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := y.Sync(context.Background()); err == nil {
+				t.Fatal("hostile manifest synced without an error")
+			}
+			// Validation fires before MkdirAll: the replica directory must
+			// not even exist, let alone hold staged files.
+			if _, err := os.Stat(repDir); !os.IsNotExist(err) {
+				t.Fatalf("syncer touched the filesystem before rejecting the manifest: stat %v", err)
+			}
+			got, err := os.ReadFile(victim)
+			if err != nil || string(got) != "precious" {
+				t.Fatalf("traversal target modified: %q, %v", got, err)
+			}
+		})
+	}
+}
 
 // TestReplicaConfig covers constructor validation.
 func TestReplicaConfig(t *testing.T) {
