@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-check cover verify race fuzz loadtest replicatest
+.PHONY: build test bench bench-check cover verify race fuzz loadtest replicatest metriclint monitortest
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,7 @@ bench-check:
 # deliberately changing coverage: cp COVERAGE_current.txt COVERAGE_baseline.txt
 cover:
 	$(GO) build -o /tmp/covercheck ./cmd/covercheck
-	$(GO) test -cover ./internal/... ./cmd/rdnsd ./cmd/rdnsload ./cmd/benchcheck \
+	$(GO) test -cover ./internal/... ./cmd/rdnsd ./cmd/rdnsload ./cmd/benchcheck ./cmd/rdnsmon ./cmd/metriclint \
 		| /tmp/covercheck -baseline COVERAGE_baseline.txt -out COVERAGE_current.txt
 
 # race checks every internal package plus the query daemon under the race
@@ -59,6 +59,23 @@ fuzz:
 	$(GO) test -fuzz=FuzzReplManifest -fuzztime=30s ./internal/replica
 	$(GO) test -fuzz=FuzzSegmentFetch -fuzztime=30s ./internal/replica
 
+# metriclint statically enforces the metric-name conventions (subsystem
+# prefixes, _total on counters, unit suffixes on histograms, no kind
+# conflicts) across every registration site in the tree.
+metriclint:
+	$(GO) build -o /tmp/metriclint ./cmd/metriclint
+	/tmp/metriclint ./internal ./cmd
+
+# monitortest is the observability e2e gate: a primary and a snapshot
+# replica serve traced queries, rdnsmon judges the two-daemon fleet
+# against the SLO rules, and the p99 exemplar from /v1/stats must
+# resolve via its correlation ID to a stitched client -> daemon ->
+# replica-sync chain — all under the race detector, replayed twice to
+# prove the identity digests are deterministic, with a goroutine-leak
+# check at the end.
+monitortest:
+	$(GO) test -race -count=1 -run 'TestMonitorE2E' ./cmd/rdnsmon
+
 # replicatest is the replication gate: the chaos battery (a primary with
 # a live appender and periodic compactions, replicas catching up while
 # pulls are killed mid-flight and syncers restart, query workers on every
@@ -68,14 +85,17 @@ replicatest:
 	$(GO) test -race -count=1 -run 'TestReplicaSoakRace|TestReplicaChaosConvergence' ./internal/replica
 	$(GO) test -count=1 -run 'Fuzz' ./internal/replica
 
-# verify is the pre-merge gate: vet everything, run the full test suite
-# with the coverage floors, race-test the internal packages and the query
-# daemon, run the replication chaos battery, and smoke the serving path
-# under 10k-worker load.
+# verify is the pre-merge gate: vet everything, lint the metric names,
+# run the full test suite with the coverage floors, race-test the
+# internal packages and the query daemon, run the replication chaos
+# battery and the observability e2e, and smoke the serving path under
+# 10k-worker load.
 verify:
 	$(GO) vet ./...
+	$(MAKE) metriclint
 	$(GO) test ./...
 	$(MAKE) cover
 	$(GO) test -race ./internal/... ./cmd/rdnsd
 	$(MAKE) replicatest
+	$(MAKE) monitortest
 	$(MAKE) loadtest

@@ -76,6 +76,9 @@ type options struct {
 	compactMin   int
 	replicaOf    string
 	replPoll     time.Duration
+	queryLog     int
+	slowQuery    time.Duration
+	queryLogOut  string
 }
 
 // parsePrefixList parses a comma-separated IPv4 CIDR list ("" → nil).
@@ -186,6 +189,12 @@ func buildConfig(o options, reg *telemetry.Registry, tracer *telemetry.Tracer) (
 		},
 		Compact: histstore.CompactOptions{MinSeal: o.compactMin},
 	}
+	if o.queryLog > 0 {
+		cfg.QueryLog = rdnsserve.NewQueryLog(rdnsserve.QueryLogConfig{
+			Size:          o.queryLog,
+			SlowThreshold: o.slowQuery,
+		})
+	}
 	if o.reload {
 		path, cache, hot := o.storePath, o.cacheSize, o.hotSegments
 		cfg.Reopen = func() (*histstore.Store, error) {
@@ -219,6 +228,9 @@ func main() {
 	flag.BoolVar(&o.reload, "reload", true, "enable hot reload via SIGHUP and POST /v1/admin/reload")
 	flag.StringVar(&o.replicaOf, "replica-of", "", "run as a read replica of the primary rdnsd at this base URL; -store names the local mirror directory (see docs/replication.md)")
 	flag.DurationVar(&o.replPoll, "repl-poll", time.Second, "replica catch-up poll interval (with -replica-of)")
+	flag.IntVar(&o.queryLog, "query-log", 0, "ring-buffer this many canonical query-log entries, served at the metrics address /querylog (0 disables; see docs/observability.md)")
+	flag.DurationVar(&o.slowQuery, "slow-query", 250*time.Millisecond, "slow-query threshold (rounded up to a latency-histogram bucket bound; with -query-log)")
+	flag.StringVar(&o.queryLogOut, "query-log-out", "", "dump the query log as JSONL to this file at shutdown (with -query-log)")
 	flag.Parse()
 	if o.storePath == "" {
 		fmt.Fprintln(os.Stderr, "rdnsd: -store is required")
@@ -243,7 +255,12 @@ func main() {
 	var syncer *replica.Syncer
 	if o.replicaOf != "" {
 		var err error
-		syncer, err = replica.New(replica.Config{Source: o.replicaOf, Dir: o.storePath})
+		syncer, err = replica.New(replica.Config{
+			Source: o.replicaOf,
+			Dir:    o.storePath,
+			Tracer: tracer,
+			Seed:   o.seed,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rdnsd: %v\n", err)
 			os.Exit(2)
@@ -277,9 +294,15 @@ func main() {
 
 	var exporter *telemetry.Exporter
 	if *metricsAddr != "" {
-		exporter = telemetry.NewExporter(reg,
+		opts := []telemetry.ExporterOption{
 			telemetry.WithExporterTracer(tracer),
-			telemetry.WithExporterHealth(func() any { return srv.StatsSnapshot() }))
+			telemetry.WithExporterHealth(func() any { return srv.StatsSnapshot() }),
+		}
+		if qlog := srv.QueryLog(); qlog != nil {
+			opts = append(opts, telemetry.WithExporterDump("/querylog", "application/x-ndjson",
+				qlog.WriteJSONL, func() bool { return qlog.Len() == 0 }))
+		}
+		exporter = telemetry.NewExporter(reg, opts...)
 		bound, err := exporter.Start(*metricsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rdnsd: metrics exporter: %v\n", err)
@@ -372,6 +395,16 @@ func main() {
 	}
 	if exporter != nil {
 		exporter.Close()
+	}
+	if qlog := srv.QueryLog(); qlog != nil && o.queryLogOut != "" {
+		if f, err := os.Create(o.queryLogOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rdnsd: query log dump: %v\n", err)
+		} else {
+			if err := qlog.WriteJSONL(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rdnsd: query log dump: %v\n", err)
+			}
+			f.Close()
+		}
 	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "rdnsd: closing store: %v\n", err)

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -39,6 +41,15 @@ type loadConfig struct {
 	burst       float64
 	maxInFlight int
 	rules       obs.LoadRules
+	// trace propagates correlation IDs on every request and retains the
+	// per-bucket latency exemplars, so the report can name the exact
+	// queries behind the worst quantiles.
+	trace bool
+	// traceDump lists extra span sources to stitch into the exemplar
+	// chains: comma-separated JSONL file paths or /trace dump URLs (a live
+	// daemon's metrics listener). Self-hosted runs need none — the in-proc
+	// server's tracer is stitched automatically.
+	traceDump string
 }
 
 // endpoints the mix can name, in reporting order.
@@ -196,6 +207,17 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 	var prefixes []dnswire.Prefix
 	var days []time.Time
 
+	// Tracing retains one client span per request; the ring is sized to
+	// the run (capped — past the cap the oldest spans fall out and a worst
+	// offender may render as a bare correlation ID).
+	var clientTracer, srvTracer *telemetry.Tracer
+	if cfg.trace {
+		clientTracer = telemetry.NewTracer(cfg.seed, min(cfg.requests, 1<<16))
+		// Wire-propagated correlations get parse/store child spans, so the
+		// server side completes up to three spans per request.
+		srvTracer = telemetry.NewTracer(cfg.seed+1, min(3*cfg.requests, 3<<16))
+	}
+
 	if len(targets) == 0 {
 		// Self-host: serve a (synthesized or existing) store in-process.
 		var st *histstore.Store
@@ -214,8 +236,9 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 			}
 		}
 		srv := rdnsserve.New(st, rdnsserve.Config{
-			Sink: telemetry.NewRegistry(),
-			Seed: cfg.seed,
+			Sink:   telemetry.NewRegistry(),
+			Tracer: srvTracer,
+			Seed:   cfg.seed,
 			Admission: rdnsserve.AdmissionConfig{
 				RatePerSec:  cfg.rate,
 				Burst:       cfg.burst,
@@ -289,10 +312,21 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 			defer wg.Done()
 			// Workers fan across the target set round-robin, so a
 			// primary+replica pair each sees half the load.
-			c := rdnsclient.New(targets[w%len(targets)],
+			opts := []rdnsclient.Option{
 				rdnsclient.WithHTTPClient(hc),
 				rdnsclient.WithAPIKey(fmt.Sprintf("load-%d", w)),
-				rdnsclient.WithRetries(0, 0)) // pushback is counted, not hidden
+				rdnsclient.WithRetries(0, 0), // pushback is counted, not hidden
+			}
+			// The hook runs on this goroutine between Do and the latency
+			// observation below, so lastCorr needs no synchronization: it
+			// names the request whose latency is about to be recorded.
+			var lastCorr uint64
+			if cfg.trace {
+				opts = append(opts,
+					rdnsclient.WithTrace(cfg.seed, clientTracer),
+					rdnsclient.WithRequestHook(func(ri rdnsclient.RequestInfo) { lastCorr = ri.Corr }))
+			}
+			c := rdnsclient.New(targets[w%len(targets)], opts...)
 			state := uint64(cfg.seed) + uint64(w)*0x9e3779b97f4a7c15
 			ctx := context.Background()
 			for i := 0; i < n; i++ {
@@ -306,8 +340,8 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 				err := issue(ctx, c, ep, &state, prefixes, days)
 				el := time.Since(t0).Seconds()
 				inFlight.Add(-1)
-				hists[ep].Observe(el)
-				total.Observe(el)
+				hists[ep].ObserveExemplar(el, lastCorr)
+				total.ObserveExemplar(el, lastCorr)
 				s := stats[ep]
 				s.requests.Add(1)
 				switch {
@@ -336,7 +370,7 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 		if s.requests.Load() == 0 {
 			continue
 		}
-		res.Samples = append(res.Samples, obs.LoadSample{
+		sm := obs.LoadSample{
 			Label:       e,
 			Requests:    s.requests.Load(),
 			Errors:      s.errors.Load(),
@@ -345,7 +379,11 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 			P50:         hists[e].Quantile(0.50),
 			P95:         hists[e].Quantile(0.95),
 			P99:         hists[e].Quantile(0.99),
-		})
+		}
+		if ex, ok := hists[e].Snapshot().QuantileExemplar(0.99); ok {
+			sm.P99Corr = fmt.Sprintf("%016x", ex.Corr)
+		}
+		res.Samples = append(res.Samples, sm)
 	}
 	var sum obs.LoadSample
 	sum.Label = "total"
@@ -356,6 +394,9 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 		sum.Shed += s.Shed
 	}
 	sum.P50, sum.P95, sum.P99 = total.Quantile(0.50), total.Quantile(0.95), total.Quantile(0.99)
+	if ex, ok := total.Snapshot().QuantileExemplar(0.99); ok {
+		sum.P99Corr = fmt.Sprintf("%016x", ex.Corr)
+	}
 	res.Samples = append(res.Samples, sum)
 
 	// After a live run, ask each replica target how far behind it ended
@@ -363,7 +404,109 @@ func runLoad(cfg *loadConfig) (*loadResult, error) {
 	// rule judges it alongside the latency/error SLOs.
 	res.Samples = append(res.Samples, lagSamples(targets, hc)...)
 	res.Report = cfg.rules.EvaluateLoad(res.Samples)
+	if cfg.trace {
+		res.ExemplarChains = exemplarChains(cfg, res.Samples, clientTracer, srvTracer)
+	}
 	return res, nil
+}
+
+// exemplarChains answers "which query was the p99" end to end: it
+// stitches every traced layer's spans (the workers' client tracer, the
+// self-hosted server's tracer, and any -trace-dump sources) and renders
+// the causal chain behind each sample's p99 exemplar.
+func exemplarChains(cfg *loadConfig, samples []obs.LoadSample, tracers ...*telemetry.Tracer) []string {
+	var recs []telemetry.SpanRecord
+	for _, t := range tracers {
+		recs = append(recs, spanRecords(t)...)
+	}
+	if cfg.traceDump != "" {
+		extra, err := dumpRecords(cfg.traceDump)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rdnsload: reading trace dumps: %v\n", err)
+		}
+		recs = append(recs, extra...)
+	}
+	byCorr := make(map[uint64]obs.Chain)
+	for _, c := range obs.Stitch(recs) {
+		byCorr[c.Corr] = c
+	}
+	var out []string
+	for _, s := range samples {
+		if s.P99Corr == "" {
+			continue
+		}
+		var corr uint64
+		fmt.Sscanf(s.P99Corr, "%x", &corr)
+		c, ok := byCorr[corr]
+		if !ok {
+			// The span ring evicted it (run larger than the ring) or the
+			// daemon's dump wasn't supplied; the ID still names the query.
+			out = append(out, fmt.Sprintf("p99 %-8s corr %s (no spans retained)", s.Label, s.P99Corr))
+			continue
+		}
+		out = append(out, fmt.Sprintf("p99 %-8s %s", s.Label, c.Render()))
+	}
+	return out
+}
+
+// spanRecords round-trips a tracer's ring through its JSONL form — the
+// same records a /trace dump serves, so in-process tracers and scraped
+// dumps stitch identically.
+func spanRecords(t *telemetry.Tracer) []telemetry.SpanRecord {
+	if t == nil || t.Len() == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := t.WriteJSONL(&buf); err != nil {
+		return nil
+	}
+	recs, err := telemetry.ReadSpans(&buf)
+	if err != nil {
+		return nil
+	}
+	return recs
+}
+
+// dumpRecords reads the -trace-dump sources: comma-separated JSONL file
+// paths or /trace URLs (a live daemon's metrics listener). A 204 means
+// the daemon traced nothing — not an error.
+func dumpRecords(spec string) ([]telemetry.SpanRecord, error) {
+	var out []telemetry.SpanRecord
+	for _, src := range strings.Split(spec, ",") {
+		src = strings.TrimSpace(src)
+		if src == "" {
+			continue
+		}
+		var r io.ReadCloser
+		if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+			resp, err := http.Get(src)
+			if err != nil {
+				return nil, fmt.Errorf("fetching %s: %w", src, err)
+			}
+			if resp.StatusCode == http.StatusNoContent {
+				resp.Body.Close()
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				return nil, fmt.Errorf("fetching %s: status %d", src, resp.StatusCode)
+			}
+			r = resp.Body
+		} else {
+			f, err := os.Open(src)
+			if err != nil {
+				return nil, err
+			}
+			r = f
+		}
+		recs, err := telemetry.ReadSpans(r)
+		r.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", src, err)
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
 }
 
 // splitTargets parses the -url flag's comma-separated target list.

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"rdnsprivacy/internal/obs"
+	"rdnsprivacy/internal/telemetry"
 	"rdnsprivacy/internal/testutil"
 )
 
@@ -130,5 +135,94 @@ func TestRunLoadRateLimited(t *testing.T) {
 	}
 	if res.Report.OK {
 		t.Fatalf("shed rate %.2f slipped past MaxShedRate 0.01", sample.ShedRate())
+	}
+}
+
+// TestRunLoadTraced: a -trace run produces a p99 exemplar chain per
+// endpoint sample, each resolving through the stitched client+server
+// spans to a rendered client→daemon line.
+func TestRunLoadTraced(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+	cfg := &loadConfig{
+		days: 6, blocks: 2, seed: 9,
+		workers: 16, requests: 160,
+		mixSpec: "at=70,days=30",
+		trace:   true,
+		rules:   obs.LoadRules{MaxShedRate: 0, MaxP95Seconds: 30, MaxP99Seconds: 30},
+	}
+	res, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ExemplarChains) == 0 {
+		t.Fatal("traced run produced no exemplar chains")
+	}
+	for _, line := range res.ExemplarChains {
+		if !strings.HasPrefix(line, "p99 ") {
+			t.Fatalf("chain line %q", line)
+		}
+		if strings.Contains(line, "no spans retained") {
+			t.Fatalf("exemplar evicted from a right-sized ring: %q", line)
+		}
+		if !strings.Contains(line, "client try#") || !strings.Contains(line, "rdnsd ") {
+			t.Fatalf("chain %q missing client→daemon layers", line)
+		}
+	}
+	// Every per-endpoint sample with traffic carries a p99 exemplar.
+	for _, s := range res.Samples {
+		if s.Label == "total" || s.Requests == 0 {
+			continue
+		}
+		if s.P99Corr == "" {
+			t.Fatalf("sample %s has no p99 exemplar: %+v", s.Label, s)
+		}
+	}
+	// printReport renders the chains without tripping on any field.
+	var buf bytes.Buffer
+	printReport(&buf, res)
+	if !strings.Contains(buf.String(), "p99 exemplar chains") &&
+		!strings.Contains(buf.String(), "p99 ") {
+		t.Fatalf("report missing chains:\n%s", buf.String())
+	}
+}
+
+// TestDumpRecords: the -trace-dump reader accepts files and /trace URLs,
+// skips a 204, and fails loudly on a non-200.
+func TestDumpRecords(t *testing.T) {
+	tr := telemetry.NewTracer(3, 16)
+	sp := tr.StartSpanCorr("rdnsd.query", "at", telemetry.CorrID(3, "x", 1))
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/trace":
+			w.Write(buf.Bytes())
+		case "/empty":
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}))
+	defer srv.Close()
+
+	recs, err := dumpRecords(path + ", " + srv.URL + "/trace, " + srv.URL + "/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records: %d, want 2 (file + URL)", len(recs))
+	}
+	if _, err := dumpRecords(srv.URL + "/boom"); err == nil {
+		t.Fatal("non-200 dump source accepted")
+	}
+	if _, err := dumpRecords(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("missing dump file accepted")
 	}
 }

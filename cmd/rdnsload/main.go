@@ -21,6 +21,13 @@
 // /v1/stats lag report becomes a lag:* sample judged by
 // -slo-max-lag-bytes (see docs/replication.md).
 //
+// With -trace every request carries an X-Rdns-Corr correlation ID and
+// the latency histograms retain per-bucket exemplars; after the run the
+// report names the exact query behind each sample's p99 and renders its
+// stitched client→daemon(→replica-sync) chain. Self-hosted runs stitch
+// the in-process server's spans automatically; live runs add the
+// daemons' /trace dumps via -trace-dump.
+//
 // Every worker is its own client (distinct X-API-Key, so per-client rate
 // limits apply per worker) with retries disabled: pushback (429/503) is
 // counted, not hidden. The run reports per-endpoint and total p50/p95/p99
@@ -32,6 +39,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -57,6 +65,8 @@ func main() {
 	flag.Float64Var(&cfg.rules.MaxP95Seconds, "slo-p95", 1.0, "SLO: max p95 latency in seconds (negative disables)")
 	flag.Float64Var(&cfg.rules.MaxP99Seconds, "slo-p99", 2.5, "SLO: max p99 latency in seconds (negative disables)")
 	flag.Int64Var(&cfg.rules.MaxReplicaLagBytes, "slo-max-lag-bytes", 0, "SLO: max replica lag in feed bytes after the run (negative = must be caught up, 0 disables)")
+	flag.BoolVar(&cfg.trace, "trace", false, "propagate correlation IDs and report the exemplar chains behind the worst latencies")
+	flag.StringVar(&cfg.traceDump, "trace-dump", "", "comma-separated extra span sources to stitch: JSONL files or live daemons' /trace URLs")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	flag.Parse()
 
@@ -87,7 +97,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "rdnsload: within SLO (%d samples)\n", len(res.Report.Verdicts))
 }
 
-func printReport(w *os.File, res *loadResult) {
+func printReport(w io.Writer, res *loadResult) {
 	fmt.Fprintf(w, "workers=%d requests=%d peak_in_flight=%d elapsed=%.2fs (%.0f req/s)\n",
 		res.Workers, res.Requests, res.PeakInFlight, res.Elapsed, float64(res.Requests)/res.Elapsed)
 	fmt.Fprintf(w, "%-8s %9s %7s %7s %7s %10s %10s %10s\n",
@@ -96,6 +106,9 @@ func printReport(w *os.File, res *loadResult) {
 		fmt.Fprintf(w, "%-8s %9d %7d %7d %7d %9.1fms %9.1fms %9.1fms\n",
 			s.Label, s.Requests, s.Errors, s.RateLimited, s.Shed,
 			s.P50*1e3, s.P95*1e3, s.P99*1e3)
+	}
+	for _, c := range res.ExemplarChains {
+		fmt.Fprintln(w, c)
 	}
 	for _, v := range res.Report.Verdicts {
 		if !v.OK {
@@ -115,4 +128,7 @@ type loadResult struct {
 	Elapsed      float64          `json:"elapsed_seconds"`
 	Samples      []obs.LoadSample `json:"samples"`
 	Report       obs.LoadReport   `json:"report"`
+	// ExemplarChains renders, per sample, the stitched causal chain of the
+	// query behind the p99 exemplar (-trace runs only).
+	ExemplarChains []string `json:"exemplar_chains,omitempty"`
 }

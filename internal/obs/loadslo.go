@@ -32,6 +32,10 @@ type LoadSample struct {
 	P50 float64 `json:"p50"`
 	P95 float64 `json:"p95"`
 	P99 float64 `json:"p99"`
+	// P99Corr is the correlation ID (hex) of the worst observation in the
+	// histogram bucket holding the p99 — the exemplar that answers "which
+	// query was the p99". Empty when the run did not trace.
+	P99Corr string `json:"p99_corr,omitempty"`
 	// BytesBehind is the replication lag a replica target reported after
 	// the run (see LoadRules.MaxReplicaLagBytes). Zero for primaries and
 	// for per-endpoint samples.

@@ -210,15 +210,57 @@ type AdmissionStats struct {
 	Clients      int    `json:"clients"`
 }
 
+// EndpointStats is one endpoint's per-outcome request counts
+// (rdnsd_requests_total{endpoint,outcome} on the metrics surface). The
+// four outcomes partition every request the endpoint saw: OK answered
+// 200, Rejected was refused by admission (rate limit, ACL, or shedding),
+// Canceled saw its client disconnect mid-query, Errors is everything
+// else that failed.
+type EndpointStats struct {
+	OK       uint64 `json:"ok"`
+	Errors   uint64 `json:"errors"`
+	Canceled uint64 `json:"canceled"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// LatencyStats summarizes the daemon's aggregate query-latency histogram
+// with the exemplar that answers "which query was the p99": P99Corr is
+// the X-Rdns-Corr correlation ID (16 hex digits) of the worst
+// observation in the bucket holding the p99 rank, resolvable against
+// the daemon's /trace and /querylog dumps. Empty when telemetry is off.
+type LatencyStats struct {
+	Count    uint64  `json:"count"`
+	P50      float64 `json:"p50"`
+	P95      float64 `json:"p95"`
+	P99      float64 `json:"p99"`
+	P99Corr  string  `json:"p99_corr,omitempty"`
+	P99Value float64 `json:"p99_value,omitempty"`
+}
+
+// QueryLogStats summarizes the daemon's canonical query log: total
+// requests recorded since start, how many are still buffered in the
+// ring, and how many crossed the slow threshold. Zero-valued when the
+// daemon runs without -query-log.
+type QueryLogStats struct {
+	Total    uint64 `json:"total"`
+	Buffered int    `json:"buffered"`
+	Slow     int    `json:"slow"`
+}
+
 // StatsResponse is /v1/stats. Generation counts store-handle swaps (0
 // until the first hot reload; on a replica, every completed catch-up
-// sync bumps it). Replica is set only on daemons running -replica-of.
+// sync bumps it). Replica is set only on daemons running -replica-of;
+// Endpoints and Latency carry data only when the daemon runs with
+// telemetry, and QueryLog only with -query-log.
 type StatsResponse struct {
-	Generation   int64          `json:"generation"`
-	Store        StoreStats     `json:"store"`
-	CacheHitRate float64        `json:"cache_hit_rate"`
-	Admission    AdmissionStats `json:"admission"`
-	Replica      *ReplicaStats  `json:"replica,omitempty"`
+	Generation   int64                    `json:"generation"`
+	Store        StoreStats               `json:"store"`
+	CacheHitRate float64                  `json:"cache_hit_rate"`
+	Admission    AdmissionStats           `json:"admission"`
+	Latency      LatencyStats             `json:"latency"`
+	Endpoints    map[string]EndpointStats `json:"endpoints,omitempty"`
+	QueryLog     QueryLogStats            `json:"query_log"`
+	Replica      *ReplicaStats            `json:"replica,omitempty"`
 }
 
 // ReloadResponse is POST /v1/admin/reload: the freshly opened store's

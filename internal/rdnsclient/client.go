@@ -3,13 +3,17 @@ package rdnsclient
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"rdnsprivacy/internal/telemetry"
 )
 
 // APIError is a non-2xx v1 response, carrying the envelope's code and
@@ -37,6 +41,28 @@ func IsOverloaded(err error) bool {
 	return ok && ae.Status == http.StatusServiceUnavailable
 }
 
+// CorrHeader is the wire header carrying a request's cross-process
+// correlation ID (telemetry.CorrID, 16 hex digits). A client configured
+// with WithTrace stamps it on every request; the daemon continues the
+// span server-side under the same ID, so per-process trace dumps stitch
+// back into one causal chain (obs.Stitch). See docs/observability.md.
+const CorrHeader = "X-Rdns-Corr"
+
+// RequestInfo describes one completed request (including failed ones)
+// to a WithRequestHook observer.
+type RequestInfo struct {
+	// Corr is the correlation ID the request carried (0 without WithTrace).
+	Corr uint64
+	// Path is the endpoint path ("/v1/at").
+	Path string
+	// Attempts counts transmissions, 1 plus any 429/503 retries.
+	Attempts int
+	// Elapsed spans first transmission to final verdict.
+	Elapsed time.Duration
+	// Err is the final error, nil on success.
+	Err error
+}
+
 // Client talks to one rdnsd's v1 API. Methods are safe for concurrent
 // use; the zero value is not usable — construct with New.
 type Client struct {
@@ -46,6 +72,12 @@ type Client struct {
 	retries int           // extra attempts after a 429/503
 	maxWait time.Duration // cap on one Retry-After sleep
 	sleep   func(ctx context.Context, d time.Duration) error
+
+	traceSeed int64
+	traced    bool
+	tracer    *telemetry.Tracer
+	seq       atomic.Int64
+	hook      func(RequestInfo)
 }
 
 // Option configures a Client.
@@ -79,6 +111,29 @@ func WithRetries(n int, maxWait time.Duration) Option {
 			c.maxWait = maxWait
 		}
 	}
+}
+
+// WithTrace enables cross-process correlation: every request carries an
+// X-Rdns-Corr header derived deterministically from (seed, API key,
+// path, request sequence) via telemetry.CorrID, and — when tr is non-nil
+// — opens a "rdnsq.client" span under that ID recording each
+// transmission attempt and the final status. The daemon continues the
+// span server-side, so the two processes' trace dumps stitch into one
+// chain. A nil tr still sends the header (correlate without tracing).
+func WithTrace(seed int64, tr *telemetry.Tracer) Option {
+	return func(c *Client) {
+		c.traced = true
+		c.traceSeed = seed
+		c.tracer = tr
+	}
+}
+
+// WithRequestHook calls hook after every completed request with its
+// correlation ID, path, attempt count, elapsed time and final error —
+// the tap cmd/rdnsload uses to feed latency exemplars. The hook runs on
+// the requesting goroutine and must be safe for concurrent use.
+func WithRequestHook(hook func(RequestInfo)) Option {
+	return func(c *Client) { c.hook = hook }
 }
 
 // New creates a client for the daemon at base (e.g.
@@ -117,37 +172,73 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, out 
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
+	var corr uint64
+	var span *telemetry.Span
+	var start time.Time
+	attempts := 0
+	if c.traced {
+		// The ID keys on the client identity and a per-client sequence, so
+		// two requests to the same path stay distinguishable while a seeded
+		// replay of the same request schedule reproduces the same IDs.
+		corr = telemetry.CorrID(c.traceSeed, c.apiKey+" "+path, int(c.seq.Add(1)))
+		span = c.tracer.StartSpanCorr("rdnsq.client", path, corr)
+	}
+	if c.traced || c.hook != nil {
+		start = time.Now()
+	}
+	finish := func(err error) error {
+		if span != nil {
+			status := uint64(http.StatusOK)
+			var ae *APIError
+			if errors.As(err, &ae) {
+				status = uint64(ae.Status)
+			} else if err != nil {
+				status = 0 // transport failure: no HTTP verdict
+			}
+			span.Event("status", status)
+			span.End()
+		}
+		if c.hook != nil {
+			c.hook(RequestInfo{Corr: corr, Path: path, Attempts: attempts, Elapsed: time.Since(start), Err: err})
+		}
+		return err
+	}
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, method, u, nil)
 		if err != nil {
-			return fmt.Errorf("rdnsclient: %w", err)
+			return finish(fmt.Errorf("rdnsclient: %w", err))
 		}
 		if c.apiKey != "" {
 			req.Header.Set("X-API-Key", c.apiKey)
 		}
+		if corr != 0 {
+			req.Header.Set(CorrHeader, fmt.Sprintf("%016x", corr))
+		}
+		attempts++
+		span.Event("tx", uint64(attempts))
 		resp, err := c.hc.Do(req)
 		if err != nil {
-			return fmt.Errorf("rdnsclient: %s %s: %w", method, path, err)
+			return finish(fmt.Errorf("rdnsclient: %s %s: %w", method, path, err))
 		}
 		body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 		resp.Body.Close()
 		if err != nil {
-			return fmt.Errorf("rdnsclient: reading %s: %w", path, err)
+			return finish(fmt.Errorf("rdnsclient: reading %s: %w", path, err))
 		}
 		if resp.StatusCode == http.StatusOK {
 			if out == nil {
-				return nil
+				return finish(nil)
 			}
 			if err := json.Unmarshal(body, out); err != nil {
-				return fmt.Errorf("rdnsclient: decoding %s: %w", path, err)
+				return finish(fmt.Errorf("rdnsclient: decoding %s: %w", path, err))
 			}
-			return nil
+			return finish(nil)
 		}
 		apiErr := decodeError(resp, body)
 		retryable := resp.StatusCode == http.StatusTooManyRequests ||
 			resp.StatusCode == http.StatusServiceUnavailable
 		if !retryable || attempt >= c.retries {
-			return apiErr
+			return finish(apiErr)
 		}
 		wait := apiErr.RetryAfter
 		if wait <= 0 {
@@ -157,7 +248,7 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, out 
 			wait = c.maxWait
 		}
 		if err := c.sleep(ctx, wait); err != nil {
-			return err
+			return finish(err)
 		}
 	}
 }

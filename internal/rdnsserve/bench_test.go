@@ -74,6 +74,53 @@ func BenchmarkRdnsdQuery(b *testing.B) {
 	})
 }
 
+// BenchmarkRdnsdQueryObserved is the fully-observed twin of
+// BenchmarkRdnsdQuery/at: query log on, latency exemplars retained, and
+// every request carrying an X-Rdns-Corr header — quantifying what the
+// PR 9 observability layer costs per request over the plain
+// instrumented path.
+func BenchmarkRdnsdQueryObserved(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.hist")
+	st, err := histstore.Open(path, histstore.WithCache(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Date(2020, 3, 1, 0, 0, 0, 0, time.UTC)
+	for day := 0; day < 60; day++ {
+		recs := scanengine.RecordSet{
+			dnswire.MustIPv4("10.0.1.7"): dnswire.MustName("brians-iphone.lan.example.net"),
+			dnswire.MustIPv4("10.0.2.4"): dnswire.MustName("printer.example.net"),
+		}
+		recs[dnswire.MustIPv4("10.0.1.9")] =
+			dnswire.MustName(fmt.Sprintf("host-9-%d.dyn.example.net", day))
+		if err := st.Append(start.AddDate(0, 0, day), recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := New(st, Config{
+		Sink:     telemetry.NewRegistry(),
+		Tracer:   telemetry.NewTracer(1, 256),
+		Seed:     1,
+		QueryLog: NewQueryLog(QueryLogConfig{Size: 1024, SlowThreshold: 50 * time.Millisecond}),
+	})
+	b.Cleanup(func() { srv.Close() })
+	h := srv.Handler()
+
+	b.Run("at", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			day := (i * 7) % 60
+			req := httptest.NewRequest("GET",
+				fmt.Sprintf("/v1/at?ip=10.0.1.9&t=%s", start.AddDate(0, 0, day).Format("2006-01-02")), nil)
+			req.Header.Set("X-Rdns-Corr", fmt.Sprintf("%016x", uint64(i)+1))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	})
+}
+
 // BenchmarkRdnsdConcurrentLoad measures the serving path under heavy
 // goroutine concurrency with a production-shaped endpoint mix, and
 // reports the client-observed p99 as an extra metric (p99-ns/op) that

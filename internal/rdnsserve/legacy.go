@@ -3,6 +3,7 @@ package rdnsserve
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -38,49 +39,98 @@ func (s *Server) legacyRoutes(mux *http.ServeMux) {
 // deprecation headers and counter.
 func (s *Server) legacyRoute(name string, h handlerFunc) http.HandlerFunc {
 	lat := s.sink.Histogram(metricQuerySeconds+`{endpoint="legacy_`+name+`"}`, telemetry.DefaultLatencyBuckets())
+	outcomes := s.outcomesFor("legacy_" + name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		qn := int(s.nextQ.Add(1))
-		span := s.tracer.StartSpanCorr("rdnsd.query", "legacy."+name, telemetry.CorrID(s.seed, "rdnsd."+name, qn))
+		corr := corrFromHeader(r.Header.Get(rdnsclient.CorrHeader))
+		fromWire := corr != 0
+		if corr == 0 {
+			corr = telemetry.CorrID(s.seed, "rdnsd."+name, qn)
+		}
+		span := s.tracer.StartSpanCorr("rdnsd.query", "legacy."+name, corr)
 		s.queries.Inc()
 		s.legacyQueries.Inc()
 		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Sunset", legacySunset)
 		w.Header().Set("Link", "</v1/"+name+`>; rel="successor-version"`)
-		out, aerr := s.legacyServeOne(w, r, h)
+		rec := reqRec{corr: corr, fromWire: fromWire, gen: -1}
+		out, aerr := s.legacyServeOne(w, r, h, &rec)
 		el := time.Since(start).Seconds()
-		s.querySeconds.Observe(el)
-		lat.Observe(el)
+		s.querySeconds.ObserveExemplar(el, corr)
+		lat.ObserveExemplar(el, corr)
+		s.countOutcome(outcomes, aerr, &rec)
 		w.Header().Set("Content-Type", "application/json")
+		status, bytes := http.StatusOK, 0
+		cw := &countWriter{w: w}
 		if aerr != nil {
-			if aerr.status == statusClientClosedRequest {
-				s.queryCanceled.Inc()
-			} else {
-				s.queryErrors.Inc()
-			}
 			span.Event("error", uint64(aerr.status))
 			span.End()
+			status = aerr.status
 			w.WriteHeader(aerr.status)
-			json.NewEncoder(w).Encode(map[string]string{"error": aerr.msg})
-			return
+			json.NewEncoder(cw).Encode(map[string]string{"error": aerr.msg})
+		} else {
+			span.End()
+			json.NewEncoder(cw).Encode(out)
 		}
-		span.End()
-		json.NewEncoder(w).Encode(out)
+		bytes = cw.n
+		if s.qlog != nil {
+			code := ""
+			if aerr != nil {
+				code = aerr.code
+			}
+			s.qlog.record(QueryLogEntry{
+				Corr:       fmt.Sprintf("%016x", corr),
+				Endpoint:   "legacy_" + name,
+				Client:     rec.client,
+				Params:     paramsFingerprint(r.URL.Query()),
+				Status:     status,
+				Code:       code,
+				Admission:  rec.admission,
+				Generation: rec.gen,
+				StoreNS:    rec.storeNS,
+				TotalNS:    time.Since(start).Nanoseconds(),
+				Bytes:      bytes,
+			})
+		}
 	}
 }
 
-func (s *Server) legacyServeOne(w http.ResponseWriter, r *http.Request, h handlerFunc) (any, *apiError) {
+func (s *Server) legacyServeOne(w http.ResponseWriter, r *http.Request, h handlerFunc, rec *reqRec) (any, *apiError) {
+	if s.qlog != nil {
+		rec.client = clientKey(r)
+	}
 	release, aerr := s.adm.admit(w, r, false)
 	if aerr != nil {
+		rec.admission = admissionOutcome(aerr)
 		return nil, aerr
 	}
+	rec.admission = "admitted"
 	defer release()
 	hd := s.acquireHandle()
 	if hd == nil {
 		return nil, errOverloaded()
 	}
 	defer hd.release()
-	return h(r.Context(), hd.st, r.URL.Query())
+	rec.gen = hd.gen
+	var storeStart time.Time
+	if s.qlog != nil {
+		storeStart = time.Now()
+	}
+	var sspan *telemetry.Span
+	if rec.fromWire && s.tracer != nil {
+		sspan = s.tracer.StartSpanCorr("rdnsd.store", r.URL.Path, rec.corr)
+		sspan.Event("gen", uint64(hd.gen))
+	}
+	out, aerr := h(r.Context(), hd.st, r.URL.Query())
+	if aerr != nil {
+		sspan.Event("error", uint64(aerr.status))
+	}
+	sspan.End()
+	if s.qlog != nil {
+		rec.storeNS = time.Since(storeStart).Nanoseconds()
+	}
+	return out, aerr
 }
 
 // Original response shapes, frozen.

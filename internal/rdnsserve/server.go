@@ -11,6 +11,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/url"
 	"sort"
@@ -38,6 +39,7 @@ const (
 	metricLegacyQueries = "rdnsd_legacy_queries_total"
 	metricReloads       = "rdnsd_reloads_total"
 	metricGeneration    = "rdnsd_store_generation"
+	metricRequests      = "rdnsd_requests_total"
 )
 
 // v1 paging bounds.
@@ -63,6 +65,9 @@ type Config struct {
 	// background loop and POST /v1/admin/compact alike — so one
 	// -compact-min-seal flag governs both triggers.
 	Compact histstore.CompactOptions
+	// QueryLog, when non-nil, records one canonical wide event per
+	// request (see QueryLogEntry); nil keeps the hot path log-free.
+	QueryLog *QueryLog
 }
 
 // Server serves one history store over HTTP. It owns the store: Close
@@ -94,6 +99,85 @@ type Server struct {
 	reloads       *telemetry.Counter
 	querySeconds  *telemetry.Histogram
 	genGauge      *telemetry.Gauge
+
+	qlog *QueryLog
+	// endpoints maps route name -> per-outcome request counters; built
+	// as routes register, read by StatsSnapshot.
+	epMu      sync.Mutex
+	endpoints map[string]*outcomeCounters
+}
+
+// outcomeCounters is one endpoint's rdnsd_requests_total{endpoint,outcome}
+// family. The four outcomes partition the endpoint's requests, so their
+// sum equals the endpoint's share of rdnsd_queries_total — asserted by
+// the consistency test.
+type outcomeCounters struct {
+	ok       *telemetry.Counter
+	errc     *telemetry.Counter
+	canceled *telemetry.Counter
+	rejected *telemetry.Counter
+}
+
+// outcomesFor registers (or returns) the outcome family for endpoint.
+func (s *Server) outcomesFor(endpoint string) *outcomeCounters {
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
+	if oc, ok := s.endpoints[endpoint]; ok {
+		return oc
+	}
+	label := func(outcome string) string {
+		return metricRequests + `{endpoint="` + endpoint + `",outcome="` + outcome + `"}`
+	}
+	oc := &outcomeCounters{
+		ok:       s.sink.Counter(label("ok")),
+		errc:     s.sink.Counter(label("error")),
+		canceled: s.sink.Counter(label("canceled")),
+		rejected: s.sink.Counter(label("rejected")),
+	}
+	s.endpoints[endpoint] = oc
+	return oc
+}
+
+// reqRec accumulates one request's observability record as it moves
+// through the pipeline: route fills corr, serveOne fills the admission
+// verdict, pinned generation, and phase latencies. fromWire marks a
+// correlation ID that arrived in X-Rdns-Corr — only those requests get
+// per-phase child spans, so local uncorrelated traffic pays one span
+// exactly as before this layer existed.
+type reqRec struct {
+	corr      uint64
+	fromWire  bool
+	client    string
+	admission string
+	gen       int64
+	parseNS   int64
+	storeNS   int64
+}
+
+// countWriter counts bytes on their way to the response, so the query
+// log can record body sizes without buffering a second copy.
+type countWriter struct {
+	w http.ResponseWriter
+	n int
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += n
+	return n, err
+}
+
+// admissionOutcome maps an admission refusal onto the query-log
+// vocabulary by its HTTP status.
+func admissionOutcome(aerr *apiError) string {
+	switch aerr.status {
+	case http.StatusTooManyRequests:
+		return "ratelimited"
+	case http.StatusForbidden:
+		return "denied"
+	default:
+		return "shed"
+	}
 }
 
 // New creates a Server over st, taking ownership of it: the store is
@@ -120,10 +204,17 @@ func New(st *histstore.Store, cfg Config) *Server {
 		reloads:       sink.Counter(metricReloads),
 		querySeconds:  sink.Histogram(metricQuerySeconds, telemetry.DefaultLatencyBuckets()),
 		genGauge:      sink.Gauge(metricGeneration),
+
+		qlog:      cfg.QueryLog,
+		endpoints: make(map[string]*outcomeCounters),
 	}
 	s.cur.Store(newStoreHandle(st, 0))
 	return s
 }
+
+// QueryLog returns the configured query log (nil without one), for the
+// daemon to expose at /querylog and dump at shutdown.
+func (s *Server) QueryLog() *QueryLog { return s.qlog }
 
 // Generation reports how many reloads have completed.
 func (s *Server) Generation() int64 { return s.gen.Load() }
@@ -201,6 +292,42 @@ func (s *Server) StatsSnapshot() rdnsclient.StatsResponse {
 		},
 		Replica: s.replicaStatus(),
 	}
+	if hs := s.querySeconds.Snapshot(); hs.Count > 0 {
+		resp.Latency = rdnsclient.LatencyStats{
+			Count: hs.Count,
+			P50:   hs.Quantile(0.50),
+			P95:   hs.Quantile(0.95),
+			P99:   hs.Quantile(0.99),
+		}
+		if ex, ok := hs.QuantileExemplar(0.99); ok {
+			resp.Latency.P99Corr = fmt.Sprintf("%016x", ex.Corr)
+			resp.Latency.P99Value = ex.Value
+		}
+	}
+	s.epMu.Lock()
+	for name, oc := range s.endpoints {
+		es := rdnsclient.EndpointStats{
+			OK:       oc.ok.Value(),
+			Errors:   oc.errc.Value(),
+			Canceled: oc.canceled.Value(),
+			Rejected: oc.rejected.Value(),
+		}
+		if es == (rdnsclient.EndpointStats{}) {
+			continue
+		}
+		if resp.Endpoints == nil {
+			resp.Endpoints = make(map[string]rdnsclient.EndpointStats)
+		}
+		resp.Endpoints[name] = es
+	}
+	s.epMu.Unlock()
+	if s.qlog != nil {
+		resp.QueryLog = rdnsclient.QueryLogStats{
+			Total:    s.qlog.Total(),
+			Buffered: s.qlog.Len(),
+			Slow:     s.qlog.SlowLen(),
+		}
+	}
 	if h := s.acquireHandle(); h != nil {
 		st := h.st.Stats()
 		resp.Store = rdnsclient.StoreStats{
@@ -267,59 +394,136 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func writeV1Error(w http.ResponseWriter, aerr *apiError) {
+// writeV1Error renders the envelope and reports the body size written.
+func writeV1Error(w http.ResponseWriter, aerr *apiError) int {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(aerr.status)
-	json.NewEncoder(w).Encode(rdnsclient.ErrorEnvelope{
+	cw := &countWriter{w: w}
+	json.NewEncoder(cw).Encode(rdnsclient.ErrorEnvelope{
 		Error: rdnsclient.ErrorDetail{Code: aerr.code, Message: aerr.msg},
 	})
+	return cw.n
+}
+
+// countOutcome splits one request verdict into the aggregate counters
+// and its endpoint's outcome family. Admission refusals count as
+// "rejected" (they are still queryErrors in the aggregate, preserving
+// the pre-existing meaning of rdnsd_query_errors_total).
+func (s *Server) countOutcome(oc *outcomeCounters, aerr *apiError, rec *reqRec) {
+	switch {
+	case aerr == nil:
+		oc.ok.Inc()
+	case aerr.status == statusClientClosedRequest:
+		s.queryCanceled.Inc()
+		oc.canceled.Inc()
+	case rec != nil && rec.admission != "" && rec.admission != "admitted":
+		s.queryErrors.Inc()
+		oc.rejected.Inc()
+	default:
+		s.queryErrors.Inc()
+		oc.errc.Inc()
+	}
 }
 
 // route wraps a v1 endpoint with the full pipeline: method check,
 // admission, strict parameter validation, store-handle pinning,
-// instrumentation (aggregate + per-endpoint latency, correlated span),
-// and envelope rendering.
+// instrumentation (aggregate + per-endpoint latency and outcomes, a
+// correlated span continuing the client's X-Rdns-Corr trace, latency
+// exemplars, the query log), and envelope rendering.
 func (s *Server) route(name string, allowed []string, h handlerFunc) http.HandlerFunc {
 	lat := s.sink.Histogram(metricQuerySeconds+`{endpoint="`+name+`"}`, telemetry.DefaultLatencyBuckets())
+	outcomes := s.outcomesFor(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		qn := int(s.nextQ.Add(1))
-		span := s.tracer.StartSpanCorr("rdnsd.query", name, telemetry.CorrID(s.seed, "rdnsd."+name, qn))
+		// Continue the caller's trace when the request carries a
+		// correlation header; otherwise mint a server-side ID so the
+		// span, exemplar, and query-log entry still chain together.
+		corr := corrFromHeader(r.Header.Get(rdnsclient.CorrHeader))
+		fromWire := corr != 0
+		if corr == 0 {
+			corr = telemetry.CorrID(s.seed, "rdnsd."+name, qn)
+		}
+		span := s.tracer.StartSpanCorr("rdnsd.query", name, corr)
 		s.queries.Inc()
-		out, aerr := s.serveOne(w, r, http.MethodGet, allowed, h)
+		rec := reqRec{corr: corr, fromWire: fromWire, gen: -1}
+		out, aerr := s.serveOne(w, r, http.MethodGet, allowed, h, &rec)
 		el := time.Since(start).Seconds()
-		s.querySeconds.Observe(el)
-		lat.Observe(el)
+		s.querySeconds.ObserveExemplar(el, corr)
+		lat.ObserveExemplar(el, corr)
+		s.countOutcome(outcomes, aerr, &rec)
+		status, bytes := http.StatusOK, 0
+		code := ""
 		if aerr != nil {
-			if aerr.status == statusClientClosedRequest {
-				s.queryCanceled.Inc()
-			} else {
-				s.queryErrors.Inc()
-			}
 			span.Event("error", uint64(aerr.status))
 			span.End()
-			writeV1Error(w, aerr)
-			return
+			bytes = writeV1Error(w, aerr)
+			status, code = aerr.status, aerr.code
+		} else {
+			span.End()
+			w.Header().Set("Content-Type", "application/json")
+			cw := &countWriter{w: w}
+			json.NewEncoder(cw).Encode(out)
+			bytes = cw.n
 		}
-		span.End()
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(out)
+		if s.qlog != nil {
+			s.qlog.record(QueryLogEntry{
+				Corr:       fmt.Sprintf("%016x", corr),
+				Endpoint:   name,
+				Client:     rec.client,
+				Params:     paramsFingerprint(r.URL.Query()),
+				Status:     status,
+				Code:       code,
+				Admission:  rec.admission,
+				Generation: rec.gen,
+				ParseNS:    rec.parseNS,
+				StoreNS:    rec.storeNS,
+				TotalNS:    time.Since(start).Nanoseconds(),
+				Bytes:      bytes,
+			})
+		}
 	}
 }
 
 // serveOne runs admission, validation, and the handler against a pinned
-// store handle.
-func (s *Server) serveOne(w http.ResponseWriter, r *http.Request, method string, allowed []string, h handlerFunc) (any, *apiError) {
+// store handle, recording the admission verdict, phase latencies, and
+// pinned generation into rec. The validation and store phases run under
+// child spans sharing the request's correlation ID, so a stitched trace
+// shows where a slow request spent its time.
+func (s *Server) serveOne(w http.ResponseWriter, r *http.Request, method string, allowed []string, h handlerFunc, rec *reqRec) (any, *apiError) {
 	if r.Method != method {
 		return nil, errMethodNotAllowed(r.Method)
 	}
+	timed := s.qlog != nil
+	if timed {
+		rec.client = clientKey(r)
+	}
 	release, aerr := s.adm.admit(w, r, strings.HasPrefix(r.URL.Path, "/v1/admin/"))
 	if aerr != nil {
+		rec.admission = admissionOutcome(aerr)
 		return nil, aerr
 	}
+	rec.admission = "admitted"
 	defer release()
+	// Per-phase child spans only for wire-propagated traces: local
+	// uncorrelated traffic keeps its single root span (and single ring
+	// slot) exactly as before phase tracing existed.
+	phased := rec.fromWire && s.tracer != nil
+	var phaseStart time.Time
+	if timed {
+		phaseStart = time.Now()
+	}
+	var pspan *telemetry.Span
+	if phased {
+		pspan = s.tracer.StartSpanCorr("rdnsd.parse", r.URL.Path, rec.corr)
+	}
 	q := r.URL.Query()
-	if aerr := checkParams(q, allowed); aerr != nil {
+	aerr = checkParams(q, allowed)
+	pspan.End()
+	if timed {
+		rec.parseNS = time.Since(phaseStart).Nanoseconds()
+	}
+	if aerr != nil {
 		return nil, aerr
 	}
 	hd := s.acquireHandle()
@@ -327,7 +531,26 @@ func (s *Server) serveOne(w http.ResponseWriter, r *http.Request, method string,
 		return nil, errOverloaded()
 	}
 	defer hd.release()
-	return h(r.Context(), hd.st, q)
+	rec.gen = hd.gen
+	if timed {
+		phaseStart = time.Now()
+	}
+	var sspan *telemetry.Span
+	if phased {
+		sspan = s.tracer.StartSpanCorr("rdnsd.store", r.URL.Path, rec.corr)
+		// The generation event is the stitch key: on a replica it names
+		// the catch-up sync that delivered the data this request read.
+		sspan.Event("gen", uint64(hd.gen))
+	}
+	out, aerr := h(r.Context(), hd.st, q)
+	if aerr != nil {
+		sspan.Event("error", uint64(aerr.status))
+	}
+	sspan.End()
+	if timed {
+		rec.storeNS = time.Since(phaseStart).Nanoseconds()
+	}
+	return out, aerr
 }
 
 // checkParams rejects unknown query parameters — typos like "prefx="
@@ -349,38 +572,73 @@ func checkParams(q url.Values, allowed []string) *apiError {
 	return nil
 }
 
+// adminRoute wraps an admin endpoint with the shared accounting: the
+// aggregate counter, the endpoint's outcome family, and the query log.
+// Admin endpoints skip spans and latency histograms — they are rare
+// operator actions, not query traffic.
+func (s *Server) adminRoute(name string, h func(w http.ResponseWriter, r *http.Request, rec *reqRec) (any, *apiError)) http.HandlerFunc {
+	outcomes := s.outcomesFor(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.queries.Inc()
+		rec := reqRec{gen: -1}
+		out, aerr := h(w, r, &rec)
+		s.countOutcome(outcomes, aerr, &rec)
+		status, bytes := http.StatusOK, 0
+		code := ""
+		if aerr != nil {
+			bytes = writeV1Error(w, aerr)
+			status, code = aerr.status, aerr.code
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+			if b, err := json.Marshal(out); err == nil {
+				b = append(b, '\n')
+				w.Write(b)
+				bytes = len(b)
+			}
+		}
+		if s.qlog != nil {
+			s.qlog.record(QueryLogEntry{
+				Corr:       fmt.Sprintf("%016x", corrFromHeader(r.Header.Get(rdnsclient.CorrHeader))),
+				Endpoint:   name,
+				Client:     rec.client,
+				Status:     status,
+				Code:       code,
+				Admission:  rec.admission,
+				Generation: rec.gen,
+				TotalNS:    time.Since(start).Nanoseconds(),
+				Bytes:      bytes,
+			})
+		}
+	}
+}
+
 // adminReload is POST /v1/admin/reload. Exempt from the token bucket (an
 // operator must be able to reload a daemon that is busy shedding) but
 // still behind the ACL; 403 when no Reopen is configured.
 func (s *Server) adminReload() http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.queries.Inc()
+	return s.adminRoute("admin_reload", func(w http.ResponseWriter, r *http.Request, rec *reqRec) (any, *apiError) {
 		if r.Method != http.MethodPost {
-			s.queryErrors.Inc()
-			writeV1Error(w, errMethodNotAllowed(r.Method))
-			return
+			return nil, errMethodNotAllowed(r.Method)
 		}
+		rec.client = clientKey(r)
 		release, aerr := s.adm.admit(w, r, true)
 		if aerr != nil {
-			s.queryErrors.Inc()
-			writeV1Error(w, aerr)
-			return
+			rec.admission = admissionOutcome(aerr)
+			return nil, aerr
 		}
+		rec.admission = "admitted"
 		defer release()
 		if s.reopen == nil {
-			s.queryErrors.Inc()
-			writeV1Error(w, errForbidden("reload is not enabled on this daemon"))
-			return
+			return nil, errForbidden("reload is not enabled on this daemon")
 		}
 		resp, err := s.Reload()
 		if err != nil {
-			s.queryErrors.Inc()
-			writeV1Error(w, errInternal(err))
-			return
+			return nil, errInternal(err)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(resp)
-	}
+		rec.gen = resp.Generation
+		return resp, nil
+	})
 }
 
 // adminCompact is POST /v1/admin/compact: seal every idle writer's tail
@@ -388,29 +646,24 @@ func (s *Server) adminReload() http.HandlerFunc {
 // handle. Like reload it is exempt from the token bucket but behind the
 // ACL. A compaction already in flight answers 409.
 func (s *Server) adminCompact() http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.queries.Inc()
+	return s.adminRoute("admin_compact", func(w http.ResponseWriter, r *http.Request, rec *reqRec) (any, *apiError) {
 		if r.Method != http.MethodPost {
-			s.queryErrors.Inc()
-			writeV1Error(w, errMethodNotAllowed(r.Method))
-			return
+			return nil, errMethodNotAllowed(r.Method)
 		}
+		rec.client = clientKey(r)
 		release, aerr := s.adm.admit(w, r, true)
 		if aerr != nil {
-			s.queryErrors.Inc()
-			writeV1Error(w, aerr)
-			return
+			rec.admission = admissionOutcome(aerr)
+			return nil, aerr
 		}
+		rec.admission = "admitted"
 		defer release()
 		results, err := s.Compact(r.Context())
 		if err != nil {
-			s.queryErrors.Inc()
 			if errors.Is(err, histstore.ErrCompactBusy) {
-				writeV1Error(w, &apiError{status: http.StatusConflict, code: rdnsclient.CodeCompactBusy, msg: err.Error()})
-				return
+				return nil, &apiError{status: http.StatusConflict, code: rdnsclient.CodeCompactBusy, msg: err.Error()}
 			}
-			writeV1Error(w, errInternal(err))
-			return
+			return nil, errInternal(err)
 		}
 		resp := rdnsclient.CompactResponse{}
 		for _, res := range results {
@@ -423,9 +676,8 @@ func (s *Server) adminCompact() http.HandlerFunc {
 				Skipped:      res.Skipped,
 			})
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(resp)
-	}
+		return resp, nil
+	})
 }
 
 // Compact seals every idle writer's tail of the currently served store

@@ -30,6 +30,7 @@ import (
 
 	"rdnsprivacy/internal/histstore"
 	"rdnsprivacy/internal/rdnsclient"
+	"rdnsprivacy/internal/telemetry"
 )
 
 // DefaultChunk is the default feed fetch size. Small enough to bound one
@@ -58,17 +59,38 @@ type Config struct {
 	// Chunk bounds one fetch (default DefaultChunk). Small values
 	// exercise resumable range fetches.
 	Chunk int
+	// Tracer records sync and fetch spans; nil disables tracing. Each
+	// Sync call gets a "repl.sync" span whose correlation ID is
+	// CorrID(Seed, "repl.sync", n) for the n-th call, with one
+	// "repl.fetch" span per file actually pulled under the same ID. A
+	// committed sync that changed the file set stamps a "gen" event
+	// carrying the serving generation the swap produces — the key
+	// obs.Stitch uses to chain a replica-served query back through the
+	// feed pull that delivered its data.
+	Tracer *telemetry.Tracer
+	// Seed feeds span correlation IDs.
+	Seed int64
 }
 
 // Syncer mirrors one primary's feed into one local store directory.
 // Sync calls are serialized; Status is safe concurrently with Sync.
 type Syncer struct {
-	src   string
-	dir   string
-	c     *rdnsclient.Client
-	chunk int
+	src    string
+	dir    string
+	c      *rdnsclient.Client
+	chunk  int
+	tracer *telemetry.Tracer
+	seed   int64
 
 	mu sync.Mutex // serializes Sync
+	// syncN numbers Sync calls (the correlation-ID attempt key); applied
+	// counts committed syncs that changed the file set. On a replica
+	// daemon every changed sync triggers exactly one serving-handle swap
+	// (the bootstrap sync opens generation 0 without a reload), so the
+	// generation serving a query equals applied-1 at the time of the
+	// swap — the invariant the "gen" span events encode.
+	syncN   int
+	applied int
 	// verified caches segment files already validated against their
 	// content address, so steady-state syncs stat nothing but tails.
 	verified map[string]bool
@@ -103,6 +125,8 @@ func New(cfg Config) (*Syncer, error) {
 		dir:      cfg.Dir,
 		c:        c,
 		chunk:    chunk,
+		tracer:   cfg.Tracer,
+		seed:     cfg.Seed,
 		verified: make(map[string]bool),
 		tailOK:   make(map[string]int64),
 	}, nil
@@ -140,20 +164,41 @@ func (y *Syncer) Synced() bool {
 func (y *Syncer) Sync(ctx context.Context) (bool, error) {
 	y.mu.Lock()
 	defer y.mu.Unlock()
+	y.syncN++
+	corr := telemetry.CorrID(y.seed, "repl.sync", y.syncN)
+	span := y.tracer.StartSpanCorr("repl.sync", y.src, corr)
 	var lastErr error
 	for attempt := 0; attempt < changeRetries; attempt++ {
-		changed, err := y.syncOnce(ctx)
+		changed, err := y.syncOnce(ctx, corr)
 		if err == nil {
 			y.noteSuccess()
+			if changed {
+				y.applied++
+				// The stitch key: the serving generation this sync's
+				// handle swap produces (bootstrap opens generation 0).
+				span.Event("gen", uint64(y.applied-1))
+			}
+			span.End()
 			return changed, nil
 		}
 		lastErr = err
 		if !errors.Is(err, errChanged) && !rdnsChanged(err) {
 			break
 		}
+		span.Event("retry", uint64(attempt+1))
 	}
 	y.noteError()
+	span.Event("error", 0)
+	span.End()
 	return false, lastErr
+}
+
+// Applied reports how many committed syncs changed the local file set —
+// on a replica daemon, one more than the current serving generation.
+func (y *Syncer) Applied() int {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	return y.applied
 }
 
 // rdnsChanged reports a 409 repl_changed API error.
@@ -162,8 +207,9 @@ func rdnsChanged(err error) bool {
 	return errors.As(err, &ae) && ae.Code == rdnsclient.CodeReplChanged
 }
 
-// syncOnce is one manifest-to-commit attempt.
-func (y *Syncer) syncOnce(ctx context.Context) (bool, error) {
+// syncOnce is one manifest-to-commit attempt; corr correlates its fetch
+// spans with the owning Sync call.
+func (y *Syncer) syncOnce(ctx context.Context, corr uint64) (bool, error) {
 	m, err := y.c.ReplManifest(ctx)
 	if err != nil {
 		return false, fmt.Errorf("replica: manifest: %w", err)
@@ -178,13 +224,13 @@ func (y *Syncer) syncOnce(ctx context.Context) (bool, error) {
 	changed := false
 	for _, w := range m.Writers {
 		for _, g := range w.Segments {
-			fetched, err := y.syncSegment(ctx, w.ID, g)
+			fetched, err := y.syncSegment(ctx, w.ID, g, corr)
 			if err != nil {
 				return false, err
 			}
 			changed = changed || fetched
 		}
-		fetched, err := y.syncTail(ctx, w)
+		fetched, err := y.syncTail(ctx, w, corr)
 		if err != nil {
 			return false, err
 		}
@@ -224,7 +270,7 @@ func validateManifest(m rdnsclient.ReplManifest) error {
 // syncSegment ensures one sealed segment is present, verified, and
 // matching its content address. Partial downloads resume from the staged
 // .part file's size.
-func (y *Syncer) syncSegment(ctx context.Context, writerID string, g rdnsclient.ReplSegment) (bool, error) {
+func (y *Syncer) syncSegment(ctx context.Context, writerID string, g rdnsclient.ReplSegment, corr uint64) (bool, error) {
 	final := filepath.Join(y.dir, g.File)
 	if y.verified[g.File] {
 		return false, nil
@@ -260,6 +306,12 @@ func (y *Syncer) syncSegment(ctx context.Context, writerID string, g rdnsclient.
 	if err != nil {
 		return false, fmt.Errorf("replica: %w", err)
 	}
+	fspan := y.tracer.StartSpanCorr("repl.fetch", g.File, corr)
+	fetched := int64(0)
+	defer func() {
+		fspan.Event("bytes", uint64(fetched))
+		fspan.End()
+	}()
 	for off < g.Size {
 		n := y.chunk
 		if int64(n) > g.Size-off {
@@ -280,6 +332,7 @@ func (y *Syncer) syncSegment(ctx context.Context, writerID string, g rdnsclient.
 			return false, fmt.Errorf("replica: %w", err)
 		}
 		off += int64(len(data))
+		fetched += int64(len(data))
 		y.noteFetched(int64(len(data)))
 	}
 	if err := f.Sync(); err != nil {
@@ -323,7 +376,7 @@ func (y *Syncer) verifySegment(path, writerID string, g rdnsclient.ReplSegment) 
 // correct prefix of the primary's committed tail (tail files are
 // append-only and never reused), so resuming from the local file size is
 // self-healing after a crash mid-pull.
-func (y *Syncer) syncTail(ctx context.Context, w rdnsclient.ReplWriter) (bool, error) {
+func (y *Syncer) syncTail(ctx context.Context, w rdnsclient.ReplWriter, corr uint64) (bool, error) {
 	if w.TailSize <= 0 {
 		// Every real tail carries at least its file header; a zero-size
 		// tail is a malformed manifest, and committing it would reference
@@ -358,6 +411,12 @@ func (y *Syncer) syncTail(ctx context.Context, w rdnsclient.ReplWriter) (bool, e
 	if err != nil {
 		return false, fmt.Errorf("replica: %w", err)
 	}
+	fspan := y.tracer.StartSpanCorr("repl.fetch", w.TailFile, corr)
+	fetched := int64(0)
+	defer func() {
+		fspan.Event("bytes", uint64(fetched))
+		fspan.End()
+	}()
 	for off < w.TailSize {
 		n := y.chunk
 		if int64(n) > w.TailSize-off {
@@ -378,6 +437,7 @@ func (y *Syncer) syncTail(ctx context.Context, w rdnsclient.ReplWriter) (bool, e
 			return false, fmt.Errorf("replica: %w", err)
 		}
 		off += int64(len(data))
+		fetched += int64(len(data))
 		y.noteFetched(int64(len(data)))
 	}
 	if err := f.Sync(); err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -28,11 +29,20 @@ type Exporter struct {
 	reg    *Registry
 	tracer *Tracer
 	health func() any
+	dumps  []exporterDump
 
 	mu   sync.Mutex
 	srv  *http.Server
 	addr string
 	done chan struct{}
+}
+
+// exporterDump is one extra dump endpoint (path, content type, writer).
+type exporterDump struct {
+	path        string
+	contentType string
+	write       func(w io.Writer) error
+	empty       func() bool
 }
 
 // ExporterOption configures an Exporter.
@@ -48,6 +58,18 @@ func WithExporterTracer(tr *Tracer) ExporterOption {
 // latest HealthReport), not a live pointer into mutable state.
 func WithExporterHealth(health func() any) ExporterOption {
 	return func(e *Exporter) { e.health = health }
+}
+
+// WithExporterDump serves write's output at path with the given content
+// type — the hook rdnsd uses to expose its query log at /querylog
+// without the telemetry layer knowing the log's type. write is called
+// per request and must be safe concurrently with the producer (ring
+// snapshots, not live buffers). A non-nil empty func that reports true
+// answers 204, mirroring /trace's "not ready yet" convention.
+func WithExporterDump(path, contentType string, write func(w io.Writer) error, empty func() bool) ExporterOption {
+	return func(e *Exporter) {
+		e.dumps = append(e.dumps, exporterDump{path: path, contentType: contentType, write: write, empty: empty})
+	}
 }
 
 // NewExporter builds an exporter over reg. Call Start to serve.
@@ -111,6 +133,17 @@ func (e *Exporter) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		e.tracer.WriteJSONL(w)
 	})
+	for _, d := range e.dumps {
+		d := d
+		mux.HandleFunc(d.path, func(w http.ResponseWriter, _ *http.Request) {
+			if d.empty != nil && d.empty() {
+				w.WriteHeader(http.StatusNoContent)
+				return
+			}
+			w.Header().Set("Content-Type", d.contentType)
+			d.write(w)
+		})
+	}
 	return mux
 }
 

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// propRun replays one seeded scenario: a tracer with a small ring forced
+// to wrap, and a histogram fed a deterministic mix of correlated and
+// uncorrelated observations. It checks the structural properties inline
+// and returns the deterministic digests so the caller can assert
+// bit-identical replays.
+type propOutcome struct {
+	traceDigest uint64
+	exemplars   string // rendered exemplar slots, bucket order
+	counts      string // rendered bucket counts
+}
+
+func propRun(t *testing.T, seed int64) propOutcome {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	// --- trace-ring wrap ---
+	capacity := 4 + rng.Intn(60)
+	n := capacity + 1 + rng.Intn(2*capacity) // always overflows the ring
+	tr := NewTracer(seed, capacity)
+	var ids []uint64
+	for i := 0; i < n; i++ {
+		sp := tr.StartSpanCorr("prop.span", fmt.Sprintf("s%d", i), CorrID(seed, "prop", i+1))
+		for e := rng.Intn(3); e > 0; e-- {
+			sp.Event("step", uint64(e))
+		}
+		sp.End()
+		ids = append(ids, sp.ID)
+	}
+	if got := tr.Len(); got != capacity {
+		t.Fatalf("seed %d: ring len %d, want capacity %d", seed, got, capacity)
+	}
+	if got := tr.DroppedSpans(); got != uint64(n-capacity) {
+		t.Fatalf("seed %d: dropped %d, want %d", seed, got, n-capacity)
+	}
+	// The ring must retain exactly the LAST capacity spans, oldest first.
+	snap := tr.Snapshot()
+	for i, sp := range snap {
+		if want := ids[n-capacity+i]; sp.ID != want {
+			t.Fatalf("seed %d: ring slot %d holds span %016x, want %016x", seed, i, sp.ID, want)
+		}
+	}
+
+	// --- exemplar retention ---
+	reg := NewRegistry()
+	bounds := DefaultLatencyBuckets()
+	h := reg.Histogram("hist_prop_seconds", bounds)
+	spread := bounds[len(bounds)-1] * 1.25 // some observations overflow
+	nBuckets := len(bounds) + 1            // + overflow slot
+
+	wantCounts := make([]uint64, nBuckets)
+	// Per bucket: every corr offered to it with its value, and the worst
+	// correlated value — the exemplar the CAS loop must have kept.
+	offered := make([]map[uint64]float64, nBuckets)
+	worst := make([]float64, nBuckets)
+	for i := range offered {
+		offered[i] = map[uint64]float64{}
+	}
+	m := 200 + rng.Intn(300)
+	for i := 0; i < m; i++ {
+		v := rng.Float64() * spread
+		idx := sort.SearchFloat64s(bounds, v)
+		wantCounts[idx]++
+		corr := uint64(0)
+		if rng.Intn(4) > 0 { // a quarter of observations are uncorrelated
+			corr = CorrID(seed, "obs", i+1)
+		}
+		h.ObserveExemplar(v, corr)
+		if corr != 0 {
+			offered[idx][corr] = v
+			if v > worst[idx] {
+				worst[idx] = v
+			}
+		}
+	}
+
+	hs := h.Snapshot()
+	for i := 0; i < nBuckets; i++ {
+		var got uint64
+		if i < len(bounds) {
+			got = hs.Counts[i]
+		} else {
+			got = hs.Overflow
+		}
+		if got != wantCounts[i] {
+			t.Fatalf("seed %d: bucket %d count %d, want %d", seed, i, got, wantCounts[i])
+		}
+		ex, ok := hs.BucketExemplar(i)
+		if len(offered[i]) == 0 {
+			if ok {
+				t.Fatalf("seed %d: bucket %d has exemplar %+v but no correlated observation", seed, i, ex)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("seed %d: bucket %d saw %d correlated observations but has no exemplar", seed, i, len(offered[i]))
+		}
+		v, recorded := offered[i][ex.Corr]
+		if !recorded {
+			t.Fatalf("seed %d: bucket %d exemplar corr %016x was never observed in that bucket", seed, i, ex.Corr)
+		}
+		if v != ex.Value {
+			t.Fatalf("seed %d: bucket %d exemplar value %g, but corr %016x was observed at %g", seed, i, ex.Value, ex.Corr, v)
+		}
+		if ex.Value != worst[i] {
+			t.Fatalf("seed %d: bucket %d exemplar value %g, want the bucket's worst %g", seed, i, ex.Value, worst[i])
+		}
+	}
+	// The quantile exemplar must come from some bucket's retained slot.
+	if ex, ok := hs.QuantileExemplar(0.99); ok {
+		found := false
+		for i := 0; i < nBuckets && !found; i++ {
+			_, found = offered[i][ex.Corr]
+		}
+		if !found {
+			t.Fatalf("seed %d: p99 exemplar corr %016x not among offered observations", seed, ex.Corr)
+		}
+	}
+
+	var exs, cnts string
+	for i := 0; i < nBuckets; i++ {
+		if ex, ok := hs.BucketExemplar(i); ok {
+			exs += fmt.Sprintf("%d:%016x@%g ", i, ex.Corr, ex.Value)
+		}
+		cnts += fmt.Sprintf("%d ", wantCounts[i])
+	}
+	return propOutcome{traceDigest: tr.Digest(), exemplars: exs, counts: cnts}
+}
+
+// TestTraceRingExemplarProperties is the seeded property battery: across
+// 50 seeds the span ring must retain exactly the newest spans after
+// wrapping, every bucket exemplar must be the worst observation actually
+// recorded in that bucket by a correlated call, and replaying a seed must
+// reproduce the trace digest and exemplar slots bit-identically.
+func TestTraceRingExemplarProperties(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			a := propRun(t, seed)
+			b := propRun(t, seed)
+			if a.traceDigest != b.traceDigest {
+				t.Fatalf("trace digest not replay-stable: %016x vs %016x", a.traceDigest, b.traceDigest)
+			}
+			if a.exemplars != b.exemplars {
+				t.Fatalf("exemplar slots not replay-stable:\n%s\nvs\n%s", a.exemplars, b.exemplars)
+			}
+			if a.counts != b.counts {
+				t.Fatalf("bucket counts not replay-stable:\n%s\nvs\n%s", a.counts, b.counts)
+			}
+		})
+	}
+}

@@ -312,13 +312,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		h := snap.Histograms[name]
 		typeLine(name, "histogram")
+		// Buckets carry OpenMetrics-style exemplars when recorded: the
+		// worst correlated observation each bucket has seen, so a scrape
+		// can name the exact query behind a tail bucket.
+		exemplar := func(i int) string {
+			if ex, ok := h.BucketExemplar(i); ok {
+				return fmt.Sprintf(" # {corr=\"%016x\"} %g", ex.Corr, ex.Value)
+			}
+			return ""
+		}
 		cum := uint64(0)
 		for i, ub := range h.Buckets {
 			cum += h.Counts[i]
-			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, ub, cum)
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d%s\n", name, ub, cum, exemplar(i))
 		}
 		cum += h.Overflow
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, cum, exemplar(len(h.Buckets)))
 		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum)
 		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
 			return err
