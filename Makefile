@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-check cover verify race fuzz loadtest replicatest metriclint monitortest
+.PHONY: build test bench bench-check cover verify race fuzz loadtest replicatest metriclint monitortest vantagetest
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,8 @@ bench-check:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkScanEngineFullSweep|BenchmarkHistStoreAt' -count=1 . \
 		&& $(GO) test -run '^$$' -bench 'BenchmarkHistStoreCompact' -count=4 . \
 		&& $(GO) test -run '^$$' -bench 'BenchmarkRdnsdQuery|BenchmarkRdnsdConcurrentLoad' -count=1 ./internal/rdnsserve \
-		&& $(GO) test -run '^$$' -bench 'BenchmarkReplicaCatchup|BenchmarkReplicaQuery' -count=4 ./internal/replica ; } \
+		&& $(GO) test -run '^$$' -bench 'BenchmarkReplicaCatchup|BenchmarkReplicaQuery' -count=4 ./internal/replica \
+		&& $(GO) test -run '^$$' -bench 'BenchmarkVantageMerge' -count=1 ./internal/vantage ; } \
 		| /tmp/benchcheck -baseline BENCH_baseline.json -out BENCH_scan.json -gate-extras p99-ns/op
 
 # cover gates per-package test coverage: every internal package must stay
@@ -76,6 +77,15 @@ metriclint:
 monitortest:
 	$(GO) test -race -count=1 -run 'TestMonitorE2E' ./cmd/rdnsmon
 
+# vantagetest is the multi-vantage measurement gate: the seeded
+# three-vantage campaign race test (concurrent appenders with live
+# compaction, disagreement reads mid-flight, goroutine-leak check) plus
+# the 50-seed replay-determinism battery proving reports and obs frame
+# digests are bit-identical across runs.
+vantagetest:
+	$(GO) test -race -count=1 -run 'TestVantageCampaignRace' ./internal/vantage
+	$(GO) test -count=1 -run 'TestVantageReplayDeterminism' ./internal/vantage
+
 # replicatest is the replication gate: the chaos battery (a primary with
 # a live appender and periodic compactions, replicas catching up while
 # pulls are killed mid-flight and syncers restart, query workers on every
@@ -88,8 +98,8 @@ replicatest:
 # verify is the pre-merge gate: vet everything, lint the metric names,
 # run the full test suite with the coverage floors, race-test the
 # internal packages and the query daemon, run the replication chaos
-# battery and the observability e2e, and smoke the serving path under
-# 10k-worker load.
+# battery, the observability e2e and the multi-vantage campaign gate,
+# and smoke the serving path under 10k-worker load.
 verify:
 	$(GO) vet ./...
 	$(MAKE) metriclint
@@ -98,4 +108,5 @@ verify:
 	$(GO) test -race ./internal/... ./cmd/rdnsd
 	$(MAKE) replicatest
 	$(MAKE) monitortest
+	$(MAKE) vantagetest
 	$(MAKE) loadtest

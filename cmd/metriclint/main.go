@@ -41,6 +41,7 @@ import (
 var knownPrefixes = map[string]bool{
 	"scan": true, "hist": true, "dnsclient": true, "dnsserver": true,
 	"reactive": true, "rdnsd": true, "repl": true, "load": true,
+	"vantage": true,
 }
 
 // histogramSuffixes are the unit suffixes a histogram name may end with.

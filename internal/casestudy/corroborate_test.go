@@ -1,0 +1,162 @@
+package casestudy
+
+import (
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/histstore"
+	"rdnsprivacy/internal/scanengine"
+	"rdnsprivacy/internal/vantage"
+)
+
+// corroborationFixture builds a three-vantage store with one engineered
+// partial-corroboration event: every vantage holds brians-iphone on .7
+// throughout, .9 flips host-a → host-b on day 2 at va and vb, while vc
+// keeps serving the stale host-a to the end.
+func corroborationFixture(t *testing.T) (*histstore.Store, []time.Time) {
+	t.Helper()
+	dir := t.TempDir()
+	start := time.Date(2021, 5, 1, 13, 0, 0, 0, time.UTC)
+	times := make([]time.Time, 4)
+	for i := range times {
+		times[i] = start.AddDate(0, 0, i)
+	}
+	writers := []string{"va", "vb", "vc"}
+	stores := make([]*histstore.Store, len(writers))
+	for i, w := range writers {
+		st, err := histstore.Open(dir, histstore.WithWriter(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = st
+	}
+	for day, at := range times {
+		for i, w := range writers {
+			name := "host-a.dyn.example.net"
+			if day >= 2 && w != "vc" {
+				name = "host-b.dyn.example.net"
+			}
+			recs := scanengine.RecordSet{
+				dnswire.MustIPv4("10.2.1.7"): dnswire.MustName("brians-iphone.lan.example.net"),
+				dnswire.MustIPv4("10.2.1.9"): dnswire.MustName(name),
+			}
+			if err := stores[i].Append(at, recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, st := range stores {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ro, err := histstore.Open(dir, histstore.WithReadOnly(), histstore.WithCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ro.Close() })
+	return ro, times
+}
+
+// TestCorroboratedEntrySeries checks the annotated Figure 9/10 building
+// block: entry counts from the merged view, per-day transitions with
+// vantage attribution, and the day's MinScore trust floor.
+func TestCorroboratedEntrySeries(t *testing.T) {
+	st, times := corroborationFixture(t)
+	points, err := CorroboratedEntrySeries(st, nil, vantage.Config{LagWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	for i, pt := range points {
+		if !pt.Date.Equal(times[i]) {
+			t.Fatalf("point %d date %v, want %v", i, pt.Date, times[i])
+		}
+		if pt.Entries != 2 {
+			t.Fatalf("point %d entries = %d, want 2", i, pt.Entries)
+		}
+	}
+	// Day 0: the two initial adds, every vantage on board.
+	if len(points[0].Transitions) != 2 || points[0].MinScore != 1 {
+		t.Fatalf("day 0 = %+v, want 2 fully corroborated adds", points[0])
+	}
+	// Day 2: the engineered flip — ref follows the va/vb plurality, vc
+	// never confirms, so the score (and the day's floor) is 2/3.
+	if len(points[2].Transitions) != 1 {
+		t.Fatalf("day 2 transitions = %+v, want 1", points[2].Transitions)
+	}
+	tr := points[2].Transitions[0]
+	if tr.Kind != "changed" || tr.IP != dnswire.MustIPv4("10.2.1.9") {
+		t.Fatalf("day 2 transition = %+v", tr)
+	}
+	if tr.Old != dnswire.MustName("host-a.dyn.example.net") ||
+		tr.New != dnswire.MustName("host-b.dyn.example.net") {
+		t.Fatalf("day 2 names = %q -> %q", tr.Old, tr.New)
+	}
+	if len(tr.CorroboratedBy) != 2 || tr.CorroboratedBy[0] != "va" || tr.CorroboratedBy[1] != "vb" {
+		t.Fatalf("day 2 corroborators = %v, want [va vb]", tr.CorroboratedBy)
+	}
+	if want := 2.0 / 3.0; tr.Score != want || points[2].MinScore != want {
+		t.Fatalf("day 2 score = %v floor %v, want %v", tr.Score, points[2].MinScore, want)
+	}
+	// Quiet days carry no transitions and a full trust floor.
+	for _, i := range []int{1, 3} {
+		if len(points[i].Transitions) != 0 || points[i].MinScore != 1 {
+			t.Fatalf("day %d = %+v, want quiet", i, points[i])
+		}
+	}
+	// Prefix restriction: a block with no records yields empty days.
+	empty, err := CorroboratedEntrySeries(st, []dnswire.Prefix{dnswire.MustPrefix("10.9.9.0/24")}, vantage.Config{LagWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range empty {
+		if pt.Entries != 0 || len(pt.Transitions) != 0 {
+			t.Fatalf("restricted day %d = %+v, want empty", i, pt)
+		}
+	}
+}
+
+// TestWriterSource checks the writer-filter one-liner: the same analyses
+// that run on the merged store run on one vantage's own observations,
+// and the filtered result reflects only that writer's view.
+func TestWriterSource(t *testing.T) {
+	st, times := corroborationFixture(t)
+	vc, err := WriterSource(st, "vc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vc never saw the host-b flip: its tracks for the dynamic block end
+	// on host-a, and its entry series still counts both addresses.
+	series, err := EntrySeriesFromStore(vc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Dates) != 4 {
+		t.Fatalf("writer series days = %d, want 4", len(series.Dates))
+	}
+	for i, v := range series.Values {
+		if v != 2 {
+			t.Fatalf("writer series day %d = %v, want 2", i, v)
+		}
+	}
+	tracks, err := TrackNameFromStore(vc, dnswire.Prefix{}, "brian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != 1 || tracks[0].Device != "brians-iphone" {
+		t.Fatalf("writer tracks = %+v", tracks)
+	}
+	if fs := tracks[0].FirstSeen(); !fs.Equal(times[0]) {
+		t.Fatalf("first seen = %v, want %v", fs, times[0])
+	}
+	if (&DeviceTrack{}).FirstSeen() != (time.Time{}) {
+		t.Fatal("empty track FirstSeen must be zero")
+	}
+	if _, err := WriterSource(st, "nope"); err == nil {
+		t.Fatal("unknown writer must error")
+	}
+}

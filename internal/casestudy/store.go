@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rdnsprivacy/internal/analysis"
+	"rdnsprivacy/internal/dataset"
 	"rdnsprivacy/internal/dnswire"
 	"rdnsprivacy/internal/histstore"
 )
@@ -17,11 +18,43 @@ import (
 // given-name index, so "find every Brian" touches only the /24s and day
 // ranges where the name actually appeared.
 
+// HistSource is the read surface the store-backed analyses need. Both
+// *histstore.Store (the merged cross-writer view) and
+// *histstore.WriterView (one writer's own observations) satisfy it, so
+// every analysis here can be run either on the merged truth or filtered
+// to a single vantage point's provenance — a multi-writer store silently
+// merges otherwise, which is exactly wrong for per-vantage case studies.
+type HistSource interface {
+	Times() []time.Time
+	Blocks() []dnswire.Prefix
+	Range(p dnswire.Prefix, from, to time.Time) ([]dataset.Row, error)
+	Churn(p dnswire.Prefix, from, to time.Time) ([]histstore.ChurnDay, error)
+}
+
+// NameSearcher is the optional inverted-index fast path. Only the merged
+// store implements it: the index is built over merged states, so a
+// record shadowed by a lower-id writer may never appear in it — a
+// per-writer view must not narrow by it, and falls back to a full scan.
+type NameSearcher interface {
+	FindName(token string) []histstore.Posting
+}
+
+// WriterSource resolves the writer-filtered read surface: the view of
+// one vantage's own records. It is the one-liner that threads writer
+// provenance through every analysis in this file:
+//
+//	v, _ := casestudy.WriterSource(st, "vantage-b")
+//	tracks, _ := casestudy.TrackNameFromStore(v, prefix, "brian")
+func WriterSource(st *histstore.Store, writer string) (HistSource, error) {
+	return st.WriterView(writer)
+}
+
 // EntrySeriesFromStore builds the daily total entry series (the Figure
-// 9/10 building block) from a history store, restricted to addresses
-// within any of prefixes (nil means everything). One value per store
-// snapshot, aligned with the store's instants.
-func EntrySeriesFromStore(st *histstore.Store, prefixes []dnswire.Prefix) (analysis.Series, error) {
+// 9/10 building block) from a history source, restricted to addresses
+// within any of prefixes (nil means everything). One value per source
+// snapshot, aligned with the source's instants. Pass a WriterSource to
+// count only one vantage's observations.
+func EntrySeriesFromStore(st HistSource, prefixes []dnswire.Prefix) (analysis.Series, error) {
 	times := st.Times()
 	out := analysis.Series{
 		Dates:  times,
@@ -58,13 +91,15 @@ func EntrySeriesFromStore(st *histstore.Store, prefixes []dnswire.Prefix) (analy
 }
 
 // TrackNameFromStore builds the Figure 8 device tracks from a history
-// store: every device hostname whose first label carries the possessive
+// source: every device hostname whose first label carries the possessive
 // form of givenName ("brian" matches brians-iphone, brian-mbp, ...),
 // restricted to addresses within p (the zero Prefix means everywhere).
-// The store's inverted name index narrows the scan to the /24s and day
-// ranges where the name was present; presence intervals are maximal runs
-// of consecutive snapshots with the device on one address.
-func TrackNameFromStore(st *histstore.Store, p dnswire.Prefix, givenName string) ([]*DeviceTrack, error) {
+// When the source carries the inverted name index (the merged store), it
+// narrows the scan to the /24s and day ranges where the name was
+// present; writer-filtered sources scan their own blocks in full.
+// Presence intervals are maximal runs of consecutive snapshots with the
+// device on one address.
+func TrackNameFromStore(st HistSource, p dnswire.Prefix, givenName string) ([]*DeviceTrack, error) {
 	match := strings.ToLower(givenName) + "s-"
 	alt := strings.ToLower(givenName) + "-"
 	times := st.Times()
@@ -77,14 +112,24 @@ func TrackNameFromStore(st *histstore.Store, p dnswire.Prefix, givenName string)
 	}
 
 	// The index narrows to (/24, interval) postings; dedupe overlapping
-	// postings per /24 before ranging.
+	// postings per /24 before ranging. Without an index, every block the
+	// source knows is a full-range window.
 	type window struct{ from, to time.Time }
 	windows := make(map[dnswire.Prefix][]window)
-	for _, post := range st.FindName(strings.ToLower(givenName)) {
-		if !p.Overlaps(post.Prefix) && p != (dnswire.Prefix{}) {
-			continue
+	if searcher, ok := st.(NameSearcher); ok {
+		for _, post := range searcher.FindName(strings.ToLower(givenName)) {
+			if !p.Overlaps(post.Prefix) && p != (dnswire.Prefix{}) {
+				continue
+			}
+			windows[post.Prefix] = append(windows[post.Prefix], window{post.First, post.Last})
 		}
-		windows[post.Prefix] = append(windows[post.Prefix], window{post.First, post.Last})
+	} else {
+		for _, block := range st.Blocks() {
+			if !p.Overlaps(block) && p != (dnswire.Prefix{}) {
+				continue
+			}
+			windows[block] = append(windows[block], window{times[0], times[len(times)-1]})
+		}
 	}
 
 	// presence[device][ip] marks the snapshot indices the device held ip.
@@ -152,10 +197,12 @@ func TrackNameFromStore(st *histstore.Store, p dnswire.Prefix, givenName string)
 	return out, nil
 }
 
-// ChurnSeriesFromStore converts the store's per-snapshot churn within a
+// ChurnSeriesFromStore converts the source's per-snapshot churn within a
 // prefix into an analysis.Series of total change counts — the dynamicity
-// view (Section 4) straight from the log's deltas.
-func ChurnSeriesFromStore(st *histstore.Store, p dnswire.Prefix) (analysis.Series, error) {
+// view (Section 4) straight from the log's deltas. Through a
+// WriterSource, churn is diffed against that writer's own baseline, so
+// another vantage's flicker does not pollute the series.
+func ChurnSeriesFromStore(st HistSource, p dnswire.Prefix) (analysis.Series, error) {
 	times := st.Times()
 	if len(times) == 0 {
 		return analysis.Series{}, nil

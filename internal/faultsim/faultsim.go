@@ -292,18 +292,15 @@ func (ps *profileState) decide(inj *Injector, name dnswire.Name) (action, time.D
 		return actDrop, 0
 	}
 
-	h := faultHash(uint64(inj.seed), nameHash(name), attempt)
-	if ps.p.Loss > 0 && unitFloat(h) < ps.p.Loss {
+	out, h := ps.p.sampleHash(faultHash(uint64(inj.seed), nameHash(name), attempt))
+	switch out {
+	case OutcomeDrop:
 		ps.stats.Dropped++
 		return actDrop, 0
-	}
-	h = faultHash(h, 0x5EC0)
-	if ps.p.ServFailRate > 0 && unitFloat(h) < ps.p.ServFailRate {
+	case OutcomeServFail:
 		ps.stats.ServFails++
 		return actServFail, ps.p.Latency
-	}
-	h = faultHash(h, 0xEF01)
-	if ps.p.RefusedRate > 0 && unitFloat(h) < ps.p.RefusedRate {
+	case OutcomeRefused:
 		ps.stats.Refused++
 		return actRefused, ps.p.Latency
 	}

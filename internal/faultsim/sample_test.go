@@ -1,0 +1,126 @@
+package faultsim
+
+import (
+	"testing"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/simclock"
+)
+
+// TestSampleMatchesInjector pins the exported pure decision against the
+// wire injector: for a rate-only profile (no windows, no throttle) the
+// injector's verdict on (name, attempt) is exactly Profile.Sample's —
+// the contract internal/vantage's enumeration-path fault lens builds on.
+func TestSampleMatchesInjector(t *testing.T) {
+	prefix := dnswire.MustPrefix("10.9.0.0/24")
+	p := Profile{Prefix: prefix, Loss: 0.2, ServFailRate: 0.1, RefusedRate: 0.05}
+	const seed = 1234
+	h := New(simclock.Real{}, seed, p).Wrap(&echoHandler{})
+
+	const attempts = 4
+	var drops, servfails, refused int
+	for i := 0; i < 256; i++ {
+		ip := prefix.Nth(i)
+		name := dnswire.ReverseName(ip)
+		for a := uint64(0); a < attempts; a++ {
+			want := p.Sample(seed, name, a)
+			rc, answered := rcodeOf(t, h.HandleQuery(ptrQuery(t, ip, uint16(i))))
+			var got Outcome
+			switch {
+			case !answered:
+				got = OutcomeDrop
+			case rc == dnswire.RCodeServFail:
+				got = OutcomeServFail
+			case rc == dnswire.RCodeRefused:
+				got = OutcomeRefused
+			default:
+				got = OutcomePass
+			}
+			if got != want {
+				t.Fatalf("ip %s attempt %d: injector %v, Sample %v", ip, a, got, want)
+			}
+			switch got {
+			case OutcomeDrop:
+				drops++
+			case OutcomeServFail:
+				servfails++
+			case OutcomeRefused:
+				refused++
+			}
+		}
+	}
+	if drops == 0 || servfails == 0 || refused == 0 {
+		t.Fatalf("degenerate sample: drops=%d servfails=%d refused=%d", drops, servfails, refused)
+	}
+}
+
+// TestSampleZeroProfilePasses pins the zero profile to all-pass, and the
+// outcome names used in reports.
+func TestSampleZeroProfilePasses(t *testing.T) {
+	var p Profile
+	name := dnswire.ReverseName(dnswire.MustIPv4("10.0.0.1"))
+	for a := uint64(0); a < 100; a++ {
+		if out := p.Sample(7, name, a); out != OutcomePass {
+			t.Fatalf("zero profile attempt %d: %v", a, out)
+		}
+	}
+	for out, want := range map[Outcome]string{
+		OutcomePass: "pass", OutcomeDrop: "drop",
+		OutcomeServFail: "servfail", OutcomeRefused: "refused",
+	} {
+		if out.String() != want {
+			t.Fatalf("Outcome(%d).String() = %q, want %q", out, out.String(), want)
+		}
+	}
+}
+
+// TestProfileFor pins most-specific-prefix routing.
+func TestProfileFor(t *testing.T) {
+	profiles := []Profile{
+		{Prefix: dnswire.MustPrefix("10.0.0.0/8"), Loss: 0.1},
+		{Prefix: dnswire.MustPrefix("10.1.0.0/16"), Loss: 0.2},
+		{Prefix: dnswire.MustPrefix("10.1.2.0/24"), Loss: 0.3},
+	}
+	cases := []struct {
+		ip   string
+		loss float64
+	}{
+		{"10.1.2.3", 0.3},
+		{"10.1.9.1", 0.2},
+		{"10.9.9.9", 0.1},
+	}
+	for _, c := range cases {
+		got := ProfileFor(profiles, dnswire.MustIPv4(c.ip))
+		if got == nil || got.Loss != c.loss {
+			t.Fatalf("ProfileFor(%s) = %+v, want loss %v", c.ip, got, c.loss)
+		}
+	}
+	if got := ProfileFor(profiles, dnswire.MustIPv4("192.0.2.1")); got != nil {
+		t.Fatalf("ProfileFor outside all prefixes = %+v, want nil", got)
+	}
+}
+
+// TestRoll: the auxiliary per-query roll is deterministic, in [0,1),
+// roughly uniform, and independent across salt words.
+func TestRoll(t *testing.T) {
+	name := dnswire.MustName("7.1.0.10.in-addr.arpa")
+	if Roll(42, name, 0x1A66, 3) != Roll(42, name, 0x1A66, 3) {
+		t.Fatal("same tuple must roll the same value")
+	}
+	if Roll(42, name, 0x1A66, 3) == Roll(42, name, 0x1A66, 4) ||
+		Roll(42, name, 0x1A66) == Roll(43, name, 0x1A66) {
+		t.Fatal("distinct tuples collided")
+	}
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v := Roll(7, name, uint64(i))
+		if v < 0 || v >= 1 {
+			t.Fatalf("roll %d out of range: %v", i, v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("mean roll %v, want ~0.5", mean)
+	}
+}

@@ -1,0 +1,319 @@
+package histstore
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rdnsprivacy/internal/dataset"
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/scanengine"
+)
+
+// WriterView is a read-only single-writer lens over a shared store: the
+// same queries the merged surface answers, restricted to what one writer
+// (one vantage point, one campaign) actually observed — no merge, no
+// other writer's records shadowing or filling in. It is the read side of
+// per-writer tails: internal/vantage's disagreement analyzer and the
+// writer-filtered case studies reconstruct each vantage's view through
+// it. Views are cheap handles; they share the store's files, cache, and
+// locks and stay valid across appends and compactions.
+type WriterView struct {
+	s  *Store
+	wi int
+	id string
+}
+
+// WriterView returns the lens for writer id, which must be one of
+// Writers(). The view answers from the writer's segments and tail only.
+func (s *Store) WriterView(id string) (*WriterView, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	for wi, w := range s.writers {
+		if w.id == id {
+			return &WriterView{s: s, wi: wi, id: id}, nil
+		}
+	}
+	return nil, fmt.Errorf("histstore: unknown writer %q", id)
+}
+
+// ID returns the writer identity the view answers for.
+func (v *WriterView) ID() string { return v.id }
+
+// Times returns the writer's own snapshot instants in append order — a
+// subset of the store's merged timeline.
+func (v *WriterView) Times() []time.Time {
+	v.s.mu.RLock()
+	defer v.s.mu.RUnlock()
+	w := v.s.writers[v.wi]
+	return append([]time.Time(nil), w.times...)
+}
+
+// Blocks lists the /24s the writer has ever recorded, sorted by address.
+func (v *WriterView) Blocks() []dnswire.Prefix {
+	v.s.mu.RLock()
+	defer v.s.mu.RUnlock()
+	w := v.s.writers[v.wi]
+	out := make([]dnswire.Prefix, 0, len(w.known))
+	for p := range w.known {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Uint32() < out[j].Addr.Uint32() })
+	return out
+}
+
+// localAtOrBefore maps an instant to the writer's newest local snapshot
+// at or before it (-1 when t precedes the writer's history). Callers
+// hold the lock.
+func (v *WriterView) localAtOrBefore(t time.Time) int {
+	w := v.s.writers[v.wi]
+	return sort.Search(len(w.times), func(i int) bool { return w.times[i].After(t) }) - 1
+}
+
+// At answers the point query from this writer's view alone: the name the
+// writer held for ip at its newest snapshot at or before t. ok is false
+// when the writer saw no record then; ErrBeforeHistory when t precedes
+// the writer's first snapshot.
+func (v *WriterView) At(ip dnswire.IPv4, t time.Time) (dnswire.Name, bool, error) {
+	v.s.mu.RLock()
+	defer v.s.mu.RUnlock()
+	if v.s.closed {
+		return "", false, ErrClosed
+	}
+	ls := v.localAtOrBefore(t)
+	if ls < 0 {
+		return "", false, ErrBeforeHistory
+	}
+	st, err := v.s.writerStateAt(v.wi, ip.Slash24(), ls)
+	if err != nil {
+		return "", false, err
+	}
+	name, ok := st[ip[3]]
+	return name, ok, nil
+}
+
+// BlockAt returns the writer's full /24 state at its newest snapshot at
+// or before t — a copy, safe to hold and mutate. A nil map means the
+// writer held no records in the block (including before its history).
+func (v *WriterView) BlockAt(p dnswire.Prefix, t time.Time) (map[byte]dnswire.Name, error) {
+	v.s.mu.RLock()
+	defer v.s.mu.RUnlock()
+	if v.s.closed {
+		return nil, ErrClosed
+	}
+	ls := v.localAtOrBefore(t)
+	if ls < 0 {
+		return nil, nil
+	}
+	st, err := v.s.writerStateAt(v.wi, p, ls)
+	if err != nil || len(st) == 0 {
+		return nil, err
+	}
+	// writerStateAt shares cached state (and in solo mode the live map):
+	// copy before handing out.
+	out := make(map[byte]dnswire.Name, len(st))
+	for o, name := range st {
+		out[o] = name
+	}
+	return out, nil
+}
+
+// Range returns the writer's observations within prefix and [from, to],
+// ordered by date then address — Store.Range restricted to one writer's
+// snapshots and records.
+func (v *WriterView) Range(p dnswire.Prefix, from, to time.Time) ([]dataset.Row, error) {
+	v.s.mu.RLock()
+	defer v.s.mu.RUnlock()
+	if v.s.closed {
+		return nil, ErrClosed
+	}
+	w := v.s.writers[v.wi]
+	lo, hi, ok := clipRange(w.times, from, to)
+	if !ok {
+		return nil, nil
+	}
+	blocks := v.overlappingBlocksLocked(p)
+	var rows []dataset.Row
+	for ls := lo; ls <= hi; ls++ {
+		for _, q := range blocks {
+			st, err := v.s.writerStateAt(v.wi, q, ls)
+			if err != nil {
+				return rows, err
+			}
+			for octet := 0; octet < 256; octet++ {
+				name, ok := st[byte(octet)]
+				if !ok {
+					continue
+				}
+				ip := dnswire.IPv4{q.Addr[0], q.Addr[1], q.Addr[2], byte(octet)}
+				if p.Bits > 24 && !p.Contains(ip) {
+					continue
+				}
+				rows = append(rows, dataset.Row{Date: w.times[ls], IP: ip, PTR: name})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Churn returns the writer's per-snapshot delta counts within prefix over
+// [from, to] — Store.Churn against this writer's own baseline, so a
+// record another vantage flickered does not show up as churn here.
+func (v *WriterView) Churn(p dnswire.Prefix, from, to time.Time) ([]ChurnDay, error) {
+	v.s.mu.RLock()
+	defer v.s.mu.RUnlock()
+	if v.s.closed {
+		return nil, ErrClosed
+	}
+	w := v.s.writers[v.wi]
+	lo, hi, ok := clipRange(w.times, from, to)
+	if !ok {
+		return nil, nil
+	}
+	if lo == 0 {
+		lo = 1
+	}
+	blocks := v.overlappingBlocksLocked(p)
+	var out []ChurnDay
+	for ls := lo; ls <= hi; ls++ {
+		day := ChurnDay{Date: w.times[ls]}
+		for _, q := range blocks {
+			prev, err := v.s.writerStateAt(v.wi, q, ls-1)
+			if err != nil {
+				return out, err
+			}
+			cur, err := v.s.writerStateAt(v.wi, q, ls)
+			if err != nil {
+				return out, err
+			}
+			for _, ch := range diffBlock(prev, cur) {
+				if p.Bits > 24 {
+					ip := dnswire.IPv4{q.Addr[0], q.Addr[1], q.Addr[2], ch.octet}
+					if !p.Contains(ip) {
+						continue
+					}
+				}
+				switch ch.kind {
+				case scanengine.RecordAdded:
+					day.Added++
+				case scanengine.RecordRemoved:
+					day.Removed++
+				case scanengine.RecordChanged:
+					day.Changed++
+				}
+			}
+		}
+		out = append(out, day)
+	}
+	return out, nil
+}
+
+// overlappingBlocksLocked lists the writer's known /24s overlapping p,
+// sorted by address. Callers hold the lock.
+func (v *WriterView) overlappingBlocksLocked(p dnswire.Prefix) []dnswire.Prefix {
+	w := v.s.writers[v.wi]
+	var out []dnswire.Prefix
+	for q := range w.known {
+		if p.Overlaps(q) {
+			out = append(out, q)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Uint32() < out[j].Addr.Uint32() })
+	return out
+}
+
+// clipRange clips [from, to] to indices of a sorted instant slice.
+func clipRange(times []time.Time, from, to time.Time) (lo, hi int, ok bool) {
+	if len(times) == 0 || to.Before(from) {
+		return 0, 0, false
+	}
+	lo = sort.Search(len(times), func(i int) bool { return !times[i].Before(from) })
+	hi = sort.Search(len(times), func(i int) bool { return times[i].After(to) }) - 1
+	if lo > hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// Blocks lists every /24 the store indexes across writers, sorted by
+// address — the block universe per-writer views diverge within.
+func (s *Store) Blocks() []dnswire.Prefix {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]dnswire.Prefix, 0, len(s.blockSet))
+	for p := range s.blockSet {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Uint32() < out[j].Addr.Uint32() })
+	return out
+}
+
+// WriterDivergence summarizes how one writer's live state relates to the
+// merged live view, octet by octet: Agreements hold the merged winner's
+// name, Conflicts hold a different one (the writer is shadowed by a
+// lower-id winner), Missing are merged records the writer lacks, and
+// Exclusive are records only this writer holds. Records is the writer's
+// live total (Agreements + Conflicts).
+type WriterDivergence struct {
+	ID         string `json:"id"`
+	Records    int    `json:"records"`
+	Agreements int    `json:"agreements"`
+	Conflicts  int    `json:"conflicts"`
+	Missing    int    `json:"missing"`
+	Exclusive  int    `json:"exclusive"`
+}
+
+// DivergenceStats is the store's live cross-writer disagreement summary:
+// the per-writer breakdown against the merged view. Addresses is the
+// merged live record count. A solo store reports full agreement.
+type DivergenceStats struct {
+	Addresses int                `json:"addresses"`
+	Writers   []WriterDivergence `json:"writers"`
+}
+
+// Divergence computes the live per-writer disagreement summary — the
+// /v1/stats?divergence=1 block. It walks every indexed /24 once; cost is
+// proportional to live records times writers.
+func (s *Store) Divergence() DivergenceStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := DivergenceStats{Writers: make([]WriterDivergence, len(s.writers))}
+	for i, w := range s.writers {
+		out.Writers[i].ID = w.id
+	}
+	for p := range s.blockSet {
+		merged := s.cur[p]
+		out.Addresses += len(merged)
+		for o, mname := range merged {
+			holders := 0
+			holder := -1
+			for wi, w := range s.writers {
+				if _, ok := w.cur[p][o]; ok {
+					holders++
+					holder = wi
+				}
+			}
+			for wi, w := range s.writers {
+				d := &out.Writers[wi]
+				name, ok := w.cur[p][o]
+				switch {
+				case !ok:
+					d.Missing++
+				case name == mname:
+					d.Records++
+					d.Agreements++
+				default:
+					d.Records++
+					d.Conflicts++
+				}
+			}
+			if holders == 1 && len(s.writers) > 1 {
+				out.Writers[holder].Exclusive++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,350 @@
+package histstore
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rdnsprivacy/internal/dnswire"
+	"rdnsprivacy/internal/scanengine"
+)
+
+// TestWriterViewMatchesOwnCampaign pins the single-writer lens against
+// the raw campaign oracle: with two writers interleaved in one store,
+// each writer's view answers exactly its own campaign — point queries,
+// ranges, churn, and instants — never the merged truth.
+func TestWriterViewMatchesOwnCampaign(t *testing.T) {
+	ca := genCampaign(21, 30)
+	cb := genCampaign(221, 30)
+	for i := range cb.times {
+		cb.times[i] = cb.times[i].Add(30 * time.Minute)
+	}
+
+	path := filepath.Join(t.TempDir(), "hist")
+	alpha, err := Open(path, WithWriter("alpha"), WithBaseInterval(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := Open(path, WithWriter("beta"), WithBaseInterval(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := alpha.Append(ca.times[i], ca.snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := beta.Append(cb.times[i], cb.snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seal part of alpha so views cross the tail/segment boundary.
+	if _, err := alpha.CompactWriter(t.Context(), "alpha", CompactOptions{MinSeal: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := alpha.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := beta.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := Open(path, WithReadOnly(), WithCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+
+	if _, err := ro.WriterView("nobody"); err == nil {
+		t.Fatal("WriterView(nobody) succeeded")
+	}
+
+	for _, tc := range []struct {
+		id string
+		c  *campaign
+	}{{"alpha", ca}, {"beta", cb}} {
+		v, err := ro.WriterView(tc.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.ID() != tc.id {
+			t.Fatalf("ID() = %q", v.ID())
+		}
+		times := v.Times()
+		if len(times) != len(tc.c.times) {
+			t.Fatalf("%s: %d instants, want %d", tc.id, len(times), len(tc.c.times))
+		}
+		for i := range times {
+			if !times[i].Equal(tc.c.times[i]) {
+				t.Fatalf("%s: times[%d] = %s, want %s", tc.id, i, times[i], tc.c.times[i])
+			}
+		}
+
+		// Before the writer's history.
+		if _, _, err := v.At(dnswire.IPv4{10, 1, 1, 1}, tc.c.times[0].Add(-time.Hour)); !errors.Is(err, ErrBeforeHistory) {
+			t.Fatalf("%s: pre-history At err = %v", tc.id, err)
+		}
+
+		rng := splitmix(uint64(len(tc.id)) + 5)
+		for i := 0; i < 300; i++ {
+			b := tc.c.blocks[rng()%uint64(len(tc.c.blocks))]
+			ip := dnswire.IPv4{b.Addr[0], b.Addr[1], b.Addr[2], byte(rng() % 40)}
+			when := tc.c.times[rng()%uint64(len(tc.c.times))].Add(time.Duration(rng()%7) * time.Minute)
+			name, ok, err := v.At(ip, when)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantName, wantOK, _ := tc.c.bruteAt(ip, when)
+			if ok != wantOK || name != wantName {
+				t.Fatalf("%s: At(%s, %s) = (%q, %v), oracle (%q, %v)", tc.id, ip, when, name, ok, wantName, wantOK)
+			}
+		}
+
+		for _, b := range tc.c.blocks {
+			rows, err := v.Range(b, times[0], times[len(times)-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []string
+			for _, r := range rows {
+				got = append(got, fmt.Sprintf("%s %s %s", r.Date.Format(time.RFC3339), r.IP, r.PTR))
+			}
+			want := tc.c.bruteRange(b, times[0], times[len(times)-1])
+			if len(got) != len(want) {
+				t.Fatalf("%s: Range(%s) %d rows, oracle %d", tc.id, b, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: Range row %d = %q, want %q", tc.id, i, got[i], want[i])
+				}
+			}
+
+			// Churn against the writer's own baseline: replay the raw
+			// snapshots and diff.
+			days, err := v.Churn(b, times[0], times[len(times)-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(days) != len(times)-1 {
+				t.Fatalf("%s: churn %d days, want %d", tc.id, len(days), len(times)-1)
+			}
+			for i, d := range days {
+				var add, rem, chg int
+				prev, cur := tc.c.snaps[i], tc.c.snaps[i+1]
+				for ip, name := range cur {
+					if !b.Contains(ip) {
+						continue
+					}
+					if old, ok := prev[ip]; !ok {
+						add++
+					} else if old != name {
+						chg++
+					}
+				}
+				for ip := range prev {
+					if !b.Contains(ip) {
+						continue
+					}
+					if _, ok := cur[ip]; !ok {
+						rem++
+					}
+				}
+				if d.Added != add || d.Removed != rem || d.Changed != chg {
+					t.Fatalf("%s: churn day %d = %+v, want +%d -%d ~%d", tc.id, i, d, add, rem, chg)
+				}
+			}
+		}
+	}
+}
+
+// TestWriterViewCopies pins that BlockAt hands out copies: mutating a
+// returned map must not corrupt the store's cached or live state — the
+// solo fast path aliases live maps internally.
+func TestWriterViewCopies(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	day := time.Date(2021, 5, 1, 13, 0, 0, 0, time.UTC)
+	ip := dnswire.IPv4{10, 2, 3, 4}
+	if err := st.Append(day, scanengine.RecordSet{ip: dnswire.MustName("a.example.net")}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := st.WriterView(DefaultWriter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := v.Blocks()
+	if len(blocks) != 1 || blocks[0] != ip.Slash24() {
+		t.Fatalf("Blocks() = %v", blocks)
+	}
+	m, err := v.BlockAt(ip.Slash24(), day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[ip[3]] != dnswire.MustName("a.example.net") {
+		t.Fatalf("BlockAt = %v", m)
+	}
+	m[ip[3]] = "tampered.example.net"
+	delete(m, ip[3])
+	if name, ok, err := v.At(ip, day); err != nil || !ok || name != dnswire.MustName("a.example.net") {
+		t.Fatalf("after mutating copy: At = (%q, %v, %v)", name, ok, err)
+	}
+	if name, ok, err := st.At(ip, day); err != nil || !ok || name != dnswire.MustName("a.example.net") {
+		t.Fatalf("after mutating copy: store At = (%q, %v, %v)", name, ok, err)
+	}
+	// Absent block yields nil, no error.
+	if m, err := v.BlockAt(dnswire.MustPrefix("192.0.2.0/24"), day); err != nil || m != nil {
+		t.Fatalf("absent BlockAt = (%v, %v)", m, err)
+	}
+}
+
+// TestDivergence pins the live disagreement summary on a hand-built
+// two-writer conflict, and full agreement on a solo store.
+func TestDivergence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist")
+	alpha, err := Open(path, WithWriter("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := Open(path, WithWriter("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2021, 5, 1, 13, 0, 0, 0, time.UTC)
+	b := dnswire.MustPrefix("10.1.1.0/24")
+	mk := func(o byte) dnswire.IPv4 { return dnswire.IPv4{b.Addr[0], b.Addr[1], b.Addr[2], o} }
+	if err := alpha.Append(day, scanengine.RecordSet{
+		mk(1): "shared.example.net", mk(2): "alpha-wins.example.net", mk(3): "only-alpha.example.net",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := beta.Append(day, scanengine.RecordSet{
+		mk(1): "shared.example.net", mk(2): "beta-loses.example.net", mk(4): "only-beta.example.net",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := alpha.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := beta.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Open(path, WithReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+
+	d := ro.Divergence()
+	if d.Addresses != 4 {
+		t.Fatalf("Addresses = %d, want 4", d.Addresses)
+	}
+	want := []WriterDivergence{
+		{ID: "alpha", Records: 3, Agreements: 3, Conflicts: 0, Missing: 1, Exclusive: 1},
+		{ID: "beta", Records: 3, Agreements: 2, Conflicts: 1, Missing: 1, Exclusive: 1},
+	}
+	if len(d.Writers) != len(want) {
+		t.Fatalf("writers: %+v", d.Writers)
+	}
+	for i := range want {
+		if d.Writers[i] != want[i] {
+			t.Fatalf("writer %d = %+v, want %+v", i, d.Writers[i], want[i])
+		}
+	}
+
+	solo, err := Open(filepath.Join(t.TempDir(), "solo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solo.Close()
+	if err := solo.Append(day, scanengine.RecordSet{mk(1): "a.example.net"}); err != nil {
+		t.Fatal(err)
+	}
+	sd := solo.Divergence()
+	if sd.Addresses != 1 || len(sd.Writers) != 1 || sd.Writers[0].Conflicts != 0 || sd.Writers[0].Missing != 0 || sd.Writers[0].Agreements != 1 {
+		t.Fatalf("solo divergence: %+v", sd)
+	}
+}
+
+// TestBlocksAndEmptyWindows: Blocks lists the block universe sorted by
+// address across writers, and view queries over windows outside a
+// writer's history come back empty rather than erroring.
+func TestBlocksAndEmptyWindows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist")
+	wa, err := Open(path, WithWriter("wa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := Open(path, WithWriter("wb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2021, 7, 1, 13, 0, 0, 0, time.UTC)
+	if err := wa.Append(at, scanengine.RecordSet{
+		dnswire.IPv4{10, 9, 1, 7}: dnswire.MustName("a.example.net"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Append(at, scanengine.RecordSet{
+		dnswire.IPv4{10, 2, 1, 7}: dnswire.MustName("b.example.net"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Open(path, WithReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+
+	blocks := ro.Blocks()
+	if len(blocks) != 2 ||
+		blocks[0] != (dnswire.Prefix{Addr: dnswire.IPv4{10, 2, 1, 0}, Bits: 24}) ||
+		blocks[1] != (dnswire.Prefix{Addr: dnswire.IPv4{10, 9, 1, 0}, Bits: 24}) {
+		t.Fatalf("blocks = %v", blocks)
+	}
+
+	v, err := ro.WriterView("wa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows that miss the writer's single instant: inverted, before,
+	// and after.
+	for _, w := range [][2]time.Time{
+		{at.AddDate(0, 0, 1), at},
+		{at.AddDate(0, 0, -2), at.AddDate(0, 0, -1)},
+		{at.AddDate(0, 0, 1), at.AddDate(0, 0, 2)},
+	} {
+		rows, err := v.Range(blocks[1], w[0], w[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 0 {
+			t.Fatalf("window %v rows = %v, want none", w, rows)
+		}
+		days, err := v.Churn(blocks[1], w[0], w[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(days) != 0 {
+			t.Fatalf("window %v churn = %v, want none", w, days)
+		}
+	}
+	// A block the writer never touched yields nothing; one instant means
+	// no churn days at all.
+	if rows, err := v.Range(blocks[0], at, at); err != nil || len(rows) != 0 {
+		t.Fatalf("foreign block rows = %v err = %v", rows, err)
+	}
+	if st, err := v.BlockAt(blocks[0], at); err != nil || len(st) != 0 {
+		t.Fatalf("foreign BlockAt = %v err = %v", st, err)
+	}
+}

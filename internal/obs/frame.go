@@ -83,6 +83,41 @@ type Frame struct {
 	// time, when the process serves a snapshot-shipped store (see
 	// Recorder.SetReplicaStatus). Primaries leave it nil.
 	Replica *ReplicaStatus `json:"replica,omitempty"`
+
+	// Vantage carries the day's cross-vantage disagreement summary when
+	// the campaign ran several vantage points over the same universe
+	// (see Recorder.SetVantageStats and internal/vantage). Single-vantage
+	// campaigns leave it nil.
+	Vantage *VantageStats `json:"vantage,omitempty"`
+}
+
+// VantageStats mirrors one day of internal/vantage's disagreement
+// analysis inside a frame — a local copy so obs stays import-free of the
+// campaign layer; internal/vantage converts between the two. Counts are
+// per-octet classifications across the day's per-writer views.
+type VantageStats struct {
+	// Vantages is the number of vantage points compared.
+	Vantages int `json:"vantages"`
+	// Agreements counts records every vantage saw with the same name.
+	Agreements int `json:"agreements"`
+	// Missed counts (vantage, record) pairs where an established record
+	// was absent from one vantage's view.
+	Missed int `json:"missed"`
+	// OnlyAt counts records exactly one vantage saw.
+	OnlyAt int `json:"only_at"`
+	// Conflicts counts (vantage, record) pairs with a name differing
+	// from the cross-vantage reference.
+	Conflicts int `json:"conflicts"`
+	// Lagged counts deviations excused by the lag window: the vantage
+	// matched a recent reference state, it was just behind.
+	Lagged int `json:"lagged"`
+	// Changes counts reference-view PTR transitions this day;
+	// FullyCorroborated how many every vantage's view confirmed.
+	Changes           int `json:"changes"`
+	FullyCorroborated int `json:"fully_corroborated"`
+	// MeanCorroboration is the day's mean per-change corroboration
+	// score in [0,1] (1 when the day had no changes).
+	MeanCorroboration float64 `json:"mean_corroboration"`
 }
 
 // ReplicaStatus mirrors a replica daemon's lag report inside a frame —
@@ -156,6 +191,17 @@ func (f Frame) RetryRate() float64 {
 
 // Churn is the day's total record delta count.
 func (f Frame) Churn() int { return f.Added + f.Removed + f.Changed }
+
+// Corroboration is the day's mean cross-vantage corroboration score.
+// Frames without vantage stats (single-vantage campaigns) report 1: an
+// uncontested view is vacuously corroborated, so Rules.MinCorroboration
+// only bites where disagreement is measurable.
+func (f Frame) Corroboration() float64 {
+	if f.Vantage == nil {
+		return 1
+	}
+	return f.Vantage.MeanCorroboration
+}
 
 // frameFromSnapshot summarizes one sweep into frame fields (everything
 // except the metric digest and deltas, which the Recorder owns).

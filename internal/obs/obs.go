@@ -41,6 +41,9 @@ type Recorder struct {
 	// replicaStatus, when set, snapshots the process's replication lag
 	// for each frame (see SetReplicaStatus).
 	replicaStatus func() *ReplicaStatus
+	// vantageStats, when set, supplies the cross-vantage disagreement
+	// summary for each frame (see SetVantageStats).
+	vantageStats func() *VantageStats
 }
 
 // RecorderOption tunes a Recorder.
@@ -104,23 +107,50 @@ func (r *Recorder) SetReplicaStatus(fn func() *ReplicaStatus) {
 	r.mu.Unlock()
 }
 
+// SetVantageStats attaches a cross-vantage disagreement source: every
+// frame captured afterwards carries Frame.Vantage with fn's result at
+// capture time (nil results, and frames that already carry vantage
+// stats, are left alone). internal/vantage sets this — or builds frames
+// directly and records them through Capture. Safe on a nil recorder; fn
+// nil detaches.
+func (r *Recorder) SetVantageStats(fn func() *VantageStats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.vantageStats = fn
+	r.mu.Unlock()
+}
+
 // CaptureFrame records one campaign day: the snapshot summary plus the
 // registry digest and counter deltas since the previous capture. It
 // returns the captured frame. Safe on a nil recorder (returns the zero
 // Frame). The store serializes captures, so concurrent callers are safe,
 // but delta attribution assumes one capture per completed sweep.
 func (r *Recorder) CaptureFrame(index int, date time.Time, snap *scanengine.Snapshot) Frame {
+	return r.Capture(frameFromSnapshot(index, date, snap))
+}
+
+// Capture records a pre-built frame: the attached store/replica/vantage
+// sources fill their fields (where still unset), then the registry
+// digest and counter deltas are stamped and the frame enters the ring.
+// It is the capture path for producers that assemble frame fields
+// themselves — internal/vantage's post-run day frames — and the body of
+// CaptureFrame. Safe on a nil recorder (returns the zero Frame).
+func (r *Recorder) Capture(f Frame) Frame {
 	if r == nil {
 		return Frame{}
 	}
-	f := frameFromSnapshot(index, date, snap)
 	r.mu.Lock()
-	if r.storeStats != nil {
+	if r.storeStats != nil && f.Store == nil {
 		ss := r.storeStats()
 		f.Store = &ss
 	}
-	if r.replicaStatus != nil {
+	if r.replicaStatus != nil && f.Replica == nil {
 		f.Replica = r.replicaStatus()
+	}
+	if r.vantageStats != nil && f.Vantage == nil {
+		f.Vantage = r.vantageStats()
 	}
 	r.mu.Unlock()
 	if r.reg != nil {

@@ -374,3 +374,57 @@ func TestWithExcludedMetrics(t *testing.T) {
 		t.Fatalf("excluded counter leaked: %v", f.Deltas)
 	}
 }
+
+func TestRecorderVantageStats(t *testing.T) {
+	r := NewRecorder(nil)
+	// No source attached: frames omit the vantage block and report the
+	// vacuous corroboration score.
+	f0 := r.CaptureFrame(0, day(0), nil)
+	if f0.Vantage != nil || f0.Corroboration() != 1 {
+		t.Fatalf("vantage stats without a source: %+v", f0)
+	}
+	r.SetVantageStats(func() *VantageStats {
+		return &VantageStats{Vantages: 3, Changes: 4, FullyCorroborated: 2, MeanCorroboration: 0.5}
+	})
+	f1 := r.CaptureFrame(1, day(1), nil)
+	if f1.Vantage == nil || f1.Vantage.Vantages != 3 {
+		t.Fatalf("frame missing vantage stats: %+v", f1)
+	}
+	if f1.Corroboration() != 0.5 {
+		t.Fatalf("corroboration = %v, want 0.5", f1.Corroboration())
+	}
+	// A pre-built frame that already carries vantage stats keeps them.
+	own := &VantageStats{Vantages: 2, MeanCorroboration: 0.25}
+	f2 := r.Capture(Frame{Index: 2, Date: day(2), Vantage: own})
+	if f2.Vantage != own || f2.Corroboration() != 0.25 {
+		t.Fatalf("capture overwrote explicit vantage stats: %+v", f2.Vantage)
+	}
+	// Detaching stops the captures; a nil recorder accepts the call.
+	r.SetVantageStats(nil)
+	if f := r.CaptureFrame(3, day(3), nil); f.Vantage != nil {
+		t.Fatalf("vantage stats after detach: %+v", f.Vantage)
+	}
+	var nilRec *Recorder
+	nilRec.SetVantageStats(func() *VantageStats { return nil })
+}
+
+func TestSLOMinCorroboration(t *testing.T) {
+	rules := Rules{MaxErrorRate: -1, MaxBreakerOpens: -1, MaxRetryRate: -1, MinCorroboration: 0.9}
+	frames := []Frame{
+		{Index: 0, Vantage: &VantageStats{Vantages: 3, MeanCorroboration: 0.95}}, // healthy
+		{Index: 1, Vantage: &VantageStats{Vantages: 3, MeanCorroboration: 0.5}},  // breach
+		{Index: 2}, // no vantage stats: vacuously corroborated
+	}
+	rep := rules.Evaluate(frames)
+	if rep.ViolatingFrames != 1 || rep.Verdicts[0].OK == false || rep.Verdicts[2].OK == false {
+		t.Fatalf("verdicts = %+v", rep.Verdicts)
+	}
+	if len(rep.Verdicts[1].Violations) != 1 || rep.Verdicts[1].Violations[0].Rule != "corroboration" {
+		t.Fatalf("frame 1 violations = %+v", rep.Verdicts[1].Violations)
+	}
+	// Zero disables the rule entirely.
+	rules.MinCorroboration = 0
+	if rep := rules.Evaluate(frames); rep.ViolatingFrames != 0 {
+		t.Fatalf("disabled rule still violated: %+v", rep)
+	}
+}

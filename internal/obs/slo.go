@@ -24,6 +24,12 @@ type Rules struct {
 	// MaxRetryRate bounds Frame.RetryRate (scan-level retries per probe).
 	// Negative disables; zero means "no retries allowed".
 	MaxRetryRate float64 `json:"max_retry_rate"`
+	// MinCorroboration floors Frame.Corroboration, the day's mean
+	// cross-vantage corroboration score: below it, too many of the day's
+	// PTR changes were seen by too few vantage points to trust as churn
+	// rather than measurement artifact. Zero disables. Frames without
+	// vantage stats score 1 and always pass.
+	MinCorroboration float64 `json:"min_corroboration,omitempty"`
 	// ErrorBudget is the fraction of campaign frames allowed to violate
 	// (SRE-style): with 30 frames and a 0.1 budget, 3 bad days are within
 	// budget, 4 burn it. Zero means no violations are budgeted.
@@ -45,7 +51,7 @@ func DefaultRules() Rules {
 // Violation is one rule breach on one frame.
 type Violation struct {
 	// Rule names the breached rule ("error_rate", "coverage",
-	// "breaker_opens", "retry_rate").
+	// "breaker_opens", "retry_rate", "corroboration").
 	Rule string `json:"rule"`
 	// Value is the observed value, Limit the configured bound.
 	Value float64 `json:"value"`
@@ -110,6 +116,9 @@ func (r Rules) evaluateFrame(f Frame) FrameVerdict {
 	}
 	if r.MaxRetryRate >= 0 && f.RetryRate() > r.MaxRetryRate {
 		fail("retry_rate", f.RetryRate(), r.MaxRetryRate)
+	}
+	if r.MinCorroboration > 0 && f.Corroboration() < r.MinCorroboration {
+		fail("corroboration", f.Corroboration(), r.MinCorroboration)
 	}
 	return v
 }

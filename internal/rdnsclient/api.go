@@ -261,6 +261,34 @@ type StatsResponse struct {
 	Endpoints    map[string]EndpointStats `json:"endpoints,omitempty"`
 	QueryLog     QueryLogStats            `json:"query_log"`
 	Replica      *ReplicaStats            `json:"replica,omitempty"`
+	// Divergence is the per-writer disagreement summary against the
+	// merged view, present only when the request asked for it
+	// (GET /v1/stats?divergence=1) — it walks every live record, so it
+	// is opt-in rather than part of the cheap default body.
+	Divergence *DivergenceStats `json:"divergence,omitempty"`
+}
+
+// DivergenceStats mirrors histstore.DivergenceStats on the wire: the
+// live cross-writer disagreement summary of a multi-vantage store.
+type DivergenceStats struct {
+	// Addresses is the merged live record count.
+	Addresses int                `json:"addresses"`
+	Writers   []WriterDivergence `json:"writers"`
+}
+
+// WriterDivergence is one writer's live relation to the merged view.
+type WriterDivergence struct {
+	ID string `json:"id"`
+	// Records is the writer's live total (Agreements + Conflicts).
+	Records int `json:"records"`
+	// Agreements hold the merged winner's name; Conflicts a different
+	// one (the writer is shadowed by a lower-id winner); Missing are
+	// merged records the writer lacks; Exclusive records only this
+	// writer holds.
+	Agreements int `json:"agreements"`
+	Conflicts  int `json:"conflicts"`
+	Missing    int `json:"missing"`
+	Exclusive  int `json:"exclusive"`
 }
 
 // ReloadResponse is POST /v1/admin/reload: the freshly opened store's

@@ -469,6 +469,15 @@ func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	return out, err
 }
 
+// StatsDivergence GETs /v1/stats?divergence=1: the stats body plus the
+// per-writer disagreement summary of a multi-vantage store. Costlier
+// than Stats — the server walks every live record.
+func (c *Client) StatsDivergence(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", url.Values{"divergence": {"1"}}, &out)
+	return out, err
+}
+
 // Reload POSTs /v1/admin/reload: swap the daemon onto a freshly opened
 // store handle without dropping in-flight queries.
 func (c *Client) Reload(ctx context.Context) (ReloadResponse, error) {

@@ -408,3 +408,104 @@ func TestAdminCompactHonorsConfigOptions(t *testing.T) {
 		t.Fatalf("override sweep = %+v err=%v, want skip under MinSeal 100", res, err)
 	}
 }
+
+// TestStatsDivergence covers the opt-in /v1/stats?divergence=1 block: a
+// two-writer store with a known conflict, miss, and exclusive record
+// must render the per-writer summary on the wire, and the plain stats
+// body must stay free of it (the walk is opt-in).
+func TestStatsDivergence(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)
+	dir := t.TempDir() + "/hist"
+	start := time.Date(2021, 6, 1, 13, 0, 0, 0, time.UTC)
+
+	// Open both writers before any append (append-monotonicity floor).
+	wa, err := histstore.Open(dir, histstore.WithWriter("wa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := histstore.Open(dir, histstore.WithWriter("wb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wa: .7 and .8; wb: .7 under a different name, .8 shared, .9 alone.
+	if err := wa.Append(start, scanengine.RecordSet{
+		dnswire.MustIPv4("10.4.1.7"): dnswire.MustName("a-view.lan.example.net"),
+		dnswire.MustIPv4("10.4.1.8"): dnswire.MustName("shared.lan.example.net"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Append(start, scanengine.RecordSet{
+		dnswire.MustIPv4("10.4.1.7"): dnswire.MustName("b-view.lan.example.net"),
+		dnswire.MustIPv4("10.4.1.8"): dnswire.MustName("shared.lan.example.net"),
+		dnswire.MustIPv4("10.4.1.9"): dnswire.MustName("only-b.lan.example.net"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	serving, err := histstore.Open(dir, histstore.WithReadOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(serving, Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(url string) rdnsclient.StatsResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", url, resp.StatusCode)
+		}
+		var out rdnsclient.StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if plain := get("/v1/stats"); plain.Divergence != nil {
+		t.Fatalf("plain stats carries divergence: %+v", plain.Divergence)
+	}
+	div := get("/v1/stats?divergence=1").Divergence
+	if div == nil {
+		t.Fatal("divergence block missing")
+	}
+	if div.Addresses != 3 || len(div.Writers) != 2 {
+		t.Fatalf("divergence = %+v, want 3 addresses across 2 writers", div)
+	}
+	byID := map[string]rdnsclient.WriterDivergence{}
+	for _, w := range div.Writers {
+		byID[w.ID] = w
+	}
+	// wa wins .7 (lowest writer id), shares .8, lacks .9.
+	if w := byID["wa"]; w.Records != 2 || w.Agreements != 2 || w.Conflicts != 0 ||
+		w.Missing != 1 || w.Exclusive != 0 {
+		t.Fatalf("wa divergence = %+v", w)
+	}
+	// wb is shadowed on .7 and alone on .9.
+	if w := byID["wb"]; w.Records != 3 || w.Agreements != 2 || w.Conflicts != 1 ||
+		w.Missing != 0 || w.Exclusive != 1 {
+		t.Fatalf("wb divergence = %+v", w)
+	}
+
+	// Strict param validation still rejects strays on the stats route.
+	resp, err := http.Get(ts.URL + "/v1/stats?bogus=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("stray param: %d, want 400", resp.StatusCode)
+	}
+}

@@ -381,7 +381,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/churn", s.route("churn", []string{"prefix", "from", "to"}, s.handleChurn))
 	mux.HandleFunc("/v1/name", s.route("name", []string{"token", "limit", "cursor"}, s.handleName))
 	mux.HandleFunc("/v1/days", s.route("days", nil, s.handleDays))
-	mux.HandleFunc("/v1/stats", s.route("stats", nil, s.handleStats))
+	mux.HandleFunc("/v1/stats", s.route("stats", []string{"divergence"}, s.handleStats))
 	mux.HandleFunc("/v1/admin/reload", s.adminReload())
 	mux.HandleFunc("/v1/admin/compact", s.adminCompact())
 	mux.HandleFunc("/v1/repl/manifest", s.replManifest())
@@ -932,9 +932,27 @@ func (s *Server) handleDays(ctx context.Context, st *histstore.Store, _ url.Valu
 	return resp, nil
 }
 
-func (s *Server) handleStats(ctx context.Context, st *histstore.Store, _ url.Values) (any, *apiError) {
+func (s *Server) handleStats(ctx context.Context, st *histstore.Store, q url.Values) (any, *apiError) {
 	if ctx.Err() != nil {
 		return nil, errCanceled()
 	}
-	return s.StatsSnapshot(), nil
+	resp := s.StatsSnapshot()
+	// The divergence block walks every live record across writers, so it
+	// is opt-in: any non-empty value of ?divergence enables it.
+	if q.Get("divergence") != "" {
+		div := st.Divergence()
+		out := &rdnsclient.DivergenceStats{Addresses: div.Addresses}
+		for _, w := range div.Writers {
+			out.Writers = append(out.Writers, rdnsclient.WriterDivergence{
+				ID:         w.ID,
+				Records:    w.Records,
+				Agreements: w.Agreements,
+				Conflicts:  w.Conflicts,
+				Missing:    w.Missing,
+				Exclusive:  w.Exclusive,
+			})
+		}
+		resp.Divergence = out
+	}
+	return resp, nil
 }

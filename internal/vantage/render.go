@@ -1,0 +1,63 @@
+package vantage
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"rdnsprivacy/internal/analysis"
+	"rdnsprivacy/internal/textplot"
+)
+
+// Render writes the report as a text dashboard: per-vantage totals, the
+// day-by-day disagreement classes as sparklines, the campaign's
+// classification breakdown, and the corroboration ledger — the
+// cmd/rdnsvantage output.
+func (r *Report) Render(w io.Writer) {
+	rows := make([][]string, 0, len(r.PerVantage))
+	for _, vt := range r.PerVantage {
+		rows = append(rows, []string{
+			vt.Name,
+			strconv.Itoa(vt.Agreements),
+			strconv.Itoa(vt.Missed),
+			strconv.Itoa(vt.OnlyAt),
+			strconv.Itoa(vt.Conflicts),
+			strconv.Itoa(vt.Lagged),
+			strconv.Itoa(vt.Corroborated),
+		})
+	}
+	textplot.Table(w, fmt.Sprintf("per-vantage totals (%d days, lag window %d)", len(r.Days), r.LagWindow),
+		[]string{"vantage", "agree", "missed", "only-at", "conflict", "lagged", "corrob"}, rows)
+	fmt.Fprintln(w)
+
+	series := func(pick func(DayReport) float64) analysis.Series {
+		s := analysis.Series{
+			Dates:  make([]time.Time, len(r.Days)),
+			Values: make([]float64, len(r.Days)),
+		}
+		for i, d := range r.Days {
+			s.Dates[i] = d.Date
+			s.Values[i] = pick(d)
+		}
+		return s
+	}
+	textplot.TimeSeries(w, "disagreement classes per day", []textplot.LabeledSeries{
+		{Label: "missed", Series: series(func(d DayReport) float64 { return float64(d.Missed) })},
+		{Label: "only-at", Series: series(func(d DayReport) float64 { return float64(d.OnlyAt) })},
+		{Label: "conflicts", Series: series(func(d DayReport) float64 { return float64(d.Conflicts) })},
+		{Label: "lagged", Series: series(func(d DayReport) float64 { return float64(d.Lagged) })},
+		{Label: "changes", Series: series(func(d DayReport) float64 { return float64(d.Changes) })},
+		{Label: "corrob%", Series: series(func(d DayReport) float64 { return d.MeanCorroboration * 100 })},
+	}, 31)
+
+	textplot.Breakdown(w, "campaign classification totals", map[string]int{
+		"agreements": r.Totals.Agreements,
+		"missed":     r.Totals.Missed,
+		"only-at":    r.Totals.OnlyAt,
+		"conflicts":  r.Totals.Conflicts,
+		"lagged":     r.Totals.Lagged,
+	})
+	fmt.Fprintf(w, "\n%d reference changes, %d fully corroborated; mean corroboration %.4f (digest %s)\n",
+		r.Totals.Changes, r.Totals.FullyCorroborated, r.Totals.MeanCorroboration, r.Digest())
+}

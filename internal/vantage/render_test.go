@@ -1,0 +1,33 @@
+package vantage_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRenderDashboard sanity-checks the text dashboard: every vantage is
+// listed, every disagreement class has a sparkline row, and the summary
+// line carries the report digest — the contract cmd/rdnsvantage prints.
+func TestRenderDashboard(t *testing.T) {
+	res := runCampaign(t, 42, 3, nil, nil)
+	var buf bytes.Buffer
+	res.Report.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"per-vantage totals (3 days, lag window 1)",
+		"alpha", "bravo", "charlie",
+		"disagreement classes per day",
+		"missed", "only-at", "conflicts", "lagged", "changes", "corrob%",
+		"campaign classification totals",
+		"agreements",
+		string(res.Report.Digest()),
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "reference changes") != 1 {
+		t.Fatalf("summary line missing:\n%s", out)
+	}
+}
